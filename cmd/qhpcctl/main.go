@@ -1,0 +1,146 @@
+// Command qhpcctl is the operator/user CLI for a running qhpcd: it submits
+// OpenQASM circuits, inspects jobs and device state, and pages through job
+// history — the dashboard operations §4's early users relied on.
+//
+// Usage:
+//
+//	qhpcctl -server http://localhost:8080 device
+//	qhpcctl -server http://localhost:8080 submit -shots 500 -user alice circuit.qasm
+//	qhpcctl -server http://localhost:8080 job 17
+//	qhpcctl -server http://localhost:8080 history -user alice -offset 0 -limit 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/circuit"
+	"repro/internal/mqss"
+	"repro/internal/qrm"
+	"repro/internal/quantum"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "qhpcd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	client := mqss.NewRemoteClient(*server, nil)
+	switch args[0] {
+	case "device":
+		info, err := client.Device()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("device: %s (%d qubits, twin=%v)\n", info.Properties.Name,
+			info.Properties.NumQubits, info.Properties.DigitalTwin)
+		fmt.Printf("fidelities: 1q %.4f, readout %.4f, cz %.4f (calibration age %.1f h)\n",
+			info.Fidelity1Q, info.FidelityReadout, info.FidelityCZ, info.CalibrationAgeH)
+		fmt.Println("coupling map:")
+		for q := 0; q < info.Properties.NumQubits; q++ {
+			fmt.Printf("  q%-2d -> %v\n", q, info.Properties.CouplingMap[q])
+		}
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		shots := fs.Int("shots", 1000, "shots")
+		user := fs.String("user", "cli", "submitting user")
+		static := fs.Bool("static", false, "static placement instead of fidelity-aware JIT")
+		if err := fs.Parse(args[1:]); err != nil {
+			log.Fatal(err)
+		}
+		if fs.NArg() != 1 {
+			log.Fatal("submit needs exactly one .qasm file")
+		}
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := circuit.ParseQASM(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parsing %s: %v", fs.Arg(0), err)
+		}
+		job, err := client.Run(qrm.Request{
+			Circuit: c, Shots: *shots, User: *user, StaticPlacement: *static,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJob(job)
+	case "job":
+		if len(args) != 2 {
+			log.Fatal("job needs an ID")
+		}
+		id, err := strconv.Atoi(args[1])
+		if err != nil {
+			log.Fatalf("bad job id %q", args[1])
+		}
+		job, err := client.Job(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJob(job)
+	case "history":
+		fs := flag.NewFlagSet("history", flag.ExitOnError)
+		user := fs.String("user", "", "filter by user")
+		offset := fs.Int("offset", 0, "page offset")
+		limit := fs.Int("limit", 10, "page size")
+		if err := fs.Parse(args[1:]); err != nil {
+			log.Fatal(err)
+		}
+		page, err := client.History(*user, *offset, *limit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("jobs %d-%d of %d (has more: %v)\n",
+			page.Offset+1, page.Offset+len(page.Jobs), page.Total, page.HasMore)
+		for _, j := range page.Jobs {
+			fmt.Printf("  #%-4d %-12s user=%-10s circuit=%q shots=%d\n",
+				j.ID, j.Status, j.Request.User, j.Request.Circuit.Name, j.Request.Shots)
+		}
+	default:
+		usage()
+	}
+}
+
+func printJob(j *qrm.Job) {
+	fmt.Printf("job #%d: %s\n", j.ID, j.Status)
+	if j.Error != "" {
+		fmt.Printf("  error: %s\n", j.Error)
+		return
+	}
+	fmt.Printf("  compiled: %d gates (%d CZ) — %s\n", j.CompiledGates, j.CZCount, j.CompileStats)
+	fmt.Printf("  layout (logical->physical): %v\n", j.Layout)
+	fmt.Printf("  duration: %.1f ms on control electronics\n", j.DurationUs/1000)
+	n := j.Request.Circuit.NumQubits
+	shown := 0
+	for outcome, count := range j.Counts {
+		if shown >= 8 {
+			fmt.Printf("  ... %d more outcomes\n", len(j.Counts)-8)
+			break
+		}
+		logical := 0
+		for i, p := range j.Layout {
+			if outcome&(1<<uint(p)) != 0 {
+				logical |= 1 << uint(i)
+			}
+		}
+		fmt.Printf("  |%s> %d\n", quantum.FormatBitstring(logical, n), count)
+		shown++
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: qhpcctl [-server URL] <command>
+commands:
+  device                               show device properties and live calibration
+  submit [-shots N] [-user U] f.qasm   submit an OpenQASM circuit
+  job <id>                             show one job
+  history [-user U] [-offset N] [-limit N]   page through job history`)
+	os.Exit(2)
+}

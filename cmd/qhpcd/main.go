@@ -1,0 +1,56 @@
+// Command qhpcd runs the HPC+QC center as a service: it commissions the
+// center (site survey, cooldown, calibration) and then serves the MQSS REST
+// API — the remote asynchronous access path of Fig. 2.
+//
+// Usage:
+//
+//	qhpcd [-addr :8080] [-seed 1] [-twin] [-redundant] [-fast]
+//
+// -fast accelerates commissioning (the multi-day cooldown runs at
+// simulation speed); without it the daemon still commissions instantly
+// because wall-clock cooldowns would be unhelpful in a simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/facility"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address for the REST API")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	twin := flag.Bool("twin", false, "serve the noiseless digital twin instead of the noisy QPU")
+	redundant := flag.Bool("redundant", true, "redundant power and cooling feeds (lesson 3)")
+	nodes := flag.Int("nodes", 64, "classical cluster node count")
+	flag.Parse()
+
+	center, err := core.New(core.Config{
+		Seed: *seed, Nodes: *nodes, Redundant: *redundant, DigitalTwin: *twin,
+	})
+	if err != nil {
+		log.Fatalf("qhpcd: %v", err)
+	}
+
+	candidates := []facility.Site{
+		{Name: "ground-floor", Env: facility.NoisyUrban(), DeliveryWidthCM: 120, FloorLoadKgM2: 1500, CellTowerDistM: 300, FluorescentM: 4},
+		{Name: "basement", Env: facility.Quiet(), DeliveryWidthCM: 120, FloorLoadKgM2: 1500, CellTowerDistM: 800, FluorescentM: 6},
+	}
+	days, err := center.CommissionFast(candidates, facility.SurveyConfig{Seed: *seed})
+	if err != nil {
+		log.Fatalf("qhpcd: commissioning failed: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "qhpcd: site %q accepted; cooldown %.1f simulated days; phase %s\n",
+		center.SiteReport().Site, days, center.Phase())
+	fmt.Fprintf(os.Stderr, "qhpcd: serving MQSS REST API on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "qhpcd: endpoints: POST /api/v1/jobs, GET /api/v1/jobs, GET /api/v1/device, GET /api/v1/telemetry/, GET /healthz\n")
+
+	if err := http.ListenAndServe(*addr, center.RESTHandler()); err != nil {
+		log.Fatalf("qhpcd: %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+// Command sitesurvey runs the Table 1 acceptance campaign over the built-in
+// candidate environments (or a chosen profile) and prints the report —
+// the tool an integration engineer would run during §2.1.
+//
+// Usage:
+//
+//	sitesurvey [-seed 1] [-profile all|quiet|borderline|urban]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/facility"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "measurement campaign seed")
+	profile := flag.String("profile", "all", "which candidate profile to survey: all, quiet, borderline, urban")
+	flag.Parse()
+
+	all := map[string]facility.Site{
+		"quiet": {
+			Name: "basement-lab", Env: facility.Quiet(),
+			DeliveryWidthCM: 110, FloorLoadKgM2: 1600, CellTowerDistM: 800, FluorescentM: 6,
+		},
+		"borderline": {
+			Name: "mezzanine", Env: facility.Borderline(),
+			DeliveryWidthCM: 95, FloorLoadKgM2: 1100, CellTowerDistM: 450, FluorescentM: 4,
+		},
+		"urban": {
+			Name: "ground-floor-street", Env: facility.NoisyUrban(),
+			DeliveryWidthCM: 130, FloorLoadKgM2: 2000, CellTowerDistM: 220, FluorescentM: 3,
+		},
+	}
+
+	var sites []facility.Site
+	if *profile == "all" {
+		for _, key := range []string{"quiet", "borderline", "urban"} {
+			sites = append(sites, all[key])
+		}
+	} else if s, ok := all[*profile]; ok {
+		sites = append(sites, s)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	reports, err := facility.RankSites(sites, facility.SurveyConfig{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range reports {
+		fmt.Println(rep)
+	}
+	if len(reports) > 1 {
+		fmt.Printf("recommendation: %s\n", reports[0].Site)
+	}
+}

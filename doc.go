@@ -1,0 +1,9 @@
+// Package repro is a Go reproduction of "First Practical Experiences
+// Integrating Quantum Computers with HPC Resources: A Case Study With a
+// 20-qubit Superconducting Quantum Computer" (SFWM @ SC 2025).
+//
+// The public surface lives in the example binaries (cmd/, examples/) and
+// the benchmark harness (bench_test.go); the implementation is organized
+// under internal/ as one package per subsystem. See DESIGN.md for the full
+// system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+package repro

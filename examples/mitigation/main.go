@@ -1,0 +1,107 @@
+// Mitigation example: the readout-error-mitigation technique taught during
+// user onboarding (§4: "how to implement error mitigation methods tailored
+// to the machine"). A Bell state is measured on the noisy QPU; tensor-
+// product readout calibration corrects the histogram, and the ZZ correlator
+// moves measurably closer to its ideal value of 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/mitigation"
+	"repro/internal/qdmi"
+	"repro/internal/transpile"
+)
+
+// runner executes circuits on a noisy QPU with static placement so that
+// calibration circuits and payload circuits see the same physical qubits.
+type runner struct {
+	qpu *device.QPU
+	dev *qdmi.Device
+}
+
+func (r *runner) Run(c *circuit.Circuit, shots int) (map[int]int, error) {
+	res, err := transpile.Transpile(c, r.dev.Target(), transpile.Options{
+		Placement: transpile.PlaceStatic,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := r.qpu.Execute(res.Circuit, shots)
+	if err != nil {
+		return nil, err
+	}
+	return out.Counts, nil
+}
+
+func main() {
+	qpu := device.New20Q(77)
+	// Exaggerate readout error a little by aging the device: drift pulls
+	// readout fidelity down, which is exactly when mitigation pays off.
+	qpu.AdvanceDrift(24 * 10)
+	r := &runner{qpu: qpu, dev: qdmi.NewDevice(qpu, nil)}
+
+	const n, shots = 2, 20000
+	fmt.Println("Calibrating readout confusion matrices (|00> and |11> circuits)...")
+	cm, err := mitigation.Calibrate(r, n, shots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for q := 0; q < n; q++ {
+		f, err := cm.AssignmentFidelity(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  qubit %d assignment fidelity: %.4f\n", q, f)
+	}
+
+	bell := circuit.New(n, "bell").H(0).CNOT(0, 1)
+	counts, err := r.Run(bell, shots)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// <Z0 Z1> is 1 for an ideal Bell state.
+	zzRaw := correlator(counts)
+	mitigated, err := cm.Apply(counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zzMit := correlatorF(mitigated)
+	fmt.Printf("\nBell-state ZZ correlator (ideal = 1):\n")
+	fmt.Printf("  raw:       %.4f  (error %.4f)\n", zzRaw, 1-zzRaw)
+	fmt.Printf("  mitigated: %.4f  (error %.4f)\n", zzMit, 1-zzMit)
+	if 1-zzMit < 1-zzRaw {
+		fmt.Println("\nMitigation removed most of the readout bias; the residual is")
+		fmt.Println("gate error and decoherence, which readout mitigation cannot touch.")
+	}
+}
+
+func correlator(counts map[int]int) float64 {
+	num, den := 0.0, 0.0
+	for outcome, c := range counts {
+		v := 1.0
+		if (outcome&1 != 0) != (outcome&2 != 0) {
+			v = -1
+		}
+		num += v * float64(c)
+		den += float64(c)
+	}
+	return num / den
+}
+
+func correlatorF(counts map[int]float64) float64 {
+	num, den := 0.0, 0.0
+	for outcome, c := range counts {
+		v := 1.0
+		if (outcome&1 != 0) != (outcome&2 != 0) {
+			v = -1
+		}
+		num += v * c
+		den += c
+	}
+	return num / den
+}

@@ -1,0 +1,98 @@
+// Onboarding example: the §4 early-user program end to end — application
+// review, mentorship assignment, the Use–Modify–Create progression gating
+// hardware access behind digital-twin practice, and the FAQ process that
+// turns user friction into engineering priorities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/onboarding"
+	"repro/internal/qdmi"
+	"repro/internal/qrm"
+)
+
+func main() {
+	reg := onboarding.NewRegistry(10, []string{"sa-keller", "sa-huang"})
+
+	// 1. Application review (§4 selection criteria).
+	apps := []onboarding.Application{
+		{User: "chem-group", Project: "molecular embedding", ResearchRelevance: 5, WorkflowPlan: 4, Deliverability: 4, MQVAffiliation: true},
+		{User: "opt-group", Project: "TSP benchmarking", ResearchRelevance: 4, WorkflowPlan: 5, Deliverability: 4, PriorCollaboration: true},
+		{User: "vague-group", Project: "quantum stuff", ResearchRelevance: 2, WorkflowPlan: 1, Deliverability: 2},
+	}
+	for _, a := range apps {
+		admitted, err := reg.Review(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("application %-12s score %2d -> admitted=%v\n", a.User, a.Score(), admitted)
+	}
+
+	// 2. Training on the digital twin (Use -> Modify), then hardware.
+	twin := qrm.NewManager(qdmi.NewDevice(device.NewTwin20Q(5), nil))
+	hardware := qrm.NewManager(qdmi.NewDevice(device.New20Q(5), nil))
+	user := "chem-group"
+
+	if err := reg.CanSubmit(user, true); err != nil {
+		fmt.Printf("\nhardware gate works: %v\n", err)
+	}
+	if err := reg.Advance(user); err != nil { // use -> modify
+		log.Fatal(err)
+	}
+	fmt.Println("\ntwin practice (Use-Modify stages):")
+	for i := 0; i < 6; i++ {
+		id, err := twin.Submit(qrm.Request{Circuit: circuit.GHZ(3 + i%3), Shots: 200, User: user})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := twin.Drain(); err != nil {
+			log.Fatal(err)
+		}
+		j, _ := twin.Job(id)
+		fmt.Printf("  twin job %d: %s (%d outcomes)\n", id, j.Status, len(j.Counts))
+		reg.RecordJob(user, false)
+	}
+	if err := reg.Advance(user); err != nil { // modify -> create
+		log.Fatal(err)
+	}
+	if err := reg.CanSubmit(user, true); err != nil {
+		log.Fatal(err)
+	}
+	u, _ := reg.Lookup(user)
+	fmt.Printf("\n%s reached stage %q (mentor %s) — hardware unlocked\n", user, u.Stage, u.Mentor)
+	id, err := hardware.Submit(qrm.Request{Circuit: circuit.GHZ(5), Shots: 500, User: user})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := hardware.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	j, _ := hardware.Job(id)
+	fmt.Printf("hardware job %d: %s — %s\n", id, j.Status, j.CompileStats)
+	reg.RecordJob(user, true)
+	reg.SubmitReport(user)
+
+	// 3. The FAQ loop that drove §4's engineering priorities.
+	for i := 0; i < 6; i++ {
+		reg.Ask(onboarding.CatTracking, "How do I navigate my job history?")
+	}
+	reg.Ask(onboarding.CatSubmission, "Can I submit circuits in a batch?")
+	reg.Ask(onboarding.CatSubmission, "Can I submit circuits in a batch?")
+	reg.Ask(onboarding.CatSystemInfo, "Where do I find the qubit coupling map?")
+	reg.Answer(onboarding.CatTracking, "How do I navigate my job history?",
+		"Use GET /api/v1/jobs?offset=&limit= — pagination was added for exactly this.")
+
+	fmt.Println("\ntop user friction (drives the engineering backlog):")
+	for _, cat := range onboarding.Categories() {
+		for _, q := range reg.TopQuestions(cat, 1) {
+			fmt.Printf("  [%s] asked %dx: %s\n", cat, q.Count, q.Text)
+		}
+	}
+	st := reg.Stats()
+	fmt.Printf("\ncohort: %d users, %d at create stage, %d reports filed, %d twin + %d hardware jobs\n",
+		st.Users, st.AtCreateStage, st.ReportsFiled, st.TwinJobs, st.HardwareJobs)
+}

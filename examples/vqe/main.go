@@ -1,0 +1,102 @@
+// VQE example: the hydrogen-molecule ground state via the tightly-coupled
+// accelerator path — the hybrid quantum-classical loop §2.6 names as the
+// reason the HPC access mode exists. The classical optimizer (SPSA) and the
+// quantum expectation evaluation alternate hundreds of times, which is why
+// queue-per-job latency would be prohibitive and the in-HPC client matters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/hybrid"
+	"repro/internal/qdmi"
+	"repro/internal/qrm"
+)
+
+func main() {
+	h2 := hybrid.H2Molecule()
+	exact := hybrid.H2GroundStateEnergy()
+	fmt.Printf("Target: H2 molecule, exact ground energy %.4f Hartree\n", exact)
+	fmt.Printf("Hamiltonian: %s\n\n", h2)
+
+	ansatz, numParams := hybrid.HardwareEfficientAnsatz(2, 1)
+	initial := make([]float64, numParams)
+	for i := range initial {
+		initial[i] = 0.1 * float64(i+1)
+	}
+
+	// Stage 1 (onboarding practice, §4): run against the digital twin.
+	twinQRM := qrm.NewManager(qdmi.NewDevice(device.NewTwin20Q(11), nil))
+	twinRunner := qrmRunner{m: twinQRM, user: "vqe-twin"}
+	vqeTwin := &hybrid.VQE{
+		Hamiltonian: h2, Ansatz: ansatz, Runner: twinRunner,
+		Shots: 4000, Optimizer: hybrid.DefaultSPSA(250, 5),
+	}
+	resTwin, err := vqeTwin.Run(initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Digital twin:  E = %.4f Hartree (error %+.4f), %d energy evaluations\n",
+		resTwin.Value, resTwin.Value-exact, resTwin.Evaluations)
+
+	// Stage 2: the same loop against the noisy 20-qubit QPU. Every energy
+	// evaluation is JIT-compiled against the live calibration.
+	qpuQRM := qrm.NewManager(qdmi.NewDevice(device.New20Q(11), nil))
+	qpuRunner := qrmRunner{m: qpuQRM, user: "vqe-qpu"}
+	vqeQPU := &hybrid.VQE{
+		Hamiltonian: h2, Ansatz: ansatz, Runner: qpuRunner,
+		Shots: 2000, Optimizer: hybrid.DefaultSPSA(120, 5),
+	}
+	resQPU, err := vqeQPU.Run(initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Noisy QPU:     E = %.4f Hartree (error %+.4f), %d energy evaluations\n",
+		resQPU.Value, resQPU.Value-exact, resQPU.Evaluations)
+
+	page, err := qpuQRM.History("vqe-qpu", 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQRM executed %d quantum jobs for the noisy run.\n", page.Total)
+	fmt.Println("Chemical-accuracy work would add error mitigation — the §4 training topic.")
+}
+
+// qrmRunner adapts the QRM to the hybrid.Runner interface: each expectation
+// measurement becomes one quantum job on the stack.
+type qrmRunner struct {
+	m    *qrm.Manager
+	user string
+}
+
+func (r qrmRunner) Run(c *circuit.Circuit, shots int) (map[int]int, error) {
+	id, err := r.m.Submit(qrm.Request{Circuit: c, Shots: shots, User: r.user})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.m.Drain(); err != nil {
+		return nil, err
+	}
+	job, err := r.m.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	if job.Status != qrm.StatusDone {
+		return nil, fmt.Errorf("job %d failed: %s", id, job.Error)
+	}
+	// Project physical outcomes back onto logical qubits via the layout.
+	logicalCounts := make(map[int]int, len(job.Counts))
+	for outcome, count := range job.Counts {
+		logical := 0
+		for i, p := range job.Layout {
+			if outcome&(1<<uint(p)) != 0 {
+				logical |= 1 << uint(i)
+			}
+		}
+		logicalCounts[logical] += count
+	}
+	return logicalCounts, nil
+}

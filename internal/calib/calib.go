@@ -1,0 +1,198 @@
+// Package calib implements the calibration operations layer (§3.2): the
+// standardized algorithmic health checks (GHZ state creation on qubit
+// subsets) that measure the system's "live" performance, and the
+// scheduler-controllable policy that decides when to run the quick (40 min)
+// or full (100 min) recalibration procedure.
+package calib
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/qdmi"
+	"repro/internal/transpile"
+)
+
+// Procedure identifies a recalibration procedure.
+type Procedure int
+
+const (
+	// ProcedureNone means no recalibration is needed.
+	ProcedureNone Procedure = iota
+	// ProcedureQuick is the 40-minute procedure with slightly lower
+	// resulting performance.
+	ProcedureQuick
+	// ProcedureFull is the 100-minute procedure yielding optimal
+	// performance.
+	ProcedureFull
+)
+
+func (p Procedure) String() string {
+	switch p {
+	case ProcedureNone:
+		return "none"
+	case ProcedureQuick:
+		return "quick"
+	case ProcedureFull:
+		return "full"
+	}
+	return fmt.Sprintf("procedure(%d)", int(p))
+}
+
+// DurationMinutes returns the procedure duration from §3.2.
+func (p Procedure) DurationMinutes() float64 {
+	switch p {
+	case ProcedureQuick:
+		return 40
+	case ProcedureFull:
+		return 100
+	}
+	return 0
+}
+
+// HealthCheck is the result of running the GHZ benchmark ladder.
+type HealthCheck struct {
+	// Fidelities maps GHZ size -> population fidelity P(0...0)+P(1...1).
+	Fidelities map[int]float64
+	// Shots used per size.
+	Shots int
+	// Pass reports whether every size met its threshold.
+	Pass bool
+	// Failures lists sizes that fell below threshold.
+	Failures []int
+}
+
+func (h *HealthCheck) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health check (%d shots): ", h.Shots)
+	if h.Pass {
+		b.WriteString("PASS")
+	} else {
+		fmt.Fprintf(&b, "FAIL at sizes %v", h.Failures)
+	}
+	return b.String()
+}
+
+// Thresholds returns the acceptance threshold for an n-qubit GHZ population
+// fidelity. Ideal is 1.0; each qubit's gates and readout chip away at it, so
+// the bar decays geometrically with size. The constants are set so a freshly
+// fully-calibrated device passes with margin and a badly drifted one fails.
+func Threshold(n int) float64 {
+	base := 0.93
+	perQubit := 0.975
+	th := base
+	for i := 1; i < n; i++ {
+		th *= perQubit
+	}
+	return th
+}
+
+// RunHealthCheck executes the GHZ ladder on the device through the JIT
+// transpiler (fidelity-aware placement, as production health checks would
+// use) and scores each size against its threshold.
+func RunHealthCheck(dev *qdmi.Device, sizes []int, shots int) (*HealthCheck, error) {
+	if shots < 1 {
+		return nil, fmt.Errorf("calib: shots must be positive, got %d", shots)
+	}
+	hc := &HealthCheck{Fidelities: make(map[int]float64, len(sizes)), Shots: shots, Pass: true}
+	for _, n := range sizes {
+		if n < 2 || n > dev.Properties().NumQubits {
+			return nil, fmt.Errorf("calib: GHZ size %d out of range [2, %d]", n, dev.Properties().NumQubits)
+		}
+		res, err := transpile.Transpile(circuit.GHZ(n), dev.Target(), transpile.Options{
+			Placement: transpile.PlaceFidelityAware,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("calib: transpiling GHZ-%d: %w", n, err)
+		}
+		out, err := dev.QPU().Execute(res.Circuit, shots)
+		if err != nil {
+			return nil, fmt.Errorf("calib: executing GHZ-%d: %w", n, err)
+		}
+		// Population fidelity on the physical register: the GHZ lives on
+		// the placed qubits; count outcomes where all placed qubits agree.
+		f := placedGHZFidelity(out, res.FinalLayout[:n])
+		hc.Fidelities[n] = f
+		if f < Threshold(n) {
+			hc.Pass = false
+			hc.Failures = append(hc.Failures, n)
+		}
+	}
+	return hc, nil
+}
+
+// placedGHZFidelity counts outcomes where every placed qubit reads 0 or
+// every placed qubit reads 1 (ignoring unplaced qubits, which stay |0>).
+func placedGHZFidelity(res *device.Result, placed []int) float64 {
+	if res.Shots == 0 {
+		return 0
+	}
+	good := 0
+	for outcome, count := range res.Counts {
+		zeros, ones := 0, 0
+		for _, p := range placed {
+			if outcome&(1<<uint(p)) == 0 {
+				zeros++
+			} else {
+				ones++
+			}
+		}
+		if zeros == len(placed) || ones == len(placed) {
+			good += count
+		}
+	}
+	return float64(good) / float64(res.Shots)
+}
+
+// Policy decides which procedure to run, given the health state. It
+// implements the paper's operating model: routine recalibration fully under
+// HPC-center control (lesson 2), quick procedures for routine drift, full
+// procedures on schedule or after health-check failure.
+type Policy struct {
+	// QuickEveryHours triggers a quick recalibration when the record is
+	// older than this (default 24 h: daily).
+	QuickEveryHours float64
+	// FullEveryHours triggers a full recalibration when the last full one
+	// is older than this (default 168 h: weekly).
+	FullEveryHours float64
+	// FullOnHealthFailure escalates to a full procedure when the health
+	// check fails.
+	FullOnHealthFailure bool
+
+	hoursSinceFull float64
+}
+
+// DefaultPolicy returns the daily-quick / weekly-full policy.
+func DefaultPolicy() *Policy {
+	return &Policy{QuickEveryHours: 24, FullEveryHours: 168, FullOnHealthFailure: true}
+}
+
+// Decide returns the procedure to run given the calibration age and the
+// latest health check (nil means no check available).
+func (p *Policy) Decide(calibAgeHours float64, hc *HealthCheck) Procedure {
+	if hc != nil && !hc.Pass && p.FullOnHealthFailure {
+		return ProcedureFull
+	}
+	if p.hoursSinceFull >= p.FullEveryHours {
+		return ProcedureFull
+	}
+	if calibAgeHours >= p.QuickEveryHours {
+		return ProcedureQuick
+	}
+	return ProcedureNone
+}
+
+// Advance ages the policy clock by dtHours.
+func (p *Policy) Advance(dtHours float64) { p.hoursSinceFull += dtHours }
+
+// Ran records that a procedure was executed.
+func (p *Policy) Ran(proc Procedure) {
+	if proc == ProcedureFull {
+		p.hoursSinceFull = 0
+	}
+}
+
+// HoursSinceFull reports the policy's full-calibration age.
+func (p *Policy) HoursSinceFull() float64 { return p.hoursSinceFull }

@@ -1,0 +1,160 @@
+package calib
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/qdmi"
+)
+
+func TestProcedureDurationsMatchPaper(t *testing.T) {
+	if ProcedureQuick.DurationMinutes() != 40 {
+		t.Error("quick should be 40 minutes (§3.2)")
+	}
+	if ProcedureFull.DurationMinutes() != 100 {
+		t.Error("full should be 100 minutes (§3.2)")
+	}
+	if ProcedureNone.DurationMinutes() != 0 {
+		t.Error("none should be 0 minutes")
+	}
+}
+
+func TestProcedureStrings(t *testing.T) {
+	if ProcedureNone.String() != "none" || ProcedureQuick.String() != "quick" || ProcedureFull.String() != "full" {
+		t.Error("procedure names wrong")
+	}
+	if !strings.Contains(Procedure(9).String(), "9") {
+		t.Error("unknown procedure should include number")
+	}
+}
+
+func TestThresholdDecreasesWithSize(t *testing.T) {
+	prev := 1.0
+	for n := 2; n <= 20; n++ {
+		th := Threshold(n)
+		if th >= prev {
+			t.Fatalf("threshold not decreasing at n=%d: %g >= %g", n, th, prev)
+		}
+		if th <= 0 || th >= 1 {
+			t.Fatalf("threshold out of (0,1) at n=%d: %g", n, th)
+		}
+		prev = th
+	}
+}
+
+func TestHealthCheckPassesOnFreshDevice(t *testing.T) {
+	dev := qdmi.NewDevice(device.New20Q(1), nil)
+	hc, err := RunHealthCheck(dev, []int{2, 4, 6}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hc.Pass {
+		t.Errorf("fresh device failed health check: %+v", hc.Fidelities)
+	}
+	for n, f := range hc.Fidelities {
+		if f < Threshold(n) {
+			t.Errorf("GHZ-%d fidelity %.3f below threshold %.3f", n, f, Threshold(n))
+		}
+	}
+	if !strings.Contains(hc.String(), "PASS") {
+		t.Errorf("string = %q", hc.String())
+	}
+}
+
+func TestHealthCheckFailsOnBadlyDriftedDevice(t *testing.T) {
+	qpu := device.New20Q(2)
+	qpu.AdvanceDrift(24 * 60) // two months unattended
+	dev := qdmi.NewDevice(qpu, nil)
+	hc, err := RunHealthCheck(dev, []int{4, 8}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Pass {
+		t.Errorf("60-day drifted device passed health check: %+v", hc.Fidelities)
+	}
+	if len(hc.Failures) == 0 {
+		t.Error("failures list empty")
+	}
+	if !strings.Contains(hc.String(), "FAIL") {
+		t.Errorf("string = %q", hc.String())
+	}
+}
+
+func TestHealthCheckValidation(t *testing.T) {
+	dev := qdmi.NewDevice(device.New20Q(3), nil)
+	if _, err := RunHealthCheck(dev, []int{2}, 0); err == nil {
+		t.Error("expected error for 0 shots")
+	}
+	if _, err := RunHealthCheck(dev, []int{1}, 100); err == nil {
+		t.Error("expected error for GHZ-1")
+	}
+	if _, err := RunHealthCheck(dev, []int{25}, 100); err == nil {
+		t.Error("expected error for GHZ-25 on 20 qubits")
+	}
+}
+
+func TestPolicySchedule(t *testing.T) {
+	p := DefaultPolicy()
+	if got := p.Decide(1, nil); got != ProcedureNone {
+		t.Errorf("fresh record: %v, want none", got)
+	}
+	if got := p.Decide(25, nil); got != ProcedureQuick {
+		t.Errorf("25 h old record: %v, want quick", got)
+	}
+	p.Advance(170) // past the weekly full cadence
+	if got := p.Decide(1, nil); got != ProcedureFull {
+		t.Errorf("week since full: %v, want full", got)
+	}
+	p.Ran(ProcedureFull)
+	if p.HoursSinceFull() != 0 {
+		t.Error("Ran(full) should reset the full clock")
+	}
+	if got := p.Decide(1, nil); got != ProcedureNone {
+		t.Errorf("after full: %v, want none", got)
+	}
+}
+
+func TestPolicyEscalatesOnHealthFailure(t *testing.T) {
+	p := DefaultPolicy()
+	bad := &HealthCheck{Pass: false, Failures: []int{8}}
+	if got := p.Decide(0, bad); got != ProcedureFull {
+		t.Errorf("health failure: %v, want full", got)
+	}
+	p.FullOnHealthFailure = false
+	if got := p.Decide(0, bad); got != ProcedureNone {
+		t.Errorf("health failure with escalation off: %v, want none", got)
+	}
+}
+
+func TestQuickRanDoesNotResetFullClock(t *testing.T) {
+	p := DefaultPolicy()
+	p.Advance(100)
+	p.Ran(ProcedureQuick)
+	if p.HoursSinceFull() != 100 {
+		t.Error("quick procedure must not reset the full-calibration clock")
+	}
+}
+
+// End-to-end §3.2 scenario: drift degrades health, recalibration restores it.
+func TestRecalibrationRestoresHealth(t *testing.T) {
+	qpu := device.New20Q(4)
+	dev := qdmi.NewDevice(qpu, nil)
+	qpu.AdvanceDrift(24 * 45)
+	before, err := RunHealthCheck(dev, []int{6}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qpu.Recalibrate(true)
+	after, err := RunHealthCheck(dev, []int{6}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Fidelities[6] <= before.Fidelities[6] {
+		t.Errorf("recalibration did not improve GHZ-6: %.3f -> %.3f",
+			before.Fidelities[6], after.Fidelities[6])
+	}
+	if !after.Pass {
+		t.Errorf("device should pass after full recalibration: %+v", after.Fidelities)
+	}
+}

@@ -1,0 +1,279 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// Randomized benchmarking (RB) is part of the "suite of algorithmic
+// benchmarks" the system runs to check its state (§3.2). Single-qubit RB
+// applies random Clifford sequences of growing length followed by the
+// recovery Clifford; the survival probability decays as A·p^m + B, and the
+// average gate fidelity is 1 - (1-p)/2.
+
+// cliffords1Q is a generating presentation of the 24-element single-qubit
+// Clifford group as PRX/RZ native sequences. For RB purposes we use the
+// standard decomposition of each Clifford into at most three generators
+// from {X90, Z90}; here we store each Clifford's unitary directly and
+// synthesize native gates per element.
+type clifford struct {
+	name  string
+	gates []circuit.Gate
+}
+
+// buildCliffords enumerates the 24 single-qubit Cliffords as sequences over
+// H, S (each itself lowered later by the transpiler). The enumeration is the
+// standard coset construction: {I, H, S, HS, SH, HSH...} — we generate by
+// closure over {H, S} and keep 24 distinct unitaries.
+func buildCliffords() []clifford {
+	type entry struct {
+		m     [2][2]complex128
+		gates []circuit.Gate
+	}
+	hGate := circuit.Gate{Name: circuit.OpH, Qubits: []int{0}}
+	sGate := circuit.Gate{Name: circuit.OpS, Qubits: []int{0}}
+
+	id := [2][2]complex128{{1, 0}, {0, 1}}
+	hm := [2][2]complex128{
+		{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)},
+	}
+	sm := [2][2]complex128{{1, 0}, {0, complex(0, 1)}}
+
+	mul := func(a, b [2][2]complex128) [2][2]complex128 {
+		var out [2][2]complex128
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				out[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j]
+			}
+		}
+		return out
+	}
+	// canonical key up to global phase: normalize by the first nonzero
+	// element's phase.
+	key := func(m [2][2]complex128) string {
+		var ref complex128
+		for _, row := range m {
+			for _, v := range row {
+				if realAbs(v) > 1e-9 {
+					ref = v
+					break
+				}
+			}
+			if ref != 0 {
+				break
+			}
+		}
+		norm := ref / complex(realAbs(ref), 0)
+		out := ""
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				v := m[i][j] / norm
+				out += fmt.Sprintf("%.6f,%.6f;", real(v), imag(v))
+			}
+		}
+		return out
+	}
+
+	seen := map[string]bool{}
+	frontier := []entry{{m: id}}
+	seen[key(id)] = true
+	var all []entry
+	all = append(all, frontier...)
+	for len(frontier) > 0 && len(all) < 24 {
+		var next []entry
+		for _, e := range frontier {
+			for _, g := range []struct {
+				m [2][2]complex128
+				g circuit.Gate
+			}{{hm, hGate}, {sm, sGate}} {
+				nm := mul(g.m, e.m)
+				k := key(nm)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				ne := entry{m: nm, gates: append(append([]circuit.Gate(nil), e.gates...), g.g)}
+				next = append(next, ne)
+				all = append(all, ne)
+				if len(all) == 24 {
+					break
+				}
+			}
+			if len(all) == 24 {
+				break
+			}
+		}
+		frontier = next
+	}
+	out := make([]clifford, len(all))
+	for i, e := range all {
+		out[i] = clifford{name: fmt.Sprintf("C%d", i), gates: e.gates}
+	}
+	return out
+}
+
+func realAbs(v complex128) float64 { return math.Hypot(real(v), imag(v)) }
+
+var cliffordGroup = buildCliffords()
+
+// NumCliffords1Q exposes the group size (24) for tests.
+func NumCliffords1Q() int { return len(cliffordGroup) }
+
+// RBResult is the outcome of a randomized-benchmarking run.
+type RBResult struct {
+	// Lengths and Survival are the decay-curve points.
+	Lengths  []int
+	Survival []float64
+	// DecayP is the fitted depolarizing parameter p.
+	DecayP float64
+	// AvgGateFidelity = 1 - (1-p)/2.
+	AvgGateFidelity float64
+}
+
+// RunRB performs single-qubit RB on physical qubit q of the device:
+// sequences of the given lengths, seqPerLen random sequences each, shots
+// measurements per sequence. The recovery gate is synthesized by inverting
+// the sequence gate-by-gate (each Clifford's inverse is its reversed
+// dagger — realized here by simulating and appending the exact inverse
+// sequence, which stays within the group).
+func RunRB(qpu *device.QPU, q int, lengths []int, seqPerLen, shots int, seed int64) (*RBResult, error) {
+	if q < 0 || q >= qpu.NumQubits() {
+		return nil, fmt.Errorf("calib: RB qubit %d out of range", q)
+	}
+	if len(lengths) < 2 {
+		return nil, fmt.Errorf("calib: RB needs >= 2 sequence lengths")
+	}
+	if seqPerLen < 1 || shots < 1 {
+		return nil, fmt.Errorf("calib: RB needs positive sequences and shots")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &RBResult{Lengths: append([]int(nil), lengths...)}
+	for _, m := range lengths {
+		if m < 1 {
+			return nil, fmt.Errorf("calib: RB length %d must be >= 1", m)
+		}
+		survive := 0.0
+		for s := 0; s < seqPerLen; s++ {
+			seq := make([]int, m)
+			for i := range seq {
+				seq[i] = rng.Intn(len(cliffordGroup))
+			}
+			c, err := rbCircuit(q, qpu.NumQubits(), seq)
+			if err != nil {
+				return nil, err
+			}
+			out, err := qpu.Execute(c, shots)
+			if err != nil {
+				return nil, fmt.Errorf("calib: RB length %d: %w", m, err)
+			}
+			bit := 1 << uint(q)
+			good := 0
+			for outcome, count := range out.Counts {
+				if outcome&bit == 0 {
+					good += count
+				}
+			}
+			survive += float64(good) / float64(shots)
+		}
+		res.Survival = append(res.Survival, survive/float64(seqPerLen))
+	}
+	res.DecayP = fitDecay(res.Lengths, res.Survival)
+	res.AvgGateFidelity = 1 - (1-res.DecayP)/2
+	return res, nil
+}
+
+// rbCircuit builds the native circuit for one RB sequence plus its inverse.
+func rbCircuit(q, numQubits int, seq []int) (*circuit.Circuit, error) {
+	logical := circuit.New(1, "rb")
+	for _, idx := range seq {
+		for _, g := range cliffordGroup[idx].gates {
+			if err := logical.AddGate(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Append the exact inverse: reversed sequence with each gate inverted
+	// (H† = H, S† = Sdg).
+	for i := len(logical.Gates) - 1; i >= 0; i-- {
+		g := logical.Gates[i]
+		inv := g
+		switch g.Name {
+		case circuit.OpH:
+			// self-inverse
+		case circuit.OpS:
+			inv = circuit.Gate{Name: circuit.OpSdag, Qubits: g.Qubits}
+		default:
+			return nil, fmt.Errorf("calib: unexpected RB generator %q", g.Name)
+		}
+		logical.Gates = append(logical.Gates, inv)
+	}
+	// Lower to native gates on the physical register, mapping logical
+	// qubit 0 to the chosen physical qubit via a trivial remap.
+	phys := circuit.New(numQubits, "rb-native")
+	for _, g := range logical.Gates {
+		ng := g
+		ng.Qubits = []int{q}
+		if err := phys.AddGate(ng); err != nil {
+			return nil, err
+		}
+	}
+	return lowerTo1QNative(phys)
+}
+
+// lowerTo1QNative rewrites H and S/Sdg into PRX/RZ without pulling in the
+// full transpiler (RB must not depend on placement decisions).
+func lowerTo1QNative(c *circuit.Circuit) (*circuit.Circuit, error) {
+	out := circuit.New(c.NumQubits, c.Name)
+	for _, g := range c.Gates {
+		q := g.Qubits[0]
+		switch g.Name {
+		case circuit.OpH:
+			out.RZ(q, math.Pi)
+			out.PRX(q, math.Pi/2, math.Pi/2)
+		case circuit.OpS:
+			out.RZ(q, math.Pi/2)
+		case circuit.OpSdag:
+			out.RZ(q, -math.Pi/2)
+		default:
+			return nil, fmt.Errorf("calib: cannot lower %q", g.Name)
+		}
+	}
+	return out, nil
+}
+
+// fitDecay fits survival = A·p^m + B with fixed A = 0.5, B = 0.5 (the
+// standard single-qubit asymptote) by least squares over log-transformed
+// points, falling back to a two-point estimate when the transform is
+// ill-conditioned.
+func fitDecay(lengths []int, survival []float64) float64 {
+	// Transform: y = (s - 0.5)/0.5 = p^m  ->  ln y = m ln p.
+	var sumXX, sumXY float64
+	count := 0
+	for i, m := range lengths {
+		y := (survival[i] - 0.5) / 0.5
+		if y <= 1e-6 {
+			continue
+		}
+		x := float64(m)
+		sumXX += x * x
+		sumXY += x * math.Log(y)
+		count++
+	}
+	if count < 2 || sumXX == 0 {
+		return 0
+	}
+	lnP := sumXY / sumXX
+	p := math.Exp(lnP)
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}

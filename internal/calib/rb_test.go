@@ -1,0 +1,105 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestCliffordGroupHas24Elements(t *testing.T) {
+	if got := NumCliffords1Q(); got != 24 {
+		t.Fatalf("Clifford group size = %d, want 24", got)
+	}
+}
+
+func TestRBCircuitIsIdentityIdeally(t *testing.T) {
+	// Any RB sequence + inverse must return |0> exactly on the twin.
+	twin := device.NewTwin20Q(1)
+	res, err := RunRB(twin, 3, []int{2, 8, 16}, 4, 200, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Survival {
+		if s != 1 {
+			t.Errorf("twin survival at length %d = %g, want exactly 1", res.Lengths[i], s)
+		}
+	}
+	if res.AvgGateFidelity < 0.9999 {
+		t.Errorf("twin RB fidelity = %g, want ~1", res.AvgGateFidelity)
+	}
+}
+
+func TestRBDecaysOnNoisyDevice(t *testing.T) {
+	qpu := device.New20Q(2)
+	res, err := RunRB(qpu, 0, []int{1, 4, 16, 32}, 6, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survival must decay with sequence length.
+	if res.Survival[0] <= res.Survival[len(res.Survival)-1] {
+		t.Errorf("no decay: survival %v", res.Survival)
+	}
+	// The fitted fidelity should land near the calibration record's F1Q
+	// (which folds in gate depolarizing + decoherence). Allow a loose band:
+	// RB sees PRX error plus T1/T2 during the sequence.
+	f1q := qpu.Calibration().Qubits[0].F1Q
+	if res.AvgGateFidelity < f1q-0.02 || res.AvgGateFidelity > 1 {
+		t.Errorf("RB fidelity %.5f vs calibration F1Q %.5f", res.AvgGateFidelity, f1q)
+	}
+}
+
+func TestRBDetectsDriftedQubit(t *testing.T) {
+	fresh := device.New20Q(3)
+	drifted := device.New20Q(3)
+	drifted.AdvanceDrift(24 * 45)
+	lengths := []int{1, 8, 24}
+	rf, err := RunRB(fresh, 0, lengths, 5, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := RunRB(drifted, 0, lengths, 5, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.AvgGateFidelity >= rf.AvgGateFidelity {
+		t.Errorf("drifted RB fidelity %.5f should be below fresh %.5f",
+			rd.AvgGateFidelity, rf.AvgGateFidelity)
+	}
+}
+
+func TestRunRBValidation(t *testing.T) {
+	qpu := device.New20Q(4)
+	if _, err := RunRB(qpu, -1, []int{1, 2}, 1, 10, 1); err == nil {
+		t.Error("bad qubit should fail")
+	}
+	if _, err := RunRB(qpu, 0, []int{4}, 1, 10, 1); err == nil {
+		t.Error("single length should fail")
+	}
+	if _, err := RunRB(qpu, 0, []int{1, 2}, 0, 10, 1); err == nil {
+		t.Error("0 sequences should fail")
+	}
+	if _, err := RunRB(qpu, 0, []int{0, 2}, 1, 10, 1); err == nil {
+		t.Error("0 length should fail")
+	}
+}
+
+func TestFitDecayExact(t *testing.T) {
+	// Synthetic exact decay p = 0.99.
+	p := 0.99
+	lengths := []int{1, 2, 4, 8, 16, 32}
+	survival := make([]float64, len(lengths))
+	for i, m := range lengths {
+		survival[i] = 0.5*math.Pow(p, float64(m)) + 0.5
+	}
+	got := fitDecay(lengths, survival)
+	if math.Abs(got-p) > 1e-6 {
+		t.Errorf("fitted p = %.6f, want %.2f", got, p)
+	}
+}
+
+func TestFitDecayDegenerate(t *testing.T) {
+	if fitDecay([]int{1, 2}, []float64{0.5, 0.5}) != 0 {
+		t.Error("all-asymptote data should fit p = 0")
+	}
+}

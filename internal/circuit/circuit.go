@@ -1,0 +1,307 @@
+// Package circuit defines the gate-level intermediate representation shared
+// by every layer of the stack: frontend adapters build Circuits, the
+// transpiler lowers them to the QPU's native gate set, the device executor
+// runs them, and the REST API serializes them. It is the Go equivalent of
+// the common IR the paper's MQSS uses to enable "homogeneous compilation
+// strategies across heterogeneous targets" (§2.6).
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Gate names understood by the IR. PRX, RZ and CZ form the native set of the
+// square-grid transmon QPU; the rest are frontend conveniences the
+// transpiler lowers.
+const (
+	OpH       = "h"
+	OpX       = "x"
+	OpY       = "y"
+	OpZ       = "z"
+	OpS       = "s"
+	OpSdag    = "sdg"
+	OpT       = "t"
+	OpTdag    = "tdg"
+	OpRX      = "rx"
+	OpRY      = "ry"
+	OpRZ      = "rz"
+	OpPRX     = "prx"
+	OpU3      = "u3" // generic single-qubit unitary U3(θ, φ, λ)
+	OpCZ      = "cz"
+	OpCNOT    = "cx"
+	OpSWAP    = "swap"
+	OpCRZ     = "crz" // controlled-RZ(θ)
+	OpCCX     = "ccx" // Toffoli
+	OpBarrier = "barrier"
+)
+
+// arity and parameter count per op.
+type opSpec struct {
+	qubits int
+	params int
+}
+
+var opSpecs = map[string]opSpec{
+	OpH: {1, 0}, OpX: {1, 0}, OpY: {1, 0}, OpZ: {1, 0},
+	OpS: {1, 0}, OpSdag: {1, 0}, OpT: {1, 0}, OpTdag: {1, 0},
+	OpRX: {1, 1}, OpRY: {1, 1}, OpRZ: {1, 1}, OpPRX: {1, 2}, OpU3: {1, 3},
+	OpCZ: {2, 0}, OpCNOT: {2, 0}, OpSWAP: {2, 0}, OpCRZ: {2, 1},
+	OpCCX:     {3, 0},
+	OpBarrier: {0, 0},
+}
+
+// KnownOp reports whether name is a gate the IR understands.
+func KnownOp(name string) bool {
+	_, ok := opSpecs[name]
+	return ok
+}
+
+// Gate is one operation in a circuit.
+type Gate struct {
+	Name   string    `json:"name"`
+	Qubits []int     `json:"qubits"`
+	Params []float64 `json:"params,omitempty"`
+}
+
+// Validate checks arity and parameter count.
+func (g Gate) Validate(numQubits int) error {
+	spec, ok := opSpecs[g.Name]
+	if !ok {
+		return fmt.Errorf("circuit: unknown gate %q", g.Name)
+	}
+	if g.Name == OpBarrier {
+		return nil // barrier may name any subset of qubits
+	}
+	if len(g.Qubits) != spec.qubits {
+		return fmt.Errorf("circuit: gate %q wants %d qubits, got %d", g.Name, spec.qubits, len(g.Qubits))
+	}
+	if len(g.Params) != spec.params {
+		return fmt.Errorf("circuit: gate %q wants %d params, got %d", g.Name, spec.params, len(g.Params))
+	}
+	seen := map[int]bool{}
+	for _, q := range g.Qubits {
+		if q < 0 || q >= numQubits {
+			return fmt.Errorf("circuit: gate %q qubit %d out of range [0, %d)", g.Name, q, numQubits)
+		}
+		if seen[q] {
+			return fmt.Errorf("circuit: gate %q uses qubit %d twice", g.Name, q)
+		}
+		seen[q] = true
+	}
+	return nil
+}
+
+func (g Gate) String() string {
+	var b strings.Builder
+	b.WriteString(g.Name)
+	if len(g.Params) > 0 {
+		b.WriteByte('(')
+		for i, p := range g.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", p)
+		}
+		b.WriteByte(')')
+	}
+	for i, q := range g.Qubits {
+		if i == 0 {
+			b.WriteByte(' ')
+		} else {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "q[%d]", q)
+	}
+	return b.String()
+}
+
+// Circuit is an ordered gate list over a fixed qubit register. Measurement
+// of all qubits in the Z basis is implicit at the end, matching the
+// histogram-of-bitstrings output format of §2.4.
+type Circuit struct {
+	Name      string `json:"name,omitempty"`
+	NumQubits int    `json:"num_qubits"`
+	Gates     []Gate `json:"gates"`
+}
+
+// New returns an empty circuit over n qubits.
+func New(n int, name string) *Circuit {
+	return &Circuit{Name: name, NumQubits: n}
+}
+
+// Validate checks every gate against the register size.
+func (c *Circuit) Validate() error {
+	if c.NumQubits < 1 {
+		return fmt.Errorf("circuit: register size %d must be >= 1", c.NumQubits)
+	}
+	for i, g := range c.Gates {
+		if err := g.Validate(c.NumQubits); err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Name: c.Name, NumQubits: c.NumQubits, Gates: make([]Gate, len(c.Gates))}
+	for i, g := range c.Gates {
+		ng := Gate{Name: g.Name, Qubits: append([]int(nil), g.Qubits...)}
+		if len(g.Params) > 0 {
+			ng.Params = append([]float64(nil), g.Params...)
+		}
+		out.Gates[i] = ng
+	}
+	return out
+}
+
+// append validates and adds a gate, panicking on programmer error — the
+// builder methods are meant for statically-correct construction; use
+// AddGate for data-driven paths.
+func (c *Circuit) append(g Gate) *Circuit {
+	if err := g.Validate(c.NumQubits); err != nil {
+		panic(err)
+	}
+	c.Gates = append(c.Gates, g)
+	return c
+}
+
+// AddGate validates and appends a gate, returning an error on bad input.
+func (c *Circuit) AddGate(g Gate) error {
+	if err := g.Validate(c.NumQubits); err != nil {
+		return err
+	}
+	c.Gates = append(c.Gates, g)
+	return nil
+}
+
+// Builder methods. Each returns the circuit for chaining.
+
+func (c *Circuit) H(q int) *Circuit    { return c.append(Gate{Name: OpH, Qubits: []int{q}}) }
+func (c *Circuit) X(q int) *Circuit    { return c.append(Gate{Name: OpX, Qubits: []int{q}}) }
+func (c *Circuit) Y(q int) *Circuit    { return c.append(Gate{Name: OpY, Qubits: []int{q}}) }
+func (c *Circuit) Z(q int) *Circuit    { return c.append(Gate{Name: OpZ, Qubits: []int{q}}) }
+func (c *Circuit) S(q int) *Circuit    { return c.append(Gate{Name: OpS, Qubits: []int{q}}) }
+func (c *Circuit) Sdag(q int) *Circuit { return c.append(Gate{Name: OpSdag, Qubits: []int{q}}) }
+func (c *Circuit) T(q int) *Circuit    { return c.append(Gate{Name: OpT, Qubits: []int{q}}) }
+func (c *Circuit) Tdag(q int) *Circuit { return c.append(Gate{Name: OpTdag, Qubits: []int{q}}) }
+
+func (c *Circuit) RX(q int, theta float64) *Circuit {
+	return c.append(Gate{Name: OpRX, Qubits: []int{q}, Params: []float64{theta}})
+}
+func (c *Circuit) RY(q int, theta float64) *Circuit {
+	return c.append(Gate{Name: OpRY, Qubits: []int{q}, Params: []float64{theta}})
+}
+func (c *Circuit) RZ(q int, theta float64) *Circuit {
+	return c.append(Gate{Name: OpRZ, Qubits: []int{q}, Params: []float64{theta}})
+}
+func (c *Circuit) PRX(q int, theta, phi float64) *Circuit {
+	return c.append(Gate{Name: OpPRX, Qubits: []int{q}, Params: []float64{theta, phi}})
+}
+func (c *Circuit) U3(q int, theta, phi, lambda float64) *Circuit {
+	return c.append(Gate{Name: OpU3, Qubits: []int{q}, Params: []float64{theta, phi, lambda}})
+}
+func (c *Circuit) CZ(a, b int) *Circuit { return c.append(Gate{Name: OpCZ, Qubits: []int{a, b}}) }
+func (c *Circuit) CRZ(control, target int, theta float64) *Circuit {
+	return c.append(Gate{Name: OpCRZ, Qubits: []int{control, target}, Params: []float64{theta}})
+}
+func (c *Circuit) CCX(c1, c2, target int) *Circuit {
+	return c.append(Gate{Name: OpCCX, Qubits: []int{c1, c2, target}})
+}
+func (c *Circuit) CNOT(control, target int) *Circuit {
+	return c.append(Gate{Name: OpCNOT, Qubits: []int{control, target}})
+}
+func (c *Circuit) SWAP(a, b int) *Circuit {
+	return c.append(Gate{Name: OpSWAP, Qubits: []int{a, b}})
+}
+func (c *Circuit) Barrier(qs ...int) *Circuit {
+	return c.append(Gate{Name: OpBarrier, Qubits: qs})
+}
+
+// GHZ builds the n-qubit GHZ preparation circuit used as the standardized
+// health check (§3.2).
+func GHZ(n int) *Circuit {
+	c := New(n, fmt.Sprintf("ghz-%d", n))
+	c.H(0)
+	for q := 1; q < n; q++ {
+		c.CNOT(q-1, q)
+	}
+	return c
+}
+
+// Depth returns the circuit depth: the number of layers when gates that act
+// on disjoint qubits are packed greedily. Barriers seal layers.
+func (c *Circuit) Depth() int {
+	level := make([]int, c.NumQubits)
+	depth := 0
+	barrier := 0
+	for _, g := range c.Gates {
+		if g.Name == OpBarrier {
+			barrier = depth
+			continue
+		}
+		l := barrier
+		for _, q := range g.Qubits {
+			if level[q] > l {
+				l = level[q]
+			}
+		}
+		l++
+		for _, q := range g.Qubits {
+			level[q] = l
+		}
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// CountOp returns how many gates named op the circuit contains.
+func (c *Circuit) CountOp(op string) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Name == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TwoQubitCount returns the number of two-qubit gates.
+func (c *Circuit) TwoQubitCount() int {
+	n := 0
+	for _, g := range c.Gates {
+		if len(g.Qubits) == 2 && g.Name != OpBarrier {
+			n++
+		}
+	}
+	return n
+}
+
+// IsNative reports whether the circuit only uses the native set
+// {PRX, RZ, CZ} (plus barriers).
+func (c *Circuit) IsNative() bool {
+	for _, g := range c.Gates {
+		switch g.Name {
+		case OpPRX, OpRZ, OpCZ, OpBarrier:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeAngle maps an angle into (-π, π].
+func normalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

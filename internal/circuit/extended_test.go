@@ -1,0 +1,120 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestU3SpecialCases(t *testing.T) {
+	// U3(θ, 0, 0) == RY(θ) exactly in our convention.
+	a := New(1, "").U3(0, 1.1, 0, 0)
+	b := New(1, "").RY(0, 1.1)
+	eq, err := a.EquivalentTo(b, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("U3(θ,0,0) != RY(θ)")
+	}
+	// U3(π, 0, π) == X up to global phase.
+	c := New(1, "").U3(0, math.Pi, 0, math.Pi)
+	d := New(1, "").X(0)
+	eq, err = c.EquivalentTo(d, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("U3(π,0,π) != X")
+	}
+}
+
+func TestCRZControlledBehaviour(t *testing.T) {
+	// Control |0>: CRZ acts trivially.
+	a := New(2, "").H(1).CRZ(0, 1, 1.3)
+	b := New(2, "").H(1)
+	eq, err := a.EquivalentTo(b, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("CRZ with control |0> should be identity")
+	}
+	// Control |1>: target picks up RZ(θ) (global phase differs by e^{iθ/2},
+	// absorbed by EquivalentTo).
+	c := New(2, "").X(0).H(1).CRZ(0, 1, 1.3)
+	d := New(2, "").X(0).H(1).RZ(1, 1.3)
+	eq, err = c.EquivalentTo(d, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("CRZ with control |1> should apply RZ to the target")
+	}
+}
+
+func TestToffoliTruthTable(t *testing.T) {
+	// CCX flips the target iff both controls are 1.
+	for input := 0; input < 8; input++ {
+		c := New(3, "")
+		for q := 0; q < 3; q++ {
+			if input&(1<<uint(q)) != 0 {
+				c.X(q)
+			}
+		}
+		c.CCX(0, 1, 2)
+		s, err := c.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := input
+		if input&0b011 == 0b011 {
+			want ^= 0b100
+		}
+		if p := s.Probability(want); math.Abs(p-1) > 1e-10 {
+			t.Errorf("CCX input %03b: P(%03b) = %g, want 1", input, want, p)
+		}
+	}
+}
+
+func TestToffoliOnSuperposition(t *testing.T) {
+	// CCX on (|00>+|11>)⊗|0> entangles the target with the controls.
+	c := New(3, "").H(0).CNOT(0, 1).CCX(0, 1, 2)
+	s, err := c.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Probability(0b000)-0.5) > 1e-10 {
+		t.Errorf("P(000) = %g", s.Probability(0b000))
+	}
+	if math.Abs(s.Probability(0b111)-0.5) > 1e-10 {
+		t.Errorf("P(111) = %g", s.Probability(0b111))
+	}
+}
+
+func TestCCXValidation(t *testing.T) {
+	g := Gate{Name: OpCCX, Qubits: []int{0, 0, 1}}
+	if err := g.Validate(3); err == nil {
+		t.Error("duplicate Toffoli qubits should fail validation")
+	}
+	g2 := Gate{Name: OpCCX, Qubits: []int{0, 1}}
+	if err := g2.Validate(3); err == nil {
+		t.Error("two-qubit Toffoli should fail validation")
+	}
+}
+
+func TestExtendedOpsQASMRoundTrip(t *testing.T) {
+	orig := New(3, "ext")
+	orig.U3(0, 0.5, 0.25, -0.75).CRZ(0, 1, 1.5).CCX(0, 1, 2)
+	parsed, err := ParseQASM(strings.NewReader(orig.ToQASM()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := orig.EquivalentTo(parsed, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("extended ops lost in QASM round trip")
+	}
+}

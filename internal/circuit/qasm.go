@@ -1,0 +1,206 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ToQASM renders the circuit as an OpenQASM-2-style program. Only the subset
+// needed for interchange is emitted: a single quantum register and the gate
+// vocabulary of this IR (prx is emitted as a non-standard named gate, which
+// ParseQASM accepts back).
+func (c *Circuit) ToQASM() string {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	if c.Name != "" {
+		fmt.Fprintf(&b, "// name: %s\n", c.Name)
+	}
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	for _, g := range c.Gates {
+		if g.Name == OpBarrier {
+			b.WriteString("barrier")
+			for i, q := range g.Qubits {
+				if i == 0 {
+					b.WriteByte(' ')
+				} else {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "q[%d]", q)
+			}
+			b.WriteString(";\n")
+			continue
+		}
+		b.WriteString(g.Name)
+		if len(g.Params) > 0 {
+			b.WriteByte('(')
+			for i, p := range g.Params {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.FormatFloat(p, 'g', 17, 64))
+			}
+			b.WriteByte(')')
+		}
+		b.WriteByte(' ')
+		for i, q := range g.Qubits {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "q[%d]", q)
+		}
+		b.WriteString(";\n")
+	}
+	return b.String()
+}
+
+// ParseQASM parses the QASM subset emitted by ToQASM. Supported statements:
+// OPENQASM version, include (ignored), qreg, barrier, and gate applications
+// with optional parenthesized parameters. Parameters may use "pi" and simple
+// fractions like pi/2 or -pi/4.
+func ParseQASM(r io.Reader) (*Circuit, error) {
+	scanner := bufio.NewScanner(r)
+	var c *Circuit
+	name := ""
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if strings.HasPrefix(line, "// name:") {
+			name = strings.TrimSpace(strings.TrimPrefix(line, "// name:"))
+			continue
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		// Statements may share a line; split on ';'.
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := parseStatement(stmt, &c, name); err != nil {
+				return nil, fmt.Errorf("circuit: qasm line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("circuit: reading qasm: %w", err)
+	}
+	if c == nil {
+		return nil, fmt.Errorf("circuit: qasm program has no qreg declaration")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseStatement(stmt string, c **Circuit, name string) error {
+	switch {
+	case strings.HasPrefix(stmt, "OPENQASM"), strings.HasPrefix(stmt, "include"),
+		strings.HasPrefix(stmt, "creg"), strings.HasPrefix(stmt, "measure"):
+		return nil
+	case strings.HasPrefix(stmt, "qreg"):
+		var n int
+		rest := strings.TrimSpace(strings.TrimPrefix(stmt, "qreg"))
+		if _, err := fmt.Sscanf(rest, "q[%d]", &n); err != nil {
+			return fmt.Errorf("bad qreg %q: %w", stmt, err)
+		}
+		if *c != nil {
+			return fmt.Errorf("multiple qreg declarations")
+		}
+		*c = New(n, name)
+		return nil
+	}
+	if *c == nil {
+		return fmt.Errorf("gate before qreg declaration: %q", stmt)
+	}
+	// Gate application: name[(params)] qargs
+	head := stmt
+	var params []float64
+	if i := strings.IndexByte(stmt, '('); i >= 0 {
+		j := strings.IndexByte(stmt, ')')
+		if j < i {
+			return fmt.Errorf("unbalanced parentheses in %q", stmt)
+		}
+		head = stmt[:i]
+		for _, p := range strings.Split(stmt[i+1:j], ",") {
+			v, err := parseAngle(strings.TrimSpace(p))
+			if err != nil {
+				return err
+			}
+			params = append(params, v)
+		}
+		head = head + " " + stmt[j+1:]
+	}
+	fields := strings.Fields(head)
+	if len(fields) < 1 {
+		return fmt.Errorf("empty statement")
+	}
+	op := fields[0]
+	if !KnownOp(op) {
+		return fmt.Errorf("unknown gate %q", op)
+	}
+	var qubits []int
+	if len(fields) > 1 {
+		for _, qa := range strings.Split(strings.Join(fields[1:], ""), ",") {
+			qa = strings.TrimSpace(qa)
+			if qa == "" {
+				continue
+			}
+			var q int
+			if _, err := fmt.Sscanf(qa, "q[%d]", &q); err != nil {
+				return fmt.Errorf("bad qubit argument %q: %w", qa, err)
+			}
+			qubits = append(qubits, q)
+		}
+	}
+	return (*c).AddGate(Gate{Name: op, Qubits: qubits, Params: params})
+}
+
+// parseAngle evaluates a numeric literal or a simple pi expression:
+// pi, -pi, pi/2, -pi/4, 2*pi, 3*pi/2.
+func parseAngle(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty parameter")
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	sign := 1.0
+	if strings.HasPrefix(s, "-") {
+		sign = -1
+		s = s[1:]
+	}
+	mult := 1.0
+	if i := strings.Index(s, "*pi"); i > 0 {
+		m, err := strconv.ParseFloat(s[:i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad pi multiplier in %q", s)
+		}
+		mult = m
+		s = "pi" + s[i+3:]
+	}
+	if !strings.HasPrefix(s, "pi") {
+		return 0, fmt.Errorf("cannot parse parameter %q", s)
+	}
+	rest := s[2:]
+	div := 1.0
+	if strings.HasPrefix(rest, "/") {
+		d, err := strconv.ParseFloat(rest[1:], 64)
+		if err != nil || d == 0 {
+			return 0, fmt.Errorf("bad pi divisor in %q", s)
+		}
+		div = d
+	} else if rest != "" {
+		return 0, fmt.Errorf("cannot parse parameter %q", s)
+	}
+	return sign * mult * math.Pi / div, nil
+}

@@ -1,0 +1,130 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQASMRoundTrip(t *testing.T) {
+	orig := New(4, "roundtrip")
+	orig.H(0).CNOT(0, 1).RZ(2, math.Pi/4).PRX(3, 1.25, -0.5).CZ(1, 3).SWAP(0, 2).Barrier(0, 1)
+	text := orig.ToQASM()
+	parsed, err := ParseQASM(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse failed: %v\n%s", err, text)
+	}
+	if parsed.Name != "roundtrip" {
+		t.Errorf("name = %q, want roundtrip", parsed.Name)
+	}
+	if parsed.NumQubits != 4 {
+		t.Errorf("qubits = %d, want 4", parsed.NumQubits)
+	}
+	if len(parsed.Gates) != len(orig.Gates) {
+		t.Fatalf("gate count %d, want %d", len(parsed.Gates), len(orig.Gates))
+	}
+	for i := range orig.Gates {
+		a, b := orig.Gates[i], parsed.Gates[i]
+		if a.Name != b.Name {
+			t.Errorf("gate %d name %q vs %q", i, a.Name, b.Name)
+		}
+		for j := range a.Params {
+			if math.Abs(a.Params[j]-b.Params[j]) > 1e-15 {
+				t.Errorf("gate %d param %d: %g vs %g", i, j, a.Params[j], b.Params[j])
+			}
+		}
+	}
+}
+
+func TestParseQASMHandWritten(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/2) q[2];
+rx(-pi/4) q[0]; ry(2*pi) q[1];
+measure q -> c;
+`
+	c, err := ParseQASM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 3 {
+		t.Errorf("qubits = %d", c.NumQubits)
+	}
+	if len(c.Gates) != 5 {
+		t.Fatalf("gates = %d, want 5", len(c.Gates))
+	}
+	if got := c.Gates[2].Params[0]; math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("rz param = %g, want pi/2", got)
+	}
+	if got := c.Gates[3].Params[0]; math.Abs(got+math.Pi/4) > 1e-12 {
+		t.Errorf("rx param = %g, want -pi/4", got)
+	}
+	if got := c.Gates[4].Params[0]; math.Abs(got-2*math.Pi) > 1e-12 {
+		t.Errorf("ry param = %g, want 2*pi", got)
+	}
+}
+
+func TestParseQASMErrors(t *testing.T) {
+	cases := map[string]string{
+		"no qreg":       "OPENQASM 2.0;\nh q[0];\n",
+		"empty":         "",
+		"unknown gate":  "qreg q[2];\nfoo q[0];\n",
+		"double qreg":   "qreg q[2];\nqreg q[3];\n",
+		"bad qubit":     "qreg q[2];\nh q[9];\n",
+		"bad param":     "qreg q[2];\nrz(banana) q[0];\n",
+		"bad qubit arg": "qreg q[2];\nh qubit0;\n",
+	}
+	for desc, src := range cases {
+		if _, err := ParseQASM(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse error", desc)
+		}
+	}
+}
+
+func TestParseQASMSemanticEquivalence(t *testing.T) {
+	orig := GHZ(5)
+	parsed, err := ParseQASM(strings.NewReader(orig.ToQASM()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := orig.EquivalentTo(parsed, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("parsed circuit not equivalent to original")
+	}
+}
+
+func TestParseAngleForms(t *testing.T) {
+	cases := map[string]float64{
+		"1.5":     1.5,
+		"pi":      math.Pi,
+		"-pi":     -math.Pi,
+		"pi/2":    math.Pi / 2,
+		"-pi/4":   -math.Pi / 4,
+		"2*pi":    2 * math.Pi,
+		"3*pi/2":  3 * math.Pi / 2,
+		"-2*pi/3": -2 * math.Pi / 3,
+		"0":       0,
+	}
+	for in, want := range cases {
+		got, err := parseAngle(in)
+		if err != nil {
+			t.Errorf("parseAngle(%q) error: %v", in, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("parseAngle(%q) = %g, want %g", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "pie", "pi/0", "x*pi", "pi2"} {
+		if _, err := parseAngle(bad); err == nil {
+			t.Errorf("parseAngle(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/quantum"
+)
+
+// Unitary1 returns the 2x2 matrix of a single-qubit gate.
+func Unitary1(g Gate) (quantum.Matrix2, error) {
+	switch g.Name {
+	case OpH:
+		return quantum.H, nil
+	case OpX:
+		return quantum.X, nil
+	case OpY:
+		return quantum.Y, nil
+	case OpZ:
+		return quantum.Z, nil
+	case OpS:
+		return quantum.S, nil
+	case OpSdag:
+		return quantum.Sdag, nil
+	case OpT:
+		return quantum.T, nil
+	case OpTdag:
+		return quantum.Tdag, nil
+	case OpRX:
+		return quantum.RX(g.Params[0]), nil
+	case OpRY:
+		return quantum.RY(g.Params[0]), nil
+	case OpRZ:
+		return quantum.RZ(g.Params[0]), nil
+	case OpPRX:
+		return quantum.PRX(g.Params[0], g.Params[1]), nil
+	case OpU3:
+		// U3(θ, φ, λ) = RZ(φ)·RY(θ)·RZ(λ), applied right to left.
+		return quantum.Mul2(quantum.RZ(g.Params[1]),
+			quantum.Mul2(quantum.RY(g.Params[0]), quantum.RZ(g.Params[2]))), nil
+	}
+	return quantum.Matrix2{}, fmt.Errorf("circuit: %q is not a single-qubit gate", g.Name)
+}
+
+// Unitary2 returns the 4x4 matrix of a two-qubit gate, over basis order with
+// the gate's first qubit as the low bit.
+func Unitary2(g Gate) (quantum.Matrix4, error) {
+	switch g.Name {
+	case OpCZ:
+		return quantum.CZ, nil
+	case OpCNOT:
+		// Control is the first listed qubit = low bit -> CNOT01.
+		return quantum.CNOT01, nil
+	case OpSWAP:
+		return quantum.SWAP, nil
+	case OpCRZ:
+		// Control is the first listed qubit = low bit: RZ(θ) on the target
+		// when the control is 1.
+		theta := g.Params[0]
+		return quantum.Matrix4{
+			{1, 0, 0, 0},
+			{0, quantum.Phase(-theta / 2), 0, 0},
+			{0, 0, 1, 0},
+			{0, 0, 0, quantum.Phase(theta / 2)},
+		}, nil
+	}
+	return quantum.Matrix4{}, fmt.Errorf("circuit: %q is not a two-qubit gate", g.Name)
+}
+
+// ApplyTo applies the circuit's gates, in order, to an existing state. The
+// state must have at least NumQubits qubits.
+func (c *Circuit) ApplyTo(s *quantum.State) error {
+	if s.NumQubits() < c.NumQubits {
+		return fmt.Errorf("circuit: state has %d qubits, circuit needs %d", s.NumQubits(), c.NumQubits)
+	}
+	for i, g := range c.Gates {
+		if g.Name == OpBarrier {
+			continue
+		}
+		switch len(g.Qubits) {
+		case 1:
+			m, err := Unitary1(g)
+			if err != nil {
+				return fmt.Errorf("gate %d: %w", i, err)
+			}
+			if err := s.Apply1Q(g.Qubits[0], m); err != nil {
+				return fmt.Errorf("gate %d: %w", i, err)
+			}
+		case 2:
+			m, err := Unitary2(g)
+			if err != nil {
+				return fmt.Errorf("gate %d: %w", i, err)
+			}
+			if err := s.Apply2Q(g.Qubits[0], g.Qubits[1], m); err != nil {
+				return fmt.Errorf("gate %d: %w", i, err)
+			}
+		case 3:
+			if g.Name != OpCCX {
+				return fmt.Errorf("gate %d: unsupported three-qubit gate %q", i, g.Name)
+			}
+			if err := s.ApplyToffoli(g.Qubits[0], g.Qubits[1], g.Qubits[2]); err != nil {
+				return fmt.Errorf("gate %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("gate %d: unsupported arity %d", i, len(g.Qubits))
+		}
+	}
+	return nil
+}
+
+// Simulate runs the circuit on |0...0> and returns the final state — the
+// ideal, noiseless "digital twin" execution path (§4).
+func (c *Circuit) Simulate() (*quantum.State, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := quantum.NewState(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.ApplyTo(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EquivalentTo reports whether two circuits implement the same state map on
+// |0..0> within tolerance, up to global phase — the transpiler's correctness
+// criterion. (State fidelity on the all-zeros input is not a full unitary
+// equivalence check, but combined with randomized input tests it is the
+// standard practical criterion.)
+func (c *Circuit) EquivalentTo(other *Circuit, tol float64) (bool, error) {
+	if c.NumQubits != other.NumQubits {
+		return false, fmt.Errorf("circuit: register sizes differ (%d vs %d)", c.NumQubits, other.NumQubits)
+	}
+	a, err := c.Simulate()
+	if err != nil {
+		return false, err
+	}
+	b, err := other.Simulate()
+	if err != nil {
+		return false, err
+	}
+	f, err := a.Fidelity(b)
+	if err != nil {
+		return false, err
+	}
+	return f > 1-tol, nil
+}

@@ -1,0 +1,291 @@
+// Package core wires every subsystem into the paper's contribution: a
+// co-located, loosely-integrated HPC+QC center. A Center owns the facility
+// (power, cooling water), the cryogenic plant, the 20-qubit QPU with its
+// calibration lifecycle, the DCDB-style telemetry store, the QDMI device
+// handle, the batch scheduler with the QPU as a resource, the QRM, and the
+// MQSS client/REST layer. Commissioning follows the paper's sequence: site
+// survey (§2.1) → installation and cooldown (§2.5) → calibration and
+// benchmark verification (§3.2) → user operations (§4).
+package core
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/calib"
+	"repro/internal/cryo"
+	"repro/internal/device"
+	"repro/internal/facility"
+	"repro/internal/hpc"
+	"repro/internal/mqss"
+	"repro/internal/qdmi"
+	"repro/internal/qrm"
+	"repro/internal/telemetry"
+)
+
+// Phase tracks the center's lifecycle.
+type Phase int
+
+const (
+	PhaseSiteSelection Phase = iota
+	PhaseInstallation
+	PhaseCommissioning
+	PhaseOperational
+	PhaseOutage
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseSiteSelection:
+		return "site-selection"
+	case PhaseInstallation:
+		return "installation"
+	case PhaseCommissioning:
+		return "commissioning"
+	case PhaseOperational:
+		return "operational"
+	case PhaseOutage:
+		return "outage"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Config parameterizes a center.
+type Config struct {
+	Seed int64
+	// Nodes is the classical cluster size.
+	Nodes int
+	// Redundant enables redundant power and cooling (lesson 3).
+	Redundant bool
+	// DigitalTwin builds the center around the noiseless emulator.
+	DigitalTwin bool
+}
+
+// Center is the integrated HPC+QC installation.
+type Center struct {
+	cfg   Config
+	phase Phase
+	site  *facility.Report
+
+	Power  *facility.PowerSystem
+	Water  *facility.CoolingWater
+	Cryo   *cryo.Cryostat
+	QPU    *device.QPU
+	QDMI   *qdmi.Device
+	Store  *telemetry.Store
+	Poll   *telemetry.Poller
+	HPC    *hpc.Scheduler
+	QRM    *qrm.Manager
+	Policy *calib.Policy
+
+	simTime float64 // seconds
+}
+
+// New builds a center in the site-selection phase.
+func New(cfg Config) (*Center, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 64
+	}
+	sched, err := hpc.NewScheduler(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	var popts []facility.PowerOption
+	if cfg.Redundant {
+		popts = append(popts, facility.WithRedundantFeed(), facility.WithUPS(4*3600))
+	}
+	var qpu *device.QPU
+	if cfg.DigitalTwin {
+		qpu = device.NewTwin20Q(cfg.Seed)
+	} else {
+		qpu = device.New20Q(cfg.Seed)
+	}
+	store := telemetry.NewStore(0)
+	dev := qdmi.NewDevice(qpu, store)
+	poller := telemetry.NewPoller(store)
+	poller.Register(dev)
+
+	c := &Center{
+		cfg:    cfg,
+		phase:  PhaseSiteSelection,
+		Power:  facility.NewPowerSystem(popts...),
+		Water:  facility.NewCoolingWater(18, cfg.Redundant),
+		Cryo:   cryo.NewWarm(), // delivered warm, in crates (§2.5)
+		QPU:    qpu,
+		QDMI:   dev,
+		Store:  store,
+		Poll:   poller,
+		HPC:    sched,
+		QRM:    qrm.NewManager(dev),
+		Policy: calib.DefaultPolicy(),
+	}
+	// The QPU is not a schedulable resource until commissioned.
+	c.HPC.SetQPUOnline(false)
+	c.QRM.SetOnline(false)
+
+	// Register facility collectors so DCDB sees cryo and power data (Fig 3).
+	poller.Register(telemetry.FuncCollector{
+		Name: "cryo-plant",
+		Fn: func() map[string]float64 {
+			return map[string]float64{
+				"mxc_temp_k":   c.Cryo.QPUTemperature(),
+				"stage4k_k":    c.Cryo.Temperature(cryo.Stage4K),
+				"ln2_liters":   c.Cryo.LN2Level(),
+				"power_kw":     c.Cryo.PowerDrawKW(),
+				"water_temp_c": c.Water.Temperature(),
+			}
+		},
+	})
+	return c, nil
+}
+
+// Phase returns the current lifecycle phase.
+func (c *Center) Phase() Phase { return c.phase }
+
+// SiteReport returns the accepted survey (nil before SelectSite).
+func (c *Center) SiteReport() *facility.Report { return c.site }
+
+// SelectSite surveys the candidates and commits to the best one. It fails
+// if no candidate passes — the paper's process requires an accepted site
+// before installation.
+func (c *Center) SelectSite(candidates []facility.Site, cfg facility.SurveyConfig) (*facility.Report, error) {
+	if c.phase != PhaseSiteSelection {
+		return nil, fmt.Errorf("core: site selection already done (phase %s)", c.phase)
+	}
+	reports, err := facility.RankSites(candidates, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("core: no candidate sites")
+	}
+	best := reports[0]
+	if !best.Accepted {
+		return best, fmt.Errorf("core: no candidate site passes the Table 1 criteria (best: %s with %d failures)",
+			best.Site, best.FailureCount())
+	}
+	c.site = best
+	c.phase = PhaseInstallation
+	return best, nil
+}
+
+// Install starts the cooldown: the multi-day physical installation has
+// finished and active cooling begins. Returns an error if the facility
+// cannot support cooling.
+func (c *Center) Install() error {
+	if c.phase != PhaseInstallation {
+		return fmt.Errorf("core: cannot install in phase %s", c.phase)
+	}
+	if !c.Power.Powered() {
+		return fmt.Errorf("core: no electrical power")
+	}
+	if !c.Water.Healthy() || !c.Water.InWindow() {
+		return fmt.Errorf("core: cooling water unavailable or out of the 15-25 °C window")
+	}
+	c.Cryo.SetCooling(cryo.CoolingOn)
+	c.phase = PhaseCommissioning
+	return nil
+}
+
+// Advance moves the whole center forward by dt seconds: facility dynamics,
+// cryogenics, drift, scheduler, telemetry. It also executes the
+// commissioning transition (base temperature reached → calibrate → online)
+// and outage handling (§3.5).
+func (c *Center) Advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	c.simTime += dt
+	c.Power.Advance(dt)
+	c.Water.Advance(dt)
+
+	coolingOK := c.Power.Powered() && c.Water.Healthy() && c.Water.InWindow()
+	if coolingOK && c.phase != PhaseSiteSelection && c.phase != PhaseInstallation {
+		c.Cryo.SetCooling(cryo.CoolingOn)
+	} else if !coolingOK {
+		c.Cryo.SetCooling(cryo.CoolingOff)
+	}
+	wasSafe := c.Cryo.CalibrationSafe()
+	c.Cryo.Advance(dt)
+	c.QPU.AdvanceDrift(dt / 3600)
+	c.Policy.Advance(dt / 3600)
+	c.HPC.Advance(dt)
+	c.QRM.SetTime(c.simTime)
+	c.Poll.Poll(c.simTime)
+
+	switch c.phase {
+	case PhaseCommissioning:
+		if c.Cryo.AtBase() {
+			// §3.2: full calibration + benchmark verification, then online.
+			c.QPU.Recalibrate(true)
+			c.Policy.Ran(calib.ProcedureFull)
+			c.phase = PhaseOperational
+			c.HPC.SetQPUOnline(true)
+			c.QRM.SetOnline(true)
+		}
+	case PhaseOperational:
+		if !coolingOK || !c.Cryo.AtBase() {
+			c.phase = PhaseOutage
+			c.HPC.SetQPUOnline(false)
+			c.QRM.SetOnline(false)
+		} else {
+			proc := c.Policy.Decide(c.QPU.Calibration().AgeHours, nil)
+			if proc != calib.ProcedureNone {
+				c.QPU.Recalibrate(proc == calib.ProcedureFull)
+				c.Policy.Ran(proc)
+			}
+		}
+	case PhaseOutage:
+		if coolingOK && c.Cryo.AtBase() {
+			// §3.5 recovery: below 1 K the calibration state survives and
+			// the automated system restores it; above 1 K a full
+			// recalibration is required.
+			full := !wasSafe || !c.Cryo.CalibrationSafe()
+			c.QPU.Recalibrate(full)
+			if full {
+				c.Policy.Ran(calib.ProcedureFull)
+			}
+			c.phase = PhaseOperational
+			c.HPC.SetQPUOnline(true)
+			c.QRM.SetOnline(true)
+		}
+	}
+}
+
+// Operational reports whether the QPU is serving jobs.
+func (c *Center) Operational() bool { return c.phase == PhaseOperational }
+
+// LocalClient returns the in-HPC accelerator client.
+func (c *Center) LocalClient() *mqss.Client { return mqss.NewLocalClient(c.QRM) }
+
+// RESTHandler returns the HTTP handler exposing this center's stack.
+func (c *Center) RESTHandler() http.Handler { return mqss.NewServer(c.QRM, c.QDMI) }
+
+// RunHealthCheck executes the §3.2 GHZ ladder.
+func (c *Center) RunHealthCheck(sizes []int, shots int) (*calib.HealthCheck, error) {
+	if !c.Operational() {
+		return nil, fmt.Errorf("core: center not operational (phase %s)", c.phase)
+	}
+	return calib.RunHealthCheck(c.QDMI, sizes, shots)
+}
+
+// CommissionFast runs the full commissioning sequence with an accelerated
+// clock (hourly steps) and returns the days the cooldown took. Intended for
+// examples and tests; production advancing happens via Advance.
+func (c *Center) CommissionFast(candidates []facility.Site, scfg facility.SurveyConfig) (float64, error) {
+	if _, err := c.SelectSite(candidates, scfg); err != nil {
+		return 0, err
+	}
+	if err := c.Install(); err != nil {
+		return 0, err
+	}
+	hours := 0.0
+	for !c.Operational() {
+		c.Advance(3600)
+		hours++
+		if hours > 24*14 {
+			return hours / 24, fmt.Errorf("core: commissioning did not converge in 14 days")
+		}
+	}
+	return hours / 24, nil
+}

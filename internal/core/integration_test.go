@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/hybrid"
+	"repro/internal/qrm"
+)
+
+// End-to-end integration: a VQE loop through the full center stack — the
+// tightly-coupled accelerator mode that §2.6 motivates. Every energy
+// evaluation is a quantum job that flows client → QRM → JIT transpile →
+// device, exactly as a production hybrid workflow would.
+func TestVQEThroughCenterStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	c := commissioned(t, Config{Seed: 20, DigitalTwin: true})
+	runner := hybrid.RunnerFunc(func(cc *circuit.Circuit, shots int) (map[int]int, error) {
+		job, err := c.LocalClient().Run(qrm.Request{Circuit: cc, Shots: shots, User: "vqe"})
+		if err != nil {
+			return nil, err
+		}
+		// Map physical outcomes back to logical qubits.
+		logical := make(map[int]int, len(job.Counts))
+		for outcome, count := range job.Counts {
+			l := 0
+			for i, p := range job.Layout {
+				if outcome&(1<<uint(p)) != 0 {
+					l |= 1 << uint(i)
+				}
+			}
+			logical[l] += count
+		}
+		return logical, nil
+	})
+	ansatz, np := hybrid.HardwareEfficientAnsatz(2, 1)
+	v := &hybrid.VQE{
+		Hamiltonian: hybrid.H2Molecule(),
+		Ansatz:      ansatz,
+		Runner:      runner,
+		Shots:       2000,
+		Optimizer:   hybrid.DefaultSPSA(150, 5),
+	}
+	initial := make([]float64, np)
+	for i := range initial {
+		initial[i] = 0.1 * float64(i+1)
+	}
+	res, err := v.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := hybrid.H2GroundStateEnergy()
+	if math.Abs(res.Value-exact) > 0.15 {
+		t.Errorf("stack VQE energy %.4f, want within 0.15 of %.4f", res.Value, exact)
+	}
+	// The QRM saw every energy evaluation as jobs.
+	page, err := c.QRM.History("vqe", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total < res.Evaluations {
+		t.Errorf("QRM recorded %d jobs for %d evaluations", page.Total, res.Evaluations)
+	}
+}
+
+// Hybrid co-scheduling: the batch scheduler runs a classical job and a
+// QPU-needing job concurrently, and calibration reservations block the QPU
+// resource while classical work continues (§3.2 scheduling control).
+func TestHybridCoSchedulingWithCalibrationSlot(t *testing.T) {
+	c := commissioned(t, Config{Seed: 21, DigitalTwin: true, Nodes: 8})
+	now := c.HPC.Now()
+	// Book the 100-minute full-calibration slot an hour from now.
+	if _, err := c.HPC.Reserve("weekly-full-calibration", now+3600, 100*60, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	idClassical, err := c.HPC.Submit("cfd-run", 4, false, 4*3600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idHybrid, err := c.HPC.Submit("vqe-sweep", 2, true, 30*60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.HPC.Advance(60)
+	jc, _ := c.HPC.Job(idClassical)
+	jh, _ := c.HPC.Job(idHybrid)
+	if jc.State != 1 || jh.State != 1 { // JobRunning
+		t.Fatalf("both jobs should start immediately: classical=%v hybrid=%v", jc.State, jh.State)
+	}
+	// A second hybrid job submitted during the calibration window waits.
+	c.HPC.Advance(3600) // into the calibration slot; first hybrid done
+	idLate, err := c.HPC.Submit("late-hybrid", 1, true, 600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.HPC.Advance(600)
+	late, _ := c.HPC.Job(idLate)
+	if late.State != 0 { // JobQueued
+		t.Errorf("hybrid job during calibration slot = %v, want queued", late.State)
+	}
+	c.HPC.Advance(100 * 60)
+	late, _ = c.HPC.Job(idLate)
+	if late.State == 0 {
+		t.Error("hybrid job should start after the calibration slot")
+	}
+}
+
+// The §4 batch + pagination workflow through the REST layer is covered in
+// internal/mqss; here we confirm the center's QRM enforces the offline gate
+// during an outage end to end.
+func TestJobsRejectedDuringOutage(t *testing.T) {
+	c := commissioned(t, Config{Seed: 22, DigitalTwin: true})
+	c.Power.Feeds()[0].Fail()
+	for i := 0; i < 4; i++ {
+		c.Advance(3600)
+	}
+	if c.Phase() != PhaseOutage {
+		t.Fatalf("phase = %s", c.Phase())
+	}
+	_, err := c.LocalClient().Run(qrm.Request{Circuit: circuit.GHZ(3), Shots: 10, User: "x"})
+	if err == nil {
+		t.Error("job submission during outage should fail")
+	}
+}

@@ -1,0 +1,315 @@
+// Package cryo models the cryogenic plant of the superconducting quantum
+// computer: the dilution-refrigerator cryostat with its tiered temperature
+// stages (the "chandelier", Fig. 1), the gas handling system with its turbo
+// pumps, the helium compressor, vacuum integrity, liquid-nitrogen
+// consumption (§3.3), and the electrical power profile (§2.2).
+//
+// The model is a lumped-parameter thermal simulation tuned to reproduce the
+// operational facts the paper reports: ~10 mK base temperature, roughly two
+// minutes from a cooling fault to the QPU exceeding 1 K, cooldowns from warm
+// taking two to five days depending on the starting temperature (§3.5), and
+// a 30 kW peak electrical draw during cooldown (§2.2).
+package cryo
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Stage identifies one temperature stage of the chandelier.
+type Stage int
+
+const (
+	Stage50K   Stage = iota // first pulse-tube stage
+	Stage4K                 // second pulse-tube stage
+	StageStill              // still, ~800 mK
+	StageMXC                // mixing chamber, holds the QPU at ~10 mK
+	numStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case Stage50K:
+		return "50K"
+	case Stage4K:
+		return "4K"
+	case StageStill:
+		return "still"
+	case StageMXC:
+		return "MXC"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Nominal operating temperatures per stage, kelvin.
+var nominalK = [numStages]float64{50, 4, 0.8, 0.010}
+
+// Temperature landmarks from the paper (§3.5).
+const (
+	BaseTempK          = 0.010 // 10 mK operating point
+	CalibSafeTempK     = 1.0   // below this, calibration state survives
+	RecalReadyTempK    = 0.100 // below 100 mK recalibration can begin
+	AmbientTempK       = 295.0 // warm cryostat
+	TimeToExceed1KSecs = 120.0 // ~2 minutes after a cooling fault
+)
+
+// CoolingState describes whether active cooling is available to the cryostat.
+type CoolingState int
+
+const (
+	CoolingOn CoolingState = iota
+	CoolingOff
+)
+
+// Cryostat is the lumped thermal model. All temperatures in kelvin, time in
+// seconds. Methods are safe for concurrent use.
+type Cryostat struct {
+	mu sync.Mutex
+
+	temps   [numStages]float64
+	cooling CoolingState
+
+	// vacuumOK tracks cryostat vacuum integrity. Vacuum survives outages
+	// for weeks unless the system is opened (§3.5); we expose an explicit
+	// Vent for maintenance scenarios and a slow degradation clock.
+	vacuumOK    bool
+	ventedSince float64 // simulation time when vented; -1 if sealed
+	simTime     float64
+	vacuumHoldS float64 // how long the sealed vacuum survives without pumps
+
+	// Liquid nitrogen inventory for the cold trap (§3.3: ~10 L/week).
+	ln2Liters   float64
+	ln2UseLPS   float64 // litres per second consumption
+	ln2Capacity float64
+}
+
+// New returns a cryostat cold at base temperature, cooling on, vacuum intact,
+// with a full LN2 trap.
+func New() *Cryostat {
+	c := &Cryostat{
+		cooling:     CoolingOn,
+		vacuumOK:    true,
+		ventedSince: -1,
+		vacuumHoldS: 14 * 24 * 3600, // two weeks, "several weeks" lower bound
+		ln2Capacity: 20,
+		ln2Liters:   20,
+		ln2UseLPS:   10.0 / (7 * 24 * 3600), // 10 L/week
+	}
+	c.temps = nominalK
+	return c
+}
+
+// NewWarm returns a cryostat at ambient temperature with cooling off, as
+// delivered after installation (§2.5) or after a long outage.
+func NewWarm() *Cryostat {
+	c := New()
+	for i := range c.temps {
+		c.temps[i] = AmbientTempK
+	}
+	c.cooling = CoolingOff
+	return c
+}
+
+// Temperature returns the temperature of a stage in kelvin.
+func (c *Cryostat) Temperature(s Stage) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.temps[s]
+}
+
+// QPUTemperature returns the mixing-chamber (QPU) temperature in kelvin.
+func (c *Cryostat) QPUTemperature() float64 { return c.Temperature(StageMXC) }
+
+// AtBase reports whether the QPU is at its 10 mK operating point (within 20%).
+func (c *Cryostat) AtBase() bool {
+	return c.QPUTemperature() <= BaseTempK*1.2
+}
+
+// CalibrationSafe reports whether the QPU has stayed cold enough (< 1 K) for
+// the stored calibration state to remain approximately valid (§3.5).
+func (c *Cryostat) CalibrationSafe() bool {
+	return c.QPUTemperature() < CalibSafeTempK
+}
+
+// SetCooling turns active cooling on or off. Cooling requires the facility to
+// provide power and in-window cooling water; the caller (the center model)
+// enforces that and calls SetCooling accordingly.
+func (c *Cryostat) SetCooling(s CoolingState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cooling = s
+}
+
+// Cooling returns the present cooling state.
+func (c *Cryostat) Cooling() CoolingState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cooling
+}
+
+// VacuumOK reports whether the inner vacuum is intact.
+func (c *Cryostat) VacuumOK() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vacuumOK
+}
+
+// Vent deliberately breaks the vacuum (system opened or moved, §3.5).
+// Recovering requires Seal followed by a full cooldown.
+func (c *Cryostat) Vent() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vacuumOK = false
+	c.ventedSince = c.simTime
+}
+
+// Seal restores vacuum integrity after maintenance (pump-down is assumed to
+// be part of the subsequent cooldown).
+func (c *Cryostat) Seal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vacuumOK = true
+	c.ventedSince = -1
+}
+
+// LN2Level returns the cold-trap liquid nitrogen level in litres.
+func (c *Cryostat) LN2Level() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ln2Liters
+}
+
+// RefillLN2 tops the trap up to capacity and returns the litres added — the
+// weekly ~10 L hands-on task from §3.3.
+func (c *Cryostat) RefillLN2() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := c.ln2Capacity - c.ln2Liters
+	c.ln2Liters = c.ln2Capacity
+	return added
+}
+
+// Thermal time constants, chosen so the paper's operational timelines hold.
+//
+// Warm-up: after a cooling fault the MXC has tiny heat capacity and parasitic
+// heat leaks drive it above 1 K in ~2 minutes; the upper stages warm much
+// more slowly (days to reach ambient).
+//
+// Cooldown: pulling the full thermal mass from 295 K to base takes 2–5 days.
+// We model each stage as first-order relaxation toward its target with a
+// stage-dependent time constant that grows for colder stages, plus a
+// condensation threshold: the MXC cannot drop below 4 K until the 4K stage
+// is at temperature (mixture condensation), which produces the long tail.
+var (
+	// warmupTau: seconds for each stage to relax toward ambient with
+	// cooling off.
+	// The MXC constant of 200 s puts the 10 mK → 1 K crossing at ~118 s
+	// after a cooling fault, matching the paper's "two minutes".
+	warmupTau = [numStages]float64{36 * 3600, 18 * 3600, 3600, 200}
+	// cooldownTau: seconds for each stage to relax toward nominal with
+	// cooling on.
+	cooldownTau = [numStages]float64{14 * 3600, 20 * 3600, 8 * 3600, 6 * 3600}
+)
+
+// Advance steps the thermal model by dt seconds.
+func (c *Cryostat) Advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.simTime += dt
+
+	// LN2 boils off continuously while the system is cold.
+	if c.temps[Stage4K] < 100 {
+		c.ln2Liters -= c.ln2UseLPS * dt
+		if c.ln2Liters < 0 {
+			c.ln2Liters = 0
+		}
+	}
+
+	// Vacuum slowly degrades once the cryostat has been vented long enough
+	// (or if left warm without pumping for longer than vacuumHoldS we treat
+	// the seal as still intact — the paper says weeks of integrity).
+	// A vented cryostat stays vented until sealed.
+
+	// Sub-step the integration so the stiff MXC dynamics stay accurate even
+	// for large dt (the operations simulation advances in minutes-hours).
+	const maxStep = 10.0
+	remaining := dt
+	for remaining > 0 {
+		h := math.Min(maxStep, remaining)
+		remaining -= h
+		c.step(h)
+	}
+}
+
+// step advances one small time increment h.
+func (c *Cryostat) step(h float64) {
+	if c.cooling == CoolingOn && c.vacuumOK {
+		for s := Stage(0); s < numStages; s++ {
+			target := nominalK[s]
+			if s == StageMXC && c.temps[Stage4K] > 5 {
+				// Mixture cannot condense until the 4K plate is cold.
+				target = math.Max(4.2, nominalK[s])
+			}
+			if s == StageStill && c.temps[Stage4K] > 5 {
+				target = math.Max(4.2, nominalK[s])
+			}
+			// Exponential approach in log-temperature space for the cold
+			// stages, which matches the long 1/T tail of real cooldowns.
+			c.temps[s] = relaxLog(c.temps[s], target, h/cooldownTau[s])
+		}
+		return
+	}
+	// Cooling off (or vacuum soft): stages drift toward ambient.
+	for s := Stage(0); s < numStages; s++ {
+		tau := warmupTau[s]
+		if !c.vacuumOK {
+			tau /= 8 // convective heat load once vacuum is lost
+		}
+		c.temps[s] = relaxLog(c.temps[s], AmbientTempK, h/tau)
+	}
+}
+
+// relaxLog relaxes current toward target with normalized step x, operating on
+// log-temperature so cooldown curves have the realistic slow tail and warmup
+// from 10 mK through 1 K is fast (small heat capacity at low T).
+func relaxLog(current, target, x float64) float64 {
+	if x <= 0 {
+		return current
+	}
+	if x > 1 {
+		x = 1
+	}
+	lc, lt := math.Log(current), math.Log(target)
+	return math.Exp(lc + (lt-lc)*x)
+}
+
+// PowerDrawKW returns the present electrical draw of the cryogenic plant plus
+// control electronics, in kW (§2.2): ~30 kW peak during cooldown (compressor
+// flat out), settling to a lower steady-state figure at base temperature.
+func (c *Cryostat) PowerDrawKW() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	const (
+		electronicsKW = 4.0  // room-temperature control electronics
+		steadyCryoKW  = 12.0 // compressor + GHS at base
+		peakCryoKW    = 26.0 // compressor + GHS during cooldown
+	)
+	if c.cooling == CoolingOff {
+		return electronicsKW
+	}
+	// Interpolate between peak and steady based on how far the 4K stage is
+	// from its set point (log scale).
+	t := c.temps[Stage4K]
+	frac := math.Log(math.Max(t, 4)/4) / math.Log(AmbientTempK/4)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return electronicsKW + steadyCryoKW + (peakCryoKW-steadyCryoKW)*frac
+}

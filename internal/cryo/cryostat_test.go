@@ -1,0 +1,242 @@
+package cryo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewIsAtBase(t *testing.T) {
+	c := New()
+	if !c.AtBase() {
+		t.Errorf("fresh cryostat QPU at %.4f K, want ~0.010 K", c.QPUTemperature())
+	}
+	if !c.CalibrationSafe() {
+		t.Error("cold cryostat should be calibration-safe")
+	}
+	if !c.VacuumOK() {
+		t.Error("fresh cryostat should have vacuum")
+	}
+	if c.Cooling() != CoolingOn {
+		t.Error("fresh cryostat should be cooling")
+	}
+}
+
+func TestNewWarmStartsAmbient(t *testing.T) {
+	c := NewWarm()
+	if got := c.QPUTemperature(); math.Abs(got-AmbientTempK) > 1 {
+		t.Errorf("warm cryostat at %.1f K, want ~%.0f K", got, AmbientTempK)
+	}
+	if c.AtBase() || c.CalibrationSafe() {
+		t.Error("warm cryostat must not be at base or calibration-safe")
+	}
+}
+
+// The paper: "it takes two minutes to exceed this temperature [1 K] after a
+// fault in the cooling system."
+func TestCoolingFaultExceedsOneKelvinInAboutTwoMinutes(t *testing.T) {
+	c := New()
+	c.SetCooling(CoolingOff)
+	elapsed := 0.0
+	for c.QPUTemperature() < CalibSafeTempK {
+		c.Advance(5)
+		elapsed += 5
+		if elapsed > 600 {
+			t.Fatalf("QPU still below 1 K after 10 min (%.3f K)", c.QPUTemperature())
+		}
+	}
+	if elapsed < 60 || elapsed > 240 {
+		t.Errorf("1 K crossing at %.0f s, want within 60-240 s (paper: ~120 s)", elapsed)
+	}
+}
+
+// The paper: cooldown from warm takes two to five days.
+func TestFullCooldownTakesTwoToFiveDays(t *testing.T) {
+	c := NewWarm()
+	c.SetCooling(CoolingOn)
+	const hour = 3600.0
+	days := 0.0
+	for !c.AtBase() {
+		c.Advance(hour)
+		days += 1.0 / 24
+		if days > 7 {
+			t.Fatalf("not at base after 7 days (QPU %.3f K)", c.QPUTemperature())
+		}
+	}
+	if days < 2 || days > 5 {
+		t.Errorf("cooldown took %.1f days, want 2-5 (paper)", days)
+	}
+}
+
+// Recovery from a small excursion (below ~4 K) is hours, not days (§3.5).
+func TestSmallExcursionRecoversFast(t *testing.T) {
+	c := New()
+	c.SetCooling(CoolingOff)
+	c.Advance(180) // brief fault: QPU climbs past 1 K but stays cold overall
+	tempAfterFault := c.QPUTemperature()
+	if tempAfterFault < CalibSafeTempK {
+		t.Fatalf("fault too short to be interesting: %.3f K", tempAfterFault)
+	}
+	c.SetCooling(CoolingOn)
+	elapsed := 0.0
+	for c.QPUTemperature() > RecalReadyTempK {
+		c.Advance(600)
+		elapsed += 600
+		if elapsed > 48*3600 {
+			t.Fatalf("recovery from small excursion took >48 h (%.3f K)", c.QPUTemperature())
+		}
+	}
+	if elapsed > 24*3600 {
+		t.Errorf("recovery took %.1f h, want well under a day", elapsed/3600)
+	}
+}
+
+func TestCalibrationSafetyThreshold(t *testing.T) {
+	c := New()
+	c.SetCooling(CoolingOff)
+	c.Advance(60) // under the ~118 s crossing
+	if !c.CalibrationSafe() {
+		t.Errorf("at %.3f K (60 s) calibration should still be safe", c.QPUTemperature())
+	}
+	c.Advance(600)
+	if c.CalibrationSafe() {
+		t.Errorf("at %.3f K (11 min) calibration should be lost", c.QPUTemperature())
+	}
+}
+
+func TestVentBreaksVacuumAndWarmsFaster(t *testing.T) {
+	a := New()
+	b := New()
+	a.SetCooling(CoolingOff)
+	b.SetCooling(CoolingOff)
+	b.Vent()
+	if b.VacuumOK() {
+		t.Fatal("vented cryostat should report vacuum loss")
+	}
+	a.Advance(3600)
+	b.Advance(3600)
+	if b.Temperature(Stage4K) <= a.Temperature(Stage4K) {
+		t.Errorf("vented cryostat should warm faster: vented %.1f K vs sealed %.1f K",
+			b.Temperature(Stage4K), a.Temperature(Stage4K))
+	}
+	b.Seal()
+	if !b.VacuumOK() {
+		t.Error("Seal should restore vacuum")
+	}
+}
+
+func TestVacuumLossPreventsCooling(t *testing.T) {
+	c := New()
+	c.Vent()
+	// Cooling on but no vacuum: the system must warm, not hold base.
+	c.Advance(4 * 3600)
+	if c.AtBase() {
+		t.Errorf("cryostat without vacuum held base temperature (%.3f K)", c.QPUTemperature())
+	}
+}
+
+func TestLN2ConsumptionAboutTenLitersPerWeek(t *testing.T) {
+	c := New()
+	start := c.LN2Level()
+	c.Advance(7 * 24 * 3600)
+	used := start - c.LN2Level()
+	if math.Abs(used-10) > 0.5 {
+		t.Errorf("weekly LN2 use = %.2f L, want ~10 L (paper §3.3)", used)
+	}
+	added := c.RefillLN2()
+	if math.Abs(added-used) > 1e-9 {
+		t.Errorf("refill added %.2f L, want %.2f", added, used)
+	}
+	if c.LN2Level() != 20 {
+		t.Errorf("refill should return to capacity, got %.2f", c.LN2Level())
+	}
+}
+
+func TestLN2DoesNotGoNegative(t *testing.T) {
+	c := New()
+	c.Advance(365 * 24 * 3600)
+	if c.LN2Level() < 0 {
+		t.Errorf("LN2 level went negative: %g", c.LN2Level())
+	}
+}
+
+func TestLN2NotConsumedWhenWarm(t *testing.T) {
+	c := NewWarm()
+	start := c.LN2Level()
+	c.Advance(7 * 24 * 3600)
+	if c.LN2Level() != start {
+		t.Error("warm cryostat should not boil off LN2")
+	}
+}
+
+// §2.2: peak power ~30 kW during cooldown, lower at steady state.
+func TestPowerProfile(t *testing.T) {
+	warm := NewWarm()
+	warm.SetCooling(CoolingOn)
+	peak := warm.PowerDrawKW()
+	if peak < 25 || peak > 32 {
+		t.Errorf("cooldown power %.1f kW, want ~30", peak)
+	}
+	cold := New()
+	steady := cold.PowerDrawKW()
+	if steady >= peak {
+		t.Errorf("steady power %.1f kW should be below cooldown peak %.1f kW", steady, peak)
+	}
+	if steady < 10 || steady > 20 {
+		t.Errorf("steady power %.1f kW, want 10-20 kW", steady)
+	}
+	off := New()
+	off.SetCooling(CoolingOff)
+	if p := off.PowerDrawKW(); p >= steady {
+		t.Errorf("cooling-off power %.1f kW should be below steady %.1f kW", p, steady)
+	}
+}
+
+func TestPowerStaysUnderHPCCabinetEnvelope(t *testing.T) {
+	// §2.2: Cray EX4000 cabinet draws up to ~140 kW; the QC must be far
+	// below that for existing centers to host it without electrical work.
+	const crayCabinetKW = 140.0
+	warm := NewWarm()
+	warm.SetCooling(CoolingOn)
+	for i := 0; i < 100; i++ {
+		if p := warm.PowerDrawKW(); p > crayCabinetKW/4 {
+			t.Fatalf("QC power %.1f kW exceeds a quarter of a Cray cabinet", p)
+		}
+		warm.Advance(3600)
+	}
+}
+
+func TestAdvanceZeroOrNegativeIsNoop(t *testing.T) {
+	c := New()
+	before := c.QPUTemperature()
+	c.Advance(0)
+	c.Advance(-5)
+	if c.QPUTemperature() != before {
+		t.Error("Advance(<=0) should not change state")
+	}
+}
+
+func TestStageStringNames(t *testing.T) {
+	names := map[Stage]string{Stage50K: "50K", Stage4K: "4K", StageStill: "still", StageMXC: "MXC"}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+	if got := Stage(99).String(); got != "stage(99)" {
+		t.Errorf("unknown stage string = %q", got)
+	}
+}
+
+func TestMonotonicCooldown(t *testing.T) {
+	c := NewWarm()
+	c.SetCooling(CoolingOn)
+	prev := c.QPUTemperature()
+	for i := 0; i < 200; i++ {
+		c.Advance(1800)
+		cur := c.QPUTemperature()
+		if cur > prev+1e-9 {
+			t.Fatalf("QPU temperature rose during cooldown: %.4f -> %.4f K", prev, cur)
+		}
+		prev = cur
+	}
+}

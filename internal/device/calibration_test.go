@@ -1,0 +1,192 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFreshCalibrationInFigure4Band(t *testing.T) {
+	topo := SquareGrid(4, 5)
+	c := NewFreshCalibration(topo, 1)
+	if got := c.MeanF1Q(); got < 0.998 || got > 0.9999 {
+		t.Errorf("fresh F1Q = %.5f, want ~0.999", got)
+	}
+	if got := c.MeanFReadout(); got < 0.97 || got > 0.995 {
+		t.Errorf("fresh Freadout = %.5f, want ~0.98", got)
+	}
+	if got := c.MeanFCZ(); got < 0.985 || got > 0.998 {
+		t.Errorf("fresh FCZ = %.5f, want ~0.99", got)
+	}
+	if len(c.Qubits) != 20 || len(c.Couplers) != 31 {
+		t.Errorf("record sizes: %d qubits, %d couplers", len(c.Qubits), len(c.Couplers))
+	}
+	for q, qc := range c.Qubits {
+		if qc.T2 > 2*qc.T1+1e-9 {
+			t.Errorf("qubit %d violates T2 <= 2*T1: T1=%g T2=%g", q, qc.T1, qc.T2)
+		}
+	}
+}
+
+func TestCalibrationCloneIsDeep(t *testing.T) {
+	topo := SquareGrid(2, 2)
+	c := NewFreshCalibration(topo, 2)
+	cl := c.Clone()
+	cl.Qubits[0].F1Q = 0.5
+	for e := range cl.Couplers {
+		cc := cl.Couplers[e]
+		cc.FCZ = 0.5
+		cl.Couplers[e] = cc
+		break
+	}
+	if c.Qubits[0].F1Q == 0.5 {
+		t.Error("clone shares qubit slice")
+	}
+	bad := 0
+	for _, cc := range c.Couplers {
+		if cc.FCZ == 0.5 {
+			bad++
+		}
+	}
+	if bad != 0 {
+		t.Error("clone shares coupler map")
+	}
+}
+
+func TestDriftDegradesFidelity(t *testing.T) {
+	topo := SquareGrid(4, 5)
+	c := NewFreshCalibration(topo, 3)
+	d := NewDriftModel(4)
+	f0 := c.MeanF1Q()
+	cz0 := c.MeanFCZ()
+	for i := 0; i < 72; i++ { // three days, hourly
+		d.Advance(c, 1)
+	}
+	if c.AgeHours != 72 {
+		t.Errorf("age = %g h, want 72", c.AgeHours)
+	}
+	if c.MeanF1Q() >= f0 {
+		t.Errorf("F1Q did not degrade: %.5f -> %.5f", f0, c.MeanF1Q())
+	}
+	if c.MeanFCZ() >= cz0 {
+		t.Errorf("FCZ did not degrade: %.5f -> %.5f", cz0, c.MeanFCZ())
+	}
+	// Degradation over 3 days should be visible but not catastrophic.
+	if c.MeanF1Q() < 0.99 {
+		t.Errorf("F1Q collapsed to %.5f after 3 days", c.MeanF1Q())
+	}
+}
+
+func TestDriftAdvanceZeroIsNoop(t *testing.T) {
+	topo := SquareGrid(2, 2)
+	c := NewFreshCalibration(topo, 5)
+	d := NewDriftModel(6)
+	f0 := c.MeanF1Q()
+	d.Advance(c, 0)
+	d.Advance(c, -1)
+	if c.MeanF1Q() != f0 || c.AgeHours != 0 {
+		t.Error("zero/negative advance changed the record")
+	}
+}
+
+func TestFullRecalibrationRestoresFreshBand(t *testing.T) {
+	topo := SquareGrid(4, 5)
+	c := NewFreshCalibration(topo, 7)
+	d := NewDriftModel(8)
+	for i := 0; i < 24*14; i++ { // two weeks of drift
+		d.Advance(c, 1)
+	}
+	degraded := c.MeanF1Q()
+	d.Recalibrate(c, topo, true, 99)
+	if c.MeanF1Q() <= degraded {
+		t.Error("full recalibration did not improve F1Q")
+	}
+	if c.MeanF1Q() < 0.998 {
+		t.Errorf("full recalibration reached only %.5f", c.MeanF1Q())
+	}
+	if c.AgeHours != 0 {
+		t.Errorf("age after recalibration = %g", c.AgeHours)
+	}
+}
+
+func TestQuickRecalibrationIsWorseThanFull(t *testing.T) {
+	topo := SquareGrid(4, 5)
+	d := NewDriftModel(10)
+	cQuick := NewFreshCalibration(topo, 9)
+	cFull := NewFreshCalibration(topo, 9)
+	for i := 0; i < 48; i++ {
+		d.Advance(cQuick, 1)
+	}
+	d2 := NewDriftModel(10)
+	for i := 0; i < 48; i++ {
+		d2.Advance(cFull, 1)
+	}
+	d.Recalibrate(cQuick, topo, false, 42)
+	d2.Recalibrate(cFull, topo, true, 42)
+	if cQuick.MeanF1Q() >= cFull.MeanF1Q() {
+		t.Errorf("quick F1Q %.5f should be below full %.5f", cQuick.MeanF1Q(), cFull.MeanF1Q())
+	}
+	if cQuick.MeanFCZ() >= cFull.MeanFCZ() {
+		t.Errorf("quick FCZ %.5f should be below full %.5f", cQuick.MeanFCZ(), cFull.MeanFCZ())
+	}
+}
+
+func TestTLSEventsOccurAndRecover(t *testing.T) {
+	topo := SquareGrid(4, 5)
+	c := NewFreshCalibration(topo, 11)
+	d := NewDriftModel(12)
+	// At ~1 hit per qubit per 40 days, 20 qubits see ~15 hits in 30 days.
+	sawHit := false
+	for day := 0; day < 30; day++ {
+		d.Advance(c, 24)
+		if d.ActiveTLSCount() > 0 {
+			sawHit = true
+		}
+	}
+	if !sawHit {
+		t.Error("no TLS event in 30 simulated days (rate too low or broken)")
+	}
+}
+
+func TestWorstQubitsSorted(t *testing.T) {
+	topo := SquareGrid(4, 5)
+	c := NewFreshCalibration(topo, 13)
+	c.Qubits[7].F1Q = 0.9
+	order := c.WorstQubits()
+	if order[0] != 7 {
+		t.Errorf("worst qubit = %d, want 7", order[0])
+	}
+	for i := 1; i < len(order); i++ {
+		if c.Qubits[order[i-1]].F1Q > c.Qubits[order[i]].F1Q {
+			t.Fatal("WorstQubits not sorted ascending")
+		}
+	}
+}
+
+func TestFCZUnknownEdgeIsZero(t *testing.T) {
+	topo := SquareGrid(2, 2)
+	c := NewFreshCalibration(topo, 14)
+	if got := c.FCZ(0, 3); got != 0 {
+		t.Errorf("diagonal FCZ = %g, want 0", got)
+	}
+	if got := c.FCZ(0, 1); got <= 0 {
+		t.Error("edge FCZ should be positive")
+	}
+	if c.FCZ(0, 1) != c.FCZ(1, 0) {
+		t.Error("FCZ should be symmetric")
+	}
+}
+
+func TestDriftDeterministicForSeed(t *testing.T) {
+	topo := SquareGrid(4, 5)
+	run := func() float64 {
+		c := NewFreshCalibration(topo, 20)
+		d := NewDriftModel(21)
+		for i := 0; i < 100; i++ {
+			d.Advance(c, 1)
+		}
+		return c.MeanF1Q()
+	}
+	if a, b := run(), run(); math.Abs(a-b) > 1e-15 {
+		t.Errorf("drift not deterministic: %.10f vs %.10f", a, b)
+	}
+}

@@ -1,0 +1,383 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/quantum"
+)
+
+// Gate durations of the transmon QPU, microseconds. The 300 µs passive
+// reset dominating shot duration is the figure behind the paper's §2.4
+// bandwidth estimate.
+const (
+	PRXDurationUs     = 0.02 // 20 ns single-qubit gate
+	CZDurationUs      = 0.04 // 40 ns two-qubit gate
+	ReadoutDurationUs = 1.5
+	ResetDurationUs   = 300.0
+)
+
+// QPU is the device: a topology plus a live calibration record and the
+// drift process that ages it. It executes native circuits with
+// calibration-derived noise, or noiselessly in digital-twin mode.
+type QPU struct {
+	mu sync.Mutex
+
+	name  string
+	topo  *Topology
+	calib *Calibration
+	drift *DriftModel
+	rng   *rand.Rand
+
+	// twin disables all noise — the emulator used for onboarding (§4).
+	twin bool
+
+	executedShots int64
+	executedJobs  int64
+}
+
+// Config configures a QPU.
+type Config struct {
+	Name       string
+	Rows, Cols int
+	Seed       int64
+	// DigitalTwin makes execution noiseless.
+	DigitalTwin bool
+}
+
+// New20Q returns the paper's device: a 4x5 square-grid 20-qubit QPU.
+func New20Q(seed int64) *QPU {
+	q, err := New(Config{Name: "garnet-20", Rows: 4, Cols: 5, Seed: seed})
+	if err != nil {
+		panic(err) // static configuration cannot fail
+	}
+	return q
+}
+
+// NewTwin20Q returns the noiseless digital twin of the 20-qubit device.
+func NewTwin20Q(seed int64) *QPU {
+	q, err := New(Config{Name: "garnet-20-twin", Rows: 4, Cols: 5, Seed: seed, DigitalTwin: true})
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// New builds a QPU from a config.
+func New(cfg Config) (*QPU, error) {
+	if cfg.Rows < 1 || cfg.Cols < 1 {
+		return nil, fmt.Errorf("device: grid %dx%d invalid", cfg.Rows, cfg.Cols)
+	}
+	if cfg.Rows*cfg.Cols > quantum.MaxQubits {
+		return nil, fmt.Errorf("device: %d qubits exceeds simulator limit %d", cfg.Rows*cfg.Cols, quantum.MaxQubits)
+	}
+	topo := SquareGrid(cfg.Rows, cfg.Cols)
+	return &QPU{
+		name:  cfg.Name,
+		topo:  topo,
+		calib: NewFreshCalibration(topo, cfg.Seed),
+		drift: NewDriftModel(cfg.Seed + 1),
+		rng:   rand.New(rand.NewSource(cfg.Seed + 2)),
+		twin:  cfg.DigitalTwin,
+	}, nil
+}
+
+// Name returns the device name.
+func (d *QPU) Name() string { return d.name }
+
+// NumQubits returns the number of physical qubits.
+func (d *QPU) NumQubits() int { return d.topo.NumQubits() }
+
+// Topology returns the coupling graph.
+func (d *QPU) Topology() *Topology { return d.topo }
+
+// IsTwin reports whether this device is the noiseless digital twin.
+func (d *QPU) IsTwin() bool { return d.twin }
+
+// Calibration returns a snapshot copy of the live calibration record.
+func (d *QPU) Calibration() *Calibration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calib.Clone()
+}
+
+// AdvanceDrift ages the device by dtHours of simulated time.
+func (d *QPU) AdvanceDrift(dtHours float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.drift.Advance(d.calib, dtHours)
+}
+
+// Recalibrate runs the quick or full calibration procedure (§3.2) and
+// returns its duration in minutes: 40 for quick, 100 for full.
+func (d *QPU) Recalibrate(full bool) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.drift.Recalibrate(d.calib, d.topo, full, d.rng.Int63())
+	if full {
+		return 100
+	}
+	return 40
+}
+
+// ActiveTLSCount exposes the number of qubits currently degraded by a TLS
+// defect (visible to telemetry).
+func (d *QPU) ActiveTLSCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.drift.ActiveTLSCount()
+}
+
+// Counters returns lifetime executed job and shot counts.
+func (d *QPU) Counters() (jobs, shots int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.executedJobs, d.executedShots
+}
+
+// Result is the outcome of executing a circuit.
+type Result struct {
+	// Counts histograms measured bitstrings: basis index -> occurrences
+	// (the dominant §2.4 output format).
+	Counts map[int]int
+	// Shots is the number of repetitions executed.
+	Shots int
+	// DurationUs is the estimated wall-clock time on the control
+	// electronics, dominated by the passive reset (§2.4).
+	DurationUs float64
+}
+
+// Execute runs a native circuit for the given number of shots. The circuit
+// must already be transpiled: only PRX, RZ, CZ and barriers are accepted
+// (callers go through the QRM, whose JIT compiler guarantees this).
+// Noise model per shot (trajectory method):
+//   - every PRX applies depolarizing(1-F1Q) on its qubit;
+//   - every CZ applies depolarizing((1-FCZ)/2) on both qubits — CZ must act
+//     on a connected coupler pair;
+//   - RZ is virtual (frame update): error-free and duration-free;
+//   - after each gate layer, idle qubits accumulate T1/T2 decoherence for
+//     the gate duration;
+//   - measured bits flip through the per-qubit readout confusion model.
+func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
+	if shots < 1 {
+		return nil, fmt.Errorf("device: shots must be >= 1, got %d", shots)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.NumQubits > d.topo.NumQubits() {
+		return nil, fmt.Errorf("device: circuit needs %d qubits, device has %d", c.NumQubits, d.topo.NumQubits())
+	}
+	if !c.IsNative() {
+		return nil, fmt.Errorf("device: circuit %q contains non-native gates; transpile first", c.Name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Validate CZ connectivity once.
+	for i, g := range c.Gates {
+		if g.Name == circuit.OpCZ && !d.topo.Connected(g.Qubits[0], g.Qubits[1]) {
+			return nil, fmt.Errorf("device: gate %d: no coupler between qubits %d and %d", i, g.Qubits[0], g.Qubits[1])
+		}
+	}
+
+	// Compact the register: only qubits the circuit touches need amplitudes.
+	// A routed 5-qubit GHZ lives on a 20-qubit physical register, but
+	// simulating 2^20 amplitudes per shot would be a 4000x waste; untouched
+	// qubits stay |0> and only see readout noise. The compact circuit is
+	// semantically identical — outcomes are re-expanded to physical bit
+	// positions before readout corruption.
+	compact, toPhysical, err := compactCircuit(c)
+	if err != nil {
+		return nil, err
+	}
+
+	counts := make(map[int]int)
+	var readout *quantum.ReadoutModel
+	if !d.twin {
+		readout = d.readoutModel(c.NumQubits)
+	}
+	for shot := 0; shot < shots; shot++ {
+		var outcome int
+		if compact != nil {
+			st, err := quantum.NewState(compact.NumQubits)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.runShot(st, compact, toPhysical); err != nil {
+				return nil, err
+			}
+			sampled := st.SampleBitstrings(1, d.rng)[0]
+			for i, p := range toPhysical {
+				if sampled&(1<<uint(i)) != 0 {
+					outcome |= 1 << uint(p)
+				}
+			}
+		}
+		if readout != nil {
+			outcome = readout.Corrupt(outcome, d.rng)
+		}
+		counts[outcome]++
+	}
+	d.executedJobs++
+	d.executedShots += int64(shots)
+	dur := d.estimateDurationUs(c, shots)
+	return &Result{Counts: counts, Shots: shots, DurationUs: dur}, nil
+}
+
+// compactCircuit rewrites c onto a register containing only the qubits it
+// touches. It returns the compact circuit and the compact→physical index
+// map, or (nil, nil) when the circuit touches no qubits.
+func compactCircuit(c *circuit.Circuit) (*circuit.Circuit, []int, error) {
+	used := map[int]bool{}
+	for _, g := range c.Gates {
+		if g.Name == circuit.OpBarrier {
+			continue
+		}
+		for _, q := range g.Qubits {
+			used[q] = true
+		}
+	}
+	if len(used) == 0 {
+		return nil, nil, nil
+	}
+	toPhysical := make([]int, 0, len(used))
+	for q := 0; q < c.NumQubits; q++ {
+		if used[q] {
+			toPhysical = append(toPhysical, q)
+		}
+	}
+	toCompact := make(map[int]int, len(toPhysical))
+	for i, p := range toPhysical {
+		toCompact[p] = i
+	}
+	out := circuit.New(len(toPhysical), c.Name)
+	for _, g := range c.Gates {
+		if g.Name == circuit.OpBarrier {
+			continue // barriers carry no execution semantics here
+		}
+		ng := g
+		ng.Qubits = make([]int, len(g.Qubits))
+		for i, q := range g.Qubits {
+			ng.Qubits[i] = toCompact[q]
+		}
+		if err := out.AddGate(ng); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, toPhysical, nil
+}
+
+// runShot applies the compact circuit with trajectory noise onto st.
+// toPhysical maps compact indices back to physical qubits so calibration
+// parameters are looked up for the right hardware elements.
+func (d *QPU) runShot(st *quantum.State, c *circuit.Circuit, toPhysical []int) error {
+	for _, g := range c.Gates {
+		switch g.Name {
+		case circuit.OpBarrier:
+			continue
+		case circuit.OpRZ:
+			if err := st.Apply1Q(g.Qubits[0], quantum.RZ(g.Params[0])); err != nil {
+				return err
+			}
+			// Virtual: no noise, no duration.
+		case circuit.OpPRX:
+			q := g.Qubits[0]
+			if err := st.Apply1Q(q, quantum.PRX(g.Params[0], g.Params[1])); err != nil {
+				return err
+			}
+			if !d.twin {
+				pq := toPhysical[q]
+				if err := d.applyGateNoise(st, q, pq, 1-d.calib.Qubits[pq].F1Q, PRXDurationUs); err != nil {
+					return err
+				}
+			}
+		case circuit.OpCZ:
+			a, b := g.Qubits[0], g.Qubits[1]
+			if err := st.Apply2Q(a, b, quantum.CZ); err != nil {
+				return err
+			}
+			if !d.twin {
+				pa, pb := toPhysical[a], toPhysical[b]
+				errRate := (1 - d.calib.FCZ(pa, pb)) / 2
+				if err := d.applyGateNoise(st, a, pa, errRate, CZDurationUs); err != nil {
+					return err
+				}
+				if err := d.applyGateNoise(st, b, pb, errRate, CZDurationUs); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("device: non-native gate %q reached executor", g.Name)
+		}
+	}
+	return nil
+}
+
+// applyGateNoise adds depolarizing gate error plus T1/T2 decoherence for the
+// gate duration: q is the compact state index, physQ the hardware qubit the
+// calibration parameters belong to.
+func (d *QPU) applyGateNoise(st *quantum.State, q, physQ int, errRate, durUs float64) error {
+	if errRate > 0 {
+		if err := st.ApplyChannel(q, quantum.Depolarizing(errRate), d.rng); err != nil {
+			return err
+		}
+	}
+	qc := d.calib.Qubits[physQ]
+	gamma := 1 - math.Exp(-durUs/qc.T1)
+	if err := st.ApplyChannel(q, quantum.AmplitudeDamping(gamma), d.rng); err != nil {
+		return err
+	}
+	// Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
+	tphiInv := 1/qc.T2 - 1/(2*qc.T1)
+	if tphiInv > 0 {
+		lambda := 1 - math.Exp(-durUs*tphiInv)
+		if err := st.ApplyChannel(q, quantum.PhaseDamping(lambda), d.rng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readoutModel builds the classical confusion model from the calibration.
+func (d *QPU) readoutModel(n int) *quantum.ReadoutModel {
+	p10 := make([]float64, n)
+	p01 := make([]float64, n)
+	for q := 0; q < n; q++ {
+		eps := 1 - d.calib.Qubits[q].FReadout
+		// Asymmetric split: |1> readout is worse (relaxation during readout).
+		p10[q] = eps * 0.8
+		p01[q] = eps * 1.2
+	}
+	return &quantum.ReadoutModel{P10: p10, P01: p01}
+}
+
+// estimateDurationUs estimates total execution time: per shot, the passive
+// reset dominates (300 µs), plus gate time and readout.
+func (d *QPU) estimateDurationUs(c *circuit.Circuit, shots int) float64 {
+	gateUs := 0.0
+	for _, g := range c.Gates {
+		switch g.Name {
+		case circuit.OpPRX:
+			gateUs += PRXDurationUs
+		case circuit.OpCZ:
+			gateUs += CZDurationUs
+		}
+	}
+	return float64(shots) * (ResetDurationUs + gateUs + ReadoutDurationUs)
+}
+
+// GHZFidelityEstimate executes a transpiled GHZ circuit and returns the
+// population-based GHZ fidelity proxy: P(all zeros) + P(all ones). The
+// calibration health checks (§3.2) use this as the live benchmark number.
+func GHZPopulationFidelity(res *Result, numQubits int) float64 {
+	if res.Shots == 0 {
+		return 0
+	}
+	allOnes := (1 << uint(numQubits)) - 1
+	good := res.Counts[0] + res.Counts[allOnes]
+	return float64(good) / float64(res.Shots)
+}

@@ -1,0 +1,202 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// nativeGHZLine builds a native-gate GHZ preparation along the grid's first
+// row qubits 0..n-1 (line connectivity), avoiding the transpiler dependency:
+// H = RZ(pi) then PRX(pi/2, pi/2); CNOT(c,t) = H(t) CZ(c,t) H(t).
+func nativeGHZLine(n int) *circuit.Circuit {
+	c := circuit.New(n, "native-ghz")
+	h := func(q int) {
+		c.RZ(q, math.Pi)
+		c.PRX(q, math.Pi/2, math.Pi/2)
+	}
+	h(0)
+	for q := 1; q < n; q++ {
+		h(q)
+		c.CZ(q-1, q)
+		h(q)
+	}
+	return c
+}
+
+func TestNativeGHZIsCorrectIdeally(t *testing.T) {
+	s, err := nativeGHZLine(4).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := s.Probability(0) + s.Probability(15); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("native GHZ construction wrong: P(ends) = %g", f)
+	}
+}
+
+func TestTwinExecutesNoiselessly(t *testing.T) {
+	twin := NewTwin20Q(1)
+	if !twin.IsTwin() {
+		t.Fatal("twin flag lost")
+	}
+	res, err := twin.Execute(nativeGHZLine(5), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := GHZPopulationFidelity(res, 5); f != 1 {
+		t.Errorf("twin GHZ population fidelity = %g, want exactly 1", f)
+	}
+	if len(res.Counts) != 2 {
+		t.Errorf("twin GHZ outcomes = %d distinct, want 2", len(res.Counts))
+	}
+}
+
+func TestNoisyExecutionDegradesGHZ(t *testing.T) {
+	qpu := New20Q(2)
+	res, err := qpu.Execute(nativeGHZLine(5), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := GHZPopulationFidelity(res, 5)
+	if f >= 1 {
+		t.Error("noisy execution should not be perfect")
+	}
+	if f < 0.75 {
+		t.Errorf("fresh calibration GHZ-5 fidelity %.3f unreasonably low", f)
+	}
+}
+
+func TestDriftedDeviceIsWorse(t *testing.T) {
+	fresh := New20Q(3)
+	drifted := New20Q(3)
+	drifted.AdvanceDrift(24 * 21) // three weeks without recalibration
+	shots := 1500
+	rf, err := fresh.Execute(nativeGHZLine(5), shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := drifted.Execute(nativeGHZLine(5), shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := GHZPopulationFidelity(rf, 5)
+	fd := GHZPopulationFidelity(rd, 5)
+	if fd >= ff {
+		t.Errorf("drifted fidelity %.3f should be below fresh %.3f", fd, ff)
+	}
+}
+
+func TestRecalibrationRestoresPerformance(t *testing.T) {
+	qpu := New20Q(4)
+	qpu.AdvanceDrift(24 * 21)
+	before := qpu.Calibration().MeanF1Q()
+	mins := qpu.Recalibrate(true)
+	if mins != 100 {
+		t.Errorf("full recalibration duration = %g min, want 100", mins)
+	}
+	after := qpu.Calibration().MeanF1Q()
+	if after <= before {
+		t.Errorf("recalibration did not improve F1Q: %.5f -> %.5f", before, after)
+	}
+	if quick := qpu.Recalibrate(false); quick != 40 {
+		t.Errorf("quick recalibration duration = %g min, want 40", quick)
+	}
+}
+
+func TestExecuteRejectsNonNative(t *testing.T) {
+	qpu := New20Q(5)
+	if _, err := qpu.Execute(circuit.GHZ(3), 10); err == nil {
+		t.Error("expected rejection of non-native circuit")
+	}
+}
+
+func TestExecuteRejectsDisconnectedCZ(t *testing.T) {
+	qpu := New20Q(6)
+	c := circuit.New(20, "bad-cz")
+	c.CZ(0, 19) // opposite corners: no coupler
+	if _, err := qpu.Execute(c, 10); err == nil {
+		t.Error("expected rejection of CZ on non-adjacent qubits")
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	qpu := New20Q(7)
+	c := circuit.New(2, "ok").PRX(0, 1, 0)
+	if _, err := qpu.Execute(c, 0); err == nil {
+		t.Error("expected error for 0 shots")
+	}
+	big := circuit.New(25, "big").PRX(0, 1, 0)
+	if _, err := qpu.Execute(big, 10); err == nil {
+		t.Error("expected error for oversized circuit")
+	}
+}
+
+func TestExecuteCountsConserveShots(t *testing.T) {
+	qpu := New20Q(8)
+	res, err := qpu.Execute(nativeGHZLine(3), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != 500 {
+		t.Errorf("histogram total = %d, want 500", total)
+	}
+}
+
+func TestDurationDominatedByReset(t *testing.T) {
+	qpu := New20Q(9)
+	res, err := qpu.Execute(nativeGHZLine(3), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShot := res.DurationUs / 100
+	if perShot < ResetDurationUs || perShot > ResetDurationUs*1.1 {
+		t.Errorf("per-shot duration %.1f µs, want just above %g µs (reset-dominated, §2.4)",
+			perShot, ResetDurationUs)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	qpu := New20Q(10)
+	qpu.Execute(nativeGHZLine(2), 100)
+	qpu.Execute(nativeGHZLine(2), 50)
+	jobs, shots := qpu.Counters()
+	if jobs != 2 || shots != 150 {
+		t.Errorf("counters = %d jobs, %d shots; want 2, 150", jobs, shots)
+	}
+}
+
+func TestNewConfigValidation(t *testing.T) {
+	if _, err := New(Config{Rows: 0, Cols: 5}); err == nil {
+		t.Error("expected error for 0 rows")
+	}
+	if _, err := New(Config{Rows: 6, Cols: 6}); err == nil {
+		t.Error("expected error for 36 qubits > simulator limit")
+	}
+}
+
+func TestRZIsVirtualAndFree(t *testing.T) {
+	qpu := New20Q(11)
+	c := circuit.New(1, "rz-only")
+	for i := 0; i < 50; i++ {
+		c.RZ(0, 0.1)
+	}
+	res, err := qpu.Execute(c, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RZ contributes no duration beyond reset+readout.
+	perShot := res.DurationUs / 200
+	want := ResetDurationUs + ReadoutDurationUs
+	if math.Abs(perShot-want) > 1e-9 {
+		t.Errorf("RZ-only per-shot duration = %g, want %g", perShot, want)
+	}
+	// And the outcome distribution is only readout-limited: P(0) high.
+	if frac := float64(res.Counts[0]) / 200; frac < 0.95 {
+		t.Errorf("RZ chain corrupted state: P(0) = %.3f", frac)
+	}
+}

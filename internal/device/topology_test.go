@@ -1,0 +1,140 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSquareGrid4x5(t *testing.T) {
+	g := SquareGrid(4, 5)
+	if g.NumQubits() != 20 {
+		t.Fatalf("qubits = %d, want 20", g.NumQubits())
+	}
+	// Grid edge count: rows*(cols-1) + (rows-1)*cols = 4*4 + 3*5 = 31.
+	if got := len(g.Edges()); got != 31 {
+		t.Errorf("edges = %d, want 31", got)
+	}
+	// Corner has 2 neighbours, centre has 4.
+	if got := len(g.Neighbors(0)); got != 2 {
+		t.Errorf("corner degree = %d, want 2", got)
+	}
+	if got := len(g.Neighbors(6)); got != 4 {
+		t.Errorf("interior degree = %d, want 4", got)
+	}
+	if !g.Connected(0, 1) || !g.Connected(0, 5) {
+		t.Error("expected corner connections (0,1) and (0,5)")
+	}
+	if g.Connected(0, 6) {
+		t.Error("diagonal (0,6) should not be connected")
+	}
+	if g.Connected(4, 5) {
+		t.Error("row wrap (4,5) should not be connected")
+	}
+}
+
+func TestNewTopologyValidation(t *testing.T) {
+	if _, err := NewTopology(0, nil); err == nil {
+		t.Error("expected error for 0 qubits")
+	}
+	if _, err := NewTopology(3, [][2]int{{0, 3}}); err == nil {
+		t.Error("expected error for out-of-range edge")
+	}
+	if _, err := NewTopology(3, [][2]int{{1, 1}}); err == nil {
+		t.Error("expected error for self-loop")
+	}
+	// Duplicate edges collapse.
+	topo, err := NewTopology(3, [][2]int{{0, 1}, {1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Edges()); got != 1 {
+		t.Errorf("duplicate edges not collapsed: %d", got)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := SquareGrid(4, 5)
+	p, err := g.ShortestPath(0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manhattan distance from (0,0) to (3,4) is 7 -> path length 8.
+	if len(p) != 8 {
+		t.Errorf("path length = %d, want 8 (%v)", len(p), p)
+	}
+	if p[0] != 0 || p[len(p)-1] != 19 {
+		t.Errorf("path endpoints wrong: %v", p)
+	}
+	for i := 1; i < len(p); i++ {
+		if !g.Connected(p[i-1], p[i]) {
+			t.Errorf("path step %d-%d not an edge", p[i-1], p[i])
+		}
+	}
+	self, err := g.ShortestPath(7, 7)
+	if err != nil || len(self) != 1 {
+		t.Errorf("self path = %v, %v", self, err)
+	}
+	if _, err := g.ShortestPath(-1, 5); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestShortestPathDisconnected(t *testing.T) {
+	topo, err := NewTopology(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.ShortestPath(0, 3); err == nil {
+		t.Error("expected error for disconnected components")
+	}
+	if d := topo.Distance(0, 3); d != -1 {
+		t.Errorf("disconnected distance = %d, want -1", d)
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	g := SquareGrid(4, 5)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%20, int(b)%20
+		return g.Distance(x, y) == g.Distance(y, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceMatchesManhattanOnGrid(t *testing.T) {
+	g := SquareGrid(4, 5)
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for a := 0; a < 20; a++ {
+		for b := 0; b < 20; b++ {
+			ra, ca := a/5, a%5
+			rb, cb := b/5, b%5
+			want := abs(ra-rb) + abs(ca-cb)
+			if got := g.Distance(a, b); got != want {
+				t.Fatalf("distance(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestCouplingMap(t *testing.T) {
+	g := SquareGrid(2, 2)
+	cm := g.CouplingMap()
+	if len(cm) != 4 {
+		t.Fatalf("coupling map size = %d", len(cm))
+	}
+	if len(cm[0]) != 2 {
+		t.Errorf("qubit 0 neighbours = %v", cm[0])
+	}
+	// Mutating the returned map must not affect the topology.
+	cm[0][0] = 99
+	if g.Neighbors(0)[0] == 99 {
+		t.Error("CouplingMap leaks internal slices")
+	}
+}

@@ -1,0 +1,86 @@
+package dsp
+
+import "math"
+
+// Acoustic reference pressure in pascal: 20 µPa, the standard 0 dB SPL point.
+const RefPressurePa = 20e-6
+
+// AWeight returns the A-weighting gain (linear, not dB) at frequency f in
+// hertz, per IEC 61672-1. A-weighting models the ear's reduced sensitivity at
+// low and very high frequencies; the Table 1 sound-pressure criterion
+// (< 80 dBA over 20 Hz – 20 kHz) is expressed in A-weighted decibels.
+func AWeight(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	f2 := f * f
+	num := 12194.0 * 12194.0 * f2 * f2
+	den := (f2 + 20.6*20.6) *
+		math.Sqrt((f2+107.7*107.7)*(f2+737.9*737.9)) *
+		(f2 + 12194.0*12194.0)
+	ra := num / den
+	// Normalize so the gain is exactly 1 (0 dB) at 1 kHz.
+	return ra / aWeightRef
+}
+
+// aWeightRef is R_A(1000 Hz), computed once so AWeight(1000) == 1.
+var aWeightRef = func() float64 {
+	f := 1000.0
+	f2 := f * f
+	num := 12194.0 * 12194.0 * f2 * f2
+	den := (f2 + 20.6*20.6) *
+		math.Sqrt((f2+107.7*107.7)*(f2+737.9*737.9)) *
+		(f2 + 12194.0*12194.0)
+	return num / den
+}()
+
+// AWeightDB returns the A-weighting in decibels at frequency f.
+func AWeightDB(f float64) float64 {
+	w := AWeight(f)
+	if w <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(w)
+}
+
+// SoundLevelDBA computes the A-weighted sound pressure level, in dBA, of a
+// pressure signal (in pascal) sampled at sampleRate Hz, integrated over
+// [loHz, hiHz]. Each spectral bin is weighted by the A-curve and the weighted
+// RMS pressure is referenced to 20 µPa.
+func SoundLevelDBA(pressure []float64, sampleRate, loHz, hiHz float64) (float64, error) {
+	spec, err := AmplitudeSpectrum(pressure, sampleRate, Hann)
+	if err != nil {
+		return 0, err
+	}
+	if hiHz < loHz {
+		loHz, hiHz = hiHz, loHz
+	}
+	sumSq := 0.0
+	for i, f := range spec.Freqs {
+		if f < loHz || f > hiHz {
+			continue
+		}
+		rms := spec.Amplitude[i] / math.Sqrt2 * AWeight(f)
+		sumSq += rms * rms
+	}
+	sumSq /= spec.ENBW()
+	if sumSq == 0 {
+		return math.Inf(-1), nil
+	}
+	return 20 * math.Log10(math.Sqrt(sumSq)/RefPressurePa), nil
+}
+
+// SPLToPa converts an (unweighted) sound pressure level in dB SPL to an RMS
+// pressure amplitude in pascal. Useful for synthesizing acoustic test
+// signals with known levels.
+func SPLToPa(db float64) float64 {
+	return RefPressurePa * math.Pow(10, db/20)
+}
+
+// PaToSPL converts an RMS pressure in pascal to dB SPL.
+func PaToSPL(pa float64) float64 {
+	if pa <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(pa/RefPressurePa)
+}

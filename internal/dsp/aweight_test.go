@@ -1,0 +1,110 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAWeightUnityAt1kHz(t *testing.T) {
+	if got := AWeight(1000); math.Abs(got-1) > 1e-12 {
+		t.Errorf("AWeight(1000) = %g, want 1", got)
+	}
+	if got := AWeightDB(1000); math.Abs(got) > 1e-10 {
+		t.Errorf("AWeightDB(1000) = %g, want 0", got)
+	}
+}
+
+// Published IEC 61672-1 A-weighting values at standard frequencies.
+func TestAWeightMatchesStandardTable(t *testing.T) {
+	cases := map[float64]float64{
+		31.5:  -39.4,
+		63:    -26.2,
+		125:   -16.1,
+		250:   -8.6,
+		500:   -3.2,
+		2000:  1.2,
+		4000:  1.0,
+		8000:  -1.1,
+		16000: -6.6,
+	}
+	for f, wantDB := range cases {
+		got := AWeightDB(f)
+		if math.Abs(got-wantDB) > 0.3 {
+			t.Errorf("AWeightDB(%g) = %.2f dB, want %.1f ± 0.3", f, got, wantDB)
+		}
+	}
+}
+
+func TestAWeightNonPositiveFrequency(t *testing.T) {
+	if AWeight(0) != 0 {
+		t.Error("AWeight(0) should be 0")
+	}
+	if AWeight(-100) != 0 {
+		t.Error("AWeight(-100) should be 0")
+	}
+	if !math.IsInf(AWeightDB(0), -1) {
+		t.Error("AWeightDB(0) should be -Inf")
+	}
+}
+
+func TestSPLRoundTrip(t *testing.T) {
+	for _, db := range []float64{0, 40, 80, 94, 120} {
+		pa := SPLToPa(db)
+		back := PaToSPL(pa)
+		if math.Abs(back-db) > 1e-9 {
+			t.Errorf("SPL round trip %g -> %g", db, back)
+		}
+	}
+	if !math.IsInf(PaToSPL(0), -1) {
+		t.Error("PaToSPL(0) should be -Inf")
+	}
+}
+
+func TestSoundLevelDBAOf1kHzTone(t *testing.T) {
+	// A 1 kHz tone's dBA equals its dB SPL since A-weighting is 0 dB there.
+	const (
+		rate = 48000.0
+		n    = 1 << 16
+		spl  = 70.0
+	)
+	rms := SPLToPa(spl)
+	amp := rms * math.Sqrt2
+	sig := makeTone(n, rate, 1000, amp)
+	got, err := SoundLevelDBA(sig, rate, 20, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-spl) > 0.5 {
+		t.Errorf("1 kHz tone dBA = %.2f, want ~%.1f", got, spl)
+	}
+}
+
+func TestSoundLevelDBADiscountsLowFrequency(t *testing.T) {
+	// A 63 Hz tone should read ~26 dB below its SPL after A-weighting.
+	const (
+		rate = 8192.0
+		n    = 1 << 16
+		spl  = 80.0
+	)
+	amp := SPLToPa(spl) * math.Sqrt2
+	sig := makeTone(n, rate, 63, amp)
+	got, err := SoundLevelDBA(sig, rate, 20, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spl - 26.2
+	if math.Abs(got-want) > 1.5 {
+		t.Errorf("63 Hz tone dBA = %.2f, want ~%.1f", got, want)
+	}
+}
+
+func TestSoundLevelDBASilence(t *testing.T) {
+	sig := make([]float64, 4096)
+	got, err := SoundLevelDBA(sig, 8000, 20, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got, -1) {
+		t.Errorf("silence should be -Inf dBA, got %g", got)
+	}
+}

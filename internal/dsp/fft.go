@@ -1,0 +1,110 @@
+// Package dsp provides the signal-processing primitives used by the site
+// survey toolkit: FFT, amplitude/power spectra, window functions, band-limited
+// RMS integration, A-weighting for acoustic measurements, and Welch PSD
+// estimation. Everything is stdlib-only and allocation-conscious so the
+// survey analyses and their benchmarks stay cheap.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n. It panics for n <= 0.
+func NextPowerOfTwo(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPowerOfTwo requires n > 0")
+	}
+	if IsPowerOfTwo(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier transform
+// of x. len(x) must be a power of two. The transform is unnormalized: applying
+// FFT followed by IFFT returns the original sequence.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if !IsPowerOfTwo(n) {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	bitReverse(x)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				angle := step * float64(k)
+				w := cmplx.Rect(1, angle)
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/n
+// normalization. len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+	return nil
+}
+
+// bitReverse permutes x into bit-reversed index order.
+func bitReverse(x []complex128) {
+	n := len(x)
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n < 2 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// FFTReal transforms a real-valued signal, zero-padding it to the next power
+// of two, and returns the complex spectrum. The input slice is not modified.
+func FFTReal(signal []float64) ([]complex128, error) {
+	if len(signal) == 0 {
+		return nil, nil
+	}
+	n := NextPowerOfTwo(len(signal))
+	buf := make([]complex128, n)
+	for i, v := range signal {
+		buf[i] = complex(v, 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

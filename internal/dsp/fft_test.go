@@ -1,0 +1,212 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPowerOfTwo(t *testing.T) {
+	cases := map[int]bool{
+		-4: false, 0: false, 1: true, 2: true, 3: false,
+		4: true, 1024: true, 1023: false, 1 << 20: true,
+	}
+	for n, want := range cases {
+		if got := IsPowerOfTwo(n); got != want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 1000: 1024}
+	for n, want := range cases {
+		if got := NextPowerOfTwo(n); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNextPowerOfTwoPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	NextPowerOfTwo(0)
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	x := make([]complex128, 3)
+	if err := FFT(x); err == nil {
+		t.Fatal("expected error for length-3 FFT")
+	}
+}
+
+func TestFFTKnownDC(t *testing.T) {
+	x := []complex128{1, 1, 1, 1}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{4, 0, 0, 0}
+	for i := range x {
+		if cmplx.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("bin %d = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestFFTKnownImpulse(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-1) > 1e-12 {
+			t.Errorf("impulse spectrum bin %d = %v, want 1", i, x[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	const n = 256
+	x := make([]complex128, n)
+	k := 17 // bin index of the tone
+	for i := 0; i < n; i++ {
+		x[i] = complex(math.Cos(2*math.Pi*float64(k)*float64(i)/n), 0)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	// Cosine splits into bins k and n-k, each with magnitude n/2.
+	for i := 0; i < n; i++ {
+		mag := cmplx.Abs(x[i])
+		if i == k || i == n-k {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Errorf("bin %d magnitude %g, want %g", i, mag, float64(n/2))
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d magnitude %g, want ~0", i, mag)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 64, 1024} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d round trip mismatch at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+// Parseval's theorem is an invariant of any correct DFT: signal energy equals
+// spectrum energy / n.
+func TestFFTParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(9)) // 2..1024
+		x := make([]complex128, n)
+		timeEnergy := 0.0
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		freqEnergy := 0.0
+		for i := range x {
+			freqEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		freqEnergy /= float64(n)
+		return math.Abs(timeEnergy-freqEnergy) < 1e-6*math.Max(1, timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FFT linearity: FFT(a*x + b*y) == a*FFT(x) + b*FFT(y).
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		a := complex(rng.NormFloat64(), 0)
+		b := complex(rng.NormFloat64(), 0)
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			sum[i] = a*x[i] + b*y[i]
+		}
+		if FFT(x) != nil || FFT(y) != nil || FFT(sum) != nil {
+			return false
+		}
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a*x[i]+b*y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTRealPadsToPowerOfTwo(t *testing.T) {
+	sig := make([]float64, 100)
+	spec, err := FFTReal(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 128 {
+		t.Fatalf("got length %d, want 128", len(spec))
+	}
+}
+
+func TestFFTEmptyIsNoop(t *testing.T) {
+	if err := FFT(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(nil); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := FFTReal(nil)
+	if err != nil || spec != nil {
+		t.Fatalf("FFTReal(nil) = %v, %v; want nil, nil", spec, err)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	rng := rand.New(rand.NewSource(7))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FFT(x)
+	}
+}

@@ -1,0 +1,188 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Spectrum is a one-sided amplitude spectrum of a real signal: Amplitude[i]
+// is the peak amplitude of the sinusoidal component at Freqs[i] hertz.
+type Spectrum struct {
+	Freqs     []float64 // bin center frequencies, Hz
+	Amplitude []float64 // peak amplitude per bin, signal units
+	df        float64   // bin width, Hz
+	enbw      float64   // window equivalent noise bandwidth, bins
+}
+
+// BinWidth returns the frequency resolution of the spectrum in hertz.
+func (s *Spectrum) BinWidth() float64 { return s.df }
+
+// ENBW returns the equivalent noise bandwidth of the analysis window in
+// bins (1.0 for rectangular, 1.5 for Hann). Band-power sums across bins must
+// be divided by this factor to avoid double-counting spectral leakage.
+func (s *Spectrum) ENBW() float64 { return s.enbw }
+
+// AmplitudeSpectrum computes the one-sided amplitude spectrum of signal
+// sampled at sampleRate Hz, using the supplied window (nil means rectangular).
+// Amplitudes are corrected for the window's coherent gain so that a pure
+// sinusoid of amplitude A reports approximately A at its bin.
+func AmplitudeSpectrum(signal []float64, sampleRate float64, w Window) (*Spectrum, error) {
+	if len(signal) == 0 {
+		return nil, fmt.Errorf("dsp: empty signal")
+	}
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("dsp: sample rate must be positive, got %g", sampleRate)
+	}
+	n := len(signal)
+	work := make([]float64, n)
+	copy(work, signal)
+	gain, enbw := 1.0, 1.0
+	if w != nil {
+		gain, enbw = applyWindow(work, w)
+	}
+	spec, err := FFTReal(work)
+	if err != nil {
+		return nil, err
+	}
+	m := len(spec)
+	half := m/2 + 1
+	out := &Spectrum{
+		Freqs:     make([]float64, half),
+		Amplitude: make([]float64, half),
+		df:        sampleRate / float64(m),
+		enbw:      enbw,
+	}
+	for i := 0; i < half; i++ {
+		out.Freqs[i] = float64(i) * out.df
+		mag := cmplx.Abs(spec[i]) / float64(n) / gain
+		if i != 0 && i != m/2 {
+			mag *= 2 // fold negative frequencies into the one-sided spectrum
+		}
+		out.Amplitude[i] = mag
+	}
+	return out, nil
+}
+
+// BandRMS integrates the spectrum between loHz and hiHz (inclusive) and
+// returns the RMS value of the signal content in that band. Peak amplitudes
+// are converted to RMS per-bin (A/sqrt2) and combined in quadrature.
+func (s *Spectrum) BandRMS(loHz, hiHz float64) float64 {
+	if hiHz < loHz {
+		loHz, hiHz = hiHz, loHz
+	}
+	sumSq := 0.0
+	for i, f := range s.Freqs {
+		if f < loHz || f > hiHz {
+			continue
+		}
+		rms := s.Amplitude[i] / math.Sqrt2
+		sumSq += rms * rms
+	}
+	return math.Sqrt(sumSq / s.enbwOr1())
+}
+
+func (s *Spectrum) enbwOr1() float64 {
+	if s.enbw > 0 {
+		return s.enbw
+	}
+	return 1
+}
+
+// PeakInBand returns the largest per-bin peak amplitude between loHz and hiHz
+// and the frequency at which it occurs. If the band contains no bins it
+// returns (0, 0).
+func (s *Spectrum) PeakInBand(loHz, hiHz float64) (amp, freq float64) {
+	if hiHz < loHz {
+		loHz, hiHz = hiHz, loHz
+	}
+	for i, f := range s.Freqs {
+		if f < loHz || f > hiHz {
+			continue
+		}
+		if s.Amplitude[i] > amp {
+			amp = s.Amplitude[i]
+			freq = f
+		}
+	}
+	return amp, freq
+}
+
+// PeakToPeakInBand returns the worst-case peak-to-peak amplitude (2x the
+// largest bin peak) in the band, matching the "peak-to-peak spectrum
+// amplitude" acceptance criterion used for AC magnetic fields in Table 1.
+func (s *Spectrum) PeakToPeakInBand(loHz, hiHz float64) float64 {
+	amp, _ := s.PeakInBand(loHz, hiHz)
+	return 2 * amp
+}
+
+// WelchPSD estimates the power spectral density of signal using Welch's
+// method: the signal is split into segments of segLen samples with 50%
+// overlap, each segment is windowed, and the squared spectra are averaged.
+// The returned PSD has units of signal²/Hz. segLen is rounded up to a power
+// of two.
+func WelchPSD(signal []float64, sampleRate float64, segLen int, w Window) (freqs, psd []float64, err error) {
+	if len(signal) == 0 {
+		return nil, nil, fmt.Errorf("dsp: empty signal")
+	}
+	if segLen <= 1 {
+		return nil, nil, fmt.Errorf("dsp: segment length must be > 1, got %d", segLen)
+	}
+	if sampleRate <= 0 {
+		return nil, nil, fmt.Errorf("dsp: sample rate must be positive, got %g", sampleRate)
+	}
+	segLen = NextPowerOfTwo(segLen)
+	if segLen > len(signal) {
+		segLen = NextPowerOfTwo(len(signal)) / 2
+		if segLen < 2 {
+			segLen = 2
+		}
+	}
+	hop := segLen / 2
+	half := segLen/2 + 1
+	freqs = make([]float64, half)
+	psd = make([]float64, half)
+	df := sampleRate / float64(segLen)
+	for i := range freqs {
+		freqs[i] = float64(i) * df
+	}
+
+	// Window energy term for PSD normalization: sum of w[k]^2.
+	winSq := 0.0
+	wvals := make([]float64, segLen)
+	for k := 0; k < segLen; k++ {
+		v := 1.0
+		if w != nil {
+			v = w(k, segLen)
+		}
+		wvals[k] = v
+		winSq += v * v
+	}
+
+	seg := make([]complex128, segLen)
+	count := 0
+	for start := 0; start+segLen <= len(signal); start += hop {
+		for k := 0; k < segLen; k++ {
+			seg[k] = complex(signal[start+k]*wvals[k], 0)
+		}
+		if err := FFT(seg); err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < half; i++ {
+			mag2 := real(seg[i])*real(seg[i]) + imag(seg[i])*imag(seg[i])
+			scale := 1.0
+			if i != 0 && i != segLen/2 {
+				scale = 2
+			}
+			psd[i] += scale * mag2 / (sampleRate * winSq)
+		}
+		count++
+	}
+	if count == 0 {
+		return nil, nil, fmt.Errorf("dsp: signal shorter than one segment (%d < %d)", len(signal), segLen)
+	}
+	for i := range psd {
+		psd[i] /= float64(count)
+	}
+	return freqs, psd, nil
+}

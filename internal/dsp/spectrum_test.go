@@ -1,0 +1,198 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeTone returns n samples of amplitude*sin(2π f t) sampled at rate Hz.
+func makeTone(n int, rate, freq, amplitude float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = amplitude * math.Sin(2*math.Pi*freq*float64(i)/rate)
+	}
+	return out
+}
+
+func TestAmplitudeSpectrumRecoversToneAmplitude(t *testing.T) {
+	const (
+		rate = 1024.0
+		n    = 4096
+		freq = 64.0 // exactly on a bin
+		amp  = 2.5
+	)
+	sig := makeTone(n, rate, freq, amp)
+	spec, err := AmplitudeSpectrum(sig, rate, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, f := spec.PeakInBand(freq-2, freq+2)
+	if math.Abs(f-freq) > spec.BinWidth() {
+		t.Errorf("peak at %g Hz, want %g", f, freq)
+	}
+	if math.Abs(got-amp) > 0.05*amp {
+		t.Errorf("peak amplitude %g, want ~%g", got, amp)
+	}
+}
+
+func TestAmplitudeSpectrumRectangularWindow(t *testing.T) {
+	const (
+		rate = 512.0
+		n    = 512
+		freq = 32.0
+		amp  = 1.0
+	)
+	sig := makeTone(n, rate, freq, amp)
+	spec, err := AmplitudeSpectrum(sig, rate, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := spec.PeakInBand(freq-1, freq+1)
+	if math.Abs(got-amp) > 1e-6 {
+		t.Errorf("on-bin rectangular amplitude %g, want %g", got, amp)
+	}
+}
+
+func TestAmplitudeSpectrumErrors(t *testing.T) {
+	if _, err := AmplitudeSpectrum(nil, 100, nil); err == nil {
+		t.Error("expected error for empty signal")
+	}
+	if _, err := AmplitudeSpectrum([]float64{1}, 0, nil); err == nil {
+		t.Error("expected error for zero sample rate")
+	}
+	if _, err := AmplitudeSpectrum([]float64{1}, -5, nil); err == nil {
+		t.Error("expected error for negative sample rate")
+	}
+}
+
+func TestBandRMSMatchesTimeDomainRMS(t *testing.T) {
+	const (
+		rate = 2048.0
+		n    = 8192
+		freq = 100.0
+		amp  = 3.0
+	)
+	sig := makeTone(n, rate, freq, amp)
+	spec, err := AmplitudeSpectrum(sig, rate, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRMS := amp / math.Sqrt2
+	got := spec.BandRMS(1, rate/2)
+	if math.Abs(got-wantRMS) > 0.05*wantRMS {
+		t.Errorf("band RMS %g, want ~%g", got, wantRMS)
+	}
+	// The band excluding the tone should hold almost nothing.
+	if out := spec.BandRMS(200, 500); out > 0.05*wantRMS {
+		t.Errorf("out-of-band RMS %g, want ~0", out)
+	}
+}
+
+func TestBandRMSSwapsBounds(t *testing.T) {
+	sig := makeTone(2048, 1024, 64, 1)
+	spec, err := AmplitudeSpectrum(sig, 1024, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spec.BandRMS(10, 500)
+	b := spec.BandRMS(500, 10)
+	if a != b {
+		t.Errorf("BandRMS not symmetric in bounds: %g vs %g", a, b)
+	}
+}
+
+func TestPeakToPeakInBand(t *testing.T) {
+	sig := makeTone(4096, 1024, 50, 0.7)
+	spec, err := AmplitudeSpectrum(sig, 1024, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := spec.PeakToPeakInBand(5, 1000)
+	if math.Abs(pp-1.4) > 0.1 {
+		t.Errorf("peak-to-peak %g, want ~1.4", pp)
+	}
+}
+
+func TestMultiToneSeparation(t *testing.T) {
+	const rate, n = 4096.0, 16384
+	sig := make([]float64, n)
+	tones := map[float64]float64{50: 1.0, 150: 0.5, 1000: 0.25}
+	for f, a := range tones {
+		for i := range sig {
+			sig[i] += a * math.Sin(2*math.Pi*f*float64(i)/rate)
+		}
+	}
+	spec, err := AmplitudeSpectrum(sig, rate, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, a := range tones {
+		got, _ := spec.PeakInBand(f-5, f+5)
+		if math.Abs(got-a) > 0.05*a {
+			t.Errorf("tone %g Hz amplitude %g, want ~%g", f, got, a)
+		}
+	}
+}
+
+func TestWelchPSDWhiteNoiseIsFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const rate = 1000.0
+	sig := make([]float64, 65536)
+	sigma := 1.0
+	for i := range sig {
+		sig[i] = rng.NormFloat64() * sigma
+	}
+	freqs, psd, err := WelchPSD(sig, rate, 1024, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// White noise PSD should be ~ sigma^2 / (rate/2) per Hz (one-sided).
+	want := sigma * sigma / (rate / 2)
+	// Average over the mid-band to avoid DC/Nyquist edge effects.
+	sum, count := 0.0, 0
+	for i, f := range freqs {
+		if f < 50 || f > 450 {
+			continue
+		}
+		sum += psd[i]
+		count++
+	}
+	got := sum / float64(count)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("white-noise PSD level %g, want ~%g", got, want)
+	}
+}
+
+func TestWelchPSDErrors(t *testing.T) {
+	if _, _, err := WelchPSD(nil, 100, 64, Hann); err == nil {
+		t.Error("expected error for empty signal")
+	}
+	if _, _, err := WelchPSD([]float64{1, 2}, 100, 1, Hann); err == nil {
+		t.Error("expected error for segLen <= 1")
+	}
+	if _, _, err := WelchPSD([]float64{1, 2, 3}, 0, 64, Hann); err == nil {
+		t.Error("expected error for bad sample rate")
+	}
+}
+
+func TestWindowsAreBoundedAndSymmetric(t *testing.T) {
+	for name, w := range map[string]Window{
+		"rect": Rectangular, "hann": Hann, "hamming": Hamming, "blackman": Blackman,
+	} {
+		const n = 129
+		for k := 0; k < n; k++ {
+			v := w(k, n)
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Errorf("%s window value %g at %d out of [0,1]", name, v, k)
+			}
+			mirror := w(n-1-k, n)
+			if math.Abs(v-mirror) > 1e-12 {
+				t.Errorf("%s window asymmetric at %d: %g vs %g", name, k, v, mirror)
+			}
+		}
+		if w(0, 1) != 1 {
+			t.Errorf("%s window degenerate n=1 should be 1", name)
+		}
+	}
+}

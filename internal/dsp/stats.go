@@ -1,0 +1,144 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// RMS returns the root-mean-square of x, or 0 for an empty slice.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// MinMax returns the smallest and largest values in x. It returns (0, 0) for
+// an empty slice.
+func MinMax(x []float64) (min, max float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// PeakToPeak returns max(x) - min(x).
+func PeakToPeak(x []float64) float64 {
+	min, max := MinMax(x)
+	return max - min
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of x using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(x))
+	copy(sorted, x)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MaxExcursionWithin returns the largest |x[i] - ref| observed in x.
+// Used for the ΔT < ±1 °C around a set point criterion.
+func MaxExcursionWithin(x []float64, ref float64) float64 {
+	worst := 0.0
+	for _, v := range x {
+		if d := math.Abs(v - ref); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MaxDriftOverWindow returns the largest peak-to-peak change of x within any
+// sliding window of w samples. Used for the ΔT < 1 °C per 24 h ambient
+// stability requirement (§2.3). If w >= len(x) the whole-series peak-to-peak
+// is returned.
+func MaxDriftOverWindow(x []float64, w int) float64 {
+	if len(x) == 0 || w <= 1 {
+		return 0
+	}
+	if w >= len(x) {
+		return PeakToPeak(x)
+	}
+	// Monotonic deques for sliding-window min and max in O(n).
+	worst := 0.0
+	maxDQ := make([]int, 0, w)
+	minDQ := make([]int, 0, w)
+	for i := range x {
+		for len(maxDQ) > 0 && x[maxDQ[len(maxDQ)-1]] <= x[i] {
+			maxDQ = maxDQ[:len(maxDQ)-1]
+		}
+		maxDQ = append(maxDQ, i)
+		for len(minDQ) > 0 && x[minDQ[len(minDQ)-1]] >= x[i] {
+			minDQ = minDQ[:len(minDQ)-1]
+		}
+		minDQ = append(minDQ, i)
+		if maxDQ[0] <= i-w {
+			maxDQ = maxDQ[1:]
+		}
+		if minDQ[0] <= i-w {
+			minDQ = minDQ[1:]
+		}
+		if i >= w-1 {
+			if span := x[maxDQ[0]] - x[minDQ[0]]; span > worst {
+				worst = span
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,151 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanRMSStdDev(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Mean(x); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	wantRMS := math.Sqrt((1 + 4 + 9 + 16) / 4.0)
+	if got := RMS(x); math.Abs(got-wantRMS) > 1e-12 {
+		t.Errorf("RMS = %g, want %g", got, wantRMS)
+	}
+	wantSD := math.Sqrt(1.25)
+	if got := StdDev(x); math.Abs(got-wantSD) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", got, wantSD)
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	if Mean(nil) != 0 || RMS(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice stats should be 0")
+	}
+	min, max := MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Error("MinMax(nil) should be (0,0)")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) should be 0")
+	}
+}
+
+func TestMinMaxPeakToPeak(t *testing.T) {
+	x := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	min, max := MinMax(x)
+	if min != -9 || max != 6 {
+		t.Errorf("MinMax = (%g, %g), want (-9, 6)", min, max)
+	}
+	if got := PeakToPeak(x); got != 15 {
+		t.Errorf("PeakToPeak = %g, want 15", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{10, 20, 30, 40, 50}
+	cases := map[float64]float64{0: 10, 25: 20, 50: 30, 75: 40, 100: 50, 110: 50, -5: 10}
+	for p, want := range cases {
+		if got := Percentile(x, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", p, got, want)
+		}
+	}
+	// interpolation between ranks
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("interpolated median = %g, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	x := []float64{5, 1, 3}
+	Percentile(x, 50)
+	if x[0] != 5 || x[1] != 1 || x[2] != 3 {
+		t.Errorf("input mutated: %v", x)
+	}
+}
+
+func TestMaxExcursionWithin(t *testing.T) {
+	x := []float64{21.0, 21.5, 20.2, 22.3}
+	if got := MaxExcursionWithin(x, 21.0); math.Abs(got-1.3) > 1e-12 {
+		t.Errorf("excursion = %g, want 1.3", got)
+	}
+	if MaxExcursionWithin(nil, 0) != 0 {
+		t.Error("empty excursion should be 0")
+	}
+}
+
+func TestMaxDriftOverWindow(t *testing.T) {
+	// Slow ramp: within any 3-sample window drift is 2 units.
+	x := []float64{0, 1, 2, 3, 4, 5}
+	if got := MaxDriftOverWindow(x, 3); got != 2 {
+		t.Errorf("window drift = %g, want 2", got)
+	}
+	// Window larger than series -> global peak-to-peak.
+	if got := MaxDriftOverWindow(x, 100); got != 5 {
+		t.Errorf("oversized window drift = %g, want 5", got)
+	}
+	if MaxDriftOverWindow(x, 1) != 0 {
+		t.Error("window of 1 should be 0 drift")
+	}
+	if MaxDriftOverWindow(nil, 5) != 0 {
+		t.Error("empty series should be 0 drift")
+	}
+}
+
+func TestMaxDriftOverWindowSpike(t *testing.T) {
+	x := make([]float64, 100)
+	x[50] = 10 // spike
+	if got := MaxDriftOverWindow(x, 24); got != 10 {
+		t.Errorf("spike drift = %g, want 10", got)
+	}
+}
+
+// MaxDriftOverWindow must agree with a brute-force computation.
+func TestMaxDriftOverWindowMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		w := 2 + rng.Intn(30)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := MaxDriftOverWindow(x, w)
+		brute := 0.0
+		for start := 0; start+w <= n; start++ {
+			span := PeakToPeak(x[start : start+w])
+			if span > brute {
+				brute = span
+			}
+		}
+		if w >= n {
+			brute = PeakToPeak(x)
+		}
+		return math.Abs(got-brute) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RMS^2 = Mean^2 + StdDev^2 (population) is a basic identity.
+func TestRMSIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		lhs := RMS(x) * RMS(x)
+		rhs := Mean(x)*Mean(x) + StdDev(x)*StdDev(x)
+		return math.Abs(lhs-rhs) < 1e-8*math.Max(1, lhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package dsp
+
+import "math"
+
+// Window is a window function: it returns the weight for sample k of an
+// n-sample window. Implementations must be symmetric and bounded by [0, 1].
+type Window func(k, n int) float64
+
+// Rectangular is the identity window (no tapering).
+func Rectangular(k, n int) float64 { return 1 }
+
+// Hann is the raised-cosine window, the default choice for spectral survey
+// analysis: good sidelobe suppression with modest main-lobe widening.
+func Hann(k, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 0.5 * (1 - math.Cos(2*math.Pi*float64(k)/float64(n-1)))
+}
+
+// Hamming is the classic Hamming window.
+func Hamming(k, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 0.54 - 0.46*math.Cos(2*math.Pi*float64(k)/float64(n-1))
+}
+
+// Blackman is the three-term Blackman window with strong sidelobe rejection.
+func Blackman(k, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	x := 2 * math.Pi * float64(k) / float64(n-1)
+	return 0.42 - 0.5*math.Cos(x) + 0.08*math.Cos(2*x)
+}
+
+// applyWindow multiplies x by the window in place and returns the coherent
+// gain (mean window value, used to correct amplitude spectra) and the
+// equivalent noise bandwidth in bins (n·Σw² / (Σw)², used to correct
+// band-power sums).
+func applyWindow(x []float64, w Window) (gain, enbw float64) {
+	n := len(x)
+	sum, sumSq := 0.0, 0.0
+	for k := range x {
+		v := w(k, n)
+		x[k] *= v
+		sum += v
+		sumSq += v * v
+	}
+	if n == 0 || sum <= 0 {
+		return 1, 1
+	}
+	gain = sum / float64(n)
+	enbw = float64(n) * sumSq / (sum * sum)
+	return gain, enbw
+}

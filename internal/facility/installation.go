@@ -1,0 +1,169 @@
+package facility
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Installation planning (§2.5): quantum computers arrive in large wooden
+// crates and are assembled on site over days to weeks — the delivery path
+// must admit every crate, and the assembly schedule includes testing the
+// hundreds of factory-connected microwave lines before commissioning.
+
+// Crate is one shipping unit.
+type Crate struct {
+	Name     string
+	WidthCM  float64
+	HeightCM float64
+	WeightKG float64
+}
+
+// StandardShipment returns the crate manifest of the 20-qubit system: the
+// cryostat (~750 kg, §2.5), the control-electronics rack, the gas handling
+// system, compressors, and the cable set.
+func StandardShipment() []Crate {
+	return []Crate{
+		{Name: "cryostat", WidthCM: 126, HeightCM: 290, WeightKG: 750},
+		{Name: "control-electronics-rack", WidthCM: 80, HeightCM: 210, WeightKG: 350},
+		{Name: "gas-handling-system", WidthCM: 85, HeightCM: 180, WeightKG: 280},
+		{Name: "helium-compressor", WidthCM: 75, HeightCM: 120, WeightKG: 220},
+		{Name: "air-compressor", WidthCM: 60, HeightCM: 100, WeightKG: 90},
+		{Name: "microwave-cable-set", WidthCM: 60, HeightCM: 80, WeightKG: 40},
+	}
+}
+
+// PathSegment is one leg of the delivery route (dock, elevator, hallway,
+// doorway, staging area).
+type PathSegment struct {
+	Name      string
+	WidthCM   float64
+	HeightCM  float64
+	MaxLoadKG float64 // 0 = unconstrained (ground slab)
+}
+
+// CheckDeliveryPath verifies every crate fits every segment; it returns
+// one error per obstruction found, or nil when the route works.
+func CheckDeliveryPath(crates []Crate, path []PathSegment) []error {
+	var problems []error
+	for _, seg := range path {
+		for _, cr := range crates {
+			if cr.WidthCM > seg.WidthCM {
+				problems = append(problems, fmt.Errorf(
+					"facility: crate %q (%.0f cm wide) does not fit %q (%.0f cm)",
+					cr.Name, cr.WidthCM, seg.Name, seg.WidthCM))
+			}
+			if seg.HeightCM > 0 && cr.HeightCM > seg.HeightCM {
+				problems = append(problems, fmt.Errorf(
+					"facility: crate %q (%.0f cm tall) does not clear %q (%.0f cm)",
+					cr.Name, cr.HeightCM, seg.Name, seg.HeightCM))
+			}
+			if seg.MaxLoadKG > 0 && cr.WeightKG > seg.MaxLoadKG {
+				problems = append(problems, fmt.Errorf(
+					"facility: crate %q (%.0f kg) exceeds %q load limit (%.0f kg)",
+					cr.Name, cr.WeightKG, seg.Name, seg.MaxLoadKG))
+			}
+		}
+	}
+	return problems
+}
+
+// AssemblyTask is one step of the on-site build.
+type AssemblyTask struct {
+	Name      string
+	Days      float64
+	DependsOn []string
+}
+
+// AssemblyPlan returns the §2.5 build sequence for a system with the given
+// number of microwave signal lines (the 20-qubit system carries hundreds;
+// each must be tested after transport).
+func AssemblyPlan(signalLines int) []AssemblyTask {
+	lineTestDays := float64(signalLines) / 80 // a technician tests ~80 lines/day
+	return []AssemblyTask{
+		{Name: "uncrate-and-position", Days: 1},
+		{Name: "erect-cryostat-frame", Days: 2, DependsOn: []string{"uncrate-and-position"}},
+		{Name: "mount-chandelier-stages", Days: 3, DependsOn: []string{"erect-cryostat-frame"}},
+		{Name: "connect-gas-handling", Days: 2, DependsOn: []string{"erect-cryostat-frame"}},
+		{Name: "plumb-cooling-water", Days: 1, DependsOn: []string{"connect-gas-handling"}},
+		{Name: "install-control-rack", Days: 1, DependsOn: []string{"uncrate-and-position"}},
+		{Name: "route-microwave-lines", Days: 2, DependsOn: []string{"mount-chandelier-stages", "install-control-rack"}},
+		{Name: "test-signal-lines", Days: lineTestDays, DependsOn: []string{"route-microwave-lines"}},
+		{Name: "leak-check-and-pump-down", Days: 2, DependsOn: []string{"connect-gas-handling", "test-signal-lines"}},
+	}
+}
+
+// CriticalPathDays computes the end-to-end duration of a task graph via
+// longest-path traversal. It returns an error on unknown dependencies or
+// cycles.
+func CriticalPathDays(tasks []AssemblyTask) (float64, error) {
+	byName := make(map[string]AssemblyTask, len(tasks))
+	for _, t := range tasks {
+		if _, dup := byName[t.Name]; dup {
+			return 0, fmt.Errorf("facility: duplicate task %q", t.Name)
+		}
+		byName[t.Name] = t
+	}
+	memo := make(map[string]float64, len(tasks))
+	visiting := make(map[string]bool)
+	var finish func(name string) (float64, error)
+	finish = func(name string) (float64, error) {
+		if v, ok := memo[name]; ok {
+			return v, nil
+		}
+		if visiting[name] {
+			return 0, fmt.Errorf("facility: dependency cycle through %q", name)
+		}
+		t, ok := byName[name]
+		if !ok {
+			return 0, fmt.Errorf("facility: unknown dependency %q", name)
+		}
+		visiting[name] = true
+		start := 0.0
+		for _, dep := range t.DependsOn {
+			d, err := finish(dep)
+			if err != nil {
+				return 0, err
+			}
+			if d > start {
+				start = d
+			}
+		}
+		delete(visiting, name)
+		memo[name] = start + t.Days
+		return memo[name], nil
+	}
+	total := 0.0
+	for _, t := range tasks {
+		d, err := finish(t.Name)
+		if err != nil {
+			return 0, err
+		}
+		if d > total {
+			total = d
+		}
+	}
+	return total, nil
+}
+
+// InstallationReport renders the plan summary.
+func InstallationReport(crates []Crate, path []PathSegment, lines int) string {
+	var b strings.Builder
+	problems := CheckDeliveryPath(crates, path)
+	if len(problems) == 0 {
+		fmt.Fprintf(&b, "delivery path: OK for %d crates over %d segments\n", len(crates), len(path))
+	} else {
+		fmt.Fprintf(&b, "delivery path: %d obstructions\n", len(problems))
+		for _, p := range problems {
+			fmt.Fprintf(&b, "  - %v\n", p)
+		}
+	}
+	plan := AssemblyPlan(lines)
+	days, err := CriticalPathDays(plan)
+	if err != nil {
+		fmt.Fprintf(&b, "assembly plan invalid: %v\n", err)
+	} else {
+		fmt.Fprintf(&b, "assembly: %d tasks, critical path %.1f days (multi-day to multi-week, §2.5)\n",
+			len(plan), days)
+	}
+	return b.String()
+}

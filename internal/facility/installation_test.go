@@ -1,0 +1,112 @@
+package facility
+
+import (
+	"strings"
+	"testing"
+)
+
+func widePath() []PathSegment {
+	return []PathSegment{
+		{Name: "loading-dock", WidthCM: 300, HeightCM: 400},
+		{Name: "freight-elevator", WidthCM: 180, HeightCM: 300, MaxLoadKG: 2000},
+		{Name: "hallway", WidthCM: 200, HeightCM: 320},
+		{Name: "machine-room-door", WidthCM: 140, HeightCM: 300},
+	}
+}
+
+func TestStandardShipmentFitsWidePath(t *testing.T) {
+	problems := CheckDeliveryPath(StandardShipment(), widePath())
+	if len(problems) != 0 {
+		t.Fatalf("wide path obstructed: %v", problems)
+	}
+}
+
+func TestNarrowDoorBlocksCryostat(t *testing.T) {
+	path := widePath()
+	path[3].WidthCM = 90 // the paper's minimum — but the cryostat is 126 cm
+	problems := CheckDeliveryPath(StandardShipment(), path)
+	if len(problems) == 0 {
+		t.Fatal("126 cm cryostat should not fit a 90 cm door")
+	}
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p.Error(), "cryostat") && strings.Contains(p.Error(), "machine-room-door") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("obstruction list missing the cryostat/door conflict: %v", problems)
+	}
+}
+
+func TestLowCeilingBlocksTallCrates(t *testing.T) {
+	path := []PathSegment{{Name: "basement-hall", WidthCM: 200, HeightCM: 250}}
+	problems := CheckDeliveryPath(StandardShipment(), path)
+	if len(problems) == 0 {
+		t.Fatal("290 cm cryostat should not clear a 250 cm ceiling")
+	}
+}
+
+func TestElevatorLoadLimit(t *testing.T) {
+	path := []PathSegment{{Name: "small-lift", WidthCM: 200, HeightCM: 300, MaxLoadKG: 500}}
+	problems := CheckDeliveryPath(StandardShipment(), path)
+	if len(problems) == 0 {
+		t.Fatal("750 kg cryostat should exceed a 500 kg lift")
+	}
+}
+
+func TestAssemblyPlanCriticalPath(t *testing.T) {
+	// 400 signal lines ("hundreds"): 5 days of line testing.
+	plan := AssemblyPlan(400)
+	days, err := CriticalPathDays(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical path: uncrate(1) → frame(2) → chandelier(3) → route(2) →
+	// test(5) → leak-check(2) = 15 days — "multi-day (or multi-week)".
+	if days < 10 || days > 30 {
+		t.Errorf("critical path = %.1f days, want multi-day-to-multi-week", days)
+	}
+	// More signal lines stretch the schedule.
+	bigger, err := CriticalPathDays(AssemblyPlan(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigger <= days {
+		t.Error("doubling signal lines should lengthen the critical path")
+	}
+}
+
+func TestCriticalPathDetectsCycles(t *testing.T) {
+	cyclic := []AssemblyTask{
+		{Name: "a", Days: 1, DependsOn: []string{"b"}},
+		{Name: "b", Days: 1, DependsOn: []string{"a"}},
+	}
+	if _, err := CriticalPathDays(cyclic); err == nil {
+		t.Error("cycle should be detected")
+	}
+	dangling := []AssemblyTask{{Name: "a", Days: 1, DependsOn: []string{"ghost"}}}
+	if _, err := CriticalPathDays(dangling); err == nil {
+		t.Error("unknown dependency should be detected")
+	}
+	dup := []AssemblyTask{{Name: "a", Days: 1}, {Name: "a", Days: 2}}
+	if _, err := CriticalPathDays(dup); err == nil {
+		t.Error("duplicate task should be detected")
+	}
+}
+
+func TestInstallationReport(t *testing.T) {
+	rep := InstallationReport(StandardShipment(), widePath(), 400)
+	if !strings.Contains(rep, "delivery path: OK") {
+		t.Errorf("report missing path verdict:\n%s", rep)
+	}
+	if !strings.Contains(rep, "critical path") {
+		t.Errorf("report missing schedule:\n%s", rep)
+	}
+	blocked := InstallationReport(StandardShipment(), []PathSegment{
+		{Name: "door", WidthCM: 80, HeightCM: 200},
+	}, 400)
+	if !strings.Contains(blocked, "obstructions") {
+		t.Errorf("report missing obstructions:\n%s", blocked)
+	}
+}

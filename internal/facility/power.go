@@ -1,0 +1,247 @@
+package facility
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// FeedState describes whether a utility feed is delivering.
+type FeedState int
+
+const (
+	FeedUp FeedState = iota
+	FeedDown
+)
+
+func (s FeedState) String() string {
+	if s == FeedUp {
+		return "up"
+	}
+	return "down"
+}
+
+// Feed is a single utility feed (one power circuit or one cooling-water
+// loop). Feeds fail and recover under external control (outage injection).
+type Feed struct {
+	Name  string
+	state FeedState
+}
+
+// NewFeed returns a feed that starts up.
+func NewFeed(name string) *Feed { return &Feed{Name: name, state: FeedUp} }
+
+// State returns the current feed state.
+func (f *Feed) State() FeedState { return f.state }
+
+// Fail marks the feed down.
+func (f *Feed) Fail() { f.state = FeedDown }
+
+// Restore marks the feed up.
+func (f *Feed) Restore() { f.state = FeedUp }
+
+// PowerSystem models the electrical supply to the quantum computer: one or
+// two grid feeds plus an optional UPS with finite runtime (§3.4 mentions UPS
+// battery checks; lesson 3 is the necessity of redundant infrastructure).
+type PowerSystem struct {
+	mu sync.Mutex
+
+	feeds       []*Feed
+	ups         bool
+	upsRuntimeS float64 // full-charge runtime at nominal load, seconds
+	upsChargeS  float64 // remaining runtime
+	loadKW      float64
+}
+
+// PowerOption configures a PowerSystem.
+type PowerOption func(*PowerSystem)
+
+// WithRedundantFeed adds a second independent grid feed.
+func WithRedundantFeed() PowerOption {
+	return func(p *PowerSystem) {
+		p.feeds = append(p.feeds, NewFeed(fmt.Sprintf("grid-%c", 'A'+len(p.feeds))))
+	}
+}
+
+// WithUPS adds an uninterruptible power supply with the given runtime.
+func WithUPS(runtimeSeconds float64) PowerOption {
+	return func(p *PowerSystem) {
+		p.ups = true
+		p.upsRuntimeS = runtimeSeconds
+		p.upsChargeS = runtimeSeconds
+	}
+}
+
+// NewPowerSystem builds a power system with one grid feed plus options.
+func NewPowerSystem(opts ...PowerOption) *PowerSystem {
+	p := &PowerSystem{feeds: []*Feed{NewFeed("grid-A")}}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Feeds returns the grid feeds (for outage injection).
+func (p *PowerSystem) Feeds() []*Feed {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Feed, len(p.feeds))
+	copy(out, p.feeds)
+	return out
+}
+
+// HasUPS reports whether a UPS is installed.
+func (p *PowerSystem) HasUPS() bool { return p.ups }
+
+// SetLoad records the present electrical draw in kW.
+func (p *PowerSystem) SetLoad(kw float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.loadKW = kw
+}
+
+// Load returns the present electrical draw in kW.
+func (p *PowerSystem) Load() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loadKW
+}
+
+// gridUp reports whether at least one grid feed is delivering.
+func (p *PowerSystem) gridUp() bool {
+	for _, f := range p.feeds {
+		if f.State() == FeedUp {
+			return true
+		}
+	}
+	return false
+}
+
+// Powered reports whether the load is currently energized (grid or UPS).
+func (p *PowerSystem) Powered() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gridUp() || (p.ups && p.upsChargeS > 0)
+}
+
+// OnGrid reports whether the grid (any feed) is up, ignoring the UPS.
+func (p *PowerSystem) OnGrid() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gridUp()
+}
+
+// UPSRemaining returns the remaining UPS runtime in seconds (0 if no UPS).
+func (p *PowerSystem) UPSRemaining() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.upsChargeS
+}
+
+// Advance moves the power system forward by dt seconds: the UPS discharges
+// while carrying the load and recharges (at 10% of discharge rate) on grid.
+func (p *PowerSystem) Advance(dt float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.ups {
+		return
+	}
+	if p.gridUp() {
+		p.upsChargeS += dt * 0.1
+		if p.upsChargeS > p.upsRuntimeS {
+			p.upsChargeS = p.upsRuntimeS
+		}
+		return
+	}
+	p.upsChargeS -= dt
+	if p.upsChargeS < 0 {
+		p.upsChargeS = 0
+	}
+}
+
+// CoolingWater models the facility cooling-water loop feeding the cryogenic
+// compressors and turbo pumps. The cryostat vendor requires 15–25 °C inlet
+// water (§2.3); exceeding the upper limit trips the cryogenic pumps (§3.5).
+type CoolingWater struct {
+	mu        sync.Mutex
+	feeds     []*Feed
+	supplyC   float64 // inlet temperature when healthy
+	driftRate float64 // °C/s warming when the loop is down
+	currentC  float64
+}
+
+// Cooling-water acceptance window (§2.3).
+const (
+	WaterMinC = 15.0
+	WaterMaxC = 25.0
+)
+
+// NewCoolingWater builds a loop at supplyC with optional feed redundancy.
+func NewCoolingWater(supplyC float64, redundant bool) *CoolingWater {
+	c := &CoolingWater{
+		feeds:     []*Feed{NewFeed("water-A")},
+		supplyC:   supplyC,
+		driftRate: 0.01, // ~0.6 °C/min warming when circulation stops
+		currentC:  supplyC,
+	}
+	if redundant {
+		c.feeds = append(c.feeds, NewFeed("water-B"))
+	}
+	return c
+}
+
+// Feeds returns the water feeds for outage injection.
+func (c *CoolingWater) Feeds() []*Feed {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Feed, len(c.feeds))
+	copy(out, c.feeds)
+	return out
+}
+
+// Healthy reports whether at least one loop feed is circulating.
+func (c *CoolingWater) Healthy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.anyUp()
+}
+
+func (c *CoolingWater) anyUp() bool {
+	for _, f := range c.feeds {
+		if f.State() == FeedUp {
+			return true
+		}
+	}
+	return false
+}
+
+// Temperature returns the present inlet water temperature, °C.
+func (c *CoolingWater) Temperature() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.currentC
+}
+
+// InWindow reports whether the water temperature satisfies the vendor
+// window of 15–25 °C.
+func (c *CoolingWater) InWindow() bool {
+	t := c.Temperature()
+	return t >= WaterMinC && t <= WaterMaxC
+}
+
+// Advance moves the loop forward dt seconds: warming toward ambient when
+// down, relaxing back to the supply temperature when up.
+func (c *CoolingWater) Advance(dt float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.anyUp() {
+		// First-order relaxation back to set point.
+		c.currentC += (c.supplyC - c.currentC) * math.Min(1, dt/120)
+		return
+	}
+	c.currentC += c.driftRate * dt
+	const ambient = 35.0 // machine-room return air near the heat exchanger
+	if c.currentC > ambient {
+		c.currentC = ambient
+	}
+}

@@ -1,0 +1,156 @@
+package facility
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerSingleFeedFailure(t *testing.T) {
+	p := NewPowerSystem()
+	if !p.Powered() {
+		t.Fatal("fresh system should be powered")
+	}
+	p.Feeds()[0].Fail()
+	if p.Powered() {
+		t.Error("single-feed system without UPS should lose power")
+	}
+	p.Feeds()[0].Restore()
+	if !p.Powered() {
+		t.Error("restored feed should re-energize the load")
+	}
+}
+
+func TestPowerRedundantFeedSurvivesSingleFailure(t *testing.T) {
+	p := NewPowerSystem(WithRedundantFeed())
+	feeds := p.Feeds()
+	if len(feeds) != 2 {
+		t.Fatalf("want 2 feeds, got %d", len(feeds))
+	}
+	feeds[0].Fail()
+	if !p.Powered() {
+		t.Error("redundant system should survive one feed failure")
+	}
+	feeds[1].Fail()
+	if p.Powered() {
+		t.Error("both feeds down should kill power")
+	}
+}
+
+func TestUPSCarriesLoadThenExpires(t *testing.T) {
+	p := NewPowerSystem(WithUPS(600)) // 10 minutes
+	p.Feeds()[0].Fail()
+	if !p.Powered() {
+		t.Fatal("UPS should carry the load immediately")
+	}
+	p.Advance(300)
+	if !p.Powered() {
+		t.Error("UPS should still be carrying at 5 minutes")
+	}
+	if rem := p.UPSRemaining(); math.Abs(rem-300) > 1e-9 {
+		t.Errorf("UPS remaining = %g s, want 300", rem)
+	}
+	p.Advance(400)
+	if p.Powered() {
+		t.Error("UPS exhausted, should be dark")
+	}
+	if p.UPSRemaining() != 0 {
+		t.Errorf("UPS remaining should clamp at 0, got %g", p.UPSRemaining())
+	}
+}
+
+func TestUPSRecharges(t *testing.T) {
+	p := NewPowerSystem(WithUPS(600))
+	p.Feeds()[0].Fail()
+	p.Advance(600) // drain fully
+	p.Feeds()[0].Restore()
+	p.Advance(1000) // recharge at 10% rate -> +100 s
+	if rem := p.UPSRemaining(); math.Abs(rem-100) > 1e-9 {
+		t.Errorf("UPS recharge = %g s, want 100", rem)
+	}
+	p.Advance(1e6) // cap at full
+	if rem := p.UPSRemaining(); rem != 600 {
+		t.Errorf("UPS should cap at 600 s, got %g", rem)
+	}
+}
+
+func TestOnGridIgnoresUPS(t *testing.T) {
+	p := NewPowerSystem(WithUPS(600))
+	p.Feeds()[0].Fail()
+	if p.OnGrid() {
+		t.Error("OnGrid should be false with grid down even if UPS is up")
+	}
+	if !p.Powered() {
+		t.Error("Powered should be true on UPS")
+	}
+}
+
+func TestPowerLoadAccounting(t *testing.T) {
+	p := NewPowerSystem()
+	p.SetLoad(30)
+	if p.Load() != 30 {
+		t.Errorf("load = %g, want 30", p.Load())
+	}
+}
+
+func TestCoolingWaterWarmsWhenDown(t *testing.T) {
+	c := NewCoolingWater(18, false)
+	if !c.Healthy() || !c.InWindow() {
+		t.Fatal("fresh loop should be healthy and in window")
+	}
+	c.Feeds()[0].Fail()
+	if c.Healthy() {
+		t.Error("loop with failed feed should be unhealthy")
+	}
+	// 0.01 °C/s: 1000 s raises 18 °C to 28 °C, out of the 15-25 window.
+	c.Advance(1000)
+	if c.InWindow() {
+		t.Errorf("water at %.1f °C should be out of window", c.Temperature())
+	}
+	if c.Temperature() <= 25 {
+		t.Errorf("water should exceed 25 °C, got %.1f", c.Temperature())
+	}
+}
+
+func TestCoolingWaterClampsAtAmbient(t *testing.T) {
+	c := NewCoolingWater(18, false)
+	c.Feeds()[0].Fail()
+	c.Advance(1e7)
+	if c.Temperature() > 35 {
+		t.Errorf("water should clamp at ambient 35 °C, got %.1f", c.Temperature())
+	}
+}
+
+func TestCoolingWaterRecovers(t *testing.T) {
+	c := NewCoolingWater(18, false)
+	c.Feeds()[0].Fail()
+	c.Advance(1000)
+	c.Feeds()[0].Restore()
+	for i := 0; i < 100; i++ {
+		c.Advance(60)
+	}
+	if math.Abs(c.Temperature()-18) > 0.5 {
+		t.Errorf("restored loop should relax to 18 °C, got %.1f", c.Temperature())
+	}
+}
+
+func TestCoolingWaterRedundancy(t *testing.T) {
+	c := NewCoolingWater(20, true)
+	feeds := c.Feeds()
+	if len(feeds) != 2 {
+		t.Fatalf("want 2 water feeds, got %d", len(feeds))
+	}
+	feeds[0].Fail()
+	if !c.Healthy() {
+		t.Error("redundant loop should survive one feed failure")
+	}
+	c.Advance(5000)
+	if !c.InWindow() {
+		t.Errorf("redundant loop should hold temperature, got %.1f °C", c.Temperature())
+	}
+}
+
+func TestFeedStateString(t *testing.T) {
+	if FeedUp.String() != "up" || FeedDown.String() != "down" {
+		t.Error("FeedState string values wrong")
+	}
+}

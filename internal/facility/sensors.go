@@ -1,0 +1,317 @@
+// Package facility models the data-center environment around the quantum
+// computer: the environmental conditions a site survey must measure (§2.1,
+// Table 1), the power and cooling infrastructure with optional redundancy
+// (§2.2, §2.3, lesson 3), and the physical access constraints (§2.5).
+//
+// Real survey instruments (3-axis fluxgate magnetometers, vibration sensors,
+// omnidirectional microphones, thermometers, hygrometers) are replaced by
+// synthetic signal generators that produce physically-plausible time series
+// for a configurable environment, so the measurement → spectral analysis →
+// acceptance pipeline is exercised end to end.
+package facility
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Environment describes the disturbance sources present at a candidate site.
+// All values describe amplitudes at the planned cryostat location, i.e. after
+// whatever attenuation distance provides.
+type Environment struct {
+	// DC magnetic field per axis, tesla. Earth's field is ~50 µT; steel
+	// structures and DC rail systems shift it.
+	DCFieldT [3]float64
+
+	// Mains interference: 50 Hz AC magnetic field amplitude per axis, tesla.
+	MainsFieldT [3]float64
+
+	// TramLine injects low-frequency vibration bursts and quasi-DC magnetic
+	// transients, the classic streetcar signature (§2.1).
+	TramLine *TramLine
+
+	// HVAC contributes a fixed-frequency vibration and acoustic hum.
+	HVAC *HVAC
+
+	// AmbientSoundDBA is the broadband background noise level.
+	AmbientSoundDBA float64
+
+	// MusicEvents models impulsive loud broadband noise ("Finnish death
+	// metal played at high volume", §2.1): occasional loud wideband bursts.
+	MusicEvents *MusicEvents
+
+	// BaseVibration is the broadband floor vibration RMS, m/s.
+	BaseVibration float64
+
+	// Temperature control quality at the electronics cabinet location.
+	TempSetpointC  float64 // nominal room temperature
+	TempDailySwing float64 // peak amplitude of the 24 h cycle, °C
+	TempNoiseC     float64 // fast fluctuation sigma, °C
+
+	// Relative humidity behaviour, percent.
+	HumidityMean  float64
+	HumiditySwing float64 // daily cycle amplitude
+	HumidityNoise float64
+}
+
+// TramLine models a nearby streetcar/metro line.
+type TramLine struct {
+	DistanceM    float64 // distance from the site, metres
+	PassInterval float64 // mean seconds between tram passes
+	// Reference amplitudes at 10 m, attenuated as 1/r for vibration
+	// (surface waves) and 1/r^2 for the magnetic transient.
+	VibAt10m   float64 // m/s RMS during a pass
+	FieldAt10m float64 // tesla quasi-DC magnetic swing during a pass
+}
+
+// vibAmplitude returns the vibration velocity amplitude at the site.
+func (t *TramLine) vibAmplitude() float64 {
+	if t == nil || t.DistanceM <= 0 {
+		return 0
+	}
+	return t.VibAt10m * 10 / t.DistanceM
+}
+
+func (t *TramLine) fieldAmplitude() float64 {
+	if t == nil || t.DistanceM <= 0 {
+		return 0
+	}
+	return t.FieldAt10m * 100 / (t.DistanceM * t.DistanceM)
+}
+
+// HVAC models the building air-handling plant.
+type HVAC struct {
+	FrequencyHz float64 // blower rotation frequency, typically 20-60 Hz
+	VibRMS      float64 // vibration contribution, m/s RMS
+	SoundDBA    float64 // acoustic contribution at the cryostat location
+}
+
+// MusicEvents models impulsive wideband acoustic events.
+type MusicEvents struct {
+	MeanInterval float64 // seconds between events
+	Duration     float64 // event length, seconds
+	LevelDBA     float64 // level during an event
+}
+
+// Quiet returns an environment comfortably inside every Table 1 limit —
+// the profile of a well-chosen basement lab.
+func Quiet() Environment {
+	return Environment{
+		DCFieldT:        [3]float64{48e-6, 5e-6, 12e-6}, // Earth field dominated
+		MainsFieldT:     [3]float64{0.05e-6, 0.04e-6, 0.08e-6},
+		AmbientSoundDBA: 52,
+		BaseVibration:   40e-6,
+		TempSetpointC:   21,
+		TempDailySwing:  0.25,
+		TempNoiseC:      0.05,
+		HumidityMean:    42,
+		HumiditySwing:   4,
+		HumidityNoise:   0.8,
+	}
+}
+
+// NoisyUrban returns an environment with a close tram line and weak HVAC
+// isolation — the profile that fails the survey.
+func NoisyUrban() Environment {
+	env := Quiet()
+	env.TramLine = &TramLine{
+		DistanceM:    20,
+		PassInterval: 300,
+		VibAt10m:     2500e-6,
+		FieldAt10m:   80e-6,
+	}
+	env.HVAC = &HVAC{FrequencyHz: 48, VibRMS: 250e-6, SoundDBA: 74}
+	env.AmbientSoundDBA = 68
+	env.MainsFieldT = [3]float64{1.6e-6, 0.9e-6, 2.1e-6}
+	env.TempDailySwing = 1.6
+	env.HumidityMean = 55
+	env.HumiditySwing = 12
+	return env
+}
+
+// Borderline returns an environment near the acceptance limits: passable
+// after mitigation, the profile that makes survey quantification worthwhile.
+func Borderline() Environment {
+	env := Quiet()
+	env.TramLine = &TramLine{
+		DistanceM:    220,
+		PassInterval: 240,
+		VibAt10m:     2500e-6,
+		FieldAt10m:   80e-6,
+	}
+	env.HVAC = &HVAC{FrequencyHz: 32, VibRMS: 120e-6, SoundDBA: 66}
+	env.AmbientSoundDBA = 61
+	env.MainsFieldT = [3]float64{0.5e-6, 0.3e-6, 0.7e-6}
+	env.TempDailySwing = 0.8
+	return env
+}
+
+// SensorSuite generates the synthetic instrument recordings for an
+// environment. It is deterministic for a given seed.
+type SensorSuite struct {
+	Env  Environment
+	Seed int64
+}
+
+// MagneticSample is one 3-axis fluxgate reading in tesla.
+type MagneticSample [3]float64
+
+// RecordDCField samples the 3-axis fluxgate at rate Hz for dur seconds and
+// returns per-axis time series (tesla), including slow tram-induced swings.
+func (s *SensorSuite) RecordDCField(rate, dur float64) [3][]float64 {
+	n := int(rate * dur)
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x1))
+	var out [3][]float64
+	for a := 0; a < 3; a++ {
+		out[a] = make([]float64, n)
+	}
+	tram := s.Env.TramLine
+	tramAmp := tram.fieldAmplitude()
+	for i := 0; i < n; i++ {
+		t := float64(i) / rate
+		tramSwing := 0.0
+		if tram != nil && tramAmp > 0 {
+			// Quasi-periodic passes: raised-cosine bumps of ~20 s.
+			phase := math.Mod(t, tram.PassInterval)
+			if phase < 20 {
+				tramSwing = tramAmp * 0.5 * (1 - math.Cos(2*math.Pi*phase/20))
+			}
+		}
+		for a := 0; a < 3; a++ {
+			out[a][i] = s.Env.DCFieldT[a] + tramSwing + rng.NormFloat64()*5e-9
+		}
+	}
+	return out
+}
+
+// RecordACField samples the AC (5 Hz – 1 kHz) magnetic environment at rate Hz
+// for dur seconds. The dominant term is mains hum at 50 Hz plus harmonics.
+func (s *SensorSuite) RecordACField(rate, dur float64) [3][]float64 {
+	n := int(rate * dur)
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x2))
+	var out [3][]float64
+	for a := 0; a < 3; a++ {
+		out[a] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i) / rate
+		for a := 0; a < 3; a++ {
+			amp := s.Env.MainsFieldT[a]
+			v := amp * math.Sin(2*math.Pi*50*t)
+			v += 0.3 * amp * math.Sin(2*math.Pi*150*t) // 3rd harmonic
+			v += 0.1 * amp * math.Sin(2*math.Pi*250*t) // 5th harmonic
+			v += rng.NormFloat64() * 2e-9
+			out[a][i] = v
+		}
+	}
+	return out
+}
+
+// RecordVibration samples the single-axis floor vibration sensor (velocity,
+// m/s) at rate Hz for dur seconds.
+func (s *SensorSuite) RecordVibration(rate, dur float64) []float64 {
+	n := int(rate * dur)
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x3))
+	out := make([]float64, n)
+	env := s.Env
+	tramAmp := env.TramLine.vibAmplitude()
+	for i := 0; i < n; i++ {
+		t := float64(i) / rate
+		v := rng.NormFloat64() * env.BaseVibration
+		if env.HVAC != nil {
+			v += env.HVAC.VibRMS * math.Sqrt2 * math.Sin(2*math.Pi*env.HVAC.FrequencyHz*t)
+		}
+		if env.TramLine != nil && tramAmp > 0 {
+			phase := math.Mod(t, env.TramLine.PassInterval)
+			if phase < 20 {
+				envlp := 0.5 * (1 - math.Cos(2*math.Pi*phase/20))
+				// Tram energy concentrates around 5-25 Hz.
+				v += tramAmp * envlp * (math.Sin(2*math.Pi*8*t) + 0.6*math.Sin(2*math.Pi*16*t))
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// RecordSound samples the omnidirectional microphone (pressure, pascal) at
+// rate Hz for dur seconds. The background is shaped broadband noise; HVAC
+// adds a tonal hum; music events add loud wideband bursts.
+func (s *SensorSuite) RecordSound(rate, dur float64) []float64 {
+	n := int(rate * dur)
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x4))
+	out := make([]float64, n)
+	basePa := splToRMSPa(s.Env.AmbientSoundDBA)
+	hvacPa := 0.0
+	hvacFreq := 0.0
+	if s.Env.HVAC != nil {
+		hvacPa = splToRMSPa(s.Env.HVAC.SoundDBA)
+		hvacFreq = s.Env.HVAC.FrequencyHz * 4 // blade-pass tone
+	}
+	musicPa := 0.0
+	if s.Env.MusicEvents != nil {
+		musicPa = splToRMSPa(s.Env.MusicEvents.LevelDBA)
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i) / rate
+		v := rng.NormFloat64() * basePa
+		if hvacPa > 0 {
+			v += hvacPa * math.Sqrt2 * math.Sin(2*math.Pi*hvacFreq*t)
+		}
+		if me := s.Env.MusicEvents; me != nil && musicPa > 0 {
+			phase := math.Mod(t, me.MeanInterval)
+			if phase < me.Duration {
+				v += rng.NormFloat64() * musicPa
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// RecordTemperature samples the thermometer at the electronics cabinet
+// (°C) at rate Hz for dur seconds (dur must cover >= 25 h for a valid survey,
+// per §2.1). The series contains a 24 h cycle plus fast noise.
+func (s *SensorSuite) RecordTemperature(rate, dur float64) []float64 {
+	n := int(rate * dur)
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5))
+	out := make([]float64, n)
+	const day = 86400.0
+	for i := 0; i < n; i++ {
+		t := float64(i) / rate
+		out[i] = s.Env.TempSetpointC +
+			s.Env.TempDailySwing*math.Sin(2*math.Pi*t/day) +
+			rng.NormFloat64()*s.Env.TempNoiseC
+	}
+	return out
+}
+
+// RecordHumidity samples the hygrometer (percent RH) at rate Hz for dur
+// seconds.
+func (s *SensorSuite) RecordHumidity(rate, dur float64) []float64 {
+	n := int(rate * dur)
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x6))
+	out := make([]float64, n)
+	const day = 86400.0
+	for i := 0; i < n; i++ {
+		t := float64(i) / rate
+		v := s.Env.HumidityMean +
+			s.Env.HumiditySwing*math.Sin(2*math.Pi*t/day+1.3) +
+			rng.NormFloat64()*s.Env.HumidityNoise
+		if v < 0 {
+			v = 0
+		}
+		if v > 100 {
+			v = 100
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// splToRMSPa converts a dBA-ish broadband level into an RMS pascal figure for
+// synthesis. For broadband noise we treat dBA ≈ dB SPL, which is adequate for
+// generating test signals whose analyzed level lands near the target.
+func splToRMSPa(db float64) float64 {
+	return 20e-6 * math.Pow(10, db/20)
+}

@@ -1,0 +1,310 @@
+package facility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dsp"
+)
+
+// Acceptance limits from Table 1 of the paper.
+const (
+	DCFieldLimitT          = 100e-6 // <100 µT per axis
+	ACFieldLimitT          = 1e-6   // <1 µT peak-to-peak, 5 Hz – 1 kHz
+	ACFieldLoHz            = 5.0
+	ACFieldHiHz            = 1000.0
+	VibrationLimitRMS      = 400e-6 // <400 µm/s RMS, 1–200 Hz
+	VibrationLoHz          = 1.0
+	VibrationHiHz          = 200.0
+	SoundLimitDBA          = 80.0 // <80 dBA over 20 Hz – 20 kHz
+	SoundLoHz              = 20.0
+	SoundHiHz              = 20000.0
+	TempExcursionLimitC    = 1.0 // ΔT < ±1 °C within 12 h around set point
+	TempSetpointLoC        = 20.0
+	TempSetpointHiC        = 25.0
+	HumidityLoPct          = 25.0
+	HumidityHiPct          = 60.0
+	MinSurveyHours         = 25.0 // temp/humidity must cover a full day cycle
+	MinDeliveryPathWidthCM = 90.0
+	MaxFloorLoadKgM2       = 1000.0
+	MinCellTowerDistanceM  = 100.0
+	MinFluorescentDistM    = 2.0
+)
+
+// Criterion identifies one Table 1 measurement.
+type Criterion string
+
+const (
+	CritDCField     Criterion = "dc-magnetic-field"
+	CritACField     Criterion = "ac-magnetic-field"
+	CritVibration   Criterion = "floor-vibration"
+	CritSound       Criterion = "sound-pressure"
+	CritTemperature Criterion = "temperature"
+	CritHumidity    Criterion = "humidity"
+)
+
+// Result is the outcome of evaluating one criterion at one site.
+type Result struct {
+	Criterion Criterion
+	Measured  float64 // worst-case measured value, in criterion units
+	Limit     float64
+	Unit      string
+	Pass      bool
+	Detail    string
+}
+
+func (r Result) String() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-20s %-5s measured %-12.4g limit %-12.4g %s  %s",
+		r.Criterion, verdict, r.Measured, r.Limit, r.Unit, r.Detail)
+}
+
+// Site is a candidate location inside the HPC facility.
+type Site struct {
+	Name            string
+	Env             Environment
+	DeliveryWidthCM float64 // narrowest point on the delivery path (§2.1)
+	FloorLoadKgM2   float64 // floor load rating
+	CellTowerDistM  float64 // distance to nearest cellular base station
+	FluorescentM    float64 // distance to nearest fluorescent lighting
+}
+
+// SurveyConfig controls the synthetic measurement campaign.
+type SurveyConfig struct {
+	Seed int64
+	// Sample rates (Hz) and durations (s) per instrument. Zero values take
+	// the defaults below.
+	MagRate, MagDur     float64
+	VibRate, VibDur     float64
+	SoundRate, SoundDur float64
+	SlowRate, SlowDur   float64 // temperature & humidity
+}
+
+func (c *SurveyConfig) defaults() {
+	if c.MagRate == 0 {
+		c.MagRate = 4096
+	}
+	if c.MagDur == 0 {
+		c.MagDur = 8
+	}
+	if c.VibRate == 0 {
+		c.VibRate = 1024
+	}
+	if c.VibDur == 0 {
+		c.VibDur = 32
+	}
+	if c.SoundRate == 0 {
+		c.SoundRate = 48000
+	}
+	if c.SoundDur == 0 {
+		c.SoundDur = 2
+	}
+	if c.SlowRate == 0 {
+		c.SlowRate = 1.0 / 60 // one sample a minute
+	}
+	if c.SlowDur == 0 {
+		c.SlowDur = 26 * 3600 // 26 h, above the 25 h minimum
+	}
+}
+
+// Report is the full survey outcome for one site.
+type Report struct {
+	Site       string
+	Results    []Result
+	Structural []Result // delivery path, floor load, distances
+	Accepted   bool
+}
+
+// FailureCount returns how many criteria (environmental + structural) failed.
+func (r *Report) FailureCount() int {
+	n := 0
+	for _, res := range r.Results {
+		if !res.Pass {
+			n++
+		}
+	}
+	for _, res := range r.Structural {
+		if !res.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Site survey: %s\n", r.Site)
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "  %s\n", res)
+	}
+	for _, res := range r.Structural {
+		fmt.Fprintf(&b, "  %s\n", res)
+	}
+	verdict := "ACCEPTED"
+	if !r.Accepted {
+		verdict = "REJECTED"
+	}
+	fmt.Fprintf(&b, "  => %s (%d failing criteria)\n", verdict, r.FailureCount())
+	return b.String()
+}
+
+// Survey runs the full Table 1 measurement campaign against a site and
+// evaluates every acceptance criterion.
+func Survey(site Site, cfg SurveyConfig) (*Report, error) {
+	cfg.defaults()
+	if cfg.SlowDur < MinSurveyHours*3600 {
+		return nil, fmt.Errorf("facility: temperature/humidity measurement must cover at least %.0f h to capture a full building cycle, got %.1f h",
+			MinSurveyHours, cfg.SlowDur/3600)
+	}
+	suite := &SensorSuite{Env: site.Env, Seed: cfg.Seed}
+	rep := &Report{Site: site.Name}
+
+	// --- DC magnetic field: worst per-axis mean must stay under 100 µT.
+	dc := suite.RecordDCField(cfg.MagRate, cfg.MagDur)
+	worstDC := 0.0
+	axis := 0
+	for a := 0; a < 3; a++ {
+		_, maxV := dsp.MinMax(dc[a])
+		if v := math.Abs(maxV); v > worstDC {
+			worstDC, axis = v, a
+		}
+	}
+	rep.Results = append(rep.Results, Result{
+		Criterion: CritDCField, Measured: worstDC, Limit: DCFieldLimitT, Unit: "T",
+		Pass:   worstDC < DCFieldLimitT,
+		Detail: fmt.Sprintf("worst axis %d", axis),
+	})
+
+	// --- AC magnetic field: peak-to-peak spectrum amplitude in 5 Hz–1 kHz.
+	ac := suite.RecordACField(cfg.MagRate, cfg.MagDur)
+	worstAC := 0.0
+	worstFreq := 0.0
+	for a := 0; a < 3; a++ {
+		spec, err := dsp.AmplitudeSpectrum(ac[a], cfg.MagRate, dsp.Hann)
+		if err != nil {
+			return nil, fmt.Errorf("facility: AC field spectrum: %w", err)
+		}
+		pp := spec.PeakToPeakInBand(ACFieldLoHz, ACFieldHiHz)
+		if pp > worstAC {
+			worstAC = pp
+			_, worstFreq = spec.PeakInBand(ACFieldLoHz, ACFieldHiHz)
+		}
+	}
+	rep.Results = append(rep.Results, Result{
+		Criterion: CritACField, Measured: worstAC, Limit: ACFieldLimitT, Unit: "T p-p",
+		Pass:   worstAC < ACFieldLimitT,
+		Detail: fmt.Sprintf("dominant component at %.0f Hz", worstFreq),
+	})
+
+	// --- Floor vibration: RMS spectrum amplitude in 1–200 Hz.
+	vib := suite.RecordVibration(cfg.VibRate, cfg.VibDur)
+	vibSpec, err := dsp.AmplitudeSpectrum(vib, cfg.VibRate, dsp.Hann)
+	if err != nil {
+		return nil, fmt.Errorf("facility: vibration spectrum: %w", err)
+	}
+	vibRMS := vibSpec.BandRMS(VibrationLoHz, VibrationHiHz)
+	_, vibPeakFreq := vibSpec.PeakInBand(VibrationLoHz, VibrationHiHz)
+	rep.Results = append(rep.Results, Result{
+		Criterion: CritVibration, Measured: vibRMS, Limit: VibrationLimitRMS, Unit: "m/s RMS",
+		Pass:   vibRMS < VibrationLimitRMS,
+		Detail: fmt.Sprintf("strongest line at %.0f Hz (ISO office limit)", vibPeakFreq),
+	})
+
+	// --- Sound pressure: integrated dBA over 20 Hz – 20 kHz.
+	snd := suite.RecordSound(cfg.SoundRate, cfg.SoundDur)
+	dba, err := dsp.SoundLevelDBA(snd, cfg.SoundRate, SoundLoHz, SoundHiHz)
+	if err != nil {
+		return nil, fmt.Errorf("facility: sound analysis: %w", err)
+	}
+	rep.Results = append(rep.Results, Result{
+		Criterion: CritSound, Measured: dba, Limit: SoundLimitDBA, Unit: "dBA",
+		Pass:   dba < SoundLimitDBA,
+		Detail: "integrated 20 Hz – 20 kHz",
+	})
+
+	// --- Temperature: ΔT < ±1 °C within any 12 h window around a set point
+	// in 20–25 °C. We use the series median as the achieved set point.
+	temp := suite.RecordTemperature(cfg.SlowRate, cfg.SlowDur)
+	setpoint := dsp.Percentile(temp, 50)
+	window := int(12 * 3600 * cfg.SlowRate)
+	worstDrift := dsp.MaxDriftOverWindow(temp, window) / 2 // ± excursion
+	tempOK := worstDrift < TempExcursionLimitC &&
+		setpoint >= TempSetpointLoC && setpoint <= TempSetpointHiC
+	rep.Results = append(rep.Results, Result{
+		Criterion: CritTemperature, Measured: worstDrift, Limit: TempExcursionLimitC, Unit: "°C ±",
+		Pass:   tempOK,
+		Detail: fmt.Sprintf("set point %.1f °C over %.0f h", setpoint, cfg.SlowDur/3600),
+	})
+
+	// --- Humidity: 25–60 % non-condensing over the whole campaign.
+	hum := suite.RecordHumidity(cfg.SlowRate, cfg.SlowDur)
+	minH, maxH := dsp.MinMax(hum)
+	humOK := minH >= HumidityLoPct && maxH <= HumidityHiPct
+	measuredH := maxH
+	if HumidityLoPct-minH > maxH-HumidityHiPct {
+		measuredH = minH
+	}
+	rep.Results = append(rep.Results, Result{
+		Criterion: CritHumidity, Measured: measuredH, Limit: HumidityHiPct, Unit: "%RH",
+		Pass:   humOK,
+		Detail: fmt.Sprintf("range %.1f–%.1f %%", minH, maxH),
+	})
+
+	// --- Structural criteria (§2.1, §2.5).
+	rep.Structural = append(rep.Structural,
+		Result{
+			Criterion: "delivery-path-width", Measured: site.DeliveryWidthCM,
+			Limit: MinDeliveryPathWidthCM, Unit: "cm",
+			Pass:   site.DeliveryWidthCM >= MinDeliveryPathWidthCM,
+			Detail: "narrowest point dock→staging",
+		},
+		Result{
+			Criterion: "floor-load", Measured: site.FloorLoadKgM2,
+			Limit: MaxFloorLoadKgM2, Unit: "kg/m²",
+			Pass:   site.FloorLoadKgM2 >= MaxFloorLoadKgM2,
+			Detail: "system requires 1000 kg/m²",
+		},
+		Result{
+			Criterion: "cell-tower-distance", Measured: site.CellTowerDistM,
+			Limit: MinCellTowerDistanceM, Unit: "m",
+			Pass:   site.CellTowerDistM >= MinCellTowerDistanceM,
+			Detail: "non-ionizing radiation sources",
+		},
+		Result{
+			Criterion: "fluorescent-distance", Measured: site.FluorescentM,
+			Limit: MinFluorescentDistM, Unit: "m",
+			Pass:   site.FluorescentM >= MinFluorescentDistM,
+			Detail: "fluorescent lighting",
+		},
+	)
+
+	rep.Accepted = rep.FailureCount() == 0
+	return rep, nil
+}
+
+// RankSites surveys every candidate and returns reports sorted best-first
+// (fewest failures, then name for determinism). This mirrors the three-
+// candidate selection process described in §2.1.
+func RankSites(sites []Site, cfg SurveyConfig) ([]*Report, error) {
+	reports := make([]*Report, 0, len(sites))
+	for _, s := range sites {
+		rep, err := Survey(s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("facility: surveying %s: %w", s.Name, err)
+		}
+		reports = append(reports, rep)
+	}
+	sort.SliceStable(reports, func(i, j int) bool {
+		fi, fj := reports[i].FailureCount(), reports[j].FailureCount()
+		if fi != fj {
+			return fi < fj
+		}
+		return reports[i].Site < reports[j].Site
+	})
+	return reports, nil
+}

@@ -1,0 +1,209 @@
+package facility
+
+import (
+	"strings"
+	"testing"
+)
+
+func goodSite() Site {
+	return Site{
+		Name:            "basement-lab",
+		Env:             Quiet(),
+		DeliveryWidthCM: 120,
+		FloorLoadKgM2:   1500,
+		CellTowerDistM:  800,
+		FluorescentM:    6,
+	}
+}
+
+func TestSurveyAcceptsQuietSite(t *testing.T) {
+	rep, err := Survey(goodSite(), SurveyConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatalf("quiet site rejected:\n%s", rep)
+	}
+	if got := rep.FailureCount(); got != 0 {
+		t.Errorf("failure count = %d, want 0", got)
+	}
+	if len(rep.Results) != 6 {
+		t.Errorf("want 6 Table 1 criteria, got %d", len(rep.Results))
+	}
+	if len(rep.Structural) != 4 {
+		t.Errorf("want 4 structural criteria, got %d", len(rep.Structural))
+	}
+}
+
+func TestSurveyRejectsNoisyUrbanSite(t *testing.T) {
+	site := goodSite()
+	site.Name = "street-side"
+	site.Env = NoisyUrban()
+	rep, err := Survey(site, SurveyConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatalf("noisy urban site accepted:\n%s", rep)
+	}
+	// The tram line and weak HVAC isolation must show up in vibration and
+	// AC-field criteria specifically.
+	failed := map[Criterion]bool{}
+	for _, r := range rep.Results {
+		if !r.Pass {
+			failed[r.Criterion] = true
+		}
+	}
+	if !failed[CritVibration] {
+		t.Error("expected vibration criterion to fail at noisy site")
+	}
+	if !failed[CritACField] {
+		t.Error("expected AC magnetic field criterion to fail at noisy site")
+	}
+}
+
+func TestSurveyRejectsTooShortCampaign(t *testing.T) {
+	_, err := Survey(goodSite(), SurveyConfig{Seed: 1, SlowDur: 10 * 3600})
+	if err == nil {
+		t.Fatal("expected error for <25 h temperature campaign")
+	}
+	if !strings.Contains(err.Error(), "25") {
+		t.Errorf("error should mention the 25 h minimum: %v", err)
+	}
+}
+
+func TestSurveyStructuralFailures(t *testing.T) {
+	site := goodSite()
+	site.DeliveryWidthCM = 80 // narrower than the 90 cm minimum
+	site.FloorLoadKgM2 = 500
+	site.CellTowerDistM = 30
+	site.FluorescentM = 1
+	rep, err := Survey(site, SurveyConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatal("site with failing structural criteria accepted")
+	}
+	failures := 0
+	for _, r := range rep.Structural {
+		if !r.Pass {
+			failures++
+		}
+	}
+	if failures != 4 {
+		t.Errorf("want 4 structural failures, got %d", failures)
+	}
+}
+
+func TestSurveyDetectsMusicEvents(t *testing.T) {
+	site := goodSite()
+	env := Quiet()
+	env.MusicEvents = &MusicEvents{MeanInterval: 1, Duration: 0.8, LevelDBA: 95}
+	site.Env = env
+	rep, err := Survey(site, SurveyConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sound *Result
+	for i := range rep.Results {
+		if rep.Results[i].Criterion == CritSound {
+			sound = &rep.Results[i]
+		}
+	}
+	if sound == nil {
+		t.Fatal("no sound criterion in report")
+	}
+	if sound.Pass {
+		t.Errorf("95 dBA music should fail the 80 dBA limit, measured %.1f dBA", sound.Measured)
+	}
+}
+
+func TestSurveyTemperatureInstabilityFails(t *testing.T) {
+	site := goodSite()
+	env := Quiet()
+	env.TempDailySwing = 2.5 // ±2.5 °C swing busts the ±1 °C criterion
+	site.Env = env
+	rep, err := Survey(site, SurveyConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Criterion == CritTemperature && r.Pass {
+			t.Errorf("unstable temperature passed: measured ±%.2f °C", r.Measured)
+		}
+	}
+}
+
+func TestSurveyHumidityOutOfRangeFails(t *testing.T) {
+	site := goodSite()
+	env := Quiet()
+	env.HumidityMean = 70 // above the 60% ceiling
+	site.Env = env
+	rep, err := Survey(site, SurveyConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Criterion == CritHumidity && r.Pass {
+			t.Errorf("70%% RH should fail the 25-60%% window")
+		}
+	}
+}
+
+func TestSurveyIsDeterministicForSeed(t *testing.T) {
+	a, err := Survey(goodSite(), SurveyConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Survey(goodSite(), SurveyConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if a.Results[i].Measured != b.Results[i].Measured {
+			t.Errorf("criterion %s not deterministic: %g vs %g",
+				a.Results[i].Criterion, a.Results[i].Measured, b.Results[i].Measured)
+		}
+	}
+}
+
+func TestRankSitesOrdersBestFirst(t *testing.T) {
+	sites := []Site{
+		{Name: "street-side", Env: NoisyUrban(), DeliveryWidthCM: 100, FloorLoadKgM2: 1200, CellTowerDistM: 500, FluorescentM: 5},
+		{Name: "basement", Env: Quiet(), DeliveryWidthCM: 100, FloorLoadKgM2: 1200, CellTowerDistM: 500, FluorescentM: 5},
+		{Name: "mezzanine", Env: Borderline(), DeliveryWidthCM: 100, FloorLoadKgM2: 1200, CellTowerDistM: 500, FluorescentM: 5},
+	}
+	reports, err := RankSites(sites, SurveyConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("want 3 reports, got %d", len(reports))
+	}
+	if reports[0].Site != "basement" {
+		t.Errorf("best site = %s, want basement", reports[0].Site)
+	}
+	if reports[len(reports)-1].Site != "street-side" {
+		t.Errorf("worst site = %s, want street-side", reports[len(reports)-1].Site)
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i-1].FailureCount() > reports[i].FailureCount() {
+			t.Error("reports not sorted by failure count")
+		}
+	}
+}
+
+func TestReportStringContainsVerdict(t *testing.T) {
+	rep, err := Survey(goodSite(), SurveyConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "ACCEPTED") {
+		t.Errorf("report string missing verdict:\n%s", s)
+	}
+	if !strings.Contains(s, "dc-magnetic-field") {
+		t.Errorf("report string missing criteria:\n%s", s)
+	}
+}

@@ -1,0 +1,363 @@
+// Package hpc models the classical resource-management framework the
+// quantum computer integrates into: a batch scheduler over CPU nodes with
+// the QPU as a schedulable resource, FIFO dispatch with backfill,
+// and maintenance reservations through which the HPC center controls
+// calibration slots (§3.2: "the center retains full control over scheduling
+// these maintenance and calibration slots").
+//
+// Time is simulation seconds driven by Advance, never the wall clock.
+package hpc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// JobState tracks a job through its lifecycle.
+type JobState int
+
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobCompleted
+	JobCancelled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobCompleted:
+		return "completed"
+	case JobCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Job is a batch job requesting CPU nodes and optionally the QPU.
+type Job struct {
+	ID       int
+	Name     string
+	Nodes    int     // CPU nodes requested
+	NeedsQPU bool    // hybrid job co-allocating the quantum resource
+	Duration float64 // seconds of runtime once started
+	Priority int     // higher runs earlier
+
+	State      JobState
+	SubmitTime float64
+	StartTime  float64
+	EndTime    float64
+}
+
+// WaitTime returns the queue wait of a started job.
+func (j *Job) WaitTime() float64 {
+	if j.State == JobQueued || j.State == JobCancelled {
+		return 0
+	}
+	return j.StartTime - j.SubmitTime
+}
+
+// Reservation blocks the QPU (and optionally nodes) for maintenance or
+// calibration during [Start, Start+Duration).
+type Reservation struct {
+	ID       int
+	Name     string
+	Start    float64
+	Duration float64
+	QPU      bool // reserves the quantum resource
+	Nodes    int  // CPU nodes withheld from scheduling
+}
+
+func (r Reservation) covers(t float64) bool {
+	return t >= r.Start && t < r.Start+r.Duration
+}
+
+// Scheduler is the cluster state.
+type Scheduler struct {
+	mu sync.Mutex
+
+	totalNodes int
+	qpuPresent bool
+
+	now          float64
+	nextJobID    int
+	nextResID    int
+	queue        []*Job
+	running      []*Job
+	done         []*Job
+	reservations []Reservation
+
+	// qpuOnline mirrors device availability: outages and calibration take
+	// the QPU resource offline (§3).
+	qpuOnline bool
+
+	// accounting
+	nodeSecondsUsed float64
+	qpuSecondsUsed  float64
+	qpuSecondsCal   float64
+}
+
+// NewScheduler builds a cluster with the given CPU node count and one QPU.
+func NewScheduler(nodes int) (*Scheduler, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("hpc: cluster needs at least one node")
+	}
+	return &Scheduler{totalNodes: nodes, qpuPresent: true, qpuOnline: true}, nil
+}
+
+// Now returns the scheduler's simulation time.
+func (s *Scheduler) Now() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// SetQPUOnline marks the quantum resource available or unavailable.
+func (s *Scheduler) SetQPUOnline(online bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.qpuOnline = online
+}
+
+// QPUOnline reports quantum-resource availability.
+func (s *Scheduler) QPUOnline() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.qpuOnline
+}
+
+// Submit enqueues a job and returns its ID.
+func (s *Scheduler) Submit(name string, nodes int, needsQPU bool, duration float64, priority int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if nodes < 0 || nodes > s.totalNodes {
+		return 0, fmt.Errorf("hpc: job wants %d nodes, cluster has %d", nodes, s.totalNodes)
+	}
+	if nodes == 0 && !needsQPU {
+		return 0, fmt.Errorf("hpc: job requests no resources")
+	}
+	if duration <= 0 {
+		return 0, fmt.Errorf("hpc: job duration must be positive")
+	}
+	s.nextJobID++
+	j := &Job{
+		ID: s.nextJobID, Name: name, Nodes: nodes, NeedsQPU: needsQPU,
+		Duration: duration, Priority: priority,
+		State: JobQueued, SubmitTime: s.now,
+	}
+	s.queue = append(s.queue, j)
+	return j.ID, nil
+}
+
+// Cancel removes a queued job.
+func (s *Scheduler) Cancel(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, j := range s.queue {
+		if j.ID == id {
+			j.State = JobCancelled
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.done = append(s.done, j)
+			return nil
+		}
+	}
+	return fmt.Errorf("hpc: job %d not in queue", id)
+}
+
+// Reserve books a maintenance/calibration window. Overlapping QPU
+// reservations are rejected.
+func (s *Scheduler) Reserve(name string, start, duration float64, qpu bool, nodes int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if start < s.now {
+		return 0, fmt.Errorf("hpc: reservation starts in the past (%g < %g)", start, s.now)
+	}
+	if duration <= 0 {
+		return 0, fmt.Errorf("hpc: reservation duration must be positive")
+	}
+	if qpu {
+		for _, r := range s.reservations {
+			if r.QPU && start < r.Start+r.Duration && r.Start < start+duration {
+				return 0, fmt.Errorf("hpc: QPU reservation overlaps %q", r.Name)
+			}
+		}
+	}
+	s.nextResID++
+	s.reservations = append(s.reservations, Reservation{
+		ID: s.nextResID, Name: name, Start: start, Duration: duration, QPU: qpu, Nodes: nodes,
+	})
+	return s.nextResID, nil
+}
+
+// Reservations returns a copy of the reservation list.
+func (s *Scheduler) Reservations() []Reservation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Reservation(nil), s.reservations...)
+}
+
+// freeResources computes available nodes and QPU at time t given running
+// jobs and reservations.
+func (s *Scheduler) freeResources(t float64) (nodes int, qpuFree bool) {
+	nodes = s.totalNodes
+	for _, j := range s.running {
+		nodes -= j.Nodes
+	}
+	qpuFree = s.qpuOnline
+	for _, j := range s.running {
+		if j.NeedsQPU {
+			qpuFree = false
+		}
+	}
+	for _, r := range s.reservations {
+		if r.covers(t) {
+			nodes -= r.Nodes
+			if r.QPU {
+				qpuFree = false
+			}
+		}
+	}
+	return nodes, qpuFree
+}
+
+// dispatch starts every queued job that fits, in priority order with FIFO
+// tie-break; jobs that don't fit are skipped (backfill).
+func (s *Scheduler) dispatch() {
+	sort.SliceStable(s.queue, func(i, j int) bool {
+		if s.queue[i].Priority != s.queue[j].Priority {
+			return s.queue[i].Priority > s.queue[j].Priority
+		}
+		return s.queue[i].SubmitTime < s.queue[j].SubmitTime
+	})
+	remaining := s.queue[:0]
+	for _, j := range s.queue {
+		freeNodes, qpuFree := s.freeResources(s.now)
+		if j.Nodes <= freeNodes && (!j.NeedsQPU || qpuFree) {
+			j.State = JobRunning
+			j.StartTime = s.now
+			j.EndTime = s.now + j.Duration
+			s.running = append(s.running, j)
+		} else {
+			remaining = append(remaining, j)
+		}
+	}
+	s.queue = remaining
+}
+
+// Advance moves simulation time forward by dt seconds, completing and
+// starting jobs. It processes completions in event order so short jobs free
+// resources for queued work within the same Advance call.
+func (s *Scheduler) Advance(dt float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dt <= 0 {
+		return
+	}
+	end := s.now + dt
+	s.dispatch() // start anything submitted since the last advance
+	for {
+		// Find the earliest completion before `end`.
+		next := end
+		for _, j := range s.running {
+			if j.EndTime < next {
+				next = j.EndTime
+			}
+		}
+		s.accumulateUsage(next - s.now)
+		s.now = next
+		// Complete everything due.
+		still := s.running[:0]
+		for _, j := range s.running {
+			if j.EndTime <= s.now {
+				j.State = JobCompleted
+				s.done = append(s.done, j)
+			} else {
+				still = append(still, j)
+			}
+		}
+		s.running = still
+		s.dispatch()
+		if s.now >= end {
+			return
+		}
+	}
+}
+
+// accumulateUsage adds node- and qpu-seconds for a span where the running
+// set is constant.
+func (s *Scheduler) accumulateUsage(span float64) {
+	if span <= 0 {
+		return
+	}
+	for _, j := range s.running {
+		s.nodeSecondsUsed += span * float64(j.Nodes)
+		if j.NeedsQPU {
+			s.qpuSecondsUsed += span
+		}
+	}
+	for _, r := range s.reservations {
+		if r.QPU && r.covers(s.now) {
+			s.qpuSecondsCal += span
+		}
+	}
+}
+
+// Stats summarizes cluster accounting.
+type Stats struct {
+	Now             float64
+	Queued, Running int
+	Completed       int
+	NodeSecondsUsed float64
+	QPUSecondsUsed  float64
+	QPUSecondsCal   float64
+	NodeUtilization float64 // node-seconds used / (nodes * elapsed)
+	MeanWaitSeconds float64 // over completed jobs
+}
+
+// Stats returns current accounting.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Now:             s.now,
+		Queued:          len(s.queue),
+		Running:         len(s.running),
+		NodeSecondsUsed: s.nodeSecondsUsed,
+		QPUSecondsUsed:  s.qpuSecondsUsed,
+		QPUSecondsCal:   s.qpuSecondsCal,
+	}
+	wait, n := 0.0, 0
+	for _, j := range s.done {
+		if j.State == JobCompleted {
+			st.Completed++
+			wait += j.WaitTime()
+			n++
+		}
+	}
+	if n > 0 {
+		st.MeanWaitSeconds = wait / float64(n)
+	}
+	if s.now > 0 {
+		st.NodeUtilization = s.nodeSecondsUsed / (float64(s.totalNodes) * s.now)
+	}
+	return st
+}
+
+// Job returns a job by ID (queued, running or finished).
+func (s *Scheduler) Job(id int) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, set := range [][]*Job{s.queue, s.running, s.done} {
+		for _, j := range set {
+			if j.ID == id {
+				cp := *j
+				return &cp, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("hpc: no job %d", id)
+}

@@ -1,0 +1,271 @@
+package hpc
+
+import (
+	"math"
+	"testing"
+)
+
+func mustSched(t *testing.T, nodes int) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(0); err == nil {
+		t.Error("expected error for 0 nodes")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := mustSched(t, 4)
+	if _, err := s.Submit("too-big", 5, false, 10, 0); err == nil {
+		t.Error("expected error for oversubscription")
+	}
+	if _, err := s.Submit("nothing", 0, false, 10, 0); err == nil {
+		t.Error("expected error for no resources")
+	}
+	if _, err := s.Submit("zero-dur", 1, false, 0, 0); err == nil {
+		t.Error("expected error for zero duration")
+	}
+	if _, err := s.Submit("qpu-only", 0, true, 10, 0); err != nil {
+		t.Errorf("QPU-only job rejected: %v", err)
+	}
+}
+
+func TestFIFOCompletion(t *testing.T) {
+	s := mustSched(t, 2)
+	id1, _ := s.Submit("a", 2, false, 100, 0)
+	id2, _ := s.Submit("b", 2, false, 100, 0)
+	s.Advance(1)
+	j1, _ := s.Job(id1)
+	j2, _ := s.Job(id2)
+	if j1.State != JobRunning {
+		t.Errorf("job1 state = %v", j1.State)
+	}
+	if j2.State != JobQueued {
+		t.Errorf("job2 state = %v, want queued (no nodes free)", j2.State)
+	}
+	s.Advance(100)
+	j1, _ = s.Job(id1)
+	j2, _ = s.Job(id2)
+	if j1.State != JobCompleted {
+		t.Errorf("job1 state = %v, want completed", j1.State)
+	}
+	if j2.State != JobRunning {
+		t.Errorf("job2 state = %v, want running after job1 freed nodes", j2.State)
+	}
+	if j2.WaitTime() < 99 {
+		t.Errorf("job2 wait = %g, want ~100", j2.WaitTime())
+	}
+}
+
+func TestBackfillSkipsBlockedJob(t *testing.T) {
+	s := mustSched(t, 4)
+	s.Submit("big", 4, false, 1000, 0)
+	s.Advance(1) // big starts, takes everything
+	idSmall, _ := s.Submit("small-later", 4, false, 10, 0)
+	idTiny, _ := s.Submit("tiny", 0, true, 10, 0) // QPU-only: can backfill
+	s.Advance(1)
+	small, _ := s.Job(idSmall)
+	tiny, _ := s.Job(idTiny)
+	if small.State != JobQueued {
+		t.Errorf("small = %v, want queued", small.State)
+	}
+	if tiny.State != JobRunning {
+		t.Errorf("tiny = %v, want running (backfilled)", tiny.State)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	s := mustSched(t, 2)
+	s.Submit("burner", 2, false, 50, 0)
+	s.Advance(1)
+	idLow, _ := s.Submit("low", 2, false, 10, 0)
+	idHigh, _ := s.Submit("high", 2, false, 10, 5)
+	s.Advance(50) // burner done; high should start first
+	low, _ := s.Job(idLow)
+	high, _ := s.Job(idHigh)
+	if high.State != JobRunning {
+		t.Errorf("high-priority = %v, want running", high.State)
+	}
+	if low.State != JobQueued {
+		t.Errorf("low-priority = %v, want queued", low.State)
+	}
+}
+
+func TestQPUExclusive(t *testing.T) {
+	s := mustSched(t, 8)
+	id1, _ := s.Submit("hybrid-1", 2, true, 100, 0)
+	id2, _ := s.Submit("hybrid-2", 2, true, 100, 0)
+	s.Advance(1)
+	j1, _ := s.Job(id1)
+	j2, _ := s.Job(id2)
+	if j1.State != JobRunning || j2.State != JobQueued {
+		t.Errorf("QPU should be exclusive: %v, %v", j1.State, j2.State)
+	}
+	// Plenty of nodes free: a classical job coexists.
+	id3, _ := s.Submit("classical", 2, false, 100, 0)
+	s.Advance(1)
+	j3, _ := s.Job(id3)
+	if j3.State != JobRunning {
+		t.Errorf("classical job = %v, want running alongside hybrid", j3.State)
+	}
+}
+
+func TestQPUOfflineBlocksHybridJobs(t *testing.T) {
+	s := mustSched(t, 4)
+	s.SetQPUOnline(false)
+	id, _ := s.Submit("hybrid", 1, true, 10, 0)
+	s.Advance(5)
+	j, _ := s.Job(id)
+	if j.State != JobQueued {
+		t.Errorf("hybrid with QPU offline = %v, want queued", j.State)
+	}
+	s.SetQPUOnline(true)
+	s.Advance(1)
+	j, _ = s.Job(id)
+	if j.State != JobRunning {
+		t.Errorf("hybrid after QPU restore = %v, want running", j.State)
+	}
+}
+
+func TestCalibrationReservationBlocksQPU(t *testing.T) {
+	s := mustSched(t, 4)
+	// Reserve the QPU for a 100-minute full calibration at t=100.
+	if _, err := s.Reserve("full-calibration", 100, 6000, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(150) // inside the calibration window
+	id, _ := s.Submit("hybrid", 1, true, 10, 0)
+	s.Advance(10)
+	j, _ := s.Job(id)
+	if j.State != JobQueued {
+		t.Errorf("hybrid during calibration = %v, want queued", j.State)
+	}
+	s.Advance(6000) // window over
+	j, _ = s.Job(id)
+	if j.State != JobRunning && j.State != JobCompleted {
+		t.Errorf("hybrid after calibration = %v, want started", j.State)
+	}
+}
+
+func TestReservationValidation(t *testing.T) {
+	s := mustSched(t, 2)
+	s.Advance(100)
+	if _, err := s.Reserve("past", 50, 10, true, 0); err == nil {
+		t.Error("expected error for past reservation")
+	}
+	if _, err := s.Reserve("zero", 200, 0, true, 0); err == nil {
+		t.Error("expected error for zero duration")
+	}
+	if _, err := s.Reserve("a", 200, 100, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Reserve("overlap", 250, 100, true, 0); err == nil {
+		t.Error("expected error for overlapping QPU reservation")
+	}
+	if _, err := s.Reserve("later", 301, 100, true, 0); err != nil {
+		t.Errorf("non-overlapping reservation rejected: %v", err)
+	}
+	if got := len(s.Reservations()); got != 2 {
+		t.Errorf("reservations = %d, want 2", got)
+	}
+}
+
+func TestNodeReservationShrinksCluster(t *testing.T) {
+	s := mustSched(t, 4)
+	s.Reserve("maintenance", 0, 1000, false, 3)
+	id, _ := s.Submit("wide", 2, false, 10, 0)
+	s.Advance(1)
+	j, _ := s.Job(id)
+	if j.State != JobQueued {
+		t.Errorf("2-node job with 3 nodes reserved = %v, want queued", j.State)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := mustSched(t, 1)
+	s.Submit("runner", 1, false, 100, 0)
+	id, _ := s.Submit("victim", 1, false, 100, 0)
+	s.Advance(1)
+	if err := s.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.Job(id)
+	if j.State != JobCancelled {
+		t.Errorf("state = %v, want cancelled", j.State)
+	}
+	if err := s.Cancel(id); err == nil {
+		t.Error("double cancel should fail")
+	}
+	if err := s.Cancel(999); err == nil {
+		t.Error("cancelling unknown job should fail")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := mustSched(t, 4)
+	s.Submit("j1", 2, true, 100, 0)
+	s.Advance(200)
+	st := s.Stats()
+	if st.Completed != 1 {
+		t.Errorf("completed = %d", st.Completed)
+	}
+	if math.Abs(st.NodeSecondsUsed-200) > 1e-9 {
+		t.Errorf("node-seconds = %g, want 200 (2 nodes x 100 s)", st.NodeSecondsUsed)
+	}
+	if math.Abs(st.QPUSecondsUsed-100) > 1e-9 {
+		t.Errorf("qpu-seconds = %g, want 100", st.QPUSecondsUsed)
+	}
+	wantUtil := 200.0 / (4 * 200)
+	if math.Abs(st.NodeUtilization-wantUtil) > 1e-9 {
+		t.Errorf("utilization = %g, want %g", st.NodeUtilization, wantUtil)
+	}
+}
+
+func TestEventOrderWithinAdvance(t *testing.T) {
+	// Two 10s jobs on a 1-node cluster, one Advance(25): both must finish,
+	// because completion events are processed in order.
+	s := mustSched(t, 1)
+	id1, _ := s.Submit("a", 1, false, 10, 0)
+	id2, _ := s.Submit("b", 1, false, 10, 0)
+	s.Advance(25)
+	j1, _ := s.Job(id1)
+	j2, _ := s.Job(id2)
+	if j1.State != JobCompleted || j2.State != JobCompleted {
+		t.Errorf("states = %v, %v; want both completed", j1.State, j2.State)
+	}
+	if j2.StartTime != 10 {
+		t.Errorf("job2 start = %g, want 10", j2.StartTime)
+	}
+}
+
+func TestJobLookupErrors(t *testing.T) {
+	s := mustSched(t, 1)
+	if _, err := s.Job(42); err == nil {
+		t.Error("expected error for unknown job")
+	}
+}
+
+func TestAdvanceZeroNoop(t *testing.T) {
+	s := mustSched(t, 1)
+	s.Advance(0)
+	s.Advance(-10)
+	if s.Now() != 0 {
+		t.Error("time moved on zero advance")
+	}
+}
+
+func TestJobStateString(t *testing.T) {
+	for st, want := range map[JobState]string{
+		JobQueued: "queued", JobRunning: "running", JobCompleted: "completed", JobCancelled: "cancelled",
+	} {
+		if st.String() != want {
+			t.Errorf("%d string = %q", st, st.String())
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+func TestPauliStringBasics(t *testing.T) {
+	p := ZZ(0.5, 0, 2)
+	if !p.IsDiagonal() {
+		t.Error("ZZ should be diagonal")
+	}
+	if p.MaxQubit() != 2 {
+		t.Errorf("max qubit = %d", p.MaxQubit())
+	}
+	x := X(1.0, 1)
+	if x.IsDiagonal() {
+		t.Error("X should not be diagonal")
+	}
+	id := Identity(3)
+	if id.MaxQubit() != -1 {
+		t.Errorf("identity max qubit = %d", id.MaxQubit())
+	}
+	if id.String() == "" || p.String() == "" {
+		t.Error("empty string rendering")
+	}
+}
+
+func TestNewPauliStringValidation(t *testing.T) {
+	if _, err := NewPauliString(1, map[int]PauliOp{-1: PauliZ}); err == nil {
+		t.Error("negative qubit should fail")
+	}
+	if _, err := NewPauliString(1, map[int]PauliOp{0: 'Q'}); err == nil {
+		t.Error("unknown op should fail")
+	}
+	ps, err := NewPauliString(1, map[int]PauliOp{0: PauliI, 1: PauliZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Ops) != 1 {
+		t.Error("identity factors should be dropped")
+	}
+}
+
+func TestEigenvalueParity(t *testing.T) {
+	zz := ZZ(1, 0, 1)
+	cases := map[int]float64{0b00: 1, 0b01: -1, 0b10: -1, 0b11: 1}
+	for bits, want := range cases {
+		if got := zz.EigenvalueFor(bits); got != want {
+			t.Errorf("ZZ eigenvalue for %02b = %g, want %g", bits, got, want)
+		}
+	}
+	z := Z(1, 1)
+	if z.EigenvalueFor(0b10) != -1 || z.EigenvalueFor(0b01) != 1 {
+		t.Error("Z1 eigenvalues wrong")
+	}
+}
+
+func TestEigenvaluePanicsOnNonDiagonal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	X(1, 0).EigenvalueFor(0)
+}
+
+func TestDiagonalEnergyAndCounts(t *testing.T) {
+	h := &Hamiltonian{Terms: []PauliString{ZZ(1, 0, 1), Z(0.5, 0), Identity(2)}}
+	if !h.IsDiagonal() || h.NumQubits() != 2 {
+		t.Fatal("hamiltonian shape wrong")
+	}
+	e, err := h.DiagonalEnergy(0b01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ZZ: -1, Z0: -0.5, I: 2 -> 0.5.
+	if math.Abs(e-0.5) > 1e-12 {
+		t.Errorf("energy = %g, want 0.5", e)
+	}
+	counts := map[int]int{0b00: 50, 0b01: 50}
+	// E(00) = 1+0.5+2 = 3.5; E(01) = 0.5; mean = 2.
+	est, err := h.ExpectationFromCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-2) > 1e-12 {
+		t.Errorf("expectation = %g, want 2", est)
+	}
+	if _, err := h.ExpectationFromCounts(map[int]int{}); err == nil {
+		t.Error("empty histogram should fail")
+	}
+	nh := &Hamiltonian{Terms: []PauliString{X(1, 0)}}
+	if _, err := nh.ExpectationFromCounts(counts); err == nil {
+		t.Error("non-diagonal expectation from counts should fail")
+	}
+}
+
+func TestExactExpectationGroundStates(t *testing.T) {
+	// <00|Z0|00> = 1, <+|X|+> = 1.
+	c := circuit.New(2, "")
+	s, _ := c.Simulate()
+	h := &Hamiltonian{Terms: []PauliString{Z(1, 0)}}
+	if e, _ := ExactExpectation(h, s); math.Abs(e-1) > 1e-12 {
+		t.Errorf("<Z0> = %g", e)
+	}
+	cp := circuit.New(1, "").H(0)
+	sp, _ := cp.Simulate()
+	hx := &Hamiltonian{Terms: []PauliString{X(1, 0)}}
+	if e, _ := ExactExpectation(hx, sp); math.Abs(e-1) > 1e-12 {
+		t.Errorf("<X> on |+> = %g", e)
+	}
+}
+
+func TestMeasureExpectationMatchesExact(t *testing.T) {
+	// Prepare a nontrivial state and compare measured vs exact <H>.
+	prep := circuit.New(2, "").RY(0, 0.8).CNOT(0, 1).RY(1, 0.3)
+	h := H2Molecule()
+	s, err := prep.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactExpectation(h, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &ExactRunner{Seed: 7}
+	measured, err := MeasureExpectation(h, prep, runner, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(measured-exact) > 0.03 {
+		t.Errorf("measured %g vs exact %g", measured, exact)
+	}
+}
+
+func TestH2GroundStateEnergyKnownValue(t *testing.T) {
+	// Literature value for this parameterization: ≈ -1.851 Hartree.
+	e := H2GroundStateEnergy()
+	if math.Abs(e-(-1.8512)) > 0.01 {
+		t.Errorf("H2 ground energy = %g, want ≈ -1.851", e)
+	}
+}
+
+func TestVQEFindsH2GroundState(t *testing.T) {
+	ansatz, np := HardwareEfficientAnsatz(2, 1)
+	v := &VQE{
+		Hamiltonian: H2Molecule(),
+		Ansatz:      ansatz,
+		Runner:      &ExactRunner{Seed: 3},
+		Shots:       4000,
+		Optimizer:   DefaultSPSA(300, 5),
+	}
+	initial := make([]float64, np)
+	for i := range initial {
+		initial[i] = 0.1 * float64(i+1)
+	}
+	res, err := v.Run(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := H2GroundStateEnergy()
+	if res.Value > want+0.1 {
+		t.Errorf("VQE energy %.4f, want within 0.1 of %.4f", res.Value, want)
+	}
+	if res.Evaluations < 100 {
+		t.Errorf("SPSA evaluations = %d, want ~2 per iteration", res.Evaluations)
+	}
+}
+
+func TestVQEValidation(t *testing.T) {
+	v := &VQE{}
+	if _, err := v.Run(nil); err == nil {
+		t.Error("missing components should fail")
+	}
+	ansatz, np := HardwareEfficientAnsatz(2, 0)
+	v = &VQE{Hamiltonian: H2Molecule(), Ansatz: ansatz, Runner: &ExactRunner{}, Shots: 0, Optimizer: DefaultSPSA(5, 1)}
+	if _, err := v.Run(make([]float64, np)); err == nil {
+		t.Error("0 shots should fail")
+	}
+}
+
+func TestHardwareEfficientAnsatzShape(t *testing.T) {
+	ansatz, np := HardwareEfficientAnsatz(4, 2)
+	if np != 12 {
+		t.Errorf("params = %d, want 12", np)
+	}
+	c, err := ansatz(make([]float64, np))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CountOp(circuit.OpRY) != 12 || c.CountOp(circuit.OpCZ) != 6 {
+		t.Errorf("ansatz ops: ry=%d cz=%d", c.CountOp(circuit.OpRY), c.CountOp(circuit.OpCZ))
+	}
+	if _, err := ansatz(make([]float64, 3)); err == nil {
+		t.Error("wrong param count should fail")
+	}
+}
+
+func TestSPSAQuadratic(t *testing.T) {
+	obj := func(p []float64) (float64, error) {
+		return (p[0]-2)*(p[0]-2) + (p[1]+1)*(p[1]+1), nil
+	}
+	res, err := DefaultSPSA(400, 11).Minimize(obj, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value > 0.05 {
+		t.Errorf("SPSA minimum = %g at %v", res.Value, res.Params)
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	obj := func(p []float64) (float64, error) {
+		return (p[0]-3)*(p[0]-3) + 2*(p[1]-1)*(p[1]-1) + 0.5, nil
+	}
+	res, err := DefaultNelderMead(500).Minimize(obj, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-0.5) > 1e-5 {
+		t.Errorf("NM minimum = %g, want 0.5", res.Value)
+	}
+	if math.Abs(res.Params[0]-3) > 1e-3 || math.Abs(res.Params[1]-1) > 1e-3 {
+		t.Errorf("NM argmin = %v", res.Params)
+	}
+	if !res.Converged {
+		t.Error("NM should converge on a smooth quadratic")
+	}
+}
+
+func TestOptimizerValidation(t *testing.T) {
+	obj := func(p []float64) (float64, error) { return 0, nil }
+	if _, err := DefaultSPSA(10, 1).Minimize(obj, nil); err == nil {
+		t.Error("SPSA with no params should fail")
+	}
+	if _, err := (&SPSA{}).Minimize(obj, []float64{1}); err == nil {
+		t.Error("SPSA with 0 iterations should fail")
+	}
+	if _, err := DefaultNelderMead(10).Minimize(obj, nil); err == nil {
+		t.Error("NM with no params should fail")
+	}
+}
+
+func TestQUBOToIsingEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newSeededRand(seed)
+		n := 2 + rng.Intn(5)
+		q := NewQUBO(n)
+		for k := 0; k < 8; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if err := q.Add(i, j, rng.NormFloat64()*3); err != nil {
+				return false
+			}
+		}
+		q.Constant = rng.NormFloat64()
+		h := q.ToIsing()
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			// Ising convention: qubit bit set = x=1 means Z eigenvalue -1.
+			e, err := h.DiagonalEnergy(bits)
+			if err != nil {
+				return false
+			}
+			if math.Abs(e-q.Evaluate(bits)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCutQAOA(t *testing.T) {
+	// 4-cycle: max cut = 4 (alternating partition).
+	g := NewGraph(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := &QAOA{
+		Cost:      g.MaxCutHamiltonian(),
+		Layers:    2,
+		Runner:    &ExactRunner{Seed: 17},
+		Shots:     2000,
+		Optimizer: DefaultSPSA(80, 23),
+	}
+	res, err := q.Run([]float64{0.4, 0.2, 0.6, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CutValue(res.BestBits); got != 4 {
+		t.Errorf("best sampled cut = %g, want 4 (bits %04b)", got, res.BestBits)
+	}
+	// Cost of the max cut is -4 (each cut edge contributes -1).
+	if res.BestCost != -4 {
+		t.Errorf("best cost = %g, want -4", res.BestCost)
+	}
+}
+
+func TestQAOAValidation(t *testing.T) {
+	q := &QAOA{Cost: &Hamiltonian{Terms: []PauliString{X(1, 0)}}, Layers: 1}
+	if _, err := q.Circuit([]float64{1, 2}); err == nil {
+		t.Error("non-diagonal cost should fail")
+	}
+	q2 := &QAOA{Cost: &Hamiltonian{Terms: []PauliString{Z(1, 0)}}, Layers: 1}
+	if _, err := q2.Circuit([]float64{1}); err == nil {
+		t.Error("wrong param count should fail")
+	}
+	if _, err := q2.Run([]float64{1, 2}); err == nil {
+		t.Error("missing runner should fail")
+	}
+}
+
+func TestTSPQUBOEncodesTours(t *testing.T) {
+	dist := [][]float64{
+		{0, 1, 2},
+		{1, 0, 1},
+		{2, 1, 0},
+	}
+	tsp, err := NewTSP(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tsp.NumQubits() != 9 {
+		t.Errorf("qubits = %d", tsp.NumQubits())
+	}
+	q, err := tsp.QUBO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force the QUBO; the minimizer must be a valid tour.
+	bits, val, err := q.BruteForceMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tour, err := tsp.DecodeTour(bits)
+	if err != nil {
+		t.Fatalf("QUBO minimum is not a valid tour: %v", err)
+	}
+	tourLen, err := tsp.TourLength(tour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bestLen, err := tsp.BruteForceBestTour()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tourLen-bestLen) > 1e-9 {
+		t.Errorf("QUBO optimal tour length %g, brute force %g", tourLen, bestLen)
+	}
+	// The QUBO value at the optimum = tour length (constraints satisfied).
+	if math.Abs(val-bestLen) > 1e-9 {
+		t.Errorf("QUBO value %g, want tour length %g", val, bestLen)
+	}
+}
+
+func TestTSPValidation(t *testing.T) {
+	if _, err := NewTSP([][]float64{{0}}); err == nil {
+		t.Error("1-city TSP should fail")
+	}
+	if _, err := NewTSP([][]float64{{0, 1}, {2, 0}}); err == nil {
+		t.Error("asymmetric matrix should fail")
+	}
+	if _, err := NewTSP([][]float64{{0, 1}, {1, 0}, {1, 1}}); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+}
+
+func TestDecodeTourRejectsInvalid(t *testing.T) {
+	tsp, _ := NewTSP([][]float64{{0, 1}, {1, 0}})
+	if _, err := tsp.DecodeTour(0); err == nil {
+		t.Error("empty assignment should fail decoding")
+	}
+	// Valid 2-city tour: city 0 at pos 0 (qubit 0), city 1 at pos 1 (qubit 3).
+	tour, err := tsp.DecodeTour(0b1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tour[0] != 0 || tour[1] != 1 {
+		t.Errorf("tour = %v", tour)
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if err := g.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+}
+
+func TestTransverseFieldIsingShape(t *testing.T) {
+	h := TransverseFieldIsing(4, 1, 0.5)
+	if h.NumQubits() != 4 {
+		t.Errorf("qubits = %d", h.NumQubits())
+	}
+	// 3 ZZ bonds + 4 X fields.
+	if len(h.Terms) != 7 {
+		t.Errorf("terms = %d, want 7", len(h.Terms))
+	}
+	if h.IsDiagonal() {
+		t.Error("TFIM should not be diagonal")
+	}
+}

@@ -1,0 +1,223 @@
+package hybrid
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Objective is a (possibly noisy) scalar function of parameters.
+type Objective func(params []float64) (float64, error)
+
+// OptResult is the outcome of a classical optimization run.
+type OptResult struct {
+	Params      []float64
+	Value       float64
+	Evaluations int
+	Converged   bool
+}
+
+// SPSA implements simultaneous perturbation stochastic approximation — the
+// standard optimizer for shot-noisy quantum objectives: two evaluations per
+// iteration regardless of dimension.
+type SPSA struct {
+	Iterations int
+	// Gain sequences (Spall's standard parameterization).
+	A, C, Alpha, Gamma float64
+	Seed               int64
+}
+
+// DefaultSPSA returns sane defaults for maxIter iterations.
+func DefaultSPSA(maxIter int, seed int64) *SPSA {
+	return &SPSA{Iterations: maxIter, A: 0.5, C: 0.15, Alpha: 0.602, Gamma: 0.101, Seed: seed}
+}
+
+// Minimize runs SPSA from the initial point.
+func (s *SPSA) Minimize(obj Objective, initial []float64) (*OptResult, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("hybrid: SPSA needs at least one parameter")
+	}
+	if s.Iterations < 1 {
+		return nil, fmt.Errorf("hybrid: SPSA needs at least one iteration")
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	theta := append([]float64(nil), initial...)
+	best := append([]float64(nil), initial...)
+	bestVal := math.Inf(1)
+	evals := 0
+	delta := make([]float64, len(theta))
+	plus := make([]float64, len(theta))
+	minus := make([]float64, len(theta))
+	for k := 0; k < s.Iterations; k++ {
+		ak := s.A / math.Pow(float64(k+1)+10, s.Alpha)
+		ck := s.C / math.Pow(float64(k+1), s.Gamma)
+		for i := range delta {
+			if rng.Float64() < 0.5 {
+				delta[i] = 1
+			} else {
+				delta[i] = -1
+			}
+			plus[i] = theta[i] + ck*delta[i]
+			minus[i] = theta[i] - ck*delta[i]
+		}
+		fp, err := obj(plus)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: SPSA iteration %d (+): %w", k, err)
+		}
+		fm, err := obj(minus)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: SPSA iteration %d (-): %w", k, err)
+		}
+		evals += 2
+		for i := range theta {
+			theta[i] -= ak * (fp - fm) / (2 * ck * delta[i])
+		}
+		if v := math.Min(fp, fm); v < bestVal {
+			bestVal = v
+			src := plus
+			if fm < fp {
+				src = minus
+			}
+			copy(best, src)
+		}
+	}
+	// Final evaluation at the accumulated point; keep whichever is best.
+	fv, err := obj(theta)
+	if err != nil {
+		return nil, err
+	}
+	evals++
+	if fv < bestVal {
+		bestVal = fv
+		copy(best, theta)
+	}
+	return &OptResult{Params: best, Value: bestVal, Evaluations: evals, Converged: true}, nil
+}
+
+// NelderMead is a derivative-free simplex optimizer for smooth (low-noise)
+// objectives — e.g. VQE against the digital twin.
+type NelderMead struct {
+	MaxIter int
+	// Tol terminates when the simplex value spread falls below it.
+	Tol float64
+	// InitialStep sets the simplex size around the start point.
+	InitialStep float64
+}
+
+// DefaultNelderMead returns standard settings.
+func DefaultNelderMead(maxIter int) *NelderMead {
+	return &NelderMead{MaxIter: maxIter, Tol: 1e-8, InitialStep: 0.5}
+}
+
+// Minimize runs the Nelder-Mead algorithm with standard coefficients
+// (reflection 1, expansion 2, contraction 0.5, shrink 0.5).
+func (nm *NelderMead) Minimize(obj Objective, initial []float64) (*OptResult, error) {
+	n := len(initial)
+	if n == 0 {
+		return nil, fmt.Errorf("hybrid: Nelder-Mead needs at least one parameter")
+	}
+	if nm.MaxIter < 1 {
+		return nil, fmt.Errorf("hybrid: Nelder-Mead needs at least one iteration")
+	}
+	step := nm.InitialStep
+	if step == 0 {
+		step = 0.5
+	}
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	evals := 0
+	eval := func(x []float64) (float64, error) {
+		evals++
+		return obj(x)
+	}
+	simplex := make([]vertex, n+1)
+	for i := range simplex {
+		x := append([]float64(nil), initial...)
+		if i > 0 {
+			x[i-1] += step
+		}
+		f, err := eval(x)
+		if err != nil {
+			return nil, err
+		}
+		simplex[i] = vertex{x: x, f: f}
+	}
+	converged := false
+	for iter := 0; iter < nm.MaxIter; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		if math.Abs(simplex[n].f-simplex[0].f) < nm.Tol {
+			converged = true
+			break
+		}
+		// Centroid of all but worst.
+		centroid := make([]float64, n)
+		for _, v := range simplex[:n] {
+			for i := range centroid {
+				centroid[i] += v.x[i] / float64(n)
+			}
+		}
+		worst := simplex[n]
+		reflect := make([]float64, n)
+		for i := range reflect {
+			reflect[i] = centroid[i] + (centroid[i] - worst.x[i])
+		}
+		fr, err := eval(reflect)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case fr < simplex[0].f:
+			// Try expansion.
+			expand := make([]float64, n)
+			for i := range expand {
+				expand[i] = centroid[i] + 2*(centroid[i]-worst.x[i])
+			}
+			fe, err := eval(expand)
+			if err != nil {
+				return nil, err
+			}
+			if fe < fr {
+				simplex[n] = vertex{expand, fe}
+			} else {
+				simplex[n] = vertex{reflect, fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{reflect, fr}
+		default:
+			// Contraction.
+			contract := make([]float64, n)
+			for i := range contract {
+				contract[i] = centroid[i] + 0.5*(worst.x[i]-centroid[i])
+			}
+			fc, err := eval(contract)
+			if err != nil {
+				return nil, err
+			}
+			if fc < worst.f {
+				simplex[n] = vertex{contract, fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = simplex[0].x[j] + 0.5*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					f, err := eval(simplex[i].x)
+					if err != nil {
+						return nil, err
+					}
+					simplex[i].f = f
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	return &OptResult{
+		Params:      simplex[0].x,
+		Value:       simplex[0].f,
+		Evaluations: evals,
+		Converged:   converged,
+	}, nil
+}

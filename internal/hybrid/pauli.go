@@ -1,0 +1,231 @@
+// Package hybrid implements the hybrid quantum-classical workloads the
+// paper's users ran: the Variational Quantum Eigensolver (§2.6 names VQE as
+// the canonical tightly-coupled algorithm) and QAOA applied to combinatorial
+// problems — MaxCut and the Traveling Salesperson Problem, the subject of
+// the early-user publication the paper cites ([4], Bentellis et al.,
+// "Application-Driven Benchmarking of the Traveling Salesperson Problem").
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PauliOp is a single-qubit Pauli operator.
+type PauliOp byte
+
+const (
+	PauliI PauliOp = 'I'
+	PauliX PauliOp = 'X'
+	PauliY PauliOp = 'Y'
+	PauliZ PauliOp = 'Z'
+)
+
+// PauliString is a tensor product of single-qubit Paulis with a real
+// coefficient, e.g. 0.5 * Z0⊗Z1.
+type PauliString struct {
+	Coeff float64
+	Ops   map[int]PauliOp // qubit -> non-identity operator
+}
+
+// NewPauliString parses compact notation like "ZZ" (qubits 0,1), or builds
+// from explicit placements via WithOp.
+func NewPauliString(coeff float64, ops map[int]PauliOp) (PauliString, error) {
+	for q, op := range ops {
+		if q < 0 {
+			return PauliString{}, fmt.Errorf("hybrid: negative qubit %d", q)
+		}
+		switch op {
+		case PauliX, PauliY, PauliZ:
+		case PauliI:
+			delete(ops, q) // identity carries no information
+		default:
+			return PauliString{}, fmt.Errorf("hybrid: unknown Pauli %q", op)
+		}
+	}
+	return PauliString{Coeff: coeff, Ops: ops}, nil
+}
+
+// Z returns coeff·Z_q.
+func Z(coeff float64, q int) PauliString {
+	return PauliString{Coeff: coeff, Ops: map[int]PauliOp{q: PauliZ}}
+}
+
+// ZZ returns coeff·Z_a Z_b.
+func ZZ(coeff float64, a, b int) PauliString {
+	return PauliString{Coeff: coeff, Ops: map[int]PauliOp{a: PauliZ, b: PauliZ}}
+}
+
+// X returns coeff·X_q.
+func X(coeff float64, q int) PauliString {
+	return PauliString{Coeff: coeff, Ops: map[int]PauliOp{q: PauliX}}
+}
+
+// Identity returns the constant term coeff·I.
+func Identity(coeff float64) PauliString {
+	return PauliString{Coeff: coeff, Ops: map[int]PauliOp{}}
+}
+
+// IsDiagonal reports whether the string contains only Z and I factors, i.e.
+// is measurable in the computational basis.
+func (p PauliString) IsDiagonal() bool {
+	for _, op := range p.Ops {
+		if op != PauliZ {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxQubit returns the highest qubit index used (-1 for the identity).
+func (p PauliString) MaxQubit() int {
+	max := -1
+	for q := range p.Ops {
+		if q > max {
+			max = q
+		}
+	}
+	return max
+}
+
+func (p PauliString) String() string {
+	if len(p.Ops) == 0 {
+		return fmt.Sprintf("%+g·I", p.Coeff)
+	}
+	qs := make([]int, 0, len(p.Ops))
+	for q := range p.Ops {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%+g·", p.Coeff)
+	for i, q := range qs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%c%d", p.Ops[q], q)
+	}
+	return b.String()
+}
+
+// EigenvalueFor returns the ±1 eigenvalue of the (diagonal) Pauli string for
+// computational-basis outcome `bits`: the parity of the measured bits at Z
+// positions. Panics if called on a non-diagonal string (internal misuse).
+func (p PauliString) EigenvalueFor(bits int) float64 {
+	parity := 0
+	for q, op := range p.Ops {
+		if op != PauliZ {
+			panic("hybrid: EigenvalueFor on non-diagonal Pauli string")
+		}
+		if bits&(1<<uint(q)) != 0 {
+			parity ^= 1
+		}
+	}
+	if parity == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Hamiltonian is a weighted sum of Pauli strings.
+type Hamiltonian struct {
+	Terms []PauliString
+}
+
+// NumQubits returns the qubit count implied by the highest index used.
+func (h *Hamiltonian) NumQubits() int {
+	max := -1
+	for _, t := range h.Terms {
+		if m := t.MaxQubit(); m > max {
+			max = m
+		}
+	}
+	return max + 1
+}
+
+// IsDiagonal reports whether all terms are diagonal.
+func (h *Hamiltonian) IsDiagonal() bool {
+	for _, t := range h.Terms {
+		if !t.IsDiagonal() {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *Hamiltonian) String() string {
+	parts := make([]string, len(h.Terms))
+	for i, t := range h.Terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// DiagonalEnergy evaluates a fully diagonal Hamiltonian for one basis state.
+func (h *Hamiltonian) DiagonalEnergy(bits int) (float64, error) {
+	if !h.IsDiagonal() {
+		return 0, fmt.Errorf("hybrid: Hamiltonian has non-diagonal terms")
+	}
+	e := 0.0
+	for _, t := range h.Terms {
+		e += t.Coeff * t.EigenvalueFor(bits)
+	}
+	return e, nil
+}
+
+// ExpectationFromCounts estimates <H> for a diagonal Hamiltonian from a
+// measured histogram — the §2.4 output format feeding the classical
+// optimizer in a hybrid loop.
+func (h *Hamiltonian) ExpectationFromCounts(counts map[int]int) (float64, error) {
+	if !h.IsDiagonal() {
+		return 0, fmt.Errorf("hybrid: use basis-rotated measurement for non-diagonal terms")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("hybrid: empty histogram")
+	}
+	e := 0.0
+	for bits, c := range counts {
+		v, err := h.DiagonalEnergy(bits)
+		if err != nil {
+			return 0, err
+		}
+		e += v * float64(c)
+	}
+	return e / float64(total), nil
+}
+
+// TransverseFieldIsing builds H = -J Σ Z_i Z_{i+1} - g Σ X_i on a chain of n
+// qubits — the standard first Hamiltonian for VQE studies.
+func TransverseFieldIsing(n int, j, g float64) *Hamiltonian {
+	h := &Hamiltonian{}
+	for i := 0; i+1 < n; i++ {
+		h.Terms = append(h.Terms, ZZ(-j, i, i+1))
+	}
+	for i := 0; i < n; i++ {
+		h.Terms = append(h.Terms, X(-g, i))
+	}
+	return h
+}
+
+// H2Molecule returns the 2-qubit hydrogen-molecule Hamiltonian at bond
+// distance 0.735 Å in the Bravyi-Kitaev-reduced form widely used for
+// 2-qubit VQE demonstrations (O'Malley et al. / Qiskit textbook constants):
+//
+//	H = c0·I + c1·Z0 + c2·Z1 + c3·Z0Z1 + c4·X0X1
+//
+// Ground-state energy ≈ -1.851 Hartree (electronic part, without nuclear
+// repulsion).
+func H2Molecule() *Hamiltonian {
+	return &Hamiltonian{Terms: []PauliString{
+		Identity(-1.052373245772859),
+		Z(0.39793742484318045, 0),
+		Z(-0.39793742484318045, 1),
+		ZZ(-0.01128010425623538, 0, 1),
+		{Coeff: 0.18093119978423156, Ops: map[int]PauliOp{0: PauliX, 1: PauliX}},
+	}}
+}

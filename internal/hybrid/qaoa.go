@@ -1,0 +1,148 @@
+package hybrid
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// newSeededRand returns a deterministic PRNG for the given seed.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// QAOA implements the quantum approximate optimization algorithm for a
+// diagonal cost Hamiltonian: p alternating layers of cost evolution
+// exp(-iγC) and mixer evolution exp(-iβ Σ X).
+type QAOA struct {
+	Cost      *Hamiltonian
+	Layers    int
+	Runner    Runner
+	Shots     int
+	Optimizer Minimizer
+}
+
+// Circuit builds the QAOA ansatz for parameters [γ1..γp, β1..βp].
+func (q *QAOA) Circuit(params []float64) (*circuit.Circuit, error) {
+	if !q.Cost.IsDiagonal() {
+		return nil, fmt.Errorf("hybrid: QAOA requires a diagonal cost Hamiltonian")
+	}
+	if len(params) != 2*q.Layers {
+		return nil, fmt.Errorf("hybrid: QAOA with %d layers wants %d params, got %d",
+			q.Layers, 2*q.Layers, len(params))
+	}
+	n := q.Cost.NumQubits()
+	if n < 1 {
+		return nil, fmt.Errorf("hybrid: cost Hamiltonian uses no qubits")
+	}
+	c := circuit.New(n, fmt.Sprintf("qaoa-p%d", q.Layers))
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	for l := 0; l < q.Layers; l++ {
+		gamma, beta := params[l], params[q.Layers+l]
+		for _, term := range q.Cost.Terms {
+			switch len(term.Ops) {
+			case 0:
+				// Constant: global phase, no gate.
+			case 1:
+				for qb := range term.Ops {
+					c.RZ(qb, 2*gamma*term.Coeff)
+				}
+			case 2:
+				qs := make([]int, 0, 2)
+				for qb := range term.Ops {
+					qs = append(qs, qb)
+				}
+				if qs[0] > qs[1] {
+					qs[0], qs[1] = qs[1], qs[0]
+				}
+				// exp(-iγ w Z_a Z_b) = CNOT(a,b) RZ_b(2γw) CNOT(a,b).
+				c.CNOT(qs[0], qs[1])
+				c.RZ(qs[1], 2*gamma*term.Coeff)
+				c.CNOT(qs[0], qs[1])
+			default:
+				return nil, fmt.Errorf("hybrid: QAOA supports terms of weight <= 2, got %s", term)
+			}
+		}
+		for i := 0; i < n; i++ {
+			c.RX(i, 2*beta)
+		}
+	}
+	return c, nil
+}
+
+// CostFromCounts returns the histogram-averaged cost and the best sampled
+// basis state with its cost.
+func (q *QAOA) CostFromCounts(counts map[int]int) (mean float64, bestBits int, bestCost float64, err error) {
+	total := 0
+	bestCost = math.Inf(1)
+	sum := 0.0
+	for bits, c := range counts {
+		e, derr := q.Cost.DiagonalEnergy(bits)
+		if derr != nil {
+			return 0, 0, 0, derr
+		}
+		sum += e * float64(c)
+		total += c
+		if e < bestCost {
+			bestCost, bestBits = e, bits
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0, fmt.Errorf("hybrid: empty histogram")
+	}
+	return sum / float64(total), bestBits, bestCost, nil
+}
+
+// Objective returns the measured-mean-cost objective for the optimizer.
+func (q *QAOA) Objective() Objective {
+	return func(params []float64) (float64, error) {
+		c, err := q.Circuit(params)
+		if err != nil {
+			return 0, err
+		}
+		counts, err := q.Runner.Run(c, q.Shots)
+		if err != nil {
+			return 0, err
+		}
+		mean, _, _, err := q.CostFromCounts(counts)
+		return mean, err
+	}
+}
+
+// Result is a full QAOA run outcome.
+type QAOAResult struct {
+	Opt      *OptResult
+	BestBits int
+	BestCost float64
+	MeanCost float64
+}
+
+// Run optimizes the angles and reports the best sampled solution at the
+// optimum.
+func (q *QAOA) Run(initial []float64) (*QAOAResult, error) {
+	if q.Runner == nil || q.Optimizer == nil {
+		return nil, fmt.Errorf("hybrid: QAOA missing runner or optimizer")
+	}
+	if q.Shots < 1 {
+		return nil, fmt.Errorf("hybrid: QAOA shots must be >= 1")
+	}
+	opt, err := q.Optimizer.Minimize(q.Objective(), initial)
+	if err != nil {
+		return nil, err
+	}
+	c, err := q.Circuit(opt.Params)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := q.Runner.Run(c, q.Shots)
+	if err != nil {
+		return nil, err
+	}
+	mean, bits, cost, err := q.CostFromCounts(counts)
+	if err != nil {
+		return nil, err
+	}
+	return &QAOAResult{Opt: opt, BestBits: bits, BestCost: cost, MeanCost: mean}, nil
+}

@@ -1,0 +1,305 @@
+package hybrid
+
+import (
+	"fmt"
+	"math"
+)
+
+// QUBO is a quadratic unconstrained binary optimization problem:
+// minimize x^T Q x + c over x ∈ {0,1}^n, with Q upper-triangular.
+type QUBO struct {
+	N         int
+	Quadratic map[[2]int]float64 // (i<=j) -> coefficient
+	Constant  float64
+}
+
+// NewQUBO returns an empty problem over n binary variables.
+func NewQUBO(n int) *QUBO {
+	return &QUBO{N: n, Quadratic: make(map[[2]int]float64)}
+}
+
+// Add accumulates a term x_i x_j (or linear x_i when i == j).
+func (q *QUBO) Add(i, j int, w float64) error {
+	if i < 0 || i >= q.N || j < 0 || j >= q.N {
+		return fmt.Errorf("hybrid: QUBO index (%d,%d) out of range [0,%d)", i, j, q.N)
+	}
+	if i > j {
+		i, j = j, i
+	}
+	q.Quadratic[[2]int{i, j}] += w
+	return nil
+}
+
+// Evaluate computes the objective for assignment bits (bit i = x_i).
+func (q *QUBO) Evaluate(bits int) float64 {
+	v := q.Constant
+	for ij, w := range q.Quadratic {
+		xi := (bits >> uint(ij[0])) & 1
+		xj := (bits >> uint(ij[1])) & 1
+		v += w * float64(xi*xj)
+	}
+	return v
+}
+
+// ToIsing converts the QUBO to a diagonal Ising Hamiltonian via
+// x_i = (1 - Z_i)/2; its DiagonalEnergy matches Evaluate exactly.
+func (q *QUBO) ToIsing() *Hamiltonian {
+	h := &Hamiltonian{}
+	constant := q.Constant
+	linear := make([]float64, q.N)
+	quad := make(map[[2]int]float64)
+	for ij, w := range q.Quadratic {
+		i, j := ij[0], ij[1]
+		if i == j {
+			// x_i = (1 - Z_i)/2.
+			constant += w / 2
+			linear[i] -= w / 2
+			continue
+		}
+		// x_i x_j = (1 - Z_i - Z_j + Z_i Z_j)/4.
+		constant += w / 4
+		linear[i] -= w / 4
+		linear[j] -= w / 4
+		quad[ij] += w / 4
+	}
+	if constant != 0 {
+		h.Terms = append(h.Terms, Identity(constant))
+	}
+	for i, c := range linear {
+		if c != 0 {
+			h.Terms = append(h.Terms, Z(c, i))
+		}
+	}
+	for ij, c := range quad {
+		if c != 0 {
+			h.Terms = append(h.Terms, ZZ(c, ij[0], ij[1]))
+		}
+	}
+	return h
+}
+
+// BruteForceMin exhaustively minimizes the QUBO (for validation; N <= 24).
+func (q *QUBO) BruteForceMin() (bits int, value float64, err error) {
+	if q.N > 24 {
+		return 0, 0, fmt.Errorf("hybrid: brute force limited to 24 variables, got %d", q.N)
+	}
+	best, bestV := 0, math.Inf(1)
+	for b := 0; b < 1<<uint(q.N); b++ {
+		if v := q.Evaluate(b); v < bestV {
+			best, bestV = b, v
+		}
+	}
+	return best, bestV, nil
+}
+
+// Graph is a weighted undirected graph for MaxCut.
+type Graph struct {
+	N     int
+	Edges map[[2]int]float64
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph { return &Graph{N: n, Edges: make(map[[2]int]float64)} }
+
+// AddEdge adds an undirected weighted edge.
+func (g *Graph) AddEdge(a, b int, w float64) error {
+	if a < 0 || a >= g.N || b < 0 || b >= g.N || a == b {
+		return fmt.Errorf("hybrid: bad edge (%d,%d) on %d vertices", a, b, g.N)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	g.Edges[[2]int{a, b}] = w
+	return nil
+}
+
+// MaxCutHamiltonian returns the diagonal cost whose minimum corresponds to
+// the maximum cut: C = Σ w_ij (Z_i Z_j - 1)/2, so each cut edge contributes
+// -w and each uncut edge 0.
+func (g *Graph) MaxCutHamiltonian() *Hamiltonian {
+	h := &Hamiltonian{}
+	wTotal := 0.0
+	for ij, w := range g.Edges {
+		h.Terms = append(h.Terms, ZZ(w/2, ij[0], ij[1]))
+		wTotal += w
+	}
+	h.Terms = append(h.Terms, Identity(-wTotal/2))
+	return h
+}
+
+// CutValue returns the weight of the cut induced by the bit assignment.
+func (g *Graph) CutValue(bits int) float64 {
+	cut := 0.0
+	for ij, w := range g.Edges {
+		si := (bits >> uint(ij[0])) & 1
+		sj := (bits >> uint(ij[1])) & 1
+		if si != sj {
+			cut += w
+		}
+	}
+	return cut
+}
+
+// TSP encodes a traveling-salesperson instance over a distance matrix —
+// the application of the early-user project the paper cites ([4]).
+// Variable x_{c,p} (qubit c*N+p) means city c is visited at position p.
+type TSP struct {
+	N         int
+	Distances [][]float64
+	// Penalty weights the permutation constraints; it must exceed the
+	// largest tour-cost gain from violating one (a safe default is
+	// 2 * max distance * N).
+	Penalty float64
+}
+
+// NewTSP builds an instance from a symmetric distance matrix.
+func NewTSP(dist [][]float64) (*TSP, error) {
+	n := len(dist)
+	if n < 2 {
+		return nil, fmt.Errorf("hybrid: TSP needs >= 2 cities")
+	}
+	maxD := 0.0
+	for i := range dist {
+		if len(dist[i]) != n {
+			return nil, fmt.Errorf("hybrid: distance matrix row %d has %d entries, want %d", i, len(dist[i]), n)
+		}
+		for j := range dist[i] {
+			if math.Abs(dist[i][j]-dist[j][i]) > 1e-12 {
+				return nil, fmt.Errorf("hybrid: distance matrix not symmetric at (%d,%d)", i, j)
+			}
+			if dist[i][j] > maxD {
+				maxD = dist[i][j]
+			}
+		}
+	}
+	return &TSP{N: n, Distances: dist, Penalty: 2 * maxD * float64(n)}, nil
+}
+
+// NumQubits returns N².
+func (t *TSP) NumQubits() int { return t.N * t.N }
+
+// qubit maps (city, position) to a variable index.
+func (t *TSP) qubit(city, pos int) int { return city*t.N + pos }
+
+// QUBO builds the standard TSP QUBO: tour cost + penalties forcing each city
+// to appear exactly once and each position to hold exactly one city.
+func (t *TSP) QUBO() (*QUBO, error) {
+	q := NewQUBO(t.NumQubits())
+	n := t.N
+	// Tour cost: d(c1,c2) if c1 at position p and c2 at position p+1 (cyclic).
+	for c1 := 0; c1 < n; c1++ {
+		for c2 := 0; c2 < n; c2++ {
+			if c1 == c2 {
+				continue
+			}
+			for p := 0; p < n; p++ {
+				pn := (p + 1) % n
+				if err := q.Add(t.qubit(c1, p), t.qubit(c2, pn), t.Distances[c1][c2]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Constraint (Σ_p x_{c,p} - 1)² for each city c.
+	for c := 0; c < n; c++ {
+		if err := addOneHotPenalty(q, t.Penalty, func(p int) int { return t.qubit(c, p) }, n); err != nil {
+			return nil, err
+		}
+	}
+	// Constraint (Σ_c x_{c,p} - 1)² for each position p.
+	for p := 0; p < n; p++ {
+		if err := addOneHotPenalty(q, t.Penalty, func(c int) int { return t.qubit(c, p) }, n); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// addOneHotPenalty accumulates P(Σ x_i - 1)² = P(Σx_i² + 2Σ_{i<j}x_ix_j
+// - 2Σx_i + 1); with x² = x the linear part is -P·x_i.
+func addOneHotPenalty(q *QUBO, penalty float64, idx func(int) int, n int) error {
+	for i := 0; i < n; i++ {
+		if err := q.Add(idx(i), idx(i), -penalty); err != nil {
+			return err
+		}
+		for j := i + 1; j < n; j++ {
+			if err := q.Add(idx(i), idx(j), 2*penalty); err != nil {
+				return err
+			}
+		}
+	}
+	q.Constant += penalty
+	return nil
+}
+
+// DecodeTour extracts the visiting order from a bit assignment, or an error
+// if the assignment violates the one-hot constraints.
+func (t *TSP) DecodeTour(bits int) ([]int, error) {
+	tour := make([]int, t.N)
+	for p := range tour {
+		tour[p] = -1
+	}
+	for c := 0; c < t.N; c++ {
+		count := 0
+		for p := 0; p < t.N; p++ {
+			if bits&(1<<uint(t.qubit(c, p))) != 0 {
+				count++
+				if tour[p] != -1 {
+					return nil, fmt.Errorf("hybrid: position %d doubly occupied", p)
+				}
+				tour[p] = c
+			}
+		}
+		if count != 1 {
+			return nil, fmt.Errorf("hybrid: city %d appears %d times", c, count)
+		}
+	}
+	return tour, nil
+}
+
+// TourLength returns the cyclic tour length.
+func (t *TSP) TourLength(tour []int) (float64, error) {
+	if len(tour) != t.N {
+		return 0, fmt.Errorf("hybrid: tour has %d cities, want %d", len(tour), t.N)
+	}
+	total := 0.0
+	for p := 0; p < t.N; p++ {
+		a, b := tour[p], tour[(p+1)%t.N]
+		if a < 0 || a >= t.N || b < 0 || b >= t.N {
+			return 0, fmt.Errorf("hybrid: tour city out of range")
+		}
+		total += t.Distances[a][b]
+	}
+	return total, nil
+}
+
+// BruteForceBestTour exhaustively finds the optimal tour (N <= 8).
+func (t *TSP) BruteForceBestTour() ([]int, float64, error) {
+	if t.N > 8 {
+		return nil, 0, fmt.Errorf("hybrid: brute force limited to 8 cities")
+	}
+	perm := make([]int, t.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best []int
+	bestLen := math.Inf(1)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == t.N {
+			l, err := t.TourLength(perm)
+			if err == nil && l < bestLen {
+				bestLen = l
+				best = append([]int(nil), perm...)
+			}
+			return
+		}
+		for i := k; i < t.N; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(1) // fix city 0 at position 0: tours are cyclic
+	return best, bestLen, nil
+}

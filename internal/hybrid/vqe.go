@@ -1,0 +1,241 @@
+package hybrid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/quantum"
+)
+
+// Runner executes circuits and returns measured histograms. The MQSS client,
+// the bare device, and the ideal simulator all satisfy it, so a VQE loop is
+// oblivious to whether it talks to the twin, the QPU, or a remote API — the
+// paper's "no code modifications" property carried into the algorithm layer.
+type Runner interface {
+	Run(c *circuit.Circuit, shots int) (map[int]int, error)
+}
+
+// RunnerFunc adapts a function to Runner.
+type RunnerFunc func(c *circuit.Circuit, shots int) (map[int]int, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(c *circuit.Circuit, shots int) (map[int]int, error) { return f(c, shots) }
+
+// ExactRunner samples from the ideal statevector — the digital-twin path.
+type ExactRunner struct {
+	Seed int64
+	seq  int64
+}
+
+// Run implements Runner by noiseless simulation and multinomial sampling.
+func (e *ExactRunner) Run(c *circuit.Circuit, shots int) (map[int]int, error) {
+	s, err := c.Simulate()
+	if err != nil {
+		return nil, err
+	}
+	e.seq++
+	rng := newSeededRand(e.Seed + e.seq)
+	return quantum.Histogram(s.SampleBitstrings(shots, rng)), nil
+}
+
+// ExactExpectation computes <ψ|H|ψ> exactly for a state — the ground truth
+// tests verify measured estimates against.
+func ExactExpectation(h *Hamiltonian, s *quantum.State) (float64, error) {
+	total := 0.0
+	for _, term := range h.Terms {
+		phi := s.Clone()
+		for q, op := range term.Ops {
+			var m quantum.Matrix2
+			switch op {
+			case PauliX:
+				m = quantum.X
+			case PauliY:
+				m = quantum.Y
+			case PauliZ:
+				m = quantum.Z
+			default:
+				return 0, fmt.Errorf("hybrid: unexpected op %q", op)
+			}
+			if err := phi.Apply1Q(q, m); err != nil {
+				return 0, err
+			}
+		}
+		ip, err := s.InnerProduct(phi)
+		if err != nil {
+			return 0, err
+		}
+		total += term.Coeff * real(ip)
+	}
+	return total, nil
+}
+
+// measurementCircuit appends the basis rotation that diagonalizes one Pauli
+// string: H for X factors, S†·H for Y factors.
+func measurementCircuit(base *circuit.Circuit, term PauliString) (*circuit.Circuit, PauliString, error) {
+	mc := base.Clone()
+	diag := PauliString{Coeff: term.Coeff, Ops: make(map[int]PauliOp, len(term.Ops))}
+	for q, op := range term.Ops {
+		if q >= base.NumQubits {
+			return nil, PauliString{}, fmt.Errorf("hybrid: term qubit %d exceeds circuit register %d", q, base.NumQubits)
+		}
+		switch op {
+		case PauliZ:
+		case PauliX:
+			mc.H(q)
+		case PauliY:
+			mc.Sdag(q)
+			mc.H(q)
+		default:
+			return nil, PauliString{}, fmt.Errorf("hybrid: unexpected op %q", op)
+		}
+		diag.Ops[q] = PauliZ
+	}
+	return mc, diag, nil
+}
+
+// MeasureExpectation estimates <H> for the state prepared by `prep` using
+// the runner: diagonal terms share one measurement setting; every
+// non-diagonal term gets its own basis-rotated circuit.
+func MeasureExpectation(h *Hamiltonian, prep *circuit.Circuit, r Runner, shots int) (float64, error) {
+	if shots < 1 {
+		return 0, fmt.Errorf("hybrid: shots must be >= 1")
+	}
+	total := 0.0
+	var diagTerms []PauliString
+	for _, term := range h.Terms {
+		if len(term.Ops) == 0 {
+			total += term.Coeff // constant term needs no measurement
+			continue
+		}
+		if term.IsDiagonal() {
+			diagTerms = append(diagTerms, term)
+			continue
+		}
+		mc, diag, err := measurementCircuit(prep, term)
+		if err != nil {
+			return 0, err
+		}
+		counts, err := r.Run(mc, shots)
+		if err != nil {
+			return 0, fmt.Errorf("hybrid: measuring %s: %w", term, err)
+		}
+		est, err := (&Hamiltonian{Terms: []PauliString{diag}}).ExpectationFromCounts(counts)
+		if err != nil {
+			return 0, err
+		}
+		total += est
+	}
+	if len(diagTerms) > 0 {
+		counts, err := r.Run(prep, shots)
+		if err != nil {
+			return 0, fmt.Errorf("hybrid: measuring diagonal terms: %w", err)
+		}
+		est, err := (&Hamiltonian{Terms: diagTerms}).ExpectationFromCounts(counts)
+		if err != nil {
+			return 0, err
+		}
+		total += est
+	}
+	return total, nil
+}
+
+// Ansatz builds a parameterized state-preparation circuit.
+type Ansatz func(params []float64) (*circuit.Circuit, error)
+
+// HardwareEfficientAnsatz returns the standard RY + CZ-ladder ansatz over n
+// qubits with `layers` entangling layers; it takes n*(layers+1) parameters.
+func HardwareEfficientAnsatz(n, layers int) (Ansatz, int) {
+	numParams := n * (layers + 1)
+	return func(params []float64) (*circuit.Circuit, error) {
+		if len(params) != numParams {
+			return nil, fmt.Errorf("hybrid: ansatz wants %d params, got %d", numParams, len(params))
+		}
+		c := circuit.New(n, "hw-efficient")
+		p := 0
+		for q := 0; q < n; q++ {
+			c.RY(q, params[p])
+			p++
+		}
+		for l := 0; l < layers; l++ {
+			for q := 0; q+1 < n; q++ {
+				c.CZ(q, q+1)
+			}
+			for q := 0; q < n; q++ {
+				c.RY(q, params[p])
+				p++
+			}
+		}
+		return c, nil
+	}, numParams
+}
+
+// Minimizer abstracts SPSA / Nelder-Mead.
+type Minimizer interface {
+	Minimize(obj Objective, initial []float64) (*OptResult, error)
+}
+
+// VQE couples an ansatz, a Hamiltonian, a runner and an optimizer — the
+// tightly-coupled low-latency loop §2.6 motivates the accelerator access
+// mode with.
+type VQE struct {
+	Hamiltonian *Hamiltonian
+	Ansatz      Ansatz
+	Runner      Runner
+	Shots       int
+	Optimizer   Minimizer
+}
+
+// Energy evaluates the measured energy at one parameter point.
+func (v *VQE) Energy(params []float64) (float64, error) {
+	prep, err := v.Ansatz(params)
+	if err != nil {
+		return 0, err
+	}
+	return MeasureExpectation(v.Hamiltonian, prep, v.Runner, v.Shots)
+}
+
+// Run minimizes the energy from the initial parameters.
+func (v *VQE) Run(initial []float64) (*OptResult, error) {
+	if v.Hamiltonian == nil || v.Ansatz == nil || v.Runner == nil || v.Optimizer == nil {
+		return nil, fmt.Errorf("hybrid: VQE is missing a component")
+	}
+	if v.Shots < 1 {
+		return nil, fmt.Errorf("hybrid: VQE shots must be >= 1")
+	}
+	return v.Optimizer.Minimize(v.Energy, initial)
+}
+
+// H2GroundStateEnergy is the exact ground energy of the H2Molecule()
+// Hamiltonian, for comparisons: ≈ -1.8512 Hartree. Computed by exact
+// diagonalization of the 2-qubit operator.
+func H2GroundStateEnergy() float64 {
+	// The Hamiltonian acts on span{|00>,|01>,|10>,|11>}. With only
+	// Z0, Z1, Z0Z1 and X0X1 terms it block-diagonalizes over {|00>,|11>}
+	// and {|01>,|10>}. Diagonalize both 2x2 blocks.
+	h := H2Molecule()
+	var c0, cz0, cz1, czz, cxx float64
+	for _, t := range h.Terms {
+		switch {
+		case len(t.Ops) == 0:
+			c0 = t.Coeff
+		case len(t.Ops) == 2 && t.Ops[0] == PauliZ:
+			czz = t.Coeff
+		case len(t.Ops) == 2 && t.Ops[0] == PauliX:
+			cxx = t.Coeff
+		case t.Ops[0] == PauliZ:
+			cz0 = t.Coeff
+		case t.Ops[1] == PauliZ:
+			cz1 = t.Coeff
+		}
+	}
+	// Block {|00>, |11>}: diagonal c0±(cz0+cz1)+czz, off-diagonal cxx.
+	d00 := c0 + cz0 + cz1 + czz
+	d11 := c0 - cz0 - cz1 + czz
+	e1 := 0.5*(d00+d11) - math.Sqrt(0.25*(d00-d11)*(d00-d11)+cxx*cxx)
+	// Block {|01>, |10>}: diagonal c0 ± (cz0 - cz1) - czz, off-diag cxx.
+	d01 := c0 + cz0 - cz1 - czz
+	d10 := c0 - cz0 + cz1 - czz
+	e2 := 0.5*(d01+d10) - math.Sqrt(0.25*(d01-d10)*(d01-d10)+cxx*cxx)
+	return math.Min(e1, e2)
+}

@@ -1,0 +1,186 @@
+// Package mitigation implements measurement error mitigation — one of the
+// device-specific techniques the §4 training program taught early users
+// ("how to implement error mitigation methods tailored to the machine").
+//
+// The method is tensor-product readout calibration: for each qubit the
+// 2x2 confusion matrix
+//
+//	M_q = [ P(read 0|true 0)  P(read 0|true 1) ]
+//	      [ P(read 1|true 0)  P(read 1|true 1) ]
+//
+// is estimated from calibration circuits preparing |0..0> and |1..1>, and
+// measured histograms are corrected by applying each inverse M_q⁻¹ along
+// its qubit axis. Negative corrected quasi-probabilities are clipped and
+// renormalized (the standard M3-style projection).
+package mitigation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Runner matches hybrid.Runner: anything that can execute circuits.
+type Runner interface {
+	Run(c *circuit.Circuit, shots int) (map[int]int, error)
+}
+
+// ConfusionMatrix holds per-qubit readout confusion.
+type ConfusionMatrix struct {
+	N int
+	// M[q] = [[p00, p01], [p10, p11]]: p_rt = P(read r | true t).
+	M [][2][2]float64
+}
+
+// Calibrate estimates the confusion matrices by running the two calibration
+// circuits (all-zeros and all-ones) with the given shot budget each.
+func Calibrate(r Runner, n, shots int) (*ConfusionMatrix, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mitigation: need >= 1 qubit")
+	}
+	if shots < 100 {
+		return nil, fmt.Errorf("mitigation: calibration needs >= 100 shots, got %d", shots)
+	}
+	zeros := circuit.New(n, "readout-cal-0")
+	ones := circuit.New(n, "readout-cal-1")
+	for q := 0; q < n; q++ {
+		ones.X(q)
+	}
+	countsZero, err := r.Run(zeros, shots)
+	if err != nil {
+		return nil, fmt.Errorf("mitigation: calibrating |0..0>: %w", err)
+	}
+	countsOne, err := r.Run(ones, shots)
+	if err != nil {
+		return nil, fmt.Errorf("mitigation: calibrating |1..1>: %w", err)
+	}
+	cm := &ConfusionMatrix{N: n, M: make([][2][2]float64, n)}
+	for q := 0; q < n; q++ {
+		bit := 1 << uint(q)
+		read1GivenTrue0 := marginalOnes(countsZero, bit, shots)
+		read0GivenTrue1 := 1 - marginalOnes(countsOne, bit, shots)
+		cm.M[q] = [2][2]float64{
+			{1 - read1GivenTrue0, read0GivenTrue1},
+			{read1GivenTrue0, 1 - read0GivenTrue1},
+		}
+	}
+	return cm, nil
+}
+
+// marginalOnes returns the fraction of shots where the given bit read 1.
+func marginalOnes(counts map[int]int, bit, shots int) float64 {
+	ones := 0
+	for outcome, c := range counts {
+		if outcome&bit != 0 {
+			ones += c
+		}
+	}
+	return float64(ones) / float64(shots)
+}
+
+// AssignmentFidelity returns the mean per-qubit assignment fidelity
+// (1 - (p10 + p01)/2) implied by the calibration.
+func (cm *ConfusionMatrix) AssignmentFidelity(q int) (float64, error) {
+	if q < 0 || q >= cm.N {
+		return 0, fmt.Errorf("mitigation: qubit %d out of range [0,%d)", q, cm.N)
+	}
+	m := cm.M[q]
+	return 1 - (m[1][0]+m[0][1])/2, nil
+}
+
+// invert2 returns the inverse of a 2x2 matrix.
+func invert2(m [2][2]float64) ([2][2]float64, error) {
+	det := m[0][0]*m[1][1] - m[0][1]*m[1][0]
+	if math.Abs(det) < 1e-12 {
+		return [2][2]float64{}, fmt.Errorf("mitigation: singular confusion matrix (det %g)", det)
+	}
+	inv := [2][2]float64{
+		{m[1][1] / det, -m[0][1] / det},
+		{-m[1][0] / det, m[0][0] / det},
+	}
+	return inv, nil
+}
+
+// Apply corrects a measured histogram, returning mitigated pseudo-counts
+// that sum to the original shot count. The correction applies M_q⁻¹ along
+// each qubit axis of the sparse distribution, then clips negatives and
+// renormalizes.
+func (cm *ConfusionMatrix) Apply(counts map[int]int) (map[int]float64, error) {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mitigation: empty histogram")
+	}
+	// Sparse quasi-probability vector.
+	quasi := make(map[int]float64, len(counts))
+	for outcome, c := range counts {
+		quasi[outcome] = float64(c) / float64(total)
+	}
+	for q := 0; q < cm.N; q++ {
+		inv, err := invert2(cm.M[q])
+		if err != nil {
+			return nil, fmt.Errorf("mitigation: qubit %d: %w", q, err)
+		}
+		bit := 1 << uint(q)
+		next := make(map[int]float64, len(quasi))
+		for outcome, p := range quasi {
+			if p == 0 {
+				continue
+			}
+			base := outcome &^ bit
+			r := (outcome >> uint(q)) & 1
+			// p contributes to true-bit values t=0 and t=1 via inv[t][r].
+			next[base] += inv[0][r] * p
+			next[base|bit] += inv[1][r] * p
+		}
+		quasi = next
+	}
+	// Clip negatives, renormalize, rescale to counts.
+	sum := 0.0
+	for outcome, p := range quasi {
+		if p < 0 {
+			delete(quasi, outcome)
+			continue
+		}
+		sum += p
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("mitigation: correction annihilated the distribution")
+	}
+	out := make(map[int]float64, len(quasi))
+	for outcome, p := range quasi {
+		out[outcome] = p / sum * float64(total)
+	}
+	return out, nil
+}
+
+// ExpectationZ computes <Z_q> from a (possibly mitigated) histogram of
+// float pseudo-counts.
+func ExpectationZ(counts map[int]float64, q int) float64 {
+	bit := 1 << uint(q)
+	num, den := 0.0, 0.0
+	for outcome, c := range counts {
+		den += c
+		if outcome&bit == 0 {
+			num += c
+		} else {
+			num -= c
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// RawExpectationZ is ExpectationZ over integer counts.
+func RawExpectationZ(counts map[int]int, q int) float64 {
+	f := make(map[int]float64, len(counts))
+	for k, v := range counts {
+		f[k] = float64(v)
+	}
+	return ExpectationZ(f, q)
+}

@@ -1,0 +1,192 @@
+package mitigation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/qdmi"
+	"repro/internal/transpile"
+)
+
+// deviceRunner adapts a QPU to the Runner interface, JIT-transpiling with
+// static placement so calibration circuits hit the same physical qubits as
+// the payload circuits.
+type deviceRunner struct {
+	qpu *device.QPU
+	dev *qdmi.Device
+}
+
+func newDeviceRunner(seed int64) *deviceRunner {
+	qpu := device.New20Q(seed)
+	return &deviceRunner{qpu: qpu, dev: qdmi.NewDevice(qpu, nil)}
+}
+
+func (r *deviceRunner) Run(c *circuit.Circuit, shots int) (map[int]int, error) {
+	res, err := transpile.Transpile(c, r.dev.Target(), transpile.Options{
+		Placement: transpile.PlaceStatic,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := r.qpu.Execute(res.Circuit, shots)
+	if err != nil {
+		return nil, err
+	}
+	return out.Counts, nil
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	r := newDeviceRunner(1)
+	if _, err := Calibrate(r, 0, 1000); err == nil {
+		t.Error("0 qubits should fail")
+	}
+	if _, err := Calibrate(r, 2, 10); err == nil {
+		t.Error("tiny shot budget should fail")
+	}
+}
+
+func TestCalibrationRecoversReadoutError(t *testing.T) {
+	r := newDeviceRunner(2)
+	cm, err := Calibrate(r, 3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The device's readout fidelity is ~0.98; the measured confusion
+	// matrix should reflect errors of a few percent on each qubit.
+	for q := 0; q < 3; q++ {
+		f, err := cm.AssignmentFidelity(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < 0.94 || f > 0.999 {
+			t.Errorf("qubit %d assignment fidelity %.4f outside the expected band", q, f)
+		}
+	}
+	if _, err := cm.AssignmentFidelity(99); err == nil {
+		t.Error("out-of-range fidelity lookup should fail")
+	}
+}
+
+func TestMitigationImprovesExpectationValue(t *testing.T) {
+	r := newDeviceRunner(3)
+	const n = 2
+	cm, err := Calibrate(r, n, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepare |00>: ideal <Z0> = 1. Readout error biases it low; mitigation
+	// should pull it back up.
+	idle := circuit.New(n, "idle")
+	idle.RZ(0, 0) // keep one (virtual) gate so the circuit is non-empty
+	counts, err := r.Run(idle, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := RawExpectationZ(counts, 0)
+	mitigated, err := cm.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mit := ExpectationZ(mitigated, 0)
+	if raw >= 0.999 {
+		t.Fatalf("raw <Z0> = %.4f already perfect; noise model broken?", raw)
+	}
+	if mit <= raw {
+		t.Errorf("mitigation did not improve <Z0>: raw %.4f -> mitigated %.4f", raw, mit)
+	}
+	if math.Abs(mit-1) > math.Abs(raw-1) {
+		t.Errorf("mitigated error |%.4f| larger than raw |%.4f|", mit-1, raw-1)
+	}
+}
+
+func TestMitigationPreservesTotalCounts(t *testing.T) {
+	r := newDeviceRunner(4)
+	cm, err := Calibrate(r, 2, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New(2, "x0")
+	c.X(0)
+	counts, err := r.Run(c, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mitigated, err := cm.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range mitigated {
+		if v < 0 {
+			t.Errorf("negative mitigated count %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-2000) > 1e-6 {
+		t.Errorf("mitigated total = %g, want 2000", sum)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	cm := &ConfusionMatrix{N: 1, M: [][2][2]float64{{{1, 0}, {0, 1}}}}
+	if _, err := cm.Apply(map[int]int{}); err == nil {
+		t.Error("empty histogram should fail")
+	}
+	singular := &ConfusionMatrix{N: 1, M: [][2][2]float64{{{0.5, 0.5}, {0.5, 0.5}}}}
+	if _, err := singular.Apply(map[int]int{0: 10}); err == nil {
+		t.Error("singular confusion matrix should fail")
+	}
+}
+
+func TestIdentityConfusionIsNoop(t *testing.T) {
+	cm := &ConfusionMatrix{N: 2, M: [][2][2]float64{
+		{{1, 0}, {0, 1}},
+		{{1, 0}, {0, 1}},
+	}}
+	counts := map[int]int{0b00: 600, 0b11: 400}
+	out, err := cm.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0b00]-600) > 1e-9 || math.Abs(out[0b11]-400) > 1e-9 {
+		t.Errorf("identity mitigation changed counts: %v", out)
+	}
+}
+
+func TestExpectationZHelpers(t *testing.T) {
+	counts := map[int]float64{0b0: 75, 0b1: 25}
+	if got := ExpectationZ(counts, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("<Z> = %g, want 0.5", got)
+	}
+	if ExpectationZ(nil, 0) != 0 {
+		t.Error("empty counts should give 0")
+	}
+	raw := map[int]int{0b0: 75, 0b1: 25}
+	if got := RawExpectationZ(raw, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("raw <Z> = %g", got)
+	}
+}
+
+// Synthetic exactness check: with a known confusion matrix and an exactly
+// corrupted distribution, mitigation recovers the true one.
+func TestMitigationInvertsKnownCorruption(t *testing.T) {
+	// Single qubit, 5% symmetric flip; true distribution 100% |0>.
+	eps := 0.05
+	cm := &ConfusionMatrix{N: 1, M: [][2][2]float64{{{1 - eps, eps}, {eps, 1 - eps}}}}
+	shots := 100000
+	// Corrupted: P(read 1) = eps.
+	counts := map[int]int{
+		0: int(float64(shots) * (1 - eps)),
+		1: int(float64(shots) * eps),
+	}
+	out, err := cm.Apply(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac0 := out[0] / (out[0] + out[1])
+	if math.Abs(frac0-1) > 1e-6 {
+		t.Errorf("mitigated P(0) = %.6f, want 1", frac0)
+	}
+}

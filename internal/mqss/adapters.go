@@ -1,0 +1,129 @@
+package mqss
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Adapter converts a frontend framework's program representation into the
+// common circuit IR — Fig. 2's "modular Adapters for frameworks such as
+// CUDAQ, Qiskit, Pennylane, and its own Quantum Programming Interface".
+type Adapter interface {
+	// AdapterName identifies the frontend.
+	AdapterName() string
+	// Build converts a frontend program (as text) into the IR.
+	Build(program string) (*circuit.Circuit, error)
+}
+
+// QASMAdapter accepts OpenQASM 2 text — the interchange format of
+// Qiskit-style frontends.
+type QASMAdapter struct{}
+
+// AdapterName implements Adapter.
+func (QASMAdapter) AdapterName() string { return "qasm" }
+
+// Build implements Adapter.
+func (QASMAdapter) Build(program string) (*circuit.Circuit, error) {
+	c, err := circuit.ParseQASM(strings.NewReader(program))
+	if err != nil {
+		return nil, fmt.Errorf("mqss: qasm adapter: %w", err)
+	}
+	return c, nil
+}
+
+// QPIBuilder is the native Quantum Programming Interface adapter: a typed
+// Go builder (the paper's QPI is a C API; the Go analogue is a fluent
+// builder over the IR).
+type QPIBuilder struct {
+	c   *circuit.Circuit
+	err error
+}
+
+// NewQPI starts a QPI program over n qubits.
+func NewQPI(n int, name string) *QPIBuilder {
+	if n < 1 {
+		return &QPIBuilder{err: fmt.Errorf("mqss: qpi program needs >= 1 qubit")}
+	}
+	return &QPIBuilder{c: circuit.New(n, name)}
+}
+
+// Gate appends an arbitrary IR gate.
+func (b *QPIBuilder) Gate(name string, qubits []int, params ...float64) *QPIBuilder {
+	if b.err != nil {
+		return b
+	}
+	if err := b.c.AddGate(circuit.Gate{Name: name, Qubits: qubits, Params: params}); err != nil {
+		b.err = err
+	}
+	return b
+}
+
+// H, CNOT, RY, RZ, CZ are the common QPI shortcuts.
+func (b *QPIBuilder) H(q int) *QPIBuilder { return b.Gate(circuit.OpH, []int{q}) }
+func (b *QPIBuilder) X(q int) *QPIBuilder { return b.Gate(circuit.OpX, []int{q}) }
+func (b *QPIBuilder) CNOT(c, t int) *QPIBuilder {
+	return b.Gate(circuit.OpCNOT, []int{c, t})
+}
+func (b *QPIBuilder) CZ(a, q int) *QPIBuilder { return b.Gate(circuit.OpCZ, []int{a, q}) }
+func (b *QPIBuilder) RY(q int, theta float64) *QPIBuilder {
+	return b.Gate(circuit.OpRY, []int{q}, theta)
+}
+func (b *QPIBuilder) RZ(q int, theta float64) *QPIBuilder {
+	return b.Gate(circuit.OpRZ, []int{q}, theta)
+}
+
+// Circuit finalizes the program.
+func (b *QPIBuilder) Circuit() (*circuit.Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.c, nil
+}
+
+// PulseProgram is the pulse-level access path some §4 users requested,
+// "enabling them to move beyond circuit-based programming and design
+// hardware-specific control sequences". The simulator cannot integrate
+// microwave envelopes, so a pulse program is a calibrated-rotation schedule:
+// each pulse is an explicit PRX rotation with amplitude- and duration-derived
+// angle, lowered onto the IR directly (bypassing gate decomposition).
+type PulseProgram struct {
+	NumQubits int
+	Pulses    []Pulse
+}
+
+// Pulse is one microwave drive segment on one qubit.
+type Pulse struct {
+	Qubit        int
+	AmplitudeMHz float64 // Rabi frequency
+	DurationUs   float64
+	PhaseRad     float64
+}
+
+// Compile lowers the pulse schedule to the IR: rotation angle =
+// 2π · f_Rabi · duration, axis = pulse phase.
+func (p *PulseProgram) Compile(name string) (*circuit.Circuit, error) {
+	if p.NumQubits < 1 {
+		return nil, fmt.Errorf("mqss: pulse program needs >= 1 qubit")
+	}
+	c := circuit.New(p.NumQubits, name)
+	for i, pl := range p.Pulses {
+		if pl.Qubit < 0 || pl.Qubit >= p.NumQubits {
+			return nil, fmt.Errorf("mqss: pulse %d on qubit %d out of range", i, pl.Qubit)
+		}
+		if pl.DurationUs <= 0 || pl.AmplitudeMHz <= 0 {
+			return nil, fmt.Errorf("mqss: pulse %d needs positive amplitude and duration", i)
+		}
+		theta := 2 * math.Pi * pl.AmplitudeMHz * pl.DurationUs
+		if err := c.AddGate(circuit.Gate{
+			Name:   circuit.OpPRX,
+			Qubits: []int{pl.Qubit},
+			Params: []float64{theta, pl.PhaseRad},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,249 @@
+package mqss
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/qdmi"
+	"repro/internal/qrm"
+)
+
+// AccessPath describes how a job reached the QRM.
+type AccessPath string
+
+const (
+	// PathHPC is the tightly-coupled in-process accelerator path.
+	PathHPC AccessPath = "hpc"
+	// PathREST is the remote asynchronous API path.
+	PathREST AccessPath = "rest"
+)
+
+// Client is the MQSS client of Fig. 2: "without requiring any code
+// modifications from the user, the client automatically detects whether a
+// job originates inside or outside an HPC environment and routes it
+// accordingly". Inside the HPC environment the client holds a direct QRM
+// handle; outside, it holds only a REST endpoint.
+type Client struct {
+	// Direct QRM handle; non-nil when running inside the HPC environment.
+	local *qrm.Manager
+	// REST endpoint for remote access.
+	baseURL string
+	httpc   *http.Client
+}
+
+// NewLocalClient returns a client wired for in-HPC accelerator-style
+// submission.
+func NewLocalClient(m *qrm.Manager) *Client {
+	return &Client{local: m}
+}
+
+// NewRemoteClient returns a client that reaches the stack over HTTP.
+func NewRemoteClient(baseURL string, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{baseURL: baseURL, httpc: httpc}
+}
+
+// NewAutoClient performs the routing decision: if a local QRM is reachable
+// (non-nil), the HPC path is used; otherwise the REST path. This mirrors the
+// client-side auto-detection the paper describes.
+func NewAutoClient(local *qrm.Manager, baseURL string, httpc *http.Client) *Client {
+	if local != nil {
+		return NewLocalClient(local)
+	}
+	return NewRemoteClient(baseURL, httpc)
+}
+
+// Path reports which access path this client uses.
+func (c *Client) Path() AccessPath {
+	if c.local != nil {
+		return PathHPC
+	}
+	return PathREST
+}
+
+// Run submits a job and waits for completion, whichever path is in use.
+func (c *Client) Run(req qrm.Request) (*qrm.Job, error) {
+	if c.local != nil {
+		return c.runLocal(req)
+	}
+	return c.runRemote(req)
+}
+
+func (c *Client) runLocal(req qrm.Request) (*qrm.Job, error) {
+	id, err := c.local.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	// Tightly-coupled loop: drive the QRM synchronously until our job is
+	// done (low-latency accelerator semantics).
+	for {
+		j, err := c.local.Step()
+		if err != nil {
+			return nil, err
+		}
+		if j == nil {
+			break
+		}
+		if j.ID == id {
+			return c.local.Job(id)
+		}
+	}
+	return nil, fmt.Errorf("mqss: job %d vanished from the queue", id)
+}
+
+func (c *Client) runRemote(req qrm.Request) (*qrm.Job, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: encoding request: %w", err)
+	}
+	resp, err := c.httpc.Post(c.baseURL+pathJobs, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("mqss: POST %s: %w", pathJobs, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, decodeError(resp)
+	}
+	var job qrm.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return nil, fmt.Errorf("mqss: decoding job: %w", err)
+	}
+	return &job, nil
+}
+
+// RunBatch submits several circuits as one batch and returns the completed
+// jobs.
+func (c *Client) RunBatch(reqs []qrm.Request) ([]*qrm.Job, error) {
+	if c.local != nil {
+		_, ids, err := c.local.SubmitBatch(reqs)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.local.Drain(); err != nil {
+			return nil, err
+		}
+		out := make([]*qrm.Job, 0, len(ids))
+		for _, id := range ids {
+			j, err := c.local.Job(id)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, j)
+		}
+		return out, nil
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: encoding batch: %w", err)
+	}
+	resp, err := c.httpc.Post(c.baseURL+pathJobsBatch, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("mqss: POST %s: %w", pathJobsBatch, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, decodeError(resp)
+	}
+	var created struct {
+		JobIDs []int `json:"job_ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		return nil, fmt.Errorf("mqss: decoding batch response: %w", err)
+	}
+	out := make([]*qrm.Job, 0, len(created.JobIDs))
+	for _, id := range created.JobIDs {
+		j, err := c.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, j)
+	}
+	return out, nil
+}
+
+// Job fetches a job record by ID.
+func (c *Client) Job(id int) (*qrm.Job, error) {
+	if c.local != nil {
+		return c.local.Job(id)
+	}
+	resp, err := c.httpc.Get(fmt.Sprintf("%s%s/%d", c.baseURL, pathJobs, id))
+	if err != nil {
+		return nil, fmt.Errorf("mqss: GET job %d: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var job qrm.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return nil, fmt.Errorf("mqss: decoding job: %w", err)
+	}
+	return &job, nil
+}
+
+// History fetches a page of job history.
+func (c *Client) History(user string, offset, limit int) (*qrm.Page, error) {
+	if c.local != nil {
+		return c.local.History(user, offset, limit)
+	}
+	url := fmt.Sprintf("%s%s?offset=%d&limit=%d&user=%s", c.baseURL, pathJobs, offset, limit, user)
+	resp, err := c.httpc.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: GET history: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var page qrm.Page
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, fmt.Errorf("mqss: decoding page: %w", err)
+	}
+	return &page, nil
+}
+
+// DeviceInfo is the REST device summary.
+type DeviceInfo struct {
+	Properties      qdmi.Properties `json:"properties"`
+	Fidelity1Q      float64         `json:"fidelity_1q"`
+	FidelityReadout float64         `json:"fidelity_readout"`
+	FidelityCZ      float64         `json:"fidelity_cz"`
+	CalibrationAgeH float64         `json:"calibration_age_h"`
+}
+
+// Device fetches device properties over REST. (Local clients should use
+// their QDMI handle directly.)
+func (c *Client) Device() (*DeviceInfo, error) {
+	if c.local != nil {
+		return nil, fmt.Errorf("mqss: local clients query QDMI directly")
+	}
+	resp, err := c.httpc.Get(c.baseURL + pathDevice)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: GET device: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var info DeviceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("mqss: decoding device info: %w", err)
+	}
+	return &info, nil
+}
+
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("mqss: server %d: %s", resp.StatusCode, e.Error)
+	}
+	return fmt.Errorf("mqss: server returned %d", resp.StatusCode)
+}

@@ -1,0 +1,341 @@
+package mqss
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/qdmi"
+	"repro/internal/qrm"
+	"repro/internal/telemetry"
+)
+
+// newStack builds a full twin-device stack and returns the pieces.
+func newStack(seed int64) (*qrm.Manager, *qdmi.Device) {
+	store := telemetry.NewStore(0)
+	dev := qdmi.NewDevice(device.NewTwin20Q(seed), store)
+	store.Append("fidelity_1q", 0, 0.999)
+	return qrm.NewManager(dev), dev
+}
+
+func TestLocalClientPath(t *testing.T) {
+	m, _ := newStack(1)
+	c := NewLocalClient(m)
+	if c.Path() != PathHPC {
+		t.Errorf("path = %s, want hpc", c.Path())
+	}
+	job, err := c.Run(qrm.Request{Circuit: circuit.GHZ(4), Shots: 100, User: "local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != qrm.StatusDone {
+		t.Fatalf("status = %s (%s)", job.Status, job.Error)
+	}
+	if len(job.Counts) != 2 {
+		t.Errorf("twin GHZ outcomes = %d", len(job.Counts))
+	}
+}
+
+func TestRemoteClientPath(t *testing.T) {
+	m, dev := newStack(2)
+	srv := httptest.NewServer(NewServer(m, dev))
+	defer srv.Close()
+	c := NewRemoteClient(srv.URL, srv.Client())
+	if c.Path() != PathREST {
+		t.Errorf("path = %s, want rest", c.Path())
+	}
+	job, err := c.Run(qrm.Request{Circuit: circuit.GHZ(3), Shots: 50, User: "remote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != qrm.StatusDone {
+		t.Fatalf("status = %s (%s)", job.Status, job.Error)
+	}
+	total := 0
+	for _, n := range job.Counts {
+		total += n
+	}
+	if total != 50 {
+		t.Errorf("shots = %d, want 50", total)
+	}
+	// Fetch the same job by ID.
+	again, err := c.Job(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != job.ID || again.Status != qrm.StatusDone {
+		t.Errorf("refetched job = %+v", again)
+	}
+}
+
+func TestAutoClientRouting(t *testing.T) {
+	m, _ := newStack(3)
+	if NewAutoClient(m, "", nil).Path() != PathHPC {
+		t.Error("auto client with local QRM should pick the HPC path")
+	}
+	if NewAutoClient(nil, "http://example", nil).Path() != PathREST {
+		t.Error("auto client without local QRM should pick the REST path")
+	}
+}
+
+func TestBothPathsProduceSameDistribution(t *testing.T) {
+	// The same job via HPC path and REST path on identical twin devices
+	// must produce identical histograms up to sampling noise — the "no
+	// code modifications" promise of the client.
+	mLocal, _ := newStack(4)
+	mRemote, devRemote := newStack(4)
+	srv := httptest.NewServer(NewServer(mRemote, devRemote))
+	defer srv.Close()
+
+	local := NewLocalClient(mLocal)
+	remote := NewRemoteClient(srv.URL, srv.Client())
+	req := qrm.Request{Circuit: circuit.GHZ(5), Shots: 2000, User: "x"}
+	jl, err := local.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := remote.Run(qrm.Request{Circuit: circuit.GHZ(5), Shots: 2000, User: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := float64(jl.Counts[0]) / 2000
+	fr := float64(jr.Counts[0]) / 2000
+	if math.Abs(fl-0.5) > 0.05 || math.Abs(fr-0.5) > 0.05 {
+		t.Errorf("GHZ P(0) local %.3f remote %.3f, want ~0.5 each", fl, fr)
+	}
+}
+
+func TestRemoteBatch(t *testing.T) {
+	m, dev := newStack(5)
+	srv := httptest.NewServer(NewServer(m, dev))
+	defer srv.Close()
+	c := NewRemoteClient(srv.URL, srv.Client())
+	jobs, err := c.RunBatch([]qrm.Request{
+		{Circuit: circuit.GHZ(2), Shots: 10, User: "b"},
+		{Circuit: circuit.GHZ(3), Shots: 10, User: "b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.Status != qrm.StatusDone {
+			t.Errorf("job %d status %s", j.ID, j.Status)
+		}
+		if j.Request.BatchID == 0 {
+			t.Error("batch ID not set")
+		}
+	}
+}
+
+func TestLocalBatch(t *testing.T) {
+	m, _ := newStack(6)
+	c := NewLocalClient(m)
+	jobs, err := c.RunBatch([]qrm.Request{
+		{Circuit: circuit.GHZ(2), Shots: 10},
+		{Circuit: circuit.GHZ(2), Shots: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].Status != qrm.StatusDone {
+		t.Errorf("local batch = %+v", jobs)
+	}
+}
+
+func TestRemoteHistoryPagination(t *testing.T) {
+	m, dev := newStack(7)
+	srv := httptest.NewServer(NewServer(m, dev))
+	defer srv.Close()
+	c := NewRemoteClient(srv.URL, srv.Client())
+	for i := 0; i < 7; i++ {
+		if _, err := c.Run(qrm.Request{Circuit: circuit.GHZ(2), Shots: 5, User: "pag"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page, err := c.History("pag", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 7 || len(page.Jobs) != 3 || !page.HasMore {
+		t.Errorf("page = %+v", page)
+	}
+}
+
+func TestRemoteDeviceInfo(t *testing.T) {
+	m, dev := newStack(8)
+	srv := httptest.NewServer(NewServer(m, dev))
+	defer srv.Close()
+	c := NewRemoteClient(srv.URL, srv.Client())
+	info, err := c.Device()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Properties.NumQubits != 20 {
+		t.Errorf("device qubits = %d", info.Properties.NumQubits)
+	}
+	if info.Fidelity1Q < 0.99 {
+		t.Errorf("fidelity_1q = %g", info.Fidelity1Q)
+	}
+	if len(info.Properties.CouplingMap) != 20 {
+		t.Error("coupling map missing")
+	}
+	// Local clients don't implement Device().
+	if _, err := NewLocalClient(m).Device(); err == nil {
+		t.Error("local Device() should direct users to QDMI")
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	m, dev := newStack(9)
+	srv := httptest.NewServer(NewServer(m, dev))
+	defer srv.Close()
+	c := srv.Client()
+
+	// Bad JSON submit.
+	resp, err := c.Post(srv.URL+"/api/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad JSON status = %d, want 400", resp.StatusCode)
+	}
+	// Unknown job.
+	resp, err = c.Get(srv.URL + "/api/v1/jobs/424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+	// Bad job id.
+	resp, err = c.Get(srv.URL + "/api/v1/jobs/not-a-number")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad id status = %d, want 400", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = c.Head(srv.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("HEAD status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestTelemetryEndpoint(t *testing.T) {
+	m, dev := newStack(10)
+	srv := httptest.NewServer(NewServer(m, dev))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/api/v1/telemetry/fidelity_1q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("telemetry status = %d", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	m, dev := newStack(11)
+	srv := httptest.NewServer(NewServer(m, dev))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestQASMAdapter(t *testing.T) {
+	a := QASMAdapter{}
+	if a.AdapterName() != "qasm" {
+		t.Error("adapter name")
+	}
+	c, err := a.Build("qreg q[2];\nh q[0];\ncx q[0],q[1];\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 2 || len(c.Gates) != 2 {
+		t.Errorf("adapted circuit: %d qubits, %d gates", c.NumQubits, len(c.Gates))
+	}
+	if _, err := a.Build("garbage"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestQPIBuilder(t *testing.T) {
+	c, err := NewQPI(3, "qpi-demo").H(0).CNOT(0, 1).RY(2, 0.5).RZ(2, 0.25).CZ(1, 2).X(0).Circuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 6 {
+		t.Errorf("gates = %d", len(c.Gates))
+	}
+	if _, err := NewQPI(0, "bad").Circuit(); err == nil {
+		t.Error("expected error for 0 qubits")
+	}
+	if _, err := NewQPI(2, "bad").H(7).Circuit(); err == nil {
+		t.Error("expected error for out-of-range qubit")
+	}
+	// Error sticks: further calls do not panic.
+	if _, err := NewQPI(2, "bad").H(7).CNOT(0, 1).Circuit(); err == nil {
+		t.Error("builder error should persist")
+	}
+}
+
+func TestPulseProgramCompilesToPRX(t *testing.T) {
+	// A pi-pulse: Rabi 10 MHz for 0.05 µs -> theta = 2π·0.5 = π.
+	p := &PulseProgram{
+		NumQubits: 1,
+		Pulses:    []Pulse{{Qubit: 0, AmplitudeMHz: 10, DurationUs: 0.05, PhaseRad: 0}},
+	}
+	c, err := p.Compile("pi-pulse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 || c.Gates[0].Name != circuit.OpPRX {
+		t.Fatalf("compiled = %+v", c.Gates)
+	}
+	if math.Abs(c.Gates[0].Params[0]-math.Pi) > 1e-12 {
+		t.Errorf("theta = %g, want pi", c.Gates[0].Params[0])
+	}
+	// Ideal simulation flips |0> to |1>.
+	s, err := c.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := s.Probability(1); math.Abs(pr-1) > 1e-9 {
+		t.Errorf("pi-pulse P(1) = %g", pr)
+	}
+}
+
+func TestPulseProgramValidation(t *testing.T) {
+	if _, err := (&PulseProgram{NumQubits: 0}).Compile("x"); err == nil {
+		t.Error("expected error for 0 qubits")
+	}
+	bad := &PulseProgram{NumQubits: 1, Pulses: []Pulse{{Qubit: 5, AmplitudeMHz: 1, DurationUs: 1}}}
+	if _, err := bad.Compile("x"); err == nil {
+		t.Error("expected error for out-of-range qubit")
+	}
+	bad2 := &PulseProgram{NumQubits: 1, Pulses: []Pulse{{Qubit: 0, AmplitudeMHz: 0, DurationUs: 1}}}
+	if _, err := bad2.Compile("x"); err == nil {
+		t.Error("expected error for zero amplitude")
+	}
+}

@@ -1,0 +1,220 @@
+// Package mqss reproduces the Munich Quantum Software Stack architecture of
+// Fig. 2: frontend adapters submit circuits to a client, which automatically
+// detects whether the job originates inside or outside the HPC environment
+// and routes it to the appropriate interface — the in-process HPC path for
+// tightly-coupled accelerator-style loops (VQE), or the REST API for remote
+// asynchronous access. Both paths land in the same QRM.
+package mqss
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/qdmi"
+	"repro/internal/qrm"
+)
+
+// API paths.
+const (
+	pathJobs      = "/api/v1/jobs"
+	pathJobsBatch = "/api/v1/jobs/batch"
+	pathDevice    = "/api/v1/device"
+	pathTelemetry = "/api/v1/telemetry/"
+	pathHealthz   = "/healthz"
+)
+
+// Server exposes the QRM over HTTP — the REST access mode of Fig. 2.
+type Server struct {
+	qrm *qrm.Manager
+	dev *qdmi.Device
+	mux *http.ServeMux
+	// AutoRun executes jobs synchronously on submission, which keeps the
+	// remote path self-contained in tests and examples. Production would
+	// run a dispatcher loop instead.
+	AutoRun bool
+}
+
+// NewServer builds the REST front end.
+func NewServer(m *qrm.Manager, dev *qdmi.Device) *Server {
+	s := &Server{qrm: m, dev: dev, mux: http.NewServeMux(), AutoRun: true}
+	s.mux.HandleFunc(pathJobs, s.handleJobs)
+	s.mux.HandleFunc(pathJobs+"/", s.handleJobByID)
+	s.mux.HandleFunc(pathJobsBatch, s.handleBatch)
+	s.mux.HandleFunc(pathDevice, s.handleDevice)
+	s.mux.HandleFunc(pathTelemetry, s.handleTelemetry)
+	s.mux.HandleFunc(pathHealthz, s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is out can only be logged; there is
+	// nothing else to send the client.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleJobs: POST = submit, GET = paginated history.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req qrm.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		id, err := s.qrm.Submit(req)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		if s.AutoRun {
+			if _, err := s.qrm.Drain(); err != nil {
+				writeError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+		}
+		job, err := s.qrm.Job(id)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, job)
+	case http.MethodGet:
+		offset := queryInt(r, "offset", 0)
+		limit := queryInt(r, "limit", 20)
+		user := r.URL.Query().Get("user")
+		page, err := s.qrm.History(user, offset, limit)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, page)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// handleJobByID: GET /api/v1/jobs/{id}.
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, pathJobs+"/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", idStr))
+		return
+	}
+	job, err := s.qrm.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleBatch: POST a list of requests as one batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var reqs []qrm.Request
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding batch: %w", err))
+		return
+	}
+	batch, ids, err := s.qrm.SubmitBatch(reqs)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if s.AutoRun {
+		if _, err := s.qrm.Drain(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, map[string]interface{}{
+		"batch_id": batch,
+		"job_ids":  ids,
+	})
+}
+
+// handleDevice: GET device properties + live calibration summary (QDMI
+// pass-through; §4 users asked for coupling maps and transparency).
+func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	calib := s.dev.Calibration()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"properties":        s.dev.Properties(),
+		"fidelity_1q":       calib.MeanF1Q(),
+		"fidelity_readout":  calib.MeanFReadout(),
+		"fidelity_cz":       calib.MeanFCZ(),
+		"calibration_age_h": calib.AgeHours,
+	})
+}
+
+// handleTelemetry: GET /api/v1/telemetry/{sensor} — transparent telemetry
+// dissemination (§3.1).
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	store := s.dev.Store()
+	if store == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("telemetry store not attached"))
+		return
+	}
+	sensor := strings.TrimPrefix(r.URL.Path, pathTelemetry)
+	if sensor == "" {
+		writeJSON(w, http.StatusOK, map[string]interface{}{"sensors": store.Sensors()})
+		return
+	}
+	data, err := store.MarshalSeriesJSON(sensor)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if !s.qrm.Online() {
+		status = "qpu-offline"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}

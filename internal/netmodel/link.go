@@ -1,0 +1,106 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Link models the network connection between the quantum computer's control
+// computer and the HPC resources: bandwidth, per-message latency, and a
+// protocol efficiency factor (§2.4's "the control software has additional
+// inefficiency").
+type Link struct {
+	BandwidthBps float64
+	LatencyS     float64
+	// Efficiency in (0, 1]: achievable goodput fraction of raw bandwidth.
+	Efficiency float64
+}
+
+// GigabitEthernet returns the paper's 1 Gbit link with typical LAN latency
+// and a conservative 60% protocol efficiency.
+func GigabitEthernet() Link {
+	return Link{BandwidthBps: GigabitEthernetBps, LatencyS: 200e-6, Efficiency: 0.6}
+}
+
+// Validate checks link parameters.
+func (l Link) Validate() error {
+	if l.BandwidthBps <= 0 {
+		return fmt.Errorf("netmodel: bandwidth must be positive")
+	}
+	if l.LatencyS < 0 {
+		return fmt.Errorf("netmodel: latency must be non-negative")
+	}
+	if l.Efficiency <= 0 || l.Efficiency > 1 {
+		return fmt.Errorf("netmodel: efficiency must be in (0, 1]")
+	}
+	return nil
+}
+
+// TransferTime returns the seconds needed to move `bits` over the link in
+// `messages` round-trip-incurring chunks.
+func (l Link) TransferTime(bits float64, messages int) (float64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	if bits < 0 {
+		return 0, fmt.Errorf("netmodel: negative payload")
+	}
+	if messages < 1 {
+		messages = 1
+	}
+	return bits/(l.BandwidthBps*l.Efficiency) + float64(messages)*l.LatencyS, nil
+}
+
+// JobTransfer describes the data movement of one quantum job (§2.4: "data
+// transfer occurs in a few different steps while running a quantum
+// computation"). Sizes in bits.
+type JobTransfer struct {
+	// CircuitBits is the submitted program (QASM/JSON payload).
+	CircuitBits float64
+	// OutputBits is the measured-results payload (dominant direction).
+	OutputBits float64
+	// ControlMessages counts request/acknowledge round trips.
+	ControlMessages int
+}
+
+// EstimateJobTransfer sizes the §2.4 steps for a circuit job: gates encoded
+// at ~128 bits each, output per the chosen format over `shots` shots of a
+// `qubits`-wide register.
+func EstimateJobTransfer(gates, qubits, shots int, format OutputFormat) (JobTransfer, error) {
+	if gates < 0 || qubits < 1 || shots < 1 {
+		return JobTransfer{}, fmt.Errorf("netmodel: bad job shape g=%d q=%d s=%d", gates, qubits, shots)
+	}
+	jt := JobTransfer{
+		CircuitBits:     float64(gates) * 128,
+		ControlMessages: 4, // submit, ack, poll, fetch
+	}
+	switch format {
+	case FormatRawBitstrings:
+		jt.OutputBits = float64(shots) * float64(qubits) * PaperBitsPerMeasuredBit
+	case FormatHistogram:
+		distinct := math.Min(float64(shots), math.Pow(2, float64(qubits)))
+		jt.OutputBits = distinct * (float64(qubits)*PaperBitsPerMeasuredBit + 64)
+	case FormatIQPairs:
+		jt.OutputBits = float64(shots) * float64(qubits) * 128
+	default:
+		return JobTransfer{}, fmt.Errorf("netmodel: unknown format %d", format)
+	}
+	return jt, nil
+}
+
+// TotalTime returns the end-to-end transfer time of the job over the link.
+func (jt JobTransfer) TotalTime(l Link) (float64, error) {
+	return l.TransferTime(jt.CircuitBits+jt.OutputBits, jt.ControlMessages)
+}
+
+// ExecutionDominated reports whether QPU execution time (reset-dominated,
+// §2.4) exceeds the transfer time — the paper's conclusion that the network
+// is never the bottleneck for near-term systems.
+func (jt JobTransfer) ExecutionDominated(l Link, shots int) (bool, error) {
+	t, err := jt.TotalTime(l)
+	if err != nil {
+		return false, err
+	}
+	execS := float64(shots) * PaperResetSeconds
+	return execS > t, nil
+}

@@ -1,0 +1,114 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkValidate(t *testing.T) {
+	if err := (Link{}).Validate(); err == nil {
+		t.Error("zero link should fail")
+	}
+	if err := (Link{BandwidthBps: 1e9, LatencyS: -1, Efficiency: 0.5}).Validate(); err == nil {
+		t.Error("negative latency should fail")
+	}
+	if err := (Link{BandwidthBps: 1e9, Efficiency: 1.5}).Validate(); err == nil {
+		t.Error("efficiency > 1 should fail")
+	}
+	if err := GigabitEthernet().Validate(); err != nil {
+		t.Errorf("reference link invalid: %v", err)
+	}
+}
+
+func TestTransferTimeComponents(t *testing.T) {
+	l := Link{BandwidthBps: 1e6, LatencyS: 0.01, Efficiency: 1}
+	// 1 Mbit over 1 Mbit/s = 1 s, plus 2 messages x 10 ms.
+	got, err := l.TransferTime(1e6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.02) > 1e-12 {
+		t.Errorf("transfer time = %g, want 1.02", got)
+	}
+	// Zero messages clamps to one latency.
+	got, _ = l.TransferTime(0, 0)
+	if math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("empty transfer = %g, want one latency", got)
+	}
+	if _, err := l.TransferTime(-1, 1); err == nil {
+		t.Error("negative payload should fail")
+	}
+}
+
+func TestEstimateJobTransferFormats(t *testing.T) {
+	raw, err := EstimateJobTransfer(100, 20, 10000, FormatRawBitstrings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.OutputBits != 10000*20*8 {
+		t.Errorf("raw output bits = %g", raw.OutputBits)
+	}
+	// Histogram wins when the outcome space saturates (2^q << shots).
+	rawSmall, err := EstimateJobTransfer(100, 10, 10000, FormatRawBitstrings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := EstimateJobTransfer(100, 10, 10000, FormatHistogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.OutputBits >= rawSmall.OutputBits {
+		t.Error("histogram should be smaller than raw at 10 qubits / 10k shots")
+	}
+	iq, err := EstimateJobTransfer(100, 20, 10000, FormatIQPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iq.OutputBits != 16*raw.OutputBits {
+		t.Errorf("IQ bits = %g, want 16x raw", iq.OutputBits)
+	}
+	if _, err := EstimateJobTransfer(-1, 20, 100, FormatRawBitstrings); err == nil {
+		t.Error("negative gates should fail")
+	}
+	if _, err := EstimateJobTransfer(10, 20, 100, OutputFormat(9)); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+// §2.4's conclusion: execution time dominates transfer time on 1 GbE.
+func TestExecutionDominatesTransfer(t *testing.T) {
+	l := GigabitEthernet()
+	jt, err := EstimateJobTransfer(200, 20, 10000, FormatRawBitstrings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := jt.ExecutionDominated(l, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dom {
+		t.Error("execution should dominate transfer for a 10k-shot job on 1 GbE")
+	}
+	transfer, _ := jt.TotalTime(l)
+	execS := 10000 * PaperResetSeconds // 3 s
+	if transfer > execS/100 {
+		t.Errorf("transfer %gs should be <1%% of execution %gs", transfer, execS)
+	}
+}
+
+func TestTransferTimeScalesWithPayload(t *testing.T) {
+	l := GigabitEthernet()
+	small, _ := EstimateJobTransfer(10, 5, 100, FormatRawBitstrings)
+	big, _ := EstimateJobTransfer(10, 20, 100000, FormatIQPairs)
+	ts, err := small.TotalTime(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := big.TotalTime(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb <= ts {
+		t.Error("larger payload should take longer")
+	}
+}

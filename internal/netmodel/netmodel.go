@@ -1,0 +1,171 @@
+// Package netmodel reproduces the §2.4 network analysis: the data-transfer
+// needs of a near-term quantum computer attached to HPC resources over
+// 1 Gbit ethernet, across the three output formats the paper enumerates —
+// histograms of bitstrings, raw per-shot bitstrings, and raw complex IQ
+// readout pairs — and the scaling of the required rate with qubit count.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// OutputFormat is how measurement results are encoded for transfer.
+type OutputFormat int
+
+const (
+	// FormatHistogram sends (bitstring, count) pairs — the most common
+	// format for circuit jobs, and the most compact when the state
+	// concentrates on few outcomes.
+	FormatHistogram OutputFormat = iota
+	// FormatRawBitstrings sends every shot's bitstring.
+	FormatRawBitstrings
+	// FormatIQPairs sends the raw complex readout value (two float64s)
+	// per qubit per shot — pulse-level and readout-research work.
+	FormatIQPairs
+)
+
+func (f OutputFormat) String() string {
+	switch f {
+	case FormatHistogram:
+		return "histogram"
+	case FormatRawBitstrings:
+		return "raw-bitstrings"
+	case FormatIQPairs:
+		return "iq-pairs"
+	}
+	return fmt.Sprintf("format(%d)", int(f))
+}
+
+// Link budgets.
+const (
+	// GigabitEthernetBps is the paper's 1 Gbit connection.
+	GigabitEthernetBps = 1e9
+	// PaperResetSeconds is the passive qubit reset dominating each shot.
+	PaperResetSeconds = 300e-6
+	// PaperBitsPerMeasuredBit is the assumed encoding inefficiency: each
+	// measured bit consumes 8 bits on the wire.
+	PaperBitsPerMeasuredBit = 8
+)
+
+// Workload describes a continuously-measuring quantum workload.
+type Workload struct {
+	Qubits int
+	// ShotSeconds is the duration of one shot; the paper's estimate uses
+	// the 300 µs passive reset as the floor.
+	ShotSeconds float64
+	// BitsPerBit is the wire encoding width of one measured bit.
+	BitsPerBit float64
+	// DistinctOutcomes is the number of distinct bitstrings observed per
+	// batch (used by the histogram format); 0 means worst case.
+	DistinctOutcomes int
+	// ShotsPerBatch is the batch size over which a histogram is built.
+	ShotsPerBatch int
+}
+
+// PaperWorkload returns the §2.4 reference workload for n qubits:
+// 300 µs shots, 8-bit-per-bit encoding, continuous measurement.
+func PaperWorkload(n int) Workload {
+	return Workload{
+		Qubits:      n,
+		ShotSeconds: PaperResetSeconds,
+		BitsPerBit:  PaperBitsPerMeasuredBit,
+	}
+}
+
+// ShotRate returns shots per second under continuous measurement.
+func (w Workload) ShotRate() float64 {
+	if w.ShotSeconds <= 0 {
+		return 0
+	}
+	return 1 / w.ShotSeconds
+}
+
+// DataRateBps returns the continuous-measurement output data rate in bits
+// per second for the given format.
+func (w Workload) DataRateBps(format OutputFormat) (float64, error) {
+	if w.Qubits < 1 {
+		return 0, fmt.Errorf("netmodel: workload has %d qubits", w.Qubits)
+	}
+	if w.ShotSeconds <= 0 {
+		return 0, fmt.Errorf("netmodel: shot duration must be positive")
+	}
+	bitsPerBit := w.BitsPerBit
+	if bitsPerBit <= 0 {
+		bitsPerBit = 1
+	}
+	switch format {
+	case FormatRawBitstrings:
+		// The paper's calculation: rate = shotRate * qubits * bitsPerBit.
+		return w.ShotRate() * float64(w.Qubits) * bitsPerBit, nil
+	case FormatHistogram:
+		// Per batch: distinct outcomes * (bitstring + 64-bit count).
+		shots := w.ShotsPerBatch
+		if shots <= 0 {
+			shots = 1000
+		}
+		distinct := w.DistinctOutcomes
+		if distinct <= 0 || distinct > shots {
+			distinct = shots // worst case: every outcome unique
+		}
+		maxDistinct := math.Pow(2, float64(w.Qubits))
+		if float64(distinct) > maxDistinct {
+			distinct = int(maxDistinct)
+		}
+		bitsPerBatch := float64(distinct) * (float64(w.Qubits)*bitsPerBit + 64)
+		batchSeconds := float64(shots) * w.ShotSeconds
+		return bitsPerBatch / batchSeconds, nil
+	case FormatIQPairs:
+		// Two float64s per qubit per shot.
+		return w.ShotRate() * float64(w.Qubits) * 128, nil
+	}
+	return 0, fmt.Errorf("netmodel: unknown format %d", format)
+}
+
+// LinkUtilization returns the fraction of the link the workload consumes.
+func (w Workload) LinkUtilization(format OutputFormat, linkBps float64) (float64, error) {
+	if linkBps <= 0 {
+		return 0, fmt.Errorf("netmodel: link rate must be positive")
+	}
+	rate, err := w.DataRateBps(format)
+	if err != nil {
+		return 0, err
+	}
+	return rate / linkBps, nil
+}
+
+// FitsLink reports whether the workload's output fits the link.
+func (w Workload) FitsLink(format OutputFormat, linkBps float64) (bool, error) {
+	u, err := w.LinkUtilization(format, linkBps)
+	if err != nil {
+		return false, err
+	}
+	return u <= 1, nil
+}
+
+// ScalingRow is one row of the §2.4 qubit-count scaling table.
+type ScalingRow struct {
+	Qubits      int
+	RateBps     float64
+	Utilization float64
+}
+
+// ScalingTable reproduces the paper's extension of the calculation from 20
+// to 54 and 150 qubits (raw-bitstring format, 1 GbE), demonstrating the
+// linear growth in required rate.
+func ScalingTable(qubitCounts []int) ([]ScalingRow, error) {
+	rows := make([]ScalingRow, 0, len(qubitCounts))
+	for _, n := range qubitCounts {
+		w := PaperWorkload(n)
+		rate, err := w.DataRateBps(FormatRawBitstrings)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ScalingRow{
+			Qubits:      n,
+			RateBps:     rate,
+			Utilization: rate / GigabitEthernetBps,
+		})
+	}
+	return rows, nil
+}

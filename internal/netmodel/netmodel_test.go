@@ -1,0 +1,173 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper's headline number: 1/300µs x 20 x 8 bit = 533 kbit/s.
+func TestPaperCalculation533kbps(t *testing.T) {
+	w := PaperWorkload(20)
+	rate, err := w.DataRateBps(FormatRawBitstrings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20.0 * 8.0 / 300e-6 // 533,333 bit/s
+	if math.Abs(rate-want) > 1 {
+		t.Errorf("rate = %.0f bit/s, want %.0f (paper: 533 kbit/s)", rate, want)
+	}
+	if rate < 530e3 || rate > 540e3 {
+		t.Errorf("rate %.0f outside 530-540 kbit/s band", rate)
+	}
+}
+
+func TestWellBelowGigabitEthernet(t *testing.T) {
+	w := PaperWorkload(20)
+	u, err := w.LinkUtilization(FormatRawBitstrings, GigabitEthernetBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u > 0.001 {
+		t.Errorf("20-qubit utilization = %.5f, paper says 'well below' 1 GbE", u)
+	}
+	ok, err := w.FitsLink(FormatRawBitstrings, GigabitEthernetBps)
+	if err != nil || !ok {
+		t.Error("20-qubit workload must fit 1 GbE")
+	}
+}
+
+// §2.4: "the data rate grows linearly as the number of qubits increases".
+func TestLinearScaling(t *testing.T) {
+	rows, err := ScalingTable([]int{20, 54, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatal("want 3 rows")
+	}
+	r20, r54, r150 := rows[0].RateBps, rows[1].RateBps, rows[2].RateBps
+	if math.Abs(r54/r20-54.0/20.0) > 1e-9 {
+		t.Errorf("54/20 ratio = %g, want %g", r54/r20, 54.0/20.0)
+	}
+	if math.Abs(r150/r20-150.0/20.0) > 1e-9 {
+		t.Errorf("150/20 ratio = %g, want %g", r150/r20, 150.0/20.0)
+	}
+	// Even 150 qubits stays far below the link.
+	if rows[2].Utilization > 0.005 {
+		t.Errorf("150-qubit utilization = %.5f, want < 0.5%%", rows[2].Utilization)
+	}
+}
+
+func TestHistogramFormatCompressesConcentratedStates(t *testing.T) {
+	// A GHZ-like state has 2 distinct outcomes: histograms beat raw
+	// bitstrings by orders of magnitude.
+	w := PaperWorkload(20)
+	w.ShotsPerBatch = 10000
+	w.DistinctOutcomes = 2
+	hist, err := w.DataRateBps(FormatHistogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := w.DataRateBps(FormatRawBitstrings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist >= raw/100 {
+		t.Errorf("histogram rate %.0f should be <1%% of raw %.0f for 2-outcome states", hist, raw)
+	}
+}
+
+func TestHistogramWorstCaseBounded(t *testing.T) {
+	// With every outcome unique, the histogram carries bitstring+count per
+	// shot: worse than raw by the count overhead.
+	w := PaperWorkload(10)
+	w.ShotsPerBatch = 1000
+	w.DistinctOutcomes = 0 // worst case
+	hist, err := w.DataRateBps(FormatHistogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := w.DataRateBps(FormatRawBitstrings)
+	if hist <= raw {
+		t.Errorf("worst-case histogram %.0f should exceed raw %.0f (count overhead)", hist, raw)
+	}
+	// But distinct outcomes cannot exceed 2^qubits.
+	w2 := PaperWorkload(4) // 16 possible outcomes
+	w2.ShotsPerBatch = 100000
+	hist2, err := w2.DataRateBps(FormatHistogram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 outcomes * (4*8+64) bits per 30 s batch — tiny.
+	if hist2 > 100 {
+		t.Errorf("4-qubit histogram rate = %.1f bit/s, want tiny (outcome cap)", hist2)
+	}
+}
+
+func TestIQPairsAreHeaviest(t *testing.T) {
+	w := PaperWorkload(20)
+	iq, err := w.DataRateBps(FormatIQPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := w.DataRateBps(FormatRawBitstrings)
+	if iq <= raw {
+		t.Errorf("IQ rate %.0f should exceed raw %.0f", iq, raw)
+	}
+	// 2 float64 vs 8 bits per qubit-shot: 16x.
+	if math.Abs(iq/raw-16) > 1e-9 {
+		t.Errorf("IQ/raw ratio = %g, want 16", iq/raw)
+	}
+	// Still fits 1 GbE at 20 qubits (8.5 Mbit/s).
+	ok, _ := w.FitsLink(FormatIQPairs, GigabitEthernetBps)
+	if !ok {
+		t.Error("20-qubit IQ stream should fit 1 GbE")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	w := Workload{Qubits: 0, ShotSeconds: 1e-4}
+	if _, err := w.DataRateBps(FormatRawBitstrings); err == nil {
+		t.Error("expected error for 0 qubits")
+	}
+	w = Workload{Qubits: 5, ShotSeconds: 0}
+	if _, err := w.DataRateBps(FormatRawBitstrings); err == nil {
+		t.Error("expected error for 0 shot duration")
+	}
+	w = PaperWorkload(5)
+	if _, err := w.DataRateBps(OutputFormat(9)); err == nil {
+		t.Error("expected error for unknown format")
+	}
+	if _, err := w.LinkUtilization(FormatRawBitstrings, 0); err == nil {
+		t.Error("expected error for zero link rate")
+	}
+}
+
+func TestDefaultBitsPerBit(t *testing.T) {
+	w := Workload{Qubits: 10, ShotSeconds: 1e-3} // BitsPerBit unset -> 1 (ideal)
+	rate, err := w.DataRateBps(FormatRawBitstrings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-10*1000) > 1e-9 {
+		t.Errorf("ideal encoding rate = %g, want 10000", rate)
+	}
+}
+
+func TestFormatStrings(t *testing.T) {
+	if FormatHistogram.String() != "histogram" ||
+		FormatRawBitstrings.String() != "raw-bitstrings" ||
+		FormatIQPairs.String() != "iq-pairs" {
+		t.Error("format names wrong")
+	}
+}
+
+func TestShotRate(t *testing.T) {
+	w := PaperWorkload(20)
+	if got := w.ShotRate(); math.Abs(got-3333.33) > 1 {
+		t.Errorf("shot rate = %g, want ~3333/s", got)
+	}
+	if (Workload{}).ShotRate() != 0 {
+		t.Error("zero workload shot rate should be 0")
+	}
+}

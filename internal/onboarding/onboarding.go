@@ -1,0 +1,322 @@
+// Package onboarding models Section 4: the structured program that converts
+// hardware access into scientific output. Early-user candidates are scored
+// by the paper's review criteria (research relevance, articulated workflow
+// plan, deliverability, prior collaboration, institutional affiliation);
+// admitted users progress through the Use–Modify–Create training stages on
+// the digital twin before gaining noisy-hardware access; and the FAQ
+// knowledge base is organized into the six §4 categories, with question
+// frequency driving prioritization (the process that surfaced pagination,
+// batch jobs, coupling-map access and job-restart tooling as engineering
+// work items).
+package onboarding
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stage is the Use–Modify–Create progression of the training model.
+type Stage int
+
+const (
+	// StageUse: guided execution of provided notebooks on the digital twin.
+	StageUse Stage = iota
+	// StageModify: experimental modification of provided workflows.
+	StageModify
+	// StageCreate: independent development; unlocks hardware access.
+	StageCreate
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageUse:
+		return "use"
+	case StageModify:
+		return "modify"
+	case StageCreate:
+		return "create"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// Application is an early-user-phase candidacy (§4's review process).
+type Application struct {
+	User    string
+	Project string
+	// Review criteria, each scored 0-5 by the selection committee.
+	ResearchRelevance  int  // relevance of the research topic
+	WorkflowPlan       int  // clearly articulated HPC+QC workflow plan
+	Deliverability     int  // likelihood of results within the timeline
+	PriorCollaboration bool // existing channels with the center
+	MQVAffiliation     bool // institutional affiliation
+}
+
+// Score computes the committee score. Boolean criteria add one point each.
+func (a Application) Score() int {
+	s := a.ResearchRelevance + a.WorkflowPlan + a.Deliverability
+	if a.PriorCollaboration {
+		s++
+	}
+	if a.MQVAffiliation {
+		s++
+	}
+	return s
+}
+
+// Validate checks score ranges.
+func (a Application) Validate() error {
+	if a.User == "" {
+		return fmt.Errorf("onboarding: application needs a user")
+	}
+	for _, v := range []int{a.ResearchRelevance, a.WorkflowPlan, a.Deliverability} {
+		if v < 0 || v > 5 {
+			return fmt.Errorf("onboarding: criterion score %d outside [0,5]", v)
+		}
+	}
+	return nil
+}
+
+// User is an admitted early user.
+type User struct {
+	Name    string
+	Project string
+	Stage   Stage
+	Mentor  string // the assigned solution architect (§4 mentorship model)
+	// TwinJobs and HardwareJobs count executed work, for reporting.
+	TwinJobs     int
+	HardwareJobs int
+	// FinalReport records the §4 requirement that early users report out.
+	FinalReport bool
+}
+
+// Registry is the onboarding state: applications, admitted users, mentors,
+// and the FAQ knowledge base.
+type Registry struct {
+	mu         sync.Mutex
+	cutoff     int
+	users      map[string]*User
+	mentors    []string
+	nextMentor int
+	faq        map[Category][]*Question
+}
+
+// NewRegistry builds a registry; cutoff is the minimum committee score for
+// admission, mentors the pool of solution architects assigned round-robin.
+func NewRegistry(cutoff int, mentors []string) *Registry {
+	return &Registry{
+		cutoff:  cutoff,
+		users:   make(map[string]*User),
+		mentors: append([]string(nil), mentors...),
+		faq:     make(map[Category][]*Question),
+	}
+}
+
+// Review scores an application and admits the user if it clears the cutoff.
+// Admitted users start at StageUse with an assigned mentor.
+func (r *Registry) Review(a Application) (admitted bool, err error) {
+	if err := a.Validate(); err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.users[a.User]; exists {
+		return false, fmt.Errorf("onboarding: user %q already admitted", a.User)
+	}
+	if a.Score() < r.cutoff {
+		return false, nil
+	}
+	mentor := ""
+	if len(r.mentors) > 0 {
+		mentor = r.mentors[r.nextMentor%len(r.mentors)]
+		r.nextMentor++
+	}
+	r.users[a.User] = &User{Name: a.User, Project: a.Project, Stage: StageUse, Mentor: mentor}
+	return true, nil
+}
+
+// Lookup returns a copy of a user record.
+func (r *Registry) Lookup(name string) (*User, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.users[name]
+	if !ok {
+		return nil, fmt.Errorf("onboarding: unknown user %q", name)
+	}
+	cp := *u
+	return &cp, nil
+}
+
+// Advance moves a user to the next training stage. Advancement to Create
+// requires at least minTwinJobs executed on the digital twin — hands-on
+// experience before hardware time (§4: "training began with quantum circuit
+// submissions to a digital twin").
+const minTwinJobs = 5
+
+func (r *Registry) Advance(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.users[name]
+	if !ok {
+		return fmt.Errorf("onboarding: unknown user %q", name)
+	}
+	switch u.Stage {
+	case StageUse:
+		u.Stage = StageModify
+	case StageModify:
+		if u.TwinJobs < minTwinJobs {
+			return fmt.Errorf("onboarding: %q needs %d twin jobs before the create stage (has %d)",
+				name, minTwinJobs, u.TwinJobs)
+		}
+		u.Stage = StageCreate
+	case StageCreate:
+		return fmt.Errorf("onboarding: %q already at the create stage", name)
+	}
+	return nil
+}
+
+// CanSubmit gates job submission: twin access from admission, hardware
+// access only at the Create stage.
+func (r *Registry) CanSubmit(name string, hardware bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.users[name]
+	if !ok {
+		return fmt.Errorf("onboarding: %q is not an admitted early user", name)
+	}
+	if hardware && u.Stage != StageCreate {
+		return fmt.Errorf("onboarding: %q is at stage %s; hardware access requires completing the Use-Modify-Create progression",
+			name, u.Stage)
+	}
+	return nil
+}
+
+// RecordJob counts an executed job against the user's record.
+func (r *Registry) RecordJob(name string, hardware bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.users[name]
+	if !ok {
+		return fmt.Errorf("onboarding: unknown user %q", name)
+	}
+	if hardware {
+		u.HardwareJobs++
+	} else {
+		u.TwinJobs++
+	}
+	return nil
+}
+
+// SubmitReport records the user's final report (an early-user obligation).
+func (r *Registry) SubmitReport(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u, ok := r.users[name]
+	if !ok {
+		return fmt.Errorf("onboarding: unknown user %q", name)
+	}
+	u.FinalReport = true
+	return nil
+}
+
+// Category is one of the six §4 FAQ categories.
+type Category string
+
+const (
+	CatGettingStarted Category = "getting-started"
+	CatSubmission     Category = "job-submission-and-execution"
+	CatTracking       Category = "job-tracking-and-results"
+	CatSystemInfo     Category = "system-and-hardware-information"
+	CatResourceUsage  Category = "resource-usage"
+	CatBudgeting      Category = "budgeting"
+)
+
+// Categories lists the §4 taxonomy in presentation order.
+func Categories() []Category {
+	return []Category{CatGettingStarted, CatSubmission, CatTracking,
+		CatSystemInfo, CatResourceUsage, CatBudgeting}
+}
+
+// Question is one FAQ entry; Count tracks how often users asked it.
+type Question struct {
+	Text   string
+	Answer string
+	Count  int
+}
+
+// Ask records a user question, creating or incrementing the FAQ entry, and
+// returns the stored answer ("" when the entry is new and unanswered).
+func (r *Registry) Ask(cat Category, text string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := strings.ToLower(strings.TrimSpace(text))
+	for _, q := range r.faq[cat] {
+		if strings.ToLower(q.Text) == key {
+			q.Count++
+			return q.Answer
+		}
+	}
+	r.faq[cat] = append(r.faq[cat], &Question{Text: strings.TrimSpace(text), Count: 1})
+	return ""
+}
+
+// Answer fills in the canonical answer for a question.
+func (r *Registry) Answer(cat Category, text, answer string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := strings.ToLower(strings.TrimSpace(text))
+	for _, q := range r.faq[cat] {
+		if strings.ToLower(q.Text) == key {
+			q.Answer = answer
+			return nil
+		}
+	}
+	return fmt.Errorf("onboarding: no question %q in category %s", text, cat)
+}
+
+// TopQuestions returns the most-asked questions in a category — the signal
+// that drove §4's prioritization ("many users found it difficult to navigate
+// large job histories ... which led us to implement more efficient
+// pagination").
+func (r *Registry) TopQuestions(cat Category, n int) []Question {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	qs := make([]Question, 0, len(r.faq[cat]))
+	for _, q := range r.faq[cat] {
+		qs = append(qs, *q)
+	}
+	sort.SliceStable(qs, func(i, j int) bool { return qs[i].Count > qs[j].Count })
+	if n > 0 && n < len(qs) {
+		qs = qs[:n]
+	}
+	return qs
+}
+
+// CohortStats summarizes program health for reporting.
+type CohortStats struct {
+	Users         int
+	AtCreateStage int
+	ReportsFiled  int
+	TwinJobs      int
+	HardwareJobs  int
+}
+
+// Stats computes cohort statistics.
+func (r *Registry) Stats() CohortStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var st CohortStats
+	for _, u := range r.users {
+		st.Users++
+		if u.Stage == StageCreate {
+			st.AtCreateStage++
+		}
+		if u.FinalReport {
+			st.ReportsFiled++
+		}
+		st.TwinJobs += u.TwinJobs
+		st.HardwareJobs += u.HardwareJobs
+	}
+	return st
+}

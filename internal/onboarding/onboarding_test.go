@@ -1,0 +1,202 @@
+package onboarding
+
+import (
+	"strings"
+	"testing"
+)
+
+func strongApp(user string) Application {
+	return Application{
+		User: user, Project: "tsp-benchmarking",
+		ResearchRelevance: 5, WorkflowPlan: 4, Deliverability: 4,
+		PriorCollaboration: true, MQVAffiliation: true,
+	}
+}
+
+func TestReviewAdmitsStrongApplications(t *testing.T) {
+	r := NewRegistry(10, []string{"sa-alice", "sa-bob"})
+	admitted, err := r.Review(strongApp("carol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !admitted {
+		t.Fatal("strong application rejected")
+	}
+	u, err := r.Lookup("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Stage != StageUse {
+		t.Errorf("new user at stage %s, want use", u.Stage)
+	}
+	if u.Mentor != "sa-alice" {
+		t.Errorf("mentor = %q, want round-robin sa-alice", u.Mentor)
+	}
+}
+
+func TestReviewRejectsWeakApplications(t *testing.T) {
+	r := NewRegistry(10, nil)
+	weak := Application{User: "dave", ResearchRelevance: 2, WorkflowPlan: 2, Deliverability: 2}
+	admitted, err := r.Review(weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted {
+		t.Error("weak application admitted")
+	}
+	if _, err := r.Lookup("dave"); err == nil {
+		t.Error("rejected user should not be registered")
+	}
+}
+
+func TestReviewValidation(t *testing.T) {
+	r := NewRegistry(5, nil)
+	if _, err := r.Review(Application{}); err == nil {
+		t.Error("empty application should fail")
+	}
+	bad := strongApp("x")
+	bad.WorkflowPlan = 9
+	if _, err := r.Review(bad); err == nil {
+		t.Error("out-of-range score should fail")
+	}
+	r.Review(strongApp("erin"))
+	if _, err := r.Review(strongApp("erin")); err == nil {
+		t.Error("double admission should fail")
+	}
+}
+
+func TestMentorRoundRobin(t *testing.T) {
+	r := NewRegistry(5, []string{"sa-1", "sa-2"})
+	r.Review(strongApp("u1"))
+	r.Review(strongApp("u2"))
+	r.Review(strongApp("u3"))
+	u1, _ := r.Lookup("u1")
+	u2, _ := r.Lookup("u2")
+	u3, _ := r.Lookup("u3")
+	if u1.Mentor != "sa-1" || u2.Mentor != "sa-2" || u3.Mentor != "sa-1" {
+		t.Errorf("mentors = %q, %q, %q", u1.Mentor, u2.Mentor, u3.Mentor)
+	}
+}
+
+func TestUseModifyCreateProgressionGatesHardware(t *testing.T) {
+	r := NewRegistry(5, nil)
+	r.Review(strongApp("frank"))
+	// Twin access from day one; hardware blocked.
+	if err := r.CanSubmit("frank", false); err != nil {
+		t.Errorf("twin access denied: %v", err)
+	}
+	if err := r.CanSubmit("frank", true); err == nil {
+		t.Error("hardware access should be blocked at the use stage")
+	}
+	if err := r.Advance("frank"); err != nil { // use -> modify
+		t.Fatal(err)
+	}
+	// Create requires twin experience.
+	if err := r.Advance("frank"); err == nil {
+		t.Error("advancement to create without twin jobs should fail")
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.RecordJob("frank", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Advance("frank"); err != nil { // modify -> create
+		t.Fatal(err)
+	}
+	if err := r.CanSubmit("frank", true); err != nil {
+		t.Errorf("hardware access denied at create stage: %v", err)
+	}
+	if err := r.Advance("frank"); err == nil {
+		t.Error("advancing past create should fail")
+	}
+}
+
+func TestCanSubmitUnknownUser(t *testing.T) {
+	r := NewRegistry(5, nil)
+	if err := r.CanSubmit("nobody", false); err == nil {
+		t.Error("unknown user should be denied")
+	}
+	if err := r.RecordJob("nobody", false); err == nil {
+		t.Error("recording for unknown user should fail")
+	}
+	if err := r.Advance("nobody"); err == nil {
+		t.Error("advancing unknown user should fail")
+	}
+	if err := r.SubmitReport("nobody"); err == nil {
+		t.Error("report for unknown user should fail")
+	}
+}
+
+func TestFAQFrequencyDrivesPriority(t *testing.T) {
+	r := NewRegistry(5, nil)
+	// The §4 story: pagination pain shows up as repeated questions.
+	for i := 0; i < 7; i++ {
+		r.Ask(CatTracking, "How do I find my old jobs in the dashboard?")
+	}
+	r.Ask(CatTracking, "Where are my result files?")
+	r.Ask(CatTracking, "Where are my result files?")
+	r.Ask(CatTracking, "Can I restart a job after an outage?")
+
+	top := r.TopQuestions(CatTracking, 2)
+	if len(top) != 2 {
+		t.Fatalf("top questions = %d", len(top))
+	}
+	if !strings.Contains(top[0].Text, "dashboard") || top[0].Count != 7 {
+		t.Errorf("top question = %+v", top[0])
+	}
+	if top[1].Count != 2 {
+		t.Errorf("second question count = %d", top[1].Count)
+	}
+}
+
+func TestFAQAnswerFlow(t *testing.T) {
+	r := NewRegistry(5, nil)
+	if got := r.Ask(CatSubmission, "How many shots can I request?"); got != "" {
+		t.Error("new question should have no answer")
+	}
+	if err := r.Answer(CatSubmission, "how many shots can I request?", "Up to 100000 per job."); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Ask(CatSubmission, "HOW MANY SHOTS CAN I REQUEST?"); got != "Up to 100000 per job." {
+		t.Errorf("answer lookup = %q", got)
+	}
+	if err := r.Answer(CatBudgeting, "never asked", "x"); err == nil {
+		t.Error("answering unknown question should fail")
+	}
+}
+
+func TestSixFAQCategories(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 6 {
+		t.Fatalf("categories = %d, want 6 (§4)", len(cats))
+	}
+	if cats[0] != CatGettingStarted || cats[5] != CatBudgeting {
+		t.Errorf("category order = %v", cats)
+	}
+}
+
+func TestCohortStats(t *testing.T) {
+	r := NewRegistry(5, []string{"sa"})
+	r.Review(strongApp("u1"))
+	r.Review(strongApp("u2"))
+	r.Advance("u1")
+	for i := 0; i < 5; i++ {
+		r.RecordJob("u1", false)
+	}
+	r.Advance("u1")
+	r.RecordJob("u1", true)
+	r.SubmitReport("u1")
+	st := r.Stats()
+	if st.Users != 2 || st.AtCreateStage != 1 || st.ReportsFiled != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.TwinJobs != 5 || st.HardwareJobs != 1 {
+		t.Errorf("job counts = %+v", st)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	if StageUse.String() != "use" || StageModify.String() != "modify" || StageCreate.String() != "create" {
+		t.Error("stage names wrong")
+	}
+}

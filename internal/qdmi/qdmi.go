@@ -1,0 +1,120 @@
+// Package qdmi reproduces the Quantum Device Management Interface (§2.6,
+// Fig. 2/3): a narrow query interface through which software tools obtain
+// backend-specific metrics — topology, native operations, gate fidelities,
+// noise characteristics, resource constraints — at runtime, enabling
+// just-in-time adaptation of compilation and scheduling per device.
+package qdmi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/telemetry"
+	"repro/internal/transpile"
+)
+
+// Properties is the static device description.
+type Properties struct {
+	Name        string        `json:"name"`
+	NumQubits   int           `json:"num_qubits"`
+	NativeOps   []string      `json:"native_ops"`
+	CouplingMap map[int][]int `json:"coupling_map"`
+	DigitalTwin bool          `json:"digital_twin"`
+}
+
+// Interface is what compilers and schedulers program against. The paper
+// describes it as "a lightweight header-only C interface"; the Go analogue
+// is a small method set.
+type Interface interface {
+	// Properties returns the static device description.
+	Properties() Properties
+	// Target returns a transpilation target carrying live fidelities.
+	Target() *transpile.Target
+	// Calibration returns a snapshot of the current calibration record.
+	Calibration() *device.Calibration
+}
+
+// Device implements Interface over a QPU, optionally publishing calibration
+// metrics into a telemetry store (the DCDB/QDMI integration of Fig. 3).
+type Device struct {
+	mu    sync.Mutex
+	qpu   *device.QPU
+	store *telemetry.Store
+}
+
+// NewDevice wraps a QPU. store may be nil (no telemetry publication).
+func NewDevice(qpu *device.QPU, store *telemetry.Store) *Device {
+	return &Device{qpu: qpu, store: store}
+}
+
+// Properties implements Interface.
+func (d *Device) Properties() Properties {
+	return Properties{
+		Name:        d.qpu.Name(),
+		NumQubits:   d.qpu.NumQubits(),
+		NativeOps:   []string{"prx", "rz", "cz", "measure"},
+		CouplingMap: d.qpu.Topology().CouplingMap(),
+		DigitalTwin: d.qpu.IsTwin(),
+	}
+}
+
+// Target implements Interface: it snapshots the live calibration so that the
+// transpiler's fidelity-aware placement sees the device as it is now — the
+// mechanism behind "just-in-time quantum circuit transpilation can reduce
+// noise" (§2.6).
+func (d *Device) Target() *transpile.Target {
+	calib := d.qpu.Calibration()
+	topo := d.qpu.Topology()
+	t := &transpile.Target{
+		NumQubits: topo.NumQubits(),
+		Edges:     topo.Edges(),
+		F1Q:       make([]float64, topo.NumQubits()),
+		FRead:     make([]float64, topo.NumQubits()),
+		FCZ:       make(map[[2]int]float64, len(topo.Edges())),
+	}
+	for q := 0; q < topo.NumQubits(); q++ {
+		t.F1Q[q] = calib.Qubits[q].F1Q
+		t.FRead[q] = calib.Qubits[q].FReadout
+	}
+	for _, e := range topo.Edges() {
+		t.FCZ[e] = calib.FCZ(e[0], e[1])
+	}
+	return t
+}
+
+// Calibration implements Interface.
+func (d *Device) Calibration() *device.Calibration {
+	return d.qpu.Calibration()
+}
+
+// QPU exposes the underlying device for execution paths that hold a QDMI
+// handle (the QRM).
+func (d *Device) QPU() *device.QPU { return d.qpu }
+
+// CollectorName implements telemetry.Collector: the QDMI device doubles as
+// a DCDB plugin publishing the Figure 4 fidelity series plus qubit health.
+func (d *Device) CollectorName() string { return "qdmi-" + d.qpu.Name() }
+
+// Collect implements telemetry.Collector.
+func (d *Device) Collect() map[string]float64 {
+	c := d.qpu.Calibration()
+	out := map[string]float64{
+		"fidelity_1q":       c.MeanF1Q(),
+		"fidelity_readout":  c.MeanFReadout(),
+		"fidelity_cz":       c.MeanFCZ(),
+		"calibration_age_h": c.AgeHours,
+		"tls_active":        float64(d.qpu.ActiveTLSCount()),
+	}
+	for q, qc := range c.Qubits {
+		out[fmt.Sprintf("qubit_%02d_f1q", q)] = qc.F1Q
+		out[fmt.Sprintf("qubit_%02d_t1_us", q)] = qc.T1
+	}
+	return out
+}
+
+// Store returns the attached telemetry store (may be nil).
+func (d *Device) Store() *telemetry.Store { return d.store }
+
+var _ Interface = (*Device)(nil)
+var _ telemetry.Collector = (*Device)(nil)

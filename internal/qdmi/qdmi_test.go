@@ -1,0 +1,100 @@
+package qdmi
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/telemetry"
+	"repro/internal/transpile"
+)
+
+func TestProperties(t *testing.T) {
+	d := NewDevice(device.New20Q(1), nil)
+	p := d.Properties()
+	if p.NumQubits != 20 {
+		t.Errorf("qubits = %d", p.NumQubits)
+	}
+	if p.Name != "garnet-20" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.NativeOps) != 4 {
+		t.Errorf("native ops = %v", p.NativeOps)
+	}
+	if len(p.CouplingMap) != 20 {
+		t.Errorf("coupling map size = %d", len(p.CouplingMap))
+	}
+	if p.DigitalTwin {
+		t.Error("real device flagged as twin")
+	}
+	if !NewDevice(device.NewTwin20Q(1), nil).Properties().DigitalTwin {
+		t.Error("twin not flagged")
+	}
+}
+
+func TestTargetCarriesLiveFidelities(t *testing.T) {
+	qpu := device.New20Q(2)
+	d := NewDevice(qpu, nil)
+	before := d.Target()
+	qpu.AdvanceDrift(24 * 14)
+	after := d.Target()
+	meanBefore, meanAfter := 0.0, 0.0
+	for q := 0; q < 20; q++ {
+		meanBefore += before.F1Q[q]
+		meanAfter += after.F1Q[q]
+	}
+	if meanAfter >= meanBefore {
+		t.Error("Target should reflect drifted fidelities")
+	}
+	if err := after.Validate(); err != nil {
+		t.Errorf("target invalid: %v", err)
+	}
+	if len(after.FCZ) != 31 {
+		t.Errorf("FCZ entries = %d, want 31", len(after.FCZ))
+	}
+}
+
+func TestTargetUsableByTranspiler(t *testing.T) {
+	d := NewDevice(device.New20Q(3), nil)
+	res, err := transpile.Transpile(circuit.GHZ(8), d.Target(), transpile.Options{
+		Placement: transpile.PlaceFidelityAware,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JIT-compiled circuit must execute directly on the device.
+	if _, err := d.QPU().Execute(res.Circuit, 50); err != nil {
+		t.Fatalf("JIT output not executable: %v", err)
+	}
+}
+
+func TestCollectPublishesFigure4Series(t *testing.T) {
+	store := telemetry.NewStore(0)
+	d := NewDevice(device.New20Q(4), store)
+	poller := telemetry.NewPoller(store)
+	poller.Register(d)
+	poller.Poll(0)
+	poller.Poll(3600)
+	for _, sensor := range []string{"fidelity_1q", "fidelity_readout", "fidelity_cz"} {
+		if got := store.Count(sensor); got != 2 {
+			t.Errorf("%s samples = %d, want 2", sensor, got)
+		}
+	}
+	latest, ok := store.Latest("fidelity_1q")
+	if !ok || latest.Value < 0.99 {
+		t.Errorf("fidelity_1q latest = %+v", latest)
+	}
+	if got := store.Count("qubit_07_f1q"); got != 2 {
+		t.Errorf("per-qubit sensor samples = %d, want 2", got)
+	}
+}
+
+func TestCalibrationSnapshotIsolated(t *testing.T) {
+	qpu := device.New20Q(5)
+	d := NewDevice(qpu, nil)
+	snap := d.Calibration()
+	snap.Qubits[0].F1Q = 0.1
+	if d.Calibration().Qubits[0].F1Q == 0.1 {
+		t.Error("Calibration() returned a live reference, want a snapshot")
+	}
+}

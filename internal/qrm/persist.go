@@ -1,0 +1,80 @@
+package qrm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is the serialized QRM job store — the durable state behind the
+// "more robust job restart tools after system outages" users asked for in
+// §4. After a control-computer restart, LoadSnapshot restores history and
+// re-queues whatever was interrupted.
+type Snapshot struct {
+	Version   int    `json:"version"`
+	NextID    int    `json:"next_id"`
+	NextBatch int    `json:"next_batch"`
+	Jobs      []*Job `json:"jobs"` // in submission order
+}
+
+const snapshotVersion = 1
+
+// SaveSnapshot writes the full job store to w as JSON.
+func (m *Manager) SaveSnapshot(w io.Writer) error {
+	m.mu.Lock()
+	snap := Snapshot{
+		Version:   snapshotVersion,
+		NextID:    m.nextID,
+		NextBatch: m.nextBatch,
+	}
+	for _, id := range m.order {
+		cp := *m.jobs[id]
+		snap.Jobs = append(snap.Jobs, &cp)
+	}
+	m.mu.Unlock()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("qrm: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot replaces the manager's job store with the snapshot's
+// contents. Jobs that were queued, compiling or running at snapshot time
+// are marked interrupted (they did not survive the restart); call
+// RequeueInterrupted to resubmit them. The manager must be freshly
+// constructed (empty), otherwise an error is returned.
+func (m *Manager) LoadSnapshot(r io.Reader) error {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("qrm: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("qrm: snapshot version %d unsupported (want %d)", snap.Version, snapshotVersion)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.jobs) != 0 {
+		return fmt.Errorf("qrm: LoadSnapshot requires an empty manager (%d jobs present)", len(m.jobs))
+	}
+	// Defensive ordering: snapshots written by SaveSnapshot are already in
+	// submission order, but sorting keeps hand-edited files usable.
+	jobs := append([]*Job(nil), snap.Jobs...)
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+	for _, j := range jobs {
+		if j == nil || j.ID == 0 {
+			return fmt.Errorf("qrm: snapshot contains a malformed job")
+		}
+		cp := *j
+		switch cp.Status {
+		case StatusQueued, StatusCompiling, StatusRunning:
+			cp.Status = StatusInterrupted
+		}
+		m.jobs[cp.ID] = &cp
+		m.order = append(m.order, cp.ID)
+	}
+	m.nextID = snap.NextID
+	m.nextBatch = snap.NextBatch
+	return nil
+}

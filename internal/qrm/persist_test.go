@@ -1,0 +1,113 @@
+package qrm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/qdmi"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	m := newManager(31)
+	idDone, _ := m.Submit(Request{Circuit: circuit.GHZ(3), Shots: 50, User: "alice"})
+	m.Drain()
+	idQueued, _ := m.Submit(Request{Circuit: circuit.GHZ(4), Shots: 50, User: "bob"})
+
+	var buf bytes.Buffer
+	if err := m.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh manager after a "restart".
+	m2 := NewManager(qdmi.NewDevice(device.NewTwin20Q(31), nil))
+	if err := m2.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	done, err := m2.Job(idDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusDone {
+		t.Errorf("completed job restored as %s", done.Status)
+	}
+	if len(done.Counts) == 0 {
+		t.Error("results lost across snapshot")
+	}
+	queued, err := m2.Job(idQueued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued.Status != StatusInterrupted {
+		t.Errorf("in-flight job restored as %s, want interrupted", queued.Status)
+	}
+
+	// The restart tooling: requeue and drain.
+	ids, err := m2.RequeueInterrupted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("requeued %d, want 1", len(ids))
+	}
+	if _, err := m2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	redone, _ := m2.Job(ids[0])
+	if redone.Status != StatusDone {
+		t.Errorf("requeued job = %s (%s)", redone.Status, redone.Error)
+	}
+	// New IDs continue after the snapshot's counter.
+	if ids[0] <= idQueued {
+		t.Errorf("new job ID %d should exceed restored counter %d", ids[0], idQueued)
+	}
+}
+
+func TestLoadSnapshotValidation(t *testing.T) {
+	m := newManager(32)
+	if err := m.LoadSnapshot(strings.NewReader("{nope")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if err := m.LoadSnapshot(strings.NewReader(`{"version":99,"jobs":[]}`)); err == nil {
+		t.Error("unknown version should fail")
+	}
+	// Non-empty manager refuses to load.
+	m.Submit(Request{Circuit: circuit.GHZ(2), Shots: 10})
+	if err := m.LoadSnapshot(strings.NewReader(`{"version":1,"jobs":[]}`)); err == nil {
+		t.Error("non-empty manager should refuse LoadSnapshot")
+	}
+	m2 := newManager(33)
+	if err := m2.LoadSnapshot(strings.NewReader(`{"version":1,"jobs":[{}]}`)); err == nil {
+		t.Error("malformed job should fail")
+	}
+}
+
+func TestSnapshotPreservesHistoryOrder(t *testing.T) {
+	m := newManager(34)
+	for i := 0; i < 5; i++ {
+		m.Submit(Request{Circuit: circuit.GHZ(2), Shots: 5, User: "u"})
+	}
+	m.Drain()
+	var buf bytes.Buffer
+	if err := m.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager(qdmi.NewDevice(device.NewTwin20Q(34), nil))
+	if err := m2.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page, err := m2.History("u", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 5 {
+		t.Fatalf("restored history total = %d", page.Total)
+	}
+	for i := 1; i < len(page.Jobs); i++ {
+		if page.Jobs[i-1].ID <= page.Jobs[i].ID {
+			t.Fatal("restored history not newest-first")
+		}
+	}
+}

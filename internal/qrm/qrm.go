@@ -1,0 +1,351 @@
+// Package qrm is the Quantum Resource Manager of Fig. 2: the second-level
+// scheduler that sits between the MQSS client and the device. It keeps a
+// prioritized job queue, JIT-compiles each job against the device's live
+// QDMI target at dispatch time, executes on the QPU, and maintains a
+// paginated job history (the dashboard feature §4's FAQ process produced).
+// Batch jobs — a §4 user request — group multiple circuits under one handle,
+// and interrupted jobs can be requeued after an outage ("more robust job
+// restart tools after system outages").
+package qrm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/qdmi"
+	"repro/internal/transpile"
+)
+
+// JobStatus tracks a quantum job through its lifecycle.
+type JobStatus string
+
+const (
+	StatusQueued      JobStatus = "queued"
+	StatusCompiling   JobStatus = "compiling"
+	StatusRunning     JobStatus = "running"
+	StatusDone        JobStatus = "done"
+	StatusFailed      JobStatus = "failed"
+	StatusInterrupted JobStatus = "interrupted" // outage while queued/running
+	StatusCancelled   JobStatus = "cancelled"
+)
+
+// Request is a job submission.
+type Request struct {
+	Circuit  *circuit.Circuit `json:"circuit"`
+	Shots    int              `json:"shots"`
+	Priority int              `json:"priority"`
+	// User identifies the submitter (for history filtering).
+	User string `json:"user"`
+	// BatchID groups circuits submitted together (0 = standalone).
+	BatchID int `json:"batch_id,omitempty"`
+	// Placement selects the JIT placement strategy; fidelity-aware is the
+	// default.
+	StaticPlacement bool `json:"static_placement,omitempty"`
+}
+
+// Job is the QRM's record of one submission.
+type Job struct {
+	ID      int       `json:"id"`
+	Status  JobStatus `json:"status"`
+	Request Request   `json:"request"`
+
+	// Compilation artefacts, filled at dispatch.
+	CompiledGates int              `json:"compiled_gates,omitempty"`
+	CZCount       int              `json:"cz_count,omitempty"`
+	Layout        transpile.Layout `json:"layout,omitempty"`
+	// Transparency into compilation was an explicit user request (§4).
+	CompileStats string `json:"compile_stats,omitempty"`
+
+	// Results.
+	Counts     map[int]int `json:"counts,omitempty"`
+	DurationUs float64     `json:"duration_us,omitempty"`
+	Error      string      `json:"error,omitempty"`
+
+	SubmitTime float64 `json:"submit_time"`
+	EndTime    float64 `json:"end_time,omitempty"`
+}
+
+// Manager is the QRM.
+type Manager struct {
+	mu sync.Mutex
+
+	dev       *qdmi.Device
+	nextID    int
+	nextBatch int
+	queue     []*Job
+	jobs      map[int]*Job // all jobs ever, by ID
+	order     []int        // submission order for pagination
+
+	now    float64
+	online bool
+}
+
+// NewManager builds a QRM over a QDMI device handle.
+func NewManager(dev *qdmi.Device) *Manager {
+	return &Manager{dev: dev, jobs: make(map[int]*Job), online: true}
+}
+
+// SetOnline marks the QPU available; taking it offline interrupts queued
+// work (outage semantics, §3.5).
+func (m *Manager) SetOnline(online bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.online && !online {
+		for _, j := range m.queue {
+			j.Status = StatusInterrupted
+			j.EndTime = m.now
+		}
+		m.queue = m.queue[:0]
+	}
+	m.online = online
+}
+
+// Online reports availability.
+func (m *Manager) Online() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.online
+}
+
+// SetTime sets the simulation clock used for job timestamps.
+func (m *Manager) SetTime(t float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = t
+}
+
+// Submit enqueues one job and returns its ID.
+func (m *Manager) Submit(req Request) (int, error) {
+	if req.Circuit == nil {
+		return 0, fmt.Errorf("qrm: request has no circuit")
+	}
+	if err := req.Circuit.Validate(); err != nil {
+		return 0, fmt.Errorf("qrm: invalid circuit: %w", err)
+	}
+	if req.Shots < 1 {
+		return 0, fmt.Errorf("qrm: shots must be >= 1, got %d", req.Shots)
+	}
+	if req.Circuit.NumQubits > m.dev.Properties().NumQubits {
+		return 0, fmt.Errorf("qrm: circuit needs %d qubits, device has %d",
+			req.Circuit.NumQubits, m.dev.Properties().NumQubits)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.online {
+		return 0, fmt.Errorf("qrm: QPU offline (maintenance or outage)")
+	}
+	m.nextID++
+	j := &Job{ID: m.nextID, Status: StatusQueued, Request: req, SubmitTime: m.now}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.queue = append(m.queue, j)
+	return j.ID, nil
+}
+
+// SubmitBatch enqueues several circuits under one batch ID (a §4 user
+// request). It returns the batch ID and per-circuit job IDs.
+func (m *Manager) SubmitBatch(reqs []Request) (int, []int, error) {
+	if len(reqs) == 0 {
+		return 0, nil, fmt.Errorf("qrm: empty batch")
+	}
+	m.mu.Lock()
+	m.nextBatch++
+	batch := m.nextBatch
+	m.mu.Unlock()
+	ids := make([]int, 0, len(reqs))
+	for i := range reqs {
+		reqs[i].BatchID = batch
+		id, err := m.Submit(reqs[i])
+		if err != nil {
+			return batch, ids, fmt.Errorf("qrm: batch item %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	return batch, ids, nil
+}
+
+// Cancel cancels a queued job.
+func (m *Manager) Cancel(id int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, j := range m.queue {
+		if j.ID == id {
+			j.Status = StatusCancelled
+			j.EndTime = m.now
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("qrm: job %d not queued", id)
+}
+
+// PendingCount returns the queue length.
+func (m *Manager) PendingCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Step dispatches and executes the highest-priority queued job, JIT-compiling
+// it against the live QDMI target first. It returns the completed job, or
+// nil if the queue is empty.
+func (m *Manager) Step() (*Job, error) {
+	m.mu.Lock()
+	if !m.online {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("qrm: QPU offline")
+	}
+	if len(m.queue) == 0 {
+		m.mu.Unlock()
+		return nil, nil
+	}
+	sort.SliceStable(m.queue, func(i, j int) bool {
+		if m.queue[i].Request.Priority != m.queue[j].Request.Priority {
+			return m.queue[i].Request.Priority > m.queue[j].Request.Priority
+		}
+		return m.queue[i].SubmitTime < m.queue[j].SubmitTime
+	})
+	j := m.queue[0]
+	m.queue = m.queue[1:]
+	j.Status = StatusCompiling
+	m.mu.Unlock()
+
+	placement := transpile.PlaceFidelityAware
+	if j.Request.StaticPlacement {
+		placement = transpile.PlaceStatic
+	}
+	// JIT compile against the *current* device state (Fig. 3 loop).
+	res, err := transpile.Transpile(j.Request.Circuit, m.dev.Target(), transpile.Options{
+		Placement: placement,
+	})
+	if err != nil {
+		m.finish(j, nil, 0, fmt.Errorf("compile: %w", err))
+		return j, nil
+	}
+	m.mu.Lock()
+	j.CompiledGates = res.Stats.OutputGates
+	j.CZCount = res.Stats.OutputCZ
+	j.Layout = res.FinalLayout[:j.Request.Circuit.NumQubits]
+	j.CompileStats = res.Stats.String()
+	j.Status = StatusRunning
+	m.mu.Unlock()
+
+	out, err := m.dev.QPU().Execute(res.Circuit, j.Request.Shots)
+	if err != nil {
+		m.finish(j, nil, 0, fmt.Errorf("execute: %w", err))
+		return j, nil
+	}
+	m.finish(j, out.Counts, out.DurationUs, nil)
+	return j, nil
+}
+
+// Drain executes queued jobs until the queue is empty, returning how many
+// jobs ran.
+func (m *Manager) Drain() (int, error) {
+	n := 0
+	for {
+		j, err := m.Step()
+		if err != nil {
+			return n, err
+		}
+		if j == nil {
+			return n, nil
+		}
+		n++
+	}
+}
+
+func (m *Manager) finish(j *Job, counts map[int]int, durUs float64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.EndTime = m.now
+	if err != nil {
+		j.Status = StatusFailed
+		j.Error = err.Error()
+		return
+	}
+	j.Status = StatusDone
+	j.Counts = counts
+	j.DurationUs = durUs
+}
+
+// Job returns a copy of the job record.
+func (m *Manager) Job(id int) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("qrm: no job %d", id)
+	}
+	cp := *j
+	return &cp, nil
+}
+
+// Page is a paginated slice of job history — §4: "many users found it
+// difficult to navigate large job histories on the dashboard, which led us
+// to implement more efficient pagination".
+type Page struct {
+	Jobs    []*Job `json:"jobs"`
+	Total   int    `json:"total"`
+	Offset  int    `json:"offset"`
+	Limit   int    `json:"limit"`
+	HasMore bool   `json:"has_more"`
+}
+
+// History returns a page of jobs (most recent first), optionally filtered
+// by user.
+func (m *Manager) History(user string, offset, limit int) (*Page, error) {
+	if offset < 0 || limit < 1 {
+		return nil, fmt.Errorf("qrm: bad pagination offset=%d limit=%d", offset, limit)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var ids []int
+	for i := len(m.order) - 1; i >= 0; i-- {
+		j := m.jobs[m.order[i]]
+		if user == "" || j.Request.User == user {
+			ids = append(ids, j.ID)
+		}
+	}
+	total := len(ids)
+	if offset >= total {
+		return &Page{Total: total, Offset: offset, Limit: limit}, nil
+	}
+	endIdx := offset + limit
+	if endIdx > total {
+		endIdx = total
+	}
+	page := &Page{Total: total, Offset: offset, Limit: limit, HasMore: endIdx < total}
+	for _, id := range ids[offset:endIdx] {
+		cp := *m.jobs[id]
+		page.Jobs = append(page.Jobs, &cp)
+	}
+	return page, nil
+}
+
+// RequeueInterrupted resubmits every interrupted job (outage recovery
+// tooling, §4) and returns the new job IDs.
+func (m *Manager) RequeueInterrupted() ([]int, error) {
+	m.mu.Lock()
+	var interrupted []*Job
+	for _, id := range m.order {
+		if j := m.jobs[id]; j.Status == StatusInterrupted {
+			interrupted = append(interrupted, j)
+		}
+	}
+	m.mu.Unlock()
+	ids := make([]int, 0, len(interrupted))
+	for _, j := range interrupted {
+		id, err := m.Submit(j.Request)
+		if err != nil {
+			return ids, fmt.Errorf("qrm: requeueing job %d: %w", j.ID, err)
+		}
+		m.mu.Lock()
+		j.Status = StatusCancelled // superseded by the requeued copy
+		m.mu.Unlock()
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

@@ -1,0 +1,264 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// MaxDensityQubits bounds density-matrix allocation: a 10-qubit rho is
+// already 2^20 complex128 = 16 MiB.
+const MaxDensityQubits = 10
+
+// Density is an exact density-matrix simulator for small registers. It
+// exists to validate the trajectory-based noise model: averaging
+// trajectories over many shots must converge to the exact channel action
+// computed here. (The production executor uses trajectories because a
+// 20-qubit density matrix is 2^40 amplitudes.)
+type Density struct {
+	n   int
+	dim int
+	rho []complex128 // row-major dim x dim
+}
+
+// NewDensity returns |0..0><0..0| over n qubits.
+func NewDensity(n int) (*Density, error) {
+	if n < 1 || n > MaxDensityQubits {
+		return nil, fmt.Errorf("quantum: density qubit count %d outside [1, %d]", n, MaxDensityQubits)
+	}
+	d := &Density{n: n, dim: 1 << uint(n)}
+	d.rho = make([]complex128, d.dim*d.dim)
+	d.rho[0] = 1
+	return d, nil
+}
+
+// FromState builds the pure-state density matrix |psi><psi|.
+func FromState(s *State) (*Density, error) {
+	if s.NumQubits() > MaxDensityQubits {
+		return nil, fmt.Errorf("quantum: state too large for density simulation (%d qubits)", s.NumQubits())
+	}
+	d, err := NewDensity(s.NumQubits())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			d.rho[i*d.dim+j] = s.Amplitude(i) * cmplx.Conj(s.Amplitude(j))
+		}
+	}
+	return d, nil
+}
+
+// NumQubits returns the register size.
+func (d *Density) NumQubits() int { return d.n }
+
+// Element returns rho[i][j].
+func (d *Density) Element(i, j int) complex128 { return d.rho[i*d.dim+j] }
+
+// Trace returns Tr(rho) (1 for a valid state).
+func (d *Density) Trace() complex128 {
+	var t complex128
+	for i := 0; i < d.dim; i++ {
+		t += d.rho[i*d.dim+i]
+	}
+	return t
+}
+
+// Purity returns Tr(rho²): 1 for pure states, 1/dim for maximally mixed.
+func (d *Density) Purity() float64 {
+	sum := 0.0
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			a := d.rho[i*d.dim+j]
+			b := d.rho[j*d.dim+i]
+			sum += real(a)*real(b) - imag(a)*imag(b)
+		}
+	}
+	return sum
+}
+
+// Probability returns the population of basis state idx.
+func (d *Density) Probability(idx int) float64 {
+	return real(d.rho[idx*d.dim+idx])
+}
+
+// expand1Q lifts a single-qubit operator to the full register dimension
+// acting on qubit q (identity elsewhere) as an implicit function; we apply
+// operators directly without materializing the big matrix.
+
+// Apply1Q applies rho -> U rho U† for a single-qubit unitary on qubit q.
+func (d *Density) Apply1Q(q int, m Matrix2) error {
+	if q < 0 || q >= d.n {
+		return fmt.Errorf("quantum: density qubit %d out of range [0, %d)", q, d.n)
+	}
+	d.leftMultiply(q, m)
+	d.rightMultiplyDagger(q, m)
+	return nil
+}
+
+// leftMultiply computes rho <- (U_q ⊗ I) rho.
+func (d *Density) leftMultiply(q int, m Matrix2) {
+	bit := 1 << uint(q)
+	for col := 0; col < d.dim; col++ {
+		for i0 := 0; i0 < d.dim; i0++ {
+			if i0&bit != 0 {
+				continue
+			}
+			i1 := i0 | bit
+			a0 := d.rho[i0*d.dim+col]
+			a1 := d.rho[i1*d.dim+col]
+			d.rho[i0*d.dim+col] = m[0][0]*a0 + m[0][1]*a1
+			d.rho[i1*d.dim+col] = m[1][0]*a0 + m[1][1]*a1
+		}
+	}
+}
+
+// rightMultiplyDagger computes rho <- rho (U_q ⊗ I)†.
+func (d *Density) rightMultiplyDagger(q int, m Matrix2) {
+	bit := 1 << uint(q)
+	md := Dagger2(m)
+	for row := 0; row < d.dim; row++ {
+		base := row * d.dim
+		for j0 := 0; j0 < d.dim; j0++ {
+			if j0&bit != 0 {
+				continue
+			}
+			j1 := j0 | bit
+			a0 := d.rho[base+j0]
+			a1 := d.rho[base+j1]
+			// (rho · M)[r][j] = Σ_k rho[r][k] M[k][j] over the qubit block.
+			d.rho[base+j0] = a0*md[0][0] + a1*md[1][0]
+			d.rho[base+j1] = a0*md[0][1] + a1*md[1][1]
+		}
+	}
+}
+
+// Apply2Q applies a two-qubit unitary (first argument = low bit).
+func (d *Density) Apply2Q(q1, q2 int, m Matrix4) error {
+	if q1 < 0 || q1 >= d.n || q2 < 0 || q2 >= d.n || q1 == q2 {
+		return fmt.Errorf("quantum: bad density two-qubit pair (%d,%d)", q1, q2)
+	}
+	b1 := 1 << uint(q1)
+	b2 := 1 << uint(q2)
+	// Left multiply.
+	for col := 0; col < d.dim; col++ {
+		for i := 0; i < d.dim; i++ {
+			if i&b1 != 0 || i&b2 != 0 {
+				continue
+			}
+			idx := [4]int{i, i | b1, i | b2, i | b1 | b2}
+			var v [4]complex128
+			for k := 0; k < 4; k++ {
+				v[k] = d.rho[idx[k]*d.dim+col]
+			}
+			for r := 0; r < 4; r++ {
+				var sum complex128
+				for k := 0; k < 4; k++ {
+					sum += m[r][k] * v[k]
+				}
+				d.rho[idx[r]*d.dim+col] = sum
+			}
+		}
+	}
+	// Right multiply by dagger.
+	md := Dagger4(m)
+	for row := 0; row < d.dim; row++ {
+		base := row * d.dim
+		for j := 0; j < d.dim; j++ {
+			if j&b1 != 0 || j&b2 != 0 {
+				continue
+			}
+			idx := [4]int{j, j | b1, j | b2, j | b1 | b2}
+			var v [4]complex128
+			for k := 0; k < 4; k++ {
+				v[k] = d.rho[base+idx[k]]
+			}
+			for c := 0; c < 4; c++ {
+				var sum complex128
+				for k := 0; k < 4; k++ {
+					sum += v[k] * md[k][c]
+				}
+				d.rho[base+idx[c]] = sum
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyChannel applies a single-qubit channel exactly:
+// rho -> Σ_i K_i rho K_i†.
+func (d *Density) ApplyChannel(q int, ch Channel) error {
+	if q < 0 || q >= d.n {
+		return fmt.Errorf("quantum: density qubit %d out of range [0, %d)", q, d.n)
+	}
+	if len(ch.Kraus) == 0 {
+		return fmt.Errorf("quantum: channel %q has no Kraus operators", ch.Name)
+	}
+	out := make([]complex128, len(d.rho))
+	work := make([]complex128, len(d.rho))
+	for _, k := range ch.Kraus {
+		copy(work, d.rho)
+		tmp := &Density{n: d.n, dim: d.dim, rho: work}
+		tmp.leftMultiply(q, k)
+		tmp.rightMultiplyDagger(q, k)
+		for i := range out {
+			out[i] += work[i]
+		}
+	}
+	copy(d.rho, out)
+	return nil
+}
+
+// ExpectationZ returns Tr(rho Z_q).
+func (d *Density) ExpectationZ(q int) (float64, error) {
+	if q < 0 || q >= d.n {
+		return 0, fmt.Errorf("quantum: density qubit %d out of range", q)
+	}
+	bit := 1 << uint(q)
+	sum := 0.0
+	for i := 0; i < d.dim; i++ {
+		p := real(d.rho[i*d.dim+i])
+		if i&bit == 0 {
+			sum += p
+		} else {
+			sum -= p
+		}
+	}
+	return sum, nil
+}
+
+// Fidelity returns <psi|rho|psi> for a pure reference state.
+func (d *Density) Fidelity(s *State) (float64, error) {
+	if s.NumQubits() != d.n {
+		return 0, fmt.Errorf("quantum: fidelity between %d-qubit rho and %d-qubit state", d.n, s.NumQubits())
+	}
+	var sum complex128
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			sum += cmplx.Conj(s.Amplitude(i)) * d.rho[i*d.dim+j] * s.Amplitude(j)
+		}
+	}
+	return real(sum), nil
+}
+
+// IsValid checks hermiticity, unit trace, and positive diagonal within tol.
+func (d *Density) IsValid(tol float64) bool {
+	if cmplx.Abs(d.Trace()-1) > tol {
+		return false
+	}
+	for i := 0; i < d.dim; i++ {
+		if real(d.rho[i*d.dim+i]) < -tol {
+			return false
+		}
+		if math.Abs(imag(d.rho[i*d.dim+i])) > tol {
+			return false
+		}
+		for j := i + 1; j < d.dim; j++ {
+			diff := d.rho[i*d.dim+j] - cmplx.Conj(d.rho[j*d.dim+i])
+			if cmplx.Abs(diff) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestNewDensityValidation(t *testing.T) {
+	if _, err := NewDensity(0); err == nil {
+		t.Error("expected error for 0 qubits")
+	}
+	if _, err := NewDensity(MaxDensityQubits + 1); err == nil {
+		t.Error("expected error above the density limit")
+	}
+	d, err := NewDensity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Probability(0) != 1 || cmplx.Abs(d.Trace()-1) > 1e-12 {
+		t.Error("fresh density should be |00><00|")
+	}
+	if math.Abs(d.Purity()-1) > 1e-12 {
+		t.Errorf("pure state purity = %g", d.Purity())
+	}
+}
+
+func TestDensityMatchesStateForUnitaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	s := MustNewState(3)
+	d, err := NewDensity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gates := []Matrix2{H, X, T, RY(0.7), PRX(1.1, 0.3)}
+	for i := 0; i < 12; i++ {
+		q := rng.Intn(3)
+		g := gates[rng.Intn(len(gates))]
+		if err := s.Apply1Q(q, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Apply1Q(q, g); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			a := rng.Intn(3)
+			b := (a + 1) % 3
+			if err := s.Apply2Q(a, b, CZ); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Apply2Q(a, b, CZ); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f, err := d.Fidelity(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-9 {
+		t.Errorf("density/state divergence: fidelity %g", f)
+	}
+	if !d.IsValid(1e-9) {
+		t.Error("density matrix invalid after unitaries")
+	}
+}
+
+func TestFromState(t *testing.T) {
+	s := MustNewState(2)
+	PrepareGHZ(s)
+	d, err := FromState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Probability(0)-0.5) > 1e-12 || math.Abs(d.Probability(3)-0.5) > 1e-12 {
+		t.Error("Bell density populations wrong")
+	}
+	// Off-diagonal coherence |00><11| must be 0.5.
+	if cmplx.Abs(d.Element(0, 3)-0.5) > 1e-12 {
+		t.Errorf("Bell coherence = %v", d.Element(0, 3))
+	}
+	if math.Abs(d.Purity()-1) > 1e-12 {
+		t.Error("pure Bell state should have purity 1")
+	}
+}
+
+func TestChannelExactActionAmplitudeDamping(t *testing.T) {
+	// |1><1| under amplitude damping gamma: P(1) = 1-gamma exactly.
+	d, _ := NewDensity(1)
+	d.Apply1Q(0, X)
+	gamma := 0.3
+	if err := d.ApplyChannel(0, AmplitudeDamping(gamma)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Probability(1); math.Abs(got-(1-gamma)) > 1e-12 {
+		t.Errorf("P(1) = %g, want %g", got, 1-gamma)
+	}
+	if !d.IsValid(1e-12) {
+		t.Error("invalid density after channel")
+	}
+}
+
+func TestChannelExactActionDephasing(t *testing.T) {
+	// |+><+| under phase damping lambda: coherence scales by sqrt(1-lambda).
+	d, _ := NewDensity(1)
+	d.Apply1Q(0, H)
+	lambda := 0.6
+	if err := d.ApplyChannel(0, PhaseDamping(lambda)); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * math.Sqrt(1-lambda)
+	if got := cmplx.Abs(d.Element(0, 1)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("coherence = %g, want %g", got, want)
+	}
+	// Populations untouched.
+	if math.Abs(d.Probability(0)-0.5) > 1e-12 {
+		t.Error("dephasing changed populations")
+	}
+}
+
+func TestDepolarizingReducesPurity(t *testing.T) {
+	d, _ := NewDensity(1)
+	if err := d.ApplyChannel(0, Depolarizing(0.75)); err != nil {
+		t.Fatal(err)
+	}
+	// p = 0.75 is full depolarization -> maximally mixed, purity 1/2.
+	if got := d.Purity(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("purity = %g, want 0.5", got)
+	}
+}
+
+// The critical validation: trajectory averages converge to the exact
+// density-matrix channel action.
+func TestTrajectoriesConvergeToDensity(t *testing.T) {
+	const trials = 4000
+	rng := rand.New(rand.NewSource(62))
+	gamma, lambda := 0.25, 0.4
+
+	// Exact: |+1> under damping on q0 and dephasing on q1... build state
+	// RY(1.0) on q0, H on q1, CZ entangles.
+	exact, _ := NewDensity(2)
+	exact.Apply1Q(0, RY(1.0))
+	exact.Apply1Q(1, H)
+	exact.Apply2Q(0, 1, CZ)
+	exact.ApplyChannel(0, AmplitudeDamping(gamma))
+	exact.ApplyChannel(1, PhaseDamping(lambda))
+
+	// Trajectory estimate of <Z0> and <Z1>.
+	sumZ0, sumZ1 := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		s := MustNewState(2)
+		s.Apply1Q(0, RY(1.0))
+		s.Apply1Q(1, H)
+		s.Apply2Q(0, 1, CZ)
+		if err := s.ApplyChannel(0, AmplitudeDamping(gamma), rng); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ApplyChannel(1, PhaseDamping(lambda), rng); err != nil {
+			t.Fatal(err)
+		}
+		z0, _ := s.ExpectationZ(0)
+		z1, _ := s.ExpectationZ(1)
+		sumZ0 += z0
+		sumZ1 += z1
+	}
+	gotZ0, gotZ1 := sumZ0/trials, sumZ1/trials
+	wantZ0, _ := exact.ExpectationZ(0)
+	wantZ1, _ := exact.ExpectationZ(1)
+	if math.Abs(gotZ0-wantZ0) > 0.05 {
+		t.Errorf("<Z0>: trajectories %g vs exact %g", gotZ0, wantZ0)
+	}
+	if math.Abs(gotZ1-wantZ1) > 0.05 {
+		t.Errorf("<Z1>: trajectories %g vs exact %g", gotZ1, wantZ1)
+	}
+}
+
+func TestDensityValidationErrors(t *testing.T) {
+	d, _ := NewDensity(2)
+	if err := d.Apply1Q(5, X); err == nil {
+		t.Error("out-of-range qubit should fail")
+	}
+	if err := d.Apply2Q(0, 0, CZ); err == nil {
+		t.Error("duplicate qubits should fail")
+	}
+	if err := d.ApplyChannel(9, AmplitudeDamping(0.1)); err == nil {
+		t.Error("out-of-range channel qubit should fail")
+	}
+	if err := d.ApplyChannel(0, Channel{Name: "empty"}); err == nil {
+		t.Error("empty channel should fail")
+	}
+	if _, err := d.ExpectationZ(9); err == nil {
+		t.Error("out-of-range expectation should fail")
+	}
+	s := MustNewState(3)
+	if _, err := d.Fidelity(s); err == nil {
+		t.Error("size mismatch fidelity should fail")
+	}
+	big := MustNewState(12)
+	if _, err := FromState(big); err == nil {
+		t.Error("oversized FromState should fail")
+	}
+}

@@ -1,0 +1,156 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardGatesAreUnitary(t *testing.T) {
+	for name, g := range map[string]Matrix2{
+		"I": I2, "X": X, "Y": Y, "Z": Z, "H": H, "S": S, "Sdag": Sdag, "T": T, "Tdag": Tdag,
+	} {
+		if !IsUnitary2(g, 1e-12) {
+			t.Errorf("%s is not unitary", name)
+		}
+	}
+	for name, g := range map[string]Matrix4{
+		"CZ": CZ, "CNOT01": CNOT01, "CNOT10": CNOT10, "SWAP": SWAP, "ISWAP": ISWAP,
+	} {
+		if !IsUnitary4(g, 1e-12) {
+			t.Errorf("%s is not unitary", name)
+		}
+	}
+}
+
+func TestRotationsAreUnitaryProperty(t *testing.T) {
+	f := func(theta, phi float64) bool {
+		return IsUnitary2(RX(theta), 1e-10) &&
+			IsUnitary2(RY(theta), 1e-10) &&
+			IsUnitary2(RZ(theta), 1e-10) &&
+			IsUnitary2(PRX(theta, phi), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRXReducesToRXAndRY(t *testing.T) {
+	for _, theta := range []float64{0, 0.3, math.Pi / 2, math.Pi, 2.5} {
+		rx := RX(theta)
+		prx0 := PRX(theta, 0)
+		ry := RY(theta)
+		prx90 := PRX(theta, math.Pi/2)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if cmplx.Abs(rx[i][j]-prx0[i][j]) > 1e-12 {
+					t.Errorf("PRX(θ,0) != RX(θ) at θ=%g [%d][%d]: %v vs %v", theta, i, j, prx0[i][j], rx[i][j])
+				}
+				if cmplx.Abs(ry[i][j]-prx90[i][j]) > 1e-12 {
+					t.Errorf("PRX(θ,π/2) != RY(θ) at θ=%g [%d][%d]: %v vs %v", theta, i, j, prx90[i][j], ry[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	// RZ(a)·RZ(b) == RZ(a+b) up to numerical error.
+	a, b := 0.7, 1.9
+	lhs := Mul2(RZ(a), RZ(b))
+	rhs := RZ(a + b)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(lhs[i][j]-rhs[i][j]) > 1e-12 {
+				t.Errorf("RZ composition mismatch at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	// X·X = I, X·Y = iZ, Z·X = iY.
+	xx := Mul2(X, X)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(xx[i][j]-I2[i][j]) > 1e-12 {
+				t.Error("X·X != I")
+			}
+		}
+	}
+	xy := Mul2(X, Y)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex(0, 1) * Z[i][j]
+			if cmplx.Abs(xy[i][j]-want) > 1e-12 {
+				t.Error("X·Y != iZ")
+			}
+		}
+	}
+}
+
+func TestHZHEqualsX(t *testing.T) {
+	hzh := Mul2(Mul2(H, Z), H)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(hzh[i][j]-X[i][j]) > 1e-12 {
+				t.Errorf("HZH != X at [%d][%d]: %v", i, j, hzh[i][j])
+			}
+		}
+	}
+}
+
+func TestDagger4Involution(t *testing.T) {
+	m := ISWAP
+	dd := Dagger4(Dagger4(m))
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if dd[i][j] != m[i][j] {
+				t.Fatal("dagger twice should be identity operation")
+			}
+		}
+	}
+}
+
+// CZ via CNOT conjugated by Hadamards: (I⊗H)·CNOT01·(I⊗H) == CZ.
+func TestCZFromCNOT(t *testing.T) {
+	s1 := MustNewState(2)
+	s2 := MustNewState(2)
+	rng := rand.New(rand.NewSource(12))
+	// Random product state.
+	for q := 0; q < 2; q++ {
+		theta, phi := rng.Float64()*math.Pi, rng.Float64()*math.Pi
+		s1.Apply1Q(q, PRX(theta, phi))
+		s2.Apply1Q(q, PRX(theta, phi))
+	}
+	s1.Apply2Q(0, 1, CZ)
+	s2.Apply1Q(1, H)
+	s2.Apply2Q(0, 1, CNOT01)
+	s2.Apply1Q(1, H)
+	f, err := s1.Fidelity(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-10 {
+		t.Errorf("H-conjugated CNOT != CZ, fidelity %g", f)
+	}
+}
+
+func TestSWAPFromThreeCNOTs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s1 := randomState(2, rng)
+	s2 := s1.Clone()
+	s1.Apply2Q(0, 1, SWAP)
+	s2.Apply2Q(0, 1, CNOT01)
+	s2.Apply2Q(0, 1, CNOT10)
+	s2.Apply2Q(0, 1, CNOT01)
+	f, err := s1.Fidelity(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-10 {
+		t.Errorf("3-CNOT SWAP mismatch, fidelity %g", f)
+	}
+}

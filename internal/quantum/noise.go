@@ -1,0 +1,218 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Channel is a single-qubit quantum channel expressed as Kraus operators.
+// Sum_i K_i† K_i must equal the identity (trace preservation).
+type Channel struct {
+	Name  string
+	Kraus []Matrix2
+}
+
+// Valid reports whether the channel is trace-preserving within tol.
+func (c Channel) Valid(tol float64) bool {
+	var sum Matrix2
+	for _, k := range c.Kraus {
+		kk := Mul2(Dagger2(k), k)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				sum[i][j] += kk[i][j]
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			d := sum[i][j] - want
+			if math.Hypot(real(d), imag(d)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AmplitudeDamping returns the T1-relaxation channel with decay probability
+// gamma = 1 - exp(-t/T1): excited-state population decays toward |0>.
+func AmplitudeDamping(gamma float64) Channel {
+	g := clamp01(gamma)
+	return Channel{
+		Name: "amplitude-damping",
+		Kraus: []Matrix2{
+			{{1, 0}, {0, complex(math.Sqrt(1-g), 0)}},
+			{{0, complex(math.Sqrt(g), 0)}, {0, 0}},
+		},
+	}
+}
+
+// PhaseDamping returns the pure-dephasing channel with dephasing parameter
+// lambda, eroding off-diagonal coherence (the T2 process beyond T1): <X>
+// scales by sqrt(1-lambda). It is expressed in the phase-flip Kraus form
+// {√(1-p)·I, √p·Z} with p = (1-√(1-λ))/2, which is unitarily equivalent to
+// the textbook projector form but preserves populations along every
+// individual trajectory, not just on ensemble average.
+func PhaseDamping(lambda float64) Channel {
+	l := clamp01(lambda)
+	p := (1 - math.Sqrt(1-l)) / 2
+	s0 := complex(math.Sqrt(1-p), 0)
+	s1 := complex(math.Sqrt(p), 0)
+	return Channel{
+		Name: "phase-damping",
+		Kraus: []Matrix2{
+			{{s0, 0}, {0, s0}},
+			{{s1, 0}, {0, -s1}},
+		},
+	}
+}
+
+// Depolarizing returns the single-qubit depolarizing channel with error
+// probability p (X, Y, Z each applied with probability p/3) — the standard
+// abstraction for gate infidelity.
+func Depolarizing(p float64) Channel {
+	pp := clamp01(p)
+	s0 := complex(math.Sqrt(1-pp), 0)
+	sp := complex(math.Sqrt(pp/3), 0)
+	scale := func(m Matrix2, f complex128) Matrix2 {
+		var out Matrix2
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				out[i][j] = m[i][j] * f
+			}
+		}
+		return out
+	}
+	return Channel{
+		Name: "depolarizing",
+		Kraus: []Matrix2{
+			scale(I2, s0), scale(X, sp), scale(Y, sp), scale(Z, sp),
+		},
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// ApplyChannel applies a single-qubit channel to qubit q using the quantum
+// trajectory (Monte-Carlo wavefunction) method: Kraus operator K_i is chosen
+// with probability ||K_i|ψ>||² and the state is renormalized. Averaging over
+// trajectories reproduces the density-matrix evolution.
+func (s *State) ApplyChannel(q int, ch Channel, rng *rand.Rand) error {
+	if err := s.checkQubit(q); err != nil {
+		return err
+	}
+	if len(ch.Kraus) == 0 {
+		return fmt.Errorf("quantum: channel %q has no Kraus operators", ch.Name)
+	}
+	r := rng.Float64()
+	probs := make([]float64, len(ch.Kraus))
+	best, bestP := 0, -1.0
+	for i, k := range ch.Kraus {
+		// p_i = ||K_i |ψ>||², the trajectory branch weight.
+		probs[i] = s.branchProbability(q, k)
+		if probs[i] > bestP {
+			best, bestP = i, probs[i]
+		}
+	}
+	if bestP < 1e-300 {
+		// Numerically impossible for a trace-preserving channel on a
+		// normalized state.
+		return fmt.Errorf("quantum: channel %q produced no viable branch", ch.Name)
+	}
+	chosen := best
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			chosen = i
+			break
+		}
+	}
+	if probs[chosen] < 1e-300 {
+		chosen = best // rounding pushed r past the total weight
+	}
+	if err := s.Apply1Q(q, ch.Kraus[chosen]); err != nil {
+		return err
+	}
+	return s.Normalize()
+}
+
+// branchProbability returns ||K|ψ>||² for a single-qubit operator K on q.
+func (s *State) branchProbability(q int, k Matrix2) float64 {
+	bit := 1 << uint(q)
+	sum := 0.0
+	for i0 := 0; i0 < len(s.amps); i0++ {
+		if i0&bit != 0 {
+			continue
+		}
+		i1 := i0 | bit
+		a0, a1 := s.amps[i0], s.amps[i1]
+		b0 := k[0][0]*a0 + k[0][1]*a1
+		b1 := k[1][0]*a0 + k[1][1]*a1
+		sum += real(b0)*real(b0) + imag(b0)*imag(b0)
+		sum += real(b1)*real(b1) + imag(b1)*imag(b1)
+	}
+	return sum
+}
+
+// ReadoutModel is a per-qubit classical confusion model: P10[q] is the
+// probability of reading 1 given the true outcome 0, and P01[q] of reading 0
+// given 1 (asymmetric, as in real dispersive readout).
+type ReadoutModel struct {
+	P10 []float64
+	P01 []float64
+}
+
+// UniformReadout builds a symmetric readout model with error eps on all n
+// qubits.
+func UniformReadout(n int, eps float64) *ReadoutModel {
+	p10 := make([]float64, n)
+	p01 := make([]float64, n)
+	for i := range p10 {
+		p10[i] = eps
+		p01[i] = eps
+	}
+	return &ReadoutModel{P10: p10, P01: p01}
+}
+
+// Corrupt flips bits of the true outcome according to the confusion model.
+func (r *ReadoutModel) Corrupt(outcome int, rng *rand.Rand) int {
+	if r == nil {
+		return outcome
+	}
+	for q := range r.P10 {
+		bit := 1 << uint(q)
+		if outcome&bit == 0 {
+			if rng.Float64() < r.P10[q] {
+				outcome |= bit
+			}
+		} else {
+			if rng.Float64() < r.P01[q] {
+				outcome &^= bit
+			}
+		}
+	}
+	return outcome
+}
+
+// AssignmentFidelity returns the mean readout assignment fidelity of qubit q:
+// 1 - (P10+P01)/2.
+func (r *ReadoutModel) AssignmentFidelity(q int) float64 {
+	if r == nil || q >= len(r.P10) {
+		return 1
+	}
+	return 1 - (r.P10[q]+r.P01[q])/2
+}

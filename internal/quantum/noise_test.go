@@ -1,0 +1,213 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelsAreTracePreserving(t *testing.T) {
+	for _, ch := range []Channel{
+		AmplitudeDamping(0), AmplitudeDamping(0.3), AmplitudeDamping(1),
+		PhaseDamping(0), PhaseDamping(0.5), PhaseDamping(1),
+		Depolarizing(0), Depolarizing(0.1), Depolarizing(0.75), Depolarizing(1),
+	} {
+		if !ch.Valid(1e-12) {
+			t.Errorf("channel %s not trace-preserving", ch.Name)
+		}
+	}
+}
+
+func TestChannelParameterClamping(t *testing.T) {
+	if !AmplitudeDamping(-0.5).Valid(1e-12) {
+		t.Error("negative gamma should clamp to a valid channel")
+	}
+	if !Depolarizing(2).Valid(1e-12) {
+		t.Error("p>1 should clamp to a valid channel")
+	}
+}
+
+func TestAmplitudeDampingDecaysExcitedState(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const trials = 3000
+	gamma := 0.4
+	decayed := 0
+	for i := 0; i < trials; i++ {
+		s := MustNewState(1)
+		s.Apply1Q(0, X) // |1>
+		if err := s.ApplyChannel(0, AmplitudeDamping(gamma), rng); err != nil {
+			t.Fatal(err)
+		}
+		if s.Probability(0) > 0.99 {
+			decayed++
+		}
+	}
+	frac := float64(decayed) / trials
+	if math.Abs(frac-gamma) > 0.04 {
+		t.Errorf("decay fraction %.3f, want ~%.2f", frac, gamma)
+	}
+}
+
+func TestAmplitudeDampingFixesGroundState(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	s := MustNewState(1) // |0>
+	for i := 0; i < 50; i++ {
+		if err := s.ApplyChannel(0, AmplitudeDamping(0.5), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := s.Probability(0); math.Abs(p-1) > 1e-9 {
+		t.Errorf("ground state decayed under amplitude damping: P(0)=%g", p)
+	}
+}
+
+func TestPhaseDampingErodesCoherence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const trials = 2000
+	lambda := 0.6
+	// |+> under phase damping: averaged over trajectories, <X> shrinks to
+	// sqrt(1-lambda). Estimate <X> = P(+) - P(-) by rotating into Z basis.
+	sumX := 0.0
+	for i := 0; i < trials; i++ {
+		s := MustNewState(1)
+		s.Apply1Q(0, H) // |+>
+		if err := s.ApplyChannel(0, PhaseDamping(lambda), rng); err != nil {
+			t.Fatal(err)
+		}
+		s.Apply1Q(0, H) // X basis -> Z basis
+		z, _ := s.ExpectationZ(0)
+		sumX += z
+	}
+	got := sumX / trials
+	want := math.Sqrt(1 - lambda)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("<X> after phase damping = %.3f, want ~%.3f", got, want)
+	}
+}
+
+func TestPhaseDampingPreservesPopulations(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	s := MustNewState(1)
+	s.Apply1Q(0, RY(1.1)) // cos/sin populations
+	p1Before := s.Probability(1)
+	for i := 0; i < 30; i++ {
+		if err := s.ApplyChannel(0, PhaseDamping(0.7), rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(s.Probability(1)-p1Before) > 1e-9 {
+		t.Errorf("phase damping changed populations: %g -> %g", p1Before, s.Probability(1))
+	}
+}
+
+func TestDepolarizingDrivesToMaximallyMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	const trials = 4000
+	ones := 0
+	for i := 0; i < trials; i++ {
+		s := MustNewState(1) // |0>
+		if err := s.ApplyChannel(0, Depolarizing(0.75), rng); err != nil {
+			t.Fatal(err)
+		}
+		// p=0.75 is the fully-depolarizing point: outcome is uniform.
+		out, err := s.MeasureQubit(0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += out
+	}
+	frac := float64(ones) / trials
+	if math.Abs(frac-0.375) > 0.03 {
+		// p/3 each for X and Y flip |0>→|1|; expected P(1) = 2*0.25 = 0.5?
+		// For the Kraus form used, P(1) = 2p/3 · ... compute directly:
+		// |0> branches: I (1-p), X (p/3 →|1>), Y (p/3 →|1>), Z (p/3 →|0>).
+		// P(1) = 2p/3 = 0.5 at p = 0.75.
+		t.Logf("note: measured %.3f", frac)
+	}
+	want := 2.0 * 0.75 / 3
+	if math.Abs(frac-want) > 0.03 {
+		t.Errorf("P(1) after depolarizing(0.75) on |0> = %.3f, want ~%.3f", frac, want)
+	}
+}
+
+func TestApplyChannelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := MustNewState(2)
+	if err := s.ApplyChannel(5, AmplitudeDamping(0.1), rng); err == nil {
+		t.Error("expected range error")
+	}
+	if err := s.ApplyChannel(0, Channel{Name: "empty"}, rng); err == nil {
+		t.Error("expected error for empty channel")
+	}
+}
+
+// Trajectories preserve normalization regardless of channel or state.
+func TestTrajectoryNormPreservationProperty(t *testing.T) {
+	f := func(seed int64, gRaw, lRaw, pRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := math.Abs(math.Mod(gRaw, 1))
+		l := math.Abs(math.Mod(lRaw, 1))
+		p := math.Abs(math.Mod(pRaw, 1))
+		n := 1 + rng.Intn(4)
+		s := randomState(n, rng)
+		chans := []Channel{AmplitudeDamping(g), PhaseDamping(l), Depolarizing(p)}
+		for i := 0; i < 8; i++ {
+			if err := s.ApplyChannel(rng.Intn(n), chans[rng.Intn(3)], rng); err != nil {
+				return false
+			}
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadoutModelCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := &ReadoutModel{P10: []float64{1, 0}, P01: []float64{0, 1}}
+	// Qubit 0 always flips 0->1; qubit 1 always flips 1->0.
+	got := m.Corrupt(0b10, rng)
+	if got != 0b01 {
+		t.Errorf("Corrupt(10) = %02b, want 01", got)
+	}
+}
+
+func TestReadoutModelNilPassthrough(t *testing.T) {
+	var m *ReadoutModel
+	rng := rand.New(rand.NewSource(1))
+	if got := m.Corrupt(5, rng); got != 5 {
+		t.Errorf("nil model should pass through, got %d", got)
+	}
+	if f := m.AssignmentFidelity(0); f != 1 {
+		t.Errorf("nil model fidelity = %g, want 1", f)
+	}
+}
+
+func TestUniformReadoutStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	eps := 0.05
+	m := UniformReadout(4, eps)
+	if got := m.AssignmentFidelity(2); math.Abs(got-(1-eps)) > 1e-12 {
+		t.Errorf("assignment fidelity = %g, want %g", got, 1-eps)
+	}
+	const trials = 20000
+	flips := 0
+	for i := 0; i < trials; i++ {
+		if m.Corrupt(0, rng)&1 != 0 {
+			flips++
+		}
+	}
+	frac := float64(flips) / trials
+	if math.Abs(frac-eps) > 0.01 {
+		t.Errorf("flip rate %.4f, want ~%.2f", frac, eps)
+	}
+}
+
+func TestAssignmentFidelityOutOfRange(t *testing.T) {
+	m := UniformReadout(2, 0.1)
+	if f := m.AssignmentFidelity(10); f != 1 {
+		t.Errorf("out-of-range qubit fidelity = %g, want 1", f)
+	}
+}

@@ -1,0 +1,83 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ReducedDensity1Q computes the single-qubit reduced density matrix of
+// qubit q by tracing out the rest of the register. Health-check analyses
+// use it to verify entanglement structure: a GHZ member qubit is maximally
+// mixed locally even though the global state is pure.
+func (s *State) ReducedDensity1Q(q int) (Matrix2, error) {
+	if err := s.checkQubit(q); err != nil {
+		return Matrix2{}, err
+	}
+	bit := 1 << uint(q)
+	var rho Matrix2
+	for i0 := 0; i0 < len(s.amps); i0++ {
+		if i0&bit != 0 {
+			continue
+		}
+		i1 := i0 | bit
+		a0, a1 := s.amps[i0], s.amps[i1]
+		rho[0][0] += a0 * cmplx.Conj(a0)
+		rho[0][1] += a0 * cmplx.Conj(a1)
+		rho[1][0] += a1 * cmplx.Conj(a0)
+		rho[1][1] += a1 * cmplx.Conj(a1)
+	}
+	return rho, nil
+}
+
+// Purity1Q returns Tr(rho_q²) for the reduced state of qubit q: 1 for a
+// product state, 0.5 for a maximally entangled qubit.
+func (s *State) Purity1Q(q int) (float64, error) {
+	rho, err := s.ReducedDensity1Q(q)
+	if err != nil {
+		return 0, err
+	}
+	p := real(rho[0][0])*real(rho[0][0]) + real(rho[1][1])*real(rho[1][1])
+	off := rho[0][1] * rho[1][0]
+	return p + 2*real(off), nil
+}
+
+// EntanglementEntropy1Q returns the von Neumann entropy (in bits) of qubit
+// q's reduced state: 0 for a product state, 1 for maximal entanglement.
+func (s *State) EntanglementEntropy1Q(q int) (float64, error) {
+	rho, err := s.ReducedDensity1Q(q)
+	if err != nil {
+		return 0, err
+	}
+	// Eigenvalues of a Hermitian 2x2: mean ± sqrt(mean² - det).
+	tr := real(rho[0][0]) + real(rho[1][1])
+	det := real(rho[0][0]*rho[1][1] - rho[0][1]*rho[1][0])
+	mean := tr / 2
+	disc := mean*mean - det
+	if disc < 0 {
+		disc = 0
+	}
+	r := math.Sqrt(disc)
+	entropy := 0.0
+	for _, lam := range []float64{mean + r, mean - r} {
+		if lam > 1e-15 {
+			entropy -= lam * math.Log2(lam)
+		}
+	}
+	return entropy, nil
+}
+
+// ValidateReduced checks the reduced matrix is a physical state within tol.
+func ValidateReduced(rho Matrix2, tol float64) error {
+	tr := real(rho[0][0]) + real(rho[1][1])
+	if math.Abs(tr-1) > tol {
+		return fmt.Errorf("quantum: reduced trace %g != 1", tr)
+	}
+	if real(rho[0][0]) < -tol || real(rho[1][1]) < -tol {
+		return fmt.Errorf("quantum: negative population in reduced state")
+	}
+	if cmplx.Abs(rho[0][1]-cmplx.Conj(rho[1][0])) > tol {
+		return fmt.Errorf("quantum: reduced state not Hermitian")
+	}
+	return nil
+}

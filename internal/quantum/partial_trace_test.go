@@ -1,0 +1,100 @@
+package quantum
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReducedDensityProductState(t *testing.T) {
+	s := MustNewState(3)
+	s.Apply1Q(1, X) // |010>, fully separable
+	rho, err := s.ReducedDensity1Q(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReduced(rho, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(rho[1][1])-1) > 1e-12 {
+		t.Errorf("qubit 1 should be |1><1|, got P(1)=%g", real(rho[1][1]))
+	}
+	p, err := s.Purity1Q(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1) > 1e-12 {
+		t.Errorf("product-state purity = %g, want 1", p)
+	}
+	e, err := s.EntanglementEntropy1Q(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 1e-10 {
+		t.Errorf("product-state entropy = %g, want 0", e)
+	}
+}
+
+func TestReducedDensityGHZMemberIsMaximallyMixed(t *testing.T) {
+	s := MustNewState(4)
+	if err := PrepareGHZ(s); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 4; q++ {
+		rho, err := s.ReducedDensity1Q(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateReduced(rho, 1e-12); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(real(rho[0][0])-0.5) > 1e-12 {
+			t.Errorf("GHZ qubit %d P(0) = %g, want 0.5", q, real(rho[0][0]))
+		}
+		p, _ := s.Purity1Q(q)
+		if math.Abs(p-0.5) > 1e-12 {
+			t.Errorf("GHZ qubit %d purity = %g, want 0.5", q, p)
+		}
+		e, _ := s.EntanglementEntropy1Q(q)
+		if math.Abs(e-1) > 1e-10 {
+			t.Errorf("GHZ qubit %d entropy = %g bits, want 1", q, e)
+		}
+	}
+}
+
+func TestReducedDensityPartialEntanglement(t *testing.T) {
+	// RY(θ) then CNOT: entanglement grows with θ from 0 to π/2.
+	entropyAt := func(theta float64) float64 {
+		s := MustNewState(2)
+		s.Apply1Q(0, RY(theta))
+		s.Apply2Q(0, 1, CNOT01)
+		e, err := s.EntanglementEntropy1Q(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e1, e2, e3 := entropyAt(0.3), entropyAt(0.9), entropyAt(math.Pi/2)
+	if !(e1 < e2 && e2 < e3) {
+		t.Errorf("entropy not monotone in θ: %g, %g, %g", e1, e2, e3)
+	}
+	if math.Abs(e3-1) > 1e-10 {
+		t.Errorf("Bell-state entropy = %g, want 1", e3)
+	}
+}
+
+func TestReducedDensityValidation(t *testing.T) {
+	s := MustNewState(2)
+	if _, err := s.ReducedDensity1Q(5); err == nil {
+		t.Error("out-of-range qubit should fail")
+	}
+	if _, err := s.Purity1Q(-1); err == nil {
+		t.Error("negative qubit should fail")
+	}
+	if _, err := s.EntanglementEntropy1Q(9); err == nil {
+		t.Error("out-of-range entropy should fail")
+	}
+	bad := Matrix2{{complex(0.7, 0), 0}, {0, complex(0.7, 0)}}
+	if err := ValidateReduced(bad, 1e-9); err == nil {
+		t.Error("trace != 1 should fail validation")
+	}
+}

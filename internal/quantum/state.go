@@ -1,0 +1,394 @@
+// Package quantum implements a dense state-vector simulator for up to ~24
+// qubits. It is the computational stand-in for the paper's 20-qubit
+// superconducting QPU and for the "digital twin" emulator that LRZ used for
+// user onboarding (§4): circuits go in, measured bitstrings come out, and a
+// noise layer (quantum-trajectory Kraus channels plus readout confusion)
+// reproduces the imperfections that calibration exists to manage.
+//
+// Gate kernels fan out across goroutines for large states, so 20-qubit
+// workloads use the host's cores; small states stay single-threaded to avoid
+// scheduling overhead.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// MaxQubits bounds state allocation: 2^26 amplitudes = 1 GiB of complex128.
+const MaxQubits = 26
+
+// State is a pure quantum state of n qubits stored as 2^n complex amplitudes.
+// Qubit 0 is the least significant bit of the basis-state index.
+type State struct {
+	n    int
+	amps []complex128
+}
+
+// NewState returns the n-qubit |00...0> state.
+func NewState(n int) (*State, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("quantum: qubit count %d outside [1, %d]", n, MaxQubits)
+	}
+	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
+	s.amps[0] = 1
+	return s, nil
+}
+
+// MustNewState is NewState for statically-valid sizes; it panics on error.
+func MustNewState(n int) *State {
+	s, err := NewState(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumQubits returns the number of qubits.
+func (s *State) NumQubits() int { return s.n }
+
+// Dim returns the Hilbert-space dimension 2^n.
+func (s *State) Dim() int { return len(s.amps) }
+
+// Amplitude returns the amplitude of basis state idx.
+func (s *State) Amplitude(idx int) complex128 { return s.amps[idx] }
+
+// Clone returns an independent copy of the state.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amps: make([]complex128, len(s.amps))}
+	copy(c.amps, s.amps)
+	return c
+}
+
+// Reset returns the state to |00...0>.
+func (s *State) Reset() {
+	for i := range s.amps {
+		s.amps[i] = 0
+	}
+	s.amps[0] = 1
+}
+
+// Norm returns the 2-norm of the state (1 for a normalized state).
+func (s *State) Norm() float64 {
+	sum := 0.0
+	for _, a := range s.amps {
+		sum += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(sum)
+}
+
+// Normalize rescales the state to unit norm. It returns an error if the
+// state has (numerically) zero norm.
+func (s *State) Normalize() error {
+	n := s.Norm()
+	if n < 1e-300 {
+		return fmt.Errorf("quantum: cannot normalize zero state")
+	}
+	inv := complex(1/n, 0)
+	for i := range s.amps {
+		s.amps[i] *= inv
+	}
+	return nil
+}
+
+// InnerProduct returns <s|other>.
+func (s *State) InnerProduct(other *State) (complex128, error) {
+	if s.n != other.n {
+		return 0, fmt.Errorf("quantum: inner product between %d- and %d-qubit states", s.n, other.n)
+	}
+	var sum complex128
+	for i := range s.amps {
+		sum += cmplx.Conj(s.amps[i]) * other.amps[i]
+	}
+	return sum, nil
+}
+
+// Fidelity returns |<s|other>|^2.
+func (s *State) Fidelity(other *State) (float64, error) {
+	ip, err := s.InnerProduct(other)
+	if err != nil {
+		return 0, err
+	}
+	m := cmplx.Abs(ip)
+	return m * m, nil
+}
+
+// Probability returns |amp|^2 of basis state idx.
+func (s *State) Probability(idx int) float64 {
+	a := s.amps[idx]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Probabilities returns the full probability vector. The slice is freshly
+// allocated.
+func (s *State) Probabilities() []float64 {
+	out := make([]float64, len(s.amps))
+	for i, a := range s.amps {
+		out[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return out
+}
+
+// parallelThreshold is the state size above which gate kernels fan out
+// across goroutines. 2^14 amplitudes keeps goroutine overhead negligible.
+const parallelThreshold = 1 << 14
+
+// numWorkers returns the fan-out width for the current host.
+func numWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// checkQubit validates a qubit index.
+func (s *State) checkQubit(q int) error {
+	if q < 0 || q >= s.n {
+		return fmt.Errorf("quantum: qubit %d out of range [0, %d)", q, s.n)
+	}
+	return nil
+}
+
+// Apply1Q applies a single-qubit unitary m (row-major [ [m00 m01], [m10 m11] ])
+// to qubit q.
+func (s *State) Apply1Q(q int, m Matrix2) error {
+	if err := s.checkQubit(q); err != nil {
+		return err
+	}
+	bit := 1 << uint(q)
+	dim := len(s.amps)
+	apply := func(lo, hi int) {
+		for base := lo; base < hi; base++ {
+			// Iterate over indices with qubit q == 0 only.
+			i0 := ((base &^ (bit - 1)) << 1) | (base & (bit - 1))
+			i1 := i0 | bit
+			a0, a1 := s.amps[i0], s.amps[i1]
+			s.amps[i0] = m[0][0]*a0 + m[0][1]*a1
+			s.amps[i1] = m[1][0]*a0 + m[1][1]*a1
+		}
+	}
+	half := dim / 2
+	if dim < parallelThreshold {
+		apply(0, half)
+		return nil
+	}
+	parallelFor(half, apply)
+	return nil
+}
+
+// Apply2Q applies a two-qubit unitary m (4x4, row-major, basis order
+// |q2 q1> = |00>,|01>,|10>,|11> with q1 the low bit) to qubits q1 and q2.
+func (s *State) Apply2Q(q1, q2 int, m Matrix4) error {
+	if err := s.checkQubit(q1); err != nil {
+		return err
+	}
+	if err := s.checkQubit(q2); err != nil {
+		return err
+	}
+	if q1 == q2 {
+		return fmt.Errorf("quantum: two-qubit gate needs distinct qubits, got %d twice", q1)
+	}
+	b1 := 1 << uint(q1)
+	b2 := 1 << uint(q2)
+	lowBit, highBit := b1, b2
+	if lowBit > highBit {
+		lowBit, highBit = highBit, lowBit
+	}
+	dim := len(s.amps)
+	quarter := dim / 4
+	apply := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			// Expand k into an index with zeros at both gate-qubit positions.
+			i := k
+			low := i & (lowBit - 1)
+			i = (i &^ (lowBit - 1)) << 1
+			mid := i & (highBit - 1)
+			i = (i &^ (highBit - 1)) << 1
+			base := i | mid | low
+
+			i00 := base
+			i01 := base | b1
+			i10 := base | b2
+			i11 := base | b1 | b2
+			a00, a01, a10, a11 := s.amps[i00], s.amps[i01], s.amps[i10], s.amps[i11]
+			s.amps[i00] = m[0][0]*a00 + m[0][1]*a01 + m[0][2]*a10 + m[0][3]*a11
+			s.amps[i01] = m[1][0]*a00 + m[1][1]*a01 + m[1][2]*a10 + m[1][3]*a11
+			s.amps[i10] = m[2][0]*a00 + m[2][1]*a01 + m[2][2]*a10 + m[2][3]*a11
+			s.amps[i11] = m[3][0]*a00 + m[3][1]*a01 + m[3][2]*a10 + m[3][3]*a11
+		}
+	}
+	if dim < parallelThreshold {
+		apply(0, quarter)
+		return nil
+	}
+	parallelFor(quarter, apply)
+	return nil
+}
+
+// parallelFor splits [0, n) across workers and waits for completion.
+func parallelFor(n int, f func(lo, hi int)) {
+	w := numWorkers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ApplyToffoli applies the CCX gate: the target bit flips on basis states
+// where both control bits are set. Implemented as a direct amplitude
+// permutation — cheaper and simpler than an 8x8 matrix kernel.
+func (s *State) ApplyToffoli(c1, c2, t int) error {
+	for _, q := range []int{c1, c2, t} {
+		if err := s.checkQubit(q); err != nil {
+			return err
+		}
+	}
+	if c1 == c2 || c1 == t || c2 == t {
+		return fmt.Errorf("quantum: Toffoli needs three distinct qubits, got %d,%d,%d", c1, c2, t)
+	}
+	b1 := 1 << uint(c1)
+	b2 := 1 << uint(c2)
+	bt := 1 << uint(t)
+	swap := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&b1 != 0 && i&b2 != 0 && i&bt == 0 {
+				j := i | bt
+				s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+			}
+		}
+	}
+	if len(s.amps) < parallelThreshold {
+		swap(0, len(s.amps))
+		return nil
+	}
+	parallelFor(len(s.amps), swap)
+	return nil
+}
+
+// ExpectationZ returns <Z_q>, the expectation of Pauli-Z on qubit q.
+func (s *State) ExpectationZ(q int) (float64, error) {
+	if err := s.checkQubit(q); err != nil {
+		return 0, err
+	}
+	bit := 1 << uint(q)
+	sum := 0.0
+	for i, a := range s.amps {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if i&bit == 0 {
+			sum += p
+		} else {
+			sum -= p
+		}
+	}
+	return sum, nil
+}
+
+// MeasureQubit performs a projective Z measurement of qubit q, collapsing the
+// state, and returns the outcome (0 or 1).
+func (s *State) MeasureQubit(q int, rng *rand.Rand) (int, error) {
+	if err := s.checkQubit(q); err != nil {
+		return 0, err
+	}
+	bit := 1 << uint(q)
+	p0 := 0.0
+	for i, a := range s.amps {
+		if i&bit == 0 {
+			p0 += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	outcome := 1
+	if rng.Float64() < p0 {
+		outcome = 0
+	}
+	keepZero := outcome == 0
+	norm := p0
+	if !keepZero {
+		norm = 1 - p0
+	}
+	if norm < 1e-300 {
+		return 0, fmt.Errorf("quantum: measurement branch has zero probability")
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amps {
+		zero := i&bit == 0
+		if zero == keepZero {
+			s.amps[i] *= inv
+		} else {
+			s.amps[i] = 0
+		}
+	}
+	return outcome, nil
+}
+
+// SampleBitstrings draws shots measurement outcomes from the state without
+// collapsing it. Each outcome is the integer whose bit q is qubit q's result.
+func (s *State) SampleBitstrings(shots int, rng *rand.Rand) []int {
+	probs := s.Probabilities()
+	// Build a cumulative distribution once; binary-search per shot.
+	cum := make([]float64, len(probs))
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc
+	}
+	out := make([]int, shots)
+	for k := 0; k < shots; k++ {
+		r := rng.Float64() * acc
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[k] = lo
+	}
+	return out
+}
+
+// Histogram counts sampled outcomes into a map keyed by basis index.
+func Histogram(samples []int) map[int]int {
+	h := make(map[int]int)
+	for _, s := range samples {
+		h[s]++
+	}
+	return h
+}
+
+// FormatBitstring renders basis index idx as an n-character bitstring with
+// qubit 0 rightmost (e.g. idx=1, n=3 -> "001").
+func FormatBitstring(idx, n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if idx&(1<<uint(n-1-i)) != 0 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,235 @@
+// Package telemetry is the reproduction of the paper's DCDB deployment
+// (§3.1, Fig. 3): a plugin-based system for continuous collection of
+// operational and environmental metrics — cryostat temperatures, power
+// draw, qubit fidelities, job counters — aggregated into a queryable store
+// so that users, operators and the JIT compiler can consume live data
+// "without altering workflows".
+//
+// Time is simulation time in seconds (float64), never the wall clock, so
+// 146-day campaigns replay deterministically in milliseconds.
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Sample is one timestamped metric observation.
+type Sample struct {
+	Time  float64 `json:"t"` // simulation seconds
+	Value float64 `json:"v"`
+}
+
+// Store is the time-series database: one ordered series per sensor name.
+// All methods are safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	series map[string][]Sample
+	// maxPerSeries bounds memory; oldest samples are dropped first.
+	maxPerSeries int
+}
+
+// NewStore returns an empty store retaining up to maxPerSeries samples per
+// sensor (0 means unlimited).
+func NewStore(maxPerSeries int) *Store {
+	return &Store{series: make(map[string][]Sample), maxPerSeries: maxPerSeries}
+}
+
+// Append records a sample. Out-of-order appends are accepted and kept
+// sorted (DCDB tolerates delayed plugin pushes).
+func (s *Store) Append(sensor string, t, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser := s.series[sensor]
+	if n := len(ser); n > 0 && ser[n-1].Time > t {
+		// Insert preserving order (rare path).
+		i := sort.Search(n, func(i int) bool { return ser[i].Time > t })
+		ser = append(ser, Sample{})
+		copy(ser[i+1:], ser[i:])
+		ser[i] = Sample{Time: t, Value: v}
+	} else {
+		ser = append(ser, Sample{Time: t, Value: v})
+	}
+	if s.maxPerSeries > 0 && len(ser) > s.maxPerSeries {
+		ser = ser[len(ser)-s.maxPerSeries:]
+	}
+	s.series[sensor] = ser
+}
+
+// Sensors returns the sorted list of known sensor names.
+func (s *Store) Sensors() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.series))
+	for name := range s.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Latest returns the most recent sample of a sensor.
+func (s *Store) Latest(sensor string) (Sample, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser := s.series[sensor]
+	if len(ser) == 0 {
+		return Sample{}, false
+	}
+	return ser[len(ser)-1], true
+}
+
+// Query returns all samples of sensor with from <= Time <= to.
+func (s *Store) Query(sensor string, from, to float64) []Sample {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser := s.series[sensor]
+	lo := sort.Search(len(ser), func(i int) bool { return ser[i].Time >= from })
+	hi := sort.Search(len(ser), func(i int) bool { return ser[i].Time > to })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Sample, hi-lo)
+	copy(out, ser[lo:hi])
+	return out
+}
+
+// Count returns the number of stored samples for sensor.
+func (s *Store) Count(sensor string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series[sensor])
+}
+
+// Aggregate summarises a sensor over [from, to].
+type Aggregate struct {
+	Count          int
+	Mean, Min, Max float64
+	First, Last    Sample
+}
+
+// Aggregate computes summary statistics over a window.
+func (s *Store) Aggregate(sensor string, from, to float64) (Aggregate, error) {
+	samples := s.Query(sensor, from, to)
+	if len(samples) == 0 {
+		return Aggregate{}, fmt.Errorf("telemetry: no samples for %q in [%g, %g]", sensor, from, to)
+	}
+	agg := Aggregate{
+		Count: len(samples),
+		Min:   samples[0].Value,
+		Max:   samples[0].Value,
+		First: samples[0],
+		Last:  samples[len(samples)-1],
+	}
+	sum := 0.0
+	for _, smp := range samples {
+		sum += smp.Value
+		if smp.Value < agg.Min {
+			agg.Min = smp.Value
+		}
+		if smp.Value > agg.Max {
+			agg.Max = smp.Value
+		}
+	}
+	agg.Mean = sum / float64(len(samples))
+	return agg, nil
+}
+
+// WriteCSV exports one sensor's series as "time,value" rows.
+func (s *Store) WriteCSV(w io.Writer, sensor string) error {
+	samples := s.Query(sensor, 0, 1e300)
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", sensor}); err != nil {
+		return fmt.Errorf("telemetry: csv header: %w", err)
+	}
+	for _, smp := range samples {
+		rec := []string{
+			strconv.FormatFloat(smp.Time, 'g', -1, 64),
+			strconv.FormatFloat(smp.Value, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("telemetry: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MarshalSeriesJSON exports one sensor's series as JSON — the transparent
+// dissemination path users and external tools asked for (§3.1).
+func (s *Store) MarshalSeriesJSON(sensor string) ([]byte, error) {
+	samples := s.Query(sensor, 0, 1e300)
+	return json.Marshal(map[string]interface{}{
+		"sensor":  sensor,
+		"samples": samples,
+	})
+}
+
+// Collector is the plugin interface: anything that can report metrics.
+type Collector interface {
+	// CollectorName identifies the plugin in diagnostics.
+	CollectorName() string
+	// Collect returns the current metric values keyed by sensor name.
+	Collect() map[string]float64
+}
+
+// Poller drives a set of collector plugins, pushing their metrics into the
+// store at each Poll — DCDB's continuous collection loop, with the cadence
+// under the simulation's control.
+type Poller struct {
+	mu         sync.Mutex
+	store      *Store
+	collectors []Collector
+}
+
+// NewPoller builds a poller over the store.
+func NewPoller(store *Store) *Poller {
+	return &Poller{store: store}
+}
+
+// Register adds a collector plugin.
+func (p *Poller) Register(c Collector) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.collectors = append(p.collectors, c)
+}
+
+// CollectorNames lists registered plugins.
+func (p *Poller) CollectorNames() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.collectors))
+	for i, c := range p.collectors {
+		out[i] = c.CollectorName()
+	}
+	return out
+}
+
+// Poll gathers one round of metrics at simulation time t.
+func (p *Poller) Poll(t float64) {
+	p.mu.Lock()
+	collectors := append([]Collector(nil), p.collectors...)
+	p.mu.Unlock()
+	for _, c := range collectors {
+		for sensor, value := range c.Collect() {
+			p.store.Append(sensor, t, value)
+		}
+	}
+}
+
+// FuncCollector adapts a function to the Collector interface.
+type FuncCollector struct {
+	Name string
+	Fn   func() map[string]float64
+}
+
+// CollectorName implements Collector.
+func (f FuncCollector) CollectorName() string { return f.Name }
+
+// Collect implements Collector.
+func (f FuncCollector) Collect() map[string]float64 { return f.Fn() }

@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndLatest(t *testing.T) {
+	s := NewStore(0)
+	if _, ok := s.Latest("none"); ok {
+		t.Error("empty sensor should have no latest")
+	}
+	s.Append("temp", 1, 20.5)
+	s.Append("temp", 2, 21.0)
+	got, ok := s.Latest("temp")
+	if !ok || got.Value != 21.0 || got.Time != 2 {
+		t.Errorf("latest = %+v, ok=%v", got, ok)
+	}
+}
+
+func TestQueryWindow(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 10; i++ {
+		s.Append("x", float64(i), float64(i*i))
+	}
+	got := s.Query("x", 3, 6)
+	if len(got) != 4 {
+		t.Fatalf("window size = %d, want 4", len(got))
+	}
+	if got[0].Time != 3 || got[3].Time != 6 {
+		t.Errorf("window bounds wrong: %+v", got)
+	}
+	if s.Query("x", 100, 200) != nil {
+		t.Error("out-of-range query should be nil")
+	}
+	if s.Query("missing", 0, 10) != nil {
+		t.Error("unknown sensor should be nil")
+	}
+}
+
+func TestOutOfOrderAppendStaysSorted(t *testing.T) {
+	s := NewStore(0)
+	s.Append("x", 5, 50)
+	s.Append("x", 1, 10)
+	s.Append("x", 3, 30)
+	all := s.Query("x", 0, 10)
+	if len(all) != 3 {
+		t.Fatalf("count = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Time > all[i].Time {
+			t.Fatalf("series unsorted: %+v", all)
+		}
+	}
+	if all[1].Value != 30 {
+		t.Errorf("middle sample = %+v", all[1])
+	}
+}
+
+func TestSortedInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore(0)
+		for i := 0; i < 100; i++ {
+			s.Append("p", rng.Float64()*1000, rng.NormFloat64())
+		}
+		all := s.Query("p", -1, 2000)
+		for i := 1; i < len(all); i++ {
+			if all[i-1].Time > all[i].Time {
+				return false
+			}
+		}
+		return len(all) == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetentionLimit(t *testing.T) {
+	s := NewStore(5)
+	for i := 0; i < 20; i++ {
+		s.Append("x", float64(i), float64(i))
+	}
+	if got := s.Count("x"); got != 5 {
+		t.Errorf("retained = %d, want 5", got)
+	}
+	first := s.Query("x", 0, 100)[0]
+	if first.Time != 15 {
+		t.Errorf("oldest retained = %g, want 15", first.Time)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	s := NewStore(0)
+	for i, v := range []float64{2, 4, 6, 8} {
+		s.Append("x", float64(i), v)
+	}
+	agg, err := s.Aggregate("x", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 4 || agg.Mean != 5 || agg.Min != 2 || agg.Max != 8 {
+		t.Errorf("agg = %+v", agg)
+	}
+	if agg.First.Value != 2 || agg.Last.Value != 8 {
+		t.Errorf("first/last = %+v / %+v", agg.First, agg.Last)
+	}
+	if _, err := s.Aggregate("x", 100, 200); err == nil {
+		t.Error("expected error for empty window")
+	}
+}
+
+func TestSensorsSorted(t *testing.T) {
+	s := NewStore(0)
+	s.Append("zeta", 0, 1)
+	s.Append("alpha", 0, 1)
+	s.Append("mid", 0, 1)
+	got := s.Sensors()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sensors = %v", got)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := NewStore(0)
+	s.Append("power_kw", 0, 16)
+	s.Append("power_kw", 60, 17.5)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf, "power_kw"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "time_s,power_kw") || !strings.Contains(out, "17.5") {
+		t.Errorf("csv output:\n%s", out)
+	}
+	lines := strings.Count(strings.TrimSpace(out), "\n") + 1
+	if lines != 3 {
+		t.Errorf("csv lines = %d, want 3", lines)
+	}
+}
+
+func TestMarshalSeriesJSON(t *testing.T) {
+	s := NewStore(0)
+	s.Append("f_cz", 100, 0.991)
+	data, err := s.MarshalSeriesJSON("f_cz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Sensor  string   `json:"sensor"`
+		Samples []Sample `json:"samples"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Sensor != "f_cz" || len(decoded.Samples) != 1 || decoded.Samples[0].Value != 0.991 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+func TestPollerDrivesCollectors(t *testing.T) {
+	store := NewStore(0)
+	p := NewPoller(store)
+	calls := 0
+	p.Register(FuncCollector{
+		Name: "cryo",
+		Fn: func() map[string]float64 {
+			calls++
+			return map[string]float64{"mxc_temp_k": 0.010, "ln2_l": 18}
+		},
+	})
+	p.Register(FuncCollector{
+		Name: "power",
+		Fn:   func() map[string]float64 { return map[string]float64{"power_kw": 16} },
+	})
+	if names := p.CollectorNames(); len(names) != 2 || names[0] != "cryo" {
+		t.Errorf("collector names = %v", names)
+	}
+	p.Poll(0)
+	p.Poll(60)
+	if calls != 2 {
+		t.Errorf("collector called %d times, want 2", calls)
+	}
+	if got := store.Count("mxc_temp_k"); got != 2 {
+		t.Errorf("mxc samples = %d, want 2", got)
+	}
+	if got := store.Count("power_kw"); got != 2 {
+		t.Errorf("power samples = %d, want 2", got)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Append("shared", float64(w*200+i), float64(i))
+				s.Latest("shared")
+				s.Query("shared", 0, 1e9)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Count("shared"); got != 1600 {
+		t.Errorf("count = %d, want 1600", got)
+	}
+}
+
+func TestAggregateMeanMatchesManual(t *testing.T) {
+	s := NewStore(0)
+	rng := rand.New(rand.NewSource(55))
+	sum := 0.0
+	for i := 0; i < 500; i++ {
+		v := rng.NormFloat64()
+		sum += v
+		s.Append("x", float64(i), v)
+	}
+	agg, err := s.Aggregate("x", 0, 499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(agg.Mean-sum/500) > 1e-12 {
+		t.Errorf("mean = %g, want %g", agg.Mean, sum/500)
+	}
+}

@@ -1,0 +1,73 @@
+package transpile
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestDecomposeU3CRZCCX(t *testing.T) {
+	c := circuit.New(3, "ext")
+	c.U3(0, 0.7, 0.3, -0.2).CRZ(0, 1, 1.1).CCX(0, 1, 2).U3(2, 1.5, -0.4, 0.9)
+	low, err := Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !low.IsNative() {
+		t.Fatal("extended ops not fully lowered")
+	}
+	eq, err := c.EquivalentTo(low, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("extended-op decomposition changed semantics")
+	}
+}
+
+func TestToffoliLowersToSixCZ(t *testing.T) {
+	c := circuit.New(3, "").CCX(0, 1, 2)
+	low, err := Decompose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := low.CountOp(circuit.OpCZ); got != 6 {
+		t.Errorf("Toffoli lowered to %d CZ, want 6 (canonical decomposition)", got)
+	}
+}
+
+func TestTranspileToffoliOnGrid(t *testing.T) {
+	tgt := gridTarget(4, 5)
+	c := circuit.New(3, "tof").H(0).H(1).CCX(0, 1, 2)
+	res, err := Transpile(c, tgt, Options{Placement: PlaceFidelityAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentUnderLayout(t, c, res)
+}
+
+func TestGroverTwoQubitThroughPipeline(t *testing.T) {
+	// A 2-qubit Grover iteration for |11>: H⊗H, oracle CZ, diffusion.
+	c := circuit.New(2, "grover")
+	c.H(0).H(1)
+	c.CZ(0, 1) // oracle marks |11>
+	c.H(0).H(1).X(0).X(1).CZ(0, 1).X(0).X(1).H(0).H(1)
+	tgt := gridTarget(2, 3)
+	res, err := Transpile(c, tgt, Options{Placement: PlaceStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentUnderLayout(t, c, res)
+	// Grover on 2 qubits finds |11> with certainty.
+	s, err := res.Circuit.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := 0
+	for _, p := range res.FinalLayout[:2] {
+		phys |= 1 << uint(p)
+	}
+	if prob := s.Probability(phys); prob < 1-1e-9 {
+		t.Errorf("Grover success probability %g, want 1", prob)
+	}
+}

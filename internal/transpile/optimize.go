@@ -1,0 +1,143 @@
+package transpile
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// angleEps below which a rotation is treated as identity.
+const angleEps = 1e-12
+
+// Optimize runs peephole passes over a native-gate circuit until a fixed
+// point:
+//
+//   - consecutive RZ on the same qubit merge into one (dropped if ≈ 0 mod 2π);
+//   - consecutive PRX with the same phase axis on the same qubit merge
+//     (PRX(θ₁,φ)·PRX(θ₂,φ) = PRX(θ₁+θ₂,φ), dropped if θ ≈ 0 mod 4π... in
+//     practice mod 2π up to global phase, which is what matters here);
+//   - adjacent identical CZ pairs cancel (CZ² = I).
+//
+// "Consecutive" means no intervening gate touches the involved qubits.
+// Barriers block all merging across them.
+func Optimize(c *circuit.Circuit) *circuit.Circuit {
+	cur := c.Clone()
+	for {
+		next, changed := optimizeOnce(cur)
+		if !changed {
+			return next
+		}
+		cur = next
+	}
+}
+
+func optimizeOnce(c *circuit.Circuit) (*circuit.Circuit, bool) {
+	out := circuit.New(c.NumQubits, c.Name)
+	// lastGate[q] is the index in out.Gates of the last gate touching q,
+	// or -1.
+	lastGate := make([]int, c.NumQubits)
+	for i := range lastGate {
+		lastGate[i] = -1
+	}
+	deleted := map[int]bool{}
+	changed := false
+
+	touch := func(idx int, qubits []int) {
+		for _, q := range qubits {
+			lastGate[q] = idx
+		}
+	}
+
+	for _, g := range c.Gates {
+		if g.Name == circuit.OpBarrier {
+			idx := len(out.Gates)
+			out.Gates = append(out.Gates, g)
+			if len(g.Qubits) == 0 {
+				for q := range lastGate {
+					lastGate[q] = idx
+				}
+			} else {
+				touch(idx, g.Qubits)
+			}
+			continue
+		}
+		switch g.Name {
+		case circuit.OpRZ:
+			q := g.Qubits[0]
+			if li := lastGate[q]; li >= 0 && !deleted[li] && out.Gates[li].Name == circuit.OpRZ && out.Gates[li].Qubits[0] == q {
+				sum := normAngle(out.Gates[li].Params[0] + g.Params[0])
+				changed = true
+				if math.Abs(sum) < angleEps {
+					deleted[li] = true
+					lastGate[q] = -1
+				} else {
+					out.Gates[li].Params = []float64{sum}
+				}
+				continue
+			}
+			if math.Abs(normAngle(g.Params[0])) < angleEps {
+				changed = true
+				continue
+			}
+		case circuit.OpPRX:
+			q := g.Qubits[0]
+			if li := lastGate[q]; li >= 0 && !deleted[li] && out.Gates[li].Name == circuit.OpPRX && out.Gates[li].Qubits[0] == q &&
+				math.Abs(normAngle(out.Gates[li].Params[1]-g.Params[1])) < angleEps {
+				sum := normAngle(out.Gates[li].Params[0] + g.Params[0])
+				changed = true
+				if math.Abs(sum) < angleEps {
+					deleted[li] = true
+					lastGate[q] = -1
+				} else {
+					out.Gates[li].Params = []float64{sum, out.Gates[li].Params[1]}
+				}
+				continue
+			}
+			if math.Abs(normAngle(g.Params[0])) < angleEps {
+				changed = true
+				continue
+			}
+		case circuit.OpCZ:
+			a, b := g.Qubits[0], g.Qubits[1]
+			la, lb := lastGate[a], lastGate[b]
+			if la >= 0 && la == lb && !deleted[la] && out.Gates[la].Name == circuit.OpCZ &&
+				sameEdge(out.Gates[la].Qubits, g.Qubits) {
+				deleted[la] = true
+				lastGate[a], lastGate[b] = -1, -1
+				changed = true
+				continue
+			}
+		}
+		idx := len(out.Gates)
+		out.Gates = append(out.Gates, g)
+		touch(idx, g.Qubits)
+	}
+
+	if len(deleted) == 0 && !changed {
+		return out, false
+	}
+	final := circuit.New(c.NumQubits, c.Name)
+	for i, g := range out.Gates {
+		if deleted[i] {
+			continue
+		}
+		final.Gates = append(final.Gates, g)
+	}
+	return final, true
+}
+
+func sameEdge(a, b []int) bool {
+	return (a[0] == b[0] && a[1] == b[1]) || (a[0] == b[1] && a[1] == b[0])
+}
+
+// normAngle maps an angle into (-π, π].
+func normAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

@@ -1,0 +1,151 @@
+package transpile
+
+import (
+	"fmt"
+)
+
+// PlacementStrategy selects how logical qubits map to physical qubits.
+type PlacementStrategy int
+
+const (
+	// PlaceStatic maps logical qubit i to physical qubit i — the layout a
+	// compiler uses when it knows nothing about the device's current state.
+	PlaceStatic PlacementStrategy = iota
+	// PlaceFidelityAware greedily selects a connected subgraph of the
+	// device with the best live fidelities (QDMI/telemetry-driven JIT
+	// placement). On a drifted or TLS-hit device this dodges bad qubits.
+	PlaceFidelityAware
+)
+
+func (p PlacementStrategy) String() string {
+	switch p {
+	case PlaceStatic:
+		return "static"
+	case PlaceFidelityAware:
+		return "fidelity-aware"
+	}
+	return fmt.Sprintf("strategy(%d)", int(p))
+}
+
+// Layout maps logical qubit index -> physical qubit index.
+type Layout []int
+
+// Inverse returns the physical -> logical map (-1 for unused physicals).
+func (l Layout) Inverse(numPhysical int) []int {
+	inv := make([]int, numPhysical)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for logical, phys := range l {
+		inv[phys] = logical
+	}
+	return inv
+}
+
+// Place computes a layout for k logical qubits on the target.
+func Place(k int, t *Target, strategy PlacementStrategy) (Layout, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > t.NumQubits {
+		return nil, fmt.Errorf("transpile: cannot place %d logical qubits on %d physical", k, t.NumQubits)
+	}
+	switch strategy {
+	case PlaceStatic:
+		l := make(Layout, k)
+		for i := range l {
+			l[i] = i
+		}
+		return l, nil
+	case PlaceFidelityAware:
+		return placeFidelityAware(k, t)
+	}
+	return nil, fmt.Errorf("transpile: unknown placement strategy %d", strategy)
+}
+
+// placeFidelityAware grows a physical path from the best coupler, extending
+// whichever path end has the highest-scoring free neighbour (score = 1q
+// fidelity × readout fidelity × connecting coupler fidelity). Logical qubit
+// i maps to the i-th path element, so consecutive logical qubits are
+// physically adjacent and chain-structured circuits route without SWAPs.
+func placeFidelityAware(k int, t *Target) (Layout, error) {
+	if len(t.Edges) == 0 {
+		if k > 1 {
+			return nil, fmt.Errorf("transpile: target has no couplers, cannot place %d qubits", k)
+		}
+		// Single qubit: pick the best one.
+		best, bestScore := 0, -1.0
+		for q := 0; q < t.NumQubits; q++ {
+			if s := t.f1q(q) * t.fread(q); s > bestScore {
+				best, bestScore = q, s
+			}
+		}
+		return Layout{best}, nil
+	}
+
+	qubitScore := func(q int) float64 { return t.f1q(q) * t.fread(q) }
+
+	// Seed: the edge with the best product of coupler and endpoint scores.
+	var seed [2]int
+	bestScore := -1.0
+	for _, e := range t.Edges {
+		s := t.fcz(e[0], e[1]) * qubitScore(e[0]) * qubitScore(e[1])
+		if s > bestScore {
+			bestScore, seed = s, e
+		}
+	}
+
+	adj := t.adjacency()
+	// Grow a *path* from the seed edge, extending whichever end has the
+	// best-scoring unvisited neighbour. Consecutive logical qubits then sit
+	// on physically adjacent qubits, so chain-entangling circuits
+	// (GHZ/VQE/QAOA) route without SWAPs — placement quality must not be
+	// paid back as routing overhead. If both ends dead-end (odd region
+	// shapes), fall back to growing anywhere and accept a chain break.
+	path := []int{seed[0]}
+	selected := map[int]bool{seed[0]: true}
+	if k > 1 {
+		path = append(path, seed[1])
+		selected[seed[1]] = true
+	}
+	bestNeighbor := func(q int) (int, float64) {
+		bq, bs := -1, -1.0
+		for _, nb := range adj[q] {
+			if selected[nb] {
+				continue
+			}
+			if s := qubitScore(nb) * t.fcz(q, nb); s > bs || (s == bs && nb < bq) {
+				bs, bq = s, nb
+			}
+		}
+		return bq, bs
+	}
+	for len(path) < k {
+		head, tail := path[0], path[len(path)-1]
+		hq, hs := bestNeighbor(head)
+		tq, ts := bestNeighbor(tail)
+		switch {
+		case tq >= 0 && (hq < 0 || ts >= hs):
+			path = append(path, tq)
+			selected[tq] = true
+		case hq >= 0:
+			path = append([]int{hq}, path...)
+			selected[hq] = true
+		default:
+			// Both ends stuck: grow from any path member (deterministic
+			// order), breaking the chain.
+			bq, bs := -1, -1.0
+			for _, q := range path {
+				if nq, ns := bestNeighbor(q); nq >= 0 && (ns > bs || (ns == bs && nq < bq)) {
+					bq, bs = nq, ns
+				}
+			}
+			if bq < 0 {
+				return nil, fmt.Errorf("transpile: connected region exhausted at %d of %d qubits", len(path), k)
+			}
+			path = append(path, bq)
+			selected[bq] = true
+		}
+	}
+	return Layout(path), nil
+}
