@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/calib"
 	"repro/internal/circuit"
@@ -466,6 +467,65 @@ func BenchmarkMaintenancePlanning(b *testing.B) {
 	}
 	b.ReportMetric(days, "maintenance-days-2y")
 }
+
+// --- E13: dispatch-pipeline throughput and latency at 1/4/16 workers. ---
+//
+// The batch workload is the VQE measurement loop: a handful of distinct
+// circuits resubmitted many times per round. Execution runs against the
+// digital twin with a 2 ms control-electronics round-trip (the paced mode),
+// so the benchmark is latency-bound the way the real integration is — the
+// host CPU compiles while the QPU round-trip is in flight, which is exactly
+// the overlap the worker pool exists to exploit. The transpile cache
+// collapses the repeated compilations to one per circuit per calibration
+// epoch.
+
+func benchmarkDispatchThroughput(b *testing.B, workers int) {
+	qpu := device.NewTwin20Q(30)
+	qpu.SetExecLatency(2 * time.Millisecond)
+	m := qrm.NewManager(qdmi.NewDevice(qpu, nil))
+	if err := m.Start(workers); err != nil {
+		b.Fatal(err)
+	}
+	defer m.Stop()
+	circuits := []*circuit.Circuit{circuit.GHZ(3), circuit.GHZ(4), circuit.GHZ(5), circuit.GHZ(6)}
+	const repeats = 16 // 64 jobs per round
+	jobs := 0
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		reqs := make([]qrm.Request, 0, len(circuits)*repeats)
+		for r := 0; r < repeats; r++ {
+			for _, c := range circuits {
+				reqs = append(reqs, qrm.Request{Circuit: c, Shots: 20, User: "bench"})
+			}
+		}
+		_, ids, err := m.SubmitBatch(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range ids {
+			j, err := m.WaitJob(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if j.Status != qrm.StatusDone {
+				b.Fatalf("job %d: %s (%s)", id, j.Status, j.Error)
+			}
+		}
+		jobs += len(ids)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	snap := m.Metrics()
+	b.ReportMetric(float64(jobs)/elapsed.Seconds(), "jobs/s")
+	b.ReportMetric(snap.E2EMs.Quantile(0.50), "p50-ms")
+	b.ReportMetric(snap.E2EMs.Quantile(0.95), "p95-ms")
+	b.ReportMetric(100*snap.HitRatio(), "cache-hit-%")
+}
+
+func BenchmarkDispatchThroughput1Worker(b *testing.B)   { benchmarkDispatchThroughput(b, 1) }
+func BenchmarkDispatchThroughput4Workers(b *testing.B)  { benchmarkDispatchThroughput(b, 4) }
+func BenchmarkDispatchThroughput16Workers(b *testing.B) { benchmarkDispatchThroughput(b, 16) }
 
 // --- Substrate microbenchmarks: the simulator itself. ---
 

@@ -15,7 +15,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
+	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/mqss"
@@ -103,8 +106,114 @@ func main() {
 			fmt.Printf("  #%-4d %-12s user=%-10s circuit=%q shots=%d\n",
 				j.ID, j.Status, j.Request.User, j.Request.Circuit.Name, j.Request.Shots)
 		}
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		clients := fs.Int("clients", 8, "concurrent clients")
+		jobs := fs.Int("jobs", 10, "jobs per client")
+		shots := fs.Int("shots", 100, "shots per job")
+		qubits := fs.Int("qubits", 4, "GHZ circuit size")
+		batch := fs.Bool("batch", false, "submit each client's jobs as one streamed batch")
+		if err := fs.Parse(args[1:]); err != nil {
+			log.Fatal(err)
+		}
+		runBench(*server, *clients, *jobs, *shots, *qubits, *batch)
 	default:
 		usage()
+	}
+}
+
+// runBench drives N concurrent clients against a running qhpcd and reports
+// job throughput plus the client-observed latency distribution — the load
+// harness for the QRM dispatch pipeline.
+func runBench(server string, clients, jobs, shots, qubits int, batch bool) {
+	if clients < 1 || jobs < 1 {
+		log.Fatal("bench needs -clients >= 1 and -jobs >= 1")
+	}
+	ghz := circuit.GHZ(qubits)
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var failures int
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := mqss.NewRemoteClient(server, nil)
+			user := fmt.Sprintf("bench-%d", c)
+			if batch {
+				reqs := make([]qrm.Request, jobs)
+				for i := range reqs {
+					reqs[i] = qrm.Request{Circuit: ghz, Shots: shots, User: user}
+				}
+				delivered := 0
+				batchStart := time.Now()
+				_, err := cl.StreamBatch(reqs, func(j *qrm.Job) {
+					lat := time.Since(batchStart)
+					mu.Lock()
+					delivered++
+					latencies = append(latencies, lat)
+					if j.Status != qrm.StatusDone {
+						failures++
+					}
+					mu.Unlock()
+				})
+				if err != nil {
+					log.Printf("bench client %d: %v", c, err)
+					mu.Lock()
+					// Only jobs the stream never delivered count as extra
+					// failures; delivered ones were already tallied above.
+					failures += jobs - delivered
+					mu.Unlock()
+				}
+				return
+			}
+			for i := 0; i < jobs; i++ {
+				jobStart := time.Now()
+				j, err := cl.Run(qrm.Request{Circuit: ghz, Shots: shots, User: user})
+				lat := time.Since(jobStart)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				if err != nil || j.Status != qrm.StatusDone {
+					failures++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := clients * jobs
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	mode := "sequential submits"
+	if batch {
+		mode = "streamed batches"
+	}
+	fmt.Printf("bench: %d clients x %d jobs (%s), GHZ(%d) x %d shots\n",
+		clients, jobs, mode, qubits, shots)
+	fmt.Printf("  wall time:    %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput:   %.1f jobs/s\n", float64(total)/elapsed.Seconds())
+	fmt.Printf("  latency:      p50 %v, p95 %v, max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	fmt.Printf("  failures:     %d/%d\n", failures, total)
+
+	cl := mqss.NewRemoteClient(server, nil)
+	if m, err := cl.Metrics(); err == nil {
+		fmt.Printf("server pipeline: %d workers, %d completed, max queue depth %d\n",
+			m.Workers, m.Completed, m.MaxQueueDepth)
+		fmt.Printf("  transpile cache: %d hits / %d misses (%.0f%% hit ratio)\n",
+			m.CacheHits, m.CacheMisses, 100*m.HitRatio())
+		fmt.Printf("  server e2e: p50 %.2f ms, p95 %.2f ms\n",
+			m.E2EMs.Quantile(0.50), m.E2EMs.Quantile(0.95))
 	}
 }
 
@@ -141,6 +250,8 @@ commands:
   device                               show device properties and live calibration
   submit [-shots N] [-user U] f.qasm   submit an OpenQASM circuit
   job <id>                             show one job
-  history [-user U] [-offset N] [-limit N]   page through job history`)
+  history [-user U] [-offset N] [-limit N]   page through job history
+  bench [-clients N] [-jobs N] [-shots N] [-qubits N] [-batch]
+                                       drive concurrent load and report throughput/latency`)
 	os.Exit(2)
 }

@@ -28,6 +28,7 @@ func main() {
 	twin := flag.Bool("twin", false, "serve the noiseless digital twin instead of the noisy QPU")
 	redundant := flag.Bool("redundant", true, "redundant power and cooling feeds (lesson 3)")
 	nodes := flag.Int("nodes", 64, "classical cluster node count")
+	workers := flag.Int("workers", 4, "QRM dispatch workers (0 = synchronous per-request execution)")
 	flag.Parse()
 
 	center, err := core.New(core.Config{
@@ -47,8 +48,14 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "qhpcd: site %q accepted; cooldown %.1f simulated days; phase %s\n",
 		center.SiteReport().Site, days, center.Phase())
+	if *workers > 0 {
+		if err := center.StartPipeline(*workers); err != nil {
+			log.Fatalf("qhpcd: starting dispatch pipeline: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "qhpcd: dispatch pipeline running with %d workers (QPU admission-gated)\n", *workers)
+	}
 	fmt.Fprintf(os.Stderr, "qhpcd: serving MQSS REST API on %s\n", *addr)
-	fmt.Fprintf(os.Stderr, "qhpcd: endpoints: POST /api/v1/jobs, GET /api/v1/jobs, GET /api/v1/device, GET /api/v1/telemetry/, GET /healthz\n")
+	fmt.Fprintf(os.Stderr, "qhpcd: endpoints: POST /api/v1/jobs, POST /api/v1/jobs/batch[?stream=1], GET /api/v1/jobs, GET /api/v1/device, GET /api/v1/telemetry/, GET /api/v1/metrics, GET /healthz\n")
 
 	if err := http.ListenAndServe(*addr, center.RESTHandler()); err != nil {
 		log.Fatalf("qhpcd: %v", err)

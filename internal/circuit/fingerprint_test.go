@@ -1,0 +1,35 @@
+package circuit
+
+import "testing"
+
+func TestFingerprintStableAndNameBlind(t *testing.T) {
+	a := GHZ(4)
+	b := GHZ(4)
+	b.Name = "renamed"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint should ignore the circuit name")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	base := GHZ(4)
+	cases := map[string]*Circuit{
+		"different size":   GHZ(5),
+		"different gate":   New(4, "x").X(0).CNOT(0, 1).CNOT(1, 2).CNOT(2, 3),
+		"different qubits": New(4, "x").H(1).CNOT(0, 1).CNOT(1, 2).CNOT(2, 3),
+		"extra gate":       GHZ(4).Barrier(),
+	}
+	for name, c := range cases {
+		if c.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s: fingerprint collided with GHZ(4)", name)
+		}
+	}
+	p1 := New(1, "p").RY(0, 0.5)
+	p2 := New(1, "p").RY(0, 0.5000001)
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Error("fingerprint should distinguish parameter values")
+	}
+}

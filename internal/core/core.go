@@ -136,6 +136,13 @@ func New(cfg Config) (*Center, error) {
 			}
 		},
 	})
+	// Dispatch-pipeline health: queue depth, in-flight jobs, cache
+	// effectiveness, tail latency — the §3.1 "without altering workflows"
+	// dissemination extended to the QRM.
+	poller.Register(telemetry.FuncCollector{
+		Name: "qrm-pipeline",
+		Fn:   func() map[string]float64 { return c.QRM.Metrics().Gauges() },
+	})
 	return c, nil
 }
 
@@ -257,6 +264,19 @@ func (c *Center) Operational() bool { return c.phase == PhaseOperational }
 
 // LocalClient returns the in-HPC accelerator client.
 func (c *Center) LocalClient() *mqss.Client { return mqss.NewLocalClient(c.QRM) }
+
+// StartPipeline launches the QRM's concurrent dispatch pipeline with
+// nWorkers workers, admission-gated on the HPC scheduler's QPU slot so
+// concurrent dispatch workers serialize their device round-trips through
+// the cluster's single quantum resource.
+func (c *Center) StartPipeline(nWorkers int) error {
+	c.QRM.SetGate(c.HPC.QPUGate())
+	return c.QRM.Start(nWorkers)
+}
+
+// StopPipeline shuts the dispatch pipeline down, letting in-flight jobs
+// finish. Queued jobs remain queued.
+func (c *Center) StopPipeline() { c.QRM.Stop() }
 
 // RESTHandler returns the HTTP handler exposing this center's stack.
 func (c *Center) RESTHandler() http.Handler { return mqss.NewServer(c.QRM, c.QDMI) }

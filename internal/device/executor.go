@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/quantum"
@@ -34,6 +35,17 @@ type QPU struct {
 
 	// twin disables all noise — the emulator used for onboarding (§4).
 	twin bool
+
+	// epoch counts calibration-state changes (drift advances and
+	// recalibrations). Transpile caches key on it: a compiled circuit is
+	// valid exactly as long as the calibration it was placed against.
+	epoch uint64
+
+	// execLatency is the wall-clock control-electronics round-trip charged
+	// per Execute call (waveform upload + trigger + readback). Zero by
+	// default so simulations stay instant; the dispatch benchmarks set it to
+	// model the latency-bound pipeline the QRM overlaps.
+	execLatency time.Duration
 
 	executedShots int64
 	executedJobs  int64
@@ -109,6 +121,34 @@ func (d *QPU) AdvanceDrift(dtHours float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.drift.Advance(d.calib, dtHours)
+	d.epoch++
+}
+
+// CalibEpoch returns a counter that increments whenever the calibration
+// record changes (drift or recalibration). Equal epochs guarantee identical
+// calibration, so JIT-compilation results can be reused.
+func (d *QPU) CalibEpoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}
+
+// CalibrationWithEpoch returns a calibration snapshot together with the
+// epoch it belongs to, read under one lock acquisition — callers keying
+// caches on the epoch need the pair to be consistent.
+func (d *QPU) CalibrationWithEpoch() (*Calibration, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calib.Clone(), d.epoch
+}
+
+// SetExecLatency sets the wall-clock control-electronics round-trip charged
+// per Execute call, slept outside the device lock so concurrent executions
+// overlap (the paced mode used by throughput benchmarks and demos).
+func (d *QPU) SetExecLatency(lat time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.execLatency = lat
 }
 
 // Recalibrate runs the quick or full calibration procedure (§3.2) and
@@ -117,6 +157,7 @@ func (d *QPU) Recalibrate(full bool) float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.drift.Recalibrate(d.calib, d.topo, full, d.rng.Int63())
+	d.epoch++
 	if full {
 		return 100
 	}
@@ -174,15 +215,24 @@ func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
 	if !c.IsNative() {
 		return nil, fmt.Errorf("device: circuit %q contains non-native gates; transpile first", c.Name)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-
-	// Validate CZ connectivity once.
+	// Validate CZ connectivity once (the topology is immutable).
 	for i, g := range c.Gates {
 		if g.Name == circuit.OpCZ && !d.topo.Connected(g.Qubits[0], g.Qubits[1]) {
 			return nil, fmt.Errorf("device: gate %d: no coupler between qubits %d and %d", i, g.Qubits[0], g.Qubits[1])
 		}
 	}
+
+	// Snapshot the mutable device state under the lock, then simulate
+	// outside it. The QPU mutex protects the calibration record and the RNG
+	// stream, not the trajectory simulation itself, so independent Execute
+	// calls overlap on the wall clock — the property the QRM's concurrent
+	// dispatch pipeline relies on. Single-threaded callers still get a
+	// deterministic per-call RNG stream derived from the seeded device RNG.
+	d.mu.Lock()
+	calib := d.calib.Clone()
+	rng := rand.New(rand.NewSource(d.rng.Int63()))
+	latency := d.execLatency
+	d.mu.Unlock()
 
 	// Compact the register: only qubits the circuit touches need amplitudes.
 	// A routed 5-qubit GHZ lives on a 20-qubit physical register, but
@@ -198,7 +248,7 @@ func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
 	counts := make(map[int]int)
 	var readout *quantum.ReadoutModel
 	if !d.twin {
-		readout = d.readoutModel(c.NumQubits)
+		readout = readoutModel(calib, c.NumQubits)
 	}
 	for shot := 0; shot < shots; shot++ {
 		var outcome int
@@ -207,10 +257,10 @@ func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := d.runShot(st, compact, toPhysical); err != nil {
+			if err := d.runShot(st, compact, toPhysical, calib, rng); err != nil {
 				return nil, err
 			}
-			sampled := st.SampleBitstrings(1, d.rng)[0]
+			sampled := st.SampleBitstrings(1, rng)[0]
 			for i, p := range toPhysical {
 				if sampled&(1<<uint(i)) != 0 {
 					outcome |= 1 << uint(p)
@@ -218,12 +268,17 @@ func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
 			}
 		}
 		if readout != nil {
-			outcome = readout.Corrupt(outcome, d.rng)
+			outcome = readout.Corrupt(outcome, rng)
 		}
 		counts[outcome]++
 	}
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	d.mu.Lock()
 	d.executedJobs++
 	d.executedShots += int64(shots)
+	d.mu.Unlock()
 	dur := d.estimateDurationUs(c, shots)
 	return &Result{Counts: counts, Shots: shots, DurationUs: dur}, nil
 }
@@ -273,8 +328,9 @@ func compactCircuit(c *circuit.Circuit) (*circuit.Circuit, []int, error) {
 
 // runShot applies the compact circuit with trajectory noise onto st.
 // toPhysical maps compact indices back to physical qubits so calibration
-// parameters are looked up for the right hardware elements.
-func (d *QPU) runShot(st *quantum.State, c *circuit.Circuit, toPhysical []int) error {
+// parameters are looked up for the right hardware elements. calib and rng
+// are per-call snapshots so shots run outside the device lock.
+func (d *QPU) runShot(st *quantum.State, c *circuit.Circuit, toPhysical []int, calib *Calibration, rng *rand.Rand) error {
 	for _, g := range c.Gates {
 		switch g.Name {
 		case circuit.OpBarrier:
@@ -291,7 +347,7 @@ func (d *QPU) runShot(st *quantum.State, c *circuit.Circuit, toPhysical []int) e
 			}
 			if !d.twin {
 				pq := toPhysical[q]
-				if err := d.applyGateNoise(st, q, pq, 1-d.calib.Qubits[pq].F1Q, PRXDurationUs); err != nil {
+				if err := applyGateNoise(st, q, pq, 1-calib.Qubits[pq].F1Q, PRXDurationUs, calib, rng); err != nil {
 					return err
 				}
 			}
@@ -302,11 +358,11 @@ func (d *QPU) runShot(st *quantum.State, c *circuit.Circuit, toPhysical []int) e
 			}
 			if !d.twin {
 				pa, pb := toPhysical[a], toPhysical[b]
-				errRate := (1 - d.calib.FCZ(pa, pb)) / 2
-				if err := d.applyGateNoise(st, a, pa, errRate, CZDurationUs); err != nil {
+				errRate := (1 - calib.FCZ(pa, pb)) / 2
+				if err := applyGateNoise(st, a, pa, errRate, CZDurationUs, calib, rng); err != nil {
 					return err
 				}
-				if err := d.applyGateNoise(st, b, pb, errRate, CZDurationUs); err != nil {
+				if err := applyGateNoise(st, b, pb, errRate, CZDurationUs, calib, rng); err != nil {
 					return err
 				}
 			}
@@ -320,34 +376,35 @@ func (d *QPU) runShot(st *quantum.State, c *circuit.Circuit, toPhysical []int) e
 // applyGateNoise adds depolarizing gate error plus T1/T2 decoherence for the
 // gate duration: q is the compact state index, physQ the hardware qubit the
 // calibration parameters belong to.
-func (d *QPU) applyGateNoise(st *quantum.State, q, physQ int, errRate, durUs float64) error {
+func applyGateNoise(st *quantum.State, q, physQ int, errRate, durUs float64, calib *Calibration, rng *rand.Rand) error {
 	if errRate > 0 {
-		if err := st.ApplyChannel(q, quantum.Depolarizing(errRate), d.rng); err != nil {
+		if err := st.ApplyChannel(q, quantum.Depolarizing(errRate), rng); err != nil {
 			return err
 		}
 	}
-	qc := d.calib.Qubits[physQ]
+	qc := calib.Qubits[physQ]
 	gamma := 1 - math.Exp(-durUs/qc.T1)
-	if err := st.ApplyChannel(q, quantum.AmplitudeDamping(gamma), d.rng); err != nil {
+	if err := st.ApplyChannel(q, quantum.AmplitudeDamping(gamma), rng); err != nil {
 		return err
 	}
 	// Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
 	tphiInv := 1/qc.T2 - 1/(2*qc.T1)
 	if tphiInv > 0 {
 		lambda := 1 - math.Exp(-durUs*tphiInv)
-		if err := st.ApplyChannel(q, quantum.PhaseDamping(lambda), d.rng); err != nil {
+		if err := st.ApplyChannel(q, quantum.PhaseDamping(lambda), rng); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// readoutModel builds the classical confusion model from the calibration.
-func (d *QPU) readoutModel(n int) *quantum.ReadoutModel {
+// readoutModel builds the classical confusion model from a calibration
+// snapshot.
+func readoutModel(calib *Calibration, n int) *quantum.ReadoutModel {
 	p10 := make([]float64, n)
 	p01 := make([]float64, n)
 	for q := 0; q < n; q++ {
-		eps := 1 - d.calib.Qubits[q].FReadout
+		eps := 1 - calib.Qubits[q].FReadout
 		// Asymmetric split: |1> readout is worse (relaxation during readout).
 		p10[q] = eps * 0.8
 		p01[q] = eps * 1.2

@@ -1,0 +1,50 @@
+package hpc
+
+import "fmt"
+
+// Gate is the QPU-slot admission gate for co-scheduling: the HPC resource
+// manager owns the quantum resource (§3.2), so concurrent dispatch pipelines
+// must acquire a slot before occupying the device. Capacity 1 models the
+// paper's single 20-qubit QPU; larger capacities model multi-QPU or
+// time-multiplexed control electronics.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate builds an admission gate with the given slot capacity.
+func NewGate(capacity int) (*Gate, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("hpc: gate needs >= 1 slot, got %d", capacity)
+	}
+	return &Gate{slots: make(chan struct{}, capacity)}, nil
+}
+
+// Acquire blocks until a QPU slot is free and claims it.
+func (g *Gate) Acquire() {
+	g.slots <- struct{}{}
+}
+
+// TryAcquire claims a slot without blocking, reporting success.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a previously acquired slot.
+func (g *Gate) Release() {
+	select {
+	case <-g.slots:
+	default:
+		panic("hpc: Gate.Release without matching Acquire")
+	}
+}
+
+// InUse reports how many slots are currently held.
+func (g *Gate) InUse() int { return len(g.slots) }
+
+// Capacity reports the total slot count.
+func (g *Gate) Capacity() int { return cap(g.slots) }

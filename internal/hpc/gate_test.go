@@ -1,0 +1,85 @@
+package hpc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGateValidation(t *testing.T) {
+	if _, err := NewGate(0); err == nil {
+		t.Error("zero-capacity gate should fail")
+	}
+}
+
+func TestGateAdmission(t *testing.T) {
+	g, err := NewGate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Capacity() != 2 || g.InUse() != 0 {
+		t.Fatalf("fresh gate: capacity %d, in use %d", g.Capacity(), g.InUse())
+	}
+	g.Acquire()
+	if !g.TryAcquire() {
+		t.Error("second slot should be free")
+	}
+	if g.TryAcquire() {
+		t.Error("third acquire should fail")
+	}
+	if g.InUse() != 2 {
+		t.Errorf("in use = %d, want 2", g.InUse())
+	}
+	g.Release()
+	g.Release()
+	if g.InUse() != 0 {
+		t.Errorf("in use after releases = %d, want 0", g.InUse())
+	}
+}
+
+func TestGateReleaseWithoutAcquirePanics(t *testing.T) {
+	g, _ := NewGate(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("unbalanced release should panic")
+		}
+	}()
+	g.Release()
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	g, _ := NewGate(3)
+	var inside, peak int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Acquire()
+			n := atomic.AddInt64(&inside, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+					break
+				}
+			}
+			atomic.AddInt64(&inside, -1)
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if peak > 3 {
+		t.Errorf("peak concurrent holders = %d, want <= 3", peak)
+	}
+}
+
+func TestSchedulerOwnsQPUGate(t *testing.T) {
+	s, err := NewScheduler(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.QPUGate()
+	if g == nil || g.Capacity() != 1 {
+		t.Fatalf("scheduler gate = %+v, want capacity-1 gate", g)
+	}
+}

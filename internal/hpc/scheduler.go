@@ -95,6 +95,10 @@ type Scheduler struct {
 	// the QPU resource offline (§3).
 	qpuOnline bool
 
+	// qpuGate admits concurrent runtime pipelines (the QRM workers) onto
+	// the quantum resource this scheduler owns.
+	qpuGate *Gate
+
 	// accounting
 	nodeSecondsUsed float64
 	qpuSecondsUsed  float64
@@ -106,8 +110,20 @@ func NewScheduler(nodes int) (*Scheduler, error) {
 	if nodes < 1 {
 		return nil, fmt.Errorf("hpc: cluster needs at least one node")
 	}
-	return &Scheduler{totalNodes: nodes, qpuPresent: true, qpuOnline: true}, nil
+	gate, err := NewGate(1) // one physical QPU
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{totalNodes: nodes, qpuPresent: true, qpuOnline: true, qpuGate: gate}, nil
 }
+
+// QPUGate returns the admission gate for runtime access to this cluster's
+// quantum resource: QRM dispatch workers acquire a slot around each device
+// round-trip, so concurrent pipelines never oversubscribe the QPU. The
+// batch scheduler's own simulated-time co-allocation (NeedsQPU jobs,
+// reservations) is accounted separately in freeResources — the gate
+// serializes the real execution path, not the simulation.
+func (s *Scheduler) QPUGate() *Gate { return s.qpuGate }
 
 // Now returns the scheduler's simulation time.
 func (s *Scheduler) Now() float64 {

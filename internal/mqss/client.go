@@ -79,6 +79,11 @@ func (c *Client) runLocal(req qrm.Request) (*qrm.Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	// With the dispatch pipeline running, the workers own execution: block
+	// until they complete our job.
+	if c.local.Running() {
+		return c.local.WaitJob(id)
+	}
 	// Tightly-coupled loop: drive the QRM synchronously until our job is
 	// done (low-latency accelerator semantics).
 	for {
@@ -117,31 +122,74 @@ func (c *Client) runRemote(req qrm.Request) (*qrm.Job, error) {
 }
 
 // RunBatch submits several circuits as one batch and returns the completed
-// jobs.
+// jobs in submission order. Results are consumed as they complete (streamed
+// per-job over the HPC path's WaitJob or the REST path's NDJSON endpoint).
 func (c *Client) RunBatch(reqs []qrm.Request) ([]*qrm.Job, error) {
+	return c.StreamBatch(reqs, nil)
+}
+
+// StreamBatch submits a batch and invokes onJob for every job *as it
+// completes* — the per-job completion streaming of the dispatch pipeline.
+// It returns all completed jobs in submission order. onJob may be nil.
+func (c *Client) StreamBatch(reqs []qrm.Request, onJob func(*qrm.Job)) ([]*qrm.Job, error) {
 	if c.local != nil {
-		_, ids, err := c.local.SubmitBatch(reqs)
-		if err != nil {
-			return nil, err
+		return c.streamBatchLocal(reqs, onJob)
+	}
+	return c.streamBatchRemote(reqs, onJob)
+}
+
+func (c *Client) streamBatchLocal(reqs []qrm.Request, onJob func(*qrm.Job)) ([]*qrm.Job, error) {
+	_, ids, err := c.local.SubmitBatch(reqs)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[int]*qrm.Job, len(ids))
+	if c.local.Running() {
+		// Pipeline mode: deliver jobs in completion order.
+		var firstErr error
+		c.local.WaitEach(ids, func(id int, j *qrm.Job, err error) {
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if onJob != nil {
+				onJob(j)
+			}
+			byID[id] = j
+		})
+		if firstErr != nil {
+			return nil, firstErr
 		}
+	} else {
 		if _, err := c.local.Drain(); err != nil {
 			return nil, err
 		}
-		out := make([]*qrm.Job, 0, len(ids))
 		for _, id := range ids {
 			j, err := c.local.Job(id)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, j)
+			if onJob != nil {
+				onJob(j)
+			}
+			byID[id] = j
 		}
-		return out, nil
 	}
+	out := make([]*qrm.Job, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, byID[id])
+	}
+	return out, nil
+}
+
+func (c *Client) streamBatchRemote(reqs []qrm.Request, onJob func(*qrm.Job)) ([]*qrm.Job, error) {
 	body, err := json.Marshal(reqs)
 	if err != nil {
 		return nil, fmt.Errorf("mqss: encoding batch: %w", err)
 	}
-	resp, err := c.httpc.Post(c.baseURL+pathJobsBatch, "application/json", bytes.NewReader(body))
+	resp, err := c.httpc.Post(c.baseURL+pathJobsBatch+"?stream=1", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("mqss: POST %s: %w", pathJobsBatch, err)
 	}
@@ -149,21 +197,55 @@ func (c *Client) RunBatch(reqs []qrm.Request) ([]*qrm.Job, error) {
 	if resp.StatusCode != http.StatusCreated {
 		return nil, decodeError(resp)
 	}
-	var created struct {
-		JobIDs []int `json:"job_ids"`
+	dec := json.NewDecoder(resp.Body)
+	var header struct {
+		BatchID int   `json:"batch_id"`
+		JobIDs  []int `json:"job_ids"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
-		return nil, fmt.Errorf("mqss: decoding batch response: %w", err)
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("mqss: decoding batch header: %w", err)
 	}
-	out := make([]*qrm.Job, 0, len(created.JobIDs))
-	for _, id := range created.JobIDs {
-		j, err := c.Job(id)
-		if err != nil {
-			return nil, err
+	byID := make(map[int]*qrm.Job, len(header.JobIDs))
+	for range header.JobIDs {
+		var job qrm.Job
+		if err := dec.Decode(&job); err != nil {
+			return nil, fmt.Errorf("mqss: decoding streamed job: %w", err)
+		}
+		if onJob != nil {
+			onJob(&job)
+		}
+		byID[job.ID] = &job
+	}
+	out := make([]*qrm.Job, 0, len(header.JobIDs))
+	for _, id := range header.JobIDs {
+		j, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("mqss: job %d missing from batch stream", id)
 		}
 		out = append(out, j)
 	}
 	return out, nil
+}
+
+// Metrics fetches the server's dispatch-pipeline metrics snapshot over REST.
+func (c *Client) Metrics() (*qrm.Metrics, error) {
+	if c.local != nil {
+		snap := c.local.Metrics()
+		return &snap, nil
+	}
+	resp, err := c.httpc.Get(c.baseURL + pathMetrics)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: GET metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var snap qrm.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mqss: decoding metrics: %w", err)
+	}
+	return &snap, nil
 }
 
 // Job fetches a job record by ID.

@@ -23,6 +23,7 @@ const (
 	pathJobsBatch = "/api/v1/jobs/batch"
 	pathDevice    = "/api/v1/device"
 	pathTelemetry = "/api/v1/telemetry/"
+	pathMetrics   = "/api/v1/metrics"
 	pathHealthz   = "/healthz"
 )
 
@@ -31,9 +32,14 @@ type Server struct {
 	qrm *qrm.Manager
 	dev *qdmi.Device
 	mux *http.ServeMux
-	// AutoRun executes jobs synchronously on submission, which keeps the
-	// remote path self-contained in tests and examples. Production would
-	// run a dispatcher loop instead.
+	// AutoRun executes jobs synchronously on submission whenever the QRM's
+	// dispatch pipeline is not running, which keeps the remote path
+	// self-contained in tests and examples. With the pipeline started
+	// (qrm.Manager.Start), handlers instead submit and wait on the shared
+	// worker pool — the pipeline/fallback choice is made per request, so a
+	// pipeline stopped after the server was built degrades to synchronous
+	// execution instead of leaving jobs queued forever. Set AutoRun false
+	// only for a deliberately asynchronous submit-and-poll server.
 	AutoRun bool
 }
 
@@ -45,8 +51,29 @@ func NewServer(m *qrm.Manager, dev *qdmi.Device) *Server {
 	s.mux.HandleFunc(pathJobsBatch, s.handleBatch)
 	s.mux.HandleFunc(pathDevice, s.handleDevice)
 	s.mux.HandleFunc(pathTelemetry, s.handleTelemetry)
+	s.mux.HandleFunc(pathMetrics, s.handleMetrics)
 	s.mux.HandleFunc(pathHealthz, s.handleHealthz)
 	return s
+}
+
+// complete brings a submitted job to a terminal state using whichever
+// dispatch mode is active: WaitJob against the running pipeline, or a
+// synchronous Drain when AutoRun covers for the missing workers. If the
+// pipeline stops out from under a wait, the job fell back to the queue and
+// the Drain fallback picks it up (Drain waits out an in-progress shutdown).
+// With AutoRun disabled the server is deliberately asynchronous: the
+// handler returns the queued record immediately and the client polls.
+func (s *Server) complete(id int) error {
+	if !s.AutoRun {
+		return nil
+	}
+	if s.qrm.Running() {
+		if _, err := s.qrm.WaitJob(id); err == nil {
+			return nil
+		}
+	}
+	_, err := s.qrm.Drain()
+	return err
 }
 
 // ServeHTTP implements http.Handler.
@@ -80,11 +107,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		if s.AutoRun {
-			if _, err := s.qrm.Drain(); err != nil {
-				writeError(w, http.StatusServiceUnavailable, err)
-				return
-			}
+		if err := s.complete(id); err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
 		}
 		job, err := s.qrm.Job(id)
 		if err != nil {
@@ -127,7 +152,11 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
-// handleBatch: POST a list of requests as one batch.
+// handleBatch: POST a list of requests as one batch. With ?stream=1 the
+// response is NDJSON: a header line {"batch_id","job_ids"} followed by one
+// completed job record per line *in completion order* — against a running
+// dispatch pipeline, clients see results as the workers finish them instead
+// of waiting for the slowest job in the batch.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
@@ -143,8 +172,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	if s.AutoRun {
-		if _, err := s.qrm.Drain(); err != nil {
+	if v := r.URL.Query().Get("stream"); v != "" && v != "0" && v != "false" {
+		s.streamBatch(w, batch, ids)
+		return
+	}
+	for _, id := range ids {
+		if err := s.complete(id); err != nil {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
@@ -153,6 +186,58 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		"batch_id": batch,
 		"job_ids":  ids,
 	})
+}
+
+// streamBatch writes the NDJSON batch response, flushing each completed job
+// as it lands.
+func (s *Server) streamBatch(w http.ResponseWriter, batch int, ids []int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusCreated)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(map[string]interface{}{"batch_id": batch, "job_ids": ids})
+	flush()
+
+	emit := func(j *qrm.Job) {
+		if j == nil {
+			return
+		}
+		_ = enc.Encode(j)
+		flush()
+	}
+	if s.qrm.Running() {
+		s.qrm.WaitEach(ids, func(id int, j *qrm.Job, err error) {
+			if err != nil {
+				// Degraded path (e.g. pipeline stopped mid-batch): report
+				// whatever record exists.
+				j, _ = s.qrm.Job(id)
+			}
+			emit(j)
+		})
+		return
+	}
+	if s.AutoRun {
+		_, _ = s.qrm.Drain()
+	}
+	for _, id := range ids {
+		j, _ := s.qrm.Job(id)
+		emit(j)
+	}
+}
+
+// handleMetrics: GET the dispatch-pipeline metrics snapshot (queue depth,
+// outcome counters, cache effectiveness, stage latency histograms).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.qrm.Metrics())
 }
 
 // handleDevice: GET device properties + live calibration summary (QDMI

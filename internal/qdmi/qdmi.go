@@ -64,7 +64,17 @@ func (d *Device) Properties() Properties {
 // mechanism behind "just-in-time quantum circuit transpilation can reduce
 // noise" (§2.6).
 func (d *Device) Target() *transpile.Target {
-	calib := d.qpu.Calibration()
+	t, _ := d.TargetWithEpoch()
+	return t
+}
+
+// TargetWithEpoch returns the transpilation target together with the
+// calibration epoch it was built from, as one consistent snapshot — the
+// pair the QRM's transpile cache keys on. Reading them separately would
+// allow a drift advance between the reads to cache a target under the
+// wrong epoch.
+func (d *Device) TargetWithEpoch() (*transpile.Target, uint64) {
+	calib, epoch := d.qpu.CalibrationWithEpoch()
 	topo := d.qpu.Topology()
 	t := &transpile.Target{
 		NumQubits: topo.NumQubits(),
@@ -80,12 +90,20 @@ func (d *Device) Target() *transpile.Target {
 	for _, e := range topo.Edges() {
 		t.FCZ[e] = calib.FCZ(e[0], e[1])
 	}
-	return t
+	return t, epoch
 }
 
 // Calibration implements Interface.
 func (d *Device) Calibration() *device.Calibration {
 	return d.qpu.Calibration()
+}
+
+// CalibrationEpoch returns the device's calibration-change counter: equal
+// epochs guarantee that a Target snapshot taken earlier is still exact, so
+// JIT-compilation results can be reused (the QRM transpile cache keys on
+// circuit fingerprint + this epoch).
+func (d *Device) CalibrationEpoch() uint64 {
+	return d.qpu.CalibEpoch()
 }
 
 // QPU exposes the underlying device for execution paths that hold a QDMI

@@ -1,0 +1,116 @@
+package qrm
+
+import (
+	"sync"
+
+	"repro/internal/transpile"
+)
+
+// transpileCache memoizes JIT-compilation results keyed on circuit
+// fingerprint, placement strategy, and device calibration epoch. The epoch
+// makes invalidation exact: the compiled placement/routing is a function of
+// the calibration snapshot, so a drift advance or recalibration (which bumps
+// the epoch) naturally orphans stale entries. Concurrent misses on the same
+// key are collapsed single-flight style — the first worker compiles while
+// the rest wait for its result, so a 16-worker batch of one repeated circuit
+// compiles exactly once.
+type transpileCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+type cacheKey struct {
+	fingerprint uint64
+	static      bool
+	epoch       uint64
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once res/err are set
+	res   *transpile.Result
+	err   error
+}
+
+// maxCacheEntries bounds memory for pathological workloads (every job a
+// distinct circuit). Eviction drops entries from superseded epochs first
+// and falls back to clearing the map — a full recompile is always correct.
+const maxCacheEntries = 512
+
+func newTranspileCache() *transpileCache {
+	return &transpileCache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// getOrCompile returns the cached result for key, or runs compile exactly
+// once across concurrent callers and caches it. hit reports whether this
+// caller was served from cache (including waiting on another caller's
+// in-flight compilation). Failed compilations are not cached: the error is
+// returned to everyone waiting on the flight, then the entry is dropped so
+// a later submission retries.
+func (c *transpileCache) getOrCompile(key cacheKey, compile func() (*transpile.Result, error)) (res *transpile.Result, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.res, true, e.err
+	}
+	c.evictLocked(key.epoch)
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.res, e.err = compile()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		// Only remove our own entry: eviction may have dropped it already
+		// and another caller may have registered a fresh flight under the
+		// same key in the meantime.
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.res, false, e.err
+}
+
+// completed reports whether an entry's compilation has finished.
+func (e *cacheEntry) completed() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// evictLocked keeps the cache bounded. Entries from other epochs are dead
+// (the calibration they were compiled against no longer exists) and go
+// first; if the current epoch alone overflows, completed entries are
+// dropped too. In-flight entries are never evicted — removing them would
+// break the single-flight guarantee and let concurrent workers recompile
+// the same circuit.
+func (c *transpileCache) evictLocked(currentEpoch uint64) {
+	if len(c.entries) < maxCacheEntries {
+		return
+	}
+	for k, e := range c.entries {
+		if k.epoch != currentEpoch && e.completed() {
+			delete(c.entries, k)
+		}
+	}
+	if len(c.entries) < maxCacheEntries {
+		return
+	}
+	for k, e := range c.entries {
+		if e.completed() {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Len reports the number of cached compilations (for tests and metrics).
+func (c *transpileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

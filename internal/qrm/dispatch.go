@@ -1,0 +1,387 @@
+package qrm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/transpile"
+)
+
+// This file is the asynchronous dispatch pipeline: a worker pool that
+// overlaps JIT compilation and QPU round-trips for independent jobs, the
+// concurrency the serialized Step loop cannot provide under batch load.
+// Workers claim the highest-priority queued job, compile it through the
+// shared transpile cache (cache.go), optionally pass the HPC QPU-slot
+// admission gate, execute, and release waiters. The QPU itself stays
+// correct under concurrent Execute calls (the device snapshots calibration
+// under its own lock), so the pipeline needs no global serialization.
+
+// Start launches nWorkers dispatch workers. It is an error to start an
+// already-running pipeline. Synchronous Step/Drain calls are rejected while
+// the pipeline runs; use WaitJob / WaitIdle instead.
+func (m *Manager) Start(nWorkers int) error {
+	if nWorkers < 1 {
+		return fmt.Errorf("qrm: worker count must be >= 1, got %d", nWorkers)
+	}
+	m.mu.Lock()
+	if m.workers > 0 {
+		m.mu.Unlock()
+		return fmt.Errorf("qrm: pipeline already running with %d workers", m.workers)
+	}
+	m.stopping = false
+	m.workers = nWorkers
+	m.stopCh = make(chan struct{})
+	// Register the workers before m.workers becomes visible to Stop: a
+	// concurrent Stop must not wg.Wait on a zero counter and declare the
+	// pool gone while the goroutines below are still being spawned.
+	m.wg.Add(nWorkers)
+	m.mu.Unlock()
+	for i := 0; i < nWorkers; i++ {
+		go m.workerLoop()
+	}
+	return nil
+}
+
+// Stop shuts the worker pool down, waiting for in-flight jobs to complete.
+// Queued jobs remain queued and survive a later Start. Stop on a stopped
+// manager is a no-op, and concurrent Stops are safe: one caller performs
+// the shutdown while the others wait for it to finish.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.workers == 0 {
+		m.mu.Unlock()
+		return
+	}
+	if m.stopping {
+		// Another Stop owns the shutdown; wait for that specific generation
+		// to finish. Waiting on workers==0 instead would latch onto a
+		// pipeline a concurrent Start spins up after the shutdown.
+		stopCh := m.stopCh
+		for m.stopCh == stopCh {
+			m.cond.Wait()
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.stopping = true
+	m.cond.Broadcast()
+	stopCh := m.stopCh
+	m.mu.Unlock()
+	m.wg.Wait() // in-flight jobs finish first, so their waiters get results
+	close(stopCh)
+	m.mu.Lock()
+	m.workers = 0
+	m.stopping = false
+	m.stopCh = nil // marks this shutdown generation complete
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Running reports whether the dispatch pipeline is active.
+func (m *Manager) Running() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workers > 0 && !m.stopping
+}
+
+// Workers returns the configured worker count (0 when stopped).
+func (m *Manager) Workers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.workers
+}
+
+// WaitJob blocks until the job reaches a terminal status and returns its
+// record. It requires the pipeline to be running (or the job to already be
+// terminal) — in synchronous mode nothing would ever complete the job. If
+// the pipeline stops while the job is still queued, WaitJob returns an
+// error instead of blocking forever; the job stays queued for a restart.
+func (m *Manager) WaitJob(id int) (*Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("qrm: no job %d", id)
+	}
+	// A queued job needs live workers to ever complete. An in-flight job
+	// (compiling/running) is safe to wait on even during a shutdown: Stop
+	// lets dispatched jobs finish before closing stopCh.
+	if j.Status == StatusQueued && (m.workers == 0 || m.stopping) {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("qrm: job %d pending but no dispatch workers running", id)
+	}
+	ch := j.done
+	stopCh := m.stopCh
+	m.mu.Unlock()
+	select {
+	case <-ch:
+		return m.Job(id)
+	case <-stopCh:
+		// Stop closes stopCh only after in-flight jobs complete; recheck in
+		// case ours was one of them.
+		select {
+		case <-ch:
+			return m.Job(id)
+		default:
+			return nil, fmt.Errorf("qrm: pipeline stopped with job %d still queued", id)
+		}
+	}
+}
+
+// WaitEach waits for every listed job concurrently and invokes fn once per
+// job *in completion order* — the primitive behind per-job batch streaming
+// (mqss server NDJSON responses and client-side StreamBatch both build on
+// it). fn runs on the caller's goroutine, so it needs no locking; err is
+// the WaitJob error for that id (e.g. the pipeline stopped with the job
+// still queued) with j nil.
+func (m *Manager) WaitEach(ids []int, fn func(id int, j *Job, err error)) {
+	type waited struct {
+		id  int
+		j   *Job
+		err error
+	}
+	ch := make(chan waited, len(ids))
+	for _, id := range ids {
+		go func(id int) {
+			j, err := m.WaitJob(id)
+			ch <- waited{id: id, j: j, err: err}
+		}(id)
+	}
+	for range ids {
+		w := <-ch
+		fn(w.id, w.j, w.err)
+	}
+}
+
+// WaitIdle blocks until the queue is empty and no job is in flight — the
+// pipeline-mode analogue of Drain.
+func (m *Manager) WaitIdle() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) > 0 || m.inflight > 0 {
+		m.cond.Wait()
+	}
+}
+
+// workerLoop is one dispatch worker: claim, compile, execute, repeat.
+func (m *Manager) workerLoop() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for !m.stopping && (!m.online || len(m.queue) == 0) {
+			m.cond.Wait()
+		}
+		if m.stopping {
+			m.mu.Unlock()
+			return
+		}
+		j := m.popLocked()
+		m.inflight++
+		m.mu.Unlock()
+
+		m.dispatchOne(j)
+
+		m.mu.Lock()
+		m.inflight--
+		m.cond.Broadcast() // wake WaitIdle and idle workers
+		m.mu.Unlock()
+	}
+}
+
+// dispatchOne compiles and executes one claimed job. Shared by the
+// synchronous Step path and the pipeline workers; the job is already off
+// the queue in StatusCompiling.
+func (m *Manager) dispatchOne(j *Job) {
+	placement := transpile.PlaceFidelityAware
+	if j.Request.StaticPlacement {
+		placement = transpile.PlaceStatic
+	}
+	// JIT compile against the *current* device state (Fig. 3 loop), through
+	// the cache: batch workloads resubmitting the same circuit (the VQE
+	// measurement loop) compile once per calibration epoch. Only the epoch
+	// (one uint64) is read up front for the key; the full target snapshot —
+	// a calibration clone under the device lock — is built in the miss path
+	// only, so the ~95%+ of jobs served from cache skip it. If a drift tick
+	// lands between the epoch read and the snapshot, the entry holds a
+	// *newer*-epoch compile under the older key, which is harmless: epochs
+	// only advance, so later jobs never read this entry, and same-flight
+	// waiters get a result at least as fresh as their key promised.
+	key := cacheKey{
+		fingerprint: j.Request.Circuit.Fingerprint(),
+		static:      j.Request.StaticPlacement,
+		epoch:       m.dev.CalibrationEpoch(),
+	}
+	compileStart := time.Now()
+	res, hit, err := m.cache.getOrCompile(key, func() (*transpile.Result, error) {
+		return transpile.Transpile(j.Request.Circuit, m.dev.Target(), transpile.Options{
+			Placement: placement,
+		})
+	})
+	m.mu.Lock()
+	if !hit {
+		// The flight owner compiled (successfully or not): a real miss.
+		m.metrics.cacheMisses++
+		m.metrics.compile.Observe(float64(time.Since(compileStart).Microseconds()) / 1000)
+	} else if err == nil {
+		// Waiters on a failed flight got an error, not a reused result —
+		// only successful reuse counts as a hit.
+		m.metrics.cacheHits++
+	}
+	m.mu.Unlock()
+	if err != nil {
+		m.finish(j, nil, 0, fmt.Errorf("compile: %w", err))
+		return
+	}
+	m.mu.Lock()
+	j.CompiledGates = res.Stats.OutputGates
+	j.CZCount = res.Stats.OutputCZ
+	j.Layout = res.FinalLayout[:j.Request.Circuit.NumQubits]
+	j.CompileStats = res.Stats.String()
+	j.Status = StatusRunning
+	gate := m.gate
+	m.mu.Unlock()
+
+	// Admission: the HPC scheduler owns the QPU; claim a slot for the
+	// duration of the hardware round-trip.
+	if gate != nil {
+		gate.Acquire()
+	}
+	execStart := time.Now()
+	out, err := m.dev.QPU().Execute(res.Circuit, j.Request.Shots)
+	execMs := float64(time.Since(execStart).Microseconds()) / 1000
+	if gate != nil {
+		gate.Release()
+	}
+	m.mu.Lock()
+	m.metrics.exec.Observe(execMs)
+	m.mu.Unlock()
+	if err != nil {
+		m.finish(j, nil, 0, fmt.Errorf("execute: %w", err))
+		return
+	}
+	m.finish(j, out.Counts, out.DurationUs, nil)
+}
+
+// metrics is the pipeline's internal instrumentation. Counters are guarded
+// by Manager.mu; histograms are internally synchronized.
+type metrics struct {
+	submitted   uint64
+	completed   uint64
+	failed      uint64
+	cancelled   uint64
+	interrupted uint64
+	cacheHits   uint64
+	cacheMisses uint64
+
+	maxQueueDepth int
+
+	queueWait *telemetry.Histogram // ms from submit to claim
+	compile   *telemetry.Histogram // ms per cache-miss compilation
+	exec      *telemetry.Histogram // ms per device round-trip
+	e2e       *telemetry.Histogram // ms from submit to terminal
+}
+
+func (mt *metrics) init() {
+	bounds := telemetry.ExponentialBounds(0.01, 2, 24) // 10 µs .. ~84 s
+	mt.queueWait = mustHistogram(bounds)
+	mt.compile = mustHistogram(bounds)
+	mt.exec = mustHistogram(bounds)
+	mt.e2e = mustHistogram(bounds)
+}
+
+func mustHistogram(bounds []float64) *telemetry.Histogram {
+	h, err := telemetry.NewHistogram(bounds)
+	if err != nil {
+		panic(err) // static bounds cannot fail
+	}
+	return h
+}
+
+func (mt *metrics) observeQueueDepth(depth int) {
+	if depth > mt.maxQueueDepth {
+		mt.maxQueueDepth = depth
+	}
+}
+
+// Metrics is a point-in-time snapshot of pipeline health: queue state,
+// outcome counters, transpile-cache effectiveness, and stage latency
+// histograms (milliseconds).
+type Metrics struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	Inflight   int `json:"inflight"`
+
+	Submitted     uint64 `json:"submitted"`
+	Completed     uint64 `json:"completed"`
+	Failed        uint64 `json:"failed"`
+	Cancelled     uint64 `json:"cancelled"`
+	Interrupted   uint64 `json:"interrupted"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	MaxQueueDepth int    `json:"max_queue_depth"`
+
+	QueueWaitMs telemetry.HistogramSnapshot `json:"queue_wait_ms"`
+	CompileMs   telemetry.HistogramSnapshot `json:"compile_ms"`
+	ExecMs      telemetry.HistogramSnapshot `json:"exec_ms"`
+	E2EMs       telemetry.HistogramSnapshot `json:"e2e_ms"`
+}
+
+// Metrics returns a snapshot of the pipeline instrumentation.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	out := Metrics{
+		Workers:       m.workers,
+		QueueDepth:    len(m.queue),
+		Inflight:      m.inflight,
+		Submitted:     m.metrics.submitted,
+		Completed:     m.metrics.completed,
+		Failed:        m.metrics.failed,
+		Cancelled:     m.metrics.cancelled,
+		Interrupted:   m.metrics.interrupted,
+		CacheHits:     m.metrics.cacheHits,
+		CacheMisses:   m.metrics.cacheMisses,
+		MaxQueueDepth: m.metrics.maxQueueDepth,
+	}
+	m.mu.Unlock()
+	out.QueueWaitMs = m.metrics.queueWait.Snapshot()
+	out.CompileMs = m.metrics.compile.Snapshot()
+	out.ExecMs = m.metrics.exec.Snapshot()
+	out.E2EMs = m.metrics.e2e.Snapshot()
+	return out
+}
+
+// HitRatio returns the transpile-cache hit fraction (0 when the cache has
+// not been exercised).
+func (s Metrics) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Gauges flattens the snapshot into the telemetry sensor set for the
+// dispatch pipeline — the single definition shared by PublishMetrics and
+// DCDB collector plugins (internal/core registers one).
+func (s Metrics) Gauges() map[string]float64 {
+	return map[string]float64{
+		"qrm_queue_depth":     float64(s.QueueDepth),
+		"qrm_inflight":        float64(s.Inflight),
+		"qrm_completed":       float64(s.Completed),
+		"qrm_cache_hit_ratio": s.HitRatio(),
+		"qrm_e2e_p95_ms":      s.E2EMs.Quantile(0.95),
+	}
+}
+
+// PublishMetrics appends the pipeline gauges to a telemetry store at
+// simulation time t — the DCDB integration for the dispatch pipeline
+// (queue depth, in-flight count, cache hit ratio, p95 end-to-end latency).
+func (m *Manager) PublishMetrics(store *telemetry.Store, t float64) {
+	if store == nil {
+		return
+	}
+	for sensor, v := range m.Metrics().Gauges() {
+		store.Append(sensor, t, v)
+	}
+}

@@ -71,6 +71,10 @@ func (m *Manager) LoadSnapshot(r io.Reader) error {
 		case StatusQueued, StatusCompiling, StatusRunning:
 			cp.Status = StatusInterrupted
 		}
+		cp.done = make(chan struct{})
+		if terminalStatus(cp.Status) {
+			close(cp.done)
+		}
 		m.jobs[cp.ID] = &cp
 		m.order = append(m.order, cp.ID)
 	}

@@ -6,12 +6,20 @@
 // Batch jobs — a §4 user request — group multiple circuits under one handle,
 // and interrupted jobs can be requeued after an outage ("more robust job
 // restart tools after system outages").
+//
+// Dispatch runs in one of two modes. The synchronous mode (Step/Drain)
+// executes one job at a time on the caller's goroutine — the tightly-coupled
+// accelerator loop. The pipeline mode (Start/Stop, dispatch.go) runs a
+// worker pool so JIT compilation and QPU round-trips for independent jobs
+// overlap, with a transpile cache keyed on circuit fingerprint + calibration
+// epoch deduplicating compilation across batch jobs with repeated circuits.
 package qrm
 
 import (
+	"container/heap"
 	"fmt"
-	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/qdmi"
@@ -65,41 +73,138 @@ type Job struct {
 
 	SubmitTime float64 `json:"submit_time"`
 	EndTime    float64 `json:"end_time,omitempty"`
+
+	// done is closed when the job reaches a terminal status; WaitJob and
+	// the streaming batch endpoints block on it. Copies made for callers
+	// share the channel (it is reference-like), which is exactly right.
+	done chan struct{}
+	// submitWall is the wall-clock submission instant, used only for the
+	// pipeline latency metrics; job records keep simulation time.
+	submitWall time.Time
+}
+
+// terminalStatus reports whether a status is final.
+func terminalStatus(s JobStatus) bool {
+	switch s {
+	case StatusDone, StatusFailed, StatusInterrupted, StatusCancelled:
+		return true
+	}
+	return false
+}
+
+// jobQueue is the priority heap behind the dispatch queue: highest priority
+// first, then earliest submission time, then lowest ID (FIFO within a
+// simulation instant). Claiming a job is O(log n) instead of re-sorting the
+// whole queue under the manager lock on every pop.
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.Request.Priority != b.Request.Priority {
+		return a.Request.Priority > b.Request.Priority
+	}
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+func (q jobQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x interface{}) { *q = append(*q, x.(*Job)) }
+func (q *jobQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
 }
 
 // Manager is the QRM.
 type Manager struct {
-	mu sync.Mutex
+	mu   sync.Mutex
+	cond *sync.Cond // signalled on submit, completion, stop, online flips
 
 	dev       *qdmi.Device
 	nextID    int
 	nextBatch int
-	queue     []*Job
+	queue     jobQueue
 	jobs      map[int]*Job // all jobs ever, by ID
 	order     []int        // submission order for pagination
 
 	now    float64
 	online bool
+
+	// Pipeline state (dispatch.go).
+	workers  int
+	stopping bool
+	inflight int
+	wg       sync.WaitGroup
+	stopCh   chan struct{} // closed when the pipeline shuts down; unblocks WaitJob
+	cache    *transpileCache
+	gate     slotGate // optional QPU admission gate (hpc co-scheduling)
+	metrics  metrics
+}
+
+// slotGate is the admission interface the HPC co-scheduler's QPU gate
+// satisfies (hpc.Gate); declared locally to keep qrm free of an hpc import.
+type slotGate interface {
+	Acquire()
+	Release()
 }
 
 // NewManager builds a QRM over a QDMI device handle.
 func NewManager(dev *qdmi.Device) *Manager {
-	return &Manager{dev: dev, jobs: make(map[int]*Job), online: true}
+	m := &Manager{
+		dev:    dev,
+		jobs:   make(map[int]*Job),
+		online: true,
+		cache:  newTranspileCache(),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.metrics.init()
+	return m
+}
+
+// SetGate installs a QPU-slot admission gate (typically the HPC scheduler's
+// hpc.Gate) that pipeline workers acquire around device execution, keeping
+// the dispatch pipeline from oversubscribing the co-scheduled quantum
+// resource. Pass nil to remove. Must be called before Start.
+func (m *Manager) SetGate(g slotGate) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gate = g
 }
 
 // SetOnline marks the QPU available; taking it offline interrupts queued
-// work (outage semantics, §3.5).
+// work (outage semantics, §3.5). Jobs already claimed by pipeline workers
+// run to completion — the control electronics finish the circuit in flight.
 func (m *Manager) SetOnline(online bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.online && !online {
 		for _, j := range m.queue {
-			j.Status = StatusInterrupted
-			j.EndTime = m.now
+			m.terminateLocked(j, StatusInterrupted)
+			m.metrics.interrupted++
 		}
 		m.queue = m.queue[:0]
 	}
 	m.online = online
+	m.cond.Broadcast()
+}
+
+// terminateLocked moves a job to a terminal status exactly once, stamping
+// the end time and releasing every WaitJob blocked on it. No-op when the
+// job is already terminal.
+func (m *Manager) terminateLocked(j *Job, s JobStatus) {
+	if terminalStatus(j.Status) {
+		return
+	}
+	j.Status = s
+	j.EndTime = m.now
+	if j.done != nil {
+		close(j.done)
+	}
 }
 
 // Online reports availability.
@@ -137,10 +242,16 @@ func (m *Manager) Submit(req Request) (int, error) {
 		return 0, fmt.Errorf("qrm: QPU offline (maintenance or outage)")
 	}
 	m.nextID++
-	j := &Job{ID: m.nextID, Status: StatusQueued, Request: req, SubmitTime: m.now}
+	j := &Job{
+		ID: m.nextID, Status: StatusQueued, Request: req, SubmitTime: m.now,
+		done: make(chan struct{}), submitWall: time.Now(),
+	}
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
-	m.queue = append(m.queue, j)
+	heap.Push(&m.queue, j)
+	m.metrics.submitted++
+	m.metrics.observeQueueDepth(len(m.queue))
+	m.cond.Broadcast()
 	return j.ID, nil
 }
 
@@ -166,15 +277,18 @@ func (m *Manager) SubmitBatch(reqs []Request) (int, []int, error) {
 	return batch, ids, nil
 }
 
-// Cancel cancels a queued job.
+// Cancel cancels a queued job. Jobs already claimed by a dispatch worker
+// (compiling or running) are past the point of no return and cannot be
+// cancelled.
 func (m *Manager) Cancel(id int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i, j := range m.queue {
 		if j.ID == id {
-			j.Status = StatusCancelled
-			j.EndTime = m.now
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.terminateLocked(j, StatusCancelled)
+			m.metrics.cancelled++
+			heap.Remove(&m.queue, i)
+			m.cond.Broadcast() // the queue may now be idle; wake WaitIdle
 			return nil
 		}
 	}
@@ -188,11 +302,31 @@ func (m *Manager) PendingCount() int {
 	return len(m.queue)
 }
 
+// popLocked removes and returns the highest-priority queued job (FIFO
+// tie-break on submission time), marking it compiling. Caller holds m.mu
+// and has checked the queue is non-empty.
+func (m *Manager) popLocked() *Job {
+	j := heap.Pop(&m.queue).(*Job)
+	j.Status = StatusCompiling
+	m.metrics.queueWait.Observe(float64(time.Since(j.submitWall).Microseconds()) / 1000)
+	return j
+}
+
 // Step dispatches and executes the highest-priority queued job, JIT-compiling
 // it against the live QDMI target first. It returns the completed job, or
-// nil if the queue is empty.
+// nil if the queue is empty. Step is the synchronous mode; while the worker
+// pipeline is running it returns an error (use WaitJob instead).
 func (m *Manager) Step() (*Job, error) {
 	m.mu.Lock()
+	for m.stopping && m.workers > 0 {
+		// A Stop is draining the pool; wait it out so callers falling back
+		// to synchronous dispatch don't get a spurious error.
+		m.cond.Wait()
+	}
+	if m.workers > 0 {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("qrm: pipeline running; submit and WaitJob instead of Step")
+	}
 	if !m.online {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("qrm: QPU offline")
@@ -201,48 +335,15 @@ func (m *Manager) Step() (*Job, error) {
 		m.mu.Unlock()
 		return nil, nil
 	}
-	sort.SliceStable(m.queue, func(i, j int) bool {
-		if m.queue[i].Request.Priority != m.queue[j].Request.Priority {
-			return m.queue[i].Request.Priority > m.queue[j].Request.Priority
-		}
-		return m.queue[i].SubmitTime < m.queue[j].SubmitTime
-	})
-	j := m.queue[0]
-	m.queue = m.queue[1:]
-	j.Status = StatusCompiling
+	j := m.popLocked()
 	m.mu.Unlock()
 
-	placement := transpile.PlaceFidelityAware
-	if j.Request.StaticPlacement {
-		placement = transpile.PlaceStatic
-	}
-	// JIT compile against the *current* device state (Fig. 3 loop).
-	res, err := transpile.Transpile(j.Request.Circuit, m.dev.Target(), transpile.Options{
-		Placement: placement,
-	})
-	if err != nil {
-		m.finish(j, nil, 0, fmt.Errorf("compile: %w", err))
-		return j, nil
-	}
-	m.mu.Lock()
-	j.CompiledGates = res.Stats.OutputGates
-	j.CZCount = res.Stats.OutputCZ
-	j.Layout = res.FinalLayout[:j.Request.Circuit.NumQubits]
-	j.CompileStats = res.Stats.String()
-	j.Status = StatusRunning
-	m.mu.Unlock()
-
-	out, err := m.dev.QPU().Execute(res.Circuit, j.Request.Shots)
-	if err != nil {
-		m.finish(j, nil, 0, fmt.Errorf("execute: %w", err))
-		return j, nil
-	}
-	m.finish(j, out.Counts, out.DurationUs, nil)
+	m.dispatchOne(j)
 	return j, nil
 }
 
 // Drain executes queued jobs until the queue is empty, returning how many
-// jobs ran.
+// jobs ran. Synchronous mode only; with the pipeline running use WaitIdle.
 func (m *Manager) Drain() (int, error) {
 	n := 0
 	for {
@@ -260,15 +361,17 @@ func (m *Manager) Drain() (int, error) {
 func (m *Manager) finish(j *Job, counts map[int]int, durUs float64, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	j.EndTime = m.now
 	if err != nil {
-		j.Status = StatusFailed
 		j.Error = err.Error()
+		m.terminateLocked(j, StatusFailed)
+		m.metrics.failed++
 		return
 	}
-	j.Status = StatusDone
 	j.Counts = counts
 	j.DurationUs = durUs
+	m.terminateLocked(j, StatusDone)
+	m.metrics.completed++
+	m.metrics.e2e.Observe(float64(time.Since(j.submitWall).Microseconds()) / 1000)
 }
 
 // Job returns a copy of the job record.

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Histogram is a fixed-bucket latency/size histogram, safe for concurrent
+// use — the aggregation primitive behind the QRM dispatch pipeline's
+// queue-depth and latency metrics. Bounds are upper bucket edges; a final
+// implicit +Inf bucket catches overflow.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1
+	sum    float64
+	count  uint64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("telemetry: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("telemetry: histogram bounds not ascending at %d", i)
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}, nil
+}
+
+// ExponentialBounds returns n ascending bounds starting at start, each
+// factor× the previous — the usual shape for latency histograms.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Mean   float64   `json:"mean"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// Snapshot returns a consistent copy of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+		s.Min = h.min
+		s.Max = h.max
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the containing bucket. Values in the overflow bucket report the
+// observed max.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			if i == len(s.Bounds) {
+				return s.Max
+			}
+			lo := s.Min
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if hi > s.Max {
+				hi = s.Max
+			}
+			if lo > hi {
+				lo = hi
+			}
+			frac := 0.5
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return s.Max
+}

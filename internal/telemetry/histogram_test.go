@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty bounds should fail")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("descending bounds should fail")
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 5, 50, 500, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if s.Min != 0.5 || s.Max != 500 {
+		t.Errorf("min/max = %g/%g", s.Min, s.Max)
+	}
+	want := []uint64{1, 2, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if s.Mean != (0.5+5+50+500+5)/5 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(ExponentialBounds(1, 2, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 < 32 || p50 > 72 {
+		t.Errorf("p50 = %g, want roughly 50 within bucket resolution", p50)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("p100 = %g, want 100", got)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h, err := NewHistogram(ExponentialBounds(1, 10, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("count = %d, want 8000", s.Count)
+	}
+}
