@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/fleet"
 	"repro/internal/mqss"
 	"repro/internal/qrm"
 	"repro/internal/quantum"
@@ -36,9 +38,19 @@ func main() {
 	client := mqss.NewRemoteClient(*server, nil)
 	switch args[0] {
 	case "device":
-		info, err := client.Device()
+		var info *mqss.DeviceInfo
+		var err error
+		if len(args) > 1 {
+			// Fleet servers host several backends; name one explicitly.
+			info, err = client.FleetDevice(args[1])
+		} else {
+			info, err = client.Device()
+		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		if info.Properties.Name == "" {
+			log.Fatal("empty device response — against a fleet server, use `qhpcctl device <name>` (see `qhpcctl fleet status` for the roster)")
 		}
 		fmt.Printf("device: %s (%d qubits, twin=%v)\n", info.Properties.Name,
 			info.Properties.NumQubits, info.Properties.DigitalTwin)
@@ -48,11 +60,29 @@ func main() {
 		for q := 0; q < info.Properties.NumQubits; q++ {
 			fmt.Printf("  q%-2d -> %v\n", q, info.Properties.CouplingMap[q])
 		}
+		if info.Calibration != nil && len(info.Calibration.Couplers) > 0 {
+			fmt.Println("coupler CZ fidelities:")
+			edges := make([][2]int, 0, len(info.Calibration.Couplers))
+			for e := range info.Calibration.Couplers {
+				edges = append(edges, e)
+			}
+			sort.Slice(edges, func(i, j int) bool {
+				if edges[i][0] != edges[j][0] {
+					return edges[i][0] < edges[j][0]
+				}
+				return edges[i][1] < edges[j][1]
+			})
+			for _, e := range edges {
+				fmt.Printf("  q%d-q%d: %.4f\n", e[0], e[1], info.Calibration.FCZ(e[0], e[1]))
+			}
+		}
 	case "submit":
 		fs := flag.NewFlagSet("submit", flag.ExitOnError)
 		shots := fs.Int("shots", 1000, "shots")
 		user := fs.String("user", "cli", "submitting user")
 		static := fs.Bool("static", false, "static placement instead of fidelity-aware JIT")
+		device := fs.String("device", "", "fleet servers: pin the job to one backend")
+		policy := fs.String("policy", "", "fleet servers: routing policy override")
 		if err := fs.Parse(args[1:]); err != nil {
 			log.Fatal(err)
 		}
@@ -68,9 +98,23 @@ func main() {
 		if err != nil {
 			log.Fatalf("parsing %s: %v", fs.Arg(0), err)
 		}
-		job, err := client.Run(qrm.Request{
-			Circuit: c, Shots: *shots, User: *user, StaticPlacement: *static,
-		})
+		req := qrm.Request{Circuit: c, Shots: *shots, User: *user, StaticPlacement: *static}
+		if *device != "" || *policy != "" {
+			fj, err := client.RunRouted(req, mqss.RouteOptions{Device: *device, Policy: *policy})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("routed to %s (score %.4f, %d migrations)\n", fj.Device, fj.Score, fj.Migrations)
+			if fj.Result != nil {
+				res := *fj.Result
+				res.ID = fj.ID
+				printJob(&res)
+			} else {
+				fmt.Printf("job #%d: %s %s\n", fj.ID, fj.Status, fj.Error)
+			}
+			break
+		}
+		job, err := client.Run(req)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -106,6 +150,19 @@ func main() {
 			fmt.Printf("  #%-4d %-12s user=%-10s circuit=%q shots=%d\n",
 				j.ID, j.Status, j.Request.User, j.Request.Circuit.Name, j.Request.Shots)
 		}
+	case "fleet":
+		sub := "status"
+		if len(args) > 1 {
+			sub = args[1]
+		}
+		if sub != "status" {
+			log.Fatalf("unknown fleet subcommand %q (want: status)", sub)
+		}
+		m, err := client.FleetMetrics()
+		if err != nil {
+			log.Fatal(err)
+		}
+		printFleetStatus(m)
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
 		clients := fs.Int("clients", 8, "concurrent clients")
@@ -113,40 +170,113 @@ func main() {
 		shots := fs.Int("shots", 100, "shots per job")
 		qubits := fs.Int("qubits", 4, "GHZ circuit size")
 		batch := fs.Bool("batch", false, "submit each client's jobs as one streamed batch")
+		fleetMode := fs.Bool("fleet", false, "use the fleet routing API (streamed batches with routing envelopes)")
+		device := fs.String("device", "", "fleet mode: pin all jobs to one device")
+		policy := fs.String("policy", "", "fleet mode: routing policy override")
+		jsonOut := fs.String("json", "", "write machine-readable bench results to this file")
 		if err := fs.Parse(args[1:]); err != nil {
 			log.Fatal(err)
 		}
-		runBench(*server, *clients, *jobs, *shots, *qubits, *batch)
+		runBench(*server, benchConfig{
+			clients: *clients, jobs: *jobs, shots: *shots, qubits: *qubits,
+			batch: *batch, fleet: *fleetMode, device: *device, policy: *policy,
+			jsonOut: *jsonOut,
+		})
 	default:
 		usage()
 	}
 }
 
+// printFleetStatus renders the fleet snapshot as the operator table.
+func printFleetStatus(m *fleet.Metrics) {
+	fmt.Printf("fleet: %d devices, policy %s\n", len(m.Devices), m.Policy)
+	fmt.Printf("jobs: %d submitted, %d routed, %d migrated, %d completed, %d failed, %d parked now\n",
+		m.Submitted, m.Routed, m.Migrated, m.Completed, m.Failed, m.ParkedNow)
+	fmt.Printf("%-24s %-12s %6s %6s %6s %8s %8s %8s %8s %8s\n",
+		"DEVICE", "STATE", "QUBITS", "QUEUE", "INFL", "ROUTED", "MIGR-OUT", "DONE", "F1Q", "FCZ")
+	for _, d := range m.Devices {
+		fmt.Printf("%-24s %-12s %6d %6d %6d %8d %8d %8d %8.4f %8.4f\n",
+			d.Name, d.State, d.Qubits, d.QueueDepth, d.Inflight,
+			d.Routed, d.MigratedOut, d.Completed, d.MeanF1Q, d.MeanFCZ)
+	}
+}
+
+// benchConfig parameterizes the load harness.
+type benchConfig struct {
+	clients, jobs, shots, qubits int
+	batch                        bool
+	// fleet uses the routed batch API and reports the per-device job
+	// distribution; device/policy pass through as routing controls.
+	fleet          bool
+	device, policy string
+	jsonOut        string
+}
+
+// benchJSON is the machine-readable bench record (-json flag) — the same
+// shape BENCH_fleet.json tracks across PRs.
+type benchJSON struct {
+	Mode       string         `json:"mode"`
+	Clients    int            `json:"clients"`
+	JobsPerCli int            `json:"jobs_per_client"`
+	Shots      int            `json:"shots"`
+	Qubits     int            `json:"qubits"`
+	WallMs     float64        `json:"wall_ms"`
+	JobsPerSec float64        `json:"jobs_per_sec"`
+	P50Ms      float64        `json:"p50_ms"`
+	P95Ms      float64        `json:"p95_ms"`
+	Failures   int            `json:"failures"`
+	ByDevice   map[string]int `json:"by_device,omitempty"`
+}
+
 // runBench drives N concurrent clients against a running qhpcd and reports
 // job throughput plus the client-observed latency distribution — the load
-// harness for the QRM dispatch pipeline.
-func runBench(server string, clients, jobs, shots, qubits int, batch bool) {
-	if clients < 1 || jobs < 1 {
+// harness for the QRM dispatch pipeline and the fleet scheduler.
+func runBench(server string, cfg benchConfig) {
+	if cfg.clients < 1 || cfg.jobs < 1 {
 		log.Fatal("bench needs -clients >= 1 and -jobs >= 1")
 	}
-	ghz := circuit.GHZ(qubits)
+	ghz := circuit.GHZ(cfg.qubits)
 	var mu sync.Mutex
 	var latencies []time.Duration
 	var failures int
+	byDevice := map[string]int{}
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
+	for c := 0; c < cfg.clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			cl := mqss.NewRemoteClient(server, nil)
 			user := fmt.Sprintf("bench-%d", c)
-			if batch {
-				reqs := make([]qrm.Request, jobs)
-				for i := range reqs {
-					reqs[i] = qrm.Request{Circuit: ghz, Shots: shots, User: user}
+			reqs := make([]qrm.Request, cfg.jobs)
+			for i := range reqs {
+				reqs[i] = qrm.Request{Circuit: ghz, Shots: cfg.shots, User: user}
+			}
+			switch {
+			case cfg.fleet:
+				delivered := 0
+				batchStart := time.Now()
+				_, err := cl.StreamBatchRouted(reqs,
+					mqss.RouteOptions{Device: cfg.device, Policy: cfg.policy},
+					func(j *fleet.Job) {
+						lat := time.Since(batchStart)
+						mu.Lock()
+						delivered++
+						latencies = append(latencies, lat)
+						byDevice[j.Device]++
+						if j.Status != fleet.JobDone {
+							failures++
+						}
+						mu.Unlock()
+					})
+				if err != nil {
+					log.Printf("bench client %d: %v", c, err)
+					mu.Lock()
+					failures += cfg.jobs - delivered
+					mu.Unlock()
 				}
+			case cfg.batch:
 				delivered := 0
 				batchStart := time.Now()
 				_, err := cl.StreamBatch(reqs, func(j *qrm.Job) {
@@ -164,28 +294,28 @@ func runBench(server string, clients, jobs, shots, qubits int, batch bool) {
 					mu.Lock()
 					// Only jobs the stream never delivered count as extra
 					// failures; delivered ones were already tallied above.
-					failures += jobs - delivered
+					failures += cfg.jobs - delivered
 					mu.Unlock()
 				}
-				return
-			}
-			for i := 0; i < jobs; i++ {
-				jobStart := time.Now()
-				j, err := cl.Run(qrm.Request{Circuit: ghz, Shots: shots, User: user})
-				lat := time.Since(jobStart)
-				mu.Lock()
-				latencies = append(latencies, lat)
-				if err != nil || j.Status != qrm.StatusDone {
-					failures++
+			default:
+				for i := 0; i < cfg.jobs; i++ {
+					jobStart := time.Now()
+					j, err := cl.Run(qrm.Request{Circuit: ghz, Shots: cfg.shots, User: user})
+					lat := time.Since(jobStart)
+					mu.Lock()
+					latencies = append(latencies, lat)
+					if err != nil || j.Status != qrm.StatusDone {
+						failures++
+					}
+					mu.Unlock()
 				}
-				mu.Unlock()
 			}
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	total := clients * jobs
+	total := cfg.clients * cfg.jobs
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) time.Duration {
 		if len(latencies) == 0 {
@@ -195,25 +325,67 @@ func runBench(server string, clients, jobs, shots, qubits int, batch bool) {
 		return latencies[i]
 	}
 	mode := "sequential submits"
-	if batch {
+	if cfg.batch {
 		mode = "streamed batches"
 	}
+	if cfg.fleet {
+		mode = "fleet-routed batches"
+	}
 	fmt.Printf("bench: %d clients x %d jobs (%s), GHZ(%d) x %d shots\n",
-		clients, jobs, mode, qubits, shots)
+		cfg.clients, cfg.jobs, mode, cfg.qubits, cfg.shots)
 	fmt.Printf("  wall time:    %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  throughput:   %.1f jobs/s\n", float64(total)/elapsed.Seconds())
 	fmt.Printf("  latency:      p50 %v, p95 %v, max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
 	fmt.Printf("  failures:     %d/%d\n", failures, total)
+	if cfg.fleet && len(byDevice) > 0 {
+		fmt.Printf("  by device:\n")
+		names := make([]string, 0, len(byDevice))
+		for name := range byDevice {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("    %-24s %d jobs\n", name, byDevice[name])
+		}
+	}
 
 	cl := mqss.NewRemoteClient(server, nil)
-	if m, err := cl.Metrics(); err == nil {
+	if cfg.fleet {
+		if m, err := cl.FleetMetrics(); err == nil {
+			fmt.Printf("server fleet: %d devices, %d routed, %d migrated, %d completed\n",
+				len(m.Devices), m.Routed, m.Migrated, m.Completed)
+		}
+	} else if m, err := cl.Metrics(); err == nil {
 		fmt.Printf("server pipeline: %d workers, %d completed, max queue depth %d\n",
 			m.Workers, m.Completed, m.MaxQueueDepth)
 		fmt.Printf("  transpile cache: %d hits / %d misses (%.0f%% hit ratio)\n",
 			m.CacheHits, m.CacheMisses, 100*m.HitRatio())
 		fmt.Printf("  server e2e: p50 %.2f ms, p95 %.2f ms\n",
 			m.E2EMs.Quantile(0.50), m.E2EMs.Quantile(0.95))
+	}
+
+	if cfg.jsonOut != "" {
+		rec := benchJSON{
+			Mode: mode, Clients: cfg.clients, JobsPerCli: cfg.jobs,
+			Shots: cfg.shots, Qubits: cfg.qubits,
+			WallMs:     float64(elapsed.Microseconds()) / 1000,
+			JobsPerSec: float64(total) / elapsed.Seconds(),
+			P50Ms:      float64(pct(0.50).Microseconds()) / 1000,
+			P95Ms:      float64(pct(0.95).Microseconds()) / 1000,
+			Failures:   failures,
+		}
+		if len(byDevice) > 0 {
+			rec.ByDevice = byDevice
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(cfg.jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", cfg.jsonOut)
 	}
 }
 
@@ -247,11 +419,17 @@ func printJob(j *qrm.Job) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: qhpcctl [-server URL] <command>
 commands:
-  device                               show device properties and live calibration
-  submit [-shots N] [-user U] f.qasm   submit an OpenQASM circuit
+  device [name]                        show device properties and live calibration
+                                       (fleet servers: name one backend)
+  submit [-shots N] [-user U] [-device D] [-policy P] f.qasm
+                                       submit an OpenQASM circuit; -device/-policy
+                                       route on fleet servers
   job <id>                             show one job
   history [-user U] [-offset N] [-limit N]   page through job history
+  fleet [status]                       show per-device fleet status (fleet servers)
   bench [-clients N] [-jobs N] [-shots N] [-qubits N] [-batch]
-                                       drive concurrent load and report throughput/latency`)
+        [-fleet] [-device D] [-policy P] [-json FILE]
+                                       drive concurrent load and report throughput/latency;
+                                       -fleet uses the routed API, -json writes results`)
 	os.Exit(2)
 }

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	qhpcd [-addr :8080] [-seed 1] [-twin] [-redundant] [-fast]
+//	qhpcd [-addr :8080] [-seed 1] [-twin] [-redundant] [-workers 4]
+//	      [-devices 1] [-fleet-policy best-fidelity] [-maintenance-days 0]
 //
-// -fast accelerates commissioning (the multi-day cooldown runs at
-// simulation speed); without it the daemon still commissions instantly
-// because wall-clock cooldowns would be unhelpful in a simulator.
+// With -devices N > 1 the daemon serves a simulated multi-QPU fleet: the
+// center's primary QPU plus N-1 heterogeneous siblings (different grid
+// shapes, seeds and drift histories), fronted by the calibration-aware
+// fleet scheduler. Clients pin with ?device= and steer routing with
+// ?policy=; `qhpcctl fleet` shows the roster.
 package main
 
 import (
@@ -17,9 +20,11 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/facility"
+	"repro/internal/fleet"
 )
 
 func main() {
@@ -28,7 +33,14 @@ func main() {
 	twin := flag.Bool("twin", false, "serve the noiseless digital twin instead of the noisy QPU")
 	redundant := flag.Bool("redundant", true, "redundant power and cooling feeds (lesson 3)")
 	nodes := flag.Int("nodes", 64, "classical cluster node count")
-	workers := flag.Int("workers", 4, "QRM dispatch workers (0 = synchronous per-request execution)")
+	workers := flag.Int("workers", 4, "dispatch workers per device (0 = synchronous per-request execution, single-device mode only)")
+	devices := flag.Int("devices", 1, "fleet size; > 1 serves the multi-QPU fleet scheduler")
+	policyFlag := flag.String("fleet-policy", string(fleet.PolicyBestFidelity),
+		"fleet routing policy: best-fidelity, least-loaded, or round-robin")
+	maintDays := flag.Float64("maintenance-days", 0,
+		"attach staggered maintenance windows every N days to each fleet device (0 = none)")
+	simRate := flag.Float64("sim-rate", 0,
+		"simulated days per wall-clock second driving the fleet maintenance clock (0 = frozen; defaults to 1 when -maintenance-days is set)")
 	flag.Parse()
 
 	center, err := core.New(core.Config{
@@ -48,16 +60,60 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "qhpcd: site %q accepted; cooldown %.1f simulated days; phase %s\n",
 		center.SiteReport().Site, days, center.Phase())
-	if *workers > 0 {
-		if err := center.StartPipeline(*workers); err != nil {
-			log.Fatalf("qhpcd: starting dispatch pipeline: %v", err)
+
+	var handler http.Handler
+	if *devices > 1 {
+		policy, err := fleet.ParsePolicy(*policyFlag)
+		if err != nil {
+			log.Fatalf("qhpcd: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "qhpcd: dispatch pipeline running with %d workers (QPU admission-gated)\n", *workers)
+		w := *workers
+		if w < 1 {
+			w = 4 // fleet devices always run live pools
+		}
+		f, err := center.BuildFleet(core.FleetConfig{
+			Devices: *devices, WorkersPerDevice: w,
+			Policy: policy, MaintenanceEveryDays: *maintDays,
+		})
+		if err != nil {
+			log.Fatalf("qhpcd: building fleet: %v", err)
+		}
+		defer f.Stop()
+		handler = center.FleetRESTHandler(f)
+		fmt.Fprintf(os.Stderr, "qhpcd: fleet of %d devices (%s routing, %d workers each): %v\n",
+			*devices, policy, w, f.Devices())
+		fmt.Fprintf(os.Stderr, "qhpcd: fleet endpoints: POST /api/v1/jobs[?device=&policy=], POST /api/v1/jobs/batch[?stream=1&device=&policy=], GET /api/v1/fleet\n")
+		// Maintenance windows live on the simulation clock; a frozen clock
+		// would make -maintenance-days a no-op, so it defaults on.
+		rate := *simRate
+		if rate == 0 && *maintDays > 0 {
+			rate = 1
+		}
+		if rate > 0 {
+			fmt.Fprintf(os.Stderr, "qhpcd: simulation clock at %.3g days/s (maintenance windows will drain devices on schedule)\n", rate)
+			go func() {
+				const tick = 250 * time.Millisecond
+				day := 0.0
+				for range time.Tick(tick) {
+					day += rate * tick.Seconds()
+					f.AdvanceTo(day)
+					f.PublishMetrics(nil, day*86400)
+				}
+			}()
+		}
+	} else {
+		if *workers > 0 {
+			if err := center.StartPipeline(*workers); err != nil {
+				log.Fatalf("qhpcd: starting dispatch pipeline: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "qhpcd: dispatch pipeline running with %d workers (QPU admission-gated)\n", *workers)
+		}
+		handler = center.RESTHandler()
 	}
 	fmt.Fprintf(os.Stderr, "qhpcd: serving MQSS REST API on %s\n", *addr)
 	fmt.Fprintf(os.Stderr, "qhpcd: endpoints: POST /api/v1/jobs, POST /api/v1/jobs/batch[?stream=1], GET /api/v1/jobs, GET /api/v1/device, GET /api/v1/telemetry/, GET /api/v1/metrics, GET /healthz\n")
 
-	if err := http.ListenAndServe(*addr, center.RESTHandler()); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatalf("qhpcd: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,11 +24,58 @@ type CouplerCalibration struct {
 }
 
 // Calibration is the full calibration record of the QPU at a point in time.
+// JSON encoding goes through the custom marshaller below: Go cannot encode a
+// map keyed on [2]int, so Couplers serialize as an explicit edge list — REST
+// calibration responses carry the per-coupler CZ fidelities instead of
+// silently dropping them.
 type Calibration struct {
 	Qubits   []QubitCalibration            `json:"qubits"`
-	Couplers map[[2]int]CouplerCalibration `json:"-"`
+	Couplers map[[2]int]CouplerCalibration `json:"couplers"`
 	// AgeHours counts simulated hours since the record was produced.
 	AgeHours float64 `json:"age_hours"`
+}
+
+// couplerEdgeJSON is the wire form of one coupler: edge endpoints plus its
+// calibrated CZ fidelity.
+type couplerEdgeJSON struct {
+	A   int     `json:"a"`
+	B   int     `json:"b"`
+	FCZ float64 `json:"f_cz"`
+}
+
+// calibrationJSON is the wire form of a Calibration record.
+type calibrationJSON struct {
+	Qubits   []QubitCalibration `json:"qubits"`
+	Couplers []couplerEdgeJSON  `json:"couplers"`
+	AgeHours float64            `json:"age_hours"`
+}
+
+// MarshalJSON encodes the record with couplers as a sorted edge list.
+func (c Calibration) MarshalJSON() ([]byte, error) {
+	aux := calibrationJSON{
+		Qubits:   c.Qubits,
+		Couplers: make([]couplerEdgeJSON, 0, len(c.Couplers)),
+		AgeHours: c.AgeHours,
+	}
+	for _, e := range c.sortedCouplerKeys() {
+		aux.Couplers = append(aux.Couplers, couplerEdgeJSON{A: e[0], B: e[1], FCZ: c.Couplers[e].FCZ})
+	}
+	return json.Marshal(aux)
+}
+
+// UnmarshalJSON decodes the edge-list form back into the coupler map.
+func (c *Calibration) UnmarshalJSON(data []byte) error {
+	var aux calibrationJSON
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	c.Qubits = aux.Qubits
+	c.AgeHours = aux.AgeHours
+	c.Couplers = make(map[[2]int]CouplerCalibration, len(aux.Couplers))
+	for _, e := range aux.Couplers {
+		c.Couplers[edgeKey(e.A, e.B)] = CouplerCalibration{FCZ: e.FCZ}
+	}
+	return nil
 }
 
 // Reference values for a freshly fully-calibrated 20-qubit system, matching

@@ -1,0 +1,86 @@
+package device
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// The REST calibration endpoints must carry per-coupler CZ fidelities: the
+// coupler map (keyed on [2]int) cannot use Go's default JSON encoding, so a
+// custom marshaller serializes it as a sorted edge list. These tests pin the
+// wire format and the round trip.
+
+func TestCalibrationJSONIncludesCouplers(t *testing.T) {
+	topo := SquareGrid(2, 2)
+	c := NewFreshCalibration(topo, 7)
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"couplers":[`) {
+		t.Fatalf("marshalled calibration has no coupler list: %s", s)
+	}
+	if !strings.Contains(s, `"f_cz":`) {
+		t.Fatalf("marshalled calibration has no CZ fidelities: %s", s)
+	}
+	// Edge list is sorted: first edge of a 2x2 grid is (0,1).
+	if !strings.Contains(s, `{"a":0,"b":1,`) {
+		t.Fatalf("coupler list not in sorted edge order: %s", s)
+	}
+}
+
+func TestCalibrationJSONRoundTrip(t *testing.T) {
+	topo := SquareGrid(3, 4)
+	orig := NewFreshCalibration(topo, 42)
+	orig.AgeHours = 17.5
+
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Calibration
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	if back.AgeHours != orig.AgeHours {
+		t.Errorf("age: got %v, want %v", back.AgeHours, orig.AgeHours)
+	}
+	if len(back.Qubits) != len(orig.Qubits) {
+		t.Fatalf("qubits: got %d, want %d", len(back.Qubits), len(orig.Qubits))
+	}
+	for q := range orig.Qubits {
+		if back.Qubits[q] != orig.Qubits[q] {
+			t.Errorf("qubit %d: got %+v, want %+v", q, back.Qubits[q], orig.Qubits[q])
+		}
+	}
+	if len(back.Couplers) != len(orig.Couplers) {
+		t.Fatalf("couplers: got %d, want %d", len(back.Couplers), len(orig.Couplers))
+	}
+	for _, e := range topo.Edges() {
+		got, want := back.FCZ(e[0], e[1]), orig.FCZ(e[0], e[1])
+		if math.Abs(got-want) > 1e-15 {
+			t.Errorf("coupler %v: got %v, want %v", e, got, want)
+		}
+	}
+	// Means survive the trip, so downstream scoring sees identical numbers.
+	if math.Abs(back.MeanFCZ()-orig.MeanFCZ()) > 1e-15 {
+		t.Errorf("MeanFCZ: got %v, want %v", back.MeanFCZ(), orig.MeanFCZ())
+	}
+}
+
+func TestCalibrationJSONValueMarshal(t *testing.T) {
+	// The REST layer hands *Calibration to the encoder (covered above); a
+	// Calibration embedded by value must marshal identically.
+	c := NewFreshCalibration(SquareGrid(2, 2), 1)
+	data, err := json.Marshal(*c)
+	if err != nil {
+		t.Fatalf("marshal value: %v", err)
+	}
+	if !strings.Contains(string(data), `"couplers":[`) {
+		t.Fatalf("value marshal dropped couplers: %s", data)
+	}
+}

@@ -49,6 +49,11 @@ type QPU struct {
 
 	executedShots int64
 	executedJobs  int64
+
+	// injectedFaults makes the next N Execute calls fail with a control-
+	// electronics error — the fault-injection hook behind fleet failover and
+	// outage tests.
+	injectedFaults int
 }
 
 // Config configures a QPU.
@@ -151,6 +156,18 @@ func (d *QPU) SetExecLatency(lat time.Duration) {
 	d.execLatency = lat
 }
 
+// InjectFaults makes the next n Execute calls fail with a simulated
+// control-electronics fault (§3.5 outage semantics at the job level). Used
+// by failover and error-path tests; n <= 0 clears pending faults.
+func (d *QPU) InjectFaults(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	d.injectedFaults = n
+}
+
 // Recalibrate runs the quick or full calibration procedure (§3.2) and
 // returns its duration in minutes: 40 for quick, 100 for full.
 func (d *QPU) Recalibrate(full bool) float64 {
@@ -229,6 +246,17 @@ func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
 	// dispatch pipeline relies on. Single-threaded callers still get a
 	// deterministic per-call RNG stream derived from the seeded device RNG.
 	d.mu.Lock()
+	if d.injectedFaults > 0 {
+		d.injectedFaults--
+		latency := d.execLatency
+		d.mu.Unlock()
+		// The fault surfaces after the control-electronics round trip, like a
+		// real readback failure — so callers see the job in flight first.
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		return nil, fmt.Errorf("device: %s: control electronics fault (injected)", d.name)
+	}
 	calib := d.calib.Clone()
 	rng := rand.New(rand.NewSource(d.rng.Int63()))
 	latency := d.execLatency

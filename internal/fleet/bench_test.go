@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/qrm"
+)
+
+// Fleet throughput harness: the workload is a stream of GHZ jobs against
+// twin devices paced at a 2 ms control-electronics round trip — the same
+// latency-bound regime as the single-device dispatch benchmarks (E13), so
+// jobs/s scaling from 1 to N devices measures exactly what the fleet layer
+// adds: device-level parallelism on top of per-device worker pools.
+
+var (
+	fleetBench    = flag.Bool("fleet.bench", false, "run the fleet bench artifact test (writes machine-readable results)")
+	fleetBenchOut = flag.String("fleet.bench.out", "BENCH_fleet.json", "output path for the fleet bench artifact")
+)
+
+const (
+	benchWorkersPer = 4
+	benchLatency    = 2 * time.Millisecond
+)
+
+// runFleetLoad drives jobs GHZ submissions through a fleet of n paced twin
+// devices and returns throughput plus client-observed latency quantiles.
+func runFleetLoad(tb testing.TB, devices, jobs int) (jobsPerSec, p50Ms, p95Ms float64) {
+	tb.Helper()
+	s := New(PolicyLeastLoaded, nil)
+	defer s.Stop()
+	for i := 0; i < devices; i++ {
+		name := fmt.Sprintf("bench-%d", i)
+		if err := s.AddDevice(name, mkdev(tb, name, 4, 5, int64(i+1), benchLatency), benchWorkersPer); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	circs := []*circuit.Circuit{circuit.GHZ(3), circuit.GHZ(4), circuit.GHZ(5), circuit.GHZ(6)}
+	ids := make([]int, 0, jobs)
+	starts := make(map[int]time.Time, jobs)
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		id, err := s.Submit(qrm.Request{Circuit: circs[i%len(circs)], Shots: 10, User: "bench"}, SubmitOptions{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		starts[id] = time.Now()
+		ids = append(ids, id)
+	}
+	latencies := make([]float64, 0, jobs)
+	s.WaitEach(ids, func(id int, j *Job, err error) {
+		if err != nil {
+			tb.Errorf("job %d: %v", id, err)
+			return
+		}
+		if j.Status != JobDone {
+			tb.Errorf("job %d: %s (%s)", id, j.Status, j.Error)
+			return
+		}
+		latencies = append(latencies, float64(time.Since(starts[id]).Microseconds())/1000)
+	})
+	elapsed := time.Since(start)
+	sort.Float64s(latencies)
+	q := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return latencies[int(p*float64(len(latencies)-1))]
+	}
+	return float64(jobs) / elapsed.Seconds(), q(0.50), q(0.95)
+}
+
+func benchmarkFleetThroughput(b *testing.B, devices int) {
+	const jobsPerRound = 128
+	var jps, p50, p95 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jps, p50, p95 = runFleetLoad(b, devices, jobsPerRound)
+	}
+	b.ReportMetric(jps, "jobs/s")
+	b.ReportMetric(p50, "p50-ms")
+	b.ReportMetric(p95, "p95-ms")
+}
+
+func BenchmarkFleetThroughput1Device(b *testing.B)  { benchmarkFleetThroughput(b, 1) }
+func BenchmarkFleetThroughput2Devices(b *testing.B) { benchmarkFleetThroughput(b, 2) }
+func BenchmarkFleetThroughput4Devices(b *testing.B) { benchmarkFleetThroughput(b, 4) }
+
+// benchResult is one row of the machine-readable artifact.
+type benchResult struct {
+	Devices    int     `json:"devices"`
+	Workers    int     `json:"workers_per_device"`
+	Jobs       int     `json:"jobs"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+}
+
+// benchArtifact is the BENCH_fleet.json schema: the perf trajectory record
+// tracked across PRs.
+type benchArtifact struct {
+	Harness       string        `json:"harness"`
+	Workload      string        `json:"workload"`
+	ExecLatencyMs float64       `json:"exec_latency_ms"`
+	Results       []benchResult `json:"results"`
+	Speedup4v1    float64       `json:"speedup_4_devices_over_1"`
+}
+
+// TestFleetBenchArtifact measures jobs/s at 1/2/4 devices and writes
+// BENCH_fleet.json. Gated behind -fleet.bench so the regular test run stays
+// timing-free; CI runs it as the fleet-bench smoke step and fails loudly if
+// device-level scaling collapses below 2x.
+func TestFleetBenchArtifact(t *testing.T) {
+	if !*fleetBench {
+		t.Skip("pass -fleet.bench to run the fleet bench harness")
+	}
+	const jobs = 256
+	art := benchArtifact{
+		Harness: "go test ./internal/fleet -run TestFleetBenchArtifact -fleet.bench",
+		Workload: fmt.Sprintf("%d GHZ(3..6) jobs x 10 shots, twin devices, %d workers/device",
+			jobs, benchWorkersPer),
+		ExecLatencyMs: float64(benchLatency.Microseconds()) / 1000,
+	}
+	for _, n := range []int{1, 2, 4} {
+		jps, p50, p95 := runFleetLoad(t, n, jobs)
+		art.Results = append(art.Results, benchResult{
+			Devices: n, Workers: benchWorkersPer, Jobs: jobs,
+			JobsPerSec: jps, P50Ms: p50, P95Ms: p95,
+		})
+		t.Logf("%d device(s): %.0f jobs/s, p50 %.2f ms, p95 %.2f ms", n, jps, p50, p95)
+	}
+	art.Speedup4v1 = art.Results[2].JobsPerSec / art.Results[0].JobsPerSec
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*fleetBenchOut, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (4-vs-1 device speedup: %.2fx)", *fleetBenchOut, art.Speedup4v1)
+	if art.Speedup4v1 < 2 {
+		t.Fatalf("fleet scaling regression: 4 devices gave %.2fx over 1, want >= 2x", art.Speedup4v1)
+	}
+}

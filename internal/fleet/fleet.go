@@ -1,0 +1,659 @@
+// Package fleet is the multi-QPU scheduler the MQSS/QDMI architecture
+// (§2.6, Fig. 2) was designed to enable: one HPC-side scheduler serving N
+// heterogeneous backends. Each registered device carries its own qrm.Manager
+// worker pool; submitted circuits are scored against every eligible device —
+// estimated fidelity from the live calibration snapshot, topology/width fit,
+// current queue depth — and routed to the best one under the configured
+// policy (best-fidelity, least-loaded, round-robin).
+//
+// The scheduler owns the paper's operational realities at fleet scale:
+// calibration slots and §3.4 maintenance windows drain a device and
+// transparently migrate its pending jobs to siblings, device faults trigger
+// failover with the failed device excluded from routing, and jobs with no
+// eligible backend park until one returns — no submission is ever lost.
+// Per-device telemetry (queue depth, routed/migrated/failed counters,
+// fidelity-score histograms) publishes into telemetry.Store and the REST
+// metrics endpoint.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ops"
+	"repro/internal/qdmi"
+	"repro/internal/qrm"
+	"repro/internal/telemetry"
+)
+
+// DeviceState tracks a backend through the fleet lifecycle.
+type DeviceState string
+
+const (
+	// DeviceActive devices accept routed work.
+	DeviceActive DeviceState = "active"
+	// DeviceDraining devices were drained by an operator; queued jobs have
+	// migrated to siblings and no new work routes here until Resume.
+	DeviceDraining DeviceState = "draining"
+	// DeviceMaintenance devices are inside a §3.4 maintenance (or
+	// calibration) window; AdvanceTo restores them when the window closes.
+	DeviceMaintenance DeviceState = "maintenance"
+	// DeviceFailed devices faulted; failover excluded them from routing
+	// until Recover.
+	DeviceFailed DeviceState = "failed"
+)
+
+// JobStatus tracks a fleet job. A job is terminal in done/failed/cancelled;
+// pending jobs are parked waiting for an eligible device, routed jobs sit on
+// some device's QRM queue (or are executing there).
+type JobStatus string
+
+const (
+	JobPending   JobStatus = "pending"
+	JobRouted    JobStatus = "routed"
+	JobDone      JobStatus = "done"
+	JobFailed    JobStatus = "failed"
+	JobCancelled JobStatus = "cancelled"
+)
+
+func terminal(s JobStatus) bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is the fleet's record of one submission: the routing envelope plus,
+// once terminal, the device-level record under Result.
+type Job struct {
+	ID     int       `json:"id"`
+	Status JobStatus `json:"status"`
+	// Device is the backend currently (or finally) holding the job.
+	Device string `json:"device,omitempty"`
+	// LocalID is the job's ID in that device's QRM.
+	LocalID int `json:"local_id,omitempty"`
+	// Migrations counts drain/failover re-routes this job survived.
+	Migrations int `json:"migrations,omitempty"`
+	// Score is the fidelity estimate the router computed for the chosen
+	// device at the last routing decision.
+	Score   float64     `json:"score,omitempty"`
+	BatchID int         `json:"batch_id,omitempty"`
+	Pinned  string      `json:"pinned,omitempty"`
+	Request qrm.Request `json:"request"`
+	// Result is the terminal device-level record (counts, layout, timings).
+	Result *qrm.Job `json:"result,omitempty"`
+	Error  string   `json:"error,omitempty"`
+
+	policy Policy
+	done   chan struct{}
+}
+
+// SubmitOptions tune one submission.
+type SubmitOptions struct {
+	// Device pins the job to one backend; it parks rather than migrate to a
+	// sibling when that backend is unavailable.
+	Device string
+	// Policy overrides the scheduler default for this job.
+	Policy Policy
+}
+
+// deviceEntry is one registered backend.
+type deviceEntry struct {
+	name    string
+	dev     *qdmi.Device
+	mgr     *qrm.Manager
+	workers int
+	state   DeviceState
+
+	// Routing counters (guarded by Scheduler.mu).
+	routed      uint64
+	migratedOut uint64
+	completed   uint64
+	failed      uint64
+
+	scoreHist *telemetry.Histogram
+
+	// Calibration means memoized per epoch (score.go).
+	calibEpoch  uint64
+	calibValid  bool
+	meanF1Q     float64
+	meanFCZ     float64
+	meanFRead   float64
+	calibAgeH   float64
+	regionMemo  map[int]float64 // width -> mean pairwise region distance
+	maintenance []ops.MaintenanceWindow
+}
+
+// Scheduler is the fleet: registry + router + migration machinery.
+type Scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond // signalled on job finalization (WaitSettled)
+
+	policy  Policy
+	devices map[string]*deviceEntry
+	order   []string // registration order; round-robin walks it
+	rr      int
+
+	nextID    int
+	nextBatch int
+	jobs      map[int]*Job
+	jobOrder  []int
+	parked    map[int]*Job
+
+	store     *telemetry.Store
+	scoreHist *telemetry.Histogram
+
+	submitted uint64
+	routed    uint64
+	migrated  uint64
+	parkEvts  uint64
+	completed uint64
+	failures  uint64
+	cancelled uint64
+
+	closed bool
+	wg     sync.WaitGroup // per-job monitor goroutines
+}
+
+// New builds an empty fleet under the given default policy. store may be nil
+// (no telemetry publication).
+func New(policy Policy, store *telemetry.Store) *Scheduler {
+	s := &Scheduler{
+		policy:    policy,
+		devices:   make(map[string]*deviceEntry),
+		jobs:      make(map[int]*Job),
+		parked:    make(map[int]*Job),
+		store:     store,
+		scoreHist: scoreHistogram(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// AddDevice registers a backend under a unique name and starts its private
+// dispatch pool with the given worker count. Parked jobs that fit the new
+// device are dispatched immediately.
+func (s *Scheduler) AddDevice(name string, dev *qdmi.Device, workers int) error {
+	if name == "" {
+		return fmt.Errorf("fleet: device name must be non-empty")
+	}
+	if workers < 1 {
+		return fmt.Errorf("fleet: device %q needs >= 1 workers, got %d", name, workers)
+	}
+	mgr := qrm.NewManager(dev)
+	if err := mgr.Start(workers); err != nil {
+		return fmt.Errorf("fleet: starting %q pool: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		mgr.Stop()
+		return fmt.Errorf("fleet: scheduler stopped")
+	}
+	if _, dup := s.devices[name]; dup {
+		mgr.Stop()
+		return fmt.Errorf("fleet: device %q already registered", name)
+	}
+	s.devices[name] = &deviceEntry{
+		name: name, dev: dev, mgr: mgr, workers: workers,
+		state:      DeviceActive,
+		scoreHist:  scoreHistogram(),
+		regionMemo: make(map[int]float64),
+	}
+	s.order = append(s.order, name)
+	s.dispatchParkedLocked()
+	return nil
+}
+
+// Store returns the telemetry store attached at New (may be nil).
+func (s *Scheduler) Store() *telemetry.Store { return s.store }
+
+// ActiveDevices counts backends currently accepting routed work — the cheap
+// health signal (Metrics snapshots every per-device histogram).
+func (s *Scheduler) ActiveDevices() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.devices {
+		if e.state == DeviceActive {
+			n++
+		}
+	}
+	return n
+}
+
+// Devices returns registered device names in registration order.
+func (s *Scheduler) Devices() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Policy returns the default routing policy.
+func (s *Scheduler) Policy() Policy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy
+}
+
+// maxWidthLocked is the widest registered backend.
+func (s *Scheduler) maxWidthLocked() int {
+	w := 0
+	for _, e := range s.devices {
+		if n := e.dev.Properties().NumQubits; n > w {
+			w = n
+		}
+	}
+	return w
+}
+
+// Submit validates and accepts one job, routing it to the best eligible
+// device (or parking it when none is). The job ID is fleet-scoped.
+func (s *Scheduler) Submit(req qrm.Request, opts SubmitOptions) (int, error) {
+	if req.Circuit == nil {
+		return 0, fmt.Errorf("fleet: request has no circuit")
+	}
+	if err := req.Circuit.Validate(); err != nil {
+		return 0, fmt.Errorf("fleet: invalid circuit: %w", err)
+	}
+	if req.Shots < 1 {
+		return 0, fmt.Errorf("fleet: shots must be >= 1, got %d", req.Shots)
+	}
+	policy := s.policy
+	if opts.Policy != "" {
+		if err := opts.Policy.Validate(); err != nil {
+			return 0, err
+		}
+		policy = opts.Policy
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("fleet: scheduler stopped")
+	}
+	if len(s.devices) == 0 {
+		return 0, fmt.Errorf("fleet: no devices registered")
+	}
+	if opts.Device != "" {
+		e, ok := s.devices[opts.Device]
+		if !ok {
+			return 0, fmt.Errorf("fleet: unknown device %q", opts.Device)
+		}
+		if req.Circuit.NumQubits > e.dev.Properties().NumQubits {
+			return 0, fmt.Errorf("fleet: circuit needs %d qubits, pinned device %q has %d",
+				req.Circuit.NumQubits, opts.Device, e.dev.Properties().NumQubits)
+		}
+	} else if w := s.maxWidthLocked(); req.Circuit.NumQubits > w {
+		return 0, fmt.Errorf("fleet: circuit needs %d qubits, widest device has %d",
+			req.Circuit.NumQubits, w)
+	}
+	s.nextID++
+	j := &Job{
+		ID: s.nextID, Status: JobPending, Request: req,
+		Pinned: opts.Device, policy: policy, done: make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.jobOrder = append(s.jobOrder, j.ID)
+	s.submitted++
+	s.routeLocked(j, nil)
+	return j.ID, nil
+}
+
+// SubmitBatch accepts several requests under one fleet batch ID; each job is
+// routed independently (the batch may span devices).
+func (s *Scheduler) SubmitBatch(reqs []qrm.Request, opts SubmitOptions) (int, []int, error) {
+	if len(reqs) == 0 {
+		return 0, nil, fmt.Errorf("fleet: empty batch")
+	}
+	s.mu.Lock()
+	s.nextBatch++
+	batch := s.nextBatch
+	s.mu.Unlock()
+	ids := make([]int, 0, len(reqs))
+	for i := range reqs {
+		reqs[i].BatchID = batch
+		id, err := s.Submit(reqs[i], opts)
+		if err != nil {
+			return batch, ids, fmt.Errorf("fleet: batch item %d: %w", i, err)
+		}
+		s.mu.Lock()
+		s.jobs[id].BatchID = batch
+		s.mu.Unlock()
+		ids = append(ids, id)
+	}
+	return batch, ids, nil
+}
+
+// routeLocked places j on the best eligible device, excluding the listed
+// names for this attempt. With no eligible device the job parks; it is
+// re-dispatched when a device resumes (with a clean slate — a previously
+// excluded device may have recovered by then).
+func (s *Scheduler) routeLocked(j *Job, exclude map[string]bool) {
+	if s.closed {
+		s.finalizeLocked(j, JobFailed, nil, "fleet: scheduler stopped before the job could run")
+		return
+	}
+	for {
+		e, score, ok := s.pickLocked(j, exclude)
+		if !ok {
+			j.Status = JobPending
+			j.Device = ""
+			j.LocalID = 0
+			s.parked[j.ID] = j
+			s.parkEvts++
+			return
+		}
+		req := j.Request
+		localID, err := e.mgr.Submit(req)
+		if err != nil {
+			// The device flipped offline between scoring and submission;
+			// exclude it for this attempt and retry.
+			if exclude == nil {
+				exclude = make(map[string]bool)
+			}
+			exclude[e.name] = true
+			continue
+		}
+		j.Status = JobRouted
+		j.Device = e.name
+		j.LocalID = localID
+		j.Score = score
+		e.routed++
+		s.routed++
+		e.scoreHist.Observe(score)
+		s.scoreHist.Observe(score)
+		s.wg.Add(1)
+		go s.monitor(j, e, localID)
+		return
+	}
+}
+
+// monitor follows one routed job to its device-level terminal state and
+// decides the fleet-level outcome: finalize, or migrate to a sibling when
+// the device was drained or failed out from under it.
+func (s *Scheduler) monitor(j *Job, e *deviceEntry, localID int) {
+	defer s.wg.Done()
+	rec, err := e.mgr.WaitJob(localID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if terminal(j.Status) {
+		return // fleet-level Cancel or Stop already settled it
+	}
+	if err != nil {
+		// The device pool stopped with the job still queued (teardown).
+		if s.closed {
+			s.finalizeLocked(j, JobFailed, nil, "fleet: stopped with job queued: "+err.Error())
+			return
+		}
+		s.migrateLocked(j, e)
+		return
+	}
+	switch rec.Status {
+	case qrm.StatusDone:
+		e.completed++
+		s.finalizeLocked(j, JobDone, rec, "")
+	case qrm.StatusFailed:
+		if e.state == DeviceFailed {
+			// The backend faulted mid-job: failover, not a job defect.
+			s.migrateLocked(j, e)
+			return
+		}
+		e.failed++
+		s.finalizeLocked(j, JobFailed, rec, rec.Error)
+	case qrm.StatusInterrupted:
+		// Drain, maintenance window, or outage: requeue on a sibling.
+		s.migrateLocked(j, e)
+	case qrm.StatusCancelled:
+		s.finalizeLocked(j, JobCancelled, rec, "")
+	default:
+		s.finalizeLocked(j, JobFailed, rec, fmt.Sprintf("fleet: unexpected device status %q", rec.Status))
+	}
+}
+
+// migrateLocked re-routes a displaced job, excluding the device it came from
+// for this attempt.
+func (s *Scheduler) migrateLocked(j *Job, from *deviceEntry) {
+	j.Migrations++
+	from.migratedOut++
+	s.migrated++
+	s.routeLocked(j, map[string]bool{from.name: true})
+}
+
+// finalizeLocked settles a fleet job exactly once.
+func (s *Scheduler) finalizeLocked(j *Job, st JobStatus, rec *qrm.Job, errMsg string) {
+	if terminal(j.Status) {
+		return
+	}
+	delete(s.parked, j.ID)
+	j.Status = st
+	j.Result = rec
+	j.Error = errMsg
+	switch st {
+	case JobDone:
+		s.completed++
+	case JobFailed:
+		s.failures++
+	case JobCancelled:
+		s.cancelled++
+	}
+	close(j.done)
+	s.cond.Broadcast()
+}
+
+// dispatchParkedLocked retries every parked job; jobs with still no eligible
+// device simply park again.
+func (s *Scheduler) dispatchParkedLocked() {
+	if len(s.parked) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(s.parked))
+	for id := range s.parked {
+		ids = append(ids, id)
+	}
+	// Oldest first: parking must not reorder a backlog indefinitely.
+	sort.Ints(ids)
+	for _, id := range ids {
+		j := s.parked[id]
+		delete(s.parked, id)
+		s.routeLocked(j, nil)
+	}
+}
+
+// Job returns a copy of the fleet job record.
+func (s *Scheduler) Job(id int) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("fleet: no job %d", id)
+	}
+	cp := *j
+	return &cp, nil
+}
+
+// Wait blocks until the job settles (done, failed, or cancelled — possibly
+// after migrations) and returns its record.
+func (s *Scheduler) Wait(id int) (*Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fleet: no job %d", id)
+	}
+	ch := j.done
+	s.mu.Unlock()
+	<-ch
+	return s.Job(id)
+}
+
+// WaitEach waits for every listed job concurrently and invokes fn once per
+// job in completion order — the streaming primitive the fleet REST endpoints
+// build on. fn runs on the caller's goroutine.
+func (s *Scheduler) WaitEach(ids []int, fn func(id int, j *Job, err error)) {
+	type waited struct {
+		id  int
+		j   *Job
+		err error
+	}
+	ch := make(chan waited, len(ids))
+	for _, id := range ids {
+		go func(id int) {
+			j, err := s.Wait(id)
+			ch <- waited{id: id, j: j, err: err}
+		}(id)
+	}
+	for range ids {
+		w := <-ch
+		fn(w.id, w.j, w.err)
+	}
+}
+
+// Cancel cancels a parked job, or a routed job still queued on its device.
+// Jobs already claimed by a device worker are past the point of no return.
+func (s *Scheduler) Cancel(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("fleet: no job %d", id)
+	}
+	if terminal(j.Status) {
+		return fmt.Errorf("fleet: job %d already %s", id, j.Status)
+	}
+	if j.Status == JobPending {
+		s.finalizeLocked(j, JobCancelled, nil, "")
+		return nil
+	}
+	e := s.devices[j.Device]
+	if e == nil {
+		return fmt.Errorf("fleet: job %d routed to unknown device %q", id, j.Device)
+	}
+	if err := e.mgr.Cancel(j.LocalID); err != nil {
+		return fmt.Errorf("fleet: job %d: %w", id, err)
+	}
+	// The monitor will observe the device-level cancellation, but settle the
+	// fleet record now so the caller sees it immediately.
+	s.finalizeLocked(j, JobCancelled, nil, "")
+	return nil
+}
+
+// Drain takes a device out of routing: its queued jobs migrate to siblings
+// (in-flight circuits finish — the control electronics complete what is on
+// the wire) and no new work routes to it until Resume.
+func (s *Scheduler) Drain(name string) error {
+	return s.drainAs(name, DeviceDraining)
+}
+
+// Fail marks a device faulted: same drain semantics, but jobs that fail on
+// it mid-flight are failed over to siblings instead of being reported as
+// job errors, and the device stays excluded until Recover.
+func (s *Scheduler) Fail(name string) error {
+	return s.drainAs(name, DeviceFailed)
+}
+
+func (s *Scheduler) drainAs(name string, st DeviceState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.devices[name]
+	if !ok {
+		return fmt.Errorf("fleet: unknown device %q", name)
+	}
+	e.state = st
+	// SetOnline(false) interrupts the device's queued jobs; their monitors
+	// pick the interruptions up and migrate them as soon as we release the
+	// fleet lock.
+	e.mgr.SetOnline(false)
+	return nil
+}
+
+// Resume returns a drained (or recovered) device to routing and dispatches
+// any parked jobs that now fit.
+func (s *Scheduler) Resume(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resumeLocked(name)
+}
+
+// Recover is Resume for a failed device (semantic alias, kept separate so
+// call sites read correctly).
+func (s *Scheduler) Recover(name string) error { return s.Resume(name) }
+
+func (s *Scheduler) resumeLocked(name string) error {
+	e, ok := s.devices[name]
+	if !ok {
+		return fmt.Errorf("fleet: unknown device %q", name)
+	}
+	e.state = DeviceActive
+	e.mgr.SetOnline(true)
+	s.dispatchParkedLocked()
+	return nil
+}
+
+// DeviceManager exposes a registered device's QRM (tests and local HPC-path
+// clients).
+func (s *Scheduler) DeviceManager(name string) (*qrm.Manager, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.devices[name]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown device %q", name)
+	}
+	return e.mgr, nil
+}
+
+// DeviceHandle exposes a registered device's QDMI handle.
+func (s *Scheduler) DeviceHandle(name string) (*qdmi.Device, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.devices[name]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown device %q", name)
+	}
+	return e.dev, nil
+}
+
+// WaitSettled blocks until no job is pending or routed — the fleet analogue
+// of qrm.Manager.WaitIdle.
+func (s *Scheduler) WaitSettled() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		busy := false
+		for _, j := range s.jobs {
+			if !terminal(j.Status) {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		s.cond.Wait()
+	}
+}
+
+// Stop shuts the fleet down: parked jobs fail, device pools drain their
+// in-flight work and stop, and every monitor goroutine exits. Stop is
+// idempotent.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	entries := make([]*deviceEntry, 0, len(s.devices))
+	for _, name := range s.order {
+		entries = append(entries, s.devices[name])
+	}
+	for id, j := range s.parked {
+		delete(s.parked, id)
+		s.finalizeLocked(j, JobFailed, nil, "fleet: scheduler stopped")
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		// Interrupt queued jobs (monitors finalize them as failed under the
+		// closed flag), then stop the pool, letting in-flight jobs finish.
+		e.mgr.SetOnline(false)
+		e.mgr.Stop()
+	}
+	s.wg.Wait()
+}

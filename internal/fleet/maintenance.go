@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/ops"
+)
+
+// Maintenance-window draining: each device can carry a §3.4 maintenance
+// plan (ops.MaintenancePlan output, or hand-built windows for calibration
+// slots). AdvanceTo drives the fleet clock in simulated days: entering a
+// window drains the device (queued jobs migrate to siblings, in-flight work
+// finishes, routing excludes it), and leaving the window restores it and
+// re-dispatches parked work. Manual Drain/Fail states are never overridden —
+// the operator owns those.
+
+// SetMaintenancePlan attaches (or replaces) a device's maintenance windows.
+func (s *Scheduler) SetMaintenancePlan(name string, plan []ops.MaintenanceWindow) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.devices[name]
+	if !ok {
+		return fmt.Errorf("fleet: unknown device %q", name)
+	}
+	e.maintenance = append([]ops.MaintenanceWindow(nil), plan...)
+	return nil
+}
+
+// MaintenancePlan returns a copy of a device's attached windows.
+func (s *Scheduler) MaintenancePlan(name string) ([]ops.MaintenanceWindow, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.devices[name]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown device %q", name)
+	}
+	return append([]ops.MaintenanceWindow(nil), e.maintenance...), nil
+}
+
+// inWindow reports whether day falls inside any window of the plan.
+func inWindow(plan []ops.MaintenanceWindow, day float64) bool {
+	for _, w := range plan {
+		if day >= w.StartDay && day < w.StartDay+w.Days {
+			return true
+		}
+	}
+	return false
+}
+
+// AdvanceTo moves the fleet's maintenance clock to the given simulation day:
+// devices entering a window drain into DeviceMaintenance, devices whose
+// window has closed return to routing (and parked jobs re-dispatch). It is
+// idempotent — call it as often as the simulation ticks.
+func (s *Scheduler) AdvanceTo(day float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.order {
+		e := s.devices[name]
+		if len(e.maintenance) == 0 {
+			continue
+		}
+		in := inWindow(e.maintenance, day)
+		switch {
+		case in && e.state == DeviceActive:
+			e.state = DeviceMaintenance
+			e.mgr.SetOnline(false) // queued jobs interrupt → monitors migrate
+		case !in && e.state == DeviceMaintenance:
+			// resumeLocked also re-dispatches parked jobs.
+			_ = s.resumeLocked(name)
+		}
+	}
+}

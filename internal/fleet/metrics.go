@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/qrm"
+	"repro/internal/telemetry"
+)
+
+// DeviceMetrics is one backend's slice of the fleet snapshot.
+type DeviceMetrics struct {
+	Name    string      `json:"name"`
+	State   DeviceState `json:"state"`
+	Qubits  int         `json:"qubits"`
+	Workers int         `json:"workers"`
+
+	QueueDepth int `json:"queue_depth"`
+	Inflight   int `json:"inflight"`
+
+	Routed      uint64 `json:"routed"`
+	MigratedOut uint64 `json:"migrated_out"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+
+	MeanF1Q   float64 `json:"fidelity_1q"`
+	MeanFCZ   float64 `json:"fidelity_cz"`
+	MeanFRead float64 `json:"fidelity_readout"`
+	CalibAgeH float64 `json:"calibration_age_h"`
+
+	// ScoreHist buckets the fidelity estimates of jobs routed here.
+	ScoreHist telemetry.HistogramSnapshot `json:"score_hist"`
+	// QRM is the device's full dispatch-pipeline snapshot.
+	QRM qrm.Metrics `json:"qrm"`
+}
+
+// Metrics is a point-in-time snapshot of fleet health.
+type Metrics struct {
+	Policy  Policy          `json:"policy"`
+	Devices []DeviceMetrics `json:"devices"`
+
+	Submitted  uint64 `json:"submitted"`
+	Routed     uint64 `json:"routed"`
+	Migrated   uint64 `json:"migrated"`
+	ParkEvents uint64 `json:"park_events"`
+	ParkedNow  int    `json:"parked_now"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Cancelled  uint64 `json:"cancelled"`
+
+	// ScoreHist buckets fidelity estimates across all routing decisions.
+	ScoreHist telemetry.HistogramSnapshot `json:"score_hist"`
+}
+
+// Metrics returns the fleet snapshot.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	out := Metrics{
+		Policy:     s.policy,
+		Submitted:  s.submitted,
+		Routed:     s.routed,
+		Migrated:   s.migrated,
+		ParkEvents: s.parkEvts,
+		ParkedNow:  len(s.parked),
+		Completed:  s.completed,
+		Failed:     s.failures,
+		Cancelled:  s.cancelled,
+	}
+	type pending struct {
+		e *deviceEntry
+		d DeviceMetrics
+	}
+	devs := make([]pending, 0, len(s.order))
+	for _, name := range s.order {
+		e := s.devices[name]
+		e.refreshCalibMeans()
+		devs = append(devs, pending{e: e, d: DeviceMetrics{
+			Name: e.name, State: e.state,
+			Qubits:  e.dev.Properties().NumQubits,
+			Workers: e.workers,
+			Routed:  e.routed, MigratedOut: e.migratedOut,
+			Completed: e.completed, Failed: e.failed,
+			MeanF1Q: e.meanF1Q, MeanFCZ: e.meanFCZ, MeanFRead: e.meanFRead,
+			CalibAgeH: e.calibAgeH,
+		}})
+	}
+	s.mu.Unlock()
+	// Histograms and QRM snapshots are internally synchronized; read them
+	// outside the fleet lock.
+	out.ScoreHist = s.scoreHist.Snapshot()
+	for _, p := range devs {
+		d := p.d
+		d.ScoreHist = p.e.scoreHist.Snapshot()
+		d.QRM = p.e.mgr.Metrics()
+		d.QueueDepth = d.QRM.QueueDepth
+		d.Inflight = d.QRM.Inflight
+		out.Devices = append(out.Devices, d)
+	}
+	return out
+}
+
+// Gauges flattens the snapshot into telemetry sensors: fleet totals plus
+// per-device series (queue depth, counters, mean fidelity, p95 score).
+func (m Metrics) Gauges() map[string]float64 {
+	out := map[string]float64{
+		"fleet_devices":    float64(len(m.Devices)),
+		"fleet_routed":     float64(m.Routed),
+		"fleet_migrated":   float64(m.Migrated),
+		"fleet_parked_now": float64(m.ParkedNow),
+		"fleet_completed":  float64(m.Completed),
+		"fleet_failed":     float64(m.Failed),
+		"fleet_score_p50":  m.ScoreHist.Quantile(0.50),
+	}
+	for _, d := range m.Devices {
+		p := "fleet_" + d.Name + "_"
+		out[p+"queue_depth"] = float64(d.QueueDepth)
+		out[p+"inflight"] = float64(d.Inflight)
+		out[p+"routed"] = float64(d.Routed)
+		out[p+"migrated_out"] = float64(d.MigratedOut)
+		out[p+"completed"] = float64(d.Completed)
+		out[p+"failed"] = float64(d.Failed)
+		out[p+"fidelity_1q"] = d.MeanF1Q
+		out[p+"fidelity_cz"] = d.MeanFCZ
+		active := 0.0
+		if d.State == DeviceActive {
+			active = 1
+		}
+		out[p+"active"] = active
+	}
+	return out
+}
+
+// PublishMetrics appends the fleet gauges to a telemetry store at simulation
+// time t (the DCDB integration for the fleet layer). With a store attached
+// at New, callers may pass nil to use it.
+func (s *Scheduler) PublishMetrics(store *telemetry.Store, t float64) {
+	if store == nil {
+		store = s.store
+	}
+	if store == nil {
+		return
+	}
+	for sensor, v := range s.Metrics().Gauges() {
+		store.Append(sensor, t, v)
+	}
+}
+
+// CollectorName implements telemetry.Collector: the fleet doubles as a DCDB
+// plugin so a poller picks its gauges up with the rest of the center.
+func (s *Scheduler) CollectorName() string { return "fleet" }
+
+// Collect implements telemetry.Collector.
+func (s *Scheduler) Collect() map[string]float64 { return s.Metrics().Gauges() }
+
+var _ telemetry.Collector = (*Scheduler)(nil)
+
+// StateOf returns a device's current lifecycle state.
+func (s *Scheduler) StateOf(name string) (DeviceState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.devices[name]
+	if !ok {
+		return "", fmt.Errorf("fleet: unknown device %q", name)
+	}
+	return e.state, nil
+}
+
+// Page is a paginated slice of fleet job history (most recent first).
+type Page struct {
+	Jobs    []*Job `json:"jobs"`
+	Total   int    `json:"total"`
+	Offset  int    `json:"offset"`
+	Limit   int    `json:"limit"`
+	HasMore bool   `json:"has_more"`
+}
+
+// History pages through fleet jobs (most recent first), optionally filtered
+// by submitting user.
+func (s *Scheduler) History(user string, offset, limit int) (*Page, error) {
+	if offset < 0 || limit < 1 {
+		return nil, fmt.Errorf("fleet: bad pagination offset=%d limit=%d", offset, limit)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []int
+	for i := len(s.jobOrder) - 1; i >= 0; i-- {
+		j := s.jobs[s.jobOrder[i]]
+		if user == "" || j.Request.User == user {
+			ids = append(ids, j.ID)
+		}
+	}
+	total := len(ids)
+	if offset >= total {
+		return &Page{Total: total, Offset: offset, Limit: limit}, nil
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	page := &Page{Total: total, Offset: offset, Limit: limit, HasMore: end < total}
+	for _, id := range ids[offset:end] {
+		cp := *s.jobs[id]
+		page.Jobs = append(page.Jobs, &cp)
+	}
+	return page, nil
+}

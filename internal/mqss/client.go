@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 
+	"repro/internal/device"
+	"repro/internal/fleet"
 	"repro/internal/qdmi"
 	"repro/internal/qrm"
 )
@@ -29,6 +32,8 @@ const (
 type Client struct {
 	// Direct QRM handle; non-nil when running inside the HPC environment.
 	local *qrm.Manager
+	// Direct fleet handle; non-nil for in-HPC access to a multi-QPU fleet.
+	localFleet *fleet.Scheduler
 	// REST endpoint for remote access.
 	baseURL string
 	httpc   *http.Client
@@ -38,6 +43,13 @@ type Client struct {
 // submission.
 func NewLocalClient(m *qrm.Manager) *Client {
 	return &Client{local: m}
+}
+
+// NewLocalFleetClient returns an in-HPC client over a multi-QPU fleet
+// scheduler: submissions go through calibration-aware routing instead of a
+// single QRM.
+func NewLocalFleetClient(f *fleet.Scheduler) *Client {
+	return &Client{localFleet: f}
 }
 
 // NewRemoteClient returns a client that reaches the stack over HTTP.
@@ -60,14 +72,26 @@ func NewAutoClient(local *qrm.Manager, baseURL string, httpc *http.Client) *Clie
 
 // Path reports which access path this client uses.
 func (c *Client) Path() AccessPath {
-	if c.local != nil {
+	if c.local != nil || c.localFleet != nil {
 		return PathHPC
 	}
 	return PathREST
 }
 
-// Run submits a job and waits for completion, whichever path is in use.
+// Run submits a job and waits for completion, whichever path is in use. On
+// a fleet client the job goes through calibration-aware routing with the
+// scheduler's default policy and the result comes back in the legacy
+// single-device shape (device record keyed by the fleet job ID) — "without
+// requiring any code modifications from the user". Use RunRouted for the
+// full routing envelope.
 func (c *Client) Run(req qrm.Request) (*qrm.Job, error) {
+	if c.localFleet != nil {
+		j, err := c.RunRouted(req, RouteOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return flattenFleetJob(j), nil
+	}
 	if c.local != nil {
 		return c.runLocal(req)
 	}
@@ -114,8 +138,39 @@ func (c *Client) runRemote(req qrm.Request) (*qrm.Job, error) {
 	if resp.StatusCode != http.StatusCreated {
 		return nil, decodeError(resp)
 	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: reading job response: %w", err)
+	}
+	return decodeJobPayload(data)
+}
+
+// decodeJobPayload decodes a job record that may be either the single-device
+// shape (qrm.Job) or a fleet envelope (fleet.Job, carrying the device record
+// under "result") — a legacy client pointed at a fleet server transparently
+// gets the flattened device record, keeping "no code modifications from the
+// user" true across deployment shapes.
+func decodeJobPayload(data []byte) (*qrm.Job, error) {
+	var probe struct {
+		Device string          `json:"device"`
+		Result json.RawMessage `json:"result"`
+		Status string          `json:"status"`
+	}
+	// A fleet envelope carries a device/result, or — for a job parked with
+	// no eligible backend, which has neither — one of the fleet-only status
+	// values ("pending"/"routed" are not qrm statuses). Probe errors fall
+	// through to the strict qrm.Job decode below.
+	if json.Unmarshal(data, &probe) == nil &&
+		(probe.Device != "" || len(probe.Result) > 0 ||
+			probe.Status == string(fleet.JobPending) || probe.Status == string(fleet.JobRouted)) {
+		var fj fleet.Job
+		if err := json.Unmarshal(data, &fj); err != nil {
+			return nil, fmt.Errorf("mqss: decoding fleet job: %w", err)
+		}
+		return flattenFleetJob(&fj), nil
+	}
 	var job qrm.Job
-	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+	if err := json.Unmarshal(data, &job); err != nil {
 		return nil, fmt.Errorf("mqss: decoding job: %w", err)
 	}
 	return &job, nil
@@ -132,6 +187,21 @@ func (c *Client) RunBatch(reqs []qrm.Request) ([]*qrm.Job, error) {
 // completes* — the per-job completion streaming of the dispatch pipeline.
 // It returns all completed jobs in submission order. onJob may be nil.
 func (c *Client) StreamBatch(reqs []qrm.Request, onJob func(*qrm.Job)) ([]*qrm.Job, error) {
+	if c.localFleet != nil {
+		var flatOn func(*fleet.Job)
+		if onJob != nil {
+			flatOn = func(j *fleet.Job) { onJob(flattenFleetJob(j)) }
+		}
+		jobs, err := c.StreamBatchRouted(reqs, RouteOptions{}, flatOn)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*qrm.Job, len(jobs))
+		for i, j := range jobs {
+			out[i] = flattenFleetJob(j)
+		}
+		return out, nil
+	}
 	if c.local != nil {
 		return c.streamBatchLocal(reqs, onJob)
 	}
@@ -207,14 +277,18 @@ func (c *Client) streamBatchRemote(reqs []qrm.Request, onJob func(*qrm.Job)) ([]
 	}
 	byID := make(map[int]*qrm.Job, len(header.JobIDs))
 	for range header.JobIDs {
-		var job qrm.Job
-		if err := dec.Decode(&job); err != nil {
+		var line json.RawMessage
+		if err := dec.Decode(&line); err != nil {
 			return nil, fmt.Errorf("mqss: decoding streamed job: %w", err)
 		}
-		if onJob != nil {
-			onJob(&job)
+		job, err := decodeJobPayload(line)
+		if err != nil {
+			return nil, err
 		}
-		byID[job.ID] = &job
+		if onJob != nil {
+			onJob(job)
+		}
+		byID[job.ID] = job
 	}
 	out := make([]*qrm.Job, 0, len(header.JobIDs))
 	for _, id := range header.JobIDs {
@@ -228,7 +302,12 @@ func (c *Client) streamBatchRemote(reqs []qrm.Request, onJob func(*qrm.Job)) ([]
 }
 
 // Metrics fetches the server's dispatch-pipeline metrics snapshot over REST.
+// Fleet clients/servers expose a fleet-shaped snapshot instead: use
+// FleetMetrics.
 func (c *Client) Metrics() (*qrm.Metrics, error) {
+	if c.localFleet != nil {
+		return nil, fmt.Errorf("mqss: fleet client; use FleetMetrics")
+	}
 	if c.local != nil {
 		snap := c.local.Metrics()
 		return &snap, nil
@@ -250,6 +329,13 @@ func (c *Client) Metrics() (*qrm.Metrics, error) {
 
 // Job fetches a job record by ID.
 func (c *Client) Job(id int) (*qrm.Job, error) {
+	if c.localFleet != nil {
+		j, err := c.localFleet.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		return flattenFleetJob(j), nil
+	}
 	if c.local != nil {
 		return c.local.Job(id)
 	}
@@ -261,20 +347,31 @@ func (c *Client) Job(id int) (*qrm.Job, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeError(resp)
 	}
-	var job qrm.Job
-	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
-		return nil, fmt.Errorf("mqss: decoding job: %w", err)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: reading job %d: %w", id, err)
 	}
-	return &job, nil
+	return decodeJobPayload(data)
 }
 
 // History fetches a page of job history.
 func (c *Client) History(user string, offset, limit int) (*qrm.Page, error) {
+	if c.localFleet != nil {
+		fp, err := c.localFleet.History(user, offset, limit)
+		if err != nil {
+			return nil, err
+		}
+		page := &qrm.Page{Total: fp.Total, Offset: fp.Offset, Limit: fp.Limit, HasMore: fp.HasMore}
+		for _, j := range fp.Jobs {
+			page.Jobs = append(page.Jobs, flattenFleetJob(j))
+		}
+		return page, nil
+	}
 	if c.local != nil {
 		return c.local.History(user, offset, limit)
 	}
-	url := fmt.Sprintf("%s%s?offset=%d&limit=%d&user=%s", c.baseURL, pathJobs, offset, limit, user)
-	resp, err := c.httpc.Get(url)
+	u := fmt.Sprintf("%s%s?offset=%d&limit=%d&user=%s", c.baseURL, pathJobs, offset, limit, url.QueryEscape(user))
+	resp, err := c.httpc.Get(u)
 	if err != nil {
 		return nil, fmt.Errorf("mqss: GET history: %w", err)
 	}
@@ -282,20 +379,39 @@ func (c *Client) History(user string, offset, limit int) (*qrm.Page, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeError(resp)
 	}
-	var page qrm.Page
-	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+	// Decode with raw job entries so a fleet server's envelope records can
+	// be flattened per job (see decodeJobPayload).
+	var raw struct {
+		Jobs    []json.RawMessage `json:"jobs"`
+		Total   int               `json:"total"`
+		Offset  int               `json:"offset"`
+		Limit   int               `json:"limit"`
+		HasMore bool              `json:"has_more"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
 		return nil, fmt.Errorf("mqss: decoding page: %w", err)
 	}
-	return &page, nil
+	page := &qrm.Page{Total: raw.Total, Offset: raw.Offset, Limit: raw.Limit, HasMore: raw.HasMore}
+	for _, data := range raw.Jobs {
+		j, err := decodeJobPayload(data)
+		if err != nil {
+			return nil, err
+		}
+		page.Jobs = append(page.Jobs, j)
+	}
+	return page, nil
 }
 
-// DeviceInfo is the REST device summary.
+// DeviceInfo is the REST device summary. Calibration carries the full
+// record — per-qubit parameters and the per-coupler CZ fidelities (via the
+// device.Calibration edge-list JSON encoding).
 type DeviceInfo struct {
-	Properties      qdmi.Properties `json:"properties"`
-	Fidelity1Q      float64         `json:"fidelity_1q"`
-	FidelityReadout float64         `json:"fidelity_readout"`
-	FidelityCZ      float64         `json:"fidelity_cz"`
-	CalibrationAgeH float64         `json:"calibration_age_h"`
+	Properties      qdmi.Properties     `json:"properties"`
+	Fidelity1Q      float64             `json:"fidelity_1q"`
+	FidelityReadout float64             `json:"fidelity_readout"`
+	FidelityCZ      float64             `json:"fidelity_cz"`
+	CalibrationAgeH float64             `json:"calibration_age_h"`
+	Calibration     *device.Calibration `json:"calibration,omitempty"`
 }
 
 // Device fetches device properties over REST. (Local clients should use
@@ -307,6 +423,236 @@ func (c *Client) Device() (*DeviceInfo, error) {
 	resp, err := c.httpc.Get(c.baseURL + pathDevice)
 	if err != nil {
 		return nil, fmt.Errorf("mqss: GET device: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var info DeviceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("mqss: decoding device info: %w", err)
+	}
+	return &info, nil
+}
+
+// RouteOptions tune a fleet submission: pin a device and/or override the
+// routing policy for this call.
+type RouteOptions struct {
+	Device string
+	Policy string
+}
+
+func (o RouteOptions) query() string {
+	v := url.Values{}
+	if o.Device != "" {
+		v.Set("device", o.Device)
+	}
+	if o.Policy != "" {
+		v.Set("policy", o.Policy)
+	}
+	if len(v) == 0 {
+		return ""
+	}
+	return "?" + v.Encode()
+}
+
+func (o RouteOptions) submitOptions() (fleet.SubmitOptions, error) {
+	opts := fleet.SubmitOptions{Device: o.Device}
+	if o.Policy != "" {
+		p := fleet.Policy(o.Policy)
+		if err := p.Validate(); err != nil {
+			return opts, err
+		}
+		opts.Policy = p
+	}
+	return opts, nil
+}
+
+// flattenFleetJob converts a fleet job into the legacy single-device record
+// shape: the device-level result re-keyed under the fleet job ID, so
+// single-device call sites work unchanged against a fleet.
+func flattenFleetJob(j *fleet.Job) *qrm.Job {
+	if j == nil {
+		return nil
+	}
+	if j.Result != nil {
+		cp := *j.Result
+		cp.ID = j.ID
+		return &cp
+	}
+	status := qrm.StatusQueued
+	switch j.Status {
+	case fleet.JobDone:
+		status = qrm.StatusDone
+	case fleet.JobFailed:
+		status = qrm.StatusFailed
+	case fleet.JobCancelled:
+		status = qrm.StatusCancelled
+	}
+	return &qrm.Job{ID: j.ID, Status: status, Request: j.Request, Error: j.Error}
+}
+
+// RunRouted submits a job through the fleet scheduler and waits for it to
+// settle (including any drain/failover migrations), returning the full
+// fleet record: which device ran it, the routing score, migration count,
+// and the device-level result. Valid against a fleet client or server.
+func (c *Client) RunRouted(req qrm.Request, opts RouteOptions) (*fleet.Job, error) {
+	if c.localFleet != nil {
+		so, err := opts.submitOptions()
+		if err != nil {
+			return nil, err
+		}
+		id, err := c.localFleet.Submit(req, so)
+		if err != nil {
+			return nil, err
+		}
+		return c.localFleet.Wait(id)
+	}
+	if c.local != nil {
+		return nil, fmt.Errorf("mqss: single-device client; use Run")
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: encoding request: %w", err)
+	}
+	resp, err := c.httpc.Post(c.baseURL+pathJobs+opts.query(), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("mqss: POST %s: %w", pathJobs, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, decodeError(resp)
+	}
+	var job fleet.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		return nil, fmt.Errorf("mqss: decoding fleet job: %w", err)
+	}
+	return &job, nil
+}
+
+// StreamBatchRouted submits a batch through the fleet and invokes onJob for
+// every job as it settles, in completion order; the batch may span devices.
+// It returns all fleet records in submission order. onJob may be nil.
+func (c *Client) StreamBatchRouted(reqs []qrm.Request, opts RouteOptions, onJob func(*fleet.Job)) ([]*fleet.Job, error) {
+	if c.localFleet != nil {
+		so, err := opts.submitOptions()
+		if err != nil {
+			return nil, err
+		}
+		_, ids, err := c.localFleet.SubmitBatch(reqs, so)
+		if err != nil {
+			return nil, err
+		}
+		byID := make(map[int]*fleet.Job, len(ids))
+		var firstErr error
+		c.localFleet.WaitEach(ids, func(id int, j *fleet.Job, err error) {
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if onJob != nil {
+				onJob(j)
+			}
+			byID[id] = j
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		out := make([]*fleet.Job, 0, len(ids))
+		for _, id := range ids {
+			out = append(out, byID[id])
+		}
+		return out, nil
+	}
+	if c.local != nil {
+		return nil, fmt.Errorf("mqss: single-device client; use StreamBatch")
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: encoding batch: %w", err)
+	}
+	q := url.Values{"stream": {"1"}}
+	if opts.Device != "" {
+		q.Set("device", opts.Device)
+	}
+	if opts.Policy != "" {
+		q.Set("policy", opts.Policy)
+	}
+	resp, err := c.httpc.Post(c.baseURL+pathJobsBatch+"?"+q.Encode(), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("mqss: POST %s: %w", pathJobsBatch, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, decodeError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var header struct {
+		BatchID int   `json:"batch_id"`
+		JobIDs  []int `json:"job_ids"`
+	}
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("mqss: decoding batch header: %w", err)
+	}
+	byID := make(map[int]*fleet.Job, len(header.JobIDs))
+	for range header.JobIDs {
+		var job fleet.Job
+		if err := dec.Decode(&job); err != nil {
+			return nil, fmt.Errorf("mqss: decoding streamed fleet job: %w", err)
+		}
+		if onJob != nil {
+			onJob(&job)
+		}
+		byID[job.ID] = &job
+	}
+	out := make([]*fleet.Job, 0, len(header.JobIDs))
+	for _, id := range header.JobIDs {
+		j, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("mqss: job %d missing from batch stream", id)
+		}
+		out = append(out, j)
+	}
+	return out, nil
+}
+
+// FleetMetrics fetches the fleet status/metrics snapshot (GET
+// /api/v1/fleet): per-device state, queue depths, routed/migrated/failed
+// counters, fidelity means, and score histograms.
+func (c *Client) FleetMetrics() (*fleet.Metrics, error) {
+	if c.localFleet != nil {
+		m := c.localFleet.Metrics()
+		return &m, nil
+	}
+	if c.local != nil {
+		return nil, fmt.Errorf("mqss: single-device client has no fleet")
+	}
+	resp, err := c.httpc.Get(c.baseURL + pathFleet)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: GET fleet: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var m fleet.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("mqss: decoding fleet metrics: %w", err)
+	}
+	return &m, nil
+}
+
+// FleetDevice fetches one fleet backend's device info (properties plus the
+// full calibration record including couplers).
+func (c *Client) FleetDevice(name string) (*DeviceInfo, error) {
+	if c.local != nil || c.localFleet != nil {
+		return nil, fmt.Errorf("mqss: local clients query QDMI directly")
+	}
+	resp, err := c.httpc.Get(c.baseURL + pathDevice + "?device=" + url.QueryEscape(name))
+	if err != nil {
+		return nil, fmt.Errorf("mqss: GET device %q: %w", name, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -1,9 +1,12 @@
 // Package mqss reproduces the Munich Quantum Software Stack architecture of
 // Fig. 2: frontend adapters submit circuits to a client, which automatically
-// detects whether the job originates inside or outside the HPC environment
+// detects whether a job originates inside or outside the HPC environment
 // and routes it to the appropriate interface — the in-process HPC path for
 // tightly-coupled accelerator-style loops (VQE), or the REST API for remote
-// asynchronous access. Both paths land in the same QRM.
+// asynchronous access. Both paths land in the same QRM — or, in fleet mode,
+// in the multi-QPU fleet scheduler, which routes each job to the best
+// backend (calibration-aware) and migrates work around maintenance windows
+// and device faults.
 package mqss
 
 import (
@@ -13,8 +16,10 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/fleet"
 	"repro/internal/qdmi"
 	"repro/internal/qrm"
+	"repro/internal/telemetry"
 )
 
 // API paths.
@@ -22,16 +27,21 @@ const (
 	pathJobs      = "/api/v1/jobs"
 	pathJobsBatch = "/api/v1/jobs/batch"
 	pathDevice    = "/api/v1/device"
+	pathFleet     = "/api/v1/fleet"
 	pathTelemetry = "/api/v1/telemetry/"
 	pathMetrics   = "/api/v1/metrics"
 	pathHealthz   = "/healthz"
 )
 
-// Server exposes the QRM over HTTP — the REST access mode of Fig. 2.
+// Server exposes the stack over HTTP — the REST access mode of Fig. 2. It
+// serves either a single QRM (NewServer) or a multi-QPU fleet scheduler
+// (NewFleetServer); the API surface is the same, with fleet mode adding
+// `?device=` pinning, a `?policy=` routing knob, and GET /api/v1/fleet.
 type Server struct {
-	qrm *qrm.Manager
-	dev *qdmi.Device
-	mux *http.ServeMux
+	qrm   *qrm.Manager
+	dev   *qdmi.Device
+	fleet *fleet.Scheduler
+	mux   *http.ServeMux
 	// AutoRun executes jobs synchronously on submission whenever the QRM's
 	// dispatch pipeline is not running, which keeps the remote path
 	// self-contained in tests and examples. With the pipeline started
@@ -39,21 +49,36 @@ type Server struct {
 	// worker pool — the pipeline/fallback choice is made per request, so a
 	// pipeline stopped after the server was built degrades to synchronous
 	// execution instead of leaving jobs queued forever. Set AutoRun false
-	// only for a deliberately asynchronous submit-and-poll server.
+	// only for a deliberately asynchronous submit-and-poll server. Fleet
+	// mode always has live worker pools; there AutoRun only selects between
+	// wait-for-result (true) and submit-and-poll (false) responses.
 	AutoRun bool
 }
 
-// NewServer builds the REST front end.
+// NewServer builds the single-device REST front end.
 func NewServer(m *qrm.Manager, dev *qdmi.Device) *Server {
-	s := &Server{qrm: m, dev: dev, mux: http.NewServeMux(), AutoRun: true}
+	s := &Server{qrm: m, dev: dev, AutoRun: true}
+	s.routes()
+	return s
+}
+
+// NewFleetServer builds the fleet REST front end over a multi-QPU scheduler.
+func NewFleetServer(f *fleet.Scheduler) *Server {
+	s := &Server{fleet: f, AutoRun: true}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
 	s.mux.HandleFunc(pathJobs, s.handleJobs)
 	s.mux.HandleFunc(pathJobs+"/", s.handleJobByID)
 	s.mux.HandleFunc(pathJobsBatch, s.handleBatch)
 	s.mux.HandleFunc(pathDevice, s.handleDevice)
+	s.mux.HandleFunc(pathFleet, s.handleFleet)
 	s.mux.HandleFunc(pathTelemetry, s.handleTelemetry)
 	s.mux.HandleFunc(pathMetrics, s.handleMetrics)
 	s.mux.HandleFunc(pathHealthz, s.handleHealthz)
-	return s
 }
 
 // complete brings a submitted job to a terminal state using whichever
@@ -93,6 +118,20 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// submitOptions extracts the fleet routing controls from the query string:
+// `?device=` pins a backend, `?policy=` overrides the routing policy.
+func submitOptions(r *http.Request) (fleet.SubmitOptions, error) {
+	opts := fleet.SubmitOptions{Device: r.URL.Query().Get("device")}
+	if p := r.URL.Query().Get("policy"); p != "" {
+		pol := fleet.Policy(p)
+		if err := pol.Validate(); err != nil {
+			return opts, err
+		}
+		opts.Policy = pol
+	}
+	return opts, nil
+}
+
 // handleJobs: POST = submit, GET = paginated history.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
@@ -100,6 +139,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		var req qrm.Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		if s.fleet != nil {
+			s.submitFleetJob(w, r, req)
 			return
 		}
 		id, err := s.qrm.Submit(req)
@@ -121,6 +164,15 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		offset := queryInt(r, "offset", 0)
 		limit := queryInt(r, "limit", 20)
 		user := r.URL.Query().Get("user")
+		if s.fleet != nil {
+			page, err := s.fleet.History(user, offset, limit)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, page)
+			return
+		}
 		page, err := s.qrm.History(user, offset, limit)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -130,6 +182,35 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 	}
+}
+
+// submitFleetJob routes one POSTed job through the fleet scheduler.
+func (s *Server) submitFleetJob(w http.ResponseWriter, r *http.Request, req qrm.Request) {
+	opts, err := submitOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.fleet.Submit(req, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if s.AutoRun {
+		job, err := s.fleet.Wait(id)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, job)
+		return
+	}
+	job, err := s.fleet.Job(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, job)
 }
 
 // handleJobByID: GET /api/v1/jobs/{id}.
@@ -144,6 +225,15 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", idStr))
 		return
 	}
+	if s.fleet != nil {
+		job, err := s.fleet.Job(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
 	job, err := s.qrm.Job(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -156,7 +246,8 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 // response is NDJSON: a header line {"batch_id","job_ids"} followed by one
 // completed job record per line *in completion order* — against a running
 // dispatch pipeline, clients see results as the workers finish them instead
-// of waiting for the slowest job in the batch.
+// of waiting for the slowest job in the batch. In fleet mode the batch is
+// routed job-by-job (it may span devices) and honours ?device= / ?policy=.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
@@ -167,12 +258,43 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding batch: %w", err))
 		return
 	}
+	stream := false
+	if v := r.URL.Query().Get("stream"); v != "" && v != "0" && v != "false" {
+		stream = true
+	}
+	if s.fleet != nil {
+		opts, err := submitOptions(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		batch, ids, err := s.fleet.SubmitBatch(reqs, opts)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		if stream {
+			s.streamFleetBatch(w, batch, ids)
+			return
+		}
+		for _, id := range ids {
+			if _, err := s.fleet.Wait(id); err != nil {
+				writeError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+		}
+		writeJSON(w, http.StatusCreated, map[string]interface{}{
+			"batch_id": batch,
+			"job_ids":  ids,
+		})
+		return
+	}
 	batch, ids, err := s.qrm.SubmitBatch(reqs)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	if v := r.URL.Query().Get("stream"); v != "" && v != "0" && v != "false" {
+	if stream {
 		s.streamBatch(w, batch, ids)
 		return
 	}
@@ -188,18 +310,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// streamBatch writes the NDJSON batch response, flushing each completed job
-// as it lands.
-func (s *Server) streamBatch(w http.ResponseWriter, batch int, ids []int) {
+// ndjsonWriter prepares an NDJSON streaming response.
+func ndjsonWriter(w http.ResponseWriter) (*json.Encoder, func()) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusCreated)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	flush := func() {
+	return enc, func() {
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
+}
+
+// streamBatch writes the NDJSON batch response, flushing each completed job
+// as it lands. A client that disconnects mid-stream only loses its copy of
+// the results: encodes onto the dead connection fail silently, the
+// remaining jobs still complete server-side, and the handler returns once
+// every job has settled.
+func (s *Server) streamBatch(w http.ResponseWriter, batch int, ids []int) {
+	enc, flush := ndjsonWriter(w)
 	_ = enc.Encode(map[string]interface{}{"batch_id": batch, "job_ids": ids})
 	flush()
 
@@ -230,31 +360,109 @@ func (s *Server) streamBatch(w http.ResponseWriter, batch int, ids []int) {
 	}
 }
 
+// streamFleetBatch is the fleet-mode NDJSON stream: one fleet job record per
+// line in completion order, each carrying its routing envelope (device,
+// migrations, score) plus the device-level result.
+func (s *Server) streamFleetBatch(w http.ResponseWriter, batch int, ids []int) {
+	enc, flush := ndjsonWriter(w)
+	_ = enc.Encode(map[string]interface{}{"batch_id": batch, "job_ids": ids})
+	flush()
+	s.fleet.WaitEach(ids, func(id int, j *fleet.Job, err error) {
+		if err != nil {
+			j, _ = s.fleet.Job(id)
+		}
+		if j == nil {
+			return
+		}
+		_ = enc.Encode(j)
+		flush()
+	})
+}
+
 // handleMetrics: GET the dispatch-pipeline metrics snapshot (queue depth,
-// outcome counters, cache effectiveness, stage latency histograms).
+// outcome counters, cache effectiveness, stage latency histograms) — or, in
+// fleet mode, the fleet snapshot with per-device breakdowns.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
+	if s.fleet != nil {
+		writeJSON(w, http.StatusOK, s.fleet.Metrics())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.qrm.Metrics())
 }
 
-// handleDevice: GET device properties + live calibration summary (QDMI
-// pass-through; §4 users asked for coupling maps and transparency).
+// handleFleet: GET /api/v1/fleet — the fleet status snapshot (404 on a
+// single-device server).
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if s.fleet == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("not a fleet server"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fleet.Metrics())
+}
+
+// deviceInfoJSON renders one device's properties + live calibration. The
+// full calibration record rides along (couplers included, via the custom
+// Calibration marshaller) — §4 users asked for per-element transparency,
+// not just means.
+func deviceInfoJSON(dev *qdmi.Device) map[string]interface{} {
+	calib := dev.Calibration()
+	return map[string]interface{}{
+		"properties":        dev.Properties(),
+		"fidelity_1q":       calib.MeanF1Q(),
+		"fidelity_readout":  calib.MeanFReadout(),
+		"fidelity_cz":       calib.MeanFCZ(),
+		"calibration_age_h": calib.AgeHours,
+		"calibration":       calib,
+	}
+}
+
+// handleDevice: GET device properties + live calibration (QDMI
+// pass-through; §4 users asked for coupling maps and transparency). Fleet
+// mode: `?device=` selects one backend; without it, every backend is
+// returned keyed by name.
 func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
-	calib := s.dev.Calibration()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"properties":        s.dev.Properties(),
-		"fidelity_1q":       calib.MeanF1Q(),
-		"fidelity_readout":  calib.MeanFReadout(),
-		"fidelity_cz":       calib.MeanFCZ(),
-		"calibration_age_h": calib.AgeHours,
-	})
+	if s.fleet == nil {
+		writeJSON(w, http.StatusOK, deviceInfoJSON(s.dev))
+		return
+	}
+	if name := r.URL.Query().Get("device"); name != "" {
+		dev, err := s.fleet.DeviceHandle(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, deviceInfoJSON(dev))
+		return
+	}
+	out := make(map[string]interface{})
+	for _, name := range s.fleet.Devices() {
+		dev, err := s.fleet.DeviceHandle(name)
+		if err != nil {
+			continue // removed between listing and lookup
+		}
+		out[name] = deviceInfoJSON(dev)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// telemetryStore returns whichever store backs this server.
+func (s *Server) telemetryStore() *telemetry.Store {
+	if s.fleet != nil {
+		return s.fleet.Store()
+	}
+	return s.dev.Store()
 }
 
 // handleTelemetry: GET /api/v1/telemetry/{sensor} — transparent telemetry
@@ -264,7 +472,7 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
-	store := s.dev.Store()
+	store := s.telemetryStore()
 	if store == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("telemetry store not attached"))
 		return
@@ -285,6 +493,17 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.fleet != nil {
+		active := s.fleet.ActiveDevices()
+		status := "ok"
+		if active == 0 {
+			status = "fleet-offline"
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"status": status, "active_devices": active,
+		})
+		return
+	}
 	status := "ok"
 	if !s.qrm.Online() {
 		status = "qpu-offline"

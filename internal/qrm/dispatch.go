@@ -154,6 +154,15 @@ func (m *Manager) WaitEach(ids []int, fn func(id int, j *Job, err error)) {
 	}
 }
 
+// Load returns the queue depth and in-flight count in one lock acquisition —
+// the cheap load signal fleet routing reads per decision (Metrics would
+// snapshot four histograms per call).
+func (m *Manager) Load() (queued, inflight int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue), m.inflight
+}
+
 // WaitIdle blocks until the queue is empty and no job is in flight — the
 // pipeline-mode analogue of Drain.
 func (m *Manager) WaitIdle() {

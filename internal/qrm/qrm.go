@@ -109,7 +109,7 @@ func (q jobQueue) Less(i, j int) bool {
 	}
 	return a.ID < b.ID
 }
-func (q jobQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q jobQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *jobQueue) Push(x interface{}) { *q = append(*q, x.(*Job)) }
 func (q *jobQueue) Pop() interface{} {
 	old := *q
