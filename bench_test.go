@@ -571,3 +571,32 @@ func BenchmarkNoisyExecutionGHZ5x100(b *testing.B) {
 		}
 	}
 }
+
+// --- E15: compiled-circuit execution engine vs the naive shot loop. ---
+//
+// BenchmarkExecuteCompiled* time device.Execute (compile-once, pooled
+// states, noiseless fast path); the *Naive variants time the retained
+// reference loop so the BENCH_sim.json speedups are reproducible from the
+// benchmark table alone.
+
+func benchmarkExecute(b *testing.B, qpu *device.QPU, naive bool, shots int) {
+	b.Helper()
+	ghz := device.NativeGHZLine(5)
+	exec := qpu.Execute
+	if naive {
+		exec = qpu.ExecuteNaive
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec(ghz, shots); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+}
+
+func BenchmarkExecuteCompiled(b *testing.B)      { benchmarkExecute(b, device.NewTwin20Q(40), false, 200) }
+func BenchmarkExecuteNaive(b *testing.B)         { benchmarkExecute(b, device.NewTwin20Q(40), true, 200) }
+func BenchmarkExecuteCompiledNoisy(b *testing.B) { benchmarkExecute(b, device.New20Q(41), false, 200) }
+func BenchmarkExecuteNaiveNoisy(b *testing.B)    { benchmarkExecute(b, device.New20Q(41), true, 200) }

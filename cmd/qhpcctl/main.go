@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/device"
 	"repro/internal/fleet"
 	"repro/internal/mqss"
 	"repro/internal/qrm"
@@ -173,9 +174,38 @@ func main() {
 		fleetMode := fs.Bool("fleet", false, "use the fleet routing API (streamed batches with routing envelopes)")
 		device := fs.String("device", "", "fleet mode: pin all jobs to one device")
 		policy := fs.String("policy", "", "fleet mode: routing policy override")
+		simMode := fs.Bool("sim", false, "run the in-process execution-engine bench (no server; compares naive vs compiled shot loop)")
 		jsonOut := fs.String("json", "", "write machine-readable bench results to this file")
 		if err := fs.Parse(args[1:]); err != nil {
 			log.Fatal(err)
+		}
+		if *simMode {
+			// -sim runs in process against a local device pair: the
+			// server-load controls don't apply, and silently ignoring them
+			// would misreport what was measured.
+			set := map[string]bool{}
+			fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			for _, name := range []string{"clients", "batch", "fleet", "device", "policy"} {
+				if set[name] {
+					log.Fatalf("bench -sim is in-process; -%s does not apply (supported: -jobs, -shots, -qubits, -json)", name)
+				}
+			}
+			// Zero values keep the harness defaults (the BENCH_sim.json
+			// artifact configuration), so a bare `bench -sim` reproduces the
+			// tracked workload; the bench subcommand's own flag defaults
+			// must not override it.
+			p := simBenchParams{jsonOut: *jsonOut}
+			if set["jobs"] {
+				p.jobs = *jobs
+			}
+			if set["shots"] {
+				p.shots = *shots
+			}
+			if set["qubits"] {
+				p.qubits = *qubits
+			}
+			runSimBench(p)
+			break
 		}
 		runBench(*server, benchConfig{
 			clients: *clients, jobs: *jobs, shots: *shots, qubits: *qubits,
@@ -389,6 +419,44 @@ func runBench(server string, cfg benchConfig) {
 	}
 }
 
+// simBenchParams parameterizes the in-process execution-engine bench.
+// jobs == 0 keeps the harness defaults (the artifact configuration).
+type simBenchParams struct {
+	shots, qubits, jobs int
+	jsonOut             string
+}
+
+// runSimBench runs the device-level execution-engine harness (the one
+// behind BENCH_sim.json) in process — no daemon needed — and reports the
+// naive-vs-compiled speedups.
+func runSimBench(p simBenchParams) {
+	art, err := device.RunSimBench(device.SimBenchConfig{
+		Shots: p.shots, Qubits: p.qubits,
+		NoiselessJobs: p.jobs, NoisyJobs: p.jobs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sim bench: %s\n", art.Workload)
+	for _, row := range art.Rows {
+		fmt.Printf("  %-14s naive %8.0f jobs/s (p50 %7.3f ms)  ->  compiled %8.0f jobs/s (p50 %7.3f ms, p95 %7.3f ms)  %5.1fx\n",
+			row.Name, row.NaiveJobsPerSec, row.NaiveP50Ms,
+			row.CompiledJobsPerSec, row.CompiledP50Ms, row.CompiledP95Ms, row.Speedup)
+	}
+	fmt.Printf("  speedup: %.1fx noiseless (fast path), %.1fx noisy (trajectory path)\n",
+		art.SpeedupNoiseless, art.SpeedupNoisy)
+	if p.jsonOut != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(p.jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", p.jsonOut)
+	}
+}
+
 func printJob(j *qrm.Job) {
 	fmt.Printf("job #%d: %s\n", j.ID, j.Status)
 	if j.Error != "" {
@@ -428,8 +496,10 @@ commands:
   history [-user U] [-offset N] [-limit N]   page through job history
   fleet [status]                       show per-device fleet status (fleet servers)
   bench [-clients N] [-jobs N] [-shots N] [-qubits N] [-batch]
-        [-fleet] [-device D] [-policy P] [-json FILE]
+        [-fleet] [-device D] [-policy P] [-sim] [-json FILE]
                                        drive concurrent load and report throughput/latency;
-                                       -fleet uses the routed API, -json writes results`)
+                                       -fleet uses the routed API, -json writes results,
+                                       -sim runs the in-process execution-engine bench
+                                       (naive vs compiled shot loop, BENCH_sim.json shape)`)
 	os.Exit(2)
 }

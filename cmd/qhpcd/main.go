@@ -6,6 +6,7 @@
 //
 //	qhpcd [-addr :8080] [-seed 1] [-twin] [-redundant] [-workers 4]
 //	      [-devices 1] [-fleet-policy best-fidelity] [-maintenance-days 0]
+//	      [-pprof-addr localhost:6060]
 //
 // With -devices N > 1 the daemon serves a simulated multi-QPU fleet: the
 // center's primary QPU plus N-1 heterogeneous siblings (different grid
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (-pprof-addr)
 	"os"
 	"time"
 
@@ -41,7 +43,22 @@ func main() {
 		"attach staggered maintenance windows every N days to each fleet device (0 = none)")
 	simRate := flag.Float64("sim-rate", 0,
 		"simulated days per wall-clock second driving the fleet maintenance clock (0 = frozen; defaults to 1 when -maintenance-days is set)")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiling endpoints live on their own listener (the pprof
+		// import registers on http.DefaultServeMux), so hot-path work can be
+		// profiled against the live daemon without exposing profiles on the
+		// public API port.
+		go func() {
+			fmt.Fprintf(os.Stderr, "qhpcd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("qhpcd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	center, err := core.New(core.Config{
 		Seed: *seed, Nodes: *nodes, Redundant: *redundant, DigitalTwin: *twin,

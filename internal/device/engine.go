@@ -1,0 +1,561 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/quantum"
+)
+
+// This file is the compiled-circuit execution engine: Execute lowers a
+// native circuit once into a flat program of precomputed matrices and
+// calibration-derived noise channels (cached by circuit fingerprint +
+// calibration epoch, the PR-1 transpile-cache pattern), then runs shots
+// against pooled, reset-in-place states. When the program carries no noise
+// channels — the digital twin, or a calibration with zero gate error — the
+// state is simulated exactly once and all shots are drawn from it, turning
+// an O(shots x gates) loop into O(gates + shots).
+
+// noiseApp is one precomputed Kraus-channel application site: channel
+// parameters are a pure function of the calibration snapshot, so the
+// exp(-t/T1)-style math runs at compile time, not once per shot per gate.
+type noiseApp struct {
+	q  int // compact state index
+	ch quantum.Channel
+}
+
+// noisyOp is one hardware gate of the trajectory program: a precomputed
+// unitary plus the noise channels that follow it. Error-free single-qubit
+// runs (RZ is virtual) are fused into the next noisy gate's matrix, which
+// preserves the trajectory distribution exactly.
+type noisyOp struct {
+	op    quantum.ProgOp
+	noise []noiseApp
+}
+
+// compiledJob is a circuit lowered against one calibration snapshot:
+// everything shot execution needs, with all per-shot decoding and
+// allocation hoisted out of the loop.
+type compiledJob struct {
+	compactQubits int   // simulated register size; 0 when no qubit is touched
+	toPhysical    []int // compact index -> physical qubit
+
+	// unitary is the fully fused pure program (noiseless path).
+	unitary *quantum.Program
+	// noisy is the trajectory program (per-shot path); empty when the
+	// calibration contributes no gate or decoherence error.
+	noisy []noisyOp
+	// readout is the classical confusion model, nil when every qubit reads
+	// out perfectly.
+	readout *quantum.ReadoutModel
+	// noiseless marks programs with no trajectory channels: one simulation
+	// serves every shot (readout corruption, being classical and
+	// per-sample, still applies).
+	noiseless bool
+
+	durPerShotUs float64
+}
+
+// progKey identifies a compiled job: circuit structure + the calibration it
+// was compiled against.
+type progKey struct {
+	fingerprint uint64
+	epoch       uint64
+}
+
+// progEntry is a single-flight cache slot: ready closes once cj/err are set.
+type progEntry struct {
+	ready chan struct{}
+	cj    *compiledJob
+	err   error
+}
+
+// maxCompiledJobs bounds the per-device program cache. Stale-epoch entries
+// are evicted first; recompiling is always correct.
+const maxCompiledJobs = 256
+
+// ExecStats counts execution-engine activity: program-cache effectiveness
+// and which path shots took. Exposed so the QRM pipeline metrics (and
+// benches) can see engine behaviour without instrumenting the hot loop.
+type ExecStats struct {
+	CompileHits     uint64 `json:"compile_hits"`
+	CompileMisses   uint64 `json:"compile_misses"`
+	FastPathJobs    uint64 `json:"fast_path_jobs"`
+	TrajectoryJobs  uint64 `json:"trajectory_jobs"`
+	FastPathShots   uint64 `json:"fast_path_shots"`
+	TrajectoryShots uint64 `json:"trajectory_shots"`
+}
+
+// ExecStats returns a snapshot of the engine counters.
+func (d *QPU) ExecStats() ExecStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.execStats
+}
+
+// Execute runs a native circuit for the given number of shots through the
+// compiled-circuit engine. The circuit must already be transpiled: only
+// PRX, RZ, CZ and barriers are accepted (callers go through the QRM, whose
+// JIT compiler guarantees this). The noise model is identical to
+// ExecuteNaive — the reference per-shot implementation the equivalence
+// tests check against:
+//   - every PRX applies depolarizing(1-F1Q) on its qubit;
+//   - every CZ applies depolarizing((1-FCZ)/2) on both qubits;
+//   - RZ is virtual (frame update): error-free and duration-free;
+//   - after each gate, the acting qubits accumulate T1/T2 decoherence for
+//     the gate duration;
+//   - measured bits flip through the per-qubit readout confusion model.
+//
+// Compilation is cached by circuit fingerprint + calibration epoch, so a
+// batch of identical jobs (the VQE measurement loop) compiles once. Noisy
+// shots fan out across a worker group; the per-call RNG stream is still
+// derived deterministically from the seeded device RNG (worker sub-streams
+// are seeded in order, so results are reproducible for a fixed GOMAXPROCS).
+func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
+	if err := d.validateExecution(c, shots); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	if d.injectedFaults > 0 {
+		d.injectedFaults--
+		latency := d.execLatency
+		d.mu.Unlock()
+		// The fault surfaces after the control-electronics round trip, like a
+		// real readback failure — so callers see the job in flight first.
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		return nil, fmt.Errorf("device: %s: control electronics fault (injected)", d.name)
+	}
+	rng := rand.New(rand.NewSource(d.rng.Int63()))
+	latency := d.execLatency
+	d.mu.Unlock()
+
+	cj, hit, err := d.compiledFor(c)
+	if err != nil {
+		return nil, err
+	}
+
+	var counts map[int]int
+	if cj.noiseless {
+		counts, err = cj.runFast(shots, rng)
+	} else {
+		counts, err = cj.runTrajectories(shots, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	d.mu.Lock()
+	d.executedJobs++
+	d.executedShots += int64(shots)
+	if hit {
+		d.execStats.CompileHits++
+	} else {
+		d.execStats.CompileMisses++
+	}
+	if cj.noiseless {
+		d.execStats.FastPathJobs++
+		d.execStats.FastPathShots += uint64(shots)
+	} else {
+		d.execStats.TrajectoryJobs++
+		d.execStats.TrajectoryShots += uint64(shots)
+	}
+	d.mu.Unlock()
+	return &Result{Counts: counts, Shots: shots, DurationUs: cj.durPerShotUs * float64(shots)}, nil
+}
+
+// compiledFor returns the compiled job for the circuit against the current
+// calibration, compiling at most once across concurrent callers
+// (single-flight, like the QRM transpile cache). hit reports whether this
+// caller reused an existing compilation, including waiting on another
+// caller's in-flight one.
+//
+// The hit path reads only the epoch (one uint64 under the device lock);
+// the miss path takes one consistent (calibration, epoch) snapshot and
+// registers the entry under the snapshot's epoch, so a cached program's
+// noise always matches the calibration its key names — a drift tick
+// landing mid-lookup can at worst cause one redundant compile, never a
+// stale-noise hit.
+func (d *QPU) compiledFor(c *circuit.Circuit) (cj *compiledJob, hit bool, err error) {
+	fp := c.Fingerprint()
+	key := progKey{fingerprint: fp, epoch: d.CalibEpoch()}
+	d.progMu.Lock()
+	if d.progs == nil {
+		d.progs = make(map[progKey]*progEntry)
+	}
+	if e, ok := d.progs[key]; ok {
+		d.progMu.Unlock()
+		<-e.ready
+		return e.cj, true, e.err
+	}
+	d.progMu.Unlock()
+
+	calib, epoch := d.CalibrationWithEpoch()
+	key = progKey{fingerprint: fp, epoch: epoch}
+	d.progMu.Lock()
+	if e, ok := d.progs[key]; ok {
+		// The snapshot's epoch differs from the first read and another
+		// caller owns that flight; wait on it.
+		d.progMu.Unlock()
+		<-e.ready
+		return e.cj, true, e.err
+	}
+	d.evictProgsLocked(epoch)
+	e := &progEntry{ready: make(chan struct{})}
+	d.progs[key] = e
+	d.progMu.Unlock()
+
+	e.cj, e.err = d.compileJob(c, calib)
+	close(e.ready)
+	if e.err != nil {
+		d.progMu.Lock()
+		if d.progs[key] == e {
+			delete(d.progs, key)
+		}
+		d.progMu.Unlock()
+	}
+	return e.cj, false, e.err
+}
+
+// evictProgsLocked keeps the program cache bounded: completed entries from
+// superseded epochs go first (their calibration no longer exists), then
+// any completed entry — in both passes only until the cache is back under
+// its bound, so a full current-epoch working set is not flushed wholesale.
+// In-flight entries survive — evicting them would break single-flight.
+func (d *QPU) evictProgsLocked(currentEpoch uint64) {
+	for k, e := range d.progs {
+		if len(d.progs) < maxCompiledJobs {
+			return
+		}
+		if k.epoch != currentEpoch && e.completed() {
+			delete(d.progs, k)
+		}
+	}
+	for k, e := range d.progs {
+		if len(d.progs) < maxCompiledJobs {
+			return
+		}
+		if e.completed() {
+			delete(d.progs, k)
+		}
+	}
+}
+
+func (e *progEntry) completed() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// compileJob lowers a validated native circuit against a calibration
+// snapshot into a compiledJob.
+func (d *QPU) compileJob(c *circuit.Circuit, calib *Calibration) (*compiledJob, error) {
+	compact, toPhysical, err := compactCircuit(c)
+	if err != nil {
+		return nil, err
+	}
+	cj := &compiledJob{
+		toPhysical:   toPhysical,
+		durPerShotUs: d.estimateDurationUs(c, 1),
+	}
+	if !d.twin {
+		cj.readout = nonTrivialReadout(readoutModel(calib, c.NumQubits))
+	}
+	if compact == nil {
+		cj.noiseless = true
+		return cj, nil
+	}
+	cj.compactQubits = compact.NumQubits
+	if cj.unitary, err = circuit.Compile(compact); err != nil {
+		return nil, err
+	}
+	if cj.noisy, err = d.compileTrajectoryOps(compact, toPhysical, calib); err != nil {
+		return nil, err
+	}
+	for i := range cj.noisy {
+		if len(cj.noisy[i].noise) > 0 {
+			return cj, nil // at least one channel: per-shot trajectories needed
+		}
+	}
+	cj.noiseless = true
+	cj.noisy = nil
+	return cj, nil
+}
+
+// compileTrajectoryOps builds the noisy per-shot program: precomputed gate
+// matrices with their calibration-derived channels. Virtual RZ runs fuse
+// into the following PRX matrix (RZ is error-free, so fusion does not move
+// any noise site); runs cut off by a CZ or the circuit end flush as bare
+// unitaries.
+func (d *QPU) compileTrajectoryOps(compact *circuit.Circuit, toPhysical []int, calib *Calibration) ([]noisyOp, error) {
+	ops := make([]noisyOp, 0, len(compact.Gates))
+	pending := make([]*quantum.Matrix2, compact.NumQubits)
+	fuse := func(q int, m quantum.Matrix2) quantum.Matrix2 {
+		if pending[q] != nil {
+			m = quantum.Mul2(m, *pending[q])
+			pending[q] = nil
+		}
+		return m
+	}
+	flush := func(q int) {
+		if pending[q] == nil {
+			return
+		}
+		ops = append(ops, noisyOp{op: quantum.ProgOp{Kind: quantum.ProgOp1Q, Q1: q, M2: *pending[q]}})
+		pending[q] = nil
+	}
+	for _, g := range compact.Gates {
+		switch g.Name {
+		case circuit.OpRZ:
+			m := quantum.RZ(g.Params[0])
+			q := g.Qubits[0]
+			if pending[q] != nil {
+				fused := quantum.Mul2(m, *pending[q])
+				pending[q] = &fused
+			} else {
+				pending[q] = &m
+			}
+		case circuit.OpPRX:
+			q := g.Qubits[0]
+			pq := toPhysical[q]
+			ops = append(ops, noisyOp{
+				op:    quantum.ProgOp{Kind: quantum.ProgOp1Q, Q1: q, M2: fuse(q, quantum.PRX(g.Params[0], g.Params[1]))},
+				noise: d.gateNoiseChannels(q, pq, 1-calib.Qubits[pq].F1Q, PRXDurationUs, calib),
+			})
+		case circuit.OpCZ:
+			a, b := g.Qubits[0], g.Qubits[1]
+			flush(a)
+			flush(b)
+			pa, pb := toPhysical[a], toPhysical[b]
+			errRate := (1 - calib.FCZ(pa, pb)) / 2
+			noise := d.gateNoiseChannels(a, pa, errRate, CZDurationUs, calib)
+			noise = append(noise, d.gateNoiseChannels(b, pb, errRate, CZDurationUs, calib)...)
+			ops = append(ops, noisyOp{
+				op:    quantum.ProgOp{Kind: quantum.ProgOp2Q, Q1: a, Q2: b, M4: quantum.CZ},
+				noise: noise,
+			})
+		default:
+			return nil, fmt.Errorf("device: non-native gate %q reached executor", g.Name)
+		}
+	}
+	for q := 0; q < compact.NumQubits; q++ {
+		flush(q)
+	}
+	return ops, nil
+}
+
+// gateNoiseChannels precomputes the channels applyGateNoise would build per
+// shot — depolarizing gate error plus T1/T2 decoherence for the gate
+// duration — and composes them into a single channel, so the shot loop
+// pays one Kraus selection per gate site instead of three. Channels with
+// zero strength are dropped (they are identity). Twin devices get none.
+func (d *QPU) gateNoiseChannels(q, physQ int, errRate, durUs float64, calib *Calibration) []noiseApp {
+	if d.twin {
+		return nil
+	}
+	var chs []quantum.Channel
+	if errRate > 0 {
+		chs = append(chs, quantum.Depolarizing(errRate))
+	}
+	qc := calib.Qubits[physQ]
+	if gamma := 1 - math.Exp(-durUs/qc.T1); gamma > 0 {
+		chs = append(chs, quantum.AmplitudeDamping(gamma))
+	}
+	// Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
+	if tphiInv := 1/qc.T2 - 1/(2*qc.T1); tphiInv > 0 {
+		if lambda := 1 - math.Exp(-durUs*tphiInv); lambda > 0 {
+			chs = append(chs, quantum.PhaseDamping(lambda))
+		}
+	}
+	if len(chs) == 0 {
+		return nil
+	}
+	composite := chs[0]
+	for _, ch := range chs[1:] {
+		composite = quantum.Compose(composite, ch)
+	}
+	return []noiseApp{{q: q, ch: composite}}
+}
+
+// nonTrivialReadout returns r, or nil when every qubit's confusion
+// probabilities are zero (perfect readout needs no corruption pass).
+func nonTrivialReadout(r *quantum.ReadoutModel) *quantum.ReadoutModel {
+	for q := range r.P10 {
+		if r.P10[q] > 0 || r.P01[q] > 0 {
+			return r
+		}
+	}
+	return nil
+}
+
+// expand maps a compact-register sample to physical bit positions.
+func (cj *compiledJob) expand(sample int) int {
+	outcome := 0
+	for i, p := range cj.toPhysical {
+		if sample&(1<<uint(i)) != 0 {
+			outcome |= 1 << uint(p)
+		}
+	}
+	return outcome
+}
+
+// countsHint sizes a counts map: outcomes are bounded by both the shot
+// count and (ignoring readout flips) the register dimension.
+func (cj *compiledJob) countsHint(shots int) int {
+	hint := shots
+	if cj.compactQubits < 10 && 1<<uint(cj.compactQubits) < hint {
+		hint = 1 << uint(cj.compactQubits)
+	}
+	if hint > 1024 {
+		hint = 1024
+	}
+	return hint
+}
+
+// runFast is the noiseless path: simulate the program exactly once and draw
+// every shot from the final state. Readout corruption, when present, is a
+// classical per-sample map and applies after sampling.
+func (cj *compiledJob) runFast(shots int, rng *rand.Rand) (map[int]int, error) {
+	counts := make(map[int]int, cj.countsHint(shots))
+	if cj.compactQubits == 0 {
+		// No gates touch any qubit: the register stays |0...0>.
+		if cj.readout == nil {
+			counts[0] = shots
+			return counts, nil
+		}
+		for shot := 0; shot < shots; shot++ {
+			counts[cj.readout.Corrupt(0, rng)]++
+		}
+		return counts, nil
+	}
+	st, err := quantum.AcquireState(cj.compactQubits)
+	if err != nil {
+		return nil, err
+	}
+	defer quantum.ReleaseState(st)
+	if err := cj.unitary.RunOn(st); err != nil {
+		return nil, err
+	}
+	for _, sample := range st.SampleBitstrings(shots, rng) {
+		outcome := cj.expand(sample)
+		if cj.readout != nil {
+			outcome = cj.readout.Corrupt(outcome, rng)
+		}
+		counts[outcome]++
+	}
+	return counts, nil
+}
+
+// runTrajectories is the noisy path: per-shot Monte-Carlo trajectories over
+// pooled states, fanned out across a worker group. Workers draw their seeds
+// from the job RNG in order, so the fan-out stays deterministic for a fixed
+// worker count.
+func (cj *compiledJob) runTrajectories(shots int, rng *rand.Rand) (map[int]int, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > shots {
+		workers = shots
+	}
+	// Large states already fan their gate kernels out across cores
+	// (quantum.parallelThreshold); nesting shot-level parallelism on top
+	// would oversubscribe.
+	if cj.compactQubits >= 14 {
+		workers = 1
+	}
+	if workers <= 1 {
+		return cj.runShotBlock(shots, rng)
+	}
+	seeds := make([]int64, workers)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	results := make([]map[int]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	base, extra := shots/workers, shots%workers
+	for w := 0; w < workers; w++ {
+		n := base
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			results[w], errs[w] = cj.runShotBlock(n, rand.New(rand.NewSource(seeds[w])))
+		}(w, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := results[0]
+	for _, m := range results[1:] {
+		for outcome, n := range m {
+			merged[outcome] += n
+		}
+	}
+	return merged, nil
+}
+
+// runShotBlock executes a block of trajectory shots on one pooled state,
+// reset in place between shots. Nothing allocates inside the loop: the
+// matrices and channels are precompiled, sampling is single-draw, and the
+// counts map is reused across shots.
+func (cj *compiledJob) runShotBlock(shots int, rng *rand.Rand) (map[int]int, error) {
+	counts := make(map[int]int, cj.countsHint(shots))
+	if cj.compactQubits == 0 {
+		for shot := 0; shot < shots; shot++ {
+			outcome := 0
+			if cj.readout != nil {
+				outcome = cj.readout.Corrupt(outcome, rng)
+			}
+			counts[outcome]++
+		}
+		return counts, nil
+	}
+	st, err := quantum.AcquireState(cj.compactQubits)
+	if err != nil {
+		return nil, err
+	}
+	defer quantum.ReleaseState(st)
+	for shot := 0; shot < shots; shot++ {
+		st.Reset()
+		for i := range cj.noisy {
+			op := &cj.noisy[i]
+			switch op.op.Kind {
+			case quantum.ProgOp1Q:
+				err = st.Apply1Q(op.op.Q1, op.op.M2)
+			case quantum.ProgOp2Q:
+				err = st.Apply2Q(op.op.Q1, op.op.Q2, op.op.M4)
+			default:
+				err = fmt.Errorf("device: unexpected trajectory op kind %d", op.op.Kind)
+			}
+			if err != nil {
+				return nil, err
+			}
+			for _, na := range op.noise {
+				if err := st.ApplyChannel(na.q, na.ch, rng); err != nil {
+					return nil, err
+				}
+			}
+		}
+		outcome := cj.expand(st.SampleBitstring(rng))
+		if cj.readout != nil {
+			outcome = cj.readout.Corrupt(outcome, rng)
+		}
+		counts[outcome]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,203 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// TestFastPathDistributionMatchesNaive is the satellite distribution-
+// equivalence check: at a fixed seed, the noiseless fast path (simulate
+// once, sample shots times) and the naive per-shot loop consume the same
+// RNG stream over numerically-identical states, so their histograms agree
+// to within floating-point boundary effects.
+func TestFastPathDistributionMatchesNaive(t *testing.T) {
+	const shots = 4000
+	c := NativeGHZLine(4)
+	fast, err := NewTwin20Q(77).Execute(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewTwin20Q(77).ExecuteNaive(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Shots != naive.Shots || fast.DurationUs != naive.DurationUs {
+		t.Errorf("metadata mismatch: fast %d shots/%.1f us, naive %d shots/%.1f us",
+			fast.Shots, fast.DurationUs, naive.Shots, naive.DurationUs)
+	}
+	outcomes := map[int]bool{}
+	for o := range fast.Counts {
+		outcomes[o] = true
+	}
+	for o := range naive.Counts {
+		outcomes[o] = true
+	}
+	for o := range outcomes {
+		if diff := fast.Counts[o] - naive.Counts[o]; diff < -5 || diff > 5 {
+			t.Errorf("outcome %d: fast %d vs naive %d (same seed)", o, fast.Counts[o], naive.Counts[o])
+		}
+	}
+}
+
+// TestNoisyCompiledMatchesNaiveStatistically checks the trajectory path:
+// the compiled program (fused RZ runs, precomputed channels, pooled states,
+// shot-parallel workers) realizes the same noise model as the naive loop,
+// so aggregate fidelity proxies agree within shot noise.
+func TestNoisyCompiledMatchesNaiveStatistically(t *testing.T) {
+	const shots = 3000
+	c := NativeGHZLine(5)
+	compiled, err := New20Q(21).Execute(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := New20Q(21).ExecuteNaive(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := GHZPopulationFidelity(compiled, 5)
+	fn := GHZPopulationFidelity(naive, 5)
+	if math.Abs(fc-fn) > 0.05 {
+		t.Errorf("GHZ population fidelity: compiled %.4f vs naive %.4f, want within 0.05", fc, fn)
+	}
+	total := 0
+	for _, n := range compiled.Counts {
+		total += n
+	}
+	if total != shots {
+		t.Errorf("compiled histogram total = %d, want %d", total, shots)
+	}
+}
+
+func TestZeroErrorCalibrationUsesFastPath(t *testing.T) {
+	qpu := New20Q(30)
+	// A hypothetically perfect calibration: no gate, decoherence, or readout
+	// error. The engine must detect it and take the simulate-once path even
+	// though the device is not a twin.
+	qpu.mu.Lock()
+	for q := range qpu.calib.Qubits {
+		qpu.calib.Qubits[q].F1Q = 1
+		qpu.calib.Qubits[q].FReadout = 1
+		qpu.calib.Qubits[q].T1 = math.Inf(1)
+		qpu.calib.Qubits[q].T2 = math.Inf(1)
+	}
+	for e, cc := range qpu.calib.Couplers {
+		cc.FCZ = 1
+		qpu.calib.Couplers[e] = cc
+	}
+	qpu.mu.Unlock()
+	res, err := qpu.Execute(NativeGHZLine(5), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := GHZPopulationFidelity(res, 5); f != 1 {
+		t.Errorf("perfect-calibration GHZ fidelity = %g, want exactly 1", f)
+	}
+	st := qpu.ExecStats()
+	if st.FastPathJobs != 1 || st.TrajectoryJobs != 0 {
+		t.Errorf("stats = %+v, want the job on the fast path", st)
+	}
+	if st.FastPathShots != 2000 {
+		t.Errorf("fast-path shots = %d, want 2000", st.FastPathShots)
+	}
+}
+
+func TestNoisyDeviceTakesTrajectoryPath(t *testing.T) {
+	qpu := New20Q(31)
+	if _, err := qpu.Execute(NativeGHZLine(4), 100); err != nil {
+		t.Fatal(err)
+	}
+	st := qpu.ExecStats()
+	if st.TrajectoryJobs != 1 || st.FastPathJobs != 0 {
+		t.Errorf("stats = %+v, want the job on the trajectory path", st)
+	}
+}
+
+func TestCompiledProgramCache(t *testing.T) {
+	qpu := NewTwin20Q(32)
+	c := NativeGHZLine(4)
+	for i := 0; i < 3; i++ {
+		if _, err := qpu.Execute(c, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := qpu.ExecStats()
+	if st.CompileMisses != 1 || st.CompileHits != 2 {
+		t.Errorf("cache stats = %d misses / %d hits, want 1 / 2", st.CompileMisses, st.CompileHits)
+	}
+	// A calibration-epoch bump must invalidate the cached program.
+	qpu.AdvanceDrift(1)
+	if _, err := qpu.Execute(c, 10); err != nil {
+		t.Fatal(err)
+	}
+	st = qpu.ExecStats()
+	if st.CompileMisses != 2 {
+		t.Errorf("post-drift misses = %d, want 2 (epoch invalidation)", st.CompileMisses)
+	}
+	// A structurally different circuit is its own entry.
+	if _, err := qpu.Execute(NativeGHZLine(5), 10); err != nil {
+		t.Fatal(err)
+	}
+	if st = qpu.ExecStats(); st.CompileMisses != 3 {
+		t.Errorf("distinct-circuit misses = %d, want 3", st.CompileMisses)
+	}
+}
+
+func TestExecuteGatelessCircuit(t *testing.T) {
+	// Touching no qubits leaves the register in |0...0>; the twin counts all
+	// shots there, the noisy device only corrupts through readout.
+	c := circuit.New(3, "idle")
+	c.Barrier(0, 1, 2)
+	res, err := NewTwin20Q(33).Execute(c, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0] != 500 {
+		t.Errorf("twin gateless counts = %v, want all 500 at 0", res.Counts)
+	}
+	noisy, err := New20Q(34).Execute(c, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range noisy.Counts {
+		total += n
+	}
+	if total != 500 {
+		t.Errorf("noisy gateless histogram total = %d, want 500", total)
+	}
+	if float64(noisy.Counts[0])/500 < 0.8 {
+		t.Errorf("noisy gateless P(0) = %.3f, readout error implausibly large", float64(noisy.Counts[0])/500)
+	}
+}
+
+func TestTrajectoryShotSplitConservesShots(t *testing.T) {
+	// An odd shot count exercises the uneven worker split.
+	res, err := New20Q(35).Execute(NativeGHZLine(3), 997)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != 997 {
+		t.Errorf("histogram total = %d, want 997", total)
+	}
+}
+
+func TestNaiveAndCompiledRejectSameInputs(t *testing.T) {
+	qpu := New20Q(36)
+	bad := circuit.New(20, "bad-cz")
+	bad.CZ(0, 19)
+	if _, err := qpu.Execute(bad, 10); err == nil {
+		t.Error("Execute accepted disconnected CZ")
+	}
+	if _, err := qpu.ExecuteNaive(bad, 10); err == nil {
+		t.Error("ExecuteNaive accepted disconnected CZ")
+	}
+	if _, err := qpu.Execute(circuit.GHZ(3), 10); err == nil {
+		t.Error("Execute accepted non-native circuit")
+	}
+}

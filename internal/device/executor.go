@@ -54,6 +54,15 @@ type QPU struct {
 	// electronics error — the fault-injection hook behind fleet failover and
 	// outage tests.
 	injectedFaults int
+
+	// execStats counts execution-engine activity (engine.go), guarded by mu.
+	execStats ExecStats
+
+	// Compiled-program cache (engine.go): single-flight entries keyed on
+	// circuit fingerprint + calibration epoch, under their own lock so
+	// compilation never serializes against calibration reads.
+	progMu sync.Mutex
+	progs  map[progKey]*progEntry
 }
 
 // Config configures a QPU.
@@ -208,35 +217,48 @@ type Result struct {
 	DurationUs float64
 }
 
-// Execute runs a native circuit for the given number of shots. The circuit
-// must already be transpiled: only PRX, RZ, CZ and barriers are accepted
-// (callers go through the QRM, whose JIT compiler guarantees this).
+// validateExecution checks a circuit/shot pair against the device: shot
+// count, gate validity, register fit, native gate set, and CZ connectivity
+// (the topology is immutable, so this needs no lock).
+func (d *QPU) validateExecution(c *circuit.Circuit, shots int) error {
+	if shots < 1 {
+		return fmt.Errorf("device: shots must be >= 1, got %d", shots)
+	}
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if c.NumQubits > d.topo.NumQubits() {
+		return fmt.Errorf("device: circuit needs %d qubits, device has %d", c.NumQubits, d.topo.NumQubits())
+	}
+	if !c.IsNative() {
+		return fmt.Errorf("device: circuit %q contains non-native gates; transpile first", c.Name)
+	}
+	for i, g := range c.Gates {
+		if g.Name == circuit.OpCZ && !d.topo.Connected(g.Qubits[0], g.Qubits[1]) {
+			return fmt.Errorf("device: gate %d: no coupler between qubits %d and %d", i, g.Qubits[0], g.Qubits[1])
+		}
+	}
+	return nil
+}
+
+// ExecuteNaive is the reference per-shot implementation: it re-simulates
+// the whole circuit from scratch for every shot, re-deriving each gate's
+// unitary and noise parameters as it goes. The compiled engine (Execute,
+// engine.go) implements the identical noise model; this path is kept as
+// the ground truth for equivalence tests and as the "before" baseline of
+// the sim bench artifact (BENCH_sim.json).
+//
 // Noise model per shot (trajectory method):
 //   - every PRX applies depolarizing(1-F1Q) on its qubit;
 //   - every CZ applies depolarizing((1-FCZ)/2) on both qubits — CZ must act
 //     on a connected coupler pair;
 //   - RZ is virtual (frame update): error-free and duration-free;
-//   - after each gate layer, idle qubits accumulate T1/T2 decoherence for
+//   - after each gate, the acting qubits accumulate T1/T2 decoherence for
 //     the gate duration;
 //   - measured bits flip through the per-qubit readout confusion model.
-func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
-	if shots < 1 {
-		return nil, fmt.Errorf("device: shots must be >= 1, got %d", shots)
-	}
-	if err := c.Validate(); err != nil {
+func (d *QPU) ExecuteNaive(c *circuit.Circuit, shots int) (*Result, error) {
+	if err := d.validateExecution(c, shots); err != nil {
 		return nil, err
-	}
-	if c.NumQubits > d.topo.NumQubits() {
-		return nil, fmt.Errorf("device: circuit needs %d qubits, device has %d", c.NumQubits, d.topo.NumQubits())
-	}
-	if !c.IsNative() {
-		return nil, fmt.Errorf("device: circuit %q contains non-native gates; transpile first", c.Name)
-	}
-	// Validate CZ connectivity once (the topology is immutable).
-	for i, g := range c.Gates {
-		if g.Name == circuit.OpCZ && !d.topo.Connected(g.Qubits[0], g.Qubits[1]) {
-			return nil, fmt.Errorf("device: gate %d: no coupler between qubits %d and %d", i, g.Qubits[0], g.Qubits[1])
-		}
 	}
 
 	// Snapshot the mutable device state under the lock, then simulate

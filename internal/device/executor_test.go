@@ -7,26 +7,8 @@ import (
 	"repro/internal/circuit"
 )
 
-// nativeGHZLine builds a native-gate GHZ preparation along the grid's first
-// row qubits 0..n-1 (line connectivity), avoiding the transpiler dependency:
-// H = RZ(pi) then PRX(pi/2, pi/2); CNOT(c,t) = H(t) CZ(c,t) H(t).
-func nativeGHZLine(n int) *circuit.Circuit {
-	c := circuit.New(n, "native-ghz")
-	h := func(q int) {
-		c.RZ(q, math.Pi)
-		c.PRX(q, math.Pi/2, math.Pi/2)
-	}
-	h(0)
-	for q := 1; q < n; q++ {
-		h(q)
-		c.CZ(q-1, q)
-		h(q)
-	}
-	return c
-}
-
 func TestNativeGHZIsCorrectIdeally(t *testing.T) {
-	s, err := nativeGHZLine(4).Simulate()
+	s, err := NativeGHZLine(4).Simulate()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +22,7 @@ func TestTwinExecutesNoiselessly(t *testing.T) {
 	if !twin.IsTwin() {
 		t.Fatal("twin flag lost")
 	}
-	res, err := twin.Execute(nativeGHZLine(5), 2000)
+	res, err := twin.Execute(NativeGHZLine(5), 2000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +36,7 @@ func TestTwinExecutesNoiselessly(t *testing.T) {
 
 func TestNoisyExecutionDegradesGHZ(t *testing.T) {
 	qpu := New20Q(2)
-	res, err := qpu.Execute(nativeGHZLine(5), 1500)
+	res, err := qpu.Execute(NativeGHZLine(5), 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +54,11 @@ func TestDriftedDeviceIsWorse(t *testing.T) {
 	drifted := New20Q(3)
 	drifted.AdvanceDrift(24 * 21) // three weeks without recalibration
 	shots := 1500
-	rf, err := fresh.Execute(nativeGHZLine(5), shots)
+	rf, err := fresh.Execute(NativeGHZLine(5), shots)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := drifted.Execute(nativeGHZLine(5), shots)
+	rd, err := drifted.Execute(NativeGHZLine(5), shots)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +116,7 @@ func TestExecuteValidation(t *testing.T) {
 
 func TestExecuteCountsConserveShots(t *testing.T) {
 	qpu := New20Q(8)
-	res, err := qpu.Execute(nativeGHZLine(3), 500)
+	res, err := qpu.Execute(NativeGHZLine(3), 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +131,7 @@ func TestExecuteCountsConserveShots(t *testing.T) {
 
 func TestDurationDominatedByReset(t *testing.T) {
 	qpu := New20Q(9)
-	res, err := qpu.Execute(nativeGHZLine(3), 100)
+	res, err := qpu.Execute(NativeGHZLine(3), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,8 +144,8 @@ func TestDurationDominatedByReset(t *testing.T) {
 
 func TestCountersAccumulate(t *testing.T) {
 	qpu := New20Q(10)
-	qpu.Execute(nativeGHZLine(2), 100)
-	qpu.Execute(nativeGHZLine(2), 50)
+	qpu.Execute(NativeGHZLine(2), 100)
+	qpu.Execute(NativeGHZLine(2), 50)
 	jobs, shots := qpu.Counters()
 	if jobs != 2 || shots != 150 {
 		t.Errorf("counters = %d jobs, %d shots; want 2, 150", jobs, shots)

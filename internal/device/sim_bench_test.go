@@ -1,0 +1,50 @@
+package device
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+)
+
+var (
+	simBench    = flag.Bool("sim.bench", false, "run the execution-engine bench artifact test (writes machine-readable results)")
+	simBenchOut = flag.String("sim.bench.out", "BENCH_sim.json", "output path for the sim bench artifact")
+)
+
+// TestSimBenchArtifact measures the naive per-shot loop against the
+// compiled execution engine and writes BENCH_sim.json. Gated behind
+// -sim.bench so the regular test run stays timing-free; CI runs it as the
+// sim-bench smoke step and fails loudly if the noiseless fast path drops
+// below 3x the naive loop.
+func TestSimBenchArtifact(t *testing.T) {
+	if !*simBench {
+		t.Skip("pass -sim.bench to run the execution-engine bench harness")
+	}
+	art, err := RunSimBench(SimBenchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range art.Rows {
+		t.Logf("%s: naive %.0f jobs/s -> compiled %.0f jobs/s (%.1fx); compiled p50 %.3f ms, p95 %.3f ms",
+			row.Name, row.NaiveJobsPerSec, row.CompiledJobsPerSec, row.Speedup,
+			row.CompiledP50Ms, row.CompiledP95Ms)
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*simBenchOut, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (noiseless %.1fx, noisy %.1fx)", *simBenchOut, art.SpeedupNoiseless, art.SpeedupNoisy)
+	if art.SpeedupNoiseless < 3 {
+		t.Fatalf("execution-engine regression: noiseless fast path %.2fx over naive loop, want >= 3x",
+			art.SpeedupNoiseless)
+	}
+	if art.SpeedupNoisy < 1 {
+		t.Fatalf("execution-engine regression: noisy compiled path %.2fx over naive loop, want >= 1x",
+			art.SpeedupNoisy)
+	}
+}

@@ -1,0 +1,155 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+)
+
+// This file is the execution-engine bench harness behind BENCH_sim.json:
+// it runs the same job stream through the naive per-shot loop
+// (ExecuteNaive, the pre-engine baseline) and the compiled engine
+// (Execute), and reports before/after jobs/s plus compiled-path latency
+// quantiles. It is shared by the -sim.bench artifact test (the CI smoke
+// gate) and `qhpcctl bench -sim`.
+
+// NativeGHZLine builds a native-gate GHZ preparation along the grid's first
+// row, qubits 0..n-1 (line connectivity), without the transpiler:
+// H = RZ(pi) then PRX(pi/2, pi/2); CNOT(c,t) = H(t) CZ(c,t) H(t). It is the
+// standard workload of the executor benches and equivalence tests.
+func NativeGHZLine(n int) *circuit.Circuit {
+	c := circuit.New(n, fmt.Sprintf("native-ghz-%d", n))
+	h := func(q int) {
+		c.RZ(q, math.Pi)
+		c.PRX(q, math.Pi/2, math.Pi/2)
+	}
+	h(0)
+	for q := 1; q < n; q++ {
+		h(q)
+		c.CZ(q-1, q)
+		h(q)
+	}
+	return c
+}
+
+// SimBenchRow is one workload of the artifact: the naive (before) and
+// compiled (after) numbers side by side.
+type SimBenchRow struct {
+	Name   string `json:"name"`
+	Noisy  bool   `json:"noisy"`
+	Qubits int    `json:"qubits"`
+	Shots  int    `json:"shots"`
+	Jobs   int    `json:"jobs"`
+
+	NaiveJobsPerSec float64 `json:"naive_jobs_per_sec"`
+	NaiveP50Ms      float64 `json:"naive_p50_ms"`
+	NaiveP95Ms      float64 `json:"naive_p95_ms"`
+
+	CompiledJobsPerSec float64 `json:"compiled_jobs_per_sec"`
+	CompiledP50Ms      float64 `json:"compiled_p50_ms"`
+	CompiledP95Ms      float64 `json:"compiled_p95_ms"`
+
+	Speedup float64 `json:"speedup"`
+}
+
+// SimBenchArtifact is the BENCH_sim.json schema: the execution-engine perf
+// record tracked across PRs.
+type SimBenchArtifact struct {
+	Harness          string        `json:"harness"`
+	Workload         string        `json:"workload"`
+	Rows             []SimBenchRow `json:"rows"`
+	SpeedupNoiseless float64       `json:"speedup_noiseless"`
+	SpeedupNoisy     float64       `json:"speedup_noisy"`
+}
+
+// SimBenchConfig sizes the harness. The zero value is replaced by defaults
+// (the artifact configuration).
+type SimBenchConfig struct {
+	Qubits        int // GHZ width (default 5)
+	NoiselessJobs int // jobs on the twin workload (default 64)
+	NoisyJobs     int // jobs on the noisy workload (default 24)
+	Shots         int // shots per job (default 200)
+}
+
+func (cfg *SimBenchConfig) fill() {
+	if cfg.Qubits == 0 {
+		cfg.Qubits = 5
+	}
+	if cfg.NoiselessJobs == 0 {
+		cfg.NoiselessJobs = 64
+	}
+	if cfg.NoisyJobs == 0 {
+		cfg.NoisyJobs = 24
+	}
+	if cfg.Shots == 0 {
+		cfg.Shots = 200
+	}
+}
+
+// executeFn abstracts the two paths under measurement.
+type executeFn func(c *circuit.Circuit, shots int) (*Result, error)
+
+// measure runs jobs sequential executions and returns throughput and
+// latency quantiles (milliseconds).
+func measure(fn executeFn, c *circuit.Circuit, shots, jobs int) (jobsPerSec, p50Ms, p95Ms float64, err error) {
+	lat := make([]float64, 0, jobs)
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		jobStart := time.Now()
+		if _, err := fn(c, shots); err != nil {
+			return 0, 0, 0, err
+		}
+		lat = append(lat, float64(time.Since(jobStart).Microseconds())/1000)
+	}
+	elapsed := time.Since(start)
+	sort.Float64s(lat)
+	q := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+	return float64(jobs) / elapsed.Seconds(), q(0.50), q(0.95), nil
+}
+
+// RunSimBench measures the naive per-shot loop against the compiled engine
+// on a noiseless (digital twin) and a noisy GHZ workload, and returns the
+// artifact record.
+func RunSimBench(cfg SimBenchConfig) (*SimBenchArtifact, error) {
+	cfg.fill()
+	ghz := NativeGHZLine(cfg.Qubits)
+	art := &SimBenchArtifact{
+		Harness: "go test ./internal/device -run TestSimBenchArtifact -sim.bench",
+		Workload: fmt.Sprintf("GHZ(%d) x %d shots: %d noiseless jobs (twin), %d noisy jobs (fresh calibration)",
+			cfg.Qubits, cfg.Shots, cfg.NoiselessJobs, cfg.NoisyJobs),
+	}
+	workloads := []struct {
+		name  string
+		noisy bool
+		jobs  int
+		mk    func(seed int64) *QPU
+	}{
+		{name: "noiseless-ghz", noisy: false, jobs: cfg.NoiselessJobs, mk: NewTwin20Q},
+		{name: "noisy-ghz", noisy: true, jobs: cfg.NoisyJobs, mk: New20Q},
+	}
+	for _, w := range workloads {
+		row := SimBenchRow{Name: w.name, Noisy: w.noisy, Qubits: cfg.Qubits, Shots: cfg.Shots, Jobs: w.jobs}
+		var err error
+		// Fresh devices per path so cache warmth and RNG draws stay
+		// comparable; the same seed keeps the calibration identical.
+		naive := w.mk(101)
+		if row.NaiveJobsPerSec, row.NaiveP50Ms, row.NaiveP95Ms, err = measure(naive.ExecuteNaive, ghz, cfg.Shots, w.jobs); err != nil {
+			return nil, fmt.Errorf("simbench %s naive: %w", w.name, err)
+		}
+		compiled := w.mk(101)
+		if row.CompiledJobsPerSec, row.CompiledP50Ms, row.CompiledP95Ms, err = measure(compiled.Execute, ghz, cfg.Shots, w.jobs); err != nil {
+			return nil, fmt.Errorf("simbench %s compiled: %w", w.name, err)
+		}
+		row.Speedup = row.CompiledJobsPerSec / row.NaiveJobsPerSec
+		art.Rows = append(art.Rows, row)
+		if w.noisy {
+			art.SpeedupNoisy = row.Speedup
+		} else {
+			art.SpeedupNoiseless = row.Speedup
+		}
+	}
+	return art, nil
+}

@@ -330,6 +330,12 @@ type Metrics struct {
 	CacheMisses   uint64 `json:"cache_misses"`
 	MaxQueueDepth int    `json:"max_queue_depth"`
 
+	// Execution-engine counters from the device (batch dispatch reuses
+	// compiled programs across identical jobs; these show it happening).
+	SimCompileHits   uint64 `json:"sim_compile_hits"`
+	SimCompileMisses uint64 `json:"sim_compile_misses"`
+	SimFastPathJobs  uint64 `json:"sim_fast_path_jobs"`
+
 	QueueWaitMs telemetry.HistogramSnapshot `json:"queue_wait_ms"`
 	CompileMs   telemetry.HistogramSnapshot `json:"compile_ms"`
 	ExecMs      telemetry.HistogramSnapshot `json:"exec_ms"`
@@ -353,6 +359,10 @@ func (m *Manager) Metrics() Metrics {
 		MaxQueueDepth: m.metrics.maxQueueDepth,
 	}
 	m.mu.Unlock()
+	es := m.dev.QPU().ExecStats()
+	out.SimCompileHits = es.CompileHits
+	out.SimCompileMisses = es.CompileMisses
+	out.SimFastPathJobs = es.FastPathJobs
 	out.QueueWaitMs = m.metrics.queueWait.Snapshot()
 	out.CompileMs = m.metrics.compile.Snapshot()
 	out.ExecMs = m.metrics.exec.Snapshot()
@@ -380,6 +390,7 @@ func (s Metrics) Gauges() map[string]float64 {
 		"qrm_completed":       float64(s.Completed),
 		"qrm_cache_hit_ratio": s.HitRatio(),
 		"qrm_e2e_p95_ms":      s.E2EMs.Quantile(0.95),
+		"qrm_sim_fastpath":    float64(s.SimFastPathJobs),
 	}
 }
 

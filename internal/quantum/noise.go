@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Channel is a single-qubit quantum channel expressed as Kraus operators.
@@ -106,10 +107,47 @@ func clamp01(x float64) float64 {
 	return x
 }
 
+// Compose returns the channel equivalent to applying a and then b: Kraus
+// operators are the pairwise products K_b·K_a. Trajectory sampling of the
+// composite (joint probability ||K_b K_a|ψ>||²) draws from the same
+// ensemble as sampling a then b sequentially, so compiled execution can
+// collapse a gate's depolarizing + damping + dephasing sequence into one
+// channel application. Kraus operators are ordered heaviest-first (by
+// Frobenius norm, the branch weight on a maximally-mixed input) so the
+// near-identity branch that dominates realistic noise is tried first.
+func Compose(a, b Channel) Channel {
+	ks := make([]Matrix2, 0, len(a.Kraus)*len(b.Kraus))
+	for _, kb := range b.Kraus {
+		for _, ka := range a.Kraus {
+			ks = append(ks, Mul2(kb, ka))
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return frobNorm2(ks[i]) > frobNorm2(ks[j]) })
+	return Channel{Name: a.Name + "*" + b.Name, Kraus: ks}
+}
+
+// frobNorm2 is the squared Frobenius norm of m.
+func frobNorm2(m Matrix2) float64 {
+	sum := 0.0
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			sum += real(m[i][j])*real(m[i][j]) + imag(m[i][j])*imag(m[i][j])
+		}
+	}
+	return sum
+}
+
 // ApplyChannel applies a single-qubit channel to qubit q using the quantum
 // trajectory (Monte-Carlo wavefunction) method: Kraus operator K_i is chosen
 // with probability ||K_i|ψ>||² and the state is renormalized. Averaging over
 // trajectories reproduces the density-matrix evolution.
+//
+// Branch selection draws r once and walks the Kraus list, stopping at the
+// first operator whose cumulative weight exceeds r — for realistic noise
+// the first (near-identity) branch almost always wins, so only one weight
+// is computed. The renormalization reuses the selected branch weight
+// (||K|ψ>||² is the post-application squared norm by definition) instead
+// of a full norm pass.
 func (s *State) ApplyChannel(q int, ch Channel, rng *rand.Rand) error {
 	if err := s.checkQubit(q); err != nil {
 		return err
@@ -118,36 +156,39 @@ func (s *State) ApplyChannel(q int, ch Channel, rng *rand.Rand) error {
 		return fmt.Errorf("quantum: channel %q has no Kraus operators", ch.Name)
 	}
 	r := rng.Float64()
-	probs := make([]float64, len(ch.Kraus))
-	best, bestP := 0, -1.0
-	for i, k := range ch.Kraus {
-		// p_i = ||K_i |ψ>||², the trajectory branch weight.
-		probs[i] = s.branchProbability(q, k)
-		if probs[i] > bestP {
-			best, bestP = i, probs[i]
-		}
-	}
-	if bestP < 1e-300 {
-		// Numerically impossible for a trace-preserving channel on a
-		// normalized state.
-		return fmt.Errorf("quantum: channel %q produced no viable branch", ch.Name)
-	}
-	chosen := best
 	acc := 0.0
-	for i, p := range probs {
+	chosen, chosenP := -1, 0.0
+	best, bestP := 0, -1.0
+	for i := range ch.Kraus {
+		// p_i = ||K_i |ψ>||², the trajectory branch weight.
+		p := s.branchProbability(q, ch.Kraus[i])
+		if p > bestP {
+			best, bestP = i, p
+		}
 		acc += p
 		if r < acc {
-			chosen = i
+			chosen, chosenP = i, p
 			break
 		}
 	}
-	if probs[chosen] < 1e-300 {
-		chosen = best // rounding pushed r past the total weight
+	if chosen < 0 {
+		// Rounding pushed r past the total weight; fall back to the
+		// heaviest branch.
+		if bestP < 1e-300 {
+			// Numerically impossible for a trace-preserving channel on a
+			// normalized state.
+			return fmt.Errorf("quantum: channel %q produced no viable branch", ch.Name)
+		}
+		chosen, chosenP = best, bestP
 	}
 	if err := s.Apply1Q(q, ch.Kraus[chosen]); err != nil {
 		return err
 	}
-	return s.Normalize()
+	inv := complex(1/math.Sqrt(chosenP), 0)
+	for i := range s.amps {
+		s.amps[i] *= inv
+	}
+	return nil
 }
 
 // branchProbability returns ||K|ψ>||² for a single-qubit operator K on q.

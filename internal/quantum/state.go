@@ -27,6 +27,10 @@ const MaxQubits = 26
 type State struct {
 	n    int
 	amps []complex128
+	// probScratch is a lazily-allocated 2^n buffer reused by the sampling
+	// paths (ProbabilitiesInto callers, cumulative distributions), so
+	// repeated sampling of a long-lived (pooled) state allocates nothing.
+	probScratch []float64
 }
 
 // NewState returns the n-qubit |00...0> state.
@@ -124,13 +128,30 @@ func (s *State) Probability(idx int) float64 {
 }
 
 // Probabilities returns the full probability vector. The slice is freshly
-// allocated.
+// allocated; use ProbabilitiesInto on hot paths.
 func (s *State) Probabilities() []float64 {
-	out := make([]float64, len(s.amps))
-	for i, a := range s.amps {
-		out[i] = real(a)*real(a) + imag(a)*imag(a)
+	return s.ProbabilitiesInto(nil)
+}
+
+// ProbabilitiesInto fills dst with the full probability vector and returns
+// it, reusing dst's backing array when its capacity suffices (allocating
+// otherwise). The scratch-buffer variant exists so repeated sampling stops
+// allocating 2^n floats per call.
+func (s *State) ProbabilitiesInto(dst []float64) []float64 {
+	if cap(dst) < len(s.amps) {
+		dst = make([]float64, len(s.amps))
 	}
-	return out
+	dst = dst[:len(s.amps)]
+	for i, a := range s.amps {
+		dst[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return dst
+}
+
+// scratchProbs returns the state's reusable probability buffer, filled.
+func (s *State) scratchProbs() []float64 {
+	s.probScratch = s.ProbabilitiesInto(s.probScratch)
+	return s.probScratch
 }
 
 // parallelThreshold is the state size above which gate kernels fan out
@@ -162,8 +183,13 @@ func (s *State) Apply1Q(q int, m Matrix2) error {
 	}
 	bit := 1 << uint(q)
 	dim := len(s.amps)
-	apply := func(lo, hi int) {
-		for base := lo; base < hi; base++ {
+	half := dim / 2
+	if dim < parallelThreshold {
+		// Small states run the kernel inline, in a function free of escaping
+		// closures: an fanned-out variant in the same frame would force the
+		// matrix to the heap on every call, which dominates the pooled,
+		// otherwise allocation-free shot loop.
+		for base := 0; base < half; base++ {
 			// Iterate over indices with qubit q == 0 only.
 			i0 := ((base &^ (bit - 1)) << 1) | (base & (bit - 1))
 			i1 := i0 | bit
@@ -171,14 +197,24 @@ func (s *State) Apply1Q(q int, m Matrix2) error {
 			s.amps[i0] = m[0][0]*a0 + m[0][1]*a1
 			s.amps[i1] = m[1][0]*a0 + m[1][1]*a1
 		}
-	}
-	half := dim / 2
-	if dim < parallelThreshold {
-		apply(0, half)
 		return nil
 	}
-	parallelFor(half, apply)
+	s.apply1QParallel(bit, half, m)
 	return nil
+}
+
+// apply1QParallel fans the single-qubit kernel out across workers. It lives
+// in its own frame so the escaping closure only costs on large states.
+func (s *State) apply1QParallel(bit, half int, m Matrix2) {
+	parallelFor(half, func(lo, hi int) {
+		for base := lo; base < hi; base++ {
+			i0 := ((base &^ (bit - 1)) << 1) | (base & (bit - 1))
+			i1 := i0 | bit
+			a0, a1 := s.amps[i0], s.amps[i1]
+			s.amps[i0] = m[0][0]*a0 + m[0][1]*a1
+			s.amps[i1] = m[1][0]*a0 + m[1][1]*a1
+		}
+	})
 }
 
 // Apply2Q applies a two-qubit unitary m (4x4, row-major, basis order
@@ -201,7 +237,21 @@ func (s *State) Apply2Q(q1, q2 int, m Matrix4) error {
 	}
 	dim := len(s.amps)
 	quarter := dim / 4
-	apply := func(lo, hi int) {
+	if dim < parallelThreshold {
+		// Small states run the kernel inline (see Apply1Q): the parallel
+		// closure would heap-allocate per gate application.
+		applySmall2Q(s.amps, &m, b1, b2, lowBit, highBit, quarter)
+		return nil
+	}
+	s.apply2QParallel(b1, b2, lowBit, highBit, quarter, m)
+	return nil
+}
+
+// apply2QParallel fans the two-qubit kernel out across workers, isolated in
+// its own frame so the closure's heap capture of m only costs on large
+// states.
+func (s *State) apply2QParallel(b1, b2, lowBit, highBit, quarter int, m Matrix4) {
+	parallelFor(quarter, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			// Expand k into an index with zeros at both gate-qubit positions.
 			i := k
@@ -221,13 +271,31 @@ func (s *State) Apply2Q(q1, q2 int, m Matrix4) error {
 			s.amps[i10] = m[2][0]*a00 + m[2][1]*a01 + m[2][2]*a10 + m[2][3]*a11
 			s.amps[i11] = m[3][0]*a00 + m[3][1]*a01 + m[3][2]*a10 + m[3][3]*a11
 		}
+	})
+}
+
+// applySmall2Q is the inline small-state two-qubit kernel: a plain function
+// instead of the escaping closure above, so per-gate application allocates
+// nothing on the pooled shot loop.
+func applySmall2Q(amps []complex128, m *Matrix4, b1, b2, lowBit, highBit, quarter int) {
+	for k := 0; k < quarter; k++ {
+		i := k
+		low := i & (lowBit - 1)
+		i = (i &^ (lowBit - 1)) << 1
+		mid := i & (highBit - 1)
+		i = (i &^ (highBit - 1)) << 1
+		base := i | mid | low
+
+		i00 := base
+		i01 := base | b1
+		i10 := base | b2
+		i11 := base | b1 | b2
+		a00, a01, a10, a11 := amps[i00], amps[i01], amps[i10], amps[i11]
+		amps[i00] = m[0][0]*a00 + m[0][1]*a01 + m[0][2]*a10 + m[0][3]*a11
+		amps[i01] = m[1][0]*a00 + m[1][1]*a01 + m[1][2]*a10 + m[1][3]*a11
+		amps[i10] = m[2][0]*a00 + m[2][1]*a01 + m[2][2]*a10 + m[2][3]*a11
+		amps[i11] = m[3][0]*a00 + m[3][1]*a01 + m[3][2]*a10 + m[3][3]*a11
 	}
-	if dim < parallelThreshold {
-		apply(0, quarter)
-		return nil
-	}
-	parallelFor(quarter, apply)
-	return nil
 }
 
 // parallelFor splits [0, n) across workers and waits for completion.
@@ -344,30 +412,57 @@ func (s *State) MeasureQubit(q int, rng *rand.Rand) (int, error) {
 
 // SampleBitstrings draws shots measurement outcomes from the state without
 // collapsing it. Each outcome is the integer whose bit q is qubit q's result.
+// Only the returned slice is allocated: the cumulative distribution lives in
+// the state's reusable scratch buffer.
 func (s *State) SampleBitstrings(shots int, rng *rand.Rand) []int {
-	probs := s.Probabilities()
-	// Build a cumulative distribution once; binary-search per shot.
-	cum := make([]float64, len(probs))
+	// Build a cumulative distribution in place; binary-search per shot.
+	cum := s.scratchProbs()
 	acc := 0.0
-	for i, p := range probs {
+	for i, p := range cum {
 		acc += p
 		cum[i] = acc
 	}
 	out := make([]int, shots)
 	for k := 0; k < shots; k++ {
-		r := rng.Float64() * acc
-		lo, hi := 0, len(cum)-1
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if cum[mid] < r {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		out[k] = lo
+		out[k] = sampleCumulative(cum, acc, rng)
 	}
 	return out
+}
+
+// SampleBitstring draws one measurement outcome from the state without
+// collapsing it, allocating nothing — the single-sample primitive of the
+// per-shot execution loop, where the state changes between draws and a
+// cumulative table would be rebuilt anyway. It consumes exactly one rng
+// draw, like one SampleBitstrings sample.
+func (s *State) SampleBitstring(rng *rand.Rand) int {
+	total := 0.0
+	for _, a := range s.amps {
+		total += real(a)*real(a) + imag(a)*imag(a)
+	}
+	r := rng.Float64() * total
+	acc := 0.0
+	for i, a := range s.amps {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if r < acc {
+			return i
+		}
+	}
+	return len(s.amps) - 1 // rounding pushed r past the total weight
+}
+
+// sampleCumulative binary-searches a cumulative weight table for one draw.
+func sampleCumulative(cum []float64, total float64, rng *rand.Rand) int {
+	r := rng.Float64() * total
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Histogram counts sampled outcomes into a map keyed by basis index.
