@@ -572,12 +572,12 @@ func BenchmarkNoisyExecutionGHZ5x100(b *testing.B) {
 	}
 }
 
-// --- E15: compiled-circuit execution engine vs the naive shot loop. ---
+// --- E15/E16: compiled-circuit execution engine vs the naive shot loop. ---
 //
 // BenchmarkExecuteCompiled* time device.Execute (compile-once, pooled
-// states, noiseless fast path); the *Naive variants time the retained
-// reference loop so the BENCH_sim.json speedups are reproducible from the
-// benchmark table alone.
+// states, noiseless fast path, shot-branching trajectory tree on noisy
+// jobs); the *Naive variants time the retained reference loop so the
+// BENCH_sim.json speedups are reproducible from the benchmark table alone.
 
 func benchmarkExecute(b *testing.B, qpu *device.QPU, naive bool, shots int) {
 	b.Helper()
@@ -600,3 +600,22 @@ func BenchmarkExecuteCompiled(b *testing.B)      { benchmarkExecute(b, device.Ne
 func BenchmarkExecuteNaive(b *testing.B)         { benchmarkExecute(b, device.NewTwin20Q(40), true, 200) }
 func BenchmarkExecuteCompiledNoisy(b *testing.B) { benchmarkExecute(b, device.New20Q(41), false, 200) }
 func BenchmarkExecuteNaiveNoisy(b *testing.B)    { benchmarkExecute(b, device.New20Q(41), true, 200) }
+
+// Shot-branching at depth: GHZ(10) crosses rows of the grid (snake path)
+// and a 4000-shot job shows the leaves/shots amortization at scale. The
+// leaves-per-shot custom metric is the redundancy the tree removed.
+func BenchmarkExecuteBranchTreeGHZ10(b *testing.B) {
+	qpu := device.New20Q(42)
+	ghz := device.NativeGHZSnake(10)
+	const shots = 4000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qpu.Execute(ghz, shots); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := qpu.ExecStats()
+	b.ReportMetric(float64(shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+	b.ReportMetric(st.LeavesPerShot(), "leaves/shot")
+}

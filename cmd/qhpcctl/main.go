@@ -393,6 +393,8 @@ func runBench(server string, cfg benchConfig) {
 			m.CacheHits, m.CacheMisses, 100*m.HitRatio())
 		fmt.Printf("  server e2e: p50 %.2f ms, p95 %.2f ms\n",
 			m.E2EMs.Quantile(0.50), m.E2EMs.Quantile(0.95))
+		fmt.Printf("  sim engine: %d fast-path, %d branch-tree jobs (%.3f leaves/shot), %d dist-cache hits\n",
+			m.SimFastPathJobs, m.SimBranchTreeJobs, m.BranchLeavesPerShot(), m.SimDistCacheHits)
 	}
 
 	if cfg.jsonOut != "" {
@@ -439,11 +441,18 @@ func runSimBench(p simBenchParams) {
 	}
 	fmt.Printf("sim bench: %s\n", art.Workload)
 	for _, row := range art.Rows {
-		fmt.Printf("  %-14s naive %8.0f jobs/s (p50 %7.3f ms)  ->  compiled %8.0f jobs/s (p50 %7.3f ms, p95 %7.3f ms)  %5.1fx\n",
+		fmt.Printf("  %-14s naive %8.0f jobs/s (p50 %7.3f ms)  ->  compiled %8.0f jobs/s (p50 %7.3f ms, p95 %7.3f ms)  %5.1fx",
 			row.Name, row.NaiveJobsPerSec, row.NaiveP50Ms,
 			row.CompiledJobsPerSec, row.CompiledP50Ms, row.CompiledP95Ms, row.Speedup)
+		if row.BranchLeavesPerShot > 0 {
+			fmt.Printf("  [%.3f leaves/shot]", row.BranchLeavesPerShot)
+		}
+		if row.DistCacheHits > 0 {
+			fmt.Printf("  [%d dist-cache hits]", row.DistCacheHits)
+		}
+		fmt.Println()
 	}
-	fmt.Printf("  speedup: %.1fx noiseless (fast path), %.1fx noisy (trajectory path)\n",
+	fmt.Printf("  speedup: %.1fx noiseless (fast path), %.1fx noisy (shot-branching path)\n",
 		art.SpeedupNoiseless, art.SpeedupNoisy)
 	if p.jsonOut != "" {
 		data, err := json.MarshalIndent(art, "", "  ")

@@ -6,7 +6,7 @@
 //
 //	qhpcd [-addr :8080] [-seed 1] [-twin] [-redundant] [-workers 4]
 //	      [-devices 1] [-fleet-policy best-fidelity] [-maintenance-days 0]
-//	      [-pprof-addr localhost:6060]
+//	      [-pprof-addr localhost:6060] [-engine-stats-every 30s]
 //
 // With -devices N > 1 the daemon serves a simulated multi-QPU fleet: the
 // center's primary QPU plus N-1 heterogeneous siblings (different grid
@@ -45,6 +45,8 @@ func main() {
 		"simulated days per wall-clock second driving the fleet maintenance clock (0 = frozen; defaults to 1 when -maintenance-days is set)")
 	pprofAddr := flag.String("pprof-addr", "",
 		"serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+	engineStatsEvery := flag.Duration("engine-stats-every", 0,
+		"log execution-engine counters (fast path, shot-branching leaves/shot, dist-cache hits) at this interval; 0 = disabled, single-device mode only")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -88,6 +90,9 @@ func main() {
 		if w < 1 {
 			w = 4 // fleet devices always run live pools
 		}
+		if *engineStatsEvery > 0 {
+			fmt.Fprintf(os.Stderr, "qhpcd: -engine-stats-every applies to single-device mode only; use GET /api/v1/fleet for per-device counters\n")
+		}
 		f, err := center.BuildFleet(core.FleetConfig{
 			Devices: *devices, WorkersPerDevice: w,
 			Policy: policy, MaintenanceEveryDays: *maintDays,
@@ -124,6 +129,22 @@ func main() {
 				log.Fatalf("qhpcd: starting dispatch pipeline: %v", err)
 			}
 			fmt.Fprintf(os.Stderr, "qhpcd: dispatch pipeline running with %d workers (QPU admission-gated)\n", *workers)
+		}
+		if *engineStatsEvery > 0 {
+			// Operator-visible view of the per-job strategy pick: how many
+			// jobs rode the fast path vs the shot-branching tree, how hard
+			// the tree amortized (leaves/shot), and how often noiseless jobs
+			// skipped simulation entirely. The same counters are in the
+			// /api/v1/metrics JSON; this is the tail -f version.
+			go func(every time.Duration) {
+				for range time.Tick(every) {
+					m := center.QRM.Metrics()
+					fmt.Fprintf(os.Stderr,
+						"qhpcd: engine: compile %d hit/%d miss, fast-path %d jobs (%d dist-cache), branch-tree %d jobs %.3f leaves/shot\n",
+						m.SimCompileHits, m.SimCompileMisses, m.SimFastPathJobs,
+						m.SimDistCacheHits, m.SimBranchTreeJobs, m.BranchLeavesPerShot())
+				}
+			}(*engineStatsEvery)
 		}
 		handler = center.RESTHandler()
 	}

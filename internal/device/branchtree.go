@@ -1,0 +1,262 @@
+package device
+
+import (
+	"math/rand"
+
+	"repro/internal/quantum"
+)
+
+// This file is the shot-branching trajectory engine: instead of re-evolving
+// the statevector once per shot (runShotBlock), a *count* of shots is
+// propagated down a trajectory tree. At each compiled noise site the
+// subtree's shots are split multinomially across the Kraus branches using
+// exact state-dependent weights; only branches that actually receive shots
+// fork a pooled copy-on-write state, and every unique leaf state
+// bulk-samples its shots through the O(1) Walker alias sampler. At
+// realistic calibration error rates nearly every shot rides the dominant
+// (near-identity) branch at every site, so a 200-shot job evolves a handful
+// of trajectories instead of 200.
+//
+// Exactness: binning each shot with an independent uniform draw against the
+// exact branch weights is literally the per-shot categorical draw of the
+// Monte-Carlo wavefunction method — the tree merely groups shots by shared
+// Kraus prefix, so the sampled trajectory ensemble (and hence the outcome
+// distribution) is identical to runShotBlock's. The equivalence tests pin
+// this with chi-square checks against both the per-shot loop and
+// ExecuteNaive.
+
+const (
+	// branchTreeMinShots is the strategy floor: below it there is no
+	// redundancy to amortize and the per-shot loop is cheaper.
+	branchTreeMinShots = 8
+	// maxBranchEventsPerShot gates the strategy pick on workload shape: the
+	// compile-time estimate of off-dominant branch events per shot
+	// (compiledJob.branchEst) above which trajectories stop sharing
+	// prefixes and the shot-fanout loop wins.
+	maxBranchEventsPerShot = 1.0
+	// maxKrausBranches is the largest composed-channel fan-out the tree's
+	// stack scratch supports (depolarizing × amp-damp × phase-damp = 16).
+	// Wider channels fall back to the shot-fanout path via branchEst.
+	maxKrausBranches = 16
+)
+
+// branchStateBudget caps the live states (root + forks along one DFS path)
+// a branch-tree job may hold. Beyond it, branches replay their shots one at
+// a time from the checkpoint — exact, just slower. A variable so tests can
+// squeeze it to force the fallback.
+var branchStateBudget = 32
+
+// branchExec is the per-job state of one branch-tree execution: the scratch
+// buffers live here so the recursion allocates nothing per node.
+type branchExec struct {
+	cj     *compiledJob
+	rng    *rand.Rand
+	counts map[int]int
+
+	live   int // states currently held (root + outstanding forks)
+	leaves int // unique leaf states sampled
+
+	tail    *quantum.State // lazily acquired checkpoint-replay scratch
+	samples []int          // leaf bulk-sampling scratch
+}
+
+// runBranchTree executes shots noisy trajectory shots by shot-branching and
+// returns the histogram plus the number of unique leaf states it sampled
+// (the leaves/shots ratio is the engine's redundancy-collapse metric). The
+// walk is a single-goroutine DFS drawing from one rng stream, so a fixed
+// seed reproduces identical counts on any host.
+func (cj *compiledJob) runBranchTree(shots int, rng *rand.Rand) (map[int]int, int, error) {
+	b := &branchExec{cj: cj, rng: rng, counts: make(map[int]int, cj.countsHint(shots))}
+	st, err := quantum.AcquireState(cj.compactQubits)
+	if err != nil {
+		return nil, 0, err
+	}
+	b.live = 1
+	err = b.run(st, 0, 0, shots)
+	quantum.ReleaseState(st)
+	quantum.ReleaseState(b.tail)
+	if err != nil {
+		return nil, 0, err
+	}
+	return b.counts, b.leaves, nil
+}
+
+// run evolves one subtree: st carries n shots and is positioned at op opIdx,
+// noise site noiseIdx within it (the op's unitary has already been applied
+// iff noiseIdx > 0). Reaching the end of the program makes st a leaf.
+func (b *branchExec) run(st *quantum.State, opIdx, noiseIdx, n int) error {
+	ops := b.cj.noisy
+	for i := opIdx; i < len(ops); i++ {
+		op := &ops[i]
+		if i > opIdx || noiseIdx == 0 {
+			if err := applyProgOp(st, &op.op); err != nil {
+				return err
+			}
+		}
+		j0 := 0
+		if i == opIdx {
+			j0 = noiseIdx
+		}
+		for j := j0; j < len(op.noise); j++ {
+			na := &op.noise[j]
+			if n == 1 {
+				// A single shot cannot branch: the split degenerates to the
+				// per-shot draw, early exit and all.
+				if err := st.ApplyChannel(na.q, na.ch, b.rng); err != nil {
+					return err
+				}
+				continue
+			}
+			var err error
+			if n, err = b.splitAt(st, i, j, n); err != nil {
+				return err
+			}
+		}
+	}
+	return b.sampleLeaf(st, n)
+}
+
+// splitAt distributes the subtree's n shots across the Kraus branches of
+// noise site (opIdx, siteIdx) — one independent uniform draw per shot, the
+// exact multinomial split — recurses into forked states for the minority
+// branches, applies the most-populated branch to st in place, and returns
+// the count continuing there. Branch weights are computed lazily:
+// the cumulative weight only grows until it covers the largest draw seen,
+// so the dominant near-identity branch usually costs one weight pass no
+// matter how many operators the composed channel holds.
+func (b *branchExec) splitAt(st *quantum.State, opIdx, siteIdx, n int) (int, error) {
+	na := &b.cj.noisy[opIdx].noise[siteIdx]
+	ks := na.ch.Kraus
+	var w [maxKrausBranches]float64
+	var bins [maxKrausBranches]int
+	computed, acc := 0, 0.0
+	for s := 0; s < n; s++ {
+		r := b.rng.Float64()
+		for acc <= r && computed < len(ks) {
+			wt, err := st.KrausWeight(na.q, ks[computed])
+			if err != nil {
+				return 0, err
+			}
+			w[computed] = wt
+			acc += wt
+			computed++
+		}
+		chosen := -1
+		c := 0.0
+		for bi := 0; bi < computed; bi++ {
+			c += w[bi]
+			if r < c {
+				chosen = bi
+				break
+			}
+		}
+		if chosen < 0 {
+			// Rounding pushed r past the total weight; fall back to the
+			// heaviest computed branch (the ApplyChannel convention).
+			chosen = 0
+			for bi := 1; bi < computed; bi++ {
+				if w[bi] > w[chosen] {
+					chosen = bi
+				}
+			}
+		}
+		bins[chosen]++
+	}
+	// The most-populated branch continues on st in place — forking it
+	// instead would grow the DFS depth (and the live-state count) by one at
+	// every noise site of the dominant trajectory, when it only needs to
+	// grow at actual deviation points.
+	keep := 0
+	for bi := 1; bi < computed; bi++ {
+		if bins[bi] > bins[keep] {
+			keep = bi
+		}
+	}
+	for bi := 0; bi < computed; bi++ {
+		if bins[bi] == 0 || bi == keep {
+			continue
+		}
+		if b.live >= branchStateBudget {
+			if err := b.replayShots(st, opIdx, siteIdx, bi, w[bi], bins[bi]); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		fork, err := quantum.AcquireStateCopy(st)
+		if err != nil {
+			return 0, err
+		}
+		b.live++
+		err = fork.ApplyKraus(na.q, ks[bi], w[bi])
+		if err == nil {
+			err = b.run(fork, opIdx, siteIdx+1, bins[bi])
+		}
+		quantum.ReleaseState(fork)
+		b.live--
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := st.ApplyKraus(na.q, ks[keep], w[keep]); err != nil {
+		return 0, err
+	}
+	return bins[keep], nil
+}
+
+// replayShots is the state-budget fallback: the branch's shots run one at a
+// time from the fork point, each rewinding the shared tail scratch to the
+// checkpoint and finishing the program with per-shot Monte-Carlo draws —
+// the exactness guarantee costs nothing, only the prefix sharing stops.
+func (b *branchExec) replayShots(src *quantum.State, opIdx, siteIdx, branch int, weight float64, n int) error {
+	na := &b.cj.noisy[opIdx].noise[siteIdx]
+	if b.tail == nil {
+		t, err := quantum.AcquireState(src.NumQubits())
+		if err != nil {
+			return err
+		}
+		b.tail = t
+	}
+	ops := b.cj.noisy
+	for s := 0; s < n; s++ {
+		st := b.tail
+		if err := st.Set(src); err != nil {
+			return err
+		}
+		if err := st.ApplyKraus(na.q, na.ch.Kraus[branch], weight); err != nil {
+			return err
+		}
+		for i := opIdx; i < len(ops); i++ {
+			op := &ops[i]
+			j0 := siteIdx + 1
+			if i > opIdx {
+				j0 = 0
+				if err := applyProgOp(st, &op.op); err != nil {
+					return err
+				}
+			}
+			for j := j0; j < len(op.noise); j++ {
+				if err := st.ApplyChannel(op.noise[j].q, op.noise[j].ch, b.rng); err != nil {
+					return err
+				}
+			}
+		}
+		b.leaves++
+		b.cj.tally(b.counts, st.SampleBitstring(b.rng), b.rng)
+	}
+	return nil
+}
+
+// sampleLeaf draws the leaf's n shots from its final state: single shots
+// take the one-draw linear walk, blocks go through the alias sampler.
+func (b *branchExec) sampleLeaf(st *quantum.State, n int) error {
+	b.leaves++
+	if n == 1 {
+		b.cj.tally(b.counts, st.SampleBitstring(b.rng), b.rng)
+		return nil
+	}
+	b.samples = st.SampleBitstringsInto(b.samples, n, b.rng)
+	for _, s := range b.samples {
+		b.cj.tally(b.counts, s, b.rng)
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// assertChiSquareEquivalent runs a two-sample chi-square test on two
+// histograms with equal totals and fails if they differ at p ≈ 0.001
+// (Wilson–Hilferty critical value). Fixed seeds make the check
+// deterministic; the loose significance keeps it honest, not flaky.
+func assertChiSquareEquivalent(t *testing.T, label string, a, b map[int]int) {
+	t.Helper()
+	outcomes := map[int]bool{}
+	for o := range a {
+		outcomes[o] = true
+	}
+	for o := range b {
+		outcomes[o] = true
+	}
+	chi2, df := 0.0, -1
+	for o := range outcomes {
+		na, nb := float64(a[o]), float64(b[o])
+		if na+nb == 0 {
+			continue
+		}
+		d := na - nb
+		chi2 += d * d / (na + nb)
+		df++
+	}
+	if df < 1 {
+		return // at most one populated outcome: nothing to compare
+	}
+	fd := float64(df)
+	const z = 3.09 // Φ⁻¹(0.999)
+	crit := fd * math.Pow(1-2/(9*fd)+z*math.Sqrt(2/(9*fd)), 3)
+	if chi2 > crit {
+		t.Errorf("%s: chi-square %.1f > critical %.1f (df %d) — distributions differ", label, chi2, crit, df)
+	}
+}
+
+// TestBranchTreeChiSquareEquivalence is the acceptance-criteria check: at
+// fixed seeds, the shot-branching tree, the per-shot trajectory loop, and
+// ExecuteNaive draw from the same outcome distribution.
+func TestBranchTreeChiSquareEquivalence(t *testing.T) {
+	const shots = 4000
+	c := NativeGHZLine(5)
+
+	treeQPU := New20Q(55)
+	tree, err := treeQPU.Execute(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := treeQPU.ExecStats(); st.BranchTreeJobs != 1 {
+		t.Fatalf("stats = %+v, want the job on the branch tree", st)
+	}
+
+	naive, err := New20Q(55).ExecuteNaive(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The per-shot loop over the same compiled program, driven directly so
+	// the strategy pick cannot reroute it.
+	qpu := New20Q(55)
+	cj, _, err := qpu.compiledFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShot, err := cj.runTrajectories(shots, shotFanoutWidth(shots, cj.compactQubits), rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	assertChiSquareEquivalent(t, "branch tree vs naive", tree.Counts, naive.Counts)
+	assertChiSquareEquivalent(t, "branch tree vs per-shot", tree.Counts, perShot)
+	assertChiSquareEquivalent(t, "per-shot vs naive", perShot, naive.Counts)
+}
+
+// TestBranchTreeConservesShots is the multinomial-split conservation
+// property: over randomized circuits, seeds, and shot counts, every shot
+// lands in exactly one leaf and the histogram total never drifts.
+func TestBranchTreeConservesShots(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		circ := NativeRandom45(6, 3, seed)
+		qpu := New20Q(60 + seed)
+		for _, shots := range []int{8, 33, 200, 997} {
+			res, err := qpu.Execute(circ, shots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			for _, n := range res.Counts {
+				total += n
+			}
+			if total != shots {
+				t.Errorf("seed %d: histogram total = %d, want %d", seed, total, shots)
+			}
+		}
+		if st := qpu.ExecStats(); st.BranchTreeJobs == 0 {
+			t.Errorf("seed %d: no job took the branch tree (stats %+v)", seed, st)
+		}
+	}
+}
+
+// TestBranchTreeBudgetFallback squeezes the state budget to one so every
+// fork goes through the per-shot replay path, then checks the fallback is
+// still exact: shots conserved and the distribution unchanged.
+func TestBranchTreeBudgetFallback(t *testing.T) {
+	old := branchStateBudget
+	branchStateBudget = 1
+	defer func() { branchStateBudget = old }()
+	const shots = 3000
+	c := NativeGHZLine(5)
+	res, err := New20Q(21).Execute(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != shots {
+		t.Fatalf("histogram total = %d, want %d", total, shots)
+	}
+	naive, err := New20Q(21).ExecuteNaive(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertChiSquareEquivalent(t, "budget-1 tree vs naive", res.Counts, naive.Counts)
+}
+
+// TestNoisyExecutionDeterministic pins the reproducibility satellite: the
+// fan-out width is a pure function of the workload (never the host), and a
+// fixed seed yields byte-identical histograms run over run.
+func TestNoisyExecutionDeterministic(t *testing.T) {
+	// Width function: host-independent by construction, spot-check values.
+	for _, tc := range []struct{ shots, qubits, want int }{
+		{7, 5, 1}, {32, 5, 1}, {64, 5, 2}, {200, 5, 6}, {10000, 5, 8}, {10000, 14, 1},
+	} {
+		if got := shotFanoutWidth(tc.shots, tc.qubits); got != tc.want {
+			t.Errorf("shotFanoutWidth(%d, %d) = %d, want %d", tc.shots, tc.qubits, got, tc.want)
+		}
+	}
+
+	c := NativeGHZLine(5)
+	run := func() map[int]int {
+		res, err := New20Q(70).Execute(c, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counts
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed branch-tree runs differ: %v vs %v", a, b)
+	}
+
+	// The multi-worker per-shot path, driven directly at a fixed width.
+	qpu := New20Q(71)
+	cj, _, err := qpu.compiledFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := shotFanoutWidth(200, cj.compactQubits)
+	if w < 2 {
+		t.Fatalf("width %d does not exercise the fan-out", w)
+	}
+	m1, err := cj.runTrajectories(200, w, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cj.runTrajectories(200, w, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Errorf("same-seed fan-out runs differ: %v vs %v", m1, m2)
+	}
+
+	// The width of a fan-out job lands in ExecStats.
+	if _, err := qpu.Execute(c, branchTreeMinShots-1); err != nil {
+		t.Fatal(err)
+	}
+	if st := qpu.ExecStats(); st.ShotWorkers != 1 {
+		t.Errorf("ShotWorkers = %d, want 1 for a %d-shot job", st.ShotWorkers, branchTreeMinShots-1)
+	}
+}
+
+// TestNoisyHotPathAllocs gates the zero-alloc property of both noisy
+// execution paths with testing.AllocsPerRun so it cannot silently rot: the
+// per-shot loop stays within its PR-3 envelope and the branch tree, pooled
+// forks and all, stays within a small multiple of it.
+func TestNoisyHotPathAllocs(t *testing.T) {
+	c := NativeGHZLine(5)
+	qpu := New20Q(80)
+	cj, _, err := qpu.compiledFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := cj.runShotBlock(200, rng); err != nil { // warm the state pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := cj.runShotBlock(200, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("per-shot loop: %.0f allocs per 200-shot job, want <= 8 (measured 4)", allocs)
+	}
+
+	if _, _, err := cj.runBranchTree(200, rng); err != nil { // warm forks
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(10, func() {
+		if _, _, err := cj.runBranchTree(200, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("branch tree: %.0f allocs per 200-shot job, want <= 16 (measured 7)", allocs)
+	}
+}
+
+// TestReadoutFlipsBeyondCompactRegister covers the countsHint edge case:
+// readout noise on physical qubits outside the compact register pushes
+// outcomes past the register dimension, and the histogram (sized by the
+// hint) must still count them all.
+func TestReadoutFlipsBeyondCompactRegister(t *testing.T) {
+	qpu := New20Q(90)
+	qpu.mu.Lock()
+	for q := range qpu.calib.Qubits {
+		qpu.calib.Qubits[q].FReadout = 0.6 // brutal readout so flips are certain
+	}
+	qpu.mu.Unlock()
+	c := circuit.New(12, "narrow")
+	c.PRX(0, math.Pi/2, math.Pi/2)
+	c.CZ(0, 1)
+	const shots = 500
+	res, err := qpu.Execute(c, shots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, _, err := qpu.compiledFor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cj.compactQubits != 2 {
+		t.Fatalf("compact register = %d qubits, want 2", cj.compactQubits)
+	}
+	if hint := cj.countsHint(shots); hint != 4 {
+		t.Errorf("countsHint(%d) = %d, want the register dimension 4", shots, hint)
+	}
+	total, beyond := 0, 0
+	for outcome, n := range res.Counts {
+		total += n
+		if outcome >= 1<<2 {
+			beyond += n
+		}
+	}
+	if total != shots {
+		t.Errorf("histogram total = %d, want %d", total, shots)
+	}
+	if beyond == 0 {
+		t.Error("no outcome beyond the compact register dimension despite 40% readout error on 12 qubits")
+	}
+}
+
+// TestNoiselessDistributionCache checks the pure-sampling path: repeated
+// noiseless jobs on one compiled program simulate once, and a calibration
+// epoch bump invalidates the cached distribution with the program.
+func TestNoiselessDistributionCache(t *testing.T) {
+	qpu := NewTwin20Q(91)
+	c := NativeGHZLine(4)
+	for i := 0; i < 3; i++ {
+		res, err := qpu.Execute(c, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counts[0]+res.Counts[15] != 500 {
+			t.Fatalf("twin GHZ(4) counts = %v, want all mass on |0000> and |1111>", res.Counts)
+		}
+	}
+	st := qpu.ExecStats()
+	if st.DistCacheHits != 2 {
+		t.Errorf("dist-cache hits = %d, want 2 (first job builds, two sample)", st.DistCacheHits)
+	}
+	qpu.AdvanceDrift(1) // epoch bump: fresh compiled job, fresh distribution
+	if _, err := qpu.Execute(c, 500); err != nil {
+		t.Fatal(err)
+	}
+	if st = qpu.ExecStats(); st.DistCacheHits != 2 {
+		t.Errorf("post-drift dist-cache hits = %d, want still 2", st.DistCacheHits)
+	}
+}

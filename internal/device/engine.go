@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sync"
 	"time"
 
@@ -58,8 +57,29 @@ type compiledJob struct {
 	// per-sample, still applies).
 	noiseless bool
 
+	// branchEst is the compile-time estimate of off-dominant Kraus branch
+	// events per shot, summed over noise sites (quantum.DominantWeight). It
+	// is the workload-shape signal of the per-job strategy pick: low values
+	// mean shots overwhelmingly share one trajectory and the branch tree
+	// collapses the redundancy; +Inf marks programs the tree cannot run.
+	branchEst float64
+
+	// distOnce/dist cache the noiseless final outcome distribution as an
+	// alias sampler, built on the first execution. Because compiledJob is
+	// itself cached per (circuit fingerprint, calibration epoch), a QRM
+	// batch of identical noiseless jobs simulates once and every later job
+	// is pure O(shots) sampling. Gated to distCacheMaxQubits so a full
+	// program cache stays bounded in memory.
+	distOnce sync.Once
+	dist     *quantum.AliasTable
+	distErr  error
+
 	durPerShotUs float64
 }
+
+// distCacheMaxQubits bounds the cached distribution: 2^16 outcomes ≈ 1 MiB
+// of table, acceptable 256 times over (maxCompiledJobs).
+const distCacheMaxQubits = 16
 
 // progKey identifies a compiled job: circuit structure + the calibration it
 // was compiled against.
@@ -89,6 +109,31 @@ type ExecStats struct {
 	TrajectoryJobs  uint64 `json:"trajectory_jobs"`
 	FastPathShots   uint64 `json:"fast_path_shots"`
 	TrajectoryShots uint64 `json:"trajectory_shots"`
+
+	// Shot-branching: jobs/shots routed to the trajectory tree, and the
+	// unique leaf states those shots collapsed into — leaves/shots is the
+	// redundancy the tree removed (1.0 would be per-shot simulation).
+	BranchTreeJobs  uint64 `json:"branch_tree_jobs"`
+	BranchTreeShots uint64 `json:"branch_tree_shots"`
+	BranchLeaves    uint64 `json:"branch_leaves"`
+	// DistCacheHits counts noiseless jobs that skipped simulation entirely
+	// because the compiled program's outcome distribution was already
+	// cached (pure-sampling jobs).
+	DistCacheHits uint64 `json:"dist_cache_hits"`
+	// ShotWorkers is the fan-out width of the most recent shot-fanout job —
+	// a pure function of the workload, recorded so reproducibility issues
+	// are visible rather than host-dependent.
+	ShotWorkers uint64 `json:"shot_workers"`
+}
+
+// LeavesPerShot returns the mean unique-leaf fraction of branch-tree shots:
+// the smaller, the more trajectory work the tree amortized (1.0 would mean
+// every shot evolved its own state).
+func (s ExecStats) LeavesPerShot() float64 {
+	if s.BranchTreeShots == 0 {
+		return 0
+	}
+	return float64(s.BranchLeaves) / float64(s.BranchTreeShots)
 }
 
 // ExecStats returns a snapshot of the engine counters.
@@ -112,10 +157,10 @@ func (d *QPU) ExecStats() ExecStats {
 //   - measured bits flip through the per-qubit readout confusion model.
 //
 // Compilation is cached by circuit fingerprint + calibration epoch, so a
-// batch of identical jobs (the VQE measurement loop) compiles once. Noisy
-// shots fan out across a worker group; the per-call RNG stream is still
-// derived deterministically from the seeded device RNG (worker sub-streams
-// are seeded in order, so results are reproducible for a fixed GOMAXPROCS).
+// batch of identical jobs (the VQE measurement loop) compiles once. All
+// execution strategies derive their randomness deterministically from the
+// seeded device RNG, and any fan-out width is a pure function of the
+// workload — a fixed seed reproduces identical counts on any host.
 func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
 	if err := d.validateExecution(c, shots); err != nil {
 		return nil, err
@@ -141,11 +186,25 @@ func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
 		return nil, err
 	}
 
-	var counts map[int]int
-	if cj.noiseless {
-		counts, err = cj.runFast(shots, rng)
-	} else {
-		counts, err = cj.runTrajectories(shots, rng)
+	// Per-job strategy pick, from workload shape rather than a fixed code
+	// path: noiseless programs sample a cached distribution; noisy jobs
+	// with enough shots and a dominant-trajectory noise profile ride the
+	// shot-branching tree; everything else takes the per-shot fan-out.
+	var (
+		counts   map[int]int
+		leaves   int
+		distHit  bool
+		width    int
+		treePath = !cj.noiseless && cj.useBranchTree(shots)
+	)
+	switch {
+	case cj.noiseless:
+		counts, distHit, err = cj.runFast(shots, rng)
+	case treePath:
+		counts, leaves, err = cj.runBranchTree(shots, rng)
+	default:
+		width = shotFanoutWidth(shots, cj.compactQubits)
+		counts, err = cj.runTrajectories(shots, width, rng)
 	}
 	if err != nil {
 		return nil, err
@@ -161,15 +220,31 @@ func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
 	} else {
 		d.execStats.CompileMisses++
 	}
-	if cj.noiseless {
+	switch {
+	case cj.noiseless:
 		d.execStats.FastPathJobs++
 		d.execStats.FastPathShots += uint64(shots)
-	} else {
+		if distHit {
+			d.execStats.DistCacheHits++
+		}
+	case treePath:
+		d.execStats.BranchTreeJobs++
+		d.execStats.BranchTreeShots += uint64(shots)
+		d.execStats.BranchLeaves += uint64(leaves)
+	default:
 		d.execStats.TrajectoryJobs++
 		d.execStats.TrajectoryShots += uint64(shots)
+		d.execStats.ShotWorkers = uint64(width)
 	}
 	d.mu.Unlock()
 	return &Result{Counts: counts, Shots: shots, DurationUs: cj.durPerShotUs * float64(shots)}, nil
+}
+
+// useBranchTree is the noisy-path strategy pick: shot-branching pays when
+// there are shots to amortize and the compile-time branch estimate says
+// trajectories will mostly share the dominant Kraus prefix.
+func (cj *compiledJob) useBranchTree(shots int) bool {
+	return shots >= branchTreeMinShots && cj.branchEst <= maxBranchEventsPerShot
 }
 
 // compiledFor returns the compiled job for the circuit against the current
@@ -283,10 +358,23 @@ func (d *QPU) compileJob(c *circuit.Circuit, calib *Calibration) (*compiledJob, 
 	if cj.noisy, err = d.compileTrajectoryOps(compact, toPhysical, calib); err != nil {
 		return nil, err
 	}
+	// Sum the off-dominant branch estimate over noise sites — the workload
+	// shape the strategy pick reads — and detect the noiseless case.
+	noiseSites := 0
 	for i := range cj.noisy {
-		if len(cj.noisy[i].noise) > 0 {
-			return cj, nil // at least one channel: per-shot trajectories needed
+		for _, na := range cj.noisy[i].noise {
+			noiseSites++
+			if len(na.ch.Kraus) > maxKrausBranches {
+				cj.branchEst = math.Inf(1) // too wide for the tree's scratch
+				return cj, nil
+			}
+			if off := 1 - na.ch.DominantWeight(); off > 0 {
+				cj.branchEst += off
+			}
 		}
+	}
+	if noiseSites > 0 {
+		return cj, nil // at least one channel: trajectories needed
 	}
 	cj.noiseless = true
 	cj.noisy = nil
@@ -423,22 +511,58 @@ func (cj *compiledJob) countsHint(shots int) int {
 	return hint
 }
 
-// runFast is the noiseless path: simulate the program exactly once and draw
-// every shot from the final state. Readout corruption, when present, is a
-// classical per-sample map and applies after sampling.
-func (cj *compiledJob) runFast(shots int, rng *rand.Rand) (map[int]int, error) {
-	counts := make(map[int]int, cj.countsHint(shots))
+// runFast is the noiseless path: simulate the program exactly once per
+// compiled job, cache the final outcome distribution as an alias sampler,
+// and draw every shot from it — so across a batch of identical jobs only
+// the first simulates at all and the rest are pure sampling (distHit).
+// Readout corruption, when present, is a classical per-sample map and
+// applies after sampling.
+func (cj *compiledJob) runFast(shots int, rng *rand.Rand) (counts map[int]int, distHit bool, err error) {
+	counts = make(map[int]int, cj.countsHint(shots))
 	if cj.compactQubits == 0 {
 		// No gates touch any qubit: the register stays |0...0>.
 		if cj.readout == nil {
 			counts[0] = shots
-			return counts, nil
+			return counts, false, nil
 		}
 		for shot := 0; shot < shots; shot++ {
 			counts[cj.readout.Corrupt(0, rng)]++
 		}
-		return counts, nil
+		return counts, false, nil
 	}
+	if cj.compactQubits > distCacheMaxQubits {
+		// Too wide to pin a 2^n table per cached program: simulate once per
+		// job (still amortized over its shots).
+		st, err := quantum.AcquireState(cj.compactQubits)
+		if err != nil {
+			return nil, false, err
+		}
+		defer quantum.ReleaseState(st)
+		if err := cj.unitary.RunOn(st); err != nil {
+			return nil, false, err
+		}
+		for _, sample := range st.SampleBitstrings(shots, rng) {
+			cj.tally(counts, sample, rng)
+		}
+		return counts, false, nil
+	}
+	first := false
+	cj.distOnce.Do(func() {
+		first = true
+		cj.dist, cj.distErr = cj.buildDist()
+	})
+	if cj.distErr != nil {
+		return nil, false, cj.distErr
+	}
+	for shot := 0; shot < shots; shot++ {
+		cj.tally(counts, cj.dist.Sample(rng), rng)
+	}
+	return counts, !first, nil
+}
+
+// buildDist simulates the noiseless program once and freezes its outcome
+// distribution into an alias sampler.
+func (cj *compiledJob) buildDist() (*quantum.AliasTable, error) {
 	st, err := quantum.AcquireState(cj.compactQubits)
 	if err != nil {
 		return nil, err
@@ -447,30 +571,52 @@ func (cj *compiledJob) runFast(shots int, rng *rand.Rand) (map[int]int, error) {
 	if err := cj.unitary.RunOn(st); err != nil {
 		return nil, err
 	}
-	for _, sample := range st.SampleBitstrings(shots, rng) {
-		outcome := cj.expand(sample)
-		if cj.readout != nil {
-			outcome = cj.readout.Corrupt(outcome, rng)
-		}
-		counts[outcome]++
-	}
-	return counts, nil
+	return quantum.NewAliasTable(st.Probabilities())
 }
 
-// runTrajectories is the noisy path: per-shot Monte-Carlo trajectories over
-// pooled states, fanned out across a worker group. Workers draw their seeds
-// from the job RNG in order, so the fan-out stays deterministic for a fixed
-// worker count.
-func (cj *compiledJob) runTrajectories(shots int, rng *rand.Rand) (map[int]int, error) {
-	workers := runtime.GOMAXPROCS(0)
+// tally expands a compact sample, applies readout corruption, and counts it.
+func (cj *compiledJob) tally(counts map[int]int, sample int, rng *rand.Rand) {
+	outcome := cj.expand(sample)
+	if cj.readout != nil {
+		outcome = cj.readout.Corrupt(outcome, rng)
+	}
+	counts[outcome]++
+}
+
+// shotFanoutWorkers scales the per-shot fan-out width; ~32 shots per worker
+// keep the goroutine and merge overhead negligible.
+const (
+	shotsPerFanoutWorker = 32
+	maxFanoutWorkers     = 8
+)
+
+// shotFanoutWidth pins the trajectory fan-out to a pure function of the
+// workload, never of the host: the same seed must yield identical counts on
+// every machine, which GOMAXPROCS-derived widths broke. Wide registers run
+// single-worker because their gate kernels already fan out across cores
+// (quantum.parallelThreshold); nesting shot parallelism on top would
+// oversubscribe.
+func shotFanoutWidth(shots, compactQubits int) int {
+	if compactQubits >= 14 {
+		return 1
+	}
+	w := shots / shotsPerFanoutWorker
+	if w > maxFanoutWorkers {
+		w = maxFanoutWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runTrajectories is the noisy per-shot path: Monte-Carlo trajectories over
+// pooled states, fanned out across workers goroutines (shotFanoutWidth).
+// Workers draw their seeds from the job RNG in order, so the fan-out is
+// deterministic for a fixed seed.
+func (cj *compiledJob) runTrajectories(shots, workers int, rng *rand.Rand) (map[int]int, error) {
 	if workers > shots {
 		workers = shots
-	}
-	// Large states already fan their gate kernels out across cores
-	// (quantum.parallelThreshold); nesting shot-level parallelism on top
-	// would oversubscribe.
-	if cj.compactQubits >= 14 {
-		workers = 1
 	}
 	if workers <= 1 {
 		return cj.runShotBlock(shots, rng)
@@ -534,15 +680,7 @@ func (cj *compiledJob) runShotBlock(shots int, rng *rand.Rand) (map[int]int, err
 		st.Reset()
 		for i := range cj.noisy {
 			op := &cj.noisy[i]
-			switch op.op.Kind {
-			case quantum.ProgOp1Q:
-				err = st.Apply1Q(op.op.Q1, op.op.M2)
-			case quantum.ProgOp2Q:
-				err = st.Apply2Q(op.op.Q1, op.op.Q2, op.op.M4)
-			default:
-				err = fmt.Errorf("device: unexpected trajectory op kind %d", op.op.Kind)
-			}
-			if err != nil {
+			if err := applyProgOp(st, &op.op); err != nil {
 				return nil, err
 			}
 			for _, na := range op.noise {
@@ -551,11 +689,20 @@ func (cj *compiledJob) runShotBlock(shots int, rng *rand.Rand) (map[int]int, err
 				}
 			}
 		}
-		outcome := cj.expand(st.SampleBitstring(rng))
-		if cj.readout != nil {
-			outcome = cj.readout.Corrupt(outcome, rng)
-		}
-		counts[outcome]++
+		cj.tally(counts, st.SampleBitstring(rng), rng)
 	}
 	return counts, nil
+}
+
+// applyProgOp applies one precompiled trajectory unitary — shared by the
+// per-shot loop, the branch tree, and its replay fallback.
+func applyProgOp(st *quantum.State, op *quantum.ProgOp) error {
+	switch op.Kind {
+	case quantum.ProgOp1Q:
+		return st.Apply1Q(op.Q1, op.M2)
+	case quantum.ProgOp2Q:
+		return st.Apply2Q(op.Q1, op.Q2, op.M4)
+	default:
+		return fmt.Errorf("device: unexpected trajectory op kind %d", op.Kind)
+	}
 }

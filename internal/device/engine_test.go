@@ -7,11 +7,11 @@ import (
 	"repro/internal/circuit"
 )
 
-// TestFastPathDistributionMatchesNaive is the satellite distribution-
-// equivalence check: at a fixed seed, the noiseless fast path (simulate
-// once, sample shots times) and the naive per-shot loop consume the same
-// RNG stream over numerically-identical states, so their histograms agree
-// to within floating-point boundary effects.
+// TestFastPathDistributionMatchesNaive is the noiseless distribution-
+// equivalence check: the fast path now samples the cached alias-table
+// distribution while the naive loop binary-searches a cumulative table, so
+// the fixed-seed histograms are compared statistically (chi-square) rather
+// than draw-for-draw.
 func TestFastPathDistributionMatchesNaive(t *testing.T) {
 	const shots = 4000
 	c := NativeGHZLine(4)
@@ -27,18 +27,7 @@ func TestFastPathDistributionMatchesNaive(t *testing.T) {
 		t.Errorf("metadata mismatch: fast %d shots/%.1f us, naive %d shots/%.1f us",
 			fast.Shots, fast.DurationUs, naive.Shots, naive.DurationUs)
 	}
-	outcomes := map[int]bool{}
-	for o := range fast.Counts {
-		outcomes[o] = true
-	}
-	for o := range naive.Counts {
-		outcomes[o] = true
-	}
-	for o := range outcomes {
-		if diff := fast.Counts[o] - naive.Counts[o]; diff < -5 || diff > 5 {
-			t.Errorf("outcome %d: fast %d vs naive %d (same seed)", o, fast.Counts[o], naive.Counts[o])
-		}
-	}
+	assertChiSquareEquivalent(t, "fast vs naive", fast.Counts, naive.Counts)
 }
 
 // TestNoisyCompiledMatchesNaiveStatistically checks the trajectory path:
@@ -103,14 +92,26 @@ func TestZeroErrorCalibrationUsesFastPath(t *testing.T) {
 	}
 }
 
-func TestNoisyDeviceTakesTrajectoryPath(t *testing.T) {
+func TestNoisyStrategyPick(t *testing.T) {
 	qpu := New20Q(31)
+	// A dominant-trajectory noisy job with shots to amortize rides the
+	// branch tree; a tiny job stays on the per-shot trajectory loop.
 	if _, err := qpu.Execute(NativeGHZLine(4), 100); err != nil {
 		t.Fatal(err)
 	}
 	st := qpu.ExecStats()
-	if st.TrajectoryJobs != 1 || st.FastPathJobs != 0 {
-		t.Errorf("stats = %+v, want the job on the trajectory path", st)
+	if st.BranchTreeJobs != 1 || st.TrajectoryJobs != 0 || st.FastPathJobs != 0 {
+		t.Errorf("stats = %+v, want the 100-shot job on the branch tree", st)
+	}
+	if st.BranchLeaves == 0 || st.BranchLeaves >= st.BranchTreeShots {
+		t.Errorf("branch leaves = %d over %d shots, want 0 < leaves < shots", st.BranchLeaves, st.BranchTreeShots)
+	}
+	if _, err := qpu.Execute(NativeGHZLine(4), branchTreeMinShots-1); err != nil {
+		t.Fatal(err)
+	}
+	st = qpu.ExecStats()
+	if st.TrajectoryJobs != 1 || st.BranchTreeJobs != 1 {
+		t.Errorf("stats = %+v, want the %d-shot job on the per-shot path", st, branchTreeMinShots-1)
 	}
 }
 

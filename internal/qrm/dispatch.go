@@ -335,6 +335,14 @@ type Metrics struct {
 	SimCompileHits   uint64 `json:"sim_compile_hits"`
 	SimCompileMisses uint64 `json:"sim_compile_misses"`
 	SimFastPathJobs  uint64 `json:"sim_fast_path_jobs"`
+	// Shot-branching engine counters: jobs routed to the trajectory tree,
+	// the shots they carried, the unique leaf states those shots collapsed
+	// into (leaves/shots << 1 is the amortization working), and noiseless
+	// jobs served from the cached outcome distribution without simulating.
+	SimBranchTreeJobs  uint64 `json:"sim_branch_tree_jobs"`
+	SimBranchTreeShots uint64 `json:"sim_branch_tree_shots"`
+	SimBranchLeaves    uint64 `json:"sim_branch_leaves"`
+	SimDistCacheHits   uint64 `json:"sim_dist_cache_hits"`
 
 	QueueWaitMs telemetry.HistogramSnapshot `json:"queue_wait_ms"`
 	CompileMs   telemetry.HistogramSnapshot `json:"compile_ms"`
@@ -363,6 +371,10 @@ func (m *Manager) Metrics() Metrics {
 	out.SimCompileHits = es.CompileHits
 	out.SimCompileMisses = es.CompileMisses
 	out.SimFastPathJobs = es.FastPathJobs
+	out.SimBranchTreeJobs = es.BranchTreeJobs
+	out.SimBranchTreeShots = es.BranchTreeShots
+	out.SimBranchLeaves = es.BranchLeaves
+	out.SimDistCacheHits = es.DistCacheHits
 	out.QueueWaitMs = m.metrics.queueWait.Snapshot()
 	out.CompileMs = m.metrics.compile.Snapshot()
 	out.ExecMs = m.metrics.exec.Snapshot()
@@ -385,13 +397,25 @@ func (s Metrics) HitRatio() float64 {
 // DCDB collector plugins (internal/core registers one).
 func (s Metrics) Gauges() map[string]float64 {
 	return map[string]float64{
-		"qrm_queue_depth":     float64(s.QueueDepth),
-		"qrm_inflight":        float64(s.Inflight),
-		"qrm_completed":       float64(s.Completed),
-		"qrm_cache_hit_ratio": s.HitRatio(),
-		"qrm_e2e_p95_ms":      s.E2EMs.Quantile(0.95),
-		"qrm_sim_fastpath":    float64(s.SimFastPathJobs),
+		"qrm_queue_depth":         float64(s.QueueDepth),
+		"qrm_inflight":            float64(s.Inflight),
+		"qrm_completed":           float64(s.Completed),
+		"qrm_cache_hit_ratio":     s.HitRatio(),
+		"qrm_e2e_p95_ms":          s.E2EMs.Quantile(0.95),
+		"qrm_sim_fastpath":        float64(s.SimFastPathJobs),
+		"qrm_sim_branch_jobs":     float64(s.SimBranchTreeJobs),
+		"qrm_sim_leaves_per_shot": s.BranchLeavesPerShot(),
+		"qrm_sim_dist_cache_hits": float64(s.SimDistCacheHits),
 	}
+}
+
+// BranchLeavesPerShot is the shot-branching amortization ratio: unique leaf
+// states per trajectory shot (0 when the tree has not run).
+func (s Metrics) BranchLeavesPerShot() float64 {
+	if s.SimBranchTreeShots == 0 {
+		return 0
+	}
+	return float64(s.SimBranchLeaves) / float64(s.SimBranchTreeShots)
 }
 
 // PublishMetrics appends the pipeline gauges to a telemetry store at

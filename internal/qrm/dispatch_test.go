@@ -373,3 +373,48 @@ func TestStopKeepsQueuedJobsAndRestarts(t *testing.T) {
 		t.Errorf("restarted pipeline job = %+v, %v", j, err)
 	}
 }
+
+// TestEngineMetricsSurfaceBranchTree checks that shot-branching engine
+// counters reach the pipeline metrics snapshot: a batch of identical noisy
+// jobs rides the trajectory tree, and a batch of identical noiseless jobs
+// hits the cached outcome distribution.
+func TestEngineMetricsSurfaceBranchTree(t *testing.T) {
+	noisy := NewManager(qdmi.NewDevice(device.New20Q(44), nil))
+	if err := noisy.Start(2); err != nil {
+		t.Fatal(err)
+	}
+	defer noisy.Stop()
+	for i := 0; i < 6; i++ {
+		if _, err := noisy.Submit(Request{Circuit: circuit.GHZ(4), Shots: 100, User: "tree"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	noisy.WaitIdle()
+	snap := noisy.Metrics()
+	if snap.SimBranchTreeJobs != 6 || snap.SimBranchTreeShots != 600 {
+		t.Errorf("branch-tree counters = %d jobs / %d shots, want 6 / 600 (%+v)",
+			snap.SimBranchTreeJobs, snap.SimBranchTreeShots, snap)
+	}
+	if r := snap.BranchLeavesPerShot(); r <= 0 || r >= 1 {
+		t.Errorf("leaves/shot = %.3f, want in (0, 1): the tree should amortize shots", r)
+	}
+	if _, ok := snap.Gauges()["qrm_sim_leaves_per_shot"]; !ok {
+		t.Error("leaves-per-shot gauge missing from the telemetry set")
+	}
+
+	twin := newManager(45)
+	if err := twin.Start(2); err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Stop()
+	for i := 0; i < 5; i++ {
+		if _, err := twin.Submit(Request{Circuit: circuit.GHZ(4), Shots: 100, User: "dist"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	twin.WaitIdle()
+	snap = twin.Metrics()
+	if snap.SimDistCacheHits != 4 {
+		t.Errorf("dist-cache hits = %d, want 4 (first job simulates, four sample)", snap.SimDistCacheHits)
+	}
+}

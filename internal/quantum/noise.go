@@ -126,6 +126,21 @@ func Compose(a, b Channel) Channel {
 	return Channel{Name: a.Name + "*" + b.Name, Kraus: ks}
 }
 
+// DominantWeight returns the channel's heaviest branch weight on the
+// maximally mixed state, max_i ||K_i||_F²/2. It is the compile-time
+// estimate behind the execution engine's per-job strategy pick: 1 minus it
+// approximates how often a shot leaves the dominant trajectory at this
+// noise site, before any state is available to compute exact weights.
+func (c Channel) DominantWeight() float64 {
+	best := 0.0
+	for _, k := range c.Kraus {
+		if w := frobNorm2(k) / 2; w > best {
+			best = w
+		}
+	}
+	return best
+}
+
 // frobNorm2 is the squared Frobenius norm of m.
 func frobNorm2(m Matrix2) float64 {
 	sum := 0.0
@@ -181,10 +196,32 @@ func (s *State) ApplyChannel(q int, ch Channel, rng *rand.Rand) error {
 		}
 		chosen, chosenP = best, bestP
 	}
-	if err := s.Apply1Q(q, ch.Kraus[chosen]); err != nil {
+	return s.ApplyKraus(q, ch.Kraus[chosen], chosenP)
+}
+
+// KrausWeight returns the trajectory branch weight ||K|ψ>||² of a single
+// Kraus operator on qubit q — the quantity the shot-branching engine
+// computes once per subtree instead of once per shot.
+func (s *State) KrausWeight(q int, k Matrix2) (float64, error) {
+	if err := s.checkQubit(q); err != nil {
+		return 0, err
+	}
+	return s.branchProbability(q, k), nil
+}
+
+// ApplyKraus applies one Kraus operator to qubit q and renormalizes by the
+// caller-supplied branch weight w = ||K|ψ>||² (as returned by KrausWeight
+// on the pre-application state). Together with KrausWeight it decomposes
+// ApplyChannel so shot-branching can pick the branch for a whole block of
+// shots from one set of weights.
+func (s *State) ApplyKraus(q int, k Matrix2, weight float64) error {
+	if weight < 1e-300 {
+		return fmt.Errorf("quantum: Kraus branch weight %g too small to renormalize", weight)
+	}
+	if err := s.Apply1Q(q, k); err != nil {
 		return err
 	}
-	inv := complex(1/math.Sqrt(chosenP), 0)
+	inv := complex(1/math.Sqrt(weight), 0)
 	for i := range s.amps {
 		s.amps[i] *= inv
 	}

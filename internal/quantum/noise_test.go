@@ -211,3 +211,84 @@ func TestAssignmentFidelityOutOfRange(t *testing.T) {
 		t.Errorf("out-of-range qubit fidelity = %g, want 1", f)
 	}
 }
+
+// TestKrausForkPrimitivesMatchChannel checks the shot-branching
+// decomposition of ApplyChannel: computing every branch weight with
+// KrausWeight, picking a branch, and applying it with ApplyKraus must
+// reproduce the channel's trajectory ensemble — weights sum to 1 (trace
+// preservation) and each branch lands on a normalized state.
+func TestKrausForkPrimitivesMatchChannel(t *testing.T) {
+	base := MustNewState(3)
+	if err := base.Apply1Q(0, H); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Apply2Q(0, 1, CZ); err != nil {
+		t.Fatal(err)
+	}
+	ch := Compose(Depolarizing(0.1), AmplitudeDamping(0.2))
+	total := 0.0
+	for _, k := range ch.Kraus {
+		w, err := base.KrausWeight(1, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < 0 {
+			t.Fatalf("negative branch weight %g", w)
+		}
+		total += w
+		if w < 1e-12 {
+			continue
+		}
+		fork := base.Clone()
+		if err := fork.ApplyKraus(1, k, w); err != nil {
+			t.Fatal(err)
+		}
+		if n := fork.Norm(); math.Abs(n-1) > 1e-9 {
+			t.Errorf("fork norm = %g after ApplyKraus, want 1", n)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("branch weights sum to %g, want 1 (trace preservation)", total)
+	}
+	if err := base.Clone().ApplyKraus(0, I2, 0); err == nil {
+		t.Error("ApplyKraus accepted a zero branch weight")
+	}
+	if _, err := base.KrausWeight(7, I2); err == nil {
+		t.Error("KrausWeight accepted an out-of-range qubit")
+	}
+}
+
+// TestAcquireStateCopyForksIndependently checks the pooled fork primitive:
+// the copy matches the source and mutating one leaves the other alone.
+func TestAcquireStateCopyForksIndependently(t *testing.T) {
+	src := MustNewState(2)
+	if err := src.Apply1Q(0, H); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := AcquireStateCopy(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseState(fork)
+	if f, err := fork.Fidelity(src); err != nil || math.Abs(f-1) > 1e-12 {
+		t.Fatalf("fork fidelity = %g (%v), want 1", f, err)
+	}
+	if err := fork.Apply1Q(1, X); err != nil {
+		t.Fatal(err)
+	}
+	if p := src.Probability(2); p != 0 {
+		t.Errorf("mutating the fork changed the source: P(|10>) = %g", p)
+	}
+	if err := fork.Set(src); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := fork.Fidelity(src); math.Abs(f-1) > 1e-12 {
+		t.Errorf("Set did not restore the checkpoint: fidelity %g", f)
+	}
+	if err := fork.Set(MustNewState(3)); err == nil {
+		t.Error("Set accepted a size-mismatched source")
+	}
+	if _, err := AcquireStateCopy(nil); err == nil {
+		t.Error("AcquireStateCopy accepted nil")
+	}
+}

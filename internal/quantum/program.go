@@ -87,6 +87,22 @@ func AcquireState(n int) (*State, error) {
 	return NewState(n)
 }
 
+// AcquireStateCopy returns a pooled state initialized as a copy of src —
+// the fork primitive of the shot-branching engine: a trajectory subtree
+// that splits off a shared Kraus prefix gets its own amplitudes without a
+// fresh 2^n allocation.
+func AcquireStateCopy(src *State) (*State, error) {
+	if src == nil {
+		return nil, fmt.Errorf("quantum: cannot copy nil state")
+	}
+	if v := statePools[src.n].Get(); v != nil {
+		st := v.(*State)
+		copy(st.amps, src.amps)
+		return st, nil
+	}
+	return src.Clone(), nil
+}
+
 // ReleaseState returns a state to the pool for reuse. The caller must not
 // touch st afterwards. Releasing nil is a no-op.
 func ReleaseState(st *State) {

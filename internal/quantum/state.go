@@ -31,6 +31,9 @@ type State struct {
 	// paths (ProbabilitiesInto callers, cumulative distributions), so
 	// repeated sampling of a long-lived (pooled) state allocates nothing.
 	probScratch []float64
+	// aliasScratch is the reusable Walker sampler of the bulk-sampling path;
+	// like probScratch it amortizes to zero allocations on pooled states.
+	aliasScratch AliasTable
 }
 
 // NewState returns the n-qubit |00...0> state.
@@ -66,6 +69,18 @@ func (s *State) Clone() *State {
 	c := &State{n: s.n, amps: make([]complex128, len(s.amps))}
 	copy(c.amps, s.amps)
 	return c
+}
+
+// Set overwrites s with a copy of src's amplitudes. It is the
+// checkpoint-restore primitive of the shot-branching engine's per-shot
+// replay fallback: the replay scratch state is rewound to the fork point
+// without touching the pool.
+func (s *State) Set(src *State) error {
+	if s.n != src.n {
+		return fmt.Errorf("quantum: cannot set %d-qubit state from %d-qubit source", s.n, src.n)
+	}
+	copy(s.amps, src.amps)
+	return nil
 }
 
 // Reset returns the state to |00...0>.
@@ -410,23 +425,49 @@ func (s *State) MeasureQubit(q int, rng *rand.Rand) (int, error) {
 	return outcome, nil
 }
 
+// aliasMinShots is the bulk-sampling crossover: building the Walker alias
+// table costs a few passes over 2^n buckets, so tiny draws stay on the
+// cumulative table + binary search.
+const aliasMinShots = 16
+
 // SampleBitstrings draws shots measurement outcomes from the state without
 // collapsing it. Each outcome is the integer whose bit q is qubit q's result.
-// Only the returned slice is allocated: the cumulative distribution lives in
-// the state's reusable scratch buffer.
+// Only the returned slice is allocated: the sampling tables live in the
+// state's reusable scratch buffers.
 func (s *State) SampleBitstrings(shots int, rng *rand.Rand) []int {
-	// Build a cumulative distribution in place; binary-search per shot.
+	return s.SampleBitstringsInto(nil, shots, rng)
+}
+
+// SampleBitstringsInto is SampleBitstrings reusing dst's backing array when
+// its capacity suffices, so repeated bulk sampling (the shot-branching
+// leaves) allocates nothing. Each sample consumes exactly one rng draw on
+// either internal path: O(1) Walker alias sampling for bulk draws, the
+// cumulative table below the crossover.
+func (s *State) SampleBitstringsInto(dst []int, shots int, rng *rand.Rand) []int {
+	if cap(dst) < shots {
+		dst = make([]int, shots)
+	}
+	dst = dst[:shots]
+	if shots >= aliasMinShots {
+		if err := s.aliasScratch.Init(s.scratchProbs()); err == nil {
+			for k := range dst {
+				dst[k] = s.aliasScratch.Sample(rng)
+			}
+			return dst
+		}
+		// Init only fails on a degenerate (zero-norm) state; fall through to
+		// the cumulative path, which keeps the historical behaviour there.
+	}
 	cum := s.scratchProbs()
 	acc := 0.0
 	for i, p := range cum {
 		acc += p
 		cum[i] = acc
 	}
-	out := make([]int, shots)
-	for k := 0; k < shots; k++ {
-		out[k] = sampleCumulative(cum, acc, rng)
+	for k := range dst {
+		dst[k] = sampleCumulative(cum, acc, rng)
 	}
-	return out
+	return dst
 }
 
 // SampleBitstring draws one measurement outcome from the state without
