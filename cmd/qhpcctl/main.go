@@ -7,10 +7,14 @@
 //	qhpcctl -server http://localhost:8080 device
 //	qhpcctl -server http://localhost:8080 submit -shots 500 -user alice circuit.qasm
 //	qhpcctl -server http://localhost:8080 job 17
+//	qhpcctl -server http://localhost:8080 job submit -shots 500 -wait circuit.qasm
+//	qhpcctl -server http://localhost:8080 job watch j-17
+//	qhpcctl -server http://localhost:8080 job cancel j-17
 //	qhpcctl -server http://localhost:8080 history -user alice -offset 0 -limit 10
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +40,7 @@ func main() {
 	if len(args) < 1 {
 		usage()
 	}
+	ctx := context.Background()
 	client := mqss.NewRemoteClient(*server, nil)
 	switch args[0] {
 	case "device":
@@ -43,9 +48,9 @@ func main() {
 		var err error
 		if len(args) > 1 {
 			// Fleet servers host several backends; name one explicitly.
-			info, err = client.FleetDevice(args[1])
+			info, err = client.FleetDevice(ctx, args[1])
 		} else {
-			info, err = client.Device()
+			info, err = client.Device(ctx)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -101,7 +106,7 @@ func main() {
 		}
 		req := qrm.Request{Circuit: c, Shots: *shots, User: *user, StaticPlacement: *static}
 		if *device != "" || *policy != "" {
-			fj, err := client.RunRouted(req, mqss.RouteOptions{Device: *device, Policy: *policy})
+			fj, err := client.RunRouted(ctx, req, mqss.RouteOptions{Device: *device, Policy: *policy})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -115,24 +120,25 @@ func main() {
 			}
 			break
 		}
-		job, err := client.Run(req)
+		job, err := client.Run(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
 		printJob(job)
 	case "job":
-		if len(args) != 2 {
-			log.Fatal("job needs an ID")
+		if len(args) < 2 {
+			log.Fatal("job needs a subcommand (submit/status/watch/cancel) or an ID")
 		}
-		id, err := strconv.Atoi(args[1])
-		if err != nil {
-			log.Fatalf("bad job id %q", args[1])
+		// Back-compat: `qhpcctl job 17` still fetches the legacy record.
+		if id, err := strconv.Atoi(args[1]); err == nil {
+			job, err := client.Job(ctx, id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printJob(job)
+			break
 		}
-		job, err := client.Job(id)
-		if err != nil {
-			log.Fatal(err)
-		}
-		printJob(job)
+		jobCommand(ctx, client, args[1:])
 	case "history":
 		fs := flag.NewFlagSet("history", flag.ExitOnError)
 		user := fs.String("user", "", "filter by user")
@@ -141,7 +147,7 @@ func main() {
 		if err := fs.Parse(args[1:]); err != nil {
 			log.Fatal(err)
 		}
-		page, err := client.History(*user, *offset, *limit)
+		page, err := client.History(ctx, *user, *offset, *limit)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -159,7 +165,7 @@ func main() {
 		if sub != "status" {
 			log.Fatalf("unknown fleet subcommand %q (want: status)", sub)
 		}
-		m, err := client.FleetMetrics()
+		m, err := client.FleetMetrics(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -214,6 +220,132 @@ func main() {
 		})
 	default:
 		usage()
+	}
+}
+
+// jobCommand is the v2 async job group: submit returns immediately with a
+// handle (or -wait blocks), status/watch/cancel operate on the opaque ID.
+func jobCommand(ctx context.Context, client *mqss.Client, args []string) {
+	switch args[0] {
+	case "submit":
+		fs := flag.NewFlagSet("job submit", flag.ExitOnError)
+		shots := fs.Int("shots", 1000, "shots")
+		user := fs.String("user", "cli", "submitting user")
+		priority := fs.Int("priority", 0, "queue priority (higher dispatches first)")
+		deadline := fs.Float64("deadline-ms", 0, "dispatch deadline in ms from submission (0 = none)")
+		static := fs.Bool("static", false, "static placement instead of fidelity-aware JIT")
+		device := fs.String("device", "", "fleet servers: pin the job to one backend")
+		policy := fs.String("policy", "", "fleet servers: routing policy override")
+		idemKey := fs.String("idempotency-key", "", "replay-safe submission key")
+		wait := fs.Bool("wait", false, "block until the job is terminal and print the result")
+		if err := fs.Parse(args[1:]); err != nil {
+			log.Fatal(err)
+		}
+		if fs.NArg() != 1 {
+			log.Fatal("job submit needs exactly one .qasm file")
+		}
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := circuit.ParseQASM(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parsing %s: %v", fs.Arg(0), err)
+		}
+		h, err := client.Submit(ctx, mqss.SubmitRequest{
+			Circuit: c, Shots: *shots, User: *user,
+			Priority: *priority, DeadlineMs: *deadline,
+			StaticPlacement: *static, Device: *device, Policy: *policy,
+		}, *idemKey)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*wait {
+			fmt.Printf("accepted: job %s (poll with `qhpcctl job status %s`, stream with `qhpcctl job watch %s`)\n",
+				h.ID, h.ID, h.ID)
+			return
+		}
+		job, err := h.Wait(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printV2Job(job)
+	case "status":
+		job, err := client.V2Job(ctx, v2ID(args[1:]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printV2Job(job)
+	case "watch":
+		h, err := client.Handle(v2ID(args[1:]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		job, err := h.Watch(ctx, func(ev mqss.JobEvent) {
+			fmt.Printf("  event %-4d %-10s device=%-22s %s\n", ev.Seq, ev.State, ev.Device, ev.Reason)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		printV2Job(job)
+	case "cancel":
+		h, err := client.Handle(v2ID(args[1:]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := h.Cancel(ctx); err != nil {
+			log.Fatal(err)
+		}
+		job, err := h.Poll(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cancel requested: job %s now %s\n", job.ID, job.State)
+	default:
+		log.Fatalf("unknown job subcommand %q (want: submit, status, watch, cancel)", args[0])
+	}
+}
+
+// v2ID reads the ID argument, accepting both the opaque form ("j-17") and
+// a bare number.
+func v2ID(args []string) string {
+	if len(args) != 1 {
+		log.Fatal("need exactly one job ID")
+	}
+	if n, err := strconv.Atoi(args[0]); err == nil {
+		return mqss.FormatJobID(n)
+	}
+	return args[0]
+}
+
+// printV2Job renders the unified v2 record.
+func printV2Job(j *mqss.Job) {
+	fmt.Printf("job %s: %s", j.ID, j.State)
+	if j.Device != "" {
+		fmt.Printf(" on %s", j.Device)
+	}
+	if j.Migrations > 0 {
+		fmt.Printf(" (%d migrations)", j.Migrations)
+	}
+	fmt.Println()
+	if j.Error != nil {
+		fmt.Printf("  error: [%s] %s (retryable: %v)\n", j.Error.Code, j.Error.Message, j.Error.Retryable)
+		return
+	}
+	if j.State != mqss.StateDone {
+		return
+	}
+	fmt.Printf("  compiled: %d gates (%d CZ) — %s\n", j.CompiledGates, j.CZCount, j.CompileStats)
+	fmt.Printf("  duration: %.1f ms on control electronics\n", j.DurationUs/1000)
+	shown := 0
+	for outcome, count := range j.Counts {
+		if shown >= 8 {
+			fmt.Printf("  ... %d more outcomes\n", len(j.Counts)-8)
+			break
+		}
+		fmt.Printf("  outcome %d: %d\n", outcome, count)
+		shown++
 	}
 }
 
@@ -287,7 +419,7 @@ func runBench(server string, cfg benchConfig) {
 			case cfg.fleet:
 				delivered := 0
 				batchStart := time.Now()
-				_, err := cl.StreamBatchRouted(reqs,
+				_, err := cl.StreamBatchRouted(context.Background(), reqs,
 					mqss.RouteOptions{Device: cfg.device, Policy: cfg.policy},
 					func(j *fleet.Job) {
 						lat := time.Since(batchStart)
@@ -309,7 +441,7 @@ func runBench(server string, cfg benchConfig) {
 			case cfg.batch:
 				delivered := 0
 				batchStart := time.Now()
-				_, err := cl.StreamBatch(reqs, func(j *qrm.Job) {
+				_, err := cl.StreamBatch(context.Background(), reqs, func(j *qrm.Job) {
 					lat := time.Since(batchStart)
 					mu.Lock()
 					delivered++
@@ -330,7 +462,7 @@ func runBench(server string, cfg benchConfig) {
 			default:
 				for i := 0; i < cfg.jobs; i++ {
 					jobStart := time.Now()
-					j, err := cl.Run(qrm.Request{Circuit: ghz, Shots: cfg.shots, User: user})
+					j, err := cl.Run(context.Background(), qrm.Request{Circuit: ghz, Shots: cfg.shots, User: user})
 					lat := time.Since(jobStart)
 					mu.Lock()
 					latencies = append(latencies, lat)
@@ -382,11 +514,11 @@ func runBench(server string, cfg benchConfig) {
 
 	cl := mqss.NewRemoteClient(server, nil)
 	if cfg.fleet {
-		if m, err := cl.FleetMetrics(); err == nil {
+		if m, err := cl.FleetMetrics(context.Background()); err == nil {
 			fmt.Printf("server fleet: %d devices, %d routed, %d migrated, %d completed\n",
 				len(m.Devices), m.Routed, m.Migrated, m.Completed)
 		}
-	} else if m, err := cl.Metrics(); err == nil {
+	} else if m, err := cl.Metrics(context.Background()); err == nil {
 		fmt.Printf("server pipeline: %d workers, %d completed, max queue depth %d\n",
 			m.Workers, m.Completed, m.MaxQueueDepth)
 		fmt.Printf("  transpile cache: %d hits / %d misses (%.0f%% hit ratio)\n",
@@ -499,9 +631,16 @@ commands:
   device [name]                        show device properties and live calibration
                                        (fleet servers: name one backend)
   submit [-shots N] [-user U] [-device D] [-policy P] f.qasm
-                                       submit an OpenQASM circuit; -device/-policy
+                                       submit an OpenQASM circuit and wait; -device/-policy
                                        route on fleet servers
-  job <id>                             show one job
+  job <id>                             show one job (legacy v1 record)
+  job submit [-shots N] [-user U] [-priority N] [-deadline-ms N]
+             [-device D] [-policy P] [-idempotency-key K] [-wait] f.qasm
+                                       async v2 submission: returns the job handle
+                                       immediately (-wait blocks for the result)
+  job status <j-id>                    show the unified v2 job record
+  job watch <j-id>                     stream lifecycle events until terminal
+  job cancel <j-id>                    cancel (propagates into the pipeline)
   history [-user U] [-offset N] [-limit N]   page through job history
   fleet [status]                       show per-device fleet status (fleet servers)
   bench [-clients N] [-jobs N] [-shots N] [-qubits N] [-batch]

@@ -16,17 +16,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux (-pprof-addr)
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/facility"
 	"repro/internal/fleet"
+	"repro/internal/mqss"
 )
 
 func main() {
@@ -80,7 +85,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "qhpcd: site %q accepted; cooldown %.1f simulated days; phase %s\n",
 		center.SiteReport().Site, days, center.Phase())
 
-	var handler http.Handler
+	var mqssServer *mqss.Server
+	// drain runs after the listener stops accepting: finish or park the
+	// backend's remaining work so no accepted job is silently dropped.
+	var drain func()
 	if *devices > 1 {
 		policy, err := fleet.ParsePolicy(*policyFlag)
 		if err != nil {
@@ -100,8 +108,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("qhpcd: building fleet: %v", err)
 		}
-		defer f.Stop()
-		handler = center.FleetRESTHandler(f)
+		drain = f.Stop
+		mqssServer = center.FleetRESTHandler(f)
 		fmt.Fprintf(os.Stderr, "qhpcd: fleet of %d devices (%s routing, %d workers each): %v\n",
 			*devices, policy, w, f.Devices())
 		fmt.Fprintf(os.Stderr, "qhpcd: fleet endpoints: POST /api/v1/jobs[?device=&policy=], POST /api/v1/jobs/batch[?stream=1&device=&policy=], GET /api/v1/fleet\n")
@@ -146,12 +154,38 @@ func main() {
 				}
 			}(*engineStatsEvery)
 		}
-		handler = center.RESTHandler()
+		mqssServer = center.RESTHandler()
+		drain = center.StopPipeline
 	}
 	fmt.Fprintf(os.Stderr, "qhpcd: serving MQSS REST API on %s\n", *addr)
 	fmt.Fprintf(os.Stderr, "qhpcd: endpoints: POST /api/v1/jobs, POST /api/v1/jobs/batch[?stream=1], GET /api/v1/jobs, GET /api/v1/device, GET /api/v1/telemetry/, GET /api/v1/metrics, GET /healthz\n")
+	fmt.Fprintf(os.Stderr, "qhpcd: v2 endpoints: POST /api/v2/jobs[?wait=], GET /api/v2/jobs[?user=&state=&cursor=], GET /api/v2/jobs/{id}[?wait=], GET /api/v2/jobs/{id}/events, DELETE /api/v2/jobs/{id}\n")
 
-	if err := http.ListenAndServe(*addr, handler); err != nil {
-		log.Fatalf("qhpcd: %v", err)
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections, ends
+	// active v2 watch streams cleanly (mqss.Server.Close), waits for
+	// in-flight handlers, then drains the dispatch backend so accepted jobs
+	// finish (single device) or park safely (fleet Stop).
+	srv := &http.Server{Addr: *addr, Handler: mqssServer}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("qhpcd: %v", err)
+		}
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "qhpcd: signal received; draining (watch streams, handlers, pipeline)\n")
+		mqssServer.Close() // release long-lived event streams first
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("qhpcd: shutdown: %v", err)
+		}
+		cancel()
+		if drain != nil {
+			drain()
+		}
+		fmt.Fprintf(os.Stderr, "qhpcd: drained; bye\n")
 	}
 }

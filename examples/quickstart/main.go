@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -35,9 +36,11 @@ func main() {
 	fmt.Printf("Selected site: %s\n", center.SiteReport().Site)
 	fmt.Printf("Commissioned after a %.1f-day cooldown; phase: %s\n\n", days, center.Phase())
 
+	ctx := context.Background()
+
 	// 2. The HPC path: tightly-coupled, in-process (accelerator mode).
 	local := center.LocalClient()
-	job, err := local.Run(qrm.Request{Circuit: circuit.GHZ(5), Shots: 1000, User: "quickstart"})
+	job, err := local.Run(ctx, qrm.Request{Circuit: circuit.GHZ(5), Shots: 1000, User: "quickstart"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,12 +53,35 @@ func main() {
 	srv := httptest.NewServer(center.RESTHandler())
 	defer srv.Close()
 	remote := mqss.NewRemoteClient(srv.URL, srv.Client())
-	rjob, err := remote.Run(qrm.Request{Circuit: circuit.GHZ(5), Shots: 1000, User: "quickstart"})
+	rjob, err := remote.Run(ctx, qrm.Request{Circuit: circuit.GHZ(5), Shots: 1000, User: "quickstart"})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nREST path (%s): job %d %s\n", remote.Path(), rjob.ID, rjob.Status)
 	printHistogram(rjob.Counts, 5, rjob.Layout)
+
+	// 3b. The v2 async access model the remote path is actually built on:
+	//     submit-and-go, then watch the lifecycle stream until the terminal
+	//     state arrives (202 + Location under the hood). Async needs the
+	//     dispatch pipeline running — the production qhpcd configuration.
+	if err := center.StartPipeline(2); err != nil {
+		log.Fatal(err)
+	}
+	defer center.StopPipeline()
+	handle, err := remote.Submit(ctx, mqss.SubmitRequest{
+		Circuit: circuit.GHZ(5), Shots: 500, User: "quickstart",
+	}, "quickstart-demo-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nv2 async: accepted job %s; watching lifecycle:\n", handle.ID)
+	final, err := handle.Watch(ctx, func(ev mqss.JobEvent) {
+		fmt.Printf("  -> %s %s\n", ev.State, ev.Reason)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v2 async: job %s finished %s in %.1f ms\n", final.ID, final.State, final.DurationUs/1000)
 
 	// 4. Live device data through QDMI, as the training sessions teach.
 	calib := center.QDMI.Calibration()

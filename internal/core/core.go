@@ -10,7 +10,6 @@ package core
 
 import (
 	"fmt"
-	"net/http"
 
 	"repro/internal/calib"
 	"repro/internal/cryo"
@@ -278,8 +277,9 @@ func (c *Center) StartPipeline(nWorkers int) error {
 // finish. Queued jobs remain queued.
 func (c *Center) StopPipeline() { c.QRM.Stop() }
 
-// RESTHandler returns the HTTP handler exposing this center's stack.
-func (c *Center) RESTHandler() http.Handler { return mqss.NewServer(c.QRM, c.QDMI) }
+// RESTHandler returns the MQSS REST server exposing this center's stack
+// (an http.Handler; keep the concrete type for graceful-shutdown Close).
+func (c *Center) RESTHandler() *mqss.Server { return mqss.NewServer(c.QRM, c.QDMI) }
 
 // RunHealthCheck executes the §3.2 GHZ ladder.
 func (c *Center) RunHealthCheck(sizes []int, shots int) (*calib.HealthCheck, error) {

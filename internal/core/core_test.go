@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"testing"
@@ -85,7 +86,7 @@ func TestCommissionAndRunJobs(t *testing.T) {
 		t.Fatal("center not operational")
 	}
 	client := c.LocalClient()
-	job, err := client.Run(qrm.Request{Circuit: circuit.GHZ(5), Shots: 500, User: "early-user"})
+	job, err := client.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(5), Shots: 500, User: "early-user"})
 	if err != nil {
 		t.Fatal(err)
 	}

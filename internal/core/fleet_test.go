@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/circuit"
@@ -63,7 +64,7 @@ func TestCenterBuildFleet(t *testing.T) {
 
 	// Work flows end to end through the fleet client.
 	client := c.LocalFleetClient(f)
-	j, err := client.RunRouted(qrm.Request{Circuit: circuit.GHZ(4), Shots: 20, User: "core"}, mqss.RouteOptions{})
+	j, err := client.RunRouted(context.Background(), qrm.Request{Circuit: circuit.GHZ(4), Shots: 20, User: "core"}, mqss.RouteOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

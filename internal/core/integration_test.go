@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestVQEThroughCenterStack(t *testing.T) {
 	}
 	c := commissioned(t, Config{Seed: 20, DigitalTwin: true})
 	runner := hybrid.RunnerFunc(func(cc *circuit.Circuit, shots int) (map[int]int, error) {
-		job, err := c.LocalClient().Run(qrm.Request{Circuit: cc, Shots: shots, User: "vqe"})
+		job, err := c.LocalClient().Run(context.Background(), qrm.Request{Circuit: cc, Shots: shots, User: "vqe"})
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +121,7 @@ func TestJobsRejectedDuringOutage(t *testing.T) {
 	if c.Phase() != PhaseOutage {
 		t.Fatalf("phase = %s", c.Phase())
 	}
-	_, err := c.LocalClient().Run(qrm.Request{Circuit: circuit.GHZ(3), Shots: 10, User: "x"})
+	_, err := c.LocalClient().Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(3), Shots: 10, User: "x"})
 	if err == nil {
 		t.Error("job submission during outage should fail")
 	}

@@ -17,6 +17,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -137,9 +138,11 @@ type Scheduler struct {
 	jobs      map[int]*Job
 	jobOrder  []int
 	parked    map[int]*Job
+	nowDay    float64 // maintenance clock, last AdvanceTo day
 
 	store     *telemetry.Store
 	scoreHist *telemetry.Histogram
+	bus       *qrm.EventBus // fleet-scoped lifecycle events (routing, migrations)
 
 	submitted uint64
 	routed    uint64
@@ -163,9 +166,29 @@ func New(policy Policy, store *telemetry.Store) *Scheduler {
 		parked:    make(map[int]*Job),
 		store:     store,
 		scoreHist: scoreHistogram(),
+		bus:       qrm.NewEventBus(),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// Events returns the fleet's job event bus: fleet-scoped job IDs, with
+// routing decisions, parking, migrations, and terminal states republished
+// as transitions — the feed the v2 watch endpoint serves in fleet mode.
+func (s *Scheduler) Events() *qrm.EventBus { return s.bus }
+
+// publishLocked emits one fleet lifecycle event, stamped with the fleet's
+// maintenance clock (simulation seconds; 0 until AdvanceTo first ticks).
+// Caller holds s.mu.
+func (s *Scheduler) publishLocked(j *Job, from JobStatus, reason string) {
+	s.bus.Publish(qrm.Event{
+		JobID:  j.ID,
+		From:   string(from),
+		To:     string(j.Status),
+		Device: j.Device,
+		Reason: reason,
+		Time:   s.nowDay * 86400,
+	})
 }
 
 // AddDevice registers a backend under a unique name and starts its private
@@ -293,7 +316,8 @@ func (s *Scheduler) Submit(req qrm.Request, opts SubmitOptions) (int, error) {
 	s.jobs[j.ID] = j
 	s.jobOrder = append(s.jobOrder, j.ID)
 	s.submitted++
-	s.routeLocked(j, nil)
+	s.publishLocked(j, "", "")
+	s.routeLocked(j, nil, "")
 	return j.ID, nil
 }
 
@@ -323,10 +347,12 @@ func (s *Scheduler) SubmitBatch(reqs []qrm.Request, opts SubmitOptions) (int, []
 }
 
 // routeLocked places j on the best eligible device, excluding the listed
-// names for this attempt. With no eligible device the job parks; it is
-// re-dispatched when a device resumes (with a clean slate — a previously
-// excluded device may have recovered by then).
-func (s *Scheduler) routeLocked(j *Job, exclude map[string]bool) {
+// names for this attempt; reason annotates the published event ("" for a
+// fresh submission, "migrated" for drain/failover re-routes, "unparked"
+// when a parked job gets another chance). With no eligible device the job
+// parks; it is re-dispatched when a device resumes (with a clean slate — a
+// previously excluded device may have recovered by then).
+func (s *Scheduler) routeLocked(j *Job, exclude map[string]bool, reason string) {
 	if s.closed {
 		s.finalizeLocked(j, JobFailed, nil, "fleet: scheduler stopped before the job could run")
 		return
@@ -334,11 +360,13 @@ func (s *Scheduler) routeLocked(j *Job, exclude map[string]bool) {
 	for {
 		e, score, ok := s.pickLocked(j, exclude)
 		if !ok {
+			from := j.Status
 			j.Status = JobPending
 			j.Device = ""
 			j.LocalID = 0
 			s.parked[j.ID] = j
 			s.parkEvts++
+			s.publishLocked(j, from, "parked")
 			return
 		}
 		req := j.Request
@@ -352,10 +380,12 @@ func (s *Scheduler) routeLocked(j *Job, exclude map[string]bool) {
 			exclude[e.name] = true
 			continue
 		}
+		from := j.Status
 		j.Status = JobRouted
 		j.Device = e.name
 		j.LocalID = localID
 		j.Score = score
+		s.publishLocked(j, from, reason)
 		e.routed++
 		s.routed++
 		e.scoreHist.Observe(score)
@@ -414,7 +444,7 @@ func (s *Scheduler) migrateLocked(j *Job, from *deviceEntry) {
 	j.Migrations++
 	from.migratedOut++
 	s.migrated++
-	s.routeLocked(j, map[string]bool{from.name: true})
+	s.routeLocked(j, map[string]bool{from.name: true}, "migrated")
 }
 
 // finalizeLocked settles a fleet job exactly once.
@@ -423,9 +453,11 @@ func (s *Scheduler) finalizeLocked(j *Job, st JobStatus, rec *qrm.Job, errMsg st
 		return
 	}
 	delete(s.parked, j.ID)
+	from := j.Status
 	j.Status = st
 	j.Result = rec
 	j.Error = errMsg
+	s.publishLocked(j, from, "")
 	switch st {
 	case JobDone:
 		s.completed++
@@ -453,7 +485,7 @@ func (s *Scheduler) dispatchParkedLocked() {
 	for _, id := range ids {
 		j := s.parked[id]
 		delete(s.parked, id)
-		s.routeLocked(j, nil)
+		s.routeLocked(j, nil, "unparked")
 	}
 }
 
@@ -472,6 +504,12 @@ func (s *Scheduler) Job(id int) (*Job, error) {
 // Wait blocks until the job settles (done, failed, or cancelled — possibly
 // after migrations) and returns its record.
 func (s *Scheduler) Wait(id int) (*Job, error) {
+	return s.WaitContext(context.Background(), id)
+}
+
+// WaitContext is Wait with caller-controlled cancellation: it returns the
+// context's error as soon as ctx is done, leaving the job in flight.
+func (s *Scheduler) WaitContext(ctx context.Context, id int) (*Job, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	if !ok {
@@ -480,8 +518,62 @@ func (s *Scheduler) Wait(id int) (*Job, error) {
 	}
 	ch := j.done
 	s.mu.Unlock()
-	<-ch
-	return s.Job(id)
+	select {
+	case <-ch:
+		return s.Job(id)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// DeviceRecord returns the live device-level record behind a routed fleet
+// job — the refinement the v2 API uses to report "running" instead of just
+// "routed" while the device pool works the job. Errors when the job is not
+// currently routed to a device.
+func (s *Scheduler) DeviceRecord(id int) (*qrm.Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fleet: no job %d", id)
+	}
+	e := s.devices[j.Device]
+	localID := j.LocalID
+	s.mu.Unlock()
+	if e == nil || localID == 0 {
+		return nil, fmt.Errorf("fleet: job %d not routed to a device", id)
+	}
+	return e.mgr.Job(localID)
+}
+
+// ListJobs returns up to limit fleet job copies with ID strictly below
+// beforeID (0 = newest first), filtered by user and status set (nil = any);
+// more reports whether older matches remain. The cursor primitive behind
+// the v2 paginated listing.
+func (s *Scheduler) ListJobs(user string, states map[JobStatus]bool, beforeID, limit int) (jobs []*Job, more bool) {
+	if limit < 1 {
+		limit = 20
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.jobOrder) - 1; i >= 0; i-- {
+		j := s.jobs[s.jobOrder[i]]
+		if beforeID > 0 && j.ID >= beforeID {
+			continue
+		}
+		if user != "" && j.Request.User != user {
+			continue
+		}
+		if states != nil && !states[j.Status] {
+			continue
+		}
+		if len(jobs) == limit {
+			return jobs, true
+		}
+		cp := *j
+		jobs = append(jobs, &cp)
+	}
+	return jobs, false
 }
 
 // WaitEach waits for every listed job concurrently and invokes fn once per
@@ -506,8 +598,11 @@ func (s *Scheduler) WaitEach(ids []int, fn func(id int, j *Job, err error)) {
 	}
 }
 
-// Cancel cancels a parked job, or a routed job still queued on its device.
-// Jobs already claimed by a device worker are past the point of no return.
+// Cancel cancels a parked job immediately, and propagates cancellation of a
+// routed job into its device's dispatch pipeline: still-queued device jobs
+// cancel at once, in-flight ones are flagged and terminate cancelled at the
+// next stage boundary (qrm.Manager.Cancel semantics). The fleet record
+// settles as cancelled either way.
 func (s *Scheduler) Cancel(id int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -656,4 +751,7 @@ func (s *Scheduler) Stop() {
 		e.mgr.Stop()
 	}
 	s.wg.Wait()
+	// Every job is settled and its terminal event published; release watch
+	// subscribers.
+	s.bus.Close()
 }

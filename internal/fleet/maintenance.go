@@ -54,6 +54,7 @@ func inWindow(plan []ops.MaintenanceWindow, day float64) bool {
 func (s *Scheduler) AdvanceTo(day float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.nowDay = day
 	for _, name := range s.order {
 		e := s.devices[name]
 		if len(e.maintenance) == 0 {

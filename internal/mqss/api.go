@@ -1,0 +1,462 @@
+package mqss
+
+// This file defines the v2 API surface: one unified job resource replacing
+// the two incompatible v1 shapes (qrm.Job for single-device servers,
+// fleet.Job envelopes for fleets). A v2 job has an opaque string ID, a
+// six-state lifecycle (queued → routed → running → done/failed/cancelled),
+// device placement, timing, counts, and a structured error envelope — the
+// same record whether the backend is one QRM or a multi-QPU fleet. The v1
+// endpoints remain as byte-compatible shims over the same submission core.
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/fleet"
+	"repro/internal/qrm"
+	"repro/internal/transpile"
+)
+
+// JobState is the v2 lifecycle state machine. Transitions only move
+// rightward: queued → routed → running → one of done/failed/cancelled
+// (migrations may bounce a fleet job from routed back to queued while it
+// parks, which the watch stream reports with reason "parked").
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRouted    JobState = "routed"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// ParseJobState validates a user-supplied state filter.
+func ParseJobState(v string) (JobState, error) {
+	switch s := JobState(v); s {
+	case StateQueued, StateRouted, StateRunning, StateDone, StateFailed, StateCancelled:
+		return s, nil
+	}
+	return "", fmt.Errorf("unknown job state %q", v)
+}
+
+// Error codes of the structured envelope. Retryability is part of the
+// contract: clients retry `retryable` errors with backoff and surface the
+// rest to the user.
+const (
+	CodeInvalidRequest   = "invalid_request" // malformed body, ID, or query
+	CodeNotFound         = "not_found"       // no such resource
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeConflict         = "conflict"          // e.g. cancelling a terminal job
+	CodeUnprocessable    = "unprocessable"     // well-formed but unrunnable submission
+	CodeUnavailable      = "unavailable"       // transient capacity loss; retryable
+	CodeDeadlineExceeded = "deadline_exceeded" // expired before dispatch; retryable
+	CodeExecutionFailed  = "execution_failed"  // the device rejected or failed the job
+	CodeInternal         = "internal"
+)
+
+// APIError is the structured error envelope every v2 error response (and
+// terminal failed job) carries.
+type APIError struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Job is the unified v2 job resource.
+type Job struct {
+	// ID is the opaque job handle ("j-…"); treat it as a string.
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Device is the backend the job is (or was) placed on.
+	Device string `json:"device,omitempty"`
+	User   string `json:"user,omitempty"`
+	Shots  int    `json:"shots,omitempty"`
+	// Priority orders the dispatch queue (higher first); Deadline is the
+	// dispatch budget in wall-clock ms from submission.
+	Priority   int     `json:"priority,omitempty"`
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// Migrations counts drain/failover re-routes (fleet backends).
+	Migrations int `json:"migrations,omitempty"`
+	// Score is the router's fidelity estimate at placement (fleet backends).
+	Score float64 `json:"score,omitempty"`
+	// Pinned names the backend the submission was pinned to, if any.
+	Pinned string `json:"pinned,omitempty"`
+
+	// Compilation artefacts, present once the job was dispatched.
+	CompiledGates int              `json:"compiled_gates,omitempty"`
+	CZCount       int              `json:"cz_count,omitempty"`
+	Layout        transpile.Layout `json:"layout,omitempty"`
+	CompileStats  string           `json:"compile_stats,omitempty"`
+
+	// Results, present on done jobs.
+	Counts     map[int]int `json:"counts,omitempty"`
+	DurationUs float64     `json:"duration_us,omitempty"`
+
+	// Timing on the backend's simulation clock.
+	SubmitTime float64 `json:"submit_time"`
+	EndTime    float64 `json:"end_time,omitempty"`
+
+	// Error is the structured envelope for failed jobs.
+	Error *APIError `json:"error,omitempty"`
+
+	// Request echoes the full submission on single-job responses; list
+	// pages omit it to keep pages light.
+	Request *qrm.Request `json:"request,omitempty"`
+}
+
+// SubmitRequest is the v2 submission body.
+type SubmitRequest struct {
+	Circuit    *circuit.Circuit `json:"circuit"`
+	Shots      int              `json:"shots"`
+	User       string           `json:"user,omitempty"`
+	Priority   int              `json:"priority,omitempty"`
+	DeadlineMs float64          `json:"deadline_ms,omitempty"`
+	// StaticPlacement selects static over fidelity-aware JIT placement.
+	StaticPlacement bool `json:"static_placement,omitempty"`
+	// Device pins the job to one fleet backend; Policy overrides the fleet
+	// routing policy. Both are rejected on single-device servers.
+	Device string `json:"device,omitempty"`
+	Policy string `json:"policy,omitempty"`
+}
+
+// qrmRequest lowers the v2 submission onto the QRM request shape.
+func (r SubmitRequest) qrmRequest() qrm.Request {
+	return qrm.Request{
+		Circuit:         r.Circuit,
+		Shots:           r.Shots,
+		User:            r.User,
+		Priority:        r.Priority,
+		DeadlineMs:      r.DeadlineMs,
+		StaticPlacement: r.StaticPlacement,
+	}
+}
+
+// JobEvent is one line of a v2 watch stream: the job entered State (on
+// Device, when known). Reason annotates routing decisions ("migrated",
+// "parked", "unparked") and cancellation requests ("cancel-requested",
+// which reports the *current* state, not a transition).
+type JobEvent struct {
+	Seq    uint64   `json:"seq,omitempty"`
+	JobID  string   `json:"job_id"`
+	State  JobState `json:"state"`
+	Device string   `json:"device,omitempty"`
+	Reason string   `json:"reason,omitempty"`
+}
+
+// JobPage is one cursor-paginated slice of the v2 job listing, newest
+// first. NextCursor is present while older matches remain; thread it back
+// via ?cursor= to continue.
+type JobPage struct {
+	Jobs       []*Job `json:"jobs"`
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// --- Opaque identifiers -------------------------------------------------
+
+const jobIDPrefix = "j-"
+
+// FormatJobID renders a backend-scoped numeric ID as the opaque v2 handle.
+func FormatJobID(n int) string { return fmt.Sprintf("%s%d", jobIDPrefix, n) }
+
+// ParseJobID recovers the numeric ID behind a v2 handle.
+func ParseJobID(s string) (int, error) {
+	raw, ok := strings.CutPrefix(s, jobIDPrefix)
+	if !ok {
+		return 0, fmt.Errorf("malformed job id %q", s)
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("malformed job id %q", s)
+	}
+	return n, nil
+}
+
+// encodeCursor packs the last-seen job ID into an opaque page cursor.
+func encodeCursor(id int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte("v2:" + strconv.Itoa(id)))
+}
+
+// decodeCursor unpacks a page cursor.
+func decodeCursor(s string) (int, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, fmt.Errorf("malformed cursor %q", s)
+	}
+	v, ok := strings.CutPrefix(string(raw), "v2:")
+	if !ok {
+		return 0, fmt.Errorf("malformed cursor %q", s)
+	}
+	id, err := strconv.Atoi(v)
+	if err != nil || id < 1 {
+		return 0, fmt.Errorf("malformed cursor %q", s)
+	}
+	return id, nil
+}
+
+// --- Lifecycle mappings -------------------------------------------------
+
+// stateFromQRM maps the QRM's internal statuses onto the v2 machine:
+// "compiling" means a worker claimed the job (routed), "interrupted" is a
+// retryable failure.
+func stateFromQRM(s qrm.JobStatus) JobState {
+	switch s {
+	case qrm.StatusQueued:
+		return StateQueued
+	case qrm.StatusCompiling:
+		return StateRouted
+	case qrm.StatusRunning:
+		return StateRunning
+	case qrm.StatusDone:
+		return StateDone
+	case qrm.StatusCancelled:
+		return StateCancelled
+	default: // failed, interrupted
+		return StateFailed
+	}
+}
+
+// stateFromFleet maps fleet statuses; a routed job's refinement to
+// "running" comes from the device-level record when available.
+func stateFromFleet(s fleet.JobStatus) JobState {
+	switch s {
+	case fleet.JobPending:
+		return StateQueued
+	case fleet.JobRouted:
+		return StateRouted
+	case fleet.JobDone:
+		return StateDone
+	case fleet.JobCancelled:
+		return StateCancelled
+	default:
+		return StateFailed
+	}
+}
+
+// stateFromEvent maps a bus status string (qrm or fleet vocabulary) onto
+// the v2 machine for watch streams.
+func stateFromEvent(to string) JobState {
+	switch to {
+	case string(qrm.StatusQueued), string(fleet.JobPending):
+		return StateQueued
+	case string(qrm.StatusCompiling), string(fleet.JobRouted):
+		return StateRouted
+	case string(qrm.StatusRunning):
+		return StateRunning
+	case string(qrm.StatusDone):
+		return StateDone
+	case string(qrm.StatusCancelled):
+		return StateCancelled
+	default:
+		return StateFailed
+	}
+}
+
+// jobErrorEnvelope classifies a failed backend record into the envelope.
+func jobErrorEnvelope(status qrm.JobStatus, msg string) *APIError {
+	switch status {
+	case qrm.StatusInterrupted:
+		if msg == "" {
+			msg = "job interrupted by an outage or drain"
+		}
+		return &APIError{Code: CodeUnavailable, Message: msg, Retryable: true}
+	case qrm.StatusFailed:
+		if msg == qrm.ErrDeadlineMsg {
+			return &APIError{Code: CodeDeadlineExceeded, Message: msg, Retryable: true}
+		}
+		return &APIError{Code: CodeExecutionFailed, Message: msg}
+	}
+	return nil
+}
+
+// v2FromQRM lifts a single-device record into the unified resource.
+func v2FromQRM(j *qrm.Job, device string, withRequest bool) *Job {
+	out := &Job{
+		ID:            FormatJobID(j.ID),
+		State:         stateFromQRM(j.Status),
+		Device:        device,
+		User:          j.Request.User,
+		Shots:         j.Request.Shots,
+		Priority:      j.Request.Priority,
+		DeadlineMs:    j.Request.DeadlineMs,
+		CompiledGates: j.CompiledGates,
+		CZCount:       j.CZCount,
+		Layout:        j.Layout,
+		CompileStats:  j.CompileStats,
+		Counts:        j.Counts,
+		DurationUs:    j.DurationUs,
+		SubmitTime:    j.SubmitTime,
+		EndTime:       j.EndTime,
+	}
+	if j.Status == qrm.StatusFailed || j.Status == qrm.StatusInterrupted {
+		out.Error = jobErrorEnvelope(j.Status, j.Error)
+	}
+	if withRequest {
+		req := j.Request
+		out.Request = &req
+	}
+	return out
+}
+
+// v2FromFleet lifts a fleet envelope into the unified resource. devRec is
+// the optional live device-level record for a routed job (refines the
+// state to running and carries compile artefacts before the job settles).
+func v2FromFleet(j *fleet.Job, devRec *qrm.Job, withRequest bool) *Job {
+	out := &Job{
+		ID:         FormatJobID(j.ID),
+		State:      stateFromFleet(j.Status),
+		Device:     j.Device,
+		User:       j.Request.User,
+		Shots:      j.Request.Shots,
+		Priority:   j.Request.Priority,
+		DeadlineMs: j.Request.DeadlineMs,
+		Migrations: j.Migrations,
+		Score:      j.Score,
+		Pinned:     j.Pinned,
+	}
+	rec := j.Result
+	if rec == nil && devRec != nil {
+		rec = devRec
+		if !out.State.Terminal() {
+			// Refine routed → running/queued from the device pipeline's view.
+			switch devRec.Status {
+			case qrm.StatusRunning:
+				out.State = StateRunning
+			case qrm.StatusCompiling:
+				out.State = StateRouted
+			}
+		}
+	}
+	if rec != nil {
+		out.CompiledGates = rec.CompiledGates
+		out.CZCount = rec.CZCount
+		out.Layout = rec.Layout
+		out.CompileStats = rec.CompileStats
+		out.Counts = rec.Counts
+		out.DurationUs = rec.DurationUs
+		out.SubmitTime = rec.SubmitTime
+		out.EndTime = rec.EndTime
+	}
+	if out.State == StateFailed {
+		status := qrm.StatusFailed
+		msg := j.Error
+		if rec != nil && rec.Status == qrm.StatusInterrupted {
+			status = qrm.StatusInterrupted
+		}
+		if msg == "" && rec != nil {
+			msg = rec.Error
+		}
+		out.Error = jobErrorEnvelope(status, msg)
+	}
+	if withRequest {
+		req := j.Request
+		out.Request = &req
+	}
+	return out
+}
+
+// toQRMJob lowers a v2 job back onto the legacy single-device record — the
+// client-side compat shim behind Run against a v2 server.
+func (j *Job) toQRMJob() *qrm.Job {
+	id, _ := ParseJobID(j.ID)
+	out := &qrm.Job{
+		ID:            id,
+		Status:        j.qrmStatus(),
+		CompiledGates: j.CompiledGates,
+		CZCount:       j.CZCount,
+		Layout:        j.Layout,
+		CompileStats:  j.CompileStats,
+		Counts:        j.Counts,
+		DurationUs:    j.DurationUs,
+		SubmitTime:    j.SubmitTime,
+		EndTime:       j.EndTime,
+	}
+	if j.Error != nil {
+		out.Error = j.Error.Message
+	}
+	if j.Request != nil {
+		out.Request = *j.Request
+	} else {
+		out.Request = qrm.Request{
+			Shots: j.Shots, User: j.User,
+			Priority: j.Priority, DeadlineMs: j.DeadlineMs,
+		}
+	}
+	return out
+}
+
+// qrmStatus maps the v2 state back onto the legacy status vocabulary.
+func (j *Job) qrmStatus() qrm.JobStatus {
+	switch j.State {
+	case StateQueued:
+		return qrm.StatusQueued
+	case StateRouted:
+		return qrm.StatusCompiling
+	case StateRunning:
+		return qrm.StatusRunning
+	case StateDone:
+		return qrm.StatusDone
+	case StateCancelled:
+		return qrm.StatusCancelled
+	default:
+		if j.Error != nil && j.Error.Code == CodeUnavailable {
+			return qrm.StatusInterrupted
+		}
+		return qrm.StatusFailed
+	}
+}
+
+// toFleetJob lowers a v2 job back onto the legacy fleet envelope — the
+// compat shim behind RunRouted against a v2 server.
+func (j *Job) toFleetJob() *fleet.Job {
+	id, _ := ParseJobID(j.ID)
+	out := &fleet.Job{
+		ID:         id,
+		Status:     j.fleetStatus(),
+		Device:     j.Device,
+		Migrations: j.Migrations,
+		Score:      j.Score,
+		Pinned:     j.Pinned,
+	}
+	if j.Error != nil {
+		out.Error = j.Error.Message
+	}
+	if j.Request != nil {
+		out.Request = *j.Request
+	}
+	if j.State.Terminal() && j.State != StateCancelled {
+		rec := j.toQRMJob()
+		out.Result = rec
+	}
+	return out
+}
+
+// fleetStatus maps the v2 state back onto the fleet status vocabulary.
+func (j *Job) fleetStatus() fleet.JobStatus {
+	switch j.State {
+	case StateQueued:
+		return fleet.JobPending
+	case StateRouted, StateRunning:
+		return fleet.JobRouted
+	case StateDone:
+		return fleet.JobDone
+	case StateCancelled:
+		return fleet.JobCancelled
+	default:
+		return fleet.JobFailed
+	}
+}

@@ -1,12 +1,16 @@
 package mqss
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/fleet"
@@ -29,6 +33,13 @@ const (
 // job originates inside or outside an HPC environment and routes it
 // accordingly". Inside the HPC environment the client holds a direct QRM
 // handle; outside, it holds only a REST endpoint.
+//
+// Every method takes a context.Context: cancellation and deadlines
+// propagate into HTTP round-trips, long-polls, watch streams, and local
+// pipeline waits alike. Submit is the v2 entry point — async submission
+// returning a JobHandle with Wait/Poll/Watch/Cancel — while Run, RunRouted
+// and the batch helpers remain as compatibility shims built on the same
+// machinery.
 type Client struct {
 	// Direct QRM handle; non-nil when running inside the HPC environment.
 	local *qrm.Manager
@@ -78,39 +89,188 @@ func (c *Client) Path() AccessPath {
 	return PathREST
 }
 
-// Run submits a job and waits for completion, whichever path is in use. On
-// a fleet client the job goes through calibration-aware routing with the
-// scheduler's default policy and the result comes back in the legacy
-// single-device shape (device record keyed by the fleet job ID) — "without
-// requiring any code modifications from the user". Use RunRouted for the
-// full routing envelope.
-func (c *Client) Run(req qrm.Request) (*qrm.Job, error) {
+// --- HTTP plumbing ------------------------------------------------------
+
+// doJSON issues one request with an optional JSON body and decodes the
+// response into out (ignored when out is nil). wantStatus lists acceptable
+// status codes; anything else decodes as an API error.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out interface{}, header http.Header, wantStatus ...int) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, fmt.Errorf("mqss: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return 0, fmt.Errorf("mqss: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("mqss: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	ok := false
+	for _, s := range wantStatus {
+		if resp.StatusCode == s {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return resp.StatusCode, decodeError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("mqss: decoding %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// --- v2: async submission and the job handle ----------------------------
+
+// Submit accepts one job for asynchronous execution and returns its handle
+// immediately — the v2 access model: submit, then Wait, Poll, Watch, or
+// Cancel. idempotencyKey may be empty; a non-empty key makes remote retries
+// safe (the server replays the original submission instead of duplicating
+// it).
+func (c *Client) Submit(ctx context.Context, req SubmitRequest, idempotencyKey string) (*JobHandle, error) {
 	if c.localFleet != nil {
-		j, err := c.RunRouted(req, RouteOptions{})
+		opts := fleet.SubmitOptions{Device: req.Device}
+		if req.Policy != "" {
+			pol := fleet.Policy(req.Policy)
+			if err := pol.Validate(); err != nil {
+				return nil, err
+			}
+			opts.Policy = pol
+		}
+		id, err := c.localFleet.Submit(req.qrmRequest(), opts)
 		if err != nil {
 			return nil, err
 		}
-		return flattenFleetJob(j), nil
+		return &JobHandle{c: c, ID: FormatJobID(id), id: id}, nil
 	}
 	if c.local != nil {
-		return c.runLocal(req)
+		if req.Device != "" || req.Policy != "" {
+			return nil, fmt.Errorf("mqss: device/policy routing requires a fleet client")
+		}
+		id, err := c.local.Submit(req.qrmRequest())
+		if err != nil {
+			return nil, err
+		}
+		return &JobHandle{c: c, ID: FormatJobID(id), id: id}, nil
 	}
-	return c.runRemote(req)
+	var hdr http.Header
+	if idempotencyKey != "" {
+		hdr = http.Header{"Idempotency-Key": {idempotencyKey}}
+	}
+	var job Job
+	if _, err := c.doJSON(ctx, http.MethodPost, pathV2Jobs, req, &job, hdr,
+		http.StatusAccepted, http.StatusOK); err != nil {
+		return nil, err
+	}
+	id, err := ParseJobID(job.ID)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: server returned %w", err)
+	}
+	return &JobHandle{c: c, ID: job.ID, id: id, last: &job}, nil
 }
 
-func (c *Client) runLocal(req qrm.Request) (*qrm.Job, error) {
-	id, err := c.local.Submit(req)
+// Handle rebuilds a JobHandle from an opaque job ID (as returned by Submit,
+// carried in a Location header, or listed by ListJobs) — the re-attach
+// primitive: a process that crashed after submitting can resume watching.
+func (c *Client) Handle(id string) (*JobHandle, error) {
+	n, err := ParseJobID(id)
 	if err != nil {
 		return nil, err
 	}
-	// With the dispatch pipeline running, the workers own execution: block
-	// until they complete our job.
-	if c.local.Running() {
-		return c.local.WaitJob(id)
+	return &JobHandle{c: c, ID: id, id: n}, nil
+}
+
+// JobHandle is a submitted job's remote control.
+type JobHandle struct {
+	c  *Client
+	ID string // opaque v2 job ID
+	id int    // backend-scoped numeric ID
+
+	// last is the most recent record an operation observed (may be nil).
+	last *Job
+}
+
+// Poll fetches the job's current record without blocking on completion.
+func (h *JobHandle) Poll(ctx context.Context) (*Job, error) {
+	j, err := h.c.V2Job(ctx, h.ID)
+	if err == nil {
+		h.last = j
 	}
-	// Tightly-coupled loop: drive the QRM synchronously until our job is
-	// done (low-latency accelerator semantics).
+	return j, err
+}
+
+// waitPollInterval is the long-poll budget per round trip while waiting.
+const waitPollInterval = 30 * time.Second
+
+// Wait blocks until the job reaches a terminal state (or ctx ends) and
+// returns the terminal record. Remotely it long-polls; locally it rides the
+// pipeline's completion signal, falling back to synchronously driving the
+// QRM when no dispatch workers are running (the tightly-coupled
+// accelerator mode).
+func (h *JobHandle) Wait(ctx context.Context) (*Job, error) {
+	c := h.c
+	switch {
+	case c.localFleet != nil:
+		fj, err := c.localFleet.WaitContext(ctx, h.id)
+		if err != nil {
+			return nil, err
+		}
+		j := v2FromFleet(fj, nil, true)
+		h.last = j
+		return j, nil
+	case c.local != nil:
+		rec, err := c.waitLocal(ctx, h.id)
+		if err != nil {
+			return nil, err
+		}
+		j := v2FromQRM(rec, "", true)
+		h.last = j
+		return j, nil
+	}
 	for {
+		var job Job
+		path := fmt.Sprintf("%s/%s?wait=%s", pathV2Jobs, h.ID, waitPollInterval)
+		if _, err := c.doJSON(ctx, http.MethodGet, path, nil, &job, nil, http.StatusOK); err != nil {
+			return nil, err
+		}
+		h.last = &job
+		if job.State.Terminal() {
+			return &job, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// waitLocal brings a local QRM job to a terminal state: pipeline wait when
+// workers run, synchronous Step-driving otherwise.
+func (c *Client) waitLocal(ctx context.Context, id int) (*qrm.Job, error) {
+	if c.local.Running() {
+		return c.local.WaitJobContext(ctx, id)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		j, err := c.local.Step()
 		if err != nil {
 			return nil, err
@@ -122,27 +282,287 @@ func (c *Client) runLocal(req qrm.Request) (*qrm.Job, error) {
 			return c.local.Job(id)
 		}
 	}
-	return nil, fmt.Errorf("mqss: job %d vanished from the queue", id)
+	// The queue drained without dispatching our job (e.g. cancelled or
+	// already terminal); report whatever record exists.
+	j, err := c.local.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	if !qrmTerminal(j.Status) {
+		return nil, fmt.Errorf("mqss: job %d left non-terminal (%s) with no dispatch workers", id, j.Status)
+	}
+	return j, nil
 }
 
-func (c *Client) runRemote(req qrm.Request) (*qrm.Job, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("mqss: encoding request: %w", err)
+func qrmTerminal(s qrm.JobStatus) bool {
+	switch s {
+	case qrm.StatusDone, qrm.StatusFailed, qrm.StatusInterrupted, qrm.StatusCancelled:
+		return true
 	}
-	resp, err := c.httpc.Post(c.baseURL+pathJobs, "application/json", bytes.NewReader(body))
+	return false
+}
+
+// Cancel requests cancellation: queued/parked jobs cancel immediately,
+// in-flight jobs settle cancelled at the pipeline's next stage boundary.
+func (h *JobHandle) Cancel(ctx context.Context) error {
+	c := h.c
+	switch {
+	case c.localFleet != nil:
+		return c.localFleet.Cancel(h.id)
+	case c.local != nil:
+		return c.local.Cancel(h.id)
+	}
+	_, err := c.doJSON(ctx, http.MethodDelete, pathV2Jobs+"/"+h.ID, nil, nil, nil,
+		http.StatusAccepted)
+	return err
+}
+
+// Watch streams the job's lifecycle events — server push over the v2
+// events endpoint (or the local event bus on the HPC path) — invoking fn
+// for each (fn may be nil), and returns the terminal record. The first
+// event is always a "snapshot" of the current state.
+func (h *JobHandle) Watch(ctx context.Context, fn func(JobEvent)) (*Job, error) {
+	c := h.c
+	if c.local != nil || c.localFleet != nil {
+		return h.watchLocal(ctx, fn)
+	}
+	for {
+		terminal, err := h.watchStreamOnce(ctx, fn)
+		if err != nil {
+			return nil, err
+		}
+		if terminal {
+			return h.Poll(ctx)
+		}
+		// The stream ended without a terminal event (server restart or
+		// graceful shutdown of the watch). Back off before re-establishing:
+		// a server mid-shutdown keeps accepting connections until its
+		// listener closes, and an instant retry loop would spin against it.
+		select {
+		case <-time.After(watchReconnectDelay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// watchReconnectDelay paces Watch's stream re-establishment.
+const watchReconnectDelay = 500 * time.Millisecond
+
+// watchStreamOnce consumes one NDJSON events stream; terminal reports
+// whether a terminal-state event arrived before the stream ended.
+func (h *JobHandle) watchStreamOnce(ctx context.Context, fn func(JobEvent)) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		h.c.baseURL+pathV2Jobs+"/"+h.ID+"/events", nil)
 	if err != nil {
-		return nil, fmt.Errorf("mqss: POST %s: %w", pathJobs, err)
+		return false, fmt.Errorf("mqss: building watch request: %w", err)
+	}
+	resp, err := h.c.httpc.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("mqss: GET events: %w", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return nil, decodeError(resp)
+	if resp.StatusCode != http.StatusOK {
+		return false, decodeError(resp)
 	}
-	data, err := io.ReadAll(resp.Body)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return false, fmt.Errorf("mqss: decoding event: %w", err)
+		}
+		if ev.Reason == "server-closing" {
+			return false, nil
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.State.Terminal() && ev.Reason != "cancel-requested" {
+			return true, nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return false, fmt.Errorf("mqss: reading event stream: %w", err)
+	}
+	return false, ctx.Err()
+}
+
+// watchLocal follows the in-process event bus.
+func (h *JobHandle) watchLocal(ctx context.Context, fn func(JobEvent)) (*Job, error) {
+	c := h.c
+	var bus *qrm.EventBus
+	if c.localFleet != nil {
+		bus = c.localFleet.Events()
+	} else {
+		bus = c.local.Events()
+	}
+	sub := bus.Subscribe(h.id, 32)
+	defer sub.Close()
+
+	job, err := h.Poll(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("mqss: reading job response: %w", err)
+		return nil, err
 	}
-	return decodeJobPayload(data)
+	if fn != nil {
+		fn(JobEvent{JobID: job.ID, State: job.State, Device: job.Device, Reason: "snapshot"})
+	}
+	if job.State.Terminal() {
+		return job, nil
+	}
+	if c.local != nil && !c.local.Running() {
+		// No dispatch workers: drive the queue ourselves so the watch can
+		// ever terminate (accelerator-mode semantics, same as Wait).
+		go func() {
+			for {
+				j, err := c.local.Step()
+				if err != nil || j == nil {
+					return
+				}
+			}
+		}()
+	}
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return nil, fmt.Errorf("mqss: event bus closed while watching job %s", h.ID)
+			}
+			state := stateFromEvent(ev.To)
+			if fn != nil {
+				fn(JobEvent{
+					Seq: ev.Seq, JobID: FormatJobID(ev.JobID),
+					State: state, Device: ev.Device, Reason: ev.Reason,
+				})
+			}
+			if state.Terminal() && ev.Reason != "cancel-requested" {
+				return h.Poll(ctx)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// V2Job fetches one unified job record by its opaque ID.
+func (c *Client) V2Job(ctx context.Context, id string) (*Job, error) {
+	n, err := ParseJobID(id)
+	if err != nil {
+		return nil, err
+	}
+	if c.localFleet != nil {
+		fj, err := c.localFleet.Job(n)
+		if err != nil {
+			return nil, err
+		}
+		var devRec *qrm.Job
+		if fj.Status == fleet.JobRouted {
+			devRec, _ = c.localFleet.DeviceRecord(n)
+		}
+		return v2FromFleet(fj, devRec, true), nil
+	}
+	if c.local != nil {
+		j, err := c.local.Job(n)
+		if err != nil {
+			return nil, err
+		}
+		return v2FromQRM(j, "", true), nil
+	}
+	var job Job
+	if _, err := c.doJSON(ctx, http.MethodGet, pathV2Jobs+"/"+id, nil, &job, nil, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// ListOptions filter the v2 job listing.
+type ListOptions struct {
+	User   string
+	States []JobState
+	Cursor string
+	Limit  int
+}
+
+// ListJobs pages through the v2 job listing, newest first; thread the
+// returned NextCursor back in to continue.
+func (c *Client) ListJobs(ctx context.Context, opts ListOptions) (*JobPage, error) {
+	if c.local != nil || c.localFleet != nil {
+		return nil, fmt.Errorf("mqss: local clients page the scheduler directly (ListJobs)")
+	}
+	q := url.Values{}
+	if opts.User != "" {
+		q.Set("user", opts.User)
+	}
+	if len(opts.States) > 0 {
+		parts := make([]string, len(opts.States))
+		for i, s := range opts.States {
+			parts[i] = string(s)
+		}
+		q.Set("state", strings.Join(parts, ","))
+	}
+	if opts.Cursor != "" {
+		q.Set("cursor", opts.Cursor)
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", fmt.Sprint(opts.Limit))
+	}
+	path := pathV2Jobs
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page JobPage
+	if _, err := c.doJSON(ctx, http.MethodGet, path, nil, &page, nil, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &page, nil
+}
+
+// --- v1 compatibility shims ---------------------------------------------
+
+// Run submits a job and waits for completion, whichever path is in use —
+// the synchronous convenience call, now a shim over the async Submit/Wait
+// machinery. On a fleet client the job goes through calibration-aware
+// routing and the result comes back in the legacy single-device shape
+// (device record keyed by the fleet job ID) — "without requiring any code
+// modifications from the user". Use RunRouted for the full routing
+// envelope.
+func (c *Client) Run(ctx context.Context, req qrm.Request) (*qrm.Job, error) {
+	if c.localFleet != nil {
+		j, err := c.RunRouted(ctx, req, RouteOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return flattenFleetJob(j), nil
+	}
+	h, err := c.Submit(ctx, submitFromRequest(req), "")
+	if err != nil {
+		return nil, err
+	}
+	job, err := h.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := job.toQRMJob()
+	if out.Request.Circuit == nil {
+		out.Request.Circuit = req.Circuit
+	}
+	return out, nil
+}
+
+// submitFromRequest lifts a legacy request onto the v2 submission shape.
+func submitFromRequest(req qrm.Request) SubmitRequest {
+	return SubmitRequest{
+		Circuit:         req.Circuit,
+		Shots:           req.Shots,
+		User:            req.User,
+		Priority:        req.Priority,
+		DeadlineMs:      req.DeadlineMs,
+		StaticPlacement: req.StaticPlacement,
+	}
 }
 
 // decodeJobPayload decodes a job record that may be either the single-device
@@ -179,20 +599,20 @@ func decodeJobPayload(data []byte) (*qrm.Job, error) {
 // RunBatch submits several circuits as one batch and returns the completed
 // jobs in submission order. Results are consumed as they complete (streamed
 // per-job over the HPC path's WaitJob or the REST path's NDJSON endpoint).
-func (c *Client) RunBatch(reqs []qrm.Request) ([]*qrm.Job, error) {
-	return c.StreamBatch(reqs, nil)
+func (c *Client) RunBatch(ctx context.Context, reqs []qrm.Request) ([]*qrm.Job, error) {
+	return c.StreamBatch(ctx, reqs, nil)
 }
 
 // StreamBatch submits a batch and invokes onJob for every job *as it
 // completes* — the per-job completion streaming of the dispatch pipeline.
 // It returns all completed jobs in submission order. onJob may be nil.
-func (c *Client) StreamBatch(reqs []qrm.Request, onJob func(*qrm.Job)) ([]*qrm.Job, error) {
+func (c *Client) StreamBatch(ctx context.Context, reqs []qrm.Request, onJob func(*qrm.Job)) ([]*qrm.Job, error) {
 	if c.localFleet != nil {
 		var flatOn func(*fleet.Job)
 		if onJob != nil {
 			flatOn = func(j *fleet.Job) { onJob(flattenFleetJob(j)) }
 		}
-		jobs, err := c.StreamBatchRouted(reqs, RouteOptions{}, flatOn)
+		jobs, err := c.StreamBatchRouted(ctx, reqs, RouteOptions{}, flatOn)
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +625,7 @@ func (c *Client) StreamBatch(reqs []qrm.Request, onJob func(*qrm.Job)) ([]*qrm.J
 	if c.local != nil {
 		return c.streamBatchLocal(reqs, onJob)
 	}
-	return c.streamBatchRemote(reqs, onJob)
+	return c.streamBatchRemote(ctx, reqs, onJob)
 }
 
 func (c *Client) streamBatchLocal(reqs []qrm.Request, onJob func(*qrm.Job)) ([]*qrm.Job, error) {
@@ -254,12 +674,18 @@ func (c *Client) streamBatchLocal(reqs []qrm.Request, onJob func(*qrm.Job)) ([]*
 	return out, nil
 }
 
-func (c *Client) streamBatchRemote(reqs []qrm.Request, onJob func(*qrm.Job)) ([]*qrm.Job, error) {
+func (c *Client) streamBatchRemote(ctx context.Context, reqs []qrm.Request, onJob func(*qrm.Job)) ([]*qrm.Job, error) {
 	body, err := json.Marshal(reqs)
 	if err != nil {
 		return nil, fmt.Errorf("mqss: encoding batch: %w", err)
 	}
-	resp, err := c.httpc.Post(c.baseURL+pathJobsBatch+"?stream=1", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.baseURL+pathJobsBatch+"?stream=1", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("mqss: building batch request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("mqss: POST %s: %w", pathJobsBatch, err)
 	}
@@ -304,7 +730,7 @@ func (c *Client) streamBatchRemote(reqs []qrm.Request, onJob func(*qrm.Job)) ([]
 // Metrics fetches the server's dispatch-pipeline metrics snapshot over REST.
 // Fleet clients/servers expose a fleet-shaped snapshot instead: use
 // FleetMetrics.
-func (c *Client) Metrics() (*qrm.Metrics, error) {
+func (c *Client) Metrics(ctx context.Context) (*qrm.Metrics, error) {
 	if c.localFleet != nil {
 		return nil, fmt.Errorf("mqss: fleet client; use FleetMetrics")
 	}
@@ -312,23 +738,16 @@ func (c *Client) Metrics() (*qrm.Metrics, error) {
 		snap := c.local.Metrics()
 		return &snap, nil
 	}
-	resp, err := c.httpc.Get(c.baseURL + pathMetrics)
-	if err != nil {
-		return nil, fmt.Errorf("mqss: GET metrics: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
 	var snap qrm.Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("mqss: decoding metrics: %w", err)
+	if _, err := c.doJSON(ctx, http.MethodGet, pathMetrics, nil, &snap, nil, http.StatusOK); err != nil {
+		return nil, err
 	}
 	return &snap, nil
 }
 
-// Job fetches a job record by ID.
-func (c *Client) Job(id int) (*qrm.Job, error) {
+// Job fetches a job record by ID (legacy v1 shape; see V2Job for the
+// unified resource).
+func (c *Client) Job(ctx context.Context, id int) (*qrm.Job, error) {
 	if c.localFleet != nil {
 		j, err := c.localFleet.Job(id)
 		if err != nil {
@@ -339,7 +758,12 @@ func (c *Client) Job(id int) (*qrm.Job, error) {
 	if c.local != nil {
 		return c.local.Job(id)
 	}
-	resp, err := c.httpc.Get(fmt.Sprintf("%s%s/%d", c.baseURL, pathJobs, id))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s%s/%d", c.baseURL, pathJobs, id), nil)
+	if err != nil {
+		return nil, fmt.Errorf("mqss: building job request: %w", err)
+	}
+	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("mqss: GET job %d: %w", id, err)
 	}
@@ -355,7 +779,7 @@ func (c *Client) Job(id int) (*qrm.Job, error) {
 }
 
 // History fetches a page of job history.
-func (c *Client) History(user string, offset, limit int) (*qrm.Page, error) {
+func (c *Client) History(ctx context.Context, user string, offset, limit int) (*qrm.Page, error) {
 	if c.localFleet != nil {
 		fp, err := c.localFleet.History(user, offset, limit)
 		if err != nil {
@@ -370,15 +794,7 @@ func (c *Client) History(user string, offset, limit int) (*qrm.Page, error) {
 	if c.local != nil {
 		return c.local.History(user, offset, limit)
 	}
-	u := fmt.Sprintf("%s%s?offset=%d&limit=%d&user=%s", c.baseURL, pathJobs, offset, limit, url.QueryEscape(user))
-	resp, err := c.httpc.Get(u)
-	if err != nil {
-		return nil, fmt.Errorf("mqss: GET history: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
+	path := fmt.Sprintf("%s?offset=%d&limit=%d&user=%s", pathJobs, offset, limit, url.QueryEscape(user))
 	// Decode with raw job entries so a fleet server's envelope records can
 	// be flattened per job (see decodeJobPayload).
 	var raw struct {
@@ -388,8 +804,8 @@ func (c *Client) History(user string, offset, limit int) (*qrm.Page, error) {
 		Limit   int               `json:"limit"`
 		HasMore bool              `json:"has_more"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
-		return nil, fmt.Errorf("mqss: decoding page: %w", err)
+	if _, err := c.doJSON(ctx, http.MethodGet, path, nil, &raw, nil, http.StatusOK); err != nil {
+		return nil, err
 	}
 	page := &qrm.Page{Total: raw.Total, Offset: raw.Offset, Limit: raw.Limit, HasMore: raw.HasMore}
 	for _, data := range raw.Jobs {
@@ -416,21 +832,13 @@ type DeviceInfo struct {
 
 // Device fetches device properties over REST. (Local clients should use
 // their QDMI handle directly.)
-func (c *Client) Device() (*DeviceInfo, error) {
+func (c *Client) Device(ctx context.Context) (*DeviceInfo, error) {
 	if c.local != nil {
 		return nil, fmt.Errorf("mqss: local clients query QDMI directly")
 	}
-	resp, err := c.httpc.Get(c.baseURL + pathDevice)
-	if err != nil {
-		return nil, fmt.Errorf("mqss: GET device: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
 	var info DeviceInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return nil, fmt.Errorf("mqss: decoding device info: %w", err)
+	if _, err := c.doJSON(ctx, http.MethodGet, pathDevice, nil, &info, nil, http.StatusOK); err != nil {
+		return nil, err
 	}
 	return &info, nil
 }
@@ -440,20 +848,6 @@ func (c *Client) Device() (*DeviceInfo, error) {
 type RouteOptions struct {
 	Device string
 	Policy string
-}
-
-func (o RouteOptions) query() string {
-	v := url.Values{}
-	if o.Device != "" {
-		v.Set("device", o.Device)
-	}
-	if o.Policy != "" {
-		v.Set("policy", o.Policy)
-	}
-	if len(v) == 0 {
-		return ""
-	}
-	return "?" + v.Encode()
 }
 
 func (o RouteOptions) submitOptions() (fleet.SubmitOptions, error) {
@@ -495,8 +889,9 @@ func flattenFleetJob(j *fleet.Job) *qrm.Job {
 // RunRouted submits a job through the fleet scheduler and waits for it to
 // settle (including any drain/failover migrations), returning the full
 // fleet record: which device ran it, the routing score, migration count,
-// and the device-level result. Valid against a fleet client or server.
-func (c *Client) RunRouted(req qrm.Request, opts RouteOptions) (*fleet.Job, error) {
+// and the device-level result. Valid against a fleet client or server —
+// remotely it is a shim over the v2 submit/wait machinery.
+func (c *Client) RunRouted(ctx context.Context, req qrm.Request, opts RouteOptions) (*fleet.Job, error) {
 	if c.localFleet != nil {
 		so, err := opts.submitOptions()
 		if err != nil {
@@ -506,34 +901,33 @@ func (c *Client) RunRouted(req qrm.Request, opts RouteOptions) (*fleet.Job, erro
 		if err != nil {
 			return nil, err
 		}
-		return c.localFleet.Wait(id)
+		return c.localFleet.WaitContext(ctx, id)
 	}
 	if c.local != nil {
 		return nil, fmt.Errorf("mqss: single-device client; use Run")
 	}
-	body, err := json.Marshal(req)
+	sreq := submitFromRequest(req)
+	sreq.Device = opts.Device
+	sreq.Policy = opts.Policy
+	h, err := c.Submit(ctx, sreq, "")
 	if err != nil {
-		return nil, fmt.Errorf("mqss: encoding request: %w", err)
+		return nil, err
 	}
-	resp, err := c.httpc.Post(c.baseURL+pathJobs+opts.query(), "application/json", bytes.NewReader(body))
+	job, err := h.Wait(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("mqss: POST %s: %w", pathJobs, err)
+		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return nil, decodeError(resp)
+	out := job.toFleetJob()
+	if out.Request.Circuit == nil {
+		out.Request.Circuit = req.Circuit
 	}
-	var job fleet.Job
-	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
-		return nil, fmt.Errorf("mqss: decoding fleet job: %w", err)
-	}
-	return &job, nil
+	return out, nil
 }
 
 // StreamBatchRouted submits a batch through the fleet and invokes onJob for
 // every job as it settles, in completion order; the batch may span devices.
 // It returns all fleet records in submission order. onJob may be nil.
-func (c *Client) StreamBatchRouted(reqs []qrm.Request, opts RouteOptions, onJob func(*fleet.Job)) ([]*fleet.Job, error) {
+func (c *Client) StreamBatchRouted(ctx context.Context, reqs []qrm.Request, opts RouteOptions, onJob func(*fleet.Job)) ([]*fleet.Job, error) {
 	if c.localFleet != nil {
 		so, err := opts.submitOptions()
 		if err != nil {
@@ -580,7 +974,13 @@ func (c *Client) StreamBatchRouted(reqs []qrm.Request, opts RouteOptions, onJob 
 	if opts.Policy != "" {
 		q.Set("policy", opts.Policy)
 	}
-	resp, err := c.httpc.Post(c.baseURL+pathJobsBatch+"?"+q.Encode(), "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.baseURL+pathJobsBatch+"?"+q.Encode(), bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("mqss: building batch request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("mqss: POST %s: %w", pathJobsBatch, err)
 	}
@@ -621,7 +1021,7 @@ func (c *Client) StreamBatchRouted(reqs []qrm.Request, opts RouteOptions, onJob 
 // FleetMetrics fetches the fleet status/metrics snapshot (GET
 // /api/v1/fleet): per-device state, queue depths, routed/migrated/failed
 // counters, fidelity means, and score histograms.
-func (c *Client) FleetMetrics() (*fleet.Metrics, error) {
+func (c *Client) FleetMetrics(ctx context.Context) (*fleet.Metrics, error) {
 	if c.localFleet != nil {
 		m := c.localFleet.Metrics()
 		return &m, nil
@@ -629,44 +1029,36 @@ func (c *Client) FleetMetrics() (*fleet.Metrics, error) {
 	if c.local != nil {
 		return nil, fmt.Errorf("mqss: single-device client has no fleet")
 	}
-	resp, err := c.httpc.Get(c.baseURL + pathFleet)
-	if err != nil {
-		return nil, fmt.Errorf("mqss: GET fleet: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
 	var m fleet.Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return nil, fmt.Errorf("mqss: decoding fleet metrics: %w", err)
+	if _, err := c.doJSON(ctx, http.MethodGet, pathFleet, nil, &m, nil, http.StatusOK); err != nil {
+		return nil, err
 	}
 	return &m, nil
 }
 
 // FleetDevice fetches one fleet backend's device info (properties plus the
 // full calibration record including couplers).
-func (c *Client) FleetDevice(name string) (*DeviceInfo, error) {
+func (c *Client) FleetDevice(ctx context.Context, name string) (*DeviceInfo, error) {
 	if c.local != nil || c.localFleet != nil {
 		return nil, fmt.Errorf("mqss: local clients query QDMI directly")
 	}
-	resp, err := c.httpc.Get(c.baseURL + pathDevice + "?device=" + url.QueryEscape(name))
-	if err != nil {
-		return nil, fmt.Errorf("mqss: GET device %q: %w", name, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
 	var info DeviceInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return nil, fmt.Errorf("mqss: decoding device info: %w", err)
+	path := pathDevice + "?device=" + url.QueryEscape(name)
+	if _, err := c.doJSON(ctx, http.MethodGet, path, nil, &info, nil, http.StatusOK); err != nil {
+		return nil, err
 	}
 	return &info, nil
 }
 
+// decodeError reads an error response in either wire shape: the v1
+// `{"error"}` body or the v2 structured envelope (returned as *APIError so
+// callers can branch on Code/Retryable).
 func decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var v2 APIError
+	if json.Unmarshal(data, &v2) == nil && v2.Code != "" {
+		return &v2
+	}
 	var e struct {
 		Error string `json:"error"`
 	}

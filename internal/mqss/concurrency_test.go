@@ -1,6 +1,7 @@
 package mqss
 
 import (
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
@@ -35,11 +36,11 @@ func TestServerFallsBackWhenPipelineStops(t *testing.T) {
 	srv := httptest.NewServer(NewServer(m, dev))
 	defer srv.Close()
 	c := NewRemoteClient(srv.URL, srv.Client())
-	if j, err := c.Run(qrm.Request{Circuit: circuit.GHZ(2), Shots: 5}); err != nil || j.Status != qrm.StatusDone {
+	if j, err := c.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(2), Shots: 5}); err != nil || j.Status != qrm.StatusDone {
 		t.Fatalf("pipeline-mode job = %+v, %v", j, err)
 	}
 	m.Stop()
-	j, err := c.Run(qrm.Request{Circuit: circuit.GHZ(2), Shots: 5})
+	j, err := c.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(2), Shots: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestWaitJobUnblocksOnStop(t *testing.T) {
 func TestSubmitAgainstRunningPipeline(t *testing.T) {
 	_, srv := newRunningStack(t, 41, 2)
 	c := NewRemoteClient(srv.URL, srv.Client())
-	job, err := c.Run(qrm.Request{Circuit: circuit.GHZ(4), Shots: 50, User: "async"})
+	job, err := c.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(4), Shots: 50, User: "async"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestBatchStreamDeliversPerJobCompletions(t *testing.T) {
 		reqs[i] = qrm.Request{Circuit: circuit.GHZ(2 + i%3), Shots: 10, User: "stream"}
 	}
 	var streamed int32
-	jobs, err := c.StreamBatch(reqs, func(j *qrm.Job) {
+	jobs, err := c.StreamBatch(context.Background(), reqs, func(j *qrm.Job) {
 		atomic.AddInt32(&streamed, 1)
 		if j.Status != qrm.StatusDone {
 			t.Errorf("streamed job %d status %s", j.ID, j.Status)
@@ -152,7 +153,7 @@ func TestBatchStreamWithoutPipelineFallsBack(t *testing.T) {
 	srv := httptest.NewServer(NewServer(m, dev))
 	defer srv.Close()
 	c := NewRemoteClient(srv.URL, srv.Client())
-	jobs, err := c.RunBatch([]qrm.Request{
+	jobs, err := c.RunBatch(context.Background(), []qrm.Request{
 		{Circuit: circuit.GHZ(2), Shots: 10},
 		{Circuit: circuit.GHZ(3), Shots: 10},
 	})
@@ -183,7 +184,7 @@ func TestBatchEndpointConcurrentClients(t *testing.T) {
 			for k := range reqs {
 				reqs[k] = qrm.Request{Circuit: circuit.GHZ(2 + (i+k)%3), Shots: 5, User: "swarm"}
 			}
-			jobs, err := c.RunBatch(reqs)
+			jobs, err := c.RunBatch(context.Background(), reqs)
 			if err != nil {
 				errs <- err
 				return
@@ -209,10 +210,10 @@ func TestBatchEndpointConcurrentClients(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	_, srv := newRunningStack(t, 45, 2)
 	c := NewRemoteClient(srv.URL, srv.Client())
-	if _, err := c.Run(qrm.Request{Circuit: circuit.GHZ(3), Shots: 10, User: "m"}); err != nil {
+	if _, err := c.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(3), Shots: 10, User: "m"}); err != nil {
 		t.Fatal(err)
 	}
-	snap, err := c.Metrics()
+	snap, err := c.Metrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,275 @@
+package mqss
+
+// Golden-fixture contract tests: the JSON wire shapes of the v1 and v2
+// APIs are pinned under testdata/ and any drift fails the fast CI job —
+// renaming a field, dropping one, or changing an error body is loud and
+// deliberate (regenerate with -update) instead of silent.
+//
+// Responses are canonicalized before comparison: every numeric leaf is
+// zeroed (timings, counts, ids vary run to run; the *fields* are the
+// contract) and the outcome-keyed "counts" histogram — whose keys
+// themselves are samples — collapses to {}. Strings and booleans stay, so
+// lifecycle states, error codes and messages are all pinned byte-for-byte.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/qdmi"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite contract golden files")
+
+// canonicalize normalizes a JSON body for golden comparison.
+func canonicalize(t *testing.T, data []byte) string {
+	t.Helper()
+	var v interface{}
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, data)
+	}
+	v = normalizeJSON(v, "")
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out) + "\n"
+}
+
+func normalizeJSON(v interface{}, key string) interface{} {
+	switch x := v.(type) {
+	case map[string]interface{}:
+		if key == "counts" {
+			// Outcome-keyed histogram: the keys are samples, not schema.
+			return map[string]interface{}{}
+		}
+		for k, val := range x {
+			x[k] = normalizeJSON(val, k)
+		}
+		return x
+	case []interface{}:
+		for i := range x {
+			x[i] = normalizeJSON(x[i], key)
+		}
+		return x
+	case float64:
+		return 0
+	case string:
+		if key == "compile_stats" || key == "next_cursor" {
+			// Free-text stats and opaque cursors vary with content.
+			return "<opaque>"
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+// checkGolden compares a canonicalized body against testdata/<name>.golden.json.
+func checkGolden(t *testing.T, name string, body []byte) {
+	t.Helper()
+	got := canonicalize(t, body)
+	path := filepath.Join("testdata", name+".golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with `go test ./internal/mqss -run TestContract -update`): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("wire-format drift against %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// contractDo issues a request and returns status + body.
+func contractDo(t *testing.T, srv *httptest.Server, method, path string, body interface{}, header map[string]string) (int, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func TestContractV1(t *testing.T) {
+	_, server := pacedStack(t, 80, 0, 0) // synchronous AutoRun: deterministic shapes
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+
+	req := map[string]interface{}{
+		"circuit": circuit.GHZ(3), "shots": 20, "user": "contract",
+	}
+	status, body := contractDo(t, srv, http.MethodPost, "/api/v1/jobs", req, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("v1 submit = %d\n%s", status, body)
+	}
+	checkGolden(t, "v1_submit", body)
+
+	_, body = contractDo(t, srv, http.MethodGet, "/api/v1/jobs/1", nil, nil)
+	checkGolden(t, "v1_job", body)
+
+	_, body = contractDo(t, srv, http.MethodGet, "/api/v1/jobs?limit=2", nil, nil)
+	checkGolden(t, "v1_history", body)
+
+	status, body = contractDo(t, srv, http.MethodGet, "/api/v1/jobs/424242", nil, nil)
+	if status != http.StatusNotFound {
+		t.Errorf("unknown job = %d", status)
+	}
+	checkGolden(t, "v1_error_not_found", body)
+
+	status, body = contractDo(t, srv, http.MethodGet, "/api/v1/jobs/zzz", nil, nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad id = %d", status)
+	}
+	checkGolden(t, "v1_error_bad_id", body)
+
+	status, body = contractDo(t, srv, http.MethodDelete, "/api/v1/jobs", nil, nil)
+	if status != http.StatusMethodNotAllowed {
+		t.Errorf("bad method = %d", status)
+	}
+	checkGolden(t, "v1_error_method", body)
+
+	_, body = contractDo(t, srv, http.MethodGet, "/api/v1/metrics", nil, nil)
+	checkGolden(t, "v1_metrics", body)
+
+	_, body = contractDo(t, srv, http.MethodGet, "/healthz", nil, nil)
+	checkGolden(t, "v1_healthz", body)
+}
+
+func TestContractV2(t *testing.T) {
+	_, server := pacedStack(t, 81, 0, 0)
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+
+	sreq := SubmitRequest{Circuit: circuit.GHZ(3), Shots: 20, User: "contract", Priority: 1}
+
+	// Async accept: 202 + Location + non-terminal body.
+	server.AutoRun = false
+	status, body := contractDo(t, srv, http.MethodPost, "/api/v2/jobs", sreq, nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("v2 submit = %d\n%s", status, body)
+	}
+	checkGolden(t, "v2_submit_accepted", body)
+
+	// Completed record via wait long-poll (AutoRun drains).
+	server.AutoRun = true
+	status, body = contractDo(t, srv, http.MethodPost, "/api/v2/jobs?wait=10s", sreq, nil)
+	if status != http.StatusOK {
+		t.Fatalf("v2 submit?wait = %d\n%s", status, body)
+	}
+	checkGolden(t, "v2_job_done", body)
+
+	_, body = contractDo(t, srv, http.MethodGet, "/api/v2/jobs?limit=1", nil, nil)
+	checkGolden(t, "v2_list", body)
+
+	status, body = contractDo(t, srv, http.MethodGet, "/api/v2/jobs/j-424242", nil, nil)
+	if status != http.StatusNotFound {
+		t.Errorf("v2 unknown job = %d", status)
+	}
+	checkGolden(t, "v2_error_not_found", body)
+
+	status, body = contractDo(t, srv, http.MethodGet, "/api/v2/jobs/zzz", nil, nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("v2 bad id = %d", status)
+	}
+	checkGolden(t, "v2_error_bad_id", body)
+
+	status, body = contractDo(t, srv, http.MethodPut, "/api/v2/jobs", nil, nil)
+	if status != http.StatusMethodNotAllowed {
+		t.Errorf("v2 bad method = %d", status)
+	}
+	checkGolden(t, "v2_error_method", body)
+
+	// Cancel of a terminal job: the conflict envelope.
+	status, body = contractDo(t, srv, http.MethodDelete, "/api/v2/jobs/j-2", nil, nil)
+	if status != http.StatusConflict {
+		t.Errorf("v2 cancel terminal = %d\n%s", status, body)
+	}
+	checkGolden(t, "v2_error_conflict", body)
+
+	// Watch stream of a terminal job: exactly the snapshot event line.
+	_, body = contractDo(t, srv, http.MethodGet, "/api/v2/jobs/j-2/events", nil, nil)
+	checkGolden(t, "v2_events_snapshot", body)
+}
+
+func TestContractV2Fleet(t *testing.T) {
+	f := newTestFleet(t, map[string]*qdmi.Device{
+		"alpha": twinDev(t, "alpha", 4, 5, 82),
+	}, 1)
+	srv := httptest.NewServer(NewFleetServer(f))
+	t.Cleanup(srv.Close)
+
+	sreq := SubmitRequest{Circuit: circuit.GHZ(3), Shots: 10, User: "contract", Device: "alpha"}
+	status, body := contractDo(t, srv, http.MethodPost, "/api/v2/jobs?wait=10s", sreq, nil)
+	if status != http.StatusOK {
+		t.Fatalf("v2 fleet submit = %d\n%s", status, body)
+	}
+	checkGolden(t, "v2_fleet_job_done", body)
+
+	// v1 fleet envelope stays intact for legacy clients.
+	req := map[string]interface{}{"circuit": circuit.GHZ(3), "shots": 10, "user": "contract"}
+	status, body = contractDo(t, srv, http.MethodPost, "/api/v1/jobs?device=alpha", req, nil)
+	if status != http.StatusCreated {
+		t.Fatalf("v1 fleet submit = %d\n%s", status, body)
+	}
+	checkGolden(t, "v1_fleet_submit", body)
+}
+
+// TestContractGoldensPresent fails fast (with a helpful message) when the
+// fixture directory is missing entirely — e.g. a fresh checkout that lost
+// testdata.
+func TestContractGoldensPresent(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating")
+	}
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("testdata missing: %v (regenerate with -update)", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".golden.json") {
+			n++
+		}
+	}
+	if n < 10 {
+		t.Fatalf("only %d golden fixtures present; expected the full contract set", n)
+	}
+}

@@ -1,6 +1,7 @@
 package mqss
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -60,7 +61,7 @@ func TestFleetServerEndToEnd(t *testing.T) {
 	client := NewRemoteClient(srv.URL, nil)
 
 	// Routed submit with the policy knob.
-	j, err := client.RunRouted(qrm.Request{Circuit: circuit.GHZ(3), Shots: 10, User: "u"},
+	j, err := client.RunRouted(context.Background(), qrm.Request{Circuit: circuit.GHZ(3), Shots: 10, User: "u"},
 		RouteOptions{Policy: "least-loaded"})
 	if err != nil {
 		t.Fatal(err)
@@ -74,7 +75,7 @@ func TestFleetServerEndToEnd(t *testing.T) {
 
 	// Device pin: a 16-qubit circuit fits alpha (20q) only; pin it anyway
 	// and check the envelope honours it.
-	j2, err := client.RunRouted(qrm.Request{Circuit: circuit.GHZ(16), Shots: 5, User: "u"},
+	j2, err := client.RunRouted(context.Background(), qrm.Request{Circuit: circuit.GHZ(16), Shots: 5, User: "u"},
 		RouteOptions{Device: "alpha"})
 	if err != nil {
 		t.Fatal(err)
@@ -84,12 +85,12 @@ func TestFleetServerEndToEnd(t *testing.T) {
 	}
 
 	// Pinning a too-small device is a 422.
-	if _, err := client.RunRouted(qrm.Request{Circuit: circuit.GHZ(16), Shots: 5, User: "u"},
+	if _, err := client.RunRouted(context.Background(), qrm.Request{Circuit: circuit.GHZ(16), Shots: 5, User: "u"},
 		RouteOptions{Device: "beta"}); err == nil {
 		t.Fatal("pinning a 16q circuit to a 9q device should fail")
 	}
 	// Unknown policy is a 400.
-	if _, err := client.RunRouted(qrm.Request{Circuit: circuit.GHZ(2), Shots: 5, User: "u"},
+	if _, err := client.RunRouted(context.Background(), qrm.Request{Circuit: circuit.GHZ(2), Shots: 5, User: "u"},
 		RouteOptions{Policy: "fastest"}); err == nil {
 		t.Fatal("unknown policy should fail")
 	}
@@ -100,7 +101,7 @@ func TestFleetServerEndToEnd(t *testing.T) {
 		reqs[i] = qrm.Request{Circuit: circuit.GHZ(3), Shots: 5, User: "u"}
 	}
 	order := make([]int, 0, len(reqs))
-	jobs, err := client.StreamBatchRouted(reqs, RouteOptions{Policy: "round-robin"}, func(j *fleet.Job) {
+	jobs, err := client.StreamBatchRouted(context.Background(), reqs, RouteOptions{Policy: "round-robin"}, func(j *fleet.Job) {
 		order = append(order, j.ID)
 	})
 	if err != nil {
@@ -121,7 +122,7 @@ func TestFleetServerEndToEnd(t *testing.T) {
 	}
 
 	// Fleet metrics snapshot over REST.
-	m, err := client.FleetMetrics()
+	m, err := client.FleetMetrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFleetServerEndToEnd(t *testing.T) {
 	}
 
 	// Per-device info carries the full calibration record with couplers.
-	info, err := client.FleetDevice("beta")
+	info, err := client.FleetDevice(context.Background(), "beta")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFleetServerEndToEnd(t *testing.T) {
 	}
 
 	// The legacy polling endpoint resolves fleet job IDs.
-	legacy, err := client.Job(j.ID)
+	legacy, err := client.Job(context.Background(), j.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestFleetServerDrainDuringStream(t *testing.T) {
 	errCh := make(chan error, 1)
 	jobsCh := make(chan []*fleet.Job, 1)
 	go func() {
-		jobs, err := client.StreamBatchRouted(reqs, RouteOptions{}, nil)
+		jobs, err := client.StreamBatchRouted(context.Background(), reqs, RouteOptions{}, nil)
 		jobsCh <- jobs
 		errCh <- err
 	}()
@@ -206,7 +207,7 @@ func TestFleetServerDrainDuringStream(t *testing.T) {
 	if local.Path() != PathHPC {
 		t.Fatalf("local fleet client path %s", local.Path())
 	}
-	j, err := local.Run(qrm.Request{Circuit: circuit.GHZ(2), Shots: 5, User: "u"})
+	j, err := local.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(2), Shots: 5, User: "u"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,14 +229,14 @@ func TestLegacyClientAgainstFleetServer(t *testing.T) {
 	t.Cleanup(srv.Close)
 	client := NewRemoteClient(srv.URL, nil)
 
-	j, err := client.Run(qrm.Request{Circuit: circuit.GHZ(3), Shots: 20, User: "legacy"})
+	j, err := client.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(3), Shots: 20, User: "legacy"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if j.Status != qrm.StatusDone || len(j.Counts) == 0 || j.CompiledGates == 0 {
 		t.Fatalf("legacy Run against fleet lost the device record: %+v", j)
 	}
-	got, err := client.Job(j.ID)
+	got, err := client.Job(context.Background(), j.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestLegacyClientAgainstFleetServer(t *testing.T) {
 		{Circuit: circuit.GHZ(2), Shots: 10, User: "legacy"},
 		{Circuit: circuit.GHZ(4), Shots: 10, User: "legacy"},
 	}
-	jobs, err := client.StreamBatch(reqs, nil)
+	jobs, err := client.StreamBatch(context.Background(), reqs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestLegacyClientAgainstFleetServer(t *testing.T) {
 			t.Fatalf("legacy StreamBatch job: %+v", bj)
 		}
 	}
-	page, err := client.History("legacy", 0, 10)
+	page, err := client.History(context.Background(), "legacy", 0, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

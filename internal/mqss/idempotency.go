@@ -1,0 +1,74 @@
+package mqss
+
+import "sync"
+
+// idemCache is the bounded Idempotency-Key dedup table behind v2
+// submission: the first request under a key runs the real submit and the
+// result (job ID or submission error) is replayed to every later request
+// carrying the same key — a client retrying a POST whose response was lost
+// gets its original job back instead of a duplicate execution.
+//
+// The submit callback runs while the cache lock is held. That is deliberate:
+// two concurrent requests with the same key must not both reach the
+// scheduler, and enqueueing (validation + heap push) is microseconds — the
+// serialization cost is noise next to an HTTP round-trip. Entries are
+// evicted FIFO past the bound; a key older than the window simply submits
+// fresh, which is the documented contract ("at-most-once within the dedup
+// window").
+type idemCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]idemEntry
+	order   []string // insertion order for FIFO eviction
+}
+
+type idemEntry struct {
+	jobID int
+}
+
+// defaultIdemCacheSize bounds the dedup window. At production submission
+// rates this is a few minutes of keys; memory stays O(bound) forever.
+const defaultIdemCacheSize = 1024
+
+func newIdemCache(max int) *idemCache {
+	if max < 1 {
+		max = defaultIdemCacheSize
+	}
+	return &idemCache{max: max, entries: make(map[string]idemEntry)}
+}
+
+// do runs submit under key exactly once within the dedup window. replayed
+// reports whether a cached outcome was returned instead of running submit.
+// Keyless calls (key == "") always submit. Only *successful* submissions
+// are cached: a failed submit created no job, so there is nothing to
+// protect from duplication — and caching a transient error (QPU offline)
+// would turn the retryable response into a permanently replayed failure.
+func (c *idemCache) do(key string, submit func() (int, error)) (jobID int, replayed bool, err error) {
+	if key == "" {
+		id, err := submit()
+		return id, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e.jobID, true, nil
+	}
+	id, err := submit()
+	if err != nil {
+		return id, false, err
+	}
+	c.entries[key] = idemEntry{jobID: id}
+	c.order = append(c.order, key)
+	for len(c.order) > c.max {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	return id, false, nil
+}
+
+// len reports the live entry count (tests).
+func (c *idemCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,6 +1,7 @@
 package mqss
 
 import (
+	"context"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -27,7 +28,7 @@ func TestLocalClientPath(t *testing.T) {
 	if c.Path() != PathHPC {
 		t.Errorf("path = %s, want hpc", c.Path())
 	}
-	job, err := c.Run(qrm.Request{Circuit: circuit.GHZ(4), Shots: 100, User: "local"})
+	job, err := c.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(4), Shots: 100, User: "local"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestRemoteClientPath(t *testing.T) {
 	if c.Path() != PathREST {
 		t.Errorf("path = %s, want rest", c.Path())
 	}
-	job, err := c.Run(qrm.Request{Circuit: circuit.GHZ(3), Shots: 50, User: "remote"})
+	job, err := c.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(3), Shots: 50, User: "remote"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestRemoteClientPath(t *testing.T) {
 		t.Errorf("shots = %d, want 50", total)
 	}
 	// Fetch the same job by ID.
-	again, err := c.Job(job.ID)
+	again, err := c.Job(context.Background(), job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestBothPathsProduceSameDistribution(t *testing.T) {
 	local := NewLocalClient(mLocal)
 	remote := NewRemoteClient(srv.URL, srv.Client())
 	req := qrm.Request{Circuit: circuit.GHZ(5), Shots: 2000, User: "x"}
-	jl, err := local.Run(req)
+	jl, err := local.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	jr, err := remote.Run(qrm.Request{Circuit: circuit.GHZ(5), Shots: 2000, User: "x"})
+	jr, err := remote.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(5), Shots: 2000, User: "x"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestRemoteBatch(t *testing.T) {
 	srv := httptest.NewServer(NewServer(m, dev))
 	defer srv.Close()
 	c := NewRemoteClient(srv.URL, srv.Client())
-	jobs, err := c.RunBatch([]qrm.Request{
+	jobs, err := c.RunBatch(context.Background(), []qrm.Request{
 		{Circuit: circuit.GHZ(2), Shots: 10, User: "b"},
 		{Circuit: circuit.GHZ(3), Shots: 10, User: "b"},
 	})
@@ -136,7 +137,7 @@ func TestRemoteBatch(t *testing.T) {
 func TestLocalBatch(t *testing.T) {
 	m, _ := newStack(6)
 	c := NewLocalClient(m)
-	jobs, err := c.RunBatch([]qrm.Request{
+	jobs, err := c.RunBatch(context.Background(), []qrm.Request{
 		{Circuit: circuit.GHZ(2), Shots: 10},
 		{Circuit: circuit.GHZ(2), Shots: 10},
 	})
@@ -154,11 +155,11 @@ func TestRemoteHistoryPagination(t *testing.T) {
 	defer srv.Close()
 	c := NewRemoteClient(srv.URL, srv.Client())
 	for i := 0; i < 7; i++ {
-		if _, err := c.Run(qrm.Request{Circuit: circuit.GHZ(2), Shots: 5, User: "pag"}); err != nil {
+		if _, err := c.Run(context.Background(), qrm.Request{Circuit: circuit.GHZ(2), Shots: 5, User: "pag"}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	page, err := c.History("pag", 0, 3)
+	page, err := c.History(context.Background(), "pag", 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestRemoteDeviceInfo(t *testing.T) {
 	srv := httptest.NewServer(NewServer(m, dev))
 	defer srv.Close()
 	c := NewRemoteClient(srv.URL, srv.Client())
-	info, err := c.Device()
+	info, err := c.Device(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestRemoteDeviceInfo(t *testing.T) {
 		t.Error("coupling map missing")
 	}
 	// Local clients don't implement Device().
-	if _, err := NewLocalClient(m).Device(); err == nil {
+	if _, err := NewLocalClient(m).Device(context.Background()); err == nil {
 		t.Error("local Device() should direct users to QDMI")
 	}
 }

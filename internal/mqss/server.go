@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/fleet"
 	"repro/internal/qdmi"
@@ -42,6 +43,13 @@ type Server struct {
 	dev   *qdmi.Device
 	fleet *fleet.Scheduler
 	mux   *http.ServeMux
+
+	// closing is closed by Close; active v2 watch streams end on it so a
+	// graceful http.Server.Shutdown can drain their handlers.
+	closing   chan struct{}
+	closeOnce sync.Once
+	// idem is the bounded Idempotency-Key dedup cache behind v2 submission.
+	idem *idemCache
 	// AutoRun executes jobs synchronously on submission whenever the QRM's
 	// dispatch pipeline is not running, which keeps the remote path
 	// self-contained in tests and examples. With the pipeline started
@@ -57,16 +65,27 @@ type Server struct {
 
 // NewServer builds the single-device REST front end.
 func NewServer(m *qrm.Manager, dev *qdmi.Device) *Server {
-	s := &Server{qrm: m, dev: dev, AutoRun: true}
+	s := &Server{qrm: m, dev: dev, AutoRun: true,
+		closing: make(chan struct{}), idem: newIdemCache(0)}
 	s.routes()
 	return s
 }
 
 // NewFleetServer builds the fleet REST front end over a multi-QPU scheduler.
 func NewFleetServer(f *fleet.Scheduler) *Server {
-	s := &Server{fleet: f, AutoRun: true}
+	s := &Server{fleet: f, AutoRun: true,
+		closing: make(chan struct{}), idem: newIdemCache(0)}
 	s.routes()
 	return s
+}
+
+// Close begins a graceful wind-down of the server's long-lived responses:
+// every active v2 watch stream emits a final "server-closing" event and
+// returns, so an enclosing http.Server.Shutdown stops blocking on them.
+// Close is idempotent and does not touch the backend (stop the QRM
+// pipeline or fleet separately).
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closing) })
 }
 
 func (s *Server) routes() {
@@ -79,6 +98,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc(pathTelemetry, s.handleTelemetry)
 	s.mux.HandleFunc(pathMetrics, s.handleMetrics)
 	s.mux.HandleFunc(pathHealthz, s.handleHealthz)
+	s.mux.HandleFunc(pathV2Jobs, s.handleV2Jobs)
+	s.mux.HandleFunc(pathV2Jobs+"/", s.handleV2JobByID)
 }
 
 // complete brings a submitted job to a terminal state using whichever
@@ -114,8 +135,40 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// Error rendering. Both API versions share one classification (status,
+// code, message, retryability) but render different wire shapes: v1 keeps
+// its original byte-compatible `{"error": "..."}` body, v2 sends the
+// structured envelope `{"code", "message", "retryable"}`. The golden
+// contract tests pin both shapes.
+
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeV2Error(w http.ResponseWriter, status int, code, msg string, retryable bool) {
+	writeJSON(w, status, &APIError{Code: code, Message: msg, Retryable: retryable})
+}
+
+// v1MethodNotAllowed is the single 405 path for every v1 handler — HEAD,
+// PUT, DELETE and friends all get the same body, not per-handler ad-hoc
+// strings.
+func v1MethodNotAllowed(w http.ResponseWriter, method string) {
+	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", method))
+}
+
+// v1BadID is the single malformed-job-ID path for v1 handlers.
+func v1BadID(w http.ResponseWriter, idStr string) {
+	writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", idStr))
+}
+
+// submitCore is the one submission entry point both API versions share:
+// the v2 handler reaches it through the idempotency cache, the v1 handlers
+// call it directly — v1 is a shim over the same core, not a second path.
+func (s *Server) submitCore(req qrm.Request, opts fleet.SubmitOptions) (int, error) {
+	if s.fleet != nil {
+		return s.fleet.Submit(req, opts)
+	}
+	return s.qrm.Submit(req)
 }
 
 // submitOptions extracts the fleet routing controls from the query string:
@@ -145,7 +198,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			s.submitFleetJob(w, r, req)
 			return
 		}
-		id, err := s.qrm.Submit(req)
+		id, err := s.submitCore(req, fleet.SubmitOptions{})
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
@@ -180,7 +233,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, page)
 	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		v1MethodNotAllowed(w, r.Method)
 	}
 }
 
@@ -191,7 +244,7 @@ func (s *Server) submitFleetJob(w http.ResponseWriter, r *http.Request, req qrm.
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.fleet.Submit(req, opts)
+	id, err := s.submitCore(req, opts)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -216,13 +269,13 @@ func (s *Server) submitFleetJob(w http.ResponseWriter, r *http.Request, req qrm.
 // handleJobByID: GET /api/v1/jobs/{id}.
 func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		v1MethodNotAllowed(w, r.Method)
 		return
 	}
 	idStr := strings.TrimPrefix(r.URL.Path, pathJobs+"/")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", idStr))
+		v1BadID(w, idStr)
 		return
 	}
 	if s.fleet != nil {
@@ -250,7 +303,7 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 // routed job-by-job (it may span devices) and honours ?device= / ?policy=.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		v1MethodNotAllowed(w, r.Method)
 		return
 	}
 	var reqs []qrm.Request
@@ -384,7 +437,7 @@ func (s *Server) streamFleetBatch(w http.ResponseWriter, batch int, ids []int) {
 // fleet mode, the fleet snapshot with per-device breakdowns.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		v1MethodNotAllowed(w, r.Method)
 		return
 	}
 	if s.fleet != nil {
@@ -398,7 +451,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // single-device server).
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		v1MethodNotAllowed(w, r.Method)
 		return
 	}
 	if s.fleet == nil {
@@ -430,7 +483,7 @@ func deviceInfoJSON(dev *qdmi.Device) map[string]interface{} {
 // returned keyed by name.
 func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		v1MethodNotAllowed(w, r.Method)
 		return
 	}
 	if s.fleet == nil {
@@ -469,7 +522,7 @@ func (s *Server) telemetryStore() *telemetry.Store {
 // dissemination (§3.1).
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		v1MethodNotAllowed(w, r.Method)
 		return
 	}
 	store := s.telemetryStore()

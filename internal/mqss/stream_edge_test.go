@@ -3,6 +3,7 @@ package mqss
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -122,7 +123,7 @@ func TestStreamBatchSurfacesServerSideJobFailure(t *testing.T) {
 		reqs[i] = qrm.Request{Circuit: circuit.GHZ(3), Shots: 5, User: "edge"}
 	}
 	var streamed []*qrm.Job
-	jobs, err := client.StreamBatch(reqs, func(j *qrm.Job) { streamed = append(streamed, j) })
+	jobs, err := client.StreamBatch(context.Background(), reqs, func(j *qrm.Job) { streamed = append(streamed, j) })
 	if err != nil {
 		t.Fatalf("StreamBatch with a failing job should still deliver the batch: %v", err)
 	}
@@ -170,7 +171,7 @@ func TestStreamBatchFleetSurfacesFailureEnvelope(t *testing.T) {
 		{Circuit: circuit.GHZ(3), Shots: 5, User: "edge"},
 		{Circuit: circuit.GHZ(3), Shots: 5, User: "edge"},
 	}
-	jobs, err := client.StreamBatchRouted(reqs, RouteOptions{}, nil)
+	jobs, err := client.StreamBatchRouted(context.Background(), reqs, RouteOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,469 @@
+package mqss
+
+// The /api/v2 handlers: the async-by-default job resource API. Submission
+// returns 202 + Location immediately (?wait= turns it into a bounded
+// long-poll), GET /jobs/{id} reads the resource (?wait= long-polls for a
+// terminal state), GET /jobs/{id}/events streams lifecycle transitions as
+// NDJSON or SSE off the backend's event bus, DELETE cancels (propagating
+// into the dispatch pipeline and fleet parking), and GET /jobs pages the
+// history with opaque cursors. Every error is the structured envelope
+// {code, message, retryable}.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/qrm"
+)
+
+const pathV2Jobs = "/api/v2/jobs"
+
+// maxWait caps ?wait= long-polls so a stuck client cannot pin a handler
+// goroutine forever; longer waits re-poll.
+const maxWait = 60 * time.Second
+
+// parseWait reads the ?wait= long-poll budget: a Go duration ("500ms",
+// "3s") or a bare number of seconds. Zero means "don't wait".
+func parseWait(r *http.Request) (time.Duration, error) {
+	v := r.URL.Query().Get("wait")
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		secs, serr := strconv.ParseFloat(v, 64)
+		if serr != nil {
+			return 0, fmt.Errorf("malformed wait %q (want a duration like 3s)", v)
+		}
+		d = time.Duration(secs * float64(time.Second))
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("malformed wait %q (must be >= 0)", v)
+	}
+	if d > maxWait {
+		d = maxWait
+	}
+	return d, nil
+}
+
+// deviceName is the single-device server's backend name ("" in fleet mode,
+// where each job record carries its own placement).
+func (s *Server) deviceName() string {
+	if s.dev != nil {
+		return s.dev.QPU().Name()
+	}
+	return ""
+}
+
+// v2JobRecord fetches the unified record for a backend job ID.
+func (s *Server) v2JobRecord(id int, withRequest bool) (*Job, error) {
+	if s.fleet != nil {
+		fj, err := s.fleet.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		var devRec *qrm.Job
+		if fj.Status == fleet.JobRouted {
+			devRec, _ = s.fleet.DeviceRecord(id)
+		}
+		return v2FromFleet(fj, devRec, withRequest), nil
+	}
+	j, err := s.qrm.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	return v2FromQRM(j, s.deviceName(), withRequest), nil
+}
+
+// v2Settle drives the job toward a terminal state within ctx: in pipeline
+// (or fleet) mode it waits on the workers; on a pipeline-less single-device
+// server AutoRun covers with a synchronous drain, preserving the v1
+// self-contained-server behavior for ?wait= callers. Returning without the
+// job terminal is not an error — the caller reports the current state.
+func (s *Server) v2Settle(ctx context.Context, id int) {
+	if s.fleet != nil {
+		_, _ = s.fleet.WaitContext(ctx, id)
+		return
+	}
+	if !s.qrm.Running() && s.AutoRun {
+		// Drive the queue one job at a time so the caller's wait budget is
+		// honored between device round-trips — a deep queue behind this job
+		// must not pin the handler past its ?wait= (a whole-queue Drain
+		// would). Work stops at the budget; the job stays queued for the
+		// next request.
+		for ctx.Err() == nil {
+			if rec, err := s.qrm.Job(id); err != nil || qrmTerminal(rec.Status) {
+				return // already settled (e.g. a concurrent cancel)
+			}
+			j, err := s.qrm.Step()
+			if err != nil || j == nil {
+				return
+			}
+			if j.ID == id {
+				return
+			}
+		}
+		return
+	}
+	// Running pipeline — or a deliberately asynchronous server (AutoRun
+	// off, no workers): wait out the budget either way. Someone may drain
+	// the queue or start the pipeline while we block.
+	_, _ = s.qrm.AwaitTerminal(ctx, id)
+}
+
+// handleV2Jobs: POST = async submit, GET = cursor-paginated listing.
+func (s *Server) handleV2Jobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.v2Submit(w, r)
+	case http.MethodGet:
+		s.v2List(w, r)
+	default:
+		writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed", r.Method), false)
+	}
+}
+
+// v2Submit accepts one job and returns 202 + Location (async by default).
+// ?wait= long-polls for completion and returns 200 with the terminal
+// record when it arrives in time. An Idempotency-Key header makes retries
+// safe: the same key replays the original submission's outcome instead of
+// executing twice (bounded dedup window).
+func (s *Server) v2Submit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest,
+			"decoding request: "+err.Error(), false)
+		return
+	}
+	wait, err := parseWait(r)
+	if err != nil {
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest, err.Error(), false)
+		return
+	}
+	if s.fleet == nil && (req.Device != "" || req.Policy != "") {
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest,
+			"device/policy routing requires a fleet server", false)
+		return
+	}
+	var opts fleet.SubmitOptions
+	if s.fleet != nil {
+		opts = fleet.SubmitOptions{Device: req.Device}
+		if req.Policy != "" {
+			pol := fleet.Policy(req.Policy)
+			if err := pol.Validate(); err != nil {
+				writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest, err.Error(), false)
+				return
+			}
+			opts.Policy = pol
+		}
+	}
+	id, replayed, err := s.idem.do(r.Header.Get("Idempotency-Key"), func() (int, error) {
+		return s.submitCore(req.qrmRequest(), opts)
+	})
+	if err != nil {
+		status, code, retryable := http.StatusUnprocessableEntity, CodeUnprocessable, false
+		if strings.Contains(err.Error(), "offline") {
+			status, code, retryable = http.StatusServiceUnavailable, CodeUnavailable, true
+		}
+		writeV2Error(w, status, code, err.Error(), retryable)
+		return
+	}
+	if wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		s.v2Settle(ctx, id)
+		cancel()
+	}
+	job, err := s.v2JobRecord(id, true)
+	if err != nil {
+		writeV2Error(w, http.StatusInternalServerError, CodeInternal, err.Error(), false)
+		return
+	}
+	w.Header().Set("Location", pathV2Jobs+"/"+job.ID)
+	if replayed {
+		w.Header().Set("Idempotency-Replayed", "true")
+	}
+	status := http.StatusAccepted
+	if job.State.Terminal() {
+		// The long-poll (or a replayed already-finished submission) caught
+		// the terminal record: this response is the final word.
+		status = http.StatusOK
+	}
+	writeJSON(w, status, job)
+}
+
+// v2List: GET /api/v2/jobs?user=&state=&cursor=&limit= — newest first,
+// opaque continuation cursor. state accepts a comma-separated set of v2
+// states ("running" matches routed fleet jobs too: the fleet does not track
+// the device-level run phase in its own records).
+func (s *Server) v2List(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 20
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Sprintf("malformed limit %q", v), false)
+			return
+		}
+		if n > 100 {
+			n = 100
+		}
+		limit = n
+	}
+	before := 0
+	if v := q.Get("cursor"); v != "" {
+		id, err := decodeCursor(v)
+		if err != nil {
+			writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest, err.Error(), false)
+			return
+		}
+		before = id
+	}
+	var states []JobState
+	if v := q.Get("state"); v != "" {
+		for _, part := range strings.Split(v, ",") {
+			st, err := ParseJobState(strings.TrimSpace(part))
+			if err != nil {
+				writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest, err.Error(), false)
+				return
+			}
+			states = append(states, st)
+		}
+	}
+	user := q.Get("user")
+
+	page := &JobPage{Jobs: []*Job{}}
+	var lastID int
+	var more bool
+	if s.fleet != nil {
+		var filter map[fleet.JobStatus]bool
+		if states != nil {
+			filter = make(map[fleet.JobStatus]bool)
+			for _, st := range states {
+				switch st {
+				case StateQueued:
+					filter[fleet.JobPending] = true
+				case StateRouted, StateRunning:
+					filter[fleet.JobRouted] = true
+				case StateDone:
+					filter[fleet.JobDone] = true
+				case StateFailed:
+					filter[fleet.JobFailed] = true
+				case StateCancelled:
+					filter[fleet.JobCancelled] = true
+				}
+			}
+		}
+		jobs, m := s.fleet.ListJobs(user, filter, before, limit)
+		for _, fj := range jobs {
+			page.Jobs = append(page.Jobs, v2FromFleet(fj, nil, false))
+			lastID = fj.ID
+		}
+		more = m
+	} else {
+		var filter map[qrm.JobStatus]bool
+		if states != nil {
+			filter = make(map[qrm.JobStatus]bool)
+			for _, st := range states {
+				switch st {
+				case StateQueued:
+					filter[qrm.StatusQueued] = true
+				case StateRouted:
+					filter[qrm.StatusCompiling] = true
+				case StateRunning:
+					filter[qrm.StatusRunning] = true
+				case StateDone:
+					filter[qrm.StatusDone] = true
+				case StateFailed:
+					filter[qrm.StatusFailed] = true
+					filter[qrm.StatusInterrupted] = true
+				case StateCancelled:
+					filter[qrm.StatusCancelled] = true
+				}
+			}
+		}
+		jobs, m := s.qrm.ListJobs(user, filter, before, limit)
+		dev := s.deviceName()
+		for _, j := range jobs {
+			page.Jobs = append(page.Jobs, v2FromQRM(j, dev, false))
+			lastID = j.ID
+		}
+		more = m
+	}
+	if more && lastID > 0 {
+		page.NextCursor = encodeCursor(lastID)
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleV2JobByID routes /api/v2/jobs/{id} and /api/v2/jobs/{id}/events.
+func (s *Server) handleV2JobByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, pathV2Jobs+"/")
+	idStr, sub, _ := strings.Cut(rest, "/")
+	id, err := ParseJobID(idStr)
+	if err != nil {
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest, err.Error(), false)
+		return
+	}
+	switch sub {
+	case "":
+		switch r.Method {
+		case http.MethodGet:
+			s.v2Get(w, r, id)
+		case http.MethodDelete:
+			s.v2Cancel(w, id)
+		default:
+			writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed", r.Method), false)
+		}
+	case "events":
+		if r.Method != http.MethodGet {
+			writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed", r.Method), false)
+			return
+		}
+		s.v2Watch(w, r, id)
+	default:
+		writeV2Error(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no resource %q under job %s", sub, idStr), false)
+	}
+}
+
+// v2Get reads one job; ?wait= long-polls for a terminal state first and
+// returns whatever state the job is in when the budget runs out (200 either
+// way — the state field is the answer).
+func (s *Server) v2Get(w http.ResponseWriter, r *http.Request, id int) {
+	wait, err := parseWait(r)
+	if err != nil {
+		writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest, err.Error(), false)
+		return
+	}
+	job, err := s.v2JobRecord(id, true)
+	if err != nil {
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, err.Error(), false)
+		return
+	}
+	if wait > 0 && !job.State.Terminal() {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		s.v2Settle(ctx, id)
+		cancel()
+		if job, err = s.v2JobRecord(id, true); err != nil {
+			writeV2Error(w, http.StatusInternalServerError, CodeInternal, err.Error(), false)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// v2Cancel: DELETE /api/v2/jobs/{id}. Parked and queued jobs cancel
+// immediately; in-flight jobs have the cancellation requested and settle
+// cancelled at the pipeline's next stage boundary — 202 covers both, with
+// the current record in the body.
+func (s *Server) v2Cancel(w http.ResponseWriter, id int) {
+	var err error
+	if s.fleet != nil {
+		err = s.fleet.Cancel(id)
+	} else {
+		err = s.qrm.Cancel(id)
+	}
+	if err != nil {
+		switch {
+		case strings.Contains(err.Error(), "no job"):
+			writeV2Error(w, http.StatusNotFound, CodeNotFound, err.Error(), false)
+		case strings.Contains(err.Error(), "already"):
+			writeV2Error(w, http.StatusConflict, CodeConflict, err.Error(), false)
+		default:
+			writeV2Error(w, http.StatusInternalServerError, CodeInternal, err.Error(), false)
+		}
+		return
+	}
+	job, err := s.v2JobRecord(id, true)
+	if err != nil {
+		writeV2Error(w, http.StatusInternalServerError, CodeInternal, err.Error(), false)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// v2Watch: GET /api/v2/jobs/{id}/events — the server-push stream. NDJSON
+// by default, SSE under Accept: text/event-stream. The stream opens with a
+// synthetic snapshot event for the job's current state (so late watchers
+// see where they stand), then follows the event bus until the job goes
+// terminal, the client disconnects, or the server begins a graceful
+// shutdown. Because the subscription starts before the snapshot read, a
+// transition can appear twice (snapshot + live); consumers key on state,
+// not event count.
+func (s *Server) v2Watch(w http.ResponseWriter, r *http.Request, id int) {
+	var bus *qrm.EventBus
+	if s.fleet != nil {
+		bus = s.fleet.Events()
+	} else {
+		bus = s.qrm.Events()
+	}
+	sub := bus.Subscribe(id, 32)
+	defer sub.Close()
+
+	job, err := s.v2JobRecord(id, false)
+	if err != nil {
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, err.Error(), false)
+		return
+	}
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev JobEvent) {
+		if sse {
+			_, _ = fmt.Fprint(w, "data: ")
+		}
+		_ = enc.Encode(ev)
+		if sse {
+			_, _ = fmt.Fprint(w, "\n")
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	emit(JobEvent{JobID: job.ID, State: job.State, Device: job.Device, Reason: "snapshot"})
+	if job.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return // bus closed (backend shutting down)
+			}
+			state := stateFromEvent(ev.To)
+			emit(JobEvent{
+				Seq: ev.Seq, JobID: FormatJobID(ev.JobID),
+				State: state, Device: ev.Device, Reason: ev.Reason,
+			})
+			if state.Terminal() && ev.Reason != "cancel-requested" {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			// Graceful shutdown: end the stream cleanly so http.Server's
+			// Shutdown can drain this handler.
+			emit(JobEvent{JobID: job.ID, State: job.State, Reason: "server-closing"})
+			return
+		}
+	}
+}

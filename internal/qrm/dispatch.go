@@ -1,6 +1,7 @@
 package qrm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -98,6 +99,13 @@ func (m *Manager) Workers() int {
 // the pipeline stops while the job is still queued, WaitJob returns an
 // error instead of blocking forever; the job stays queued for a restart.
 func (m *Manager) WaitJob(id int) (*Job, error) {
+	return m.WaitJobContext(context.Background(), id)
+}
+
+// WaitJobContext is WaitJob with caller-controlled cancellation: it
+// returns the context's error as soon as ctx is done, leaving the job
+// untouched on the pipeline. WaitJob is this with a background context.
+func (m *Manager) WaitJobContext(ctx context.Context, id int) (*Job, error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
 	if !ok {
@@ -117,6 +125,8 @@ func (m *Manager) WaitJob(id int) (*Job, error) {
 	select {
 	case <-ch:
 		return m.Job(id)
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	case <-stopCh:
 		// Stop closes stopCh only after in-flight jobs complete; recheck in
 		// case ours was one of them.
@@ -127,6 +137,27 @@ func (m *Manager) WaitJob(id int) (*Job, error) {
 			return nil, fmt.Errorf("qrm: pipeline stopped with job %d still queued", id)
 		}
 	}
+}
+
+// AwaitTerminal blocks until the job reaches a terminal status or ctx
+// ends, regardless of pipeline state — the long-poll primitive. Unlike
+// WaitJob it does not error on a queued job with no workers: it simply
+// waits out the caller's budget (someone else may drain the queue or start
+// the pipeline meanwhile) and returns the current record either way.
+func (m *Manager) AwaitTerminal(ctx context.Context, id int) (*Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("qrm: no job %d", id)
+	}
+	ch := j.done
+	m.mu.Unlock()
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+	return m.Job(id)
 }
 
 // WaitEach waits for every listed job concurrently and invokes fn once per
@@ -185,7 +216,12 @@ func (m *Manager) workerLoop() {
 			m.mu.Unlock()
 			return
 		}
-		j := m.popLocked()
+		j := m.claimLocked()
+		if j == nil {
+			// Every queued job expired at the claim gate; park again.
+			m.mu.Unlock()
+			continue
+		}
 		m.inflight++
 		m.mu.Unlock()
 
@@ -247,7 +283,17 @@ func (m *Manager) dispatchOne(j *Job) {
 	j.CZCount = res.Stats.OutputCZ
 	j.Layout = res.FinalLayout[:j.Request.Circuit.NumQubits]
 	j.CompileStats = res.Stats.String()
+	if j.cancelReq {
+		// Cancel requested while compiling: honor it before the QPU
+		// round-trip (finish also checks, but skipping execution here saves
+		// the device work entirely).
+		m.terminateLocked(j, StatusCancelled)
+		m.metrics.cancelled++
+		m.mu.Unlock()
+		return
+	}
 	j.Status = StatusRunning
+	m.publishLocked(j, StatusCompiling, "")
 	gate := m.gate
 	m.mu.Unlock()
 
@@ -280,6 +326,7 @@ type metrics struct {
 	failed      uint64
 	cancelled   uint64
 	interrupted uint64
+	expired     uint64 // deadline passed before a worker claimed the job
 	cacheHits   uint64
 	cacheMisses uint64
 
@@ -326,6 +373,7 @@ type Metrics struct {
 	Failed        uint64 `json:"failed"`
 	Cancelled     uint64 `json:"cancelled"`
 	Interrupted   uint64 `json:"interrupted"`
+	Expired       uint64 `json:"expired"`
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
 	MaxQueueDepth int    `json:"max_queue_depth"`
@@ -362,6 +410,7 @@ func (m *Manager) Metrics() Metrics {
 		Failed:        m.metrics.failed,
 		Cancelled:     m.metrics.cancelled,
 		Interrupted:   m.metrics.interrupted,
+		Expired:       m.metrics.expired,
 		CacheHits:     m.metrics.cacheHits,
 		CacheMisses:   m.metrics.cacheMisses,
 		MaxQueueDepth: m.metrics.maxQueueDepth,

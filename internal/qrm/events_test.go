@@ -1,0 +1,247 @@
+package qrm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/qdmi"
+)
+
+// newPacedManager builds a manager over a twin device with a wall-clock
+// control-electronics latency, so in-flight windows are wide enough to race
+// cancellations into.
+func newPacedManager(seed int64, latency time.Duration) *Manager {
+	qpu := device.NewTwin20Q(seed)
+	qpu.SetExecLatency(latency)
+	return NewManager(qdmi.NewDevice(qpu, nil))
+}
+
+// drainEvents collects already-delivered events without blocking.
+func drainEvents(sub *Subscription) []Event {
+	var out []Event
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+func TestEventBusLifecycleSequence(t *testing.T) {
+	m := newManager(40)
+	sub := m.Events().Subscribe(0, 64)
+	defer sub.Close()
+	if err := m.Start(1); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	id, err := m.Submit(Request{Circuit: circuit.GHZ(3), Shots: 10, User: "ev"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WaitJob(id); err != nil {
+		t.Fatal(err)
+	}
+	// The terminal event is published before WaitJob unblocks (same lock
+	// section closes done), but channel delivery is async; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	var states []string
+	for time.Now().Before(deadline) {
+		states = states[:0]
+		for _, ev := range drainEvents(sub) {
+			if ev.JobID == id {
+				states = append(states, ev.To)
+			}
+		}
+		if len(states) >= 4 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want := []string{"queued", "compiling", "running", "done"}
+	if len(states) != len(want) {
+		t.Fatalf("event states = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("event %d = %s, want %s (all: %v)", i, states[i], want[i], states)
+		}
+	}
+}
+
+func TestEventBusFilteredSubscriptionAndSeq(t *testing.T) {
+	bus := NewEventBus()
+	all := bus.Subscribe(0, 8)
+	only2 := bus.Subscribe(2, 8)
+	bus.Publish(Event{JobID: 1, To: "queued"})
+	bus.Publish(Event{JobID: 2, To: "queued"})
+	bus.Publish(Event{JobID: 2, To: "done"})
+	if got := len(drainEvents(all)); got != 3 {
+		t.Errorf("all-subscription saw %d events, want 3", got)
+	}
+	evs := drainEvents(only2)
+	if len(evs) != 2 {
+		t.Fatalf("filtered subscription saw %d events, want 2", len(evs))
+	}
+	if evs[0].Seq >= evs[1].Seq || evs[0].Seq == 0 {
+		t.Errorf("sequence numbers not monotonic: %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	bus.Close()
+	if _, ok := <-all.Events(); ok {
+		t.Error("bus close should close subscriber channels")
+	}
+	// Subscribing to a closed bus yields an immediately-closed feed.
+	if _, ok := <-bus.Subscribe(0, 1).Events(); ok {
+		t.Error("subscription on a closed bus should be closed")
+	}
+}
+
+func TestEventBusSlowSubscriberDrops(t *testing.T) {
+	bus := NewEventBus()
+	defer bus.Close()
+	slow := bus.Subscribe(0, 2)
+	for i := 0; i < 10; i++ {
+		bus.Publish(Event{JobID: 1, To: "queued"})
+	}
+	if slow.Dropped() != 8 {
+		t.Errorf("dropped = %d, want 8", slow.Dropped())
+	}
+	if got := len(drainEvents(slow)); got != 2 {
+		t.Errorf("delivered = %d, want 2 (buffer size)", got)
+	}
+}
+
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	m := newManager(41)
+	id, err := m.Submit(Request{Circuit: circuit.GHZ(2), Shots: 5, DeadlineMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okID, err := m.Submit(Request{Circuit: circuit.GHZ(2), Shots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the 1 ms dispatch budget lapse
+	if _, err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := m.Job(id)
+	if j.Status != StatusFailed || j.Error != ErrDeadlineMsg {
+		t.Errorf("expired job = %s (%q), want failed with deadline message", j.Status, j.Error)
+	}
+	if ok, _ := m.Job(okID); ok.Status != StatusDone {
+		t.Errorf("deadline-free job = %s, want done", ok.Status)
+	}
+	if snap := m.Metrics(); snap.Expired != 1 || snap.Failed != 1 {
+		t.Errorf("expired=%d failed=%d, want 1/1", snap.Expired, snap.Failed)
+	}
+}
+
+func TestCancelInFlight(t *testing.T) {
+	m := newPacedManager(42, 50*time.Millisecond)
+	if err := m.Start(1); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	id, err := m.Submit(Request{Circuit: circuit.GHZ(3), Shots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to claim the job (it leaves the queue).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		j, _ := m.Job(id)
+		if j.Status == StatusCompiling || j.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never left the queue (status %s)", j.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(id); err != nil {
+		t.Fatalf("in-flight cancel: %v", err)
+	}
+	j, err := m.WaitJob(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Status != StatusCancelled {
+		t.Errorf("status = %s, want cancelled (in-flight cancel must win)", j.Status)
+	}
+	if len(j.Counts) != 0 {
+		t.Error("cancelled job must not carry results")
+	}
+	if err := m.Cancel(id); err == nil {
+		t.Error("cancel of a terminal job should error")
+	}
+	if err := m.Cancel(999); err == nil {
+		t.Error("cancel of an unknown job should error")
+	}
+}
+
+func TestWaitJobContextCancellation(t *testing.T) {
+	m := newPacedManager(43, 50*time.Millisecond)
+	if err := m.Start(1); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	id, err := m.Submit(Request{Circuit: circuit.GHZ(2), Shots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := m.WaitJobContext(ctx, id); err != context.DeadlineExceeded {
+		t.Errorf("WaitJobContext = %v, want context.DeadlineExceeded", err)
+	}
+	// The job itself is untouched and completes normally.
+	if j, err := m.WaitJob(id); err != nil || j.Status != StatusDone {
+		t.Errorf("job after abandoned wait = %+v, %v", j, err)
+	}
+}
+
+func TestListJobsCursor(t *testing.T) {
+	m := newManager(44)
+	users := []string{"a", "b"}
+	for i := 0; i < 7; i++ {
+		if _, err := m.Submit(Request{Circuit: circuit.GHZ(2), Shots: 5, User: users[i%2]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Newest first, cursor walk in pages of 3: 7,6,5 | 4,3,2 | 1.
+	var seen []int
+	before := 0
+	for {
+		jobs, more := m.ListJobs("", nil, before, 3)
+		for _, j := range jobs {
+			seen = append(seen, j.ID)
+		}
+		if !more {
+			break
+		}
+		before = jobs[len(jobs)-1].ID
+	}
+	if len(seen) != 7 || seen[0] != 7 || seen[6] != 1 {
+		t.Fatalf("cursor walk = %v", seen)
+	}
+	// User filter with states.
+	jobs, more := m.ListJobs("a", map[JobStatus]bool{StatusQueued: true}, 0, 10)
+	if len(jobs) != 4 || more {
+		t.Errorf("filtered list = %d jobs (more=%v), want 4", len(jobs), more)
+	}
+	if _, err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if jobs, _ := m.ListJobs("", map[JobStatus]bool{StatusQueued: true}, 0, 10); len(jobs) != 0 {
+		t.Errorf("queued filter after drain = %d jobs, want 0", len(jobs))
+	}
+}

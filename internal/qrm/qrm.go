@@ -48,6 +48,12 @@ type Request struct {
 	User string `json:"user"`
 	// BatchID groups circuits submitted together (0 = standalone).
 	BatchID int `json:"batch_id,omitempty"`
+	// DeadlineMs is a wall-clock dispatch budget in milliseconds from
+	// submission: a job still queued when it expires is failed with
+	// ErrDeadlineMsg instead of being dispatched (0 = no deadline). The
+	// queue honors it at claim time, so an expired job never wastes a
+	// compile or a QPU round-trip.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 	// Placement selects the JIT placement strategy; fidelity-aware is the
 	// default.
 	StaticPlacement bool `json:"static_placement,omitempty"`
@@ -81,6 +87,19 @@ type Job struct {
 	// submitWall is the wall-clock submission instant, used only for the
 	// pipeline latency metrics; job records keep simulation time.
 	submitWall time.Time
+	// cancelReq marks a cancel requested while the job was in flight; the
+	// dispatch pipeline honors it at the next stage boundary.
+	cancelReq bool
+}
+
+// ErrDeadlineMsg is the error recorded on jobs that expired in the queue;
+// API layers key the deadline_exceeded error code off it.
+const ErrDeadlineMsg = "deadline exceeded before dispatch"
+
+// expired reports whether the job's dispatch deadline has passed.
+func (j *Job) expired() bool {
+	return j.Request.DeadlineMs > 0 &&
+		float64(time.Since(j.submitWall).Microseconds())/1000 > j.Request.DeadlineMs
 }
 
 // terminalStatus reports whether a status is final.
@@ -144,6 +163,7 @@ type Manager struct {
 	cache    *transpileCache
 	gate     slotGate // optional QPU admission gate (hpc co-scheduling)
 	metrics  metrics
+	bus      *EventBus // lifecycle transitions for watch subscribers
 }
 
 // slotGate is the admission interface the HPC co-scheduler's QPU gate
@@ -160,10 +180,28 @@ func NewManager(dev *qdmi.Device) *Manager {
 		jobs:   make(map[int]*Job),
 		online: true,
 		cache:  newTranspileCache(),
+		bus:    NewEventBus(),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.metrics.init()
 	return m
+}
+
+// Events returns the manager's job event bus. Subscriptions see every
+// lifecycle transition (queued, compiling, running, terminal) as it happens.
+func (m *Manager) Events() *EventBus { return m.bus }
+
+// publishLocked emits a lifecycle event. Caller holds m.mu; the bus has its
+// own lock and never calls back into the manager, so this cannot deadlock.
+func (m *Manager) publishLocked(j *Job, from JobStatus, reason string) {
+	m.bus.Publish(Event{
+		JobID:  j.ID,
+		From:   string(from),
+		To:     string(j.Status),
+		Device: m.dev.QPU().Name(),
+		Reason: reason,
+		Time:   m.now,
+	})
 }
 
 // SetGate installs a QPU-slot admission gate (typically the HPC scheduler's
@@ -200,11 +238,13 @@ func (m *Manager) terminateLocked(j *Job, s JobStatus) {
 	if terminalStatus(j.Status) {
 		return
 	}
+	from := j.Status
 	j.Status = s
 	j.EndTime = m.now
 	if j.done != nil {
 		close(j.done)
 	}
+	m.publishLocked(j, from, "")
 }
 
 // Online reports availability.
@@ -251,6 +291,7 @@ func (m *Manager) Submit(req Request) (int, error) {
 	heap.Push(&m.queue, j)
 	m.metrics.submitted++
 	m.metrics.observeQueueDepth(len(m.queue))
+	m.publishLocked(j, "", "")
 	m.cond.Broadcast()
 	return j.ID, nil
 }
@@ -277,14 +318,24 @@ func (m *Manager) SubmitBatch(reqs []Request) (int, []int, error) {
 	return batch, ids, nil
 }
 
-// Cancel cancels a queued job. Jobs already claimed by a dispatch worker
-// (compiling or running) are past the point of no return and cannot be
-// cancelled.
+// Cancel cancels a job. A still-queued job is cancelled immediately; a job
+// already claimed by a dispatch worker (compiling or running) has the
+// cancellation *requested* — the pipeline honors it at the next stage
+// boundary (before the QPU round-trip, or when recording the result), so
+// Cancel returning nil means the job will terminate cancelled, not that it
+// already has. Terminal and unknown jobs return an error.
 func (m *Manager) Cancel(id int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i, j := range m.queue {
-		if j.ID == id {
+	j, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("qrm: no job %d", id)
+	}
+	if terminalStatus(j.Status) {
+		return fmt.Errorf("qrm: job %d already %s", id, j.Status)
+	}
+	for i, q := range m.queue {
+		if q.ID == id {
 			m.terminateLocked(j, StatusCancelled)
 			m.metrics.cancelled++
 			heap.Remove(&m.queue, i)
@@ -292,7 +343,11 @@ func (m *Manager) Cancel(id int) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("qrm: job %d not queued", id)
+	// In flight: flag it for the worker. The event lets watchers see the
+	// request even though the status has not changed yet.
+	j.cancelReq = true
+	m.publishLocked(j, j.Status, "cancel-requested")
+	return nil
 }
 
 // PendingCount returns the queue length.
@@ -302,14 +357,27 @@ func (m *Manager) PendingCount() int {
 	return len(m.queue)
 }
 
-// popLocked removes and returns the highest-priority queued job (FIFO
-// tie-break on submission time), marking it compiling. Caller holds m.mu
-// and has checked the queue is non-empty.
-func (m *Manager) popLocked() *Job {
-	j := heap.Pop(&m.queue).(*Job)
-	j.Status = StatusCompiling
-	m.metrics.queueWait.Observe(float64(time.Since(j.submitWall).Microseconds()) / 1000)
-	return j
+// claimLocked pops queued jobs until it finds a dispatchable one, failing
+// expired jobs on the way out of the heap — deadlines are enforced at claim
+// time so a stale job never occupies a worker. Returns nil when the queue
+// drained to empty. Caller holds m.mu.
+func (m *Manager) claimLocked() *Job {
+	for len(m.queue) > 0 {
+		j := heap.Pop(&m.queue).(*Job)
+		if j.expired() {
+			j.Error = ErrDeadlineMsg
+			m.terminateLocked(j, StatusFailed)
+			m.metrics.expired++
+			m.metrics.failed++
+			m.cond.Broadcast() // the queue may now be idle; wake WaitIdle
+			continue
+		}
+		j.Status = StatusCompiling
+		m.metrics.queueWait.Observe(float64(time.Since(j.submitWall).Microseconds()) / 1000)
+		m.publishLocked(j, StatusQueued, "")
+		return j
+	}
+	return nil
 }
 
 // Step dispatches and executes the highest-priority queued job, JIT-compiling
@@ -331,11 +399,11 @@ func (m *Manager) Step() (*Job, error) {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("qrm: QPU offline")
 	}
-	if len(m.queue) == 0 {
+	j := m.claimLocked()
+	if j == nil {
 		m.mu.Unlock()
 		return nil, nil
 	}
-	j := m.popLocked()
 	m.mu.Unlock()
 
 	m.dispatchOne(j)
@@ -361,6 +429,13 @@ func (m *Manager) Drain() (int, error) {
 func (m *Manager) finish(j *Job, counts map[int]int, durUs float64, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if j.cancelReq {
+		// A cancel raced the dispatch: the request wins, whatever the device
+		// produced. Discarding the result is what cancellation means.
+		m.terminateLocked(j, StatusCancelled)
+		m.metrics.cancelled++
+		return
+	}
 	if err != nil {
 		j.Error = err.Error()
 		m.terminateLocked(j, StatusFailed)
@@ -426,6 +501,37 @@ func (m *Manager) History(user string, offset, limit int) (*Page, error) {
 		page.Jobs = append(page.Jobs, &cp)
 	}
 	return page, nil
+}
+
+// ListJobs returns up to limit job copies with ID strictly below beforeID
+// (0 = start from the newest), newest first, filtered by user ("" = any)
+// and status set (nil = any) — the cursor primitive behind the v2 paginated
+// listing: the caller threads the last returned ID back in as beforeID.
+// more reports whether older matching jobs remain.
+func (m *Manager) ListJobs(user string, states map[JobStatus]bool, beforeID, limit int) (jobs []*Job, more bool) {
+	if limit < 1 {
+		limit = 20
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.order) - 1; i >= 0; i-- {
+		j := m.jobs[m.order[i]]
+		if beforeID > 0 && j.ID >= beforeID {
+			continue
+		}
+		if user != "" && j.Request.User != user {
+			continue
+		}
+		if states != nil && !states[j.Status] {
+			continue
+		}
+		if len(jobs) == limit {
+			return jobs, true
+		}
+		cp := *j
+		jobs = append(jobs, &cp)
+	}
+	return jobs, false
 }
 
 // RequeueInterrupted resubmits every interrupted job (outage recovery
