@@ -31,6 +31,7 @@ import (
 	"repro/internal/mqss"
 	"repro/internal/qrm"
 	"repro/internal/quantum"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -218,8 +219,74 @@ func main() {
 			batch: *batch, fleet: *fleetMode, device: *device, policy: *policy,
 			jsonOut: *jsonOut,
 		})
+	case "scenarios":
+		scenariosCommand(args[1:])
 	default:
 		usage()
+	}
+}
+
+// scenariosCommand is the fault-scenario lab front-end: `scenarios list`
+// shows the registry, `scenarios run` executes it in process (no daemon —
+// each scenario boots its own fleet behind a real HTTP server) and applies
+// the release gates exactly as the CI scenario-lab job does.
+func scenariosCommand(args []string) {
+	sub := "list"
+	if len(args) > 0 {
+		sub = args[0]
+		args = args[1:]
+	}
+	switch sub {
+	case "list":
+		for _, s := range scenario.All() {
+			fmt.Printf("  %-24s seed=%-4d %s\n", s.Name, s.Seed, s.Description)
+		}
+	case "run":
+		fs := flag.NewFlagSet("scenarios run", flag.ExitOnError)
+		name := fs.String("name", "", "run only the named scenario (default: all)")
+		runs := fs.Int("runs", 3, "reruns per scenario (gates compare medians)")
+		jsonOut := fs.String("json", "", "write the BENCH_scenarios.json artifact to this file")
+		negative := fs.Bool("negative-control", false,
+			"withhold every React hook so faults go unhandled; gates must trip")
+		if err := fs.Parse(args); err != nil {
+			log.Fatal(err)
+		}
+		r := &scenario.Runner{Runs: *runs, SkipReact: *negative, Logf: func(format string, a ...interface{}) {
+			fmt.Printf(format+"\n", a...)
+		}}
+		art, err := r.RunAll(*name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range art.Scenarios {
+			fmt.Printf("%s: pass=%v (recovery %.2fx, warmup spread %.1f%%)\n",
+				res.Name, res.Pass, res.RecoveryRatio, res.WarmupSpreadPct)
+			for _, g := range res.Gates {
+				mark := "PASS"
+				if !g.Pass {
+					mark = "FAIL"
+				}
+				fmt.Printf("  [%s] %-20s %s\n", mark, g.Name, g.Detail)
+			}
+		}
+		if *jsonOut != "" {
+			if err := art.WriteFile(*jsonOut); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		if *negative {
+			if art.Pass {
+				log.Fatal("negative control failed: no gate tripped with React hooks withheld")
+			}
+			fmt.Println("negative control OK: gates tripped with React hooks withheld")
+			return
+		}
+		if !art.Pass {
+			os.Exit(1)
+		}
+	default:
+		log.Fatalf("unknown scenarios subcommand %q (want: list, run)", sub)
 	}
 }
 
@@ -648,6 +715,10 @@ commands:
                                        drive concurrent load and report throughput/latency;
                                        -fleet uses the routed API, -json writes results,
                                        -sim runs the in-process execution-engine bench
-                                       (naive vs compiled shot loop, BENCH_sim.json shape)`)
+                                       (naive vs compiled shot loop, BENCH_sim.json shape)
+  scenarios list                       list the registered fault scenarios
+  scenarios run [-name X] [-runs N] [-json FILE] [-negative-control]
+                                       run the fault-scenario lab in process and apply
+                                       the SLO release gates (docs/SCENARIOS.md)`)
 	os.Exit(2)
 }

@@ -7,6 +7,7 @@
 //	qhpcd [-addr :8080] [-seed 1] [-twin] [-redundant] [-workers 4]
 //	      [-devices 1] [-fleet-policy best-fidelity] [-maintenance-days 0]
 //	      [-pprof-addr localhost:6060] [-engine-stats-every 30s]
+//	      [-snapshot /var/lib/qhpcd/qrm.json]
 //
 // With -devices N > 1 the daemon serves a simulated multi-QPU fleet: the
 // center's primary QPU plus N-1 heterogeneous siblings (different grid
@@ -52,6 +53,8 @@ func main() {
 		"serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	engineStatsEvery := flag.Duration("engine-stats-every", 0,
 		"log execution-engine counters (fast path, shot-branching leaves/shot, dist-cache hits) at this interval; 0 = disabled, single-device mode only")
+	snapshotPath := flag.String("snapshot", "",
+		"write the QRM job store to this file on graceful shutdown (single-device mode; restore with LoadSnapshot/RequeueInterrupted tooling)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -100,6 +103,11 @@ func main() {
 		}
 		if *engineStatsEvery > 0 {
 			fmt.Fprintf(os.Stderr, "qhpcd: -engine-stats-every applies to single-device mode only; use GET /api/v1/fleet for per-device counters\n")
+		}
+		if *snapshotPath != "" {
+			// Fleet jobs span devices (migrations, parking); a per-manager
+			// snapshot would silently capture one shard. Refuse loudly.
+			log.Fatalf("qhpcd: -snapshot applies to single-device mode only")
 		}
 		f, err := center.BuildFleet(core.FleetConfig{
 			Devices: *devices, WorkersPerDevice: w,
@@ -185,6 +193,18 @@ func main() {
 		cancel()
 		if drain != nil {
 			drain()
+		}
+		if *snapshotPath != "" {
+			// Write-on-close durability: after the pipeline has drained, the
+			// job store is quiescent — persist it so restart tooling
+			// (LoadSnapshot + RequeueInterrupted) can pick up where this
+			// process left off. WAL-style continuous persistence stays a
+			// roadmap item; this is the shutdown half.
+			if err := center.QRM.SaveSnapshotFile(*snapshotPath); err != nil {
+				log.Printf("qhpcd: snapshot: %v", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "qhpcd: job store snapshot written to %s\n", *snapshotPath)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "qhpcd: drained; bye\n")
 	}

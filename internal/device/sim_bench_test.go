@@ -26,8 +26,8 @@ func TestSimBenchArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, row := range art.Rows {
-		t.Logf("%s: naive %.0f jobs/s -> compiled %.0f jobs/s (%.1fx); compiled p50 %.3f ms, p95 %.3f ms; leaves/shot %.3f, dist-cache hits %d",
-			row.Name, row.NaiveJobsPerSec, row.CompiledJobsPerSec, row.Speedup,
+		t.Logf("%s: naive %.0f jobs/s -> compiled %.0f jobs/s (%.1fx, median of %d, spread %.1f%%); compiled p50 %.3f ms, p95 %.3f ms; leaves/shot %.3f, dist-cache hits %d",
+			row.Name, row.NaiveJobsPerSec, row.CompiledJobsPerSec, row.Speedup, row.Reruns, row.SpreadPct,
 			row.CompiledP50Ms, row.CompiledP95Ms, row.BranchLeavesPerShot, row.DistCacheHits)
 	}
 	data, err := json.MarshalIndent(art, "", "  ")

@@ -27,6 +27,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fleet"
 	"repro/internal/qdmi"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -34,14 +35,18 @@ var (
 	v2BenchOut = flag.String("v2.bench.out", "BENCH_fleet.json", "fleet bench artifact to merge the v2 row into")
 )
 
-// v2BenchRow is the artifact row recorded under "v2_submit_watch".
+// v2BenchRow is the artifact row recorded under "v2_submit_watch". The
+// numbers are medians over Reruns independent loads; SpreadPct is
+// (max-min)/median of the throughput samples.
 type v2BenchRow struct {
 	Harness    string  `json:"harness"`
 	Jobs       int     `json:"jobs"`
 	Workers    int     `json:"workers_per_device"`
+	Reruns     int     `json:"reruns"`
 	JobsPerSec float64 `json:"jobs_per_sec"`
 	P50Ms      float64 `json:"p50_ms"`
 	P95Ms      float64 `json:"p95_ms"`
+	SpreadPct  float64 `json:"spread_pct"`
 }
 
 func TestV2SubmitWatchBenchArtifact(t *testing.T) {
@@ -52,6 +57,9 @@ func TestV2SubmitWatchBenchArtifact(t *testing.T) {
 		jobs        = 256
 		workers     = 4
 		execLatency = 2 * time.Millisecond
+		// Median of 3 loads, matching the fleet artifact's rerun policy so
+		// the v2-vs-routed ratio below compares medians on both sides.
+		reruns = 3
 	)
 	qpu, err := device.New(device.Config{Name: "bench-v2", Rows: 4, Cols: 5, Seed: 1, DigitalTwin: true})
 	if err != nil {
@@ -75,52 +83,65 @@ func TestV2SubmitWatchBenchArtifact(t *testing.T) {
 	c := NewRemoteClient(srv.URL, srv.Client())
 	ctx := t.Context()
 
-	start := time.Now()
-	handles := make([]*JobHandle, jobs)
-	starts := make([]time.Time, jobs)
-	for i := 0; i < jobs; i++ {
-		h, err := c.Submit(ctx, SubmitRequest{
-			Circuit: circs[i%len(circs)], Shots: 10, User: "bench-v2",
-		}, "")
-		if err != nil {
-			t.Fatal(err)
-		}
-		handles[i] = h
-		starts[i] = time.Now()
-	}
-	latencies := make([]float64, jobs)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	failures := 0
-	for i, h := range handles {
-		wg.Add(1)
-		go func(i int, h *JobHandle) {
-			defer wg.Done()
-			job, err := h.Watch(ctx, nil)
-			lat := float64(time.Since(starts[i]).Microseconds()) / 1000
-			mu.Lock()
-			defer mu.Unlock()
-			latencies[i] = lat
-			if err != nil || job.State != StateDone {
-				failures++
+	runLoad := func() (jps, p50, p95 float64) {
+		start := time.Now()
+		handles := make([]*JobHandle, jobs)
+		starts := make([]time.Time, jobs)
+		for i := 0; i < jobs; i++ {
+			h, err := c.Submit(ctx, SubmitRequest{
+				Circuit: circs[i%len(circs)], Shots: 10, User: "bench-v2",
+			}, "")
+			if err != nil {
+				t.Fatal(err)
 			}
-		}(i, h)
+			handles[i] = h
+			starts[i] = time.Now()
+		}
+		latencies := make([]float64, jobs)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		failures := 0
+		for i, h := range handles {
+			wg.Add(1)
+			go func(i int, h *JobHandle) {
+				defer wg.Done()
+				job, err := h.Watch(ctx, nil)
+				lat := float64(time.Since(starts[i]).Microseconds()) / 1000
+				mu.Lock()
+				defer mu.Unlock()
+				latencies[i] = lat
+				if err != nil || job.State != StateDone {
+					failures++
+				}
+			}(i, h)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if failures > 0 {
+			t.Fatalf("%d/%d v2 jobs failed", failures, jobs)
+		}
+		sort.Float64s(latencies)
+		return float64(jobs) / elapsed.Seconds(), latencies[jobs/2], latencies[jobs*95/100]
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	if failures > 0 {
-		t.Fatalf("%d/%d v2 jobs failed", failures, jobs)
+	var jpsRuns, p50Runs, p95Runs []float64
+	for r := 0; r < reruns; r++ {
+		jps, p50, p95 := runLoad()
+		jpsRuns = append(jpsRuns, jps)
+		p50Runs = append(p50Runs, p50)
+		p95Runs = append(p95Runs, p95)
 	}
-	sort.Float64s(latencies)
 	row := v2BenchRow{
 		Harness:    "go test ./internal/mqss -run TestV2SubmitWatchBenchArtifact -v2.bench",
 		Jobs:       jobs,
 		Workers:    workers,
-		JobsPerSec: float64(jobs) / elapsed.Seconds(),
-		P50Ms:      latencies[jobs/2],
-		P95Ms:      latencies[jobs*95/100],
+		Reruns:     reruns,
+		JobsPerSec: telemetry.Median(jpsRuns),
+		P50Ms:      telemetry.Median(p50Runs),
+		P95Ms:      telemetry.Median(p95Runs),
+		SpreadPct:  telemetry.SpreadPct(jpsRuns),
 	}
-	t.Logf("v2 submit+watch: %.0f jobs/s, p50 %.2f ms, p95 %.2f ms", row.JobsPerSec, row.P50Ms, row.P95Ms)
+	t.Logf("v2 submit+watch: median %.0f jobs/s over %d runs (spread %.1f%%), p50 %.2f ms, p95 %.2f ms",
+		row.JobsPerSec, reruns, row.SpreadPct, row.P50Ms, row.P95Ms)
 
 	// Merge into the fleet artifact without disturbing its rows.
 	art := map[string]interface{}{}

@@ -1,0 +1,194 @@
+package qrm
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/qdmi"
+)
+
+// Chaos-regression tests for the pipeline's fragile edges: cancellation
+// racing the terminal transition, and the lossy event bus's dropped-event
+// accounting under forced overflow. Both are exact-invariant tests, not
+// smoke — a lost or double-counted transition fails them.
+
+// TestCancelRacesTerminalTransition fires a cancel at every job from a
+// concurrent goroutine with a staggered delay, so cancellations land in
+// every pipeline stage: still queued, compiling, mid-execution, and after
+// the terminal transition (where Cancel must refuse). The invariants:
+// every job ends done or cancelled (never failed, never stuck), the
+// terminal counters partition the submissions exactly, and the event bus
+// saw exactly one terminal transition per job with nothing after it.
+func TestCancelRacesTerminalTransition(t *testing.T) {
+	qpu := device.NewTwin20Q(77)
+	qpu.SetExecLatency(300 * time.Microsecond)
+	m := NewManager(qdmi.NewDevice(qpu, nil))
+	m.Start(4)
+	defer m.Stop()
+
+	sub := m.Events().Subscribe(0, 1<<14)
+	defer sub.Close()
+	var events []Event
+	eventsDone := make(chan struct{})
+	go func() {
+		defer close(eventsDone)
+		for ev := range sub.Events() {
+			events = append(events, ev)
+		}
+	}()
+
+	const jobs = 160
+	ids := make([]int, 0, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		id, err := m.Submit(Request{Circuit: circuit.GHZ(3 + i%3), Shots: 5, User: "chaos"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		wg.Add(1)
+		go func(id, i int) {
+			defer wg.Done()
+			// Staggered across the queue's full drain time (~160 jobs x
+			// 300µs / 4 workers), so cancels land in every stage: queued,
+			// compiling, mid-execution, and already terminal.
+			time.Sleep(time.Duration(i) * 75 * time.Microsecond)
+			m.Cancel(id) // error = already terminal; that's a legal outcome
+		}(id, i)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done, cancelled := 0, 0
+	for _, id := range ids {
+		j, err := m.AwaitTerminal(ctx, id)
+		if err != nil {
+			t.Fatalf("job %d: %v", id, err)
+		}
+		switch j.Status {
+		case StatusDone:
+			done++
+		case StatusCancelled:
+			cancelled++
+		default:
+			t.Errorf("job %d ended %s (%s) — cancel vs terminal race leaked a state", id, j.Status, j.Error)
+		}
+	}
+
+	mm := m.Metrics()
+	if mm.Completed != uint64(done) || mm.Cancelled != uint64(cancelled) {
+		t.Errorf("metrics done/cancelled = %d/%d, records say %d/%d",
+			mm.Completed, mm.Cancelled, done, cancelled)
+	}
+	if mm.Completed+mm.Cancelled != jobs || mm.Failed != 0 {
+		t.Errorf("terminal counters don't partition %d jobs: done %d + cancelled %d, failed %d",
+			jobs, mm.Completed, mm.Cancelled, mm.Failed)
+	}
+
+	// Event-stream invariant: exactly one terminal event per job, nothing
+	// published for a job after its terminal event.
+	sub.Close()
+	<-eventsDone
+	if n := sub.Dropped(); n != 0 {
+		t.Fatalf("firehose dropped %d events; enlarge the buffer, the accounting below needs all of them", n)
+	}
+	terminalAt := map[int]uint64{}
+	for _, ev := range events {
+		isTerminal := ev.To == string(StatusDone) || ev.To == string(StatusCancelled) || ev.To == string(StatusFailed)
+		if at, seen := terminalAt[ev.JobID]; seen && ev.Seq > at {
+			t.Errorf("job %d: event %s→%s (seq %d) published after terminal (seq %d)",
+				ev.JobID, ev.From, ev.To, ev.Seq, at)
+		}
+		if isTerminal {
+			if _, dup := terminalAt[ev.JobID]; dup {
+				t.Errorf("job %d: second terminal event %s→%s", ev.JobID, ev.From, ev.To)
+			}
+			terminalAt[ev.JobID] = ev.Seq
+		}
+	}
+	if len(terminalAt) != jobs {
+		t.Errorf("terminal events for %d jobs, want %d", len(terminalAt), jobs)
+	}
+	t.Logf("%d done, %d cancelled, %d events, 0 dropped", done, cancelled, len(events))
+}
+
+// TestSubscriptionDroppedCounterExact forces buffer overflow on a slow
+// subscriber and checks the Dropped counter to the event: delivered +
+// buffered + dropped must equal published, sequentially and under
+// concurrent publishers, and a job-filtered subscription must not charge
+// non-matching events against its buffer.
+func TestSubscriptionDroppedCounterExact(t *testing.T) {
+	// Sequential: 4-slot buffer, 100 events, no draining.
+	bus := NewEventBus()
+	slow := bus.Subscribe(0, 4)
+	for i := 0; i < 100; i++ {
+		bus.Publish(Event{JobID: 1, To: "queued"})
+	}
+	if n := slow.Dropped(); n != 96 {
+		t.Errorf("dropped = %d, want 96 (100 published, 4 buffered)", n)
+	}
+	// Drain the 4, publish 3 more: they fit, dropped must not move.
+	for i := 0; i < 4; i++ {
+		<-slow.Events()
+	}
+	for i := 0; i < 3; i++ {
+		bus.Publish(Event{JobID: 1, To: "queued"})
+	}
+	if n := slow.Dropped(); n != 96 {
+		t.Errorf("dropped moved to %d after the buffer had room", n)
+	}
+
+	// Filtered: events for other jobs are invisible, not drops.
+	filtered := bus.Subscribe(7, 1)
+	for i := 0; i < 50; i++ {
+		bus.Publish(Event{JobID: 8, To: "queued"})
+	}
+	if n := filtered.Dropped(); n != 0 {
+		t.Errorf("filtered subscription charged %d drops for non-matching events", n)
+	}
+	bus.Publish(Event{JobID: 7, To: "queued"})
+	bus.Publish(Event{JobID: 7, To: "running"}) // buffer of 1 is full now
+	if n := filtered.Dropped(); n != 1 {
+		t.Errorf("filtered dropped = %d, want exactly 1", n)
+	}
+	bus.Close()
+
+	// Concurrent: 4 publishers x 500 events against a tiny buffer the
+	// consumer drains only afterwards. Publish serializes on the bus lock,
+	// so received + dropped must account for every single event.
+	bus2 := NewEventBus()
+	sub := bus2.Subscribe(0, 8)
+	var wg sync.WaitGroup
+	const publishers, perPublisher = 4, 500
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				bus2.Publish(Event{JobID: 1, To: "queued"})
+			}
+		}()
+	}
+	wg.Wait()
+	received := 0
+	for {
+		select {
+		case <-sub.Events():
+			received++
+			continue
+		default:
+		}
+		break
+	}
+	total := received + int(sub.Dropped())
+	if total != publishers*perPublisher {
+		t.Errorf("received %d + dropped %d = %d, want %d — overflow accounting lost events",
+			received, sub.Dropped(), total, publishers*perPublisher)
+	}
+	bus2.Close()
+}

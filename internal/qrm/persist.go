@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -36,6 +38,30 @@ func (m *Manager) SaveSnapshot(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(&snap); err != nil {
 		return fmt.Errorf("qrm: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// SaveSnapshotFile writes the job store to path atomically (temp file in
+// the same directory, then rename), so a crash mid-write can never leave a
+// truncated snapshot where a good one should be. This is the shutdown hook
+// qhpcd calls after draining the pipeline.
+func (m *Manager) SaveSnapshotFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("qrm: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := m.SaveSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("qrm: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("qrm: publishing snapshot: %w", err)
 	}
 	return nil
 }

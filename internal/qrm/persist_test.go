@@ -2,6 +2,8 @@ package qrm
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -62,6 +64,52 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	// New IDs continue after the snapshot's counter.
 	if ids[0] <= idQueued {
 		t.Errorf("new job ID %d should exceed restored counter %d", ids[0], idQueued)
+	}
+}
+
+func TestSaveSnapshotFile(t *testing.T) {
+	m := newManager(35)
+	id, _ := m.Submit(Request{Circuit: circuit.GHZ(3), Shots: 20, User: "ops"})
+	m.Drain()
+
+	path := filepath.Join(t.TempDir(), "qrm.snapshot.json")
+	if err := m.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Atomicity: only the published file remains, no temp droppings.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "qrm.snapshot.json" {
+		t.Fatalf("snapshot dir contents = %v, want just the snapshot", entries)
+	}
+
+	// Overwriting an existing snapshot works (the restart-then-shutdown
+	// cycle) and the result restores.
+	if err := m.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m2 := NewManager(qdmi.NewDevice(device.NewTwin20Q(35), nil))
+	if err := m2.LoadSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	j, err := m2.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Status != StatusDone {
+		t.Errorf("restored job status = %s, want done", j.Status)
+	}
+
+	// A bad target directory surfaces as an error, not a silent no-op.
+	if err := m.SaveSnapshotFile(filepath.Join(t.TempDir(), "missing", "deep", "x.json")); err == nil {
+		t.Error("unwritable path should fail")
 	}
 }
 

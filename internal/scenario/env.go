@@ -1,0 +1,201 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/mqss"
+	"repro/internal/qdmi"
+)
+
+// Env is the live stack one scenario run executes against: a fleet of twin
+// QPUs behind the scheduler, fronted by the MQSS v2 REST API on a real
+// loopback listener, driven through the remote client so watch streams,
+// idempotency and cancellation take the same wire path production clients
+// do. Hooks receive the Env to reach any layer.
+type Env struct {
+	Spec   Spec
+	Fleet  *fleet.Scheduler
+	QPUs   map[string]*device.QPU
+	Names  []string
+	Client *mqss.Client
+	// Rand is the scenario's deterministic source for fault placement and
+	// chaff shaping. Wall-clock timing still varies run to run — that is
+	// what the variance gate measures.
+	Rand *rand.Rand
+
+	srv *mqss.Server
+	hs  *httptest.Server
+
+	mu         sync.Mutex
+	recent     []string // measured v2 job IDs, for churn targets
+	chaff      []string // fault-generated v2 job IDs (exempt from SLOs, not from zero-lost)
+	injectDone chan struct{}
+	bg         sync.WaitGroup
+}
+
+// DeviceName returns the i-th device name ("dev-0"...), a stable handle for
+// fault hooks.
+func (e *Env) DeviceName(i int) string { return e.Names[i%len(e.Names)] }
+
+// QPU returns the raw simulator behind the i-th device, the layer fault
+// injection and pacing hooks act on.
+func (e *Env) QPU(i int) *device.QPU { return e.QPUs[e.DeviceName(i)] }
+
+// InjectDone is closed when the inject phase's measured load has fully
+// settled; background churn spawned by a Fault hook should stop then.
+func (e *Env) InjectDone() <-chan struct{} { return e.injectDone }
+
+// Go runs fn on a background goroutine the runner joins before the
+// recovery phase is measured.
+func (e *Env) Go(fn func()) {
+	e.bg.Add(1)
+	go func() {
+		defer e.bg.Done()
+		fn()
+	}()
+}
+
+// SubmitChaff submits a fault-generated job through the v2 API and records
+// its ID: chaff is exempt from the latency/error SLOs (a deadline storm is
+// *supposed* to expire), but the zero-lost gate still requires every chaff
+// ID to reach a terminal state.
+func (e *Env) SubmitChaff(ctx context.Context, req mqss.SubmitRequest) (string, error) {
+	h, err := e.Client.Submit(ctx, req, "")
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	e.chaff = append(e.chaff, h.ID)
+	e.mu.Unlock()
+	return h.ID, nil
+}
+
+// RecentJobID returns a random measured job ID submitted so far ("" when
+// none yet) — churn hooks watch and abandon these.
+func (e *Env) RecentJobID() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.recent) == 0 {
+		return ""
+	}
+	return e.recent[e.Rand.Intn(len(e.recent))]
+}
+
+func (e *Env) noteMeasured(id string) {
+	e.mu.Lock()
+	e.recent = append(e.recent, id)
+	e.mu.Unlock()
+}
+
+func (e *Env) chaffIDs() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.chaff...)
+}
+
+// newEnv builds the stack for one run of spec. Device seeds derive from the
+// scenario seed plus the run index so reruns are independent but seeded.
+func newEnv(spec Spec, run int) (*Env, error) {
+	e := &Env{
+		Spec:       spec,
+		QPUs:       make(map[string]*device.QPU, spec.Fleet.Devices),
+		Rand:       rand.New(rand.NewSource(spec.Seed*1000 + int64(run))),
+		injectDone: make(chan struct{}),
+	}
+	e.Fleet = fleet.New(spec.Fleet.Policy, nil)
+	for i := 0; i < spec.Fleet.Devices; i++ {
+		name := fmt.Sprintf("dev-%d", i)
+		qpu, err := device.New(device.Config{
+			Name: name, Rows: spec.Fleet.Rows, Cols: spec.Fleet.Cols,
+			Seed: spec.Seed + int64(i), DigitalTwin: true,
+		})
+		if err != nil {
+			e.Fleet.Stop()
+			return nil, fmt.Errorf("scenario: building %s: %w", name, err)
+		}
+		qpu.SetExecLatency(spec.Fleet.ExecLatency)
+		if err := e.Fleet.AddDevice(name, qdmi.NewDevice(qpu, nil), spec.Fleet.Workers); err != nil {
+			e.Fleet.Stop()
+			return nil, fmt.Errorf("scenario: adding %s: %w", name, err)
+		}
+		e.QPUs[name] = qpu
+		e.Names = append(e.Names, name)
+	}
+	e.srv = mqss.NewFleetServer(e.Fleet)
+	e.hs = httptest.NewServer(e.srv)
+	httpc := e.hs.Client()
+	// Every measured job holds a watch stream open; without headroom the
+	// transport would churn connections under the phase fan-out.
+	if tr, ok := httpc.Transport.(*http.Transport); ok {
+		tr.MaxIdleConnsPerHost = 4 * spec.Load.Jobs
+	}
+	e.Client = mqss.NewRemoteClient(e.hs.URL, httpc)
+	if spec.Hooks.Setup != nil {
+		spec.Hooks.Setup(e)
+	}
+	return e, nil
+}
+
+// close tears the run's stack down: background churn first, then the HTTP
+// front end, then the scheduler (parking any stragglers).
+func (e *Env) close() {
+	select {
+	case <-e.injectDone:
+	default:
+		close(e.injectDone)
+	}
+	e.bg.Wait()
+	e.srv.Close()
+	e.hs.Close()
+	e.Fleet.Stop()
+}
+
+// endInject marks the inject phase settled and joins background churn.
+func (e *Env) endInject() {
+	select {
+	case <-e.injectDone:
+	default:
+		close(e.injectDone)
+	}
+	e.bg.Wait()
+}
+
+// settleChaff waits (bounded) for every chaff job to reach a terminal
+// state and returns how many never did — input to the zero-lost gate.
+func (e *Env) settleChaff(timeout time.Duration) (lost int) {
+	ids := e.chaffIDs()
+	if len(ids) == 0 {
+		return 0
+	}
+	deadline := time.Now().Add(timeout)
+	for _, id := range ids {
+		h, err := e.Client.Handle(id)
+		if err != nil {
+			lost++
+			continue
+		}
+		settled := false
+		for time.Now().Before(deadline) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			j, err := h.Poll(ctx)
+			cancel()
+			if err == nil && j.State.Terminal() {
+				settled = true
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if !settled {
+			lost++
+		}
+	}
+	return lost
+}

@@ -1,0 +1,197 @@
+// Package scenario is the fault-scenario lab: deterministic incident replay
+// with SLO release gates. Each scenario is a Go-registered Spec — a fixed
+// seed, a load profile, and three phases (warmup → inject → recovery) with
+// typed fault hooks that reuse the stack's real failure machinery (injected
+// QPU faults, calibration drift, paced exec latency, maintenance windows,
+// deadline expiry, watch-stream churn). The Runner drives the whole stack —
+// fleet scheduler, per-device QRM pipelines, and the MQSS v2 REST API over
+// real HTTP with watch streams — through each scenario N >= 3 times,
+// aggregates per-metric medians with a variance gate, and asserts the SLOs
+// as release gates. Results land in the provenance-stamped
+// BENCH_scenarios.json artifact; TestScenarioLab runs the suite in CI and
+// `qhpcctl scenarios run` runs it from the operator CLI.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Phase names the three stages every scenario passes through.
+type Phase string
+
+const (
+	// Warmup establishes the healthy baseline the recovery gate compares
+	// against.
+	Warmup Phase = "warmup"
+	// Inject carries the fault: the Fault hook fires after half the phase's
+	// load has been submitted, so the incident lands mid-batch with work in
+	// flight.
+	Inject Phase = "inject"
+	// Recovery runs after the Recover hook undoes the fault; its throughput
+	// must return to >= MinRecoveryRatio of warmup.
+	Recovery Phase = "recovery"
+)
+
+// Phases lists the execution order.
+var Phases = []Phase{Warmup, Inject, Recovery}
+
+// FleetProfile sizes the simulated fleet a scenario runs against. Devices
+// get deterministic per-index seeds derived from the scenario seed, twin
+// (noiseless) QPUs so results are reproducible, and a paced exec latency so
+// throughput is latency-bound like the fleet benches.
+type FleetProfile struct {
+	Devices     int
+	Workers     int
+	Rows, Cols  int
+	ExecLatency time.Duration
+	Policy      fleet.Policy
+}
+
+// LoadProfile shapes the measured load of each phase: Jobs GHZ submissions
+// over the cycled Widths at Shots shots each, all through the v2 API.
+type LoadProfile struct {
+	Jobs   int
+	Shots  int
+	Widths []int
+	User   string
+}
+
+// SLO is the per-scenario release-gate contract. Zero-valued bounds fall
+// back to the package defaults in fill().
+type SLO struct {
+	// P95Ms bounds the client-observed submit→terminal p95 latency
+	// (milliseconds) per phase, checked against the median across reruns.
+	P95Ms map[Phase]float64
+	// MaxErrorRate bounds failed/jobs over the measured load of any phase,
+	// checked against the worst rerun. Fault chaff (deadline-storm victims)
+	// is tracked separately and exempt.
+	MaxErrorRate float64
+	// MinRecoveryRatio is the floor on recovery-phase throughput relative
+	// to warmup (median across reruns). Default 0.9.
+	MinRecoveryRatio float64
+	// MaxSpreadPct is the variance gate: if warmup throughput across the
+	// reruns spreads wider than this percentage, the run is flagged too
+	// noisy to trust. Default 60.
+	MaxSpreadPct float64
+}
+
+// Hooks are the typed fault actions of a scenario. All three receive the
+// live Env and may touch QPUs, the scheduler, or spawn background load.
+type Hooks struct {
+	// Setup runs once after the stack is built, before warmup (e.g. attach
+	// a maintenance plan).
+	Setup func(*Env)
+	// Fault injects the incident; it fires after half the inject-phase load
+	// has been submitted.
+	Fault func(*Env)
+	// React is the control plane's response to the fault (mark the device
+	// failed, drain it, ...). It runs immediately after Fault — and is the
+	// half the negative control skips: a Runner with SkipReact set injects
+	// the fault and withholds the response, which must trip a gate.
+	React func(*Env)
+	// Recover undoes the fault at the start of the recovery phase.
+	Recover func(*Env)
+}
+
+// Spec is one registered scenario.
+type Spec struct {
+	Name        string
+	Description string
+	Seed        int64
+	Fleet       FleetProfile
+	Load        LoadProfile
+	Hooks       Hooks
+	SLO         SLO
+}
+
+// fill applies package defaults in place.
+func (s *Spec) fill() {
+	if s.Fleet.Devices == 0 {
+		s.Fleet.Devices = 4
+	}
+	if s.Fleet.Workers == 0 {
+		s.Fleet.Workers = 4
+	}
+	if s.Fleet.Rows == 0 {
+		s.Fleet.Rows = 4
+	}
+	if s.Fleet.Cols == 0 {
+		s.Fleet.Cols = 5
+	}
+	if s.Fleet.ExecLatency == 0 {
+		s.Fleet.ExecLatency = 2 * time.Millisecond
+	}
+	if s.Fleet.Policy == "" {
+		s.Fleet.Policy = fleet.PolicyLeastLoaded
+	}
+	if s.Load.Jobs == 0 {
+		s.Load.Jobs = 32
+	}
+	if s.Load.Shots == 0 {
+		s.Load.Shots = 10
+	}
+	if len(s.Load.Widths) == 0 {
+		s.Load.Widths = []int{3, 4, 5, 6}
+	}
+	if s.Load.User == "" {
+		s.Load.User = "scenario"
+	}
+	if s.SLO.P95Ms == nil {
+		s.SLO.P95Ms = map[Phase]float64{}
+	}
+	for ph, def := range map[Phase]float64{Warmup: 250, Inject: 500, Recovery: 300} {
+		if s.SLO.P95Ms[ph] == 0 {
+			s.SLO.P95Ms[ph] = def
+		}
+	}
+	if s.SLO.MinRecoveryRatio == 0 {
+		s.SLO.MinRecoveryRatio = 0.9
+	}
+	if s.SLO.MaxSpreadPct == 0 {
+		s.SLO.MaxSpreadPct = 60
+	}
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Spec{}
+)
+
+// Register adds a scenario to the lab. Names must be unique; the built-in
+// suite registers itself from this package's init.
+func Register(s Spec) {
+	if s.Name == "" {
+		panic("scenario: Register needs a name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate scenario %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// All returns every registered scenario sorted by name.
+func All() []Spec {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup finds one scenario by name.
+func Lookup(name string) (Spec, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := registry[name]
+	return s, ok
+}

@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/mqss"
+	"repro/internal/ops"
+)
+
+// The built-in incident suite. Each scenario replays one class of outage
+// the stack claims to survive, through the real machinery that survives
+// it: fleet failover/migration, epoch-keyed compile caches, least-loaded
+// routing, queue deadlines, watch-stream fan-out, and maintenance drains.
+// Seeds are fixed; reruns derive from them (see Provenance.SeedPolicy).
+
+func init() {
+	Register(deviceDeathMidBatch())
+	Register(calibDriftMidJob())
+	Register(slowStraggler())
+	Register(watchChurn())
+	Register(deadlineStorm())
+	Register(maintenanceDrain())
+}
+
+// deviceDeathMidBatch poisons one device's control electronics with a
+// backlog in flight, then marks it failed. The failover machinery must
+// migrate every interrupted job: zero failures surface to clients. The
+// negative control (React withheld) leaves the device active-and-poisoned;
+// fast failures make it look least-loaded, it attracts the batch, and the
+// error-rate gate trips.
+func deviceDeathMidBatch() Spec {
+	const victim = 1
+	return Spec{
+		Name:        "device-death-midbatch",
+		Description: "one QPU's control electronics die mid-batch; failover must migrate every interrupted job",
+		Seed:        101,
+		Hooks: Hooks{
+			Fault: func(e *Env) { e.QPU(victim).InjectFaults(1 << 20) },
+			React: func(e *Env) { e.Fleet.Fail(e.DeviceName(victim)) },
+			Recover: func(e *Env) {
+				e.QPU(victim).InjectFaults(0)
+				e.Fleet.Recover(e.DeviceName(victim))
+			},
+		},
+	}
+}
+
+// calibDriftMidJob ages every device's calibration repeatedly while jobs
+// stream: each epoch bump invalidates the JIT-compile cache, so the
+// pipeline must recompile under load without latency blowing the bound.
+func calibDriftMidJob() Spec {
+	return Spec{
+		Name:        "calib-drift-midjob",
+		Description: "calibration epochs churn under load; the compile cache must recompile without stalling the pipeline",
+		Seed:        102,
+		Hooks: Hooks{
+			Fault: func(e *Env) {
+				drift := func() {
+					for _, name := range e.Names {
+						e.QPUs[name].AdvanceDrift(6)
+					}
+				}
+				drift()
+				e.Go(func() {
+					for {
+						select {
+						case <-e.InjectDone():
+							return
+						case <-time.After(15 * time.Millisecond):
+							drift()
+						}
+					}
+				})
+			},
+			Recover: func(e *Env) {
+				for _, name := range e.Names {
+					e.QPUs[name].Recalibrate(false)
+				}
+			},
+		},
+	}
+}
+
+// slowStraggler paces one device's exec latency 20x up mid-batch. The
+// least-loaded policy must steer new work around the straggler; the jobs
+// already queued there pay the tail, hence the looser inject p95 bound.
+func slowStraggler() Spec {
+	const victim = 2
+	return Spec{
+		Name:        "slow-straggler",
+		Description: "one QPU turns 20x slower mid-batch; routing must steer around it",
+		Seed:        103,
+		Hooks: Hooks{
+			Fault: func(e *Env) { e.QPU(victim).SetExecLatency(40 * time.Millisecond) },
+			Recover: func(e *Env) {
+				e.QPU(victim).SetExecLatency(e.Spec.Fleet.ExecLatency)
+			},
+		},
+		SLO: SLO{P95Ms: map[Phase]float64{Inject: 1200}},
+	}
+}
+
+// watchChurn hammers the v2 watch endpoint with short-lived clients that
+// subscribe to live jobs and abandon the stream. The lossy event bus and
+// the server's stream teardown must keep the measured watchers' terminal
+// delivery intact.
+func watchChurn() Spec {
+	return Spec{
+		Name:        "watch-churn",
+		Description: "short-lived watch clients churn against live jobs; measured watch streams must still deliver terminal events",
+		Seed:        104,
+		Hooks: Hooks{
+			Fault: func(e *Env) {
+				for w := 0; w < 4; w++ {
+					e.Go(func() {
+						for {
+							select {
+							case <-e.InjectDone():
+								return
+							default:
+							}
+							id := e.RecentJobID()
+							if id == "" {
+								time.Sleep(time.Millisecond)
+								continue
+							}
+							h, err := e.Client.Handle(id)
+							if err != nil {
+								continue
+							}
+							ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+							h.Watch(ctx, nil) // abandoned mid-stream on timeout
+							cancel()
+						}
+					})
+				}
+			},
+		},
+	}
+}
+
+// deadlineStorm floods the queues with low-priority jobs whose dispatch
+// deadline has effectively already passed. Every storm job must still
+// reach a terminal (failed, deadline-exceeded) state — expiry is enforced
+// at claim time — while the measured load's latency and error rate hold.
+func deadlineStorm() Spec {
+	return Spec{
+		Name:        "deadline-storm",
+		Description: "a burst of already-expired low-priority jobs floods the queues; all must terminate, measured load must hold",
+		Seed:        105,
+		Hooks: Hooks{
+			Fault: func(e *Env) {
+				ctx, cancel := context.WithTimeout(context.Background(), phaseTimeout)
+				defer cancel()
+				for i := 0; i < 48; i++ {
+					e.SubmitChaff(ctx, mqss.SubmitRequest{
+						Circuit:    circuit.GHZ(3 + i%3),
+						Shots:      5,
+						User:       "storm",
+						Priority:   -1,
+						DeadlineMs: 0.05,
+					})
+				}
+			},
+		},
+	}
+}
+
+// maintenanceDrain advances the simulation clock into a scheduled window on
+// one device while jobs stream: the drain must migrate its queue, and
+// leaving the window must restore full-fleet throughput.
+func maintenanceDrain() Spec {
+	const victim = 3
+	return Spec{
+		Name:        "maintenance-drain",
+		Description: "a scheduled maintenance window drains one device under load; exit must restore warmup throughput",
+		Seed:        106,
+		Hooks: Hooks{
+			Setup: func(e *Env) {
+				e.Fleet.SetMaintenancePlan(e.DeviceName(victim),
+					[]ops.MaintenanceWindow{{StartDay: 1, Days: 1}})
+			},
+			Fault:   func(e *Env) { e.Fleet.AdvanceTo(1.5) },
+			Recover: func(e *Env) { e.Fleet.AdvanceTo(2.5) },
+		},
+	}
+}

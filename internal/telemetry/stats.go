@@ -1,0 +1,74 @@
+package telemetry
+
+import "sort"
+
+// This file is the small-sample statistics kit behind the rerun policy:
+// every gated performance number in the repo (fleet bench, sim bench, the
+// scenario lab) is now the median of N >= 3 seeded reruns with a relative
+// spread attached, instead of a single run. Medians resist the one-off CI
+// hiccup; the spread is the variance gate's input — a number whose reruns
+// disagree too much is flagged as too noisy to trust rather than compared
+// against a threshold.
+
+// P95 is the conventional tail-latency quantile of a histogram snapshot —
+// shorthand for Quantile(0.95), the bound the scenario SLO gates check.
+func (s HistogramSnapshot) P95() float64 { return s.Quantile(0.95) }
+
+// Median returns the middle value of xs (mean of the central pair for even
+// lengths). xs is not modified. Returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	switch len(xs) {
+	case 0:
+		return 0
+	case 1:
+		return xs[0]
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// SpreadPct measures rerun dispersion as (max-min)/median in percent — the
+// variance-gate statistic. A single sample (or an all-zero series) spreads
+// 0 by definition.
+func SpreadPct(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	min, max := xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	med := Median(xs)
+	if med == 0 {
+		return 0
+	}
+	return (max - min) / med * 100
+}
+
+// SampleQuantile returns the q-quantile of raw samples by nearest-rank on
+// the sorted copy — exact for the small per-phase latency sets the scenario
+// runner collects, where histogram interpolation would blur the tail.
+func SampleQuantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return sorted[int(q*float64(len(sorted)-1))]
+}

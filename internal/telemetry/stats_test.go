@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{10, 10, 10}, 10},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// The input must not be reordered.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestSpreadPct(t *testing.T) {
+	if got := SpreadPct([]float64{100}); got != 0 {
+		t.Errorf("single sample spread = %v, want 0", got)
+	}
+	// (110-90)/100 = 20%
+	if got := SpreadPct([]float64{90, 100, 110}); math.Abs(got-20) > 1e-9 {
+		t.Errorf("spread = %v, want 20", got)
+	}
+	if got := SpreadPct([]float64{0, 0}); got != 0 {
+		t.Errorf("zero-median spread = %v, want 0", got)
+	}
+}
+
+func TestSampleQuantile(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7} // sorted: 1 3 5 7 9
+	if got := SampleQuantile(xs, 0.5); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := SampleQuantile(xs, 1); got != 9 {
+		t.Errorf("p100 = %v, want 9", got)
+	}
+	if got := SampleQuantile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := SampleQuantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramP95(t *testing.T) {
+	h, err := NewHistogram(ExponentialBounds(1, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if got, want := s.P95(), s.Quantile(0.95); got != want {
+		t.Errorf("P95() = %v, Quantile(0.95) = %v", got, want)
+	}
+	if s.P95() < 64 || s.P95() > 100 {
+		t.Errorf("P95() = %v outside plausible range", s.P95())
+	}
+}
