@@ -22,6 +22,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"repro/internal/qrm"
 	"repro/internal/quantum"
 	"repro/internal/scenario"
+	"repro/internal/telemetry/trace"
 )
 
 func main() {
@@ -219,11 +221,70 @@ func main() {
 			batch: *batch, fleet: *fleetMode, device: *device, policy: *policy,
 			jsonOut: *jsonOut,
 		})
+	case "trace":
+		jt, err := client.V2JobTrace(ctx, v2ID(args[1:]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		printTrace(jt)
 	case "scenarios":
 		scenariosCommand(args[1:])
 	default:
 		usage()
 	}
+}
+
+// printTrace renders the span tree as an indented waterfall: one line per
+// span with its start offset, duration, share of the root's wall time, and
+// attributes (docs/OBSERVABILITY.md explains how to read it).
+func printTrace(jt *mqss.JobTrace) {
+	state := fmt.Sprintf("%.3f ms total", jt.DurationUs/1000)
+	if !jt.Complete {
+		state += " (in flight)"
+	}
+	if jt.DroppedSpans > 0 {
+		state += fmt.Sprintf(", %d spans dropped", jt.DroppedSpans)
+	}
+	fmt.Printf("trace %s [%s]: %s\n", jt.JobID, jt.State, state)
+	if jt.Root == nil {
+		return
+	}
+	total := jt.Root.DurationUs
+	var walk func(sp *trace.SpanSnapshot, depth int)
+	walk = func(sp *trace.SpanSnapshot, depth int) {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * sp.DurationUs / total
+		}
+		name := sp.Name
+		if sp.InProgress {
+			name += " (in progress)"
+		}
+		fmt.Printf("  %-32s @%9.3f ms %10.3f ms %6.1f%%%s\n",
+			strings.Repeat("  ", depth)+name,
+			sp.StartUs/1000, sp.DurationUs/1000, pct, attrSuffix(sp.Attrs))
+		for _, c := range sp.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(jt.Root, 0)
+}
+
+// attrSuffix renders span attributes deterministically (sorted keys).
+func attrSuffix(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, attrs[k])
+	}
+	return "  {" + strings.TrimSpace(b.String()) + "}"
 }
 
 // scenariosCommand is the fault-scenario lab front-end: `scenarios list`
@@ -708,6 +769,9 @@ commands:
   job status <j-id>                    show the unified v2 job record
   job watch <j-id>                     stream lifecycle events until terminal
   job cancel <j-id>                    cancel (propagates into the pipeline)
+  trace <j-id>                         render the job's span tree as a waterfall:
+                                       per-stage start offsets, durations, and
+                                       % of total wall time (docs/OBSERVABILITY.md)
   history [-user U] [-offset N] [-limit N]   page through job history
   fleet [status]                       show per-device fleet status (fleet servers)
   bench [-clients N] [-jobs N] [-shots N] [-qubits N] [-batch]

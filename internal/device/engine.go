@@ -1,6 +1,7 @@
 package device
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/quantum"
+	"repro/internal/telemetry/trace"
 )
 
 // This file is the compiled-circuit execution engine: Execute lowers a
@@ -162,6 +164,15 @@ func (d *QPU) ExecStats() ExecStats {
 // seeded device RNG, and any fan-out width is a pure function of the
 // workload — a fixed seed reproduces identical counts on any host.
 func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
+	return d.ExecuteCtx(context.Background(), c, shots)
+}
+
+// ExecuteCtx is Execute with a caller context carrying an optional trace
+// span: the engine records child spans for its compile lookup, the
+// simulation strategy it picked (with strategy/leaves/width attributes),
+// and the control-electronics pacing sleep. With no span in ctx the
+// overhead is a few nil checks.
+func (d *QPU) ExecuteCtx(ctx context.Context, c *circuit.Circuit, shots int) (*Result, error) {
 	if err := d.validateExecution(c, shots); err != nil {
 		return nil, err
 	}
@@ -181,7 +192,13 @@ func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
 	latency := d.execLatency
 	d.mu.Unlock()
 
+	_, compileSpan := trace.StartSpan(ctx, "engine-compile")
 	cj, hit, err := d.compiledFor(c)
+	if hit {
+		compileSpan.End(trace.Str("cache", "hit"))
+	} else {
+		compileSpan.End(trace.Str("cache", "miss"))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -197,20 +214,26 @@ func (d *QPU) Execute(c *circuit.Circuit, shots int) (*Result, error) {
 		width    int
 		treePath = !cj.noiseless && cj.useBranchTree(shots)
 	)
+	_, simSpan := trace.StartSpan(ctx, "simulate")
 	switch {
 	case cj.noiseless:
 		counts, distHit, err = cj.runFast(shots, rng)
+		simSpan.End(trace.Str("strategy", "fast-path"), trace.Bool("dist_cache", distHit))
 	case treePath:
 		counts, leaves, err = cj.runBranchTree(shots, rng)
+		simSpan.End(trace.Str("strategy", "branch-tree"), trace.Int("leaves", leaves))
 	default:
 		width = shotFanoutWidth(shots, cj.compactQubits)
 		counts, err = cj.runTrajectories(shots, width, rng)
+		simSpan.End(trace.Str("strategy", "shot-fanout"), trace.Int("width", width))
 	}
 	if err != nil {
 		return nil, err
 	}
 	if latency > 0 {
+		_, paceSpan := trace.StartSpan(ctx, "pace")
 		time.Sleep(latency)
+		paceSpan.End()
 	}
 	d.mu.Lock()
 	d.executedJobs++

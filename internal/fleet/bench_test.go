@@ -12,6 +12,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/qrm"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // Fleet throughput harness: the workload is a stream of GHZ jobs against
@@ -110,14 +111,26 @@ type benchResult struct {
 	SpreadPct  float64 `json:"spread_pct"`
 }
 
+// tracingResult is the tracing-overhead row: the 4-device workload rerun
+// with span recording globally disabled, proving the observability plane
+// stays within its throughput budget (docs/OBSERVABILITY.md).
+type tracingResult struct {
+	TracedJobsPerSec   float64 `json:"traced_jobs_per_sec"`
+	UntracedJobsPerSec float64 `json:"untraced_jobs_per_sec"`
+	// Ratio is traced/untraced; the release gate requires >= 0.95 (tracing
+	// may cost at most 5% of throughput).
+	Ratio float64 `json:"ratio"`
+}
+
 // benchArtifact is the BENCH_fleet.json schema: the perf trajectory record
 // tracked across PRs.
 type benchArtifact struct {
-	Harness       string        `json:"harness"`
-	Workload      string        `json:"workload"`
-	ExecLatencyMs float64       `json:"exec_latency_ms"`
-	Results       []benchResult `json:"results"`
-	Speedup4v1    float64       `json:"speedup_4_devices_over_1"`
+	Harness       string         `json:"harness"`
+	Workload      string         `json:"workload"`
+	ExecLatencyMs float64        `json:"exec_latency_ms"`
+	Results       []benchResult  `json:"results"`
+	Speedup4v1    float64        `json:"speedup_4_devices_over_1"`
+	Tracing       *tracingResult `json:"tracing,omitempty"`
 }
 
 // TestFleetBenchArtifact measures jobs/s at 1/2/4 devices and writes
@@ -155,6 +168,35 @@ func TestFleetBenchArtifact(t *testing.T) {
 			n, row.JobsPerSec, benchReruns, row.SpreadPct, row.P50Ms, row.P95Ms)
 	}
 	art.Speedup4v1 = art.Results[2].JobsPerSec / art.Results[0].JobsPerSec
+
+	// Tracing-overhead row: the 4-device workload with span recording on vs
+	// globally off. Runs are interleaved (traced, untraced, traced, ...) so
+	// warmup and thermal drift land on both sides equally — comparing two
+	// sequential blocks makes the ratio drift-biased.
+	const tracingReruns = 5
+	var tracedRuns, untracedRuns, ratios []float64
+	defer trace.SetEnabled(true)
+	for r := 0; r < tracingReruns; r++ {
+		trace.SetEnabled(true)
+		traced, _, _ := runFleetLoad(t, 4, jobs)
+		tracedRuns = append(tracedRuns, traced)
+		trace.SetEnabled(false)
+		untraced, _, _ := runFleetLoad(t, 4, jobs)
+		untracedRuns = append(untracedRuns, untraced)
+		ratios = append(ratios, traced/untraced)
+	}
+	trace.SetEnabled(true)
+	tr := &tracingResult{
+		TracedJobsPerSec:   telemetry.Median(tracedRuns),
+		UntracedJobsPerSec: telemetry.Median(untracedRuns),
+		// Median of per-pair ratios, not ratio of medians: each pair ran
+		// back to back, so machine drift cancels within the pair.
+		Ratio: telemetry.Median(ratios),
+	}
+	art.Tracing = tr
+	t.Logf("tracing overhead: traced %.0f vs untraced %.0f jobs/s (ratio %.3f)",
+		tr.TracedJobsPerSec, tr.UntracedJobsPerSec, tr.Ratio)
+
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -166,5 +208,8 @@ func TestFleetBenchArtifact(t *testing.T) {
 	t.Logf("wrote %s (4-vs-1 device speedup: %.2fx)", *fleetBenchOut, art.Speedup4v1)
 	if art.Speedup4v1 < 2 {
 		t.Fatalf("fleet scaling regression: 4 devices gave %.2fx over 1, want >= 2x", art.Speedup4v1)
+	}
+	if tr.Ratio < 0.95 {
+		t.Fatalf("tracing overhead regression: traced throughput is %.3fx of untraced, want >= 0.95x", tr.Ratio)
 	}
 }

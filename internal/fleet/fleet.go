@@ -26,6 +26,7 @@ import (
 	"repro/internal/qdmi"
 	"repro/internal/qrm"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 )
 
 // DeviceState tracks a backend through the fleet lifecycle.
@@ -85,6 +86,15 @@ type Job struct {
 
 	policy Policy
 	done   chan struct{}
+
+	// tr is the job's span tree, owned (and retained at terminal) by the
+	// scheduler. rootSpan is its root; parkSpan covers a parked interval.
+	// Each routing attempt opens an "on-device" leg span that the device's
+	// QRM closes at the device-level terminal state, so migrations show up
+	// as successive legs under one root. All nil with tracing disabled.
+	tr       *trace.Trace
+	rootSpan *trace.Span
+	parkSpan *trace.Span
 }
 
 // SubmitOptions tune one submission.
@@ -154,6 +164,12 @@ type Scheduler struct {
 
 	closed bool
 	wg     sync.WaitGroup // per-job monitor goroutines
+
+	// Trace retention ring for terminal fleet jobs (see qrm.Manager's —
+	// same FIFO-eviction scheme, fleet-scoped IDs).
+	traceRing     []int
+	traceCap      int
+	traceSpanDrop uint64
 }
 
 // New builds an empty fleet under the given default policy. store may be nil
@@ -167,6 +183,7 @@ func New(policy Policy, store *telemetry.Store) *Scheduler {
 		store:     store,
 		scoreHist: scoreHistogram(),
 		bus:       qrm.NewEventBus(),
+		traceCap:  qrm.DefaultTraceRetention,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -313,6 +330,9 @@ func (s *Scheduler) Submit(req qrm.Request, opts SubmitOptions) (int, error) {
 		ID: s.nextID, Status: JobPending, Request: req,
 		Pinned: opts.Device, policy: policy, done: make(chan struct{}),
 	}
+	j.tr = trace.New("job",
+		trace.Int("job_id", j.ID), trace.Str("user", req.User))
+	j.rootSpan = j.tr.Root()
 	s.jobs[j.ID] = j
 	s.jobOrder = append(s.jobOrder, j.ID)
 	s.submitted++
@@ -357,6 +377,10 @@ func (s *Scheduler) routeLocked(j *Job, exclude map[string]bool, reason string) 
 		s.finalizeLocked(j, JobFailed, nil, "fleet: scheduler stopped before the job could run")
 		return
 	}
+	// A re-route of a parked job closes its parked interval first.
+	j.parkSpan.End()
+	j.parkSpan = nil
+	routeSpan := j.rootSpan.StartChild("route")
 	for {
 		e, score, ok := s.pickLocked(j, exclude)
 		if !ok {
@@ -366,20 +390,27 @@ func (s *Scheduler) routeLocked(j *Job, exclude map[string]bool, reason string) 
 			j.LocalID = 0
 			s.parked[j.ID] = j
 			s.parkEvts++
+			routeSpan.End(trace.Str("outcome", "parked"))
+			j.parkSpan = j.rootSpan.StartChild("parked")
 			s.publishLocked(j, from, "parked")
 			return
 		}
 		req := j.Request
-		localID, err := e.mgr.Submit(req)
+		// The on-device leg nests the device QRM's queue-wait/compile/
+		// execute spans; its QRM ends it at the device-terminal state.
+		leg := j.rootSpan.StartChild("on-device", trace.Str("device", e.name))
+		localID, err := e.mgr.SubmitObserved(req, leg)
 		if err != nil {
 			// The device flipped offline between scoring and submission;
 			// exclude it for this attempt and retry.
+			leg.End(trace.Str("outcome", "rejected"))
 			if exclude == nil {
 				exclude = make(map[string]bool)
 			}
 			exclude[e.name] = true
 			continue
 		}
+		routeSpan.End(trace.Str("device", e.name))
 		from := j.Status
 		j.Status = JobRouted
 		j.Device = e.name
@@ -457,6 +488,15 @@ func (s *Scheduler) finalizeLocked(j *Job, st JobStatus, rec *qrm.Job, errMsg st
 	j.Status = st
 	j.Result = rec
 	j.Error = errMsg
+	j.parkSpan.End()
+	if errMsg != "" {
+		j.rootSpan.End(trace.Str("outcome", string(st)), trace.Str("error", errMsg))
+	} else {
+		j.rootSpan.End(trace.Str("outcome", string(st)))
+	}
+	if j.tr != nil {
+		s.retainTraceLocked(j)
+	}
 	s.publishLocked(j, from, "")
 	switch st {
 	case JobDone:
@@ -468,6 +508,58 @@ func (s *Scheduler) finalizeLocked(j *Job, st JobStatus, rec *qrm.Job, errMsg st
 	}
 	close(j.done)
 	s.cond.Broadcast()
+}
+
+// retainTraceLocked pushes a terminal job's trace into the retention ring,
+// evicting the oldest when full. Caller holds s.mu.
+func (s *Scheduler) retainTraceLocked(j *Job) {
+	s.traceSpanDrop += j.tr.Dropped()
+	if s.traceCap < 1 {
+		j.tr, j.rootSpan, j.parkSpan = nil, nil, nil
+		return
+	}
+	if len(s.traceRing) >= s.traceCap {
+		old := s.traceRing[0]
+		s.traceRing = s.traceRing[1:]
+		if oj, ok := s.jobs[old]; ok {
+			oj.tr, oj.rootSpan, oj.parkSpan = nil, nil, nil
+		}
+	}
+	s.traceRing = append(s.traceRing, j.ID)
+}
+
+// SetTraceRetention resizes the terminal-trace ring (0 disables retention),
+// evicting oldest-first when shrinking.
+func (s *Scheduler) SetTraceRetention(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traceCap = n
+	for len(s.traceRing) > n {
+		old := s.traceRing[0]
+		s.traceRing = s.traceRing[1:]
+		if oj, ok := s.jobs[old]; ok {
+			oj.tr, oj.rootSpan, oj.parkSpan = nil, nil, nil
+		}
+	}
+}
+
+// Trace returns a fleet job's span tree, or nil when unknown, untraced, or
+// evicted from retention. Safe to snapshot concurrently with eviction.
+func (s *Scheduler) Trace(id int) *trace.Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j.tr
+	}
+	return nil
+}
+
+// TraceStats reports retained-trace count and spans lost to per-job slab
+// exhaustion across terminal jobs.
+func (s *Scheduler) TraceStats() (retained int, spanDrops uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.traceRing), s.traceSpanDrop
 }
 
 // dispatchParkedLocked retries every parked job; jobs with still no eligible

@@ -16,6 +16,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/qdmi"
 	"repro/internal/qrm"
+	"repro/internal/telemetry/trace"
 )
 
 // AccessPath describes how a job reached the QRM.
@@ -477,6 +478,45 @@ func (c *Client) V2Job(ctx context.Context, id string) (*Job, error) {
 		return nil, err
 	}
 	return &job, nil
+}
+
+// V2JobTrace fetches a job's span tree (GET /api/v2/jobs/{id}/trace).
+// Local clients read the backend's retention ring directly. Returns an
+// error when the trace was never recorded or has been evicted.
+func (c *Client) V2JobTrace(ctx context.Context, id string) (*JobTrace, error) {
+	n, err := ParseJobID(id)
+	if err != nil {
+		return nil, err
+	}
+	if c.local != nil || c.localFleet != nil {
+		var tr *trace.Trace
+		var state JobState
+		if c.localFleet != nil {
+			fj, err := c.localFleet.Job(n)
+			if err != nil {
+				return nil, err
+			}
+			state = v2FromFleet(fj, nil, false).State
+			tr = c.localFleet.Trace(n)
+		} else {
+			j, err := c.local.Job(n)
+			if err != nil {
+				return nil, err
+			}
+			state = v2FromQRM(j, "", false).State
+			tr = c.local.Trace(n)
+		}
+		snap := tr.Snapshot()
+		if snap == nil {
+			return nil, fmt.Errorf("mqss: no trace retained for job %s", id)
+		}
+		return &JobTrace{JobID: id, State: state, Snapshot: *snap}, nil
+	}
+	var jt JobTrace
+	if _, err := c.doJSON(ctx, http.MethodGet, pathV2Jobs+"/"+id+"/trace", nil, &jt, nil, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &jt, nil
 }
 
 // ListOptions filter the v2 job listing.

@@ -229,6 +229,30 @@ func TestContractV2(t *testing.T) {
 	checkGolden(t, "v2_events_snapshot", body)
 }
 
+// TestContractV2Trace pins the span-tree wire shape: span names, nesting,
+// and attribute keys are API surface (qhpcctl trace and dashboards parse
+// them); timings are zeroed by canonicalization like every other numeric.
+func TestContractV2Trace(t *testing.T) {
+	_, server := pacedStack(t, 83, 0, 0)
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+
+	sreq := SubmitRequest{Circuit: circuit.GHZ(3), Shots: 20, User: "contract"}
+	// A fixed client request id keeps the root span's request_id attr
+	// deterministic for the golden.
+	status, body := contractDo(t, srv, http.MethodPost, "/api/v2/jobs?wait=10s", sreq,
+		map[string]string{"X-Request-ID": "req-contract-1"})
+	if status != http.StatusOK {
+		t.Fatalf("v2 submit?wait = %d\n%s", status, body)
+	}
+
+	status, body = contractDo(t, srv, http.MethodGet, "/api/v2/jobs/j-1/trace", nil, nil)
+	if status != http.StatusOK {
+		t.Fatalf("v2 trace = %d\n%s", status, body)
+	}
+	checkGolden(t, "v2_trace", body)
+}
+
 func TestContractV2Fleet(t *testing.T) {
 	f := newTestFleet(t, map[string]*qdmi.Device{
 		"alpha": twinDev(t, "alpha", 4, 5, 82),

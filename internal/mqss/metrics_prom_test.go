@@ -1,0 +1,133 @@
+package mqss
+
+// Exposition lint for GET /metrics, run by the CI lint job: every line
+// must parse as Prometheus text format, every family needs HELP and TYPE
+// before its samples, and every family name must be documented in
+// docs/OBSERVABILITY.md — adding a metric without documenting it fails
+// here, not in a dashboard review six weeks later.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/qdmi"
+)
+
+var promSampleRe = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\})? (NaN|[+-]Inf|[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)$`)
+
+// checkExposition parses one /metrics body and returns the family names.
+func checkExposition(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	families := map[string]bool{} // family -> samples seen
+	typed := map[string]string{}
+	helped := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Errorf("malformed HELP line: %q", line)
+				continue
+			}
+			helped[parts[0]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Errorf("malformed TYPE line: %q", line)
+				continue
+			}
+			name, kind := parts[0], parts[1]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Errorf("unknown metric type %q in %q", kind, line)
+			}
+			if !helped[name] {
+				t.Errorf("TYPE before HELP for %s", name)
+			}
+			typed[name] = kind
+			families[name] = false
+		case line == "":
+			t.Error("blank line in exposition")
+		default:
+			m := promSampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("unparseable sample line: %q", line)
+				continue
+			}
+			family := m[1]
+			// Histogram samples carry the family name plus a series suffix.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(family, suffix)
+				if base != family && typed[base] == "histogram" {
+					family = base
+					break
+				}
+			}
+			if _, ok := typed[family]; !ok {
+				t.Errorf("sample without TYPE: %q", line)
+				continue
+			}
+			families[family] = true
+		}
+	}
+	for name, sampled := range families {
+		if !sampled {
+			t.Errorf("family %s declared but emitted no samples", name)
+		}
+	}
+	return families
+}
+
+func scrapeMetrics(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	status, body := contractDo(t, srv, http.MethodGet, "/metrics", nil, nil)
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics = %d\n%s", status, body)
+	}
+	return string(body)
+}
+
+func TestMetricsExposition(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("every exported metric must be documented: %v", err)
+	}
+
+	// Single-device stack, one job through it so pipeline counters move.
+	_, server := pacedStack(t, 92, 0, 0)
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+	sreq := SubmitRequest{Circuit: circuit.GHZ(3), Shots: 10, User: "prom"}
+	if status, body := contractDo(t, srv, http.MethodPost, "/api/v2/jobs?wait=10s", sreq, nil); status != http.StatusOK {
+		t.Fatalf("submit = %d\n%s", status, body)
+	}
+	families := checkExposition(t, scrapeMetrics(t, srv))
+
+	// Fleet stack: adds the fleet/device families over the same pipeline.
+	f := newTestFleet(t, map[string]*qdmi.Device{
+		"alpha": twinDev(t, "alpha", 4, 5, 93),
+		"beta":  twinDev(t, "beta", 4, 5, 94),
+	}, 1)
+	fsrv := httptest.NewServer(NewFleetServer(f))
+	t.Cleanup(fsrv.Close)
+	if status, body := contractDo(t, fsrv, http.MethodPost, "/api/v2/jobs?wait=10s", sreq, nil); status != http.StatusOK {
+		t.Fatalf("fleet submit = %d\n%s", status, body)
+	}
+	for name := range checkExposition(t, scrapeMetrics(t, fsrv)) {
+		families[name] = true
+	}
+
+	if len(families) == 0 {
+		t.Fatal("no metric families scraped")
+	}
+	for name := range families {
+		if !strings.Contains(string(doc), "`"+name+"`") {
+			t.Errorf("metric %s is exported but not documented in docs/OBSERVABILITY.md", name)
+		}
+	}
+}

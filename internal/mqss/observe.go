@@ -1,0 +1,199 @@
+package mqss
+
+// The unified observability plane (docs/OBSERVABILITY.md): a Prometheus
+// text exposition at GET /metrics unifying qrm/fleet/engine counters with
+// per-stage latency histograms, the per-job span-tree endpoint at
+// GET /api/v2/jobs/{id}/trace, and the X-Request-ID middleware that lets
+// client-side errors correlate to server traces.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/qrm"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
+)
+
+// pathMetricsProm is the Prometheus-style scrape endpoint. The JSON
+// snapshot stays at /api/v1/metrics; this is the text exposition.
+const pathMetricsProm = "/metrics"
+
+// Request-ID plumbing. Every v2 response carries an X-Request-ID header —
+// the client's, when it sent one, or a generated id — and submissions
+// stamp it into the job's trace root span.
+
+type ridCtxKey struct{}
+
+var (
+	ridCounter atomic.Uint64
+	// ridBase distinguishes ids across server processes without needing a
+	// random source on the request path.
+	ridBase = fmt.Sprintf("%x", time.Now().UnixNano()&0xffffff)
+)
+
+// withRequestID wraps a v2 handler: it ensures a request id exists, echoes
+// it on the response, and threads it through the request context for trace
+// stamping.
+func withRequestID(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = fmt.Sprintf("req-%s-%d", ridBase, ridCounter.Add(1))
+		}
+		w.Header().Set("X-Request-ID", rid)
+		h(w, r.WithContext(context.WithValue(r.Context(), ridCtxKey{}, rid)))
+	}
+}
+
+// requestIDFrom returns the request id installed by withRequestID ("" when
+// the handler was reached without the middleware).
+func requestIDFrom(r *http.Request) string {
+	v, _ := r.Context().Value(ridCtxKey{}).(string)
+	return v
+}
+
+// jobTrace returns the backend's retained trace for a job id (nil when
+// unknown, untraced, or evicted).
+func (s *Server) jobTrace(id int) *trace.Trace {
+	if s.fleet != nil {
+		return s.fleet.Trace(id)
+	}
+	return s.qrm.Trace(id)
+}
+
+// JobTrace is the GET /api/v2/jobs/{id}/trace resource: the job identity
+// plus its span tree.
+type JobTrace struct {
+	JobID string   `json:"job_id"`
+	State JobState `json:"state"`
+	trace.Snapshot
+}
+
+// v2Trace: GET /api/v2/jobs/{id}/trace — the job's span tree. Traces are
+// retained for the last N terminal jobs (plus every job still in flight);
+// older jobs 404 with the job record intact.
+func (s *Server) v2Trace(w http.ResponseWriter, r *http.Request, id int) {
+	if r.Method != http.MethodGet {
+		writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed", r.Method), false)
+		return
+	}
+	job, err := s.v2JobRecord(id, false)
+	if err != nil {
+		writeV2Error(w, http.StatusNotFound, CodeNotFound, err.Error(), false)
+		return
+	}
+	snap := s.jobTrace(id).Snapshot()
+	if snap == nil {
+		writeV2Error(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no trace retained for job %s (tracing off, or evicted from the retention ring)", job.ID), false)
+		return
+	}
+	writeJSON(w, http.StatusOK, &JobTrace{JobID: job.ID, State: job.State, Snapshot: *snap})
+}
+
+// handleMetricsProm: GET /metrics — the text exposition. Metric families
+// and their meanings are documented in docs/OBSERVABILITY.md; the CI
+// metrics-doc test fails when the two drift apart.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		v1MethodNotAllowed(w, r.Method)
+		return
+	}
+	pw := telemetry.NewPromWriter()
+	if s.fleet != nil {
+		fm := s.fleet.Metrics()
+		pw.Counter("qhpc_fleet_jobs_submitted_total", "Jobs accepted by the fleet scheduler.", nil, float64(fm.Submitted))
+		pw.Counter("qhpc_fleet_jobs_routed_total", "Routing decisions that placed a job on a device.", nil, float64(fm.Routed))
+		pw.Counter("qhpc_fleet_jobs_migrated_total", "Drain/failover re-routes.", nil, float64(fm.Migrated))
+		pw.Counter("qhpc_fleet_park_events_total", "Times a job parked waiting for an eligible device.", nil, float64(fm.ParkEvents))
+		pw.Gauge("qhpc_fleet_parked_now", "Jobs currently parked.", nil, float64(fm.ParkedNow))
+		pw.Counter("qhpc_fleet_jobs_completed_total", "Fleet jobs settled done.", nil, float64(fm.Completed))
+		pw.Counter("qhpc_fleet_jobs_failed_total", "Fleet jobs settled failed.", nil, float64(fm.Failed))
+		pw.Counter("qhpc_fleet_jobs_cancelled_total", "Fleet jobs settled cancelled.", nil, float64(fm.Cancelled))
+		pw.Histogram("qhpc_fleet_route_score", "Fidelity estimate of each routing decision.", nil, fm.ScoreHist)
+		promBus(pw, "fleet", s.fleet.Events().Stats())
+		retained, drops := s.fleet.TraceStats()
+		promTraces(pw, "fleet", retained, drops)
+		for _, d := range fm.Devices {
+			labels := telemetry.Labels{{"device", d.Name}}
+			pw.Gauge("qhpc_device_active", "1 when the device accepts routed work.", labels, boolGauge(d.State == "active"))
+			pw.Counter("qhpc_device_jobs_routed_total", "Jobs routed to this device.", labels, float64(d.Routed))
+			pw.Counter("qhpc_device_jobs_migrated_out_total", "Jobs migrated off this device.", labels, float64(d.MigratedOut))
+			pw.Gauge("qhpc_device_fidelity_1q", "Mean single-qubit gate fidelity (live calibration).", labels, d.MeanF1Q)
+			pw.Gauge("qhpc_device_fidelity_cz", "Mean CZ gate fidelity (live calibration).", labels, d.MeanFCZ)
+			promQRM(pw, d.Name, d.QRM)
+			if mgr, err := s.fleet.DeviceManager(d.Name); err == nil {
+				promBus(pw, d.Name, mgr.Events().Stats())
+				ret, dr := mgr.TraceStats()
+				promTraces(pw, d.Name, ret, dr)
+			}
+		}
+	} else {
+		name := s.deviceName()
+		promQRM(pw, name, s.qrm.Metrics())
+		promBus(pw, name, s.qrm.Events().Stats())
+		retained, drops := s.qrm.TraceStats()
+		promTraces(pw, name, retained, drops)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = pw.WriteTo(w)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// promQRM renders one dispatch pipeline's snapshot under a device label.
+func promQRM(pw *telemetry.PromWriter, device string, m qrm.Metrics) {
+	l := telemetry.Labels{{"device", device}}
+	pw.Counter("qhpc_qrm_jobs_submitted_total", "Jobs accepted by the QRM queue.", l, float64(m.Submitted))
+	pw.Counter("qhpc_qrm_jobs_completed_total", "Jobs finished done.", l, float64(m.Completed))
+	pw.Counter("qhpc_qrm_jobs_failed_total", "Jobs finished failed (includes expired).", l, float64(m.Failed))
+	pw.Counter("qhpc_qrm_jobs_cancelled_total", "Jobs cancelled.", l, float64(m.Cancelled))
+	pw.Counter("qhpc_qrm_jobs_interrupted_total", "Jobs interrupted by outages.", l, float64(m.Interrupted))
+	pw.Counter("qhpc_qrm_jobs_expired_total", "Jobs that hit their dispatch deadline while queued.", l, float64(m.Expired))
+	pw.Gauge("qhpc_qrm_queue_depth", "Jobs currently queued.", l, float64(m.QueueDepth))
+	pw.Gauge("qhpc_qrm_inflight", "Jobs currently held by dispatch workers.", l, float64(m.Inflight))
+	pw.Gauge("qhpc_qrm_workers", "Dispatch workers configured.", l, float64(m.Workers))
+	pw.Counter("qhpc_transpile_cache_hits_total", "Transpile-cache hits.", l, float64(m.CacheHits))
+	pw.Counter("qhpc_transpile_cache_misses_total", "Transpile-cache misses.", l, float64(m.CacheMisses))
+	pw.Counter("qhpc_engine_compile_hits_total", "Compiled-program cache hits in the execution engine.", l, float64(m.SimCompileHits))
+	pw.Counter("qhpc_engine_compile_misses_total", "Compiled-program cache misses in the execution engine.", l, float64(m.SimCompileMisses))
+	pw.Counter("qhpc_engine_fast_path_jobs_total", "Noiseless jobs served by the distribution fast path.", l, float64(m.SimFastPathJobs))
+	pw.Counter("qhpc_engine_branch_tree_jobs_total", "Noisy jobs executed on the shot-branching tree.", l, float64(m.SimBranchTreeJobs))
+	pw.Counter("qhpc_engine_branch_leaves_total", "Unique leaf states across branch-tree jobs.", l, float64(m.SimBranchLeaves))
+	pw.Counter("qhpc_engine_dist_cache_hits_total", "Noiseless jobs served from a cached outcome distribution.", l, float64(m.SimDistCacheHits))
+	stage := func(st string, h telemetry.HistogramSnapshot) {
+		pw.Histogram("qhpc_stage_latency_ms",
+			"Per-stage job latency in milliseconds (stage: queue-wait, compile, execute, e2e).",
+			telemetry.Labels{{"device", device}, {"stage", st}}, h)
+	}
+	stage("queue-wait", m.QueueWaitMs)
+	stage("compile", m.CompileMs)
+	stage("execute", m.ExecMs)
+	stage("e2e", m.E2EMs)
+}
+
+// promBus renders one event bus's health; bus is "fleet" or a device name.
+func promBus(pw *telemetry.PromWriter, bus string, st qrm.BusStats) {
+	l := telemetry.Labels{{"bus", bus}}
+	pw.Counter("qhpc_bus_events_published_total", "Lifecycle events published on the job event bus.", l, float64(st.Published))
+	pw.Counter("qhpc_bus_events_dropped_total", "Event deliveries dropped on full subscriber buffers (summed across subscribers, including closed ones).", l, float64(st.DroppedTotal))
+	pw.Gauge("qhpc_bus_subscribers", "Currently attached bus subscriptions.", l, float64(st.Subscribers))
+}
+
+// promTraces renders trace-retention health; scope is "fleet" or a device.
+func promTraces(pw *telemetry.PromWriter, scope string, retained int, spanDrops uint64) {
+	l := telemetry.Labels{{"scope", scope}}
+	pw.Gauge("qhpc_traces_retained", "Terminal-job traces currently held in the retention ring.", l, float64(retained))
+	pw.Counter("qhpc_trace_spans_dropped_total", "Spans lost to per-job slab exhaustion, summed at terminal.", l, float64(spanDrops))
+}

@@ -98,8 +98,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc(pathTelemetry, s.handleTelemetry)
 	s.mux.HandleFunc(pathMetrics, s.handleMetrics)
 	s.mux.HandleFunc(pathHealthz, s.handleHealthz)
-	s.mux.HandleFunc(pathV2Jobs, s.handleV2Jobs)
-	s.mux.HandleFunc(pathV2Jobs+"/", s.handleV2JobByID)
+	s.mux.HandleFunc(pathMetricsProm, s.handleMetricsProm)
+	s.mux.HandleFunc(pathV2Jobs, withRequestID(s.handleV2Jobs))
+	s.mux.HandleFunc(pathV2Jobs+"/", withRequestID(s.handleV2JobByID))
 }
 
 // complete brings a submitted job to a terminal state using whichever

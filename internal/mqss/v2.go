@@ -175,6 +175,12 @@ func (s *Server) v2Submit(w http.ResponseWriter, r *http.Request) {
 		writeV2Error(w, status, code, err.Error(), retryable)
 		return
 	}
+	if rid := requestIDFrom(r); rid != "" && !replayed {
+		// Correlate the HTTP request with the server-side trace: the root
+		// span carries the id the client saw in X-Request-ID. Replays keep
+		// the original submission's id.
+		s.jobTrace(id).Root().SetAttr("request_id", rid)
+	}
 	if wait > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), wait)
 		s.v2Settle(ctx, id)
@@ -330,6 +336,8 @@ func (s *Server) handleV2JobByID(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.v2Watch(w, r, id)
+	case "trace":
+		s.v2Trace(w, r, id)
 	default:
 		writeV2Error(w, http.StatusNotFound, CodeNotFound,
 			fmt.Sprintf("no resource %q under job %s", sub, idStr), false)

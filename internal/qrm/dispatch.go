@@ -3,9 +3,12 @@ package qrm
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/trace"
 	"repro/internal/transpile"
 )
 
@@ -236,8 +239,19 @@ func (m *Manager) workerLoop() {
 
 // dispatchOne compiles and executes one claimed job. Shared by the
 // synchronous Step path and the pipeline workers; the job is already off
-// the queue in StatusCompiling.
+// the queue in StatusCompiling. The body runs under pprof labels (job id,
+// device) so CPU profiles of the dispatch pipeline attribute by job.
 func (m *Manager) dispatchOne(j *Job) {
+	labels := pprof.Labels(
+		"qrm_job", strconv.Itoa(j.ID),
+		"device", m.dev.QPU().Name(),
+	)
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		m.dispatchOneLabeled(j)
+	})
+}
+
+func (m *Manager) dispatchOneLabeled(j *Job) {
 	placement := transpile.PlaceFidelityAware
 	if j.Request.StaticPlacement {
 		placement = transpile.PlaceStatic
@@ -258,11 +272,17 @@ func (m *Manager) dispatchOne(j *Job) {
 		epoch:       m.dev.CalibrationEpoch(),
 	}
 	compileStart := time.Now()
+	compileSpan := j.span.StartChild("compile")
 	res, hit, err := m.cache.getOrCompile(key, func() (*transpile.Result, error) {
 		return transpile.Transpile(j.Request.Circuit, m.dev.Target(), transpile.Options{
 			Placement: placement,
 		})
 	})
+	if hit {
+		compileSpan.End(trace.Str("cache", "hit"))
+	} else {
+		compileSpan.End(trace.Str("cache", "miss"))
+	}
 	m.mu.Lock()
 	if !hit {
 		// The flight owner compiled (successfully or not): a real miss.
@@ -303,7 +323,11 @@ func (m *Manager) dispatchOne(j *Job) {
 		gate.Acquire()
 	}
 	execStart := time.Now()
-	out, err := m.dev.QPU().Execute(res.Circuit, j.Request.Shots)
+	execSpan := j.span.StartChild("execute",
+		trace.Int("shots", j.Request.Shots), trace.Int("gates", j.CompiledGates))
+	execCtx := trace.ContextWithSpan(context.Background(), execSpan)
+	out, err := m.dev.QPU().ExecuteCtx(execCtx, res.Circuit, j.Request.Shots)
+	execSpan.End()
 	execMs := float64(time.Since(execStart).Microseconds()) / 1000
 	if gate != nil {
 		gate.Release()

@@ -80,6 +80,24 @@ type EventBus struct {
 	nextSub int
 	subs    map[int]*Subscription
 	closed  bool
+	// droppedTotal accumulates every per-subscriber drop, including those
+	// of subscriptions that have since closed — the /metrics counter needs
+	// history, not just the currently-attached set.
+	droppedTotal uint64
+}
+
+// BusStats is a point-in-time view of bus health for the metrics plane.
+type BusStats struct {
+	Published    uint64 // events assigned a sequence number
+	DroppedTotal uint64 // deliveries lost to full subscriber buffers, ever
+	Subscribers  int    // currently attached subscriptions
+}
+
+// Stats snapshots publication, drop and subscriber counters.
+func (b *EventBus) Stats() BusStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BusStats{Published: b.nextSeq, DroppedTotal: b.droppedTotal, Subscribers: len(b.subs)}
 }
 
 // NewEventBus builds an empty bus.
@@ -130,6 +148,7 @@ func (b *EventBus) Publish(ev Event) {
 			s.mu.Lock()
 			s.dropped++
 			s.mu.Unlock()
+			b.droppedTotal++
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/qdmi"
+	"repro/internal/telemetry/trace"
 	"repro/internal/transpile"
 )
 
@@ -90,6 +91,18 @@ type Job struct {
 	// cancelReq marks a cancel requested while the job was in flight; the
 	// dispatch pipeline honors it at the next stage boundary.
 	cancelReq bool
+
+	// tr is the job's span tree; span is the span this manager's pipeline
+	// stages nest under (the trace root for directly-submitted jobs, the
+	// fleet's per-device leg for observed submissions). trOwned marks
+	// traces this manager created and therefore retains at terminal;
+	// fleet-observed jobs leave retention to the scheduler. qwSpan covers
+	// submit-to-claim. All nil when tracing is disabled; every use is
+	// nil-safe.
+	tr      *trace.Trace
+	span    *trace.Span
+	qwSpan  *trace.Span
+	trOwned bool
 }
 
 // ErrDeadlineMsg is the error recorded on jobs that expired in the queue;
@@ -164,6 +177,14 @@ type Manager struct {
 	gate     slotGate // optional QPU admission gate (hpc co-scheduling)
 	metrics  metrics
 	bus      *EventBus // lifecycle transitions for watch subscribers
+
+	// Trace retention: a FIFO of the last traceCap terminal job IDs whose
+	// traces this manager owns. Eviction drops the job's trace reference;
+	// in-flight snapshot readers keep evicted traces alive via their own
+	// pointer, so no coordination beyond m.mu is needed.
+	traceRing     []int
+	traceCap      int
+	traceSpanDrop uint64 // spans lost to slab exhaustion, summed at terminal
 }
 
 // slotGate is the admission interface the HPC co-scheduler's QPU gate
@@ -176,11 +197,12 @@ type slotGate interface {
 // NewManager builds a QRM over a QDMI device handle.
 func NewManager(dev *qdmi.Device) *Manager {
 	m := &Manager{
-		dev:    dev,
-		jobs:   make(map[int]*Job),
-		online: true,
-		cache:  newTranspileCache(),
-		bus:    NewEventBus(),
+		dev:      dev,
+		jobs:     make(map[int]*Job),
+		online:   true,
+		cache:    newTranspileCache(),
+		bus:      NewEventBus(),
+		traceCap: DefaultTraceRetention,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.metrics.init()
@@ -244,7 +266,77 @@ func (m *Manager) terminateLocked(j *Job, s JobStatus) {
 	if j.done != nil {
 		close(j.done)
 	}
+	// Close out the trace: queue-wait ends here for jobs that never reached
+	// a worker (cancelled/expired/interrupted in the queue — End is
+	// idempotent, so claimed jobs are unaffected), and the job's span gets
+	// its outcome. Owned traces enter the retention ring.
+	j.qwSpan.End()
+	if j.Error != "" {
+		j.span.End(trace.Str("outcome", string(s)), trace.Str("error", j.Error))
+	} else {
+		j.span.End(trace.Str("outcome", string(s)))
+	}
+	if j.trOwned && j.tr != nil {
+		m.retainTraceLocked(j)
+	}
 	m.publishLocked(j, from, "")
+}
+
+// DefaultTraceRetention bounds how many terminal-job traces a manager
+// keeps for GET /jobs/{id}/trace.
+const DefaultTraceRetention = 256
+
+// retainTraceLocked pushes a terminal job into the trace ring, evicting
+// the oldest retained trace when full. Caller holds m.mu.
+func (m *Manager) retainTraceLocked(j *Job) {
+	m.traceSpanDrop += j.tr.Dropped()
+	if m.traceCap < 1 {
+		j.tr, j.span, j.qwSpan = nil, nil, nil
+		return
+	}
+	if len(m.traceRing) >= m.traceCap {
+		old := m.traceRing[0]
+		m.traceRing = m.traceRing[1:]
+		if oj, ok := m.jobs[old]; ok {
+			oj.tr, oj.span, oj.qwSpan = nil, nil, nil
+		}
+	}
+	m.traceRing = append(m.traceRing, j.ID)
+}
+
+// SetTraceRetention resizes the terminal-trace ring (0 disables retention).
+// Shrinking evicts oldest-first immediately.
+func (m *Manager) SetTraceRetention(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.traceCap = n
+	for len(m.traceRing) > n {
+		old := m.traceRing[0]
+		m.traceRing = m.traceRing[1:]
+		if oj, ok := m.jobs[old]; ok {
+			oj.tr, oj.span, oj.qwSpan = nil, nil, nil
+		}
+	}
+}
+
+// Trace returns the job's span tree, or nil when the job is unknown, was
+// never traced, or its trace has been evicted from the retention ring.
+// The returned trace is safe to snapshot concurrently with eviction.
+func (m *Manager) Trace(id int) *trace.Trace {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		return j.tr
+	}
+	return nil
+}
+
+// TraceStats reports retained-trace count and total spans lost to per-job
+// slab exhaustion across terminal jobs — the /metrics gauges.
+func (m *Manager) TraceStats() (retained int, spanDrops uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.traceRing), m.traceSpanDrop
 }
 
 // Online reports availability.
@@ -261,8 +353,21 @@ func (m *Manager) SetTime(t float64) {
 	m.now = t
 }
 
-// Submit enqueues one job and returns its ID.
+// Submit enqueues one job and returns its ID. The job gets its own trace
+// (retained at terminal in the manager's ring); layers that already carry
+// a trace — the fleet scheduler — use SubmitObserved instead.
 func (m *Manager) Submit(req Request) (int, error) {
+	return m.submit(req, nil)
+}
+
+// SubmitObserved enqueues one job whose pipeline spans (queue-wait,
+// compile, execute) nest under parent instead of a fresh trace root. The
+// caller owns the trace's retention; this manager only appends to it.
+func (m *Manager) SubmitObserved(req Request, parent *trace.Span) (int, error) {
+	return m.submit(req, parent)
+}
+
+func (m *Manager) submit(req Request, parent *trace.Span) (int, error) {
 	if req.Circuit == nil {
 		return 0, fmt.Errorf("qrm: request has no circuit")
 	}
@@ -286,6 +391,15 @@ func (m *Manager) Submit(req Request) (int, error) {
 		ID: m.nextID, Status: StatusQueued, Request: req, SubmitTime: m.now,
 		done: make(chan struct{}), submitWall: time.Now(),
 	}
+	if parent != nil {
+		j.tr, j.span = parent.Trace(), parent
+	} else {
+		j.tr = trace.New("job",
+			trace.Int("job_id", j.ID), trace.Str("user", req.User))
+		j.span = j.tr.Root()
+		j.trOwned = j.tr != nil
+	}
+	j.qwSpan = j.span.StartChild("queue-wait")
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	heap.Push(&m.queue, j)
@@ -373,6 +487,7 @@ func (m *Manager) claimLocked() *Job {
 			continue
 		}
 		j.Status = StatusCompiling
+		j.qwSpan.End()
 		m.metrics.queueWait.Observe(float64(time.Since(j.submitWall).Microseconds()) / 1000)
 		m.publishLocked(j, StatusQueued, "")
 		return j

@@ -58,6 +58,8 @@ type phaseStats struct {
 	watchMisses int // terminal reached but the watch stream never said so
 	chaffJobs   int
 	chaffLost   int
+	worstJobID  string  // slowest measured job, the trace-dump candidate
+	worstLatMs  float64 // its end-to-end latency
 }
 
 // PhaseSummary is the cross-run aggregate of one phase.
@@ -95,6 +97,12 @@ type Result struct {
 	DeviceE2EP95Ms float64 `json:"device_e2e_p95_ms"`
 	Gates          []Gate  `json:"gates"`
 	Pass           bool    `json:"pass"`
+	// WorstJobTrace is the span tree of the slowest measured job across all
+	// runs, attached only when a gate fails: the first diagnostic an operator
+	// wants is "where did the slow job spend its time".
+	WorstJobID    string          `json:"worst_job_id,omitempty"`
+	WorstJobLatMs float64         `json:"worst_job_lat_ms,omitempty"`
+	WorstJobTrace json.RawMessage `json:"worst_job_trace,omitempty"`
 }
 
 // Gate looks up one gate by name.
@@ -190,15 +198,19 @@ func (r *Runner) RunSpec(spec Spec) (*Result, error) {
 	runs := r.runs()
 	res := &Result{Name: spec.Name, Description: spec.Description, Seed: spec.Seed, Runs: runs}
 	perRun := make([]map[Phase]phaseStats, 0, runs)
+	var worst *worstJob
 	for k := 0; k < runs; k++ {
 		r.logf("scenario %s: run %d/%d", spec.Name, k+1, runs)
-		stats, e2eP95, err := r.runOnce(spec, k)
+		stats, e2eP95, w, err := r.runOnce(spec, k)
 		if err != nil {
 			return nil, err
 		}
 		perRun = append(perRun, stats)
 		if e2eP95 > res.DeviceE2EP95Ms {
 			res.DeviceE2EP95Ms = e2eP95
+		}
+		if w != nil && (worst == nil || w.latMs > worst.latMs) {
+			worst = w
 		}
 	}
 
@@ -253,6 +265,15 @@ func (r *Runner) RunSpec(spec Spec) (*Result, error) {
 	status := "PASS"
 	if !res.Pass {
 		status = "FAIL"
+		// A failed gate ships its first diagnostic with it: the slowest
+		// job's span waterfall, captured before the run's stack went away.
+		if worst != nil {
+			res.WorstJobID = worst.id
+			res.WorstJobLatMs = worst.latMs
+			res.WorstJobTrace = worst.trace
+			r.logf("scenario %s: worst job %s took %.1f ms; trace: %s",
+				spec.Name, worst.id, worst.latMs, worst.trace)
+		}
 	}
 	r.logf("scenario %s: %s (recovery %.2fx, warmup spread %.1f%%)", spec.Name, status, res.RecoveryRatio, res.WarmupSpreadPct)
 	return res, nil
@@ -295,12 +316,21 @@ func evaluateGates(spec Spec, res *Result) []Gate {
 	return gates
 }
 
+// worstJob is one run's slowest measured job with its span tree, captured
+// before the run's stack is torn down (traces die with the Env).
+type worstJob struct {
+	id    string
+	latMs float64
+	trace json.RawMessage
+}
+
 // runOnce executes all three phases of one seeded run and returns the
-// per-phase stats plus the worst device-side e2e p95.
-func (r *Runner) runOnce(spec Spec, run int) (map[Phase]phaseStats, float64, error) {
+// per-phase stats, the worst device-side e2e p95, and the slowest job's
+// trace (nil when it could not be fetched).
+func (r *Runner) runOnce(spec Spec, run int) (map[Phase]phaseStats, float64, *worstJob, error) {
 	env, err := newEnv(spec, run)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer env.close()
 
@@ -334,11 +364,39 @@ func (r *Runner) runOnce(spec Spec, run int) (map[Phase]phaseStats, float64, err
 			e2eP95 = p
 		}
 	}
-	return stats, e2eP95, nil
+	return stats, e2eP95, fetchWorstTrace(env, stats), nil
+}
+
+// fetchWorstTrace pulls the span tree of the run's slowest measured job
+// while the stack is still alive. Best-effort: the job may have been
+// evicted from the trace retention ring under heavy chaff.
+func fetchWorstTrace(env *Env, stats map[Phase]phaseStats) *worstJob {
+	w := worstJob{}
+	for _, st := range stats {
+		if st.worstLatMs > w.latMs {
+			w.latMs, w.id = st.worstLatMs, st.worstJobID
+		}
+	}
+	if w.id == "" {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	jt, err := env.Client.V2JobTrace(ctx, w.id)
+	if err != nil {
+		return nil
+	}
+	data, err := json.Marshal(jt)
+	if err != nil {
+		return nil
+	}
+	w.trace = data
+	return &w
 }
 
 // outcome is one measured job's fate.
 type outcome struct {
+	id      string
 	latMs   float64
 	failed  bool
 	lost    bool
@@ -375,7 +433,9 @@ func (r *Runner) runPhase(env *Env, ph Phase, midFault func()) phaseStats {
 		wg.Add(1)
 		go func(h *mqss.JobHandle) {
 			defer wg.Done()
-			results <- watchToTerminal(ctx, h, submitted)
+			o := watchToTerminal(ctx, h, submitted)
+			o.id = h.ID
+			results <- o
 		}(h)
 	}
 	wg.Wait()
@@ -390,6 +450,9 @@ func (r *Runner) runPhase(env *Env, ph Phase, midFault func()) phaseStats {
 			st.lost++
 		default:
 			lat = append(lat, o.latMs)
+			if o.latMs > st.worstLatMs {
+				st.worstLatMs, st.worstJobID = o.latMs, o.id
+			}
 			if o.failed {
 				st.errors++
 			}

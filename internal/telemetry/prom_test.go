@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromWriterBasics(t *testing.T) {
+	w := NewPromWriter()
+	w.Counter("qhpc_jobs_total", "Jobs submitted.", nil, 42)
+	w.Counter("qhpc_jobs_total", "", Labels{{"device", "d0"}}, 7)
+	w.Gauge("qhpc_queue_depth", "Current depth.", Labels{{"device", `a"b\c`}}, 3)
+
+	var b strings.Builder
+	if _, err := w.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, s := range []string{
+		"# HELP qhpc_jobs_total Jobs submitted.",
+		"# TYPE qhpc_jobs_total counter",
+		"qhpc_jobs_total 42",
+		`qhpc_jobs_total{device="d0"} 7`,
+		"# TYPE qhpc_queue_depth gauge",
+		`qhpc_queue_depth{device="a\"b\\c"} 3`,
+	} {
+		if !strings.Contains(out, s+"\n") {
+			t.Errorf("missing line %q in:\n%s", s, out)
+		}
+	}
+	// HELP/TYPE must appear exactly once per family.
+	if n := strings.Count(out, "# TYPE qhpc_jobs_total counter"); n != 1 {
+		t.Errorf("TYPE header appears %d times", n)
+	}
+}
+
+func TestPromWriterHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	w := NewPromWriter()
+	w.Histogram("qhpc_latency_ms", "Latency.", Labels{{"stage", "exec"}}, h.Snapshot())
+	var b strings.Builder
+	w.WriteTo(&b)
+	out := b.String()
+	for _, s := range []string{
+		`qhpc_latency_ms_bucket{stage="exec",le="1"} 1`,
+		`qhpc_latency_ms_bucket{stage="exec",le="2"} 2`,
+		`qhpc_latency_ms_bucket{stage="exec",le="4"} 3`,
+		`qhpc_latency_ms_bucket{stage="exec",le="+Inf"} 4`,
+		`qhpc_latency_ms_sum{stage="exec"} 105`,
+		`qhpc_latency_ms_count{stage="exec"} 4`,
+	} {
+		if !strings.Contains(out, s+"\n") {
+			t.Errorf("missing %q in:\n%s", s, out)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package trace
+
+import "testing"
+
+// The trace slab is allocated whole per job, so New dominates tracing's
+// cost; the fleet bench's tracing-overhead gate (BENCH_fleet.json) holds
+// the end-to-end budget, these track the micro costs.
+
+var sink *Trace
+
+func BenchmarkNewTrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = New("job", Int("job_id", i))
+	}
+}
+
+// BenchmarkFullJobTrace is one representative single-device job timeline:
+// root + queue-wait/compile/execute + engine-compile/simulate.
+func BenchmarkFullJobTrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := New("job", Int("job_id", i), Str("user", "bench"))
+		root := tr.Root()
+		qw := root.StartChild("queue-wait")
+		qw.End()
+		cs := root.StartChild("compile")
+		cs.End(Str("cache", "hit"))
+		ex := root.StartChild("execute", Int("shots", 10), Int("gates", 12))
+		ec := ex.StartChild("engine-compile")
+		ec.End(Str("cache", "hit"))
+		sim := ex.StartChild("simulate")
+		sim.End(Str("strategy", "fast-path"))
+		ex.End()
+		root.End(Str("outcome", "done"))
+		sink = tr
+	}
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBasicTree(t *testing.T) {
+	tr := New("job", Str("user", "alice"))
+	if tr == nil {
+		t.Fatal("New returned nil with tracing enabled")
+	}
+	root := tr.Root()
+	qw := root.StartChild("queue-wait")
+	time.Sleep(time.Millisecond)
+	qw.End()
+	ex := root.StartChild("execute", Str("device", "d0"))
+	sim := ex.StartChild("simulate", Str("strategy", "fast-path"))
+	sim.End()
+	ex.End()
+	root.End(Str("outcome", "done"))
+
+	snap := tr.Snapshot()
+	if snap == nil || snap.Root == nil {
+		t.Fatal("nil snapshot")
+	}
+	if !snap.Complete {
+		t.Errorf("snapshot not complete: %+v", snap)
+	}
+	if snap.Root.Name != "job" || snap.Root.Attrs["user"] != "alice" || snap.Root.Attrs["outcome"] != "done" {
+		t.Errorf("root mismatch: %+v", snap.Root)
+	}
+	if len(snap.Root.Children) != 2 {
+		t.Fatalf("want 2 children, got %d", len(snap.Root.Children))
+	}
+	if snap.Root.Children[0].Name != "queue-wait" || snap.Root.Children[0].DurationUs < 500 {
+		t.Errorf("queue-wait child wrong: %+v", snap.Root.Children[0])
+	}
+	exn := snap.Root.Children[1]
+	if exn.Name != "execute" || len(exn.Children) != 1 || exn.Children[0].Attrs["strategy"] != "fast-path" {
+		t.Errorf("execute subtree wrong: %+v", exn)
+	}
+	if snap.DurationUs <= 0 {
+		t.Errorf("root duration %v", snap.DurationUs)
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	tr := New("job")
+	if tr != nil {
+		t.Fatal("New should return nil when disabled")
+	}
+	// Everything downstream must be nil-safe.
+	root := tr.Root()
+	c := root.StartChild("x")
+	c.SetAttr("k", "v")
+	c.End()
+	root.End()
+	if snap := tr.Snapshot(); snap != nil {
+		t.Fatal("nil trace snapshot should be nil")
+	}
+	ctx, sp := StartSpan(context.Background(), "y")
+	if sp != nil || FromContext(ctx) != nil {
+		t.Fatal("StartSpan on empty ctx should be inert")
+	}
+}
+
+func TestContextThreading(t *testing.T) {
+	tr := New("job")
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	ctx2, sp := StartSpan(ctx, "stage", Int("n", 3))
+	if sp == nil {
+		t.Fatal("expected live span")
+	}
+	if FromContext(ctx2) == nil {
+		t.Fatal("child not in ctx")
+	}
+	_, sub := StartSpan(ctx2, "sub")
+	sub.End()
+	sp.End()
+	snap := tr.Snapshot()
+	if len(snap.Root.Children) != 1 || snap.Root.Children[0].Attrs["n"] != "3" {
+		t.Fatalf("bad tree: %+v", snap.Root)
+	}
+	if len(snap.Root.Children[0].Children) != 1 {
+		t.Fatalf("sub span missing: %+v", snap.Root.Children[0])
+	}
+}
+
+func TestSlabExhaustion(t *testing.T) {
+	tr := New("job")
+	root := tr.Root()
+	spans := make([]*Span, 0, maxSpans*2)
+	for i := 0; i < maxSpans*2; i++ {
+		spans = append(spans, root.StartChild(fmt.Sprintf("s%d", i)))
+	}
+	for _, s := range spans {
+		s.End() // nil-safe past the cap
+	}
+	if tr.Dropped() != maxSpans+1 {
+		t.Errorf("dropped = %d, want %d", tr.Dropped(), maxSpans+1)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Root.Children) != maxSpans-1 {
+		t.Errorf("children = %d, want %d", len(snap.Root.Children), maxSpans-1)
+	}
+	if snap.DroppedSpans == 0 {
+		t.Error("snapshot should carry the dropped count")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New("job")
+	s := tr.Root().StartChild("x")
+	s.End()
+	first := tr.Snapshot().Root.Children[0].DurationUs
+	time.Sleep(2 * time.Millisecond)
+	s.End(Str("late", "attr"))
+	snap := tr.Snapshot().Root.Children[0]
+	if snap.DurationUs != first {
+		t.Errorf("second End moved duration: %v -> %v", first, snap.DurationUs)
+	}
+	if snap.Attrs["late"] != "attr" {
+		t.Error("late attrs should still attach")
+	}
+}
+
+// TestConcurrentAppendAndSnapshot hammers one trace from many goroutines
+// (span starts, ends, attr writes) while snapshot readers run — the race
+// detector validates the lock-free publication protocol.
+func TestConcurrentAppendAndSnapshot(t *testing.T) {
+	tr := New("job")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := root.StartChild("work", Int("g", g))
+				s.SetAttr("i", itoa(int64(i)))
+				s.End(Str("ok", "true"))
+			}
+		}(g)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = tr.Snapshot()
+				}
+			}
+		}()
+	}
+	// Concurrent root attr stamping (the X-Request-ID path).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			root.SetAttr("request_id", "req-1")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	root.End()
+	snap := tr.Snapshot()
+	if snap == nil || !snap.Complete {
+		t.Fatalf("final snapshot incomplete: %+v", snap)
+	}
+	// 8 goroutines x 50 spans >> maxSpans: drops must account for the rest.
+	if got := len(snap.Root.Children) + int(snap.DroppedSpans); got != 8*50 {
+		t.Errorf("children+dropped = %d, want %d", got, 8*50)
+	}
+}
+
+func TestAttrOverflow(t *testing.T) {
+	tr := New("job")
+	s := tr.Root().StartChild("x")
+	for i := 0; i < maxAttrs+4; i++ {
+		s.SetAttr(fmt.Sprintf("k%d", i), "v")
+	}
+	s.End()
+	if n := len(tr.Snapshot().Root.Children[0].Attrs); n != maxAttrs {
+		t.Errorf("attrs = %d, want cap %d", n, maxAttrs)
+	}
+}
