@@ -229,6 +229,8 @@ func main() {
 		printTrace(jt)
 	case "scenarios":
 		scenariosCommand(args[1:])
+	case "store":
+		storeCommand(ctx, client, args[1:])
 	default:
 		usage()
 	}
@@ -349,6 +351,59 @@ func scenariosCommand(args []string) {
 	default:
 		log.Fatalf("unknown scenarios subcommand %q (want: list, run)", sub)
 	}
+}
+
+// storeCommand inspects the daemon's crash-durable job store:
+// `store status` reads GET /api/v2/admin/store (docs/DURABILITY.md).
+func storeCommand(ctx context.Context, client *mqss.Client, args []string) {
+	sub := "status"
+	if len(args) > 0 {
+		sub = args[0]
+	}
+	if sub != "status" {
+		log.Fatalf("unknown store subcommand %q (want: status)", sub)
+	}
+	st, err := client.StoreStatus(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !st.Attached {
+		fmt.Println("durable store: not attached (daemon running without -data-dir)")
+		return
+	}
+	fmt.Printf("durable store: %s (wal-sync=%s)\n", st.Dir, st.SyncMode)
+	fmt.Printf("wal: lsn %d (durable %d), %d appends, %d fsyncs, %s written\n",
+		st.LastLSN, st.DurableLSN, st.Appends, st.Fsyncs, humanBytes(st.Bytes))
+	fmt.Printf("disk: %d journal segments, %s total\n", st.Segments, humanBytes(uint64(st.WALBytes)))
+	last := "never"
+	if st.LastCompaction != "" {
+		last = st.LastCompaction
+	}
+	fmt.Printf("compaction: %d runs, snapshot lsn %d, last %s\n",
+		st.Compactions, st.SnapshotLSN, last)
+	if st.Replay != nil {
+		fmt.Printf("startup replay: %d records from %d segments (snapshot lsn %d) in %.1f ms",
+			st.Replay.Records, st.Replay.Segments, st.Replay.SnapshotLSN, st.Replay.DurationMs)
+		if st.Replay.SkippedBytes > 0 {
+			fmt.Printf("; torn tail: %d bytes skipped", st.Replay.SkippedBytes)
+		}
+		fmt.Println()
+	}
+	if st.Restored != nil {
+		fmt.Printf("recovered jobs: %d terminal, %d re-queued, %d expired\n",
+			st.Restored.Terminal, st.Restored.Requeued, st.Restored.Expired)
+	}
+}
+
+// humanBytes renders a byte count with a binary-prefix unit.
+func humanBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // jobCommand is the v2 async job group: submit returns immediately with a
@@ -783,6 +838,9 @@ commands:
   scenarios list                       list the registered fault scenarios
   scenarios run [-name X] [-runs N] [-json FILE] [-negative-control]
                                        run the fault-scenario lab in process and apply
-                                       the SLO release gates (docs/SCENARIOS.md)`)
+                                       the SLO release gates (docs/SCENARIOS.md)
+  store [status]                       show the crash-durable job store: WAL position,
+                                       segments, compaction, and what the last restart
+                                       recovered (docs/DURABILITY.md)`)
 	os.Exit(2)
 }

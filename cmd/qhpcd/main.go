@@ -8,6 +8,12 @@
 //	      [-devices 1] [-fleet-policy best-fidelity] [-maintenance-days 0]
 //	      [-pprof-addr localhost:6060] [-engine-stats-every 30s]
 //	      [-snapshot /var/lib/qhpcd/qrm.json]
+//	      [-data-dir /var/lib/qhpcd/store] [-wal-sync group] [-wal-compact-every 1m]
+//
+// With -data-dir the daemon journals every job transition to a crash-durable
+// WAL (docs/DURABILITY.md): kill -9 the process, restart it with the same
+// directory, and accepted jobs come back — terminal ones with their results,
+// queued/running ones re-queued under their original IDs.
 //
 // With -devices N > 1 the daemon serves a simulated multi-QPU fleet: the
 // center's primary QPU plus N-1 heterogeneous siblings (different grid
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/facility"
 	"repro/internal/fleet"
 	"repro/internal/mqss"
@@ -55,6 +62,12 @@ func main() {
 		"log execution-engine counters (fast path, shot-branching leaves/shot, dist-cache hits) at this interval; 0 = disabled, single-device mode only")
 	snapshotPath := flag.String("snapshot", "",
 		"write the QRM job store to this file on graceful shutdown (single-device mode; restore with LoadSnapshot/RequeueInterrupted tooling)")
+	dataDir := flag.String("data-dir", "",
+		"crash-durable job store directory (WAL + snapshots); on restart the daemon replays it and re-queues interrupted work (empty = in-memory only)")
+	walSync := flag.String("wal-sync", "group",
+		"WAL durability mode: always (fsync per record), group (batched fsync; default), off (no fsync — crash loses recent acks)")
+	walCompactEvery := flag.Duration("wal-compact-every", time.Minute,
+		"snapshot-compact the WAL at this interval (0 = only on shutdown)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -88,6 +101,28 @@ func main() {
 	fmt.Fprintf(os.Stderr, "qhpcd: site %q accepted; cooldown %.1f simulated days; phase %s\n",
 		center.SiteReport().Site, days, center.Phase())
 
+	// Crash durability: open the store (snapshot + WAL replay) before the
+	// backend exists so recovered jobs can be handed straight to it.
+	var store *durable.Store
+	var recovery *durable.Recovery
+	if *dataDir != "" {
+		mode, err := durable.ParseSyncMode(*walSync)
+		if err != nil {
+			log.Fatalf("qhpcd: %v", err)
+		}
+		replayStart := time.Now()
+		store, recovery, err = durable.Open(*dataDir, durable.Options{Sync: mode})
+		if err != nil {
+			log.Fatalf("qhpcd: opening durable store: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "qhpcd: durable store %s (wal-sync=%s): replayed %d records (%d segments, snapshot lsn %d) in %v\n",
+			*dataDir, mode, recovery.Stats.Records, recovery.Stats.Segments,
+			recovery.Stats.SnapshotLSN, time.Since(replayStart).Round(time.Millisecond))
+		if recovery.Stats.SkippedBytes > 0 {
+			log.Printf("qhpcd: WAL had a torn tail: %d trailing bytes ignored (normal after a crash)", recovery.Stats.SkippedBytes)
+		}
+	}
+
 	var mqssServer *mqss.Server
 	// drain runs after the listener stops accepting: finish or park the
 	// backend's remaining work so no accepted job is silently dropped.
@@ -116,6 +151,19 @@ func main() {
 		if err != nil {
 			log.Fatalf("qhpcd: building fleet: %v", err)
 		}
+		if store != nil {
+			if len(recovery.QRMJobs) > 0 {
+				log.Printf("qhpcd: %s holds %d single-device job records; they are preserved but a fleet daemon cannot re-queue them", *dataDir, len(recovery.QRMJobs))
+			}
+			f.AttachStore(store)
+			rs, err := f.Restore(recovery.FleetJobs)
+			if err != nil {
+				log.Fatalf("qhpcd: restoring fleet jobs: %v", err)
+			}
+			store.NoteRestore(rs.Terminal, rs.Requeued, rs.Expired)
+			fmt.Fprintf(os.Stderr, "qhpcd: recovered %d jobs (%d terminal, %d re-queued, %d expired) from %s\n",
+				rs.Terminal+rs.Requeued+rs.Expired, rs.Terminal, rs.Requeued, rs.Expired, *dataDir)
+		}
 		drain = f.Stop
 		mqssServer = center.FleetRESTHandler(f)
 		fmt.Fprintf(os.Stderr, "qhpcd: fleet of %d devices (%s routing, %d workers each): %v\n",
@@ -140,6 +188,19 @@ func main() {
 			}()
 		}
 	} else {
+		if store != nil {
+			if len(recovery.FleetJobs) > 0 {
+				log.Printf("qhpcd: %s holds %d fleet job records; they are preserved but a single-device daemon cannot re-queue them", *dataDir, len(recovery.FleetJobs))
+			}
+			center.QRM.AttachStore(store)
+			rs, err := center.QRM.Restore(recovery.QRMJobs)
+			if err != nil {
+				log.Fatalf("qhpcd: restoring jobs: %v", err)
+			}
+			store.NoteRestore(rs.Terminal, rs.Requeued, rs.Expired)
+			fmt.Fprintf(os.Stderr, "qhpcd: recovered %d jobs (%d terminal, %d re-queued, %d expired) from %s\n",
+				rs.Terminal+rs.Requeued+rs.Expired, rs.Terminal, rs.Requeued, rs.Expired, *dataDir)
+		}
 		if *workers > 0 {
 			if err := center.StartPipeline(*workers); err != nil {
 				log.Fatalf("qhpcd: starting dispatch pipeline: %v", err)
@@ -164,6 +225,18 @@ func main() {
 		}
 		mqssServer = center.RESTHandler()
 		drain = center.StopPipeline
+	}
+	if store != nil {
+		mqssServer.AttachStore(store, recovery.Idem)
+		if *walCompactEvery > 0 {
+			go func(every time.Duration) {
+				for range time.Tick(every) {
+					if err := store.Compact(); err != nil {
+						log.Printf("qhpcd: WAL compaction: %v", err)
+					}
+				}
+			}(*walCompactEvery)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "qhpcd: serving MQSS REST API on %s\n", *addr)
 	fmt.Fprintf(os.Stderr, "qhpcd: endpoints: POST /api/v1/jobs, POST /api/v1/jobs/batch[?stream=1], GET /api/v1/jobs, GET /api/v1/device, GET /api/v1/telemetry/, GET /api/v1/metrics, GET /healthz\n")
@@ -205,6 +278,16 @@ func main() {
 				log.Printf("qhpcd: snapshot: %v", err)
 			} else {
 				fmt.Fprintf(os.Stderr, "qhpcd: job store snapshot written to %s\n", *snapshotPath)
+			}
+		}
+		if store != nil {
+			// The backend is quiescent: fold the WAL into one snapshot so the
+			// next start replays a single file, then fsync-close the journal.
+			if err := store.Compact(); err != nil {
+				log.Printf("qhpcd: final WAL compaction: %v", err)
+			}
+			if err := store.Close(); err != nil {
+				log.Printf("qhpcd: closing durable store: %v", err)
 			}
 		}
 		fmt.Fprintf(os.Stderr, "qhpcd: drained; bye\n")

@@ -1,0 +1,409 @@
+// Package durable is the crash-durable job store behind the QRM and fleet
+// schedulers: an append-only write-ahead log of job-lifecycle records plus
+// periodic snapshot compaction. Every transition the event bus publishes
+// (submit, claim, running, terminal, park, migrate, idempotency-key binding)
+// is journaled as a full upsert of the job's record, so replay is a trivial
+// last-write-wins fold and a snapshot/journal overlap is harmless. The §4
+// user request behind it — "more robust job restart tools after system
+// outages" — needs submission durability above all: Submit acks only after
+// the job's first record is fsync'd (see WaitDurable), so a 202 implies the
+// job survives kill -9.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SyncMode selects when appended records are fsync'd.
+type SyncMode string
+
+const (
+	// SyncAlways fsyncs inline on every append: strongest guarantee,
+	// one fsync per record.
+	SyncAlways SyncMode = "always"
+	// SyncGroup batches appends behind a background flusher that fsyncs
+	// once per batch (group commit): submissions still block until their
+	// record is durable, but concurrent submitters share one fsync.
+	SyncGroup SyncMode = "group"
+	// SyncOff never fsyncs: records are written to the OS immediately but
+	// survive only process crashes, not power loss.
+	SyncOff SyncMode = "off"
+)
+
+// ParseSyncMode validates a -wal-sync flag value.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch SyncMode(s) {
+	case SyncAlways, SyncGroup, SyncOff:
+		return SyncMode(s), nil
+	}
+	return "", fmt.Errorf("durable: unknown WAL sync mode %q (want always, group, or off)", s)
+}
+
+// Record framing: [length uint32][crc32 uint32][lsn uint64][payload], all
+// little-endian. The CRC covers lsn+payload, so a frame whose tail was torn
+// by a crash — or whose header bytes survived but whose body did not — fails
+// the checksum and replay stops cleanly at the previous record.
+const (
+	frameHeader   = 16
+	maxFrameBytes = 64 << 20 // sanity bound; a corrupt length field cannot ask for GBs
+
+	segmentPrefix = "journal-"
+	segmentSuffix = ".wal"
+	snapshotName  = "snapshot.wal"
+)
+
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", segmentPrefix, seq, segmentSuffix)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// appendFrame encodes one record frame onto buf and returns the extended
+// slice.
+func appendFrame(buf []byte, lsn uint64, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[8:16])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrames folds fn over every intact frame in data, stopping at the
+// first short or corrupt one (the torn tail kill -9 leaves behind). It
+// returns how many bytes of data were unreadable; 0 means the segment was
+// clean.
+func readFrames(data []byte, fn func(lsn uint64, payload []byte)) (skipped int64) {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return int64(len(rest))
+		}
+		n := int(binary.LittleEndian.Uint32(rest[0:4]))
+		if n < 0 || n > maxFrameBytes || len(rest) < frameHeader+n {
+			return int64(len(rest))
+		}
+		lsn := binary.LittleEndian.Uint64(rest[8:16])
+		payload := rest[frameHeader : frameHeader+n]
+		crc := crc32.NewIEEE()
+		crc.Write(rest[8:16])
+		crc.Write(payload)
+		if crc.Sum32() != binary.LittleEndian.Uint32(rest[4:8]) {
+			return int64(len(rest))
+		}
+		fn(lsn, payload)
+		off += frameHeader + n
+	}
+}
+
+// fsyncDir flushes a directory's entry table so a just-created, renamed, or
+// deleted file survives power loss. Satellite fix shared with
+// qrm.SaveSnapshotFile: rename is atomic against torn writes but not
+// durable until the directory itself is synced.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// wal is the append-only journal: one active segment file, an in-memory
+// frame buffer, and a durability watermark that WaitDurable blocks on.
+type wal struct {
+	dir  string
+	mode SyncMode
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcasts durable-watermark advances and state flips
+
+	f         *os.File
+	seq       uint64 // active segment sequence number
+	buf       []byte // frames appended but not yet handed to the OS
+	lastLSN   uint64 // last assigned LSN
+	durable   uint64 // highest LSN guaranteed on stable storage
+	abandoned bool   // simulated kill -9: unflushed buffer dropped
+	closed    bool
+	err       error // sticky first write/sync error
+
+	appends uint64
+	fsyncs  uint64
+	bytes   uint64
+
+	flusherWG sync.WaitGroup
+}
+
+// openWAL creates the next journal segment (never appending to an old one:
+// a torn tail in segment k is harmless exactly because post-recovery records
+// land in k+1) and starts the group-commit flusher when the mode needs it.
+func openWAL(dir string, mode SyncMode, nextSeq, lastLSN uint64) (*wal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segmentName(nextSeq)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: creating WAL segment: %w", err)
+	}
+	if mode != SyncOff {
+		if err := fsyncDir(dir); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("durable: syncing WAL dir: %w", err)
+		}
+	}
+	w := &wal{dir: dir, mode: mode, f: f, seq: nextSeq, lastLSN: lastLSN, durable: lastLSN}
+	w.cond = sync.NewCond(&w.mu)
+	if mode == SyncGroup {
+		w.flusherWG.Add(1)
+		go w.flusher()
+	}
+	return w, nil
+}
+
+// append journals one payload and returns its LSN. Appends on an abandoned
+// or closed WAL are swallowed (the process is "dead"); the returned LSN is
+// then the last assigned one, and WaitDurable on it returns immediately.
+func (w *wal) append(payload []byte) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.abandoned || w.closed || w.err != nil {
+		return w.lastLSN
+	}
+	w.lastLSN++
+	lsn := w.lastLSN
+	w.buf = appendFrame(w.buf, lsn, payload)
+	w.appends++
+	switch w.mode {
+	case SyncAlways:
+		w.flushLocked(true)
+	case SyncOff:
+		w.flushLocked(false)
+	default: // group: hand the buffer to the flusher
+		w.cond.Broadcast()
+	}
+	return lsn
+}
+
+// flushLocked writes the pending buffer to the segment (and optionally
+// fsyncs) inline, advancing the durable watermark. Caller holds w.mu. Used
+// by the always/off modes, where no flusher goroutine owns the file.
+func (w *wal) flushLocked(sync bool) {
+	if len(w.buf) == 0 {
+		return
+	}
+	upto := w.lastLSN
+	n, err := w.f.Write(w.buf)
+	w.bytes += uint64(n)
+	w.buf = w.buf[:0]
+	if err == nil && sync {
+		err = w.f.Sync()
+		w.fsyncs++
+	}
+	if err != nil {
+		if w.err == nil {
+			w.err = err
+		}
+	} else if upto > w.durable {
+		w.durable = upto
+	}
+	w.cond.Broadcast()
+}
+
+// flusher is the group-commit loop: it swaps the pending buffer out under
+// the lock, writes and fsyncs outside it (appenders keep queuing frames
+// meanwhile — that batching is the group commit), then publishes the new
+// durable watermark.
+func (w *wal) flusher() {
+	defer w.flusherWG.Done()
+	w.mu.Lock()
+	for {
+		for !w.closed && !w.abandoned && w.err == nil && len(w.buf) == 0 {
+			w.cond.Wait()
+		}
+		if w.abandoned || w.err != nil || (w.closed && len(w.buf) == 0) {
+			w.mu.Unlock()
+			return
+		}
+		batch := w.buf
+		w.buf = nil
+		upto := w.lastLSN
+		f := w.f
+		w.mu.Unlock()
+
+		n, werr := f.Write(batch)
+		serr := f.Sync()
+
+		w.mu.Lock()
+		w.bytes += uint64(n)
+		w.fsyncs++
+		switch {
+		case werr != nil || serr != nil:
+			if w.err == nil {
+				if werr != nil {
+					w.err = werr
+				} else {
+					w.err = serr
+				}
+			}
+		case upto > w.durable:
+			w.durable = upto
+		}
+		w.cond.Broadcast()
+	}
+}
+
+// lastLSNSnapshot returns the most recently assigned LSN.
+func (w *wal) lastLSNSnapshot() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastLSN
+}
+
+// waitDurable blocks until lsn is on stable storage (or the WAL died). It
+// returns the sticky error so the submission path can refuse to ack a job
+// whose record never made it down.
+func (w *wal) waitDurable(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.durable < lsn && !w.abandoned && !w.closed && w.err == nil {
+		w.cond.Wait()
+	}
+	return w.err
+}
+
+// syncAll drains everything appended so far to stable storage — the
+// pre-compaction quiescence barrier.
+func (w *wal) syncAll() error {
+	w.mu.Lock()
+	if w.mode != SyncGroup {
+		w.flushLocked(w.mode == SyncAlways)
+	}
+	target := w.lastLSN
+	w.cond.Broadcast()
+	for w.durable < target && !w.abandoned && !w.closed && w.err == nil {
+		w.cond.Wait()
+	}
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
+
+// rotate seals the active segment and opens the next one, returning the
+// sealed segment's sequence number. Callers must have quiesced the WAL
+// (syncAll) first so no flusher write is in flight against the old file.
+func (w *wal) rotate() (sealed uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.abandoned || w.closed {
+		return w.seq, fmt.Errorf("durable: WAL is closed")
+	}
+	sealed = w.seq
+	if cerr := w.f.Close(); cerr != nil && w.err == nil {
+		w.err = cerr
+	}
+	w.seq++
+	f, ferr := os.OpenFile(filepath.Join(w.dir, segmentName(w.seq)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if ferr != nil {
+		w.err = ferr
+		return sealed, fmt.Errorf("durable: rotating WAL segment: %w", ferr)
+	}
+	w.f = f
+	return sealed, nil
+}
+
+// abandon simulates kill -9: the unflushed buffer is dropped on the floor,
+// no final fsync happens, and every waiter is released. What was already
+// handed to the OS stays readable on replay — exactly the state a real
+// SIGKILL leaves behind (minus the page cache, which the torn-tail
+// truncation tests cover byte by byte).
+func (w *wal) abandon() {
+	w.mu.Lock()
+	if w.abandoned || w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.abandoned = true
+	w.buf = nil
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.flusherWG.Wait()
+	w.mu.Lock()
+	w.f.Close()
+	w.mu.Unlock()
+}
+
+// close flushes, fsyncs, and closes the active segment — graceful shutdown.
+func (w *wal) close() error {
+	w.mu.Lock()
+	if w.abandoned || w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.flusherWG.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.buf) > 0 {
+		upto := w.lastLSN
+		n, err := w.f.Write(w.buf)
+		w.bytes += uint64(n)
+		w.buf = nil
+		if err == nil && upto > w.durable {
+			w.durable = upto
+		} else if err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	if err := w.f.Sync(); err == nil {
+		w.fsyncs++
+	} else if w.err == nil {
+		w.err = err
+	}
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// listSegments returns the journal segment sequence numbers present in dir,
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSegmentName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}

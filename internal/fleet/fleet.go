@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/ops"
 	"repro/internal/qdmi"
@@ -83,6 +84,13 @@ type Job struct {
 	// Result is the terminal device-level record (counts, layout, timings).
 	Result *qrm.Job `json:"result,omitempty"`
 	Error  string   `json:"error,omitempty"`
+
+	// SubmitUnixMs is the wall-clock submission instant in Unix
+	// milliseconds, excluded from the wire shape; the durable store
+	// persists it so dispatch deadlines keep their budget across restarts.
+	SubmitUnixMs int64 `json:"-"`
+	// Recovered marks a job restored from the durable store after a restart.
+	Recovered bool `json:"recovered,omitempty"`
 
 	policy Policy
 	done   chan struct{}
@@ -165,6 +173,12 @@ type Scheduler struct {
 	closed bool
 	wg     sync.WaitGroup // per-job monitor goroutines
 
+	// Durable job store (nil = in-memory only). walTail is the LSN of the
+	// most recent record journaled under s.mu; Submit waits on it after
+	// unlocking so a returned ID implies the submission is on disk.
+	jstore  JobStore
+	walTail uint64
+
 	// Trace retention ring for terminal fleet jobs (see qrm.Manager's —
 	// same FIFO-eviction scheme, fleet-scoped IDs).
 	traceRing     []int
@@ -194,10 +208,35 @@ func New(policy Policy, store *telemetry.Store) *Scheduler {
 // as transitions — the feed the v2 watch endpoint serves in fleet mode.
 func (s *Scheduler) Events() *qrm.EventBus { return s.bus }
 
+// JobStore is the durability boundary behind the fleet scheduler (declared
+// locally so fleet stays free of a durable import; qrm.JobStore is the
+// single-device twin). Every fleet transition — submission, placement,
+// parking, migration, terminal — is journaled as an upsert of the job's
+// full record; internal/durable's WAL-backed Store implements it.
+type JobStore interface {
+	JournalFleetJob(j *Job) (lsn uint64)
+	WaitDurable(lsn uint64)
+}
+
+// AttachStore installs the durable job store: subsequent transitions are
+// journaled and Submit acks only after its record is durable. Pass nil to
+// detach. Attach before the first submission; replayed history comes in
+// through Restore.
+func (s *Scheduler) AttachStore(st JobStore) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jstore = st
+}
+
 // publishLocked emits one fleet lifecycle event, stamped with the fleet's
 // maintenance clock (simulation seconds; 0 until AdvanceTo first ticks).
-// Caller holds s.mu.
+// Caller holds s.mu. With a store attached the transition is journaled
+// first — placement and migration records survive a crash because exactly
+// the stream the bus publishes is what the WAL replays.
 func (s *Scheduler) publishLocked(j *Job, from JobStatus, reason string) {
+	if s.jstore != nil {
+		s.walTail = s.jstore.JournalFleetJob(j)
+	}
 	s.bus.Publish(qrm.Event{
 		JobID:  j.ID,
 		From:   string(from),
@@ -305,30 +344,15 @@ func (s *Scheduler) Submit(req qrm.Request, opts SubmitOptions) (int, error) {
 		policy = opts.Policy
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return 0, fmt.Errorf("fleet: scheduler stopped")
-	}
-	if len(s.devices) == 0 {
-		return 0, fmt.Errorf("fleet: no devices registered")
-	}
-	if opts.Device != "" {
-		e, ok := s.devices[opts.Device]
-		if !ok {
-			return 0, fmt.Errorf("fleet: unknown device %q", opts.Device)
-		}
-		if req.Circuit.NumQubits > e.dev.Properties().NumQubits {
-			return 0, fmt.Errorf("fleet: circuit needs %d qubits, pinned device %q has %d",
-				req.Circuit.NumQubits, opts.Device, e.dev.Properties().NumQubits)
-		}
-	} else if w := s.maxWidthLocked(); req.Circuit.NumQubits > w {
-		return 0, fmt.Errorf("fleet: circuit needs %d qubits, widest device has %d",
-			req.Circuit.NumQubits, w)
+	if err := s.admitLocked(req, opts); err != nil {
+		s.mu.Unlock()
+		return 0, err
 	}
 	s.nextID++
 	j := &Job{
 		ID: s.nextID, Status: JobPending, Request: req,
 		Pinned: opts.Device, policy: policy, done: make(chan struct{}),
+		SubmitUnixMs: time.Now().UnixMilli(),
 	}
 	j.tr = trace.New("job",
 		trace.Int("job_id", j.ID), trace.Str("user", req.User))
@@ -338,7 +362,40 @@ func (s *Scheduler) Submit(req qrm.Request, opts SubmitOptions) (int, error) {
 	s.submitted++
 	s.publishLocked(j, "", "")
 	s.routeLocked(j, nil, "")
+	st, lsn := s.jstore, s.walTail
+	s.mu.Unlock()
+	if st != nil {
+		// Ack-after-durable (see qrm.Manager.submit): the routing decision
+		// above already journaled, so waiting on the tail LSN covers both
+		// the submission and its first placement.
+		st.WaitDurable(lsn)
+	}
 	return j.ID, nil
+}
+
+// admitLocked runs Submit's validation against the registry. Caller holds
+// s.mu.
+func (s *Scheduler) admitLocked(req qrm.Request, opts SubmitOptions) error {
+	if s.closed {
+		return fmt.Errorf("fleet: scheduler stopped")
+	}
+	if len(s.devices) == 0 {
+		return fmt.Errorf("fleet: no devices registered")
+	}
+	if opts.Device != "" {
+		e, ok := s.devices[opts.Device]
+		if !ok {
+			return fmt.Errorf("fleet: unknown device %q", opts.Device)
+		}
+		if req.Circuit.NumQubits > e.dev.Properties().NumQubits {
+			return fmt.Errorf("fleet: circuit needs %d qubits, pinned device %q has %d",
+				req.Circuit.NumQubits, opts.Device, e.dev.Properties().NumQubits)
+		}
+	} else if w := s.maxWidthLocked(); req.Circuit.NumQubits > w {
+		return fmt.Errorf("fleet: circuit needs %d qubits, widest device has %d",
+			req.Circuit.NumQubits, w)
+	}
+	return nil
 }
 
 // SubmitBatch accepts several requests under one fleet batch ID; each job is

@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/qrm"
+	"repro/internal/telemetry/trace"
+)
+
+// RestoreStats reports what Restore did with the recovered fleet records.
+type RestoreStats struct {
+	Terminal int // re-entered history untouched
+	Requeued int // re-routed (or parked) under their original IDs
+	Expired  int // past deadline while down; failed with the interrupted error
+}
+
+// Restore loads recovered fleet job records into an empty scheduler.
+// Terminal jobs become history; jobs that were pending or routed when the
+// process died are re-routed from scratch under their *original* IDs — the
+// pre-crash device placement is only a hint that died with the device
+// pools, so recovery reruns the scoring loop, and a job whose terminal
+// record missed its fsync runs again (at-least-once semantics). Jobs past
+// their dispatch deadline fail with the retryable interrupted error
+// instead. Every restored job is marked Recovered and republished (reason
+// "recovered"), so re-attached watch streams and the fresh WAL segment see
+// the post-restart state. Devices must be registered (AddDevice) before
+// calling, otherwise everything recovered parks.
+func (s *Scheduler) Restore(jobs []*Job) (RestoreStats, error) {
+	var stats RestoreStats
+	sorted := make([]*Job, len(jobs))
+	copy(sorted, jobs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return stats, fmt.Errorf("fleet: scheduler stopped")
+	}
+	if len(s.jobs) > 0 {
+		return stats, fmt.Errorf("fleet: restore into a non-empty scheduler (%d jobs present)", len(s.jobs))
+	}
+	nowMs := time.Now().UnixMilli()
+	for _, src := range sorted {
+		if src == nil || src.ID <= 0 {
+			continue
+		}
+		cp := *src
+		j := &cp
+		j.done = make(chan struct{})
+		j.Recovered = true
+		// The job's routing preference survives through Pinned (serialized);
+		// the per-job policy override died with the process, so recovered
+		// jobs route under the scheduler default.
+		j.policy = s.policy
+		j.tr, j.rootSpan, j.parkSpan = nil, nil, nil
+		if j.SubmitUnixMs <= 0 {
+			j.SubmitUnixMs = nowMs
+		}
+
+		if j.ID > s.nextID {
+			s.nextID = j.ID
+		}
+		if j.BatchID > s.nextBatch {
+			s.nextBatch = j.BatchID
+		}
+		s.jobs[j.ID] = j
+		s.jobOrder = append(s.jobOrder, j.ID)
+
+		if terminal(j.Status) {
+			close(j.done)
+			stats.Terminal++
+			continue
+		}
+
+		from := j.Status
+		j.Status = JobPending
+		j.Device = ""
+		j.LocalID = 0
+		j.Result = nil
+		j.Error = ""
+		s.submitted++
+		if j.Request.DeadlineMs > 0 &&
+			float64(nowMs-j.SubmitUnixMs) > j.Request.DeadlineMs {
+			s.finalizeLocked(j, JobFailed, nil, qrm.ErrInterruptedMsg)
+			stats.Expired++
+			continue
+		}
+		j.tr = trace.New("job",
+			trace.Int("job_id", j.ID), trace.Str("user", j.Request.User))
+		j.rootSpan = j.tr.Root()
+		s.publishLocked(j, from, "recovered")
+		s.routeLocked(j, nil, "recovered")
+		stats.Requeued++
+	}
+	s.cond.Broadcast()
+	return stats, nil
+}

@@ -1,0 +1,114 @@
+package mqss
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/durable"
+)
+
+// pathV2AdminStore exposes durable-store health: WAL position, sync mode,
+// segment footprint, compaction history, and what the last restart
+// recovered. Operators hit it through `qhpcctl store status`.
+const pathV2AdminStore = "/api/v2/admin/store"
+
+// StoreStatus is the wire shape of GET /api/v2/admin/store. When the
+// daemon runs without -data-dir the endpoint still answers 200 with
+// attached=false so tooling can distinguish "no durability configured"
+// from "endpoint missing".
+type StoreStatus struct {
+	Attached bool   `json:"attached"`
+	Dir      string `json:"dir,omitempty"`
+	SyncMode string `json:"sync_mode,omitempty"`
+
+	LastLSN    uint64 `json:"last_lsn,omitempty"`
+	DurableLSN uint64 `json:"durable_lsn,omitempty"`
+	Appends    uint64 `json:"appends,omitempty"`
+	Fsyncs     uint64 `json:"fsyncs,omitempty"`
+	Bytes      uint64 `json:"bytes_written,omitempty"`
+	Segments   int    `json:"segments,omitempty"`
+	WALBytes   int64  `json:"wal_bytes,omitempty"`
+
+	SnapshotLSN    uint64 `json:"snapshot_lsn,omitempty"`
+	Compactions    uint64 `json:"compactions,omitempty"`
+	LastCompaction string `json:"last_compaction,omitempty"` // RFC 3339; empty when never
+
+	Replay   *StoreReplayStatus   `json:"replay,omitempty"`
+	Restored *StoreRestoredStatus `json:"restored,omitempty"`
+}
+
+// StoreReplayStatus describes the startup replay that built the current
+// process's materialized view.
+type StoreReplayStatus struct {
+	Records      int     `json:"records"`
+	SkippedBytes int64   `json:"skipped_bytes,omitempty"`
+	SnapshotLSN  uint64  `json:"snapshot_lsn"`
+	Segments     int     `json:"segments"`
+	DurationMs   float64 `json:"duration_ms"`
+}
+
+// StoreRestoredStatus is the scheduler's disposition of recovered jobs.
+type StoreRestoredStatus struct {
+	Terminal int `json:"terminal"`
+	Requeued int `json:"requeued"`
+	Expired  int `json:"expired"`
+}
+
+// AttachStore wires the durable job store into the HTTP layer: the admin
+// endpoint and qhpc_wal_* metric families start reporting, and the v2
+// idempotency cache journals new key bindings (and is seeded with the
+// bindings recovered at startup, so a retry that straddles the restart
+// replays its original job instead of re-executing). The scheduler side
+// (qrm/fleet AttachStore + Restore) is wired separately by the daemon.
+func (s *Server) AttachStore(st *durable.Store, recoveredIdem map[string]int) {
+	s.store = st
+	if st == nil {
+		s.idem.setJournal(nil)
+		return
+	}
+	s.idem.seed(recoveredIdem)
+	s.idem.setJournal(func(key string, jobID int) { st.JournalIdem(key, jobID) })
+}
+
+func (s *Server) handleV2AdminStore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"method not allowed; use GET", false)
+		return
+	}
+	if s.store == nil {
+		writeJSON(w, http.StatusOK, StoreStatus{Attached: false})
+		return
+	}
+	st := s.store.Stats()
+	out := StoreStatus{
+		Attached:    true,
+		Dir:         st.Dir,
+		SyncMode:    string(st.Mode),
+		LastLSN:     st.LastLSN,
+		DurableLSN:  st.Durable,
+		Appends:     st.Appends,
+		Fsyncs:      st.Fsyncs,
+		Bytes:       st.Bytes,
+		Segments:    st.Segments,
+		WALBytes:    st.WALBytes,
+		SnapshotLSN: st.SnapshotLSN,
+		Compactions: st.Compactions,
+		Replay: &StoreReplayStatus{
+			Records:      st.Replay.Records,
+			SkippedBytes: st.Replay.SkippedBytes,
+			SnapshotLSN:  st.Replay.SnapshotLSN,
+			Segments:     st.Replay.Segments,
+			DurationMs:   st.Replay.DurationMs,
+		},
+		Restored: &StoreRestoredStatus{
+			Terminal: st.Restored.Terminal,
+			Requeued: st.Restored.Requeued,
+			Expired:  st.Restored.Expired,
+		},
+	}
+	if !st.LastCompaction.IsZero() {
+		out.LastCompaction = st.LastCompaction.UTC().Format(time.RFC3339)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -61,6 +61,7 @@ const (
 	CodeUnavailable      = "unavailable"       // transient capacity loss; retryable
 	CodeDeadlineExceeded = "deadline_exceeded" // expired before dispatch; retryable
 	CodeExecutionFailed  = "execution_failed"  // the device rejected or failed the job
+	CodeInterrupted      = "interrupted"       // lost to a crash/restart; retryable
 	CodeInternal         = "internal"
 )
 
@@ -110,6 +111,10 @@ type Job struct {
 	// Timing on the backend's simulation clock.
 	SubmitTime float64 `json:"submit_time"`
 	EndTime    float64 `json:"end_time,omitempty"`
+
+	// Recovered marks a job restored from the durable store after a
+	// restart; absent on jobs submitted to the current process.
+	Recovered bool `json:"recovered,omitempty"`
 
 	// Error is the structured envelope for failed jobs.
 	Error *APIError `json:"error,omitempty"`
@@ -268,6 +273,12 @@ func stateFromEvent(to string) JobState {
 
 // jobErrorEnvelope classifies a failed backend record into the envelope.
 func jobErrorEnvelope(status qrm.JobStatus, msg string) *APIError {
+	// Crash-recovery expiry is keyed on the message, not the status: the
+	// qrm path surfaces it as interrupted, the fleet path as failed, and
+	// both must yield the same retryable "interrupted" code.
+	if msg == qrm.ErrInterruptedMsg {
+		return &APIError{Code: CodeInterrupted, Message: msg, Retryable: true}
+	}
 	switch status {
 	case qrm.StatusInterrupted:
 		if msg == "" {
@@ -301,6 +312,7 @@ func v2FromQRM(j *qrm.Job, device string, withRequest bool) *Job {
 		DurationUs:    j.DurationUs,
 		SubmitTime:    j.SubmitTime,
 		EndTime:       j.EndTime,
+		Recovered:     j.Recovered,
 	}
 	if j.Status == qrm.StatusFailed || j.Status == qrm.StatusInterrupted {
 		out.Error = jobErrorEnvelope(j.Status, j.Error)
@@ -327,6 +339,7 @@ func v2FromFleet(j *fleet.Job, devRec *qrm.Job, withRequest bool) *Job {
 		Migrations: j.Migrations,
 		Score:      j.Score,
 		Pinned:     j.Pinned,
+		Recovered:  j.Recovered,
 	}
 	rec := j.Result
 	if rec == nil && devRec != nil {

@@ -519,6 +519,20 @@ func (c *Client) V2JobTrace(ctx context.Context, id string) (*JobTrace, error) {
 	return &jt, nil
 }
 
+// StoreStatus reads durable-store health from a v2 server
+// (GET /api/v2/admin/store). Local clients talk straight to the scheduler
+// and bypass the HTTP layer that owns the store, so this is remote-only.
+func (c *Client) StoreStatus(ctx context.Context) (*StoreStatus, error) {
+	if c.local != nil || c.localFleet != nil {
+		return nil, fmt.Errorf("mqss: StoreStatus requires a remote client (the durable store is owned by the server process)")
+	}
+	var st StoreStatus
+	if _, err := c.doJSON(ctx, http.MethodGet, pathV2AdminStore, nil, &st, nil, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
 // ListOptions filter the v2 job listing.
 type ListOptions struct {
 	User   string

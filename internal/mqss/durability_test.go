@@ -1,0 +1,169 @@
+package mqss
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/durable"
+	"repro/internal/fleet"
+	"repro/internal/qdmi"
+)
+
+// durableStack builds a fleet server backed by a crash-durable store in
+// dir, restoring whatever a previous incarnation left there (cold start on
+// an empty dir).
+func durableStack(t *testing.T, dir string) (*fleet.Scheduler, *Server, *httptest.Server, *durable.Store) {
+	t.Helper()
+	st, opened, err := durable.Open(dir, durable.Options{Sync: durable.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fleet.New(fleet.PolicyBestFidelity, nil)
+	for name, seed := range map[string]int64{"alpha": 1, "beta": 2} {
+		if err := f.AddDevice(name, twinDev(t, name, 4, 5, seed), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.AttachStore(st)
+	rs, err := f.Restore(opened.FleetJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.NoteRestore(rs.Terminal, rs.Requeued, rs.Expired)
+	server := NewFleetServer(f)
+	server.AttachStore(st, opened.Idem)
+	hs := httptest.NewServer(server)
+	return f, server, hs, st
+}
+
+// TestIdempotencyAcrossRestart is the chaos regression for the durability
+// contract clients actually depend on: submit with an Idempotency-Key, kill
+// the node (store abandoned mid-flight), reboot from the same data dir, and
+// re-submit the same key. The replay must return the SAME v2 job ID with
+// the Idempotency-Replayed header, the completed work must not run again,
+// and the recovered job must still carry its terminal result.
+func TestIdempotencyAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	f1, server1, hs1, st1 := durableStack(t, dir)
+
+	req := SubmitRequest{Circuit: circuit.GHZ(3), Shots: 10, User: "chaos"}
+	hdr := map[string]string{"Idempotency-Key": "chaos-key"}
+	resp := postV2(t, hs1, "/api/v2/jobs?wait=10s", req, hdr)
+	first := decodeV2Job(t, resp.Body)
+	resp.Body.Close()
+	if !first.State.Terminal() || first.State != StateDone {
+		t.Fatalf("pre-crash job did not finish: %+v", first)
+	}
+
+	// kill -9: the store loses anything unflushed, the process vanishes.
+	st1.Abandon()
+	server1.Close()
+	hs1.Close()
+	f1.Stop()
+
+	// Reboot from the same directory.
+	f2, server2, hs2, _ := durableStack(t, dir)
+	defer func() { server2.Close(); hs2.Close(); f2.Stop() }()
+
+	// Same key after the restart: same ID, marked replayed, no re-execution.
+	resp = postV2(t, hs2, "/api/v2/jobs", req, hdr)
+	replayed := decodeV2Job(t, resp.Body)
+	if resp.Header.Get("Idempotency-Replayed") != "true" {
+		t.Error("post-restart replay missing Idempotency-Replayed header")
+	}
+	resp.Body.Close()
+	if replayed.ID != first.ID {
+		t.Fatalf("idempotency broke across restart: got %s, want %s", replayed.ID, first.ID)
+	}
+	if replayed.State != StateDone || !replayed.Recovered {
+		t.Fatalf("replayed job should be the recovered terminal record: %+v", replayed)
+	}
+	if len(replayed.Counts) == 0 {
+		t.Error("recovered job lost its measurement counts")
+	}
+
+	// The dedup must have bound to the restored job, not created a second
+	// one: the job list still holds exactly one job.
+	list, err := httpGetJSON(hs2.URL + "/api/v2/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs, ok := list["jobs"].([]interface{}); !ok || len(jobs) != 1 {
+		t.Fatalf("restart+replay changed the job count: %v", list["jobs"])
+	}
+
+	// A different key is still a fresh job on the rebooted node.
+	resp = postV2(t, hs2, "/api/v2/jobs?wait=10s", req, map[string]string{"Idempotency-Key": "other-key"})
+	other := decodeV2Job(t, resp.Body)
+	resp.Body.Close()
+	if other.ID == first.ID {
+		t.Error("distinct key deduped against the recovered job")
+	}
+}
+
+// TestInterruptedEnvelope pins the wire contract for jobs the restart could
+// not save: the v2 error envelope must be {code:"interrupted"} and
+// retryable, keyed off the qrm restore error message.
+func TestInterruptedEnvelope(t *testing.T) {
+	env := jobErrorEnvelope("failed", "interrupted by restart: dispatch deadline passed during recovery")
+	if env == nil || env.Code != CodeInterrupted || !env.Retryable {
+		t.Fatalf("interrupted envelope wrong: %+v", env)
+	}
+}
+
+// TestAdminStoreEndpoint covers /api/v2/admin/store in both states: a
+// storeless server reports attached=false, an attached one reports live WAL
+// counters, and writes are rejected.
+func TestAdminStoreEndpoint(t *testing.T) {
+	// Storeless server.
+	f := newTestFleet(t, map[string]*qdmi.Device{"solo": twinDev(t, "solo", 4, 5, 3)}, 2)
+	hs := httptest.NewServer(NewFleetServer(f))
+	t.Cleanup(hs.Close)
+	body, err := httpGetJSON(hs.URL + "/api/v2/admin/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attached, _ := body["attached"].(bool); attached {
+		t.Fatalf("storeless server claims a store: %v", body)
+	}
+
+	// Attached server, after real traffic.
+	f2, server2, hs2, _ := durableStack(t, t.TempDir())
+	t.Cleanup(func() { server2.Close(); hs2.Close(); f2.Stop() })
+	resp := postV2(t, hs2, "/api/v2/jobs?wait=10s", SubmitRequest{Circuit: circuit.GHZ(2), Shots: 5, User: "admin"}, nil)
+	decodeV2Job(t, resp.Body)
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	status, err := NewRemoteClient(hs2.URL, hs2.Client()).StoreStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.Attached || status.SyncMode != string(durable.SyncAlways) {
+		t.Fatalf("store status wrong: %+v", status)
+	}
+	if status.LastLSN == 0 || status.DurableLSN < status.LastLSN || status.Appends == 0 || status.Fsyncs == 0 {
+		t.Fatalf("store counters did not move: %+v", status)
+	}
+
+	// Writes are not part of the surface.
+	req, _ := http.NewRequest(http.MethodPost, hs2.URL+"/api/v2/admin/store", nil)
+	wresp, err := hs2.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST admin/store = %d, want 405", wresp.StatusCode)
+	}
+
+	// The local client has no store plumbing — it must say so, not lie.
+	if _, err := NewLocalFleetClient(f2).StoreStatus(ctx); err == nil {
+		t.Error("local client StoreStatus should error")
+	}
+}

@@ -20,6 +20,10 @@ type idemCache struct {
 	max     int
 	entries map[string]idemEntry
 	order   []string // insertion order for FIFO eviction
+	// journal, when set, records each new successful binding in the durable
+	// store so replays dedup across a process restart. Called under c.mu —
+	// the binding must hit the WAL before a concurrent retry can observe it.
+	journal func(key string, jobID int)
 }
 
 type idemEntry struct {
@@ -59,11 +63,42 @@ func (c *idemCache) do(key string, submit func() (int, error)) (jobID int, repla
 	}
 	c.entries[key] = idemEntry{jobID: id}
 	c.order = append(c.order, key)
+	if c.journal != nil {
+		c.journal(key, id)
+	}
 	for len(c.order) > c.max {
 		delete(c.entries, c.order[0])
 		c.order = c.order[1:]
 	}
 	return id, false, nil
+}
+
+// setJournal installs (or clears) the durable-store hook for new bindings.
+func (c *idemCache) setJournal(fn func(key string, jobID int)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = fn
+}
+
+// seed preloads recovered bindings (startup replay). Iteration order of the
+// map is arbitrary, which is fine: recovered keys share one eviction epoch.
+func (c *idemCache) seed(bindings map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, id := range bindings {
+		if key == "" {
+			continue
+		}
+		if _, ok := c.entries[key]; ok {
+			continue
+		}
+		c.entries[key] = idemEntry{jobID: id}
+		c.order = append(c.order, key)
+	}
+	for len(c.order) > c.max {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
 }
 
 // len reports the live entry count (tests).

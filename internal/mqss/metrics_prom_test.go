@@ -122,6 +122,20 @@ func TestMetricsExposition(t *testing.T) {
 		families[name] = true
 	}
 
+	// Store-backed fleet stack: adds the qhpc_wal_* families.
+	df, dserver, dsrv, _ := durableStack(t, t.TempDir())
+	t.Cleanup(func() { dserver.Close(); dsrv.Close(); df.Stop() })
+	if status, body := contractDo(t, dsrv, http.MethodPost, "/api/v2/jobs?wait=10s", sreq, nil); status != http.StatusOK {
+		t.Fatalf("durable submit = %d\n%s", status, body)
+	}
+	durableFamilies := checkExposition(t, scrapeMetrics(t, dsrv))
+	if !durableFamilies["qhpc_wal_appends_total"] {
+		t.Error("store-backed server exported no qhpc_wal_appends_total samples")
+	}
+	for name := range durableFamilies {
+		families[name] = true
+	}
+
 	if len(families) == 0 {
 		t.Fatal("no metric families scraped")
 	}

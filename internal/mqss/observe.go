@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/qrm"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
@@ -140,9 +141,34 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		retained, drops := s.qrm.TraceStats()
 		promTraces(pw, name, retained, drops)
 	}
+	if s.store != nil {
+		promStore(pw, s.store.Stats())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = pw.WriteTo(w)
+}
+
+// promStore renders durable-store health (only on servers with -data-dir).
+func promStore(pw *telemetry.PromWriter, st durable.Stats) {
+	l := telemetry.Labels{{"mode", string(st.Mode)}}
+	pw.Counter("qhpc_wal_appends_total", "Records appended to the job WAL.", l, float64(st.Appends))
+	pw.Counter("qhpc_wal_fsyncs_total", "fsync calls issued by the WAL.", l, float64(st.Fsyncs))
+	pw.Counter("qhpc_wal_bytes_written_total", "Journal bytes written since process start.", l, float64(st.Bytes))
+	pw.Gauge("qhpc_wal_segments", "Journal segment files on disk.", l, float64(st.Segments))
+	pw.Gauge("qhpc_wal_disk_bytes", "Journal plus snapshot bytes on disk.", l, float64(st.WALBytes))
+	pw.Gauge("qhpc_wal_last_lsn", "LSN of the most recently appended record.", l, float64(st.LastLSN))
+	pw.Gauge("qhpc_wal_durable_lsn", "Highest LSN known to be on stable storage.", l, float64(st.Durable))
+	pw.Gauge("qhpc_wal_snapshot_lsn", "LSN covered by the last compaction snapshot.", l, float64(st.SnapshotLSN))
+	pw.Counter("qhpc_wal_compactions_total", "Snapshot compactions completed.", l, float64(st.Compactions))
+	pw.Gauge("qhpc_wal_replay_duration_ms", "Startup snapshot+WAL replay time in milliseconds.", l, st.Replay.DurationMs)
+	pw.Gauge("qhpc_wal_replay_skipped_bytes", "Torn/corrupt tail bytes ignored during startup replay.", l, float64(st.Replay.SkippedBytes))
+	rl := func(outcome string) telemetry.Labels {
+		return telemetry.Labels{{"mode", string(st.Mode)}, {"outcome", outcome}}
+	}
+	pw.Counter("qhpc_wal_recovered_jobs_total", "Jobs recovered at startup by disposition (outcome: terminal, requeued, expired).", rl("terminal"), float64(st.Restored.Terminal))
+	pw.Counter("qhpc_wal_recovered_jobs_total", "", rl("requeued"), float64(st.Restored.Requeued))
+	pw.Counter("qhpc_wal_recovered_jobs_total", "", rl("expired"), float64(st.Restored.Expired))
 }
 
 func boolGauge(b bool) float64 {

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/durable"
 	"repro/internal/fleet"
 	"repro/internal/qdmi"
 	"repro/internal/qrm"
@@ -50,6 +51,10 @@ type Server struct {
 	closeOnce sync.Once
 	// idem is the bounded Idempotency-Key dedup cache behind v2 submission.
 	idem *idemCache
+	// store is the durable job store attached via AttachStore (nil =
+	// in-memory only); it backs /api/v2/admin/store, the qhpc_wal_* metric
+	// families, and idempotency-key journaling.
+	store *durable.Store
 	// AutoRun executes jobs synchronously on submission whenever the QRM's
 	// dispatch pipeline is not running, which keeps the remote path
 	// self-contained in tests and examples. With the pipeline started
@@ -101,6 +106,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc(pathMetricsProm, s.handleMetricsProm)
 	s.mux.HandleFunc(pathV2Jobs, withRequestID(s.handleV2Jobs))
 	s.mux.HandleFunc(pathV2Jobs+"/", withRequestID(s.handleV2JobByID))
+	s.mux.HandleFunc(pathV2AdminStore, withRequestID(s.handleV2AdminStore))
 }
 
 // complete brings a submitted job to a terminal state using whichever

@@ -447,7 +447,13 @@ func (s *Server) v2Watch(w http.ResponseWriter, r *http.Request, id int) {
 		}
 	}
 
-	emit(JobEvent{JobID: job.ID, State: job.State, Device: job.Device, Reason: "snapshot"})
+	// Watchers re-attaching after a restart learn they are looking at a
+	// recovered job from the opening event's reason.
+	snapReason := "snapshot"
+	if job.Recovered && !job.State.Terminal() {
+		snapReason = "recovered"
+	}
+	emit(JobEvent{JobID: job.ID, State: job.State, Device: job.Device, Reason: snapReason})
 	if job.State.Terminal() {
 		return
 	}

@@ -42,10 +42,13 @@ func (m *Manager) SaveSnapshot(w io.Writer) error {
 	return nil
 }
 
-// SaveSnapshotFile writes the job store to path atomically (temp file in
-// the same directory, then rename), so a crash mid-write can never leave a
-// truncated snapshot where a good one should be. This is the shutdown hook
-// qhpcd calls after draining the pipeline.
+// SaveSnapshotFile writes the job store to path atomically *and durably*:
+// temp file in the same directory, fsync the file, rename, fsync the
+// parent directory. Rename alone makes the swap atomic against torn
+// writes, but neither the temp file's blocks nor the directory entry are
+// guaranteed on stable storage until both fsyncs — a power cut after a
+// sync-less rename can surface the old file, an empty new one, or nothing.
+// This is the shutdown hook qhpcd calls after draining the pipeline.
 func (m *Manager) SaveSnapshotFile(path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -57,11 +60,23 @@ func (m *Manager) SaveSnapshotFile(path string) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("qrm: syncing snapshot: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("qrm: closing snapshot: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("qrm: publishing snapshot: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("qrm: opening snapshot dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("qrm: syncing snapshot dir: %w", err)
 	}
 	return nil
 }

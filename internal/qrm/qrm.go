@@ -81,6 +81,16 @@ type Job struct {
 	SubmitTime float64 `json:"submit_time"`
 	EndTime    float64 `json:"end_time,omitempty"`
 
+	// SubmitUnixMs is the wall-clock submission instant in Unix
+	// milliseconds. It is excluded from the v1 wire shape; the durable job
+	// store persists it alongside the record so dispatch deadlines keep
+	// their original budget across a process restart.
+	SubmitUnixMs int64 `json:"-"`
+	// Recovered marks a job restored from the durable store after a
+	// restart; the v2 API surfaces it so clients can tell a replayed job
+	// from a fresh one.
+	Recovered bool `json:"recovered,omitempty"`
+
 	// done is closed when the job reaches a terminal status; WaitJob and
 	// the streaming batch endpoints block on it. Copies made for callers
 	// share the channel (it is reference-like), which is exactly right.
@@ -178,6 +188,12 @@ type Manager struct {
 	metrics  metrics
 	bus      *EventBus // lifecycle transitions for watch subscribers
 
+	// Durable job store (nil = in-memory only). walTail is the LSN of the
+	// most recent record this manager journaled; submit reads it under
+	// m.mu and waits for durability after unlocking.
+	store   JobStore
+	walTail uint64
+
 	// Trace retention: a FIFO of the last traceCap terminal job IDs whose
 	// traces this manager owns. Eviction drops the job's trace reference;
 	// in-flight snapshot readers keep evicted traces alive via their own
@@ -192,6 +208,16 @@ type Manager struct {
 type slotGate interface {
 	Acquire()
 	Release()
+}
+
+// JobStore is the durability boundary behind the manager (declared locally,
+// like slotGate, to keep qrm free of a durable import): every lifecycle
+// transition is journaled as an upsert of the job's full record, and Submit
+// acks only after WaitDurable confirms its record reached stable storage.
+// internal/durable's WAL-backed Store implements it.
+type JobStore interface {
+	JournalQRMJob(j *Job) (lsn uint64)
+	WaitDurable(lsn uint64)
 }
 
 // NewManager builds a QRM over a QDMI device handle.
@@ -213,9 +239,25 @@ func NewManager(dev *qdmi.Device) *Manager {
 // lifecycle transition (queued, compiling, running, terminal) as it happens.
 func (m *Manager) Events() *EventBus { return m.bus }
 
+// AttachStore installs the durable job store: every subsequent transition
+// is journaled and Submit acks only after its record is durable. Pass nil
+// to detach (the fault lab uses this to freeze a "dead" process's store).
+// Attach before the first submission — replayed history comes in through
+// Restore, not the journal.
+func (m *Manager) AttachStore(st JobStore) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.store = st
+}
+
 // publishLocked emits a lifecycle event. Caller holds m.mu; the bus has its
 // own lock and never calls back into the manager, so this cannot deadlock.
+// With a store attached the transition is journaled first — the WAL is the
+// authoritative copy of exactly the stream the bus publishes.
 func (m *Manager) publishLocked(j *Job, from JobStatus, reason string) {
+	if m.store != nil {
+		m.walTail = m.store.JournalQRMJob(j)
+	}
 	m.bus.Publish(Event{
 		JobID:  j.ID,
 		From:   string(from),
@@ -382,14 +424,15 @@ func (m *Manager) submit(req Request, parent *trace.Span) (int, error) {
 			req.Circuit.NumQubits, m.dev.Properties().NumQubits)
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if !m.online {
+		m.mu.Unlock()
 		return 0, fmt.Errorf("qrm: QPU offline (maintenance or outage)")
 	}
 	m.nextID++
+	now := time.Now()
 	j := &Job{
 		ID: m.nextID, Status: StatusQueued, Request: req, SubmitTime: m.now,
-		done: make(chan struct{}), submitWall: time.Now(),
+		done: make(chan struct{}), submitWall: now, SubmitUnixMs: now.UnixMilli(),
 	}
 	if parent != nil {
 		j.tr, j.span = parent.Trace(), parent
@@ -407,6 +450,15 @@ func (m *Manager) submit(req Request, parent *trace.Span) (int, error) {
 	m.metrics.observeQueueDepth(len(m.queue))
 	m.publishLocked(j, "", "")
 	m.cond.Broadcast()
+	st, lsn := m.store, m.walTail
+	m.mu.Unlock()
+	if st != nil {
+		// Ack-after-durable: the ID is not returned until the submit record
+		// is on stable storage, so a 202 implies the job survives kill -9.
+		// Waiting happens outside m.mu — group commit batches concurrent
+		// submitters behind one fsync without serializing the pipeline.
+		st.WaitDurable(lsn)
+	}
 	return j.ID, nil
 }
 

@@ -4,12 +4,15 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/durable"
 	"repro/internal/fleet"
 	"repro/internal/mqss"
 	"repro/internal/qdmi"
@@ -31,8 +34,14 @@ type Env struct {
 	// what the variance gate measures.
 	Rand *rand.Rand
 
-	srv *mqss.Server
-	hs  *httptest.Server
+	// Store is the crash-durable job store, present after EnableDurability;
+	// the Crash hook abandons it (simulated kill -9) and replays it into the
+	// rebuilt stack.
+	Store *durable.Store
+
+	srv     *mqss.Server
+	hs      *httptest.Server
+	dataDir string
 
 	mu         sync.Mutex
 	recent     []string // measured v2 job IDs, for churn targets
@@ -106,28 +115,11 @@ func (e *Env) chaffIDs() []string {
 func newEnv(spec Spec, run int) (*Env, error) {
 	e := &Env{
 		Spec:       spec,
-		QPUs:       make(map[string]*device.QPU, spec.Fleet.Devices),
 		Rand:       rand.New(rand.NewSource(spec.Seed*1000 + int64(run))),
 		injectDone: make(chan struct{}),
 	}
-	e.Fleet = fleet.New(spec.Fleet.Policy, nil)
-	for i := 0; i < spec.Fleet.Devices; i++ {
-		name := fmt.Sprintf("dev-%d", i)
-		qpu, err := device.New(device.Config{
-			Name: name, Rows: spec.Fleet.Rows, Cols: spec.Fleet.Cols,
-			Seed: spec.Seed + int64(i), DigitalTwin: true,
-		})
-		if err != nil {
-			e.Fleet.Stop()
-			return nil, fmt.Errorf("scenario: building %s: %w", name, err)
-		}
-		qpu.SetExecLatency(spec.Fleet.ExecLatency)
-		if err := e.Fleet.AddDevice(name, qdmi.NewDevice(qpu, nil), spec.Fleet.Workers); err != nil {
-			e.Fleet.Stop()
-			return nil, fmt.Errorf("scenario: adding %s: %w", name, err)
-		}
-		e.QPUs[name] = qpu
-		e.Names = append(e.Names, name)
+	if err := e.buildFleet(); err != nil {
+		return nil, err
 	}
 	e.srv = mqss.NewFleetServer(e.Fleet)
 	e.hs = httptest.NewServer(e.srv)
@@ -144,6 +136,108 @@ func newEnv(spec Spec, run int) (*Env, error) {
 	return e, nil
 }
 
+// buildFleet constructs the scheduler and its devices from the spec's
+// deterministic seeds. Crash reruns it so the reborn stack matches the one
+// that died device for device.
+func (e *Env) buildFleet() error {
+	spec := e.Spec
+	e.Fleet = fleet.New(spec.Fleet.Policy, nil)
+	e.QPUs = make(map[string]*device.QPU, spec.Fleet.Devices)
+	e.Names = nil
+	for i := 0; i < spec.Fleet.Devices; i++ {
+		name := fmt.Sprintf("dev-%d", i)
+		qpu, err := device.New(device.Config{
+			Name: name, Rows: spec.Fleet.Rows, Cols: spec.Fleet.Cols,
+			Seed: spec.Seed + int64(i), DigitalTwin: true,
+		})
+		if err != nil {
+			e.Fleet.Stop()
+			return fmt.Errorf("scenario: building %s: %w", name, err)
+		}
+		qpu.SetExecLatency(spec.Fleet.ExecLatency)
+		if err := e.Fleet.AddDevice(name, qdmi.NewDevice(qpu, nil), spec.Fleet.Workers); err != nil {
+			e.Fleet.Stop()
+			return fmt.Errorf("scenario: adding %s: %w", name, err)
+		}
+		e.QPUs[name] = qpu
+		e.Names = append(e.Names, name)
+	}
+	return nil
+}
+
+// EnableDurability backs this run's stack with a crash-durable job store in
+// a throwaway directory (group-commit fsync, the qhpcd default). Call from
+// a Setup hook; Crash then has a WAL to replay.
+func (e *Env) EnableDurability() error {
+	dir, err := os.MkdirTemp("", "scenario-wal-*")
+	if err != nil {
+		return fmt.Errorf("scenario: wal dir: %w", err)
+	}
+	st, _, err := durable.Open(dir, durable.Options{Sync: durable.SyncGroup})
+	if err != nil {
+		os.RemoveAll(dir)
+		return fmt.Errorf("scenario: opening store: %w", err)
+	}
+	e.dataDir = dir
+	e.Store = st
+	e.Fleet.AttachStore(st)
+	e.srv.AttachStore(st, nil)
+	return nil
+}
+
+// Crash is the kill -9 fault: it abandons the store mid-flight (unflushed
+// group-commit buffer lost, no final fsync — exactly what SIGKILL leaves on
+// disk), tears the whole stack down, then boots a fresh one from the same
+// data directory on the same port. Every job the WAL acked must come back:
+// terminal ones with results, in-flight ones re-queued under their original
+// IDs. Clients keep their handles — the address survives the reboot.
+func (e *Env) Crash() error {
+	if e.Store == nil {
+		return fmt.Errorf("scenario: Crash needs EnableDurability in the Setup hook")
+	}
+	addr := e.hs.Listener.Addr().String()
+
+	// The kill: from here on nothing the dying process does reaches disk.
+	e.Store.Abandon()
+	e.srv.Close() // release v2 watch streams so the listener can drain
+	e.hs.Close()
+	e.Fleet.Stop()
+
+	// The reboot: replay snapshot + WAL, rebuild the identical fleet, hand
+	// it the recovered jobs, and come back up on the same address.
+	st, rec, err := durable.Open(e.dataDir, durable.Options{Sync: durable.SyncGroup})
+	if err != nil {
+		return fmt.Errorf("scenario: reopening store: %w", err)
+	}
+	if err := e.buildFleet(); err != nil {
+		return err
+	}
+	e.Fleet.AttachStore(st)
+	rs, err := e.Fleet.Restore(rec.FleetJobs)
+	if err != nil {
+		return fmt.Errorf("scenario: restoring jobs: %w", err)
+	}
+	st.NoteRestore(rs.Terminal, rs.Requeued, rs.Expired)
+	e.Store = st
+	e.srv = mqss.NewFleetServer(e.Fleet)
+	e.srv.AttachStore(st, rec.Idem)
+
+	var l net.Listener
+	for attempt := 0; ; attempt++ {
+		l, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if attempt >= 50 {
+			return fmt.Errorf("scenario: rebinding %s: %w", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	e.hs = &httptest.Server{Listener: l, Config: &http.Server{Handler: e.srv}}
+	e.hs.Start()
+	return nil
+}
+
 // close tears the run's stack down: background churn first, then the HTTP
 // front end, then the scheduler (parking any stragglers).
 func (e *Env) close() {
@@ -156,6 +250,12 @@ func (e *Env) close() {
 	e.srv.Close()
 	e.hs.Close()
 	e.Fleet.Stop()
+	if e.Store != nil {
+		e.Store.Close()
+	}
+	if e.dataDir != "" {
+		os.RemoveAll(e.dataDir)
+	}
 }
 
 // endInject marks the inject phase settled and joins background churn.

@@ -87,6 +87,27 @@ func TestScenarioSmoke(t *testing.T) {
 	}
 }
 
+// TestCrashRecoverySmoke runs the kill -9 scenario (reduced load, single
+// run) in the regular suite: the WAL replay path, same-port restart, watch
+// re-attach, and the zero-lost/watch-terminal/error-rate gates must hold on
+// every `go test ./...`.
+func TestCrashRecoverySmoke(t *testing.T) {
+	r := &Runner{Runs: 1, Logf: t.Logf}
+	res, err := r.RunSpec(smokeSpec(t, "node-crash-recovery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zero-lost", "watch-terminal", "error-rate"} {
+		g := res.Gate(name)
+		if g == nil {
+			t.Fatalf("gate %q missing", name)
+		}
+		if !g.Pass {
+			t.Errorf("gate %s tripped: %s", g.Name, g.Detail)
+		}
+	}
+}
+
 // TestScenarioNegativeControl proves the lab can see an unhandled
 // incident: the device-death fault is injected but the React hook (mark
 // failed, trigger failover) is withheld. The poisoned device stays in the
@@ -139,6 +160,7 @@ func TestRegistry(t *testing.T) {
 	for _, want := range []string{
 		"device-death-midbatch", "calib-drift-midjob", "slow-straggler",
 		"watch-churn", "deadline-storm", "maintenance-drain",
+		"node-crash-recovery",
 	} {
 		if _, ok := Lookup(want); !ok {
 			t.Errorf("built-in scenario %q missing", want)

@@ -469,33 +469,36 @@ func (r *Runner) runPhase(env *Env, ph Phase, midFault func()) phaseStats {
 	return st
 }
 
-// watchToTerminal rides the watch stream to the job's terminal event, with
-// a polling fallback that distinguishes "the stream failed but the job
-// finished" (a watch-terminal SLO violation) from "the job never finished"
-// (a zero-lost violation).
+// watchToTerminal rides the watch stream to the job's terminal event,
+// re-attaching by job ID when a stream is severed short of terminal (server
+// restart, dropped connection) — the v2 contract is that a fresh watch
+// opens with a snapshot/recovered event, so a re-attached stream can still
+// deliver the terminal state. Within the phase budget: a job confirmed
+// terminal only by polling is a watch-terminal SLO violation; a job never
+// confirmed terminal at all is a zero-lost violation.
 func watchToTerminal(ctx context.Context, h *mqss.JobHandle, submitted time.Time) outcome {
-	j, err := h.Watch(ctx, nil)
-	if err == nil && j != nil && j.State.Terminal() {
+	terminal := func(j *mqss.Job, viaWatch bool) outcome {
 		return outcome{
 			latMs:   float64(time.Since(submitted).Microseconds()) / 1000,
 			failed:  j.State != mqss.StateDone,
-			watchOK: true,
+			watchOK: viaWatch,
 		}
 	}
 	for {
-		pollCtx, pollCancel := context.WithTimeout(context.Background(), time.Second)
-		j, perr := h.Poll(pollCtx)
-		pollCancel()
-		if perr == nil && j.State.Terminal() {
-			return outcome{
-				latMs:  float64(time.Since(submitted).Microseconds()) / 1000,
-				failed: j.State != mqss.StateDone,
+		j, err := h.Watch(ctx, nil)
+		if err == nil && j != nil && j.State.Terminal() {
+			return terminal(j, true)
+		}
+		if ctx.Err() != nil {
+			// Phase budget exhausted: one unbudgeted poll classifies the miss.
+			pollCtx, pollCancel := context.WithTimeout(context.Background(), time.Second)
+			pj, perr := h.Poll(pollCtx)
+			pollCancel()
+			if perr == nil && pj.State.Terminal() {
+				return terminal(pj, false)
 			}
-		}
-		select {
-		case <-ctx.Done():
 			return outcome{lost: true}
-		case <-time.After(5 * time.Millisecond):
 		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -22,6 +22,7 @@ func init() {
 	Register(watchChurn())
 	Register(deadlineStorm())
 	Register(maintenanceDrain())
+	Register(nodeCrashRecovery())
 }
 
 // deviceDeathMidBatch poisons one device's control electronics with a
@@ -165,6 +166,34 @@ func deadlineStorm() Spec {
 				}
 			},
 		},
+	}
+}
+
+// nodeCrashRecovery kills the control node mid-batch — the durable store is
+// abandoned with its group-commit buffer unflushed, exactly the disk state
+// SIGKILL leaves — and reboots it from the same data directory on the same
+// address. The WAL replay must bring back every acked job: terminal ones
+// with results, in-flight ones re-queued under their original IDs, and the
+// severed watch streams must re-attach and still deliver terminal events.
+// The inject p95 bound absorbs the restart downtime the straddling jobs pay.
+func nodeCrashRecovery() Spec {
+	return Spec{
+		Name:        "node-crash-recovery",
+		Description: "kill -9 of the control node mid-batch; WAL replay must finish every acked job with no losses",
+		Seed:        107,
+		Hooks: Hooks{
+			Setup: func(e *Env) {
+				if err := e.EnableDurability(); err != nil {
+					panic(err)
+				}
+			},
+			Fault: func(e *Env) {
+				if err := e.Crash(); err != nil {
+					panic(err)
+				}
+			},
+		},
+		SLO: SLO{P95Ms: map[Phase]float64{Inject: 2500}},
 	}
 }
 
