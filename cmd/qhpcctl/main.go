@@ -231,6 +231,8 @@ func main() {
 		scenariosCommand(args[1:])
 	case "store":
 		storeCommand(ctx, client, args[1:])
+	case "tenants":
+		tenantsCommand(ctx, client, args[1:])
 	default:
 		usage()
 	}
@@ -392,6 +394,46 @@ func storeCommand(ctx context.Context, client *mqss.Client, args []string) {
 	if st.Restored != nil {
 		fmt.Printf("recovered jobs: %d terminal, %d re-queued, %d expired\n",
 			st.Restored.Terminal, st.Restored.Requeued, st.Restored.Expired)
+	}
+}
+
+// tenantsCommand shows the multi-tenant admission plane:
+// `tenants status` reads GET /api/v2/admin/tenants — the configured limits
+// plus one usage row per tenant (queue depth, outcome counters, throttles).
+func tenantsCommand(ctx context.Context, client *mqss.Client, args []string) {
+	sub := "status"
+	if len(args) > 0 {
+		sub = args[0]
+	}
+	if sub != "status" {
+		log.Fatalf("unknown tenants subcommand %q (want: status)", sub)
+	}
+	ts, err := client.TenantsStatus(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ts.Limiter != nil {
+		fmt.Printf("rate limit: %.3g jobs/s per tenant (burst %d); refusals are 429 + Retry-After\n",
+			ts.Limiter.Rate, ts.Limiter.Burst)
+	} else {
+		fmt.Println("rate limit: off")
+	}
+	if ts.Admission != nil && ts.Admission.Enabled() {
+		fmt.Printf("queue bounds: per-tenant %d, high-water %d (0 = unbounded); overflow is shed\n",
+			ts.Admission.MaxTenantQueue, ts.Admission.HighWater)
+	} else {
+		fmt.Println("queue bounds: off")
+	}
+	if len(ts.Tenants) == 0 {
+		fmt.Println("no tenant activity yet")
+		return
+	}
+	fmt.Printf("%-20s %6s %9s %9s %6s %9s %6s %9s %9s\n",
+		"TENANT", "QUEUED", "SUBMITTED", "COMPLETED", "FAILED", "CANCELLED", "SHED", "ALLOWED", "THROTTLED")
+	for _, row := range ts.Tenants {
+		fmt.Printf("%-20s %6d %9d %9d %6d %9d %6d %9d %9d\n",
+			row.User, row.Queued, row.Submitted, row.Completed, row.Failed,
+			row.Cancelled, row.Shed, row.Allowed, row.Throttled)
 	}
 }
 
@@ -841,6 +883,9 @@ commands:
                                        the SLO release gates (docs/SCENARIOS.md)
   store [status]                       show the crash-durable job store: WAL position,
                                        segments, compaction, and what the last restart
-                                       recovered (docs/DURABILITY.md)`)
+                                       recovered (docs/DURABILITY.md)
+  tenants [status]                     show the multi-tenant admission plane: configured
+                                       rate limit and queue bounds plus per-tenant usage
+                                       (queue depth, completions, sheds, throttles)`)
 	os.Exit(2)
 }

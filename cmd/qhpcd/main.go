@@ -9,6 +9,14 @@
 //	      [-pprof-addr localhost:6060] [-engine-stats-every 30s]
 //	      [-snapshot /var/lib/qhpcd/qrm.json]
 //	      [-data-dir /var/lib/qhpcd/store] [-wal-sync group] [-wal-compact-every 1m]
+//	      [-tenant-rate 0] [-tenant-burst 0] [-tenant-queue 0] [-queue-high-water 0]
+//
+// The -tenant-* flags turn on the multi-tenant admission plane (default off):
+// a per-user token bucket on v2 submits (refusals are 429 with Retry-After
+// and a retryable envelope) and queue-level load shedding — a per-tenant
+// depth bound plus a per-device high-water mark past which the lowest-
+// priority queued jobs fail loudly with a retryable "shed" envelope.
+// `qhpcctl tenants` and GET /api/v2/admin/tenants show per-tenant usage.
 //
 // With -data-dir the daemon journals every job transition to a crash-durable
 // WAL (docs/DURABILITY.md): kill -9 the process, restart it with the same
@@ -28,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux (-pprof-addr)
 	"os"
@@ -40,6 +49,7 @@ import (
 	"repro/internal/facility"
 	"repro/internal/fleet"
 	"repro/internal/mqss"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -68,6 +78,14 @@ func main() {
 		"WAL durability mode: always (fsync per record), group (batched fsync; default), off (no fsync — crash loses recent acks)")
 	walCompactEvery := flag.Duration("wal-compact-every", time.Minute,
 		"snapshot-compact the WAL at this interval (0 = only on shutdown)")
+	tenantRate := flag.Float64("tenant-rate", 0,
+		"per-tenant submission rate limit in jobs/s (0 = no rate limiting)")
+	tenantBurst := flag.Int("tenant-burst", 0,
+		"per-tenant token-bucket burst; defaults to ceil(-tenant-rate) when rate limiting is on")
+	tenantQueue := flag.Int("tenant-queue", 0,
+		"max queued jobs per tenant per device; overflow is shed as retryable failures (0 = unbounded)")
+	queueHighWater := flag.Int("queue-high-water", 0,
+		"per-device queue depth past which the lowest-priority queued jobs are shed (0 = unbounded)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -123,6 +141,8 @@ func main() {
 		}
 	}
 
+	admission := tenant.Admission{MaxTenantQueue: *tenantQueue, HighWater: *queueHighWater}
+
 	var mqssServer *mqss.Server
 	// drain runs after the listener stops accepting: finish or park the
 	// backend's remaining work so no accepted job is silently dropped.
@@ -150,6 +170,9 @@ func main() {
 		})
 		if err != nil {
 			log.Fatalf("qhpcd: building fleet: %v", err)
+		}
+		if admission.Enabled() {
+			f.SetAdmission(admission)
 		}
 		if store != nil {
 			if len(recovery.QRMJobs) > 0 {
@@ -188,6 +211,9 @@ func main() {
 			}()
 		}
 	} else {
+		if admission.Enabled() {
+			center.QRM.SetAdmission(admission)
+		}
 		if store != nil {
 			if len(recovery.FleetJobs) > 0 {
 				log.Printf("qhpcd: %s holds %d fleet job records; they are preserved but a single-device daemon cannot re-queue them", *dataDir, len(recovery.FleetJobs))
@@ -225,6 +251,19 @@ func main() {
 		}
 		mqssServer = center.RESTHandler()
 		drain = center.StopPipeline
+	}
+	if *tenantRate > 0 {
+		burst := *tenantBurst
+		if burst < 1 {
+			burst = int(math.Ceil(*tenantRate))
+		}
+		mqssServer.SetTenantLimits(*tenantRate, burst)
+		fmt.Fprintf(os.Stderr, "qhpcd: per-tenant rate limit %.3g jobs/s (burst %d); over-limit submits get 429 + Retry-After\n",
+			*tenantRate, burst)
+	}
+	if admission.Enabled() {
+		fmt.Fprintf(os.Stderr, "qhpcd: queue admission bounds: per-tenant %d, high-water %d (0 = unbounded); overflow is shed as retryable failures\n",
+			admission.MaxTenantQueue, admission.HighWater)
 	}
 	if store != nil {
 		mqssServer.AttachStore(store, recovery.Idem)

@@ -37,6 +37,12 @@ const (
 // runFleetLoad drives jobs GHZ submissions through a fleet of n paced twin
 // devices and returns throughput plus client-observed latency quantiles.
 func runFleetLoad(tb testing.TB, devices, jobs int) (jobsPerSec, p50Ms, p95Ms float64) {
+	return runFleetLoadTenants(tb, devices, jobs, 1)
+}
+
+// runFleetLoadTenants is runFleetLoad with the submissions striped across
+// distinct users, exercising the per-tenant WFQ claim path under contention.
+func runFleetLoadTenants(tb testing.TB, devices, jobs, tenants int) (jobsPerSec, p50Ms, p95Ms float64) {
 	tb.Helper()
 	s := New(PolicyLeastLoaded, nil)
 	defer s.Stop()
@@ -51,7 +57,11 @@ func runFleetLoad(tb testing.TB, devices, jobs int) (jobsPerSec, p50Ms, p95Ms fl
 	starts := make(map[int]time.Time, jobs)
 	start := time.Now()
 	for i := 0; i < jobs; i++ {
-		id, err := s.Submit(qrm.Request{Circuit: circs[i%len(circs)], Shots: 10, User: "bench"}, SubmitOptions{})
+		user := "bench"
+		if tenants > 1 {
+			user = fmt.Sprintf("bench-%02d", i%tenants)
+		}
+		id, err := s.Submit(qrm.Request{Circuit: circs[i%len(circs)], Shots: 10, User: user}, SubmitOptions{})
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -122,6 +132,19 @@ type tracingResult struct {
 	Ratio float64 `json:"ratio"`
 }
 
+// tenantsResult is the many-tenant contention row: the 4-device workload
+// striped across N distinct users vs the single-user baseline. Weighted-fair
+// claiming runs on the hot claim path, so the gate requires the default
+// (no rate limit, no shedding) config to keep >= 0.95x of single-tenant
+// throughput even with the per-tenant heaps fully fanned out.
+type tenantsResult struct {
+	Tenants         int     `json:"tenants"`
+	SingleTenantJPS float64 `json:"single_tenant_jobs_per_sec"`
+	ManyTenantJPS   float64 `json:"many_tenant_jobs_per_sec"`
+	// Ratio is many-tenant/single-tenant; the release gate requires >= 0.95.
+	Ratio float64 `json:"ratio"`
+}
+
 // benchArtifact is the BENCH_fleet.json schema: the perf trajectory record
 // tracked across PRs.
 type benchArtifact struct {
@@ -131,6 +154,7 @@ type benchArtifact struct {
 	Results       []benchResult  `json:"results"`
 	Speedup4v1    float64        `json:"speedup_4_devices_over_1"`
 	Tracing       *tracingResult `json:"tracing,omitempty"`
+	Tenants       *tenantsResult `json:"tenants,omitempty"`
 }
 
 // TestFleetBenchArtifact measures jobs/s at 1/2/4 devices and writes
@@ -197,6 +221,28 @@ func TestFleetBenchArtifact(t *testing.T) {
 	t.Logf("tracing overhead: traced %.0f vs untraced %.0f jobs/s (ratio %.3f)",
 		tr.TracedJobsPerSec, tr.UntracedJobsPerSec, tr.Ratio)
 
+	// Many-tenant contention row: the same 4-device workload striped across
+	// 64 users vs one. Pairs are interleaved like the tracing row so machine
+	// drift cancels within each pair.
+	const benchTenants = 64
+	var singleRuns, manyRuns, tenantRatios []float64
+	for r := 0; r < tracingReruns; r++ {
+		many, _, _ := runFleetLoadTenants(t, 4, jobs, benchTenants)
+		manyRuns = append(manyRuns, many)
+		single, _, _ := runFleetLoadTenants(t, 4, jobs, 1)
+		singleRuns = append(singleRuns, single)
+		tenantRatios = append(tenantRatios, many/single)
+	}
+	tn := &tenantsResult{
+		Tenants:         benchTenants,
+		SingleTenantJPS: telemetry.Median(singleRuns),
+		ManyTenantJPS:   telemetry.Median(manyRuns),
+		Ratio:           telemetry.Median(tenantRatios),
+	}
+	art.Tenants = tn
+	t.Logf("many-tenant contention: %d tenants %.0f vs single %.0f jobs/s (ratio %.3f)",
+		tn.Tenants, tn.ManyTenantJPS, tn.SingleTenantJPS, tn.Ratio)
+
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -211,5 +257,9 @@ func TestFleetBenchArtifact(t *testing.T) {
 	}
 	if tr.Ratio < 0.95 {
 		t.Fatalf("tracing overhead regression: traced throughput is %.3fx of untraced, want >= 0.95x", tr.Ratio)
+	}
+	if tn.Ratio < 0.95 {
+		t.Fatalf("WFQ contention regression: %d-tenant throughput is %.3fx of single-tenant, want >= 0.95x",
+			tn.Tenants, tn.Ratio)
 	}
 }

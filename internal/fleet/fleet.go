@@ -28,6 +28,7 @@ import (
 	"repro/internal/qrm"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
+	"repro/internal/tenant"
 )
 
 // DeviceState tracks a backend through the fleet lifecycle.
@@ -127,6 +128,7 @@ type deviceEntry struct {
 	migratedOut uint64
 	completed   uint64
 	failed      uint64
+	shed        uint64
 
 	scoreHist *telemetry.Histogram
 
@@ -169,6 +171,11 @@ type Scheduler struct {
 	completed uint64
 	failures  uint64
 	cancelled uint64
+	shed      uint64
+
+	// admission is forwarded to every device manager (current and future);
+	// zero values = unbounded, the default.
+	admission tenant.Admission
 
 	closed bool
 	wg     sync.WaitGroup // per-job monitor goroutines
@@ -263,6 +270,7 @@ func (s *Scheduler) AddDevice(name string, dev *qdmi.Device, workers int) error 
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	mgr.SetAdmission(s.admission)
 	if s.closed {
 		mgr.Stop()
 		return fmt.Errorf("fleet: scheduler stopped")
@@ -311,6 +319,44 @@ func (s *Scheduler) Policy() Policy {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.policy
+}
+
+// SetAdmission applies queue-depth bounds fleet-wide: the config is stored
+// for devices added later and pushed to every registered device manager,
+// where shedding is actually enforced (each device bounds its own queue).
+func (s *Scheduler) SetAdmission(a tenant.Admission) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.admission = a
+	for _, e := range s.devices {
+		e.mgr.SetAdmission(a)
+	}
+}
+
+// Admission returns the fleet-wide admission config.
+func (s *Scheduler) Admission() tenant.Admission {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admission
+}
+
+// TenantUsage merges per-tenant accounting across every device manager.
+// A job that migrated between devices is counted once per terminal
+// outcome (the migration source never terminated it), so the merged rows
+// still conserve: submitted == completed + failed + cancelled + shed +
+// interrupted + queued once the fleet settles.
+func (s *Scheduler) TenantUsage() []tenant.Usage {
+	s.mu.Lock()
+	mgrs := make([]*qrm.Manager, 0, len(s.order))
+	for _, name := range s.order {
+		mgrs = append(mgrs, s.devices[name].mgr)
+	}
+	s.mu.Unlock()
+	rows := make([][]tenant.Usage, 0, len(mgrs))
+	for _, m := range mgrs {
+		rows = append(rows, m.TenantUsage())
+	}
+	return tenant.MergeUsage(rows...)
 }
 
 // maxWidthLocked is the widest registered backend.
@@ -509,6 +555,15 @@ func (s *Scheduler) monitor(j *Job, e *deviceEntry, localID int) {
 		e.completed++
 		s.finalizeLocked(j, JobDone, rec, "")
 	case qrm.StatusFailed:
+		if rec.Error == qrm.ErrShedMsg {
+			// Admission control evicted it under overload: a deliberate,
+			// retryable refusal — attributed to shedding, not device failure,
+			// and never migrated (a sibling under the same storm would only
+			// shed it again).
+			e.shed++
+			s.finalizeLocked(j, JobFailed, rec, rec.Error)
+			return
+		}
 		if e.state == DeviceFailed {
 			// The backend faulted mid-job: failover, not a job defect.
 			s.migrateLocked(j, e)
@@ -559,7 +614,11 @@ func (s *Scheduler) finalizeLocked(j *Job, st JobStatus, rec *qrm.Job, errMsg st
 	case JobDone:
 		s.completed++
 	case JobFailed:
-		s.failures++
+		if errMsg == qrm.ErrShedMsg {
+			s.shed++
+		} else {
+			s.failures++
+		}
 	case JobCancelled:
 		s.cancelled++
 	}

@@ -21,6 +21,7 @@ type DeviceMetrics struct {
 	MigratedOut uint64 `json:"migrated_out"`
 	Completed   uint64 `json:"completed"`
 	Failed      uint64 `json:"failed"`
+	Shed        uint64 `json:"shed"`
 
 	MeanF1Q   float64 `json:"fidelity_1q"`
 	MeanFCZ   float64 `json:"fidelity_cz"`
@@ -46,6 +47,7 @@ type Metrics struct {
 	Completed  uint64 `json:"completed"`
 	Failed     uint64 `json:"failed"`
 	Cancelled  uint64 `json:"cancelled"`
+	Shed       uint64 `json:"shed"`
 
 	// ScoreHist buckets fidelity estimates across all routing decisions.
 	ScoreHist telemetry.HistogramSnapshot `json:"score_hist"`
@@ -64,6 +66,7 @@ func (s *Scheduler) Metrics() Metrics {
 		Completed:  s.completed,
 		Failed:     s.failures,
 		Cancelled:  s.cancelled,
+		Shed:       s.shed,
 	}
 	type pending struct {
 		e *deviceEntry
@@ -78,7 +81,7 @@ func (s *Scheduler) Metrics() Metrics {
 			Qubits:  e.dev.Properties().NumQubits,
 			Workers: e.workers,
 			Routed:  e.routed, MigratedOut: e.migratedOut,
-			Completed: e.completed, Failed: e.failed,
+			Completed: e.completed, Failed: e.failed, Shed: e.shed,
 			MeanF1Q: e.meanF1Q, MeanFCZ: e.meanFCZ, MeanFRead: e.meanFRead,
 			CalibAgeH: e.calibAgeH,
 		}})
@@ -108,6 +111,7 @@ func (m Metrics) Gauges() map[string]float64 {
 		"fleet_parked_now": float64(m.ParkedNow),
 		"fleet_completed":  float64(m.Completed),
 		"fleet_failed":     float64(m.Failed),
+		"fleet_shed":       float64(m.Shed),
 		"fleet_score_p50":  m.ScoreHist.Quantile(0.50),
 	}
 	for _, d := range m.Devices {

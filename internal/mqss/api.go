@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/fleet"
@@ -62,6 +63,8 @@ const (
 	CodeDeadlineExceeded = "deadline_exceeded" // expired before dispatch; retryable
 	CodeExecutionFailed  = "execution_failed"  // the device rejected or failed the job
 	CodeInterrupted      = "interrupted"       // lost to a crash/restart; retryable
+	CodeRateLimited      = "rate_limited"      // over the tenant's token bucket; retryable
+	CodeShed             = "shed"              // evicted by overload shedding; retryable
 	CodeInternal         = "internal"
 )
 
@@ -71,6 +74,10 @@ type APIError struct {
 	Code      string `json:"code"`
 	Message   string `json:"message"`
 	Retryable bool   `json:"retryable"`
+
+	// RetryAfter is the server's Retry-After hint on 429 responses —
+	// client-side decoration, not part of the wire envelope.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements the error interface.
@@ -278,6 +285,12 @@ func jobErrorEnvelope(status qrm.JobStatus, msg string) *APIError {
 	// both must yield the same retryable "interrupted" code.
 	if msg == qrm.ErrInterruptedMsg {
 		return &APIError{Code: CodeInterrupted, Message: msg, Retryable: true}
+	}
+	// Load shedding is keyed the same way: the queue surfaces the job as
+	// failed on both backends, and the envelope tells clients to back off
+	// and resubmit.
+	if msg == qrm.ErrShedMsg {
+		return &APIError{Code: CodeShed, Message: msg, Retryable: true}
 	}
 	switch status {
 	case qrm.StatusInterrupted:

@@ -5,10 +5,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -141,6 +144,52 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body, out inte
 
 // --- v2: async submission and the job handle ----------------------------
 
+// Client-side retry policy. Retryable refusals — 429 rate_limited, 503
+// offline, shed/interrupted job outcomes — are absorbed by the client so
+// the caller sees one slow submission, not an error. Backoff is capped
+// exponential with full jitter; a server Retry-After is honored as the
+// floor of each sleep.
+const (
+	// submitRetryAttempts bounds pre-admission retries (429/503): the
+	// request never created a job, so retrying is always safe.
+	submitRetryAttempts = 8
+	// resubmitAttempts bounds post-admission resubmissions of jobs that
+	// terminated with a retryable envelope (shed, interrupted).
+	resubmitAttempts = 5
+	submitBackoffMin = 50 * time.Millisecond
+	submitBackoffMax = 5 * time.Second
+)
+
+// backoffSleep sleeps for the attempt's jittered backoff (full jitter over
+// an exponentially growing cap), never less than floor (the server's
+// Retry-After, when present). Returns early with ctx.Err() on cancellation.
+func backoffSleep(ctx context.Context, attempt int, floor time.Duration) error {
+	max := submitBackoffMin << uint(attempt)
+	if max > submitBackoffMax || max <= 0 {
+		max = submitBackoffMax
+	}
+	d := time.Duration(rand.Int63n(int64(max) + 1))
+	if d < floor {
+		d = floor
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryableAPIError extracts a retryable *APIError from err (nil when the
+// error is not an API error or not retryable).
+func retryableAPIError(err error) *APIError {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Retryable {
+		return apiErr
+	}
+	return nil
+}
+
 // Submit accepts one job for asynchronous execution and returns its handle
 // immediately — the v2 access model: submit, then Wait, Poll, Watch, or
 // Cancel. idempotencyKey may be empty; a non-empty key makes remote retries
@@ -160,7 +209,7 @@ func (c *Client) Submit(ctx context.Context, req SubmitRequest, idempotencyKey s
 		if err != nil {
 			return nil, err
 		}
-		return &JobHandle{c: c, ID: FormatJobID(id), id: id}, nil
+		return &JobHandle{c: c, ID: FormatJobID(id), id: id, req: &req, idemKey: idempotencyKey}, nil
 	}
 	if c.local != nil {
 		if req.Device != "" || req.Policy != "" {
@@ -170,22 +219,35 @@ func (c *Client) Submit(ctx context.Context, req SubmitRequest, idempotencyKey s
 		if err != nil {
 			return nil, err
 		}
-		return &JobHandle{c: c, ID: FormatJobID(id), id: id}, nil
+		return &JobHandle{c: c, ID: FormatJobID(id), id: id, req: &req, idemKey: idempotencyKey}, nil
 	}
 	var hdr http.Header
 	if idempotencyKey != "" {
 		hdr = http.Header{"Idempotency-Key": {idempotencyKey}}
 	}
 	var job Job
-	if _, err := c.doJSON(ctx, http.MethodPost, pathV2Jobs, req, &job, hdr,
-		http.StatusAccepted, http.StatusOK); err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		_, err := c.doJSON(ctx, http.MethodPost, pathV2Jobs, req, &job, hdr,
+			http.StatusAccepted, http.StatusOK)
+		if err == nil {
+			break
+		}
+		// 429 rate_limited and 503 offline arrive before a job exists, so a
+		// same-key retry can never duplicate work. Everything else (and
+		// exhausted budgets) surfaces to the caller.
+		apiErr := retryableAPIError(err)
+		if apiErr == nil || attempt >= submitRetryAttempts {
+			return nil, err
+		}
+		if serr := backoffSleep(ctx, attempt, apiErr.RetryAfter); serr != nil {
+			return nil, serr
+		}
 	}
 	id, err := ParseJobID(job.ID)
 	if err != nil {
 		return nil, fmt.Errorf("mqss: server returned %w", err)
 	}
-	return &JobHandle{c: c, ID: job.ID, id: id, last: &job}, nil
+	return &JobHandle{c: c, ID: job.ID, id: id, last: &job, req: &req, idemKey: idempotencyKey}, nil
 }
 
 // Handle rebuilds a JobHandle from an opaque job ID (as returned by Submit,
@@ -207,6 +269,49 @@ type JobHandle struct {
 
 	// last is the most recent record an operation observed (may be nil).
 	last *Job
+
+	// req/idemKey echo the original submission when the handle came from
+	// Submit (nil/"" on handles rebuilt via Handle). They power transparent
+	// resubmission: a job terminating with a retryable envelope — shed by
+	// admission control, or interrupted by a restart — is resubmitted by
+	// Wait/Watch instead of surfacing as a failure.
+	req     *SubmitRequest
+	idemKey string
+	// resubmits counts transparent resubmissions already spent.
+	resubmits int
+}
+
+// resubmit transparently re-enters the job when its terminal record is a
+// retryable refusal (shed, interrupted). It reports whether the handle now
+// points at a fresh submission the caller should keep waiting on. Handles
+// without the original request (rebuilt via Handle) never resubmit, and the
+// attempt budget bounds pathological loops against a permanently
+// overloaded server.
+func (h *JobHandle) resubmit(ctx context.Context, job *Job) (bool, error) {
+	if h.req == nil || job == nil || job.Error == nil || !job.Error.Retryable {
+		return false, nil
+	}
+	if h.resubmits >= resubmitAttempts {
+		return false, nil
+	}
+	h.resubmits++
+	if err := backoffSleep(ctx, h.resubmits, job.Error.RetryAfter); err != nil {
+		return false, err
+	}
+	// The original idempotency key is bound to the job that just failed;
+	// replaying it would return that same record forever. Derive a fresh,
+	// deterministic-per-attempt key instead so the resubmission itself
+	// stays safe to retry.
+	key := h.idemKey
+	if key != "" {
+		key += "-r" + strconv.Itoa(h.resubmits)
+	}
+	nh, err := h.c.Submit(ctx, *h.req, key)
+	if err != nil {
+		return false, err
+	}
+	h.ID, h.id, h.last = nh.ID, nh.id, nh.last
+	return true, nil
 }
 
 // Poll fetches the job's current record without blocking on completion.
@@ -225,8 +330,27 @@ const waitPollInterval = 30 * time.Second
 // returns the terminal record. Remotely it long-polls; locally it rides the
 // pipeline's completion signal, falling back to synchronously driving the
 // QRM when no dispatch workers are running (the tightly-coupled
-// accelerator mode).
+// accelerator mode). Jobs that terminate with a retryable envelope (shed
+// by admission control, interrupted by a restart) are transparently
+// resubmitted — the caller sees one slow wait, not an error.
 func (h *JobHandle) Wait(ctx context.Context) (*Job, error) {
+	for {
+		job, err := h.waitOnce(ctx)
+		if err != nil {
+			return nil, err
+		}
+		again, err := h.resubmit(ctx, job)
+		if err != nil {
+			return nil, err
+		}
+		if !again {
+			return job, nil
+		}
+	}
+}
+
+// waitOnce brings the handle's current submission to a terminal record.
+func (h *JobHandle) waitOnce(ctx context.Context) (*Job, error) {
 	c := h.c
 	switch {
 	case c.localFleet != nil:
@@ -321,8 +445,26 @@ func (h *JobHandle) Cancel(ctx context.Context) error {
 // Watch streams the job's lifecycle events — server push over the v2
 // events endpoint (or the local event bus on the HPC path) — invoking fn
 // for each (fn may be nil), and returns the terminal record. The first
-// event is always a "snapshot" of the current state.
+// event is always a "snapshot" of the current state. Like Wait, terminal
+// records carrying a retryable envelope are transparently resubmitted and
+// the watch follows the fresh job.
 func (h *JobHandle) Watch(ctx context.Context, fn func(JobEvent)) (*Job, error) {
+	for {
+		job, err := h.watchOnce(ctx, fn)
+		if err != nil {
+			return nil, err
+		}
+		again, err := h.resubmit(ctx, job)
+		if err != nil {
+			return nil, err
+		}
+		if !again {
+			return job, nil
+		}
+	}
+}
+
+func (h *JobHandle) watchOnce(ctx context.Context, fn func(JobEvent)) (*Job, error) {
 	c := h.c
 	if c.local != nil || c.localFleet != nil {
 		return h.watchLocal(ctx, fn)
@@ -531,6 +673,21 @@ func (c *Client) StoreStatus(ctx context.Context) (*StoreStatus, error) {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// TenantsStatus reads the multi-tenant admission snapshot from a v2 server
+// (GET /api/v2/admin/tenants): per-tenant queue accounting, throttle
+// counters, and the configured limits. Remote-only, like StoreStatus — the
+// limiter lives in the HTTP layer.
+func (c *Client) TenantsStatus(ctx context.Context) (*TenantsStatus, error) {
+	if c.local != nil || c.localFleet != nil {
+		return nil, fmt.Errorf("mqss: TenantsStatus requires a remote client (the rate limiter is owned by the server process)")
+	}
+	var ts TenantsStatus
+	if _, err := c.doJSON(ctx, http.MethodGet, pathV2AdminTenants, nil, &ts, nil, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &ts, nil
 }
 
 // ListOptions filter the v2 job listing.
@@ -1111,6 +1268,12 @@ func decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var v2 APIError
 	if json.Unmarshal(data, &v2) == nil && v2.Code != "" {
+		// Surface the server's pacing hint so retry loops can honor it.
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				v2.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		return &v2
 	}
 	var e struct {

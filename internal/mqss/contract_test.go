@@ -276,6 +276,70 @@ func TestContractV2Fleet(t *testing.T) {
 	checkGolden(t, "v1_fleet_submit", body)
 }
 
+// TestContractV2Admission pins the admission-control wire surface: the
+// uniform envelopes for malformed query parameters, the 429 rate-limit
+// refusal (with its Retry-After header), and the admin tenants snapshot.
+func TestContractV2Admission(t *testing.T) {
+	_, server := pacedStack(t, 84, 0, 0)
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+
+	sreq := SubmitRequest{Circuit: circuit.GHZ(3), Shots: 20, User: "contract"}
+
+	// Malformed ?wait= / ?cursor=: structured invalid_request envelopes,
+	// never a bare-text 400.
+	status, body := contractDo(t, srv, http.MethodPost, "/api/v2/jobs?wait=bogus", sreq, nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad wait = %d\n%s", status, body)
+	}
+	checkGolden(t, "v2_error_bad_wait", body)
+
+	status, body = contractDo(t, srv, http.MethodGet, "/api/v2/jobs?cursor=%21%21", nil, nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad cursor = %d\n%s", status, body)
+	}
+	checkGolden(t, "v2_error_bad_cursor", body)
+
+	// Token bucket of one: the second immediate submission is refused 429
+	// with a Retry-After hint and a retryable envelope.
+	server.SetTenantLimits(0.5, 1)
+	if status, body := contractDo(t, srv, http.MethodPost, "/api/v2/jobs?wait=10s", sreq, nil); status != http.StatusOK {
+		t.Fatalf("first submit = %d\n%s", status, body)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/api/v2/jobs", bytes.NewReader(mustJSON(t, sreq)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("throttled submit = %d\n%s", resp.StatusCode, buf.Bytes())
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 missing Retry-After header")
+	}
+	checkGolden(t, "v2_error_rate_limited", buf.Bytes())
+
+	_, body = contractDo(t, srv, http.MethodGet, "/api/v2/admin/tenants", nil, nil)
+	checkGolden(t, "v2_admin_tenants", body)
+}
+
+func mustJSON(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
 // TestContractGoldensPresent fails fast (with a helpful message) when the
 // fixture directory is missing entirely — e.g. a fresh checkout that lost
 // testdata.

@@ -99,7 +99,10 @@ func TestMetricsExposition(t *testing.T) {
 	}
 
 	// Single-device stack, one job through it so pipeline counters move.
+	// A (generous) rate limit is attached so the tenant throttle families
+	// are exercised too.
 	_, server := pacedStack(t, 92, 0, 0)
+	server.SetTenantLimits(1000, 100)
 	srv := httptest.NewServer(server)
 	t.Cleanup(srv.Close)
 	sreq := SubmitRequest{Circuit: circuit.GHZ(3), Shots: 10, User: "prom"}

@@ -116,6 +116,7 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		pw.Counter("qhpc_fleet_jobs_completed_total", "Fleet jobs settled done.", nil, float64(fm.Completed))
 		pw.Counter("qhpc_fleet_jobs_failed_total", "Fleet jobs settled failed.", nil, float64(fm.Failed))
 		pw.Counter("qhpc_fleet_jobs_cancelled_total", "Fleet jobs settled cancelled.", nil, float64(fm.Cancelled))
+		pw.Counter("qhpc_fleet_jobs_shed_total", "Fleet jobs evicted by admission control under overload.", nil, float64(fm.Shed))
 		pw.Histogram("qhpc_fleet_route_score", "Fidelity estimate of each routing decision.", nil, fm.ScoreHist)
 		promBus(pw, "fleet", s.fleet.Events().Stats())
 		retained, drops := s.fleet.TraceStats()
@@ -141,6 +142,7 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		retained, drops := s.qrm.TraceStats()
 		promTraces(pw, name, retained, drops)
 	}
+	promTenants(pw, s.tenantsStatus(), s.limiter != nil)
 	if s.store != nil {
 		promStore(pw, s.store.Stats())
 	}
@@ -187,6 +189,7 @@ func promQRM(pw *telemetry.PromWriter, device string, m qrm.Metrics) {
 	pw.Counter("qhpc_qrm_jobs_cancelled_total", "Jobs cancelled.", l, float64(m.Cancelled))
 	pw.Counter("qhpc_qrm_jobs_interrupted_total", "Jobs interrupted by outages.", l, float64(m.Interrupted))
 	pw.Counter("qhpc_qrm_jobs_expired_total", "Jobs that hit their dispatch deadline while queued.", l, float64(m.Expired))
+	pw.Counter("qhpc_qrm_jobs_shed_total", "Jobs evicted by admission control (queue over bounds).", l, float64(m.Shed))
 	pw.Gauge("qhpc_qrm_queue_depth", "Jobs currently queued.", l, float64(m.QueueDepth))
 	pw.Gauge("qhpc_qrm_inflight", "Jobs currently held by dispatch workers.", l, float64(m.Inflight))
 	pw.Gauge("qhpc_qrm_workers", "Dispatch workers configured.", l, float64(m.Workers))
@@ -207,6 +210,26 @@ func promQRM(pw *telemetry.PromWriter, device string, m qrm.Metrics) {
 	stage("compile", m.CompileMs)
 	stage("execute", m.ExecMs)
 	stage("e2e", m.E2EMs)
+}
+
+// promTenants renders the multi-tenant admission plane: per-tenant queue
+// accounting for every user ever seen, plus token-bucket counters when a
+// limiter is attached. Families appear once the first tenant submits.
+func promTenants(pw *telemetry.PromWriter, ts TenantsStatus, limited bool) {
+	for _, row := range ts.Tenants {
+		l := telemetry.Labels{{"tenant", row.User}}
+		pw.Counter("qhpc_tenant_jobs_submitted_total", "Jobs accepted into a dispatch queue, by submitting tenant.", l, float64(row.Submitted))
+		pw.Counter("qhpc_tenant_jobs_completed_total", "Jobs finished done, by tenant.", l, float64(row.Completed))
+		pw.Counter("qhpc_tenant_jobs_failed_total", "Jobs finished failed (excluding shed), by tenant.", l, float64(row.Failed))
+		pw.Counter("qhpc_tenant_jobs_cancelled_total", "Jobs cancelled, by tenant.", l, float64(row.Cancelled))
+		pw.Counter("qhpc_tenant_jobs_interrupted_total", "Jobs interrupted by outages, by tenant.", l, float64(row.Interrupted))
+		pw.Counter("qhpc_tenant_jobs_shed_total", "Jobs evicted by admission control, by tenant.", l, float64(row.Shed))
+		pw.Gauge("qhpc_tenant_queue_depth", "Jobs currently queued, by tenant.", l, float64(row.Queued))
+		if limited {
+			pw.Counter("qhpc_tenant_submits_allowed_total", "Submissions that passed the token-bucket rate limiter, by tenant.", l, float64(row.Allowed))
+			pw.Counter("qhpc_tenant_submits_throttled_total", "Submissions rejected 429 by the token-bucket rate limiter, by tenant.", l, float64(row.Throttled))
+		}
+	}
 }
 
 // promBus renders one event bus's health; bus is "fleet" or a device name.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/qdmi"
 	"repro/internal/qrm"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 )
 
 // API paths.
@@ -51,6 +52,10 @@ type Server struct {
 	closeOnce sync.Once
 	// idem is the bounded Idempotency-Key dedup cache behind v2 submission.
 	idem *idemCache
+	// limiter is the per-tenant token-bucket admission gate in front of v2
+	// submission (nil = unlimited, the default). Refusals answer 429 with
+	// Retry-After and the retryable rate_limited envelope.
+	limiter *tenant.Limiter
 	// store is the durable job store attached via AttachStore (nil =
 	// in-memory only); it backs /api/v2/admin/store, the qhpc_wal_* metric
 	// families, and idempotency-key journaling.
@@ -107,6 +112,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc(pathV2Jobs, withRequestID(s.handleV2Jobs))
 	s.mux.HandleFunc(pathV2Jobs+"/", withRequestID(s.handleV2JobByID))
 	s.mux.HandleFunc(pathV2AdminStore, withRequestID(s.handleV2AdminStore))
+	s.mux.HandleFunc(pathV2AdminTenants, withRequestID(s.handleV2AdminTenants))
+}
+
+// SetTenantLimits installs per-user token-bucket rate limiting on v2
+// submission: each user accrues rate jobs/second up to burst. rate <= 0
+// removes the limiter (the default: everything admitted).
+func (s *Server) SetTenantLimits(rate float64, burst int) {
+	s.limiter = tenant.NewLimiter(rate, burst)
 }
 
 // complete brings a submitted job to a terminal state using whichever

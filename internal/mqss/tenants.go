@@ -1,0 +1,97 @@
+package mqss
+
+import (
+	"net/http"
+	"sort"
+
+	"repro/internal/tenant"
+)
+
+// pathV2AdminTenants exposes the multi-tenant admission plane: per-user
+// queue accounting (submitted/completed/shed and live depth), token-bucket
+// throttle counters, and the configured limits. Operators hit it through
+// `qhpcctl tenants status`.
+const pathV2AdminTenants = "/api/v2/admin/tenants"
+
+// TenantsStatus is the wire shape of GET /api/v2/admin/tenants. With no
+// limiter and no queue bounds configured the endpoint still answers 200
+// with both sections absent, so tooling can distinguish "no admission
+// control configured" from "endpoint missing".
+type TenantsStatus struct {
+	// Limiter describes the token-bucket configuration (absent when rate
+	// limiting is off).
+	Limiter *LimiterStatus `json:"limiter,omitempty"`
+	// Admission describes the queue-depth bounds (absent when unbounded).
+	Admission *tenant.Admission `json:"admission,omitempty"`
+	// Tenants has one row per user ever seen, sorted by user.
+	Tenants []TenantStatus `json:"tenants"`
+}
+
+// LimiterStatus is the configured token-bucket shape.
+type LimiterStatus struct {
+	Rate  float64 `json:"rate"`  // tokens (jobs) per second
+	Burst int     `json:"burst"` // bucket capacity
+}
+
+// TenantStatus is one tenant's merged view: dispatch-queue accounting
+// plus the API edge's throttle counters.
+type TenantStatus struct {
+	tenant.Usage
+	Allowed   uint64 `json:"allowed,omitempty"`
+	Throttled uint64 `json:"throttled,omitempty"`
+}
+
+// tenantsStatus assembles the admin snapshot from whichever backend this
+// server fronts plus the HTTP-edge limiter.
+func (s *Server) tenantsStatus() TenantsStatus {
+	var usage []tenant.Usage
+	var adm tenant.Admission
+	if s.fleet != nil {
+		usage = s.fleet.TenantUsage()
+		adm = s.fleet.Admission()
+	} else {
+		usage = s.qrm.TenantUsage()
+		adm = s.qrm.Admission()
+	}
+	rows := map[string]*TenantStatus{}
+	for _, u := range usage {
+		cp := TenantStatus{Usage: u}
+		rows[u.User] = &cp
+	}
+	out := TenantsStatus{Tenants: []TenantStatus{}}
+	if adm.Enabled() {
+		a := adm
+		out.Admission = &a
+	}
+	if s.limiter != nil {
+		out.Limiter = &LimiterStatus{Rate: s.limiter.Rate(), Burst: s.limiter.Burst()}
+		for _, lu := range s.limiter.Usage() {
+			r, ok := rows[lu.User]
+			if !ok {
+				// Throttled before any submission was admitted: the tenant
+				// exists at the edge but not yet in the queue accounting.
+				r = &TenantStatus{Usage: tenant.Usage{User: lu.User}}
+				rows[lu.User] = r
+			}
+			r.Allowed, r.Throttled = lu.Allowed, lu.Throttled
+		}
+	}
+	users := make([]string, 0, len(rows))
+	for u := range rows {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		out.Tenants = append(out.Tenants, *rows[u])
+	}
+	return out
+}
+
+func (s *Server) handleV2AdminTenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeV2Error(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"method not allowed; use GET", false)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tenantsStatus())
+}

@@ -52,6 +52,16 @@ func parseWait(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
+// retryAfterSeconds renders a wait as whole Retry-After seconds, rounded
+// up with a floor of 1 so a refusal never tells the client "retry now".
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // deviceName is the single-device server's backend name ("" in fleet mode,
 // where each job record carries its own placement).
 func (s *Server) deviceName() string {
@@ -150,6 +160,15 @@ func (s *Server) v2Submit(w http.ResponseWriter, r *http.Request) {
 	if s.fleet == nil && (req.Device != "" || req.Policy != "") {
 		writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest,
 			"device/policy routing requires a fleet server", false)
+		return
+	}
+	if ok, retryAfter := s.limiter.Allow(req.User); !ok {
+		// Admission is a contract, not a crash: the refusal names the wait
+		// until one token accrues, and the envelope is retryable so clients
+		// back off and resubmit instead of surfacing an error.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+		writeV2Error(w, http.StatusTooManyRequests, CodeRateLimited,
+			fmt.Sprintf("tenant %q over submission rate limit", req.User), true)
 		return
 	}
 	var opts fleet.SubmitOptions

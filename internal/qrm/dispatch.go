@@ -194,7 +194,7 @@ func (m *Manager) WaitEach(ids []int, fn func(id int, j *Job, err error)) {
 func (m *Manager) Load() (queued, inflight int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue), m.inflight
+	return m.queue.Len(), m.inflight
 }
 
 // WaitIdle blocks until the queue is empty and no job is in flight — the
@@ -202,7 +202,7 @@ func (m *Manager) Load() (queued, inflight int) {
 func (m *Manager) WaitIdle() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) > 0 || m.inflight > 0 {
+	for m.queue.Len() > 0 || m.inflight > 0 {
 		m.cond.Wait()
 	}
 }
@@ -212,7 +212,7 @@ func (m *Manager) workerLoop() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for !m.stopping && (!m.online || len(m.queue) == 0) {
+		for !m.stopping && (!m.online || m.queue.Len() == 0) {
 			m.cond.Wait()
 		}
 		if m.stopping {
@@ -351,6 +351,7 @@ type metrics struct {
 	cancelled   uint64
 	interrupted uint64
 	expired     uint64 // deadline passed before a worker claimed the job
+	shed        uint64 // evicted by admission control (queue over bounds)
 	cacheHits   uint64
 	cacheMisses uint64
 
@@ -398,6 +399,7 @@ type Metrics struct {
 	Cancelled     uint64 `json:"cancelled"`
 	Interrupted   uint64 `json:"interrupted"`
 	Expired       uint64 `json:"expired"`
+	Shed          uint64 `json:"shed"`
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
 	MaxQueueDepth int    `json:"max_queue_depth"`
@@ -427,7 +429,7 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
 	out := Metrics{
 		Workers:       m.workers,
-		QueueDepth:    len(m.queue),
+		QueueDepth:    m.queue.Len(),
 		Inflight:      m.inflight,
 		Submitted:     m.metrics.submitted,
 		Completed:     m.metrics.completed,
@@ -435,6 +437,7 @@ func (m *Manager) Metrics() Metrics {
 		Cancelled:     m.metrics.cancelled,
 		Interrupted:   m.metrics.interrupted,
 		Expired:       m.metrics.expired,
+		Shed:          m.metrics.shed,
 		CacheHits:     m.metrics.cacheHits,
 		CacheMisses:   m.metrics.cacheMisses,
 		MaxQueueDepth: m.metrics.maxQueueDepth,

@@ -16,7 +16,6 @@
 package qrm
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -24,6 +23,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/qdmi"
 	"repro/internal/telemetry/trace"
+	"repro/internal/tenant"
 	"repro/internal/transpile"
 )
 
@@ -119,6 +119,12 @@ type Job struct {
 // API layers key the deadline_exceeded error code off it.
 const ErrDeadlineMsg = "deadline exceeded before dispatch"
 
+// ErrShedMsg is the error recorded on jobs shed by admission control when
+// the queue crossed its configured bound; API layers key the retryable
+// {code:"shed"} envelope off it. Shed jobs are accepted, counted, and
+// terminated — never silently dropped — so conservation counters balance.
+const ErrShedMsg = "shed: queue over admission high-water mark"
+
 // expired reports whether the job's dispatch deadline has passed.
 func (j *Job) expired() bool {
 	return j.Request.DeadlineMs > 0 &&
@@ -170,9 +176,13 @@ type Manager struct {
 	dev       *qdmi.Device
 	nextID    int
 	nextBatch int
-	queue     jobQueue
+	queue     fairQueue
 	jobs      map[int]*Job // all jobs ever, by ID
 	order     []int        // submission order for pagination
+
+	// admission bounds the queue (zero values = unbounded, the default);
+	// crossing a bound sheds the most sheddable queued job with ErrShedMsg.
+	admission tenant.Admission
 
 	now    float64
 	online bool
@@ -224,6 +234,7 @@ type JobStore interface {
 func NewManager(dev *qdmi.Device) *Manager {
 	m := &Manager{
 		dev:      dev,
+		queue:    newFairQueue(),
 		jobs:     make(map[int]*Job),
 		online:   true,
 		cache:    newTranspileCache(),
@@ -285,11 +296,10 @@ func (m *Manager) SetOnline(online bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.online && !online {
-		for _, j := range m.queue {
+		for _, j := range m.queue.drain() {
 			m.terminateLocked(j, StatusInterrupted)
 			m.metrics.interrupted++
 		}
-		m.queue = m.queue[:0]
 	}
 	m.online = online
 	m.cond.Broadcast()
@@ -305,6 +315,24 @@ func (m *Manager) terminateLocked(j *Job, s JobStatus) {
 	from := j.Status
 	j.Status = s
 	j.EndTime = m.now
+	// Per-tenant accounting: terminateLocked is the single terminal choke
+	// point, so every outcome lands in exactly one tenant counter. Shed
+	// jobs surface as StatusFailed but are accounted separately.
+	ts := m.queue.stats(j.Request.User)
+	switch s {
+	case StatusDone:
+		ts.Completed++
+	case StatusFailed:
+		if j.Error == ErrShedMsg {
+			ts.Shed++
+		} else {
+			ts.Failed++
+		}
+	case StatusCancelled:
+		ts.Cancelled++
+	case StatusInterrupted:
+		ts.Interrupted++
+	}
 	if j.done != nil {
 		close(j.done)
 	}
@@ -445,10 +473,12 @@ func (m *Manager) submit(req Request, parent *trace.Span) (int, error) {
 	j.qwSpan = j.span.StartChild("queue-wait")
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
-	heap.Push(&m.queue, j)
+	m.queue.push(j)
 	m.metrics.submitted++
-	m.metrics.observeQueueDepth(len(m.queue))
+	m.queue.stats(req.User).Submitted++
+	m.metrics.observeQueueDepth(m.queue.Len())
 	m.publishLocked(j, "", "")
+	m.shedOverLimitLocked(req.User)
 	m.cond.Broadcast()
 	st, lsn := m.store, m.walTail
 	m.mu.Unlock()
@@ -500,14 +530,11 @@ func (m *Manager) Cancel(id int) error {
 	if terminalStatus(j.Status) {
 		return fmt.Errorf("qrm: job %d already %s", id, j.Status)
 	}
-	for i, q := range m.queue {
-		if q.ID == id {
-			m.terminateLocked(j, StatusCancelled)
-			m.metrics.cancelled++
-			heap.Remove(&m.queue, i)
-			m.cond.Broadcast() // the queue may now be idle; wake WaitIdle
-			return nil
-		}
+	if m.queue.remove(id) != nil {
+		m.terminateLocked(j, StatusCancelled)
+		m.metrics.cancelled++
+		m.cond.Broadcast() // the queue may now be idle; wake WaitIdle
+		return nil
 	}
 	// In flight: flag it for the worker. The event lets watchers see the
 	// request even though the status has not changed yet.
@@ -520,7 +547,62 @@ func (m *Manager) Cancel(id int) error {
 func (m *Manager) PendingCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return m.queue.Len()
+}
+
+// SetAdmission installs queue-depth bounds (tenant.Admission zero values
+// disable each bound). Applies to subsequent submissions; an already-full
+// queue is not retroactively shed.
+func (m *Manager) SetAdmission(a tenant.Admission) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.admission = a
+}
+
+// Admission returns the configured queue bounds.
+func (m *Manager) Admission() tenant.Admission {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.admission
+}
+
+// TenantUsage snapshots per-tenant queue accounting, sorted by user.
+func (m *Manager) TenantUsage() []tenant.Usage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queue.usage()
+}
+
+// shedOverLimitLocked enforces the admission bounds after a push: first
+// the submitting tenant's own depth cap, then the global high-water mark.
+// Victims are the most sheddable queued jobs (lowest priority, newest) —
+// possibly the job just submitted. Caller holds m.mu.
+func (m *Manager) shedOverLimitLocked(user string) {
+	a := m.admission
+	if a.MaxTenantQueue > 0 {
+		for m.queue.depth(user) > a.MaxTenantQueue {
+			m.shedLocked(m.queue.worstOf(user))
+		}
+	}
+	if a.HighWater > 0 {
+		for m.queue.Len() > a.HighWater {
+			m.shedLocked(m.queue.worst())
+		}
+	}
+}
+
+// shedLocked terminates one queued job with the retryable shed error.
+// The job stays in history and its terminal event publishes normally, so
+// waiters and watch streams see it fail loudly rather than vanish.
+func (m *Manager) shedLocked(j *Job) {
+	if j == nil {
+		return
+	}
+	m.queue.remove(j.ID)
+	j.Error = ErrShedMsg
+	m.terminateLocked(j, StatusFailed)
+	m.metrics.shed++
+	m.cond.Broadcast() // the queue may now be idle; wake WaitIdle
 }
 
 // claimLocked pops queued jobs until it finds a dispatchable one, failing
@@ -528,8 +610,9 @@ func (m *Manager) PendingCount() int {
 // time so a stale job never occupies a worker. Returns nil when the queue
 // drained to empty. Caller holds m.mu.
 func (m *Manager) claimLocked() *Job {
-	for len(m.queue) > 0 {
-		j := heap.Pop(&m.queue).(*Job)
+	now := time.Now()
+	for m.queue.Len() > 0 {
+		j := m.queue.pop(now)
 		if j.expired() {
 			j.Error = ErrDeadlineMsg
 			m.terminateLocked(j, StatusFailed)

@@ -1,7 +1,6 @@
 package qrm
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -96,6 +95,7 @@ func (m *Manager) Restore(jobs []*Job) (RestoreStats, error) {
 			j.EndTime = m.now
 			close(j.done)
 			m.metrics.interrupted++
+			m.queue.stats(j.Request.User).Interrupted++
 			m.publishLocked(j, from, "recovered")
 			stats.Expired++
 			continue
@@ -105,9 +105,13 @@ func (m *Manager) Restore(jobs []*Job) (RestoreStats, error) {
 		j.span = j.tr.Root()
 		j.trOwned = j.tr != nil
 		j.qwSpan = j.span.StartChild("queue-wait")
-		heap.Push(&m.queue, j)
+		// Re-queue through the fair queue so per-tenant accounting (depth,
+		// submitted) is rebuilt from the WAL exactly as live submissions
+		// would have built it.
+		m.queue.push(j)
 		m.metrics.submitted++
-		m.metrics.observeQueueDepth(len(m.queue))
+		m.queue.stats(j.Request.User).Submitted++
+		m.metrics.observeQueueDepth(m.queue.Len())
 		m.publishLocked(j, from, "recovered")
 		stats.Requeued++
 	}

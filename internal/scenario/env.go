@@ -16,6 +16,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/mqss"
 	"repro/internal/qdmi"
+	"repro/internal/tenant"
 )
 
 // Env is the live stack one scenario run executes against: a fleet of twin
@@ -122,6 +123,7 @@ func newEnv(spec Spec, run int) (*Env, error) {
 		return nil, err
 	}
 	e.srv = mqss.NewFleetServer(e.Fleet)
+	e.applyAdmission()
 	e.hs = httptest.NewServer(e.srv)
 	httpc := e.hs.Client()
 	// Every measured job holds a watch stream open; without headroom the
@@ -163,6 +165,20 @@ func (e *Env) buildFleet() error {
 		e.Names = append(e.Names, name)
 	}
 	return nil
+}
+
+// applyAdmission pushes the spec's admission profile into the freshly built
+// stack: the token bucket onto the v2 front end, the shedding bounds onto
+// every device queue. Crash calls it again on the reborn stack — admission
+// config is server config and must survive a restart.
+func (e *Env) applyAdmission() {
+	a := e.Spec.Admission
+	if a.Rate > 0 {
+		e.srv.SetTenantLimits(a.Rate, a.Burst)
+	}
+	if adm := (tenant.Admission{MaxTenantQueue: a.MaxTenantQueue, HighWater: a.HighWater}); adm.Enabled() {
+		e.Fleet.SetAdmission(adm)
+	}
 }
 
 // EnableDurability backs this run's stack with a crash-durable job store in
@@ -221,6 +237,7 @@ func (e *Env) Crash() error {
 	e.Store = st
 	e.srv = mqss.NewFleetServer(e.Fleet)
 	e.srv.AttachStore(st, rec.Idem)
+	e.applyAdmission()
 
 	var l net.Listener
 	for attempt := 0; ; attempt++ {

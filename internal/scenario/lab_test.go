@@ -43,8 +43,8 @@ func TestScenarioLab(t *testing.T) {
 			t.Logf("%s / %-20s %s: %s", res.Name, g.Name, status, g.Detail)
 		}
 	}
-	if *scenarioName == "" && len(art.Scenarios) < 6 {
-		t.Fatalf("scenario registry shrank: %d scenarios, want >= 6", len(art.Scenarios))
+	if *scenarioName == "" && len(art.Scenarios) < 9 {
+		t.Fatalf("scenario registry shrank: %d scenarios, want >= 9", len(art.Scenarios))
 	}
 	if !art.Pass {
 		t.Fatal("scenario lab: SLO release gates tripped (see gate log above)")
@@ -108,6 +108,48 @@ func TestCrashRecoverySmoke(t *testing.T) {
 	}
 }
 
+// TestTenantHogSmoke runs the WFQ-isolation scenario (reduced load, single
+// run) in the regular suite: the victim tenants' jobs must all complete and
+// the scenario-check gate — flood landed, victims whole, per-tenant
+// conservation — must hold on every `go test ./...`.
+func TestTenantHogSmoke(t *testing.T) {
+	r := &Runner{Runs: 1, Logf: t.Logf}
+	res, err := r.RunSpec(smokeSpec(t, "tenant-hog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zero-lost", "watch-terminal", "error-rate", "scenario-check"} {
+		g := res.Gate(name)
+		if g == nil {
+			t.Fatalf("gate %q missing", name)
+		}
+		if !g.Pass {
+			t.Errorf("gate %s tripped: %s", g.Name, g.Detail)
+		}
+	}
+}
+
+// TestOverloadStormSmoke runs the admission-storm scenario (reduced load,
+// single run) in the regular suite: the shedder must fire, every shed job
+// must land terminal (zero-lost covers chaff), and per-tenant conservation
+// must balance across the hundreds of storm users.
+func TestOverloadStormSmoke(t *testing.T) {
+	r := &Runner{Runs: 1, Logf: t.Logf}
+	res, err := r.RunSpec(smokeSpec(t, "overload-storm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zero-lost", "watch-terminal", "error-rate", "scenario-check"} {
+		g := res.Gate(name)
+		if g == nil {
+			t.Fatalf("gate %q missing", name)
+		}
+		if !g.Pass {
+			t.Errorf("gate %s tripped: %s", g.Name, g.Detail)
+		}
+	}
+}
+
 // TestScenarioNegativeControl proves the lab can see an unhandled
 // incident: the device-death fault is injected but the React hook (mark
 // failed, trigger failover) is withheld. The poisoned device stays in the
@@ -141,8 +183,8 @@ func TestScenarioNegativeControl(t *testing.T) {
 // spec.
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) < 6 {
-		t.Fatalf("registry has %d scenarios, want >= 6", len(all))
+	if len(all) < 9 {
+		t.Fatalf("registry has %d scenarios, want >= 9", len(all))
 	}
 	seeds := map[int64]string{}
 	for _, s := range all {
@@ -160,7 +202,7 @@ func TestRegistry(t *testing.T) {
 	for _, want := range []string{
 		"device-death-midbatch", "calib-drift-midjob", "slow-straggler",
 		"watch-churn", "deadline-storm", "maintenance-drain",
-		"node-crash-recovery",
+		"node-crash-recovery", "tenant-hog", "overload-storm",
 	} {
 		if _, ok := Lookup(want); !ok {
 			t.Errorf("built-in scenario %q missing", want)

@@ -95,8 +95,11 @@ type Result struct {
 	// DeviceE2EP95Ms is the worst per-device dispatch-pipeline e2e p95 of
 	// the final run — the server-side view alongside the client-side SLOs.
 	DeviceE2EP95Ms float64 `json:"device_e2e_p95_ms"`
-	Gates          []Gate  `json:"gates"`
-	Pass           bool    `json:"pass"`
+	// CheckFailures collects per-run failures of the scenario's Check hook;
+	// empty when the hook held every run (or the scenario has none).
+	CheckFailures []string `json:"check_failures,omitempty"`
+	Gates         []Gate   `json:"gates"`
+	Pass          bool     `json:"pass"`
 	// WorstJobTrace is the span tree of the slowest measured job across all
 	// runs, attached only when a gate fails: the first diagnostic an operator
 	// wants is "where did the slow job spend its time".
@@ -201,9 +204,12 @@ func (r *Runner) RunSpec(spec Spec) (*Result, error) {
 	var worst *worstJob
 	for k := 0; k < runs; k++ {
 		r.logf("scenario %s: run %d/%d", spec.Name, k+1, runs)
-		stats, e2eP95, w, err := r.runOnce(spec, k)
+		stats, e2eP95, w, checkFail, err := r.runOnce(spec, k)
 		if err != nil {
 			return nil, err
+		}
+		if checkFail != "" {
+			res.CheckFailures = append(res.CheckFailures, fmt.Sprintf("run %d: %s", k+1, checkFail))
 		}
 		perRun = append(perRun, stats)
 		if e2eP95 > res.DeviceE2EP95Ms {
@@ -313,6 +319,13 @@ func evaluateGates(spec Spec, res *Result) []Gate {
 		"median recovery/warmup throughput %.2f (floor %.2f)", res.RecoveryRatio, spec.SLO.MinRecoveryRatio)
 	add("variance", res.WarmupSpreadPct <= spec.SLO.MaxSpreadPct,
 		"warmup throughput spread %.1f%% across %d runs (ceiling %.0f%%)", res.WarmupSpreadPct, res.Runs, spec.SLO.MaxSpreadPct)
+	if spec.Hooks.Check != nil {
+		if len(res.CheckFailures) == 0 {
+			add("scenario-check", true, "scenario invariant held on all %d runs", res.Runs)
+		} else {
+			add("scenario-check", false, "%s", strings.Join(res.CheckFailures, "; "))
+		}
+	}
 	return gates
 }
 
@@ -325,12 +338,13 @@ type worstJob struct {
 }
 
 // runOnce executes all three phases of one seeded run and returns the
-// per-phase stats, the worst device-side e2e p95, and the slowest job's
-// trace (nil when it could not be fetched).
-func (r *Runner) runOnce(spec Spec, run int) (map[Phase]phaseStats, float64, *worstJob, error) {
+// per-phase stats, the worst device-side e2e p95, the slowest job's trace
+// (nil when it could not be fetched), and the Check hook's failure ("" when
+// it held or the scenario has none).
+func (r *Runner) runOnce(spec Spec, run int) (map[Phase]phaseStats, float64, *worstJob, string, error) {
 	env, err := newEnv(spec, run)
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, "", err
 	}
 	defer env.close()
 
@@ -364,7 +378,13 @@ func (r *Runner) runOnce(spec Spec, run int) (map[Phase]phaseStats, float64, *wo
 			e2eP95 = p
 		}
 	}
-	return stats, e2eP95, fetchWorstTrace(env, stats), nil
+	checkFail := ""
+	if spec.Hooks.Check != nil {
+		if cerr := spec.Hooks.Check(env); cerr != nil {
+			checkFail = cerr.Error()
+		}
+	}
+	return stats, e2eP95, fetchWorstTrace(env, stats), checkFail, nil
 }
 
 // fetchWorstTrace pulls the span tree of the run's slowest measured job
@@ -419,8 +439,12 @@ func (r *Runner) runPhase(env *Env, ph Phase, midFault func()) phaseStats {
 			midFault()
 		}
 		width := spec.Load.Widths[i%len(spec.Load.Widths)]
+		user := spec.Load.User
+		if spec.Load.Tenants > 0 {
+			user = fmt.Sprintf("%s-%d", user, i%spec.Load.Tenants)
+		}
 		h, err := env.Client.Submit(ctx, mqss.SubmitRequest{
-			Circuit: circuit.GHZ(width), Shots: spec.Load.Shots, User: spec.Load.User,
+			Circuit: circuit.GHZ(width), Shots: spec.Load.Shots, User: user,
 		}, "")
 		if err != nil {
 			// A rejected submission is a lost unit of offered load: loud

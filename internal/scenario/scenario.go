@@ -53,12 +53,28 @@ type FleetProfile struct {
 }
 
 // LoadProfile shapes the measured load of each phase: Jobs GHZ submissions
-// over the cycled Widths at Shots shots each, all through the v2 API.
+// over the cycled Widths at Shots shots each, all through the v2 API. When
+// Tenants > 0 the measured load is striped across that many users
+// ("<User>-0" ... "<User>-N"), so the fairness scenarios can measure each
+// victim tenant's latency separately from the aggressor's.
 type LoadProfile struct {
-	Jobs   int
-	Shots  int
-	Widths []int
-	User   string
+	Jobs    int
+	Shots   int
+	Widths  []int
+	User    string
+	Tenants int
+}
+
+// AdmissionProfile configures the run's multi-tenant admission plane: a
+// per-tenant token bucket on v2 submits (Rate/Burst, 0 = off) and queue-level
+// load shedding (per-tenant depth bound and global high-water mark, 0 = off).
+// The profile is applied when the stack is built and re-applied after a
+// Crash, like qhpcd flags surviving a restart.
+type AdmissionProfile struct {
+	Rate           float64
+	Burst          int
+	MaxTenantQueue int
+	HighWater      int
 }
 
 // SLO is the per-scenario release-gate contract. Zero-valued bounds fall
@@ -96,6 +112,11 @@ type Hooks struct {
 	React func(*Env)
 	// Recover undoes the fault at the start of the recovery phase.
 	Recover func(*Env)
+	// Check runs once per rerun after the recovery phase with the stack
+	// still alive; a non-nil error fails the scenario-check gate. It is the
+	// hook for scenario-specific invariants the generic SLO gates cannot
+	// express — e.g. per-tenant job conservation after an overload storm.
+	Check func(*Env) error
 }
 
 // Spec is one registered scenario.
@@ -105,6 +126,7 @@ type Spec struct {
 	Seed        int64
 	Fleet       FleetProfile
 	Load        LoadProfile
+	Admission   AdmissionProfile
 	Hooks       Hooks
 	SLO         SLO
 }

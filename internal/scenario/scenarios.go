@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/circuit"
@@ -23,6 +25,21 @@ func init() {
 	Register(deadlineStorm())
 	Register(maintenanceDrain())
 	Register(nodeCrashRecovery())
+	Register(tenantHog())
+	Register(overloadStorm())
+}
+
+// conserveTenants asserts per-tenant job conservation on the live stack:
+// every submission is accounted exactly once across terminal states and the
+// queue — shed jobs fail loudly, they never vanish.
+func conserveTenants(e *Env) error {
+	for _, r := range e.Fleet.TenantUsage() {
+		total := r.Completed + r.Failed + r.Cancelled + r.Interrupted + r.Shed + uint64(r.Queued)
+		if r.Submitted != total {
+			return fmt.Errorf("tenant %s: %d submitted but %d accounted (%+v)", r.User, r.Submitted, total, r)
+		}
+	}
+	return nil
 }
 
 // deviceDeathMidBatch poisons one device's control electronics with a
@@ -194,6 +211,125 @@ func nodeCrashRecovery() Spec {
 			},
 		},
 		SLO: SLO{P95Ms: map[Phase]float64{Inject: 2500}},
+	}
+}
+
+// tenantHog stripes the measured load across four tenants, then has a fifth
+// flood the queues at 10x the whole measured batch. No rate limiter, no
+// shedding: weighted-fair claiming alone must keep every victim tenant's
+// inject p95 within 2x its warmup baseline (the default 250/500ms bounds)
+// while the hog's backlog absorbs the wait. The Check hook pins the flood
+// really landed and that every victim tenant still completed all its jobs.
+func tenantHog() Spec {
+	const victims = 4
+	return Spec{
+		Name:        "tenant-hog",
+		Description: "one tenant floods submits at 10x the measured batch; WFQ must hold every other tenant near its baseline latency",
+		Seed:        108,
+		Load:        LoadProfile{Tenants: victims},
+		Hooks: Hooks{
+			Fault: func(e *Env) {
+				flood := 10 * e.Spec.Load.Jobs
+				e.Go(func() {
+					ctx, cancel := context.WithTimeout(context.Background(), phaseTimeout)
+					defer cancel()
+					for i := 0; i < flood; i++ {
+						if _, err := e.SubmitChaff(ctx, mqss.SubmitRequest{
+							Circuit: circuit.GHZ(3 + i%3),
+							Shots:   5,
+							User:    "hog",
+						}); err != nil {
+							return
+						}
+					}
+				})
+			},
+			Check: func(e *Env) error {
+				if err := conserveTenants(e); err != nil {
+					return err
+				}
+				perVictim := uint64(0)
+				for _, r := range e.Fleet.TenantUsage() {
+					if r.User == "hog" {
+						continue
+					}
+					if r.Completed != r.Submitted {
+						return fmt.Errorf("victim tenant %s lost throughput to the hog: %d/%d completed", r.User, r.Completed, r.Submitted)
+					}
+					if r.Submitted > perVictim {
+						perVictim = r.Submitted
+					}
+				}
+				for _, r := range e.Fleet.TenantUsage() {
+					if r.User == "hog" {
+						if r.Submitted < 5*perVictim {
+							return fmt.Errorf("hog only reached %d submissions vs %d per victim: not a flood", r.Submitted, perVictim)
+						}
+						return nil
+					}
+				}
+				return errors.New("hog tenant never showed up in the usage rows")
+			},
+		},
+	}
+}
+
+// overloadStorm is the admission-control storm: ~1000 distinct best-effort
+// users flood the queues far past capacity while eight measured tenants keep
+// submitting. The queue-level shedder (per-device high-water mark) must shed
+// the excess as loud retryable failures — never drop it — and the measured
+// load must stay inside its (looser) latency bound. The Check hook asserts
+// the shedder actually fired and that shed + completed + failed + queued
+// equals submitted for every one of the ~1000 tenants.
+func overloadStorm() Spec {
+	return Spec{
+		Name:        "overload-storm",
+		Description: "a ~1000-user storm at far over capacity; admission must shed loudly, conserve every job, and hold the measured load's bound",
+		Seed:        109,
+		// Slow devices and a low high-water mark: capacity is what the storm
+		// must exceed, and it must exceed it even when the race detector
+		// halves the flood's submit rate — the default 2ms fleet drains
+		// faster than loopback HTTP can flood. The measured load's burst
+		// (jobs/devices ~ 8 per device) stays well under the mark.
+		Fleet:     FleetProfile{ExecLatency: 25 * time.Millisecond},
+		Load:      LoadProfile{Tenants: 8},
+		Admission: AdmissionProfile{MaxTenantQueue: 48, HighWater: 24},
+		Hooks: Hooks{
+			Fault: func(e *Env) {
+				stormUsers := 30 * e.Spec.Load.Jobs // ~1000 distinct users at lab scale
+				// The storm arrives on parallel connections — a sequential
+				// submitter cannot outrun the fleet's drain rate, and a storm
+				// that never backs the queue up sheds nothing.
+				const lanes = 16
+				for lane := 0; lane < lanes; lane++ {
+					lane := lane
+					e.Go(func() {
+						ctx, cancel := context.WithTimeout(context.Background(), phaseTimeout)
+						defer cancel()
+						for i := lane; i < stormUsers; i += lanes {
+							if _, err := e.SubmitChaff(ctx, mqss.SubmitRequest{
+								Circuit:  circuit.GHZ(3 + i%4),
+								Shots:    5,
+								User:     fmt.Sprintf("storm-%04d", i),
+								Priority: -1,
+							}); err != nil {
+								return
+							}
+						}
+					})
+				}
+			},
+			Check: func(e *Env) error {
+				if err := conserveTenants(e); err != nil {
+					return err
+				}
+				if shed := e.Fleet.Metrics().Shed; shed == 0 {
+					return errors.New("a storm at 30x the measured batch against a 24-deep high-water mark never tripped the shedder")
+				}
+				return nil
+			},
+		},
+		SLO: SLO{P95Ms: map[Phase]float64{Inject: 1500}},
 	}
 }
 

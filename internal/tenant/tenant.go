@@ -1,0 +1,190 @@
+// Package tenant is the multi-tenant admission-control layer: per-user
+// token-bucket rate limiting at the API edge, queue-depth bounds that the
+// dispatch queue sheds against under overload, and the per-tenant usage
+// accounting that the WFQ claim path, the /metrics plane, and the admin
+// tenants endpoint all share. The package is dependency-free so every
+// layer (qrm, fleet, mqss) can import it without cycles.
+package tenant
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Admission bounds the dispatch queue. Zero values disable each bound —
+// the default configuration admits everything, exactly as before.
+type Admission struct {
+	// MaxTenantQueue caps how many jobs one tenant may have queued at
+	// once; past it the tenant's lowest-priority queued job (possibly the
+	// incoming one) is shed with a retryable error.
+	MaxTenantQueue int `json:"max_tenant_queue,omitempty"`
+	// HighWater caps the global queue depth; past it the globally
+	// lowest-priority queued job is shed regardless of tenant.
+	HighWater int `json:"high_water,omitempty"`
+}
+
+// Enabled reports whether any bound is configured.
+func (a Admission) Enabled() bool { return a.MaxTenantQueue > 0 || a.HighWater > 0 }
+
+// Usage is one tenant's dispatch-queue accounting: current depth plus
+// lifetime outcome counters. The fleet merges per-device rows by user;
+// WAL replay rebuilds the rows when a node restarts.
+type Usage struct {
+	User        string `json:"user"`
+	Queued      int    `json:"queued"`
+	Submitted   uint64 `json:"submitted"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Cancelled   uint64 `json:"cancelled"`
+	Interrupted uint64 `json:"interrupted"`
+	Shed        uint64 `json:"shed"`
+}
+
+// MergeUsage sums usage rows by user across devices (fleet aggregation),
+// returning one row per user sorted by user name.
+func MergeUsage(rows ...[]Usage) []Usage {
+	byUser := map[string]*Usage{}
+	for _, set := range rows {
+		for _, u := range set {
+			acc, ok := byUser[u.User]
+			if !ok {
+				cp := u
+				byUser[u.User] = &cp
+				continue
+			}
+			acc.Queued += u.Queued
+			acc.Submitted += u.Submitted
+			acc.Completed += u.Completed
+			acc.Failed += u.Failed
+			acc.Cancelled += u.Cancelled
+			acc.Interrupted += u.Interrupted
+			acc.Shed += u.Shed
+		}
+	}
+	out := make([]Usage, 0, len(byUser))
+	for _, u := range byUser {
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
+
+// Limiter is a per-user token-bucket rate limiter: each user accrues
+// rate tokens per second up to burst, and one submission costs one token.
+// A nil *Limiter admits everything — callers never branch on "limiting
+// configured?".
+type Limiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time // test hook
+}
+
+type bucket struct {
+	tokens    float64
+	last      time.Time
+	allowed   uint64
+	throttled uint64
+}
+
+// NewLimiter builds a limiter at rate jobs/second with the given burst
+// capacity (floored at 1). rate <= 0 returns nil: limiting disabled.
+func NewLimiter(rate float64, burst int) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: map[string]*bucket{},
+		now:     time.Now,
+	}
+}
+
+// SetClock replaces the wall clock (tests only).
+func (l *Limiter) SetClock(now func() time.Time) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+}
+
+// Rate returns the configured refill rate (0 on a nil limiter).
+func (l *Limiter) Rate() float64 {
+	if l == nil {
+		return 0
+	}
+	return l.rate
+}
+
+// Burst returns the configured bucket capacity (0 on a nil limiter).
+func (l *Limiter) Burst() int {
+	if l == nil {
+		return 0
+	}
+	return int(l.burst)
+}
+
+// Allow spends one token for user. When the bucket is empty it refuses
+// and returns how long until one token accrues — the Retry-After the API
+// layer surfaces. Nil limiters always allow.
+func (l *Limiter) Allow(user string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, found := l.buckets[user]
+	if !found {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[user] = b
+	}
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		b.allowed++
+		return true, 0
+	}
+	b.throttled++
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// LimiterUsage is one user's view of the token bucket, for the admin
+// endpoint and /metrics.
+type LimiterUsage struct {
+	User      string  `json:"user"`
+	Allowed   uint64  `json:"allowed"`
+	Throttled uint64  `json:"throttled"`
+	Tokens    float64 `json:"tokens"`
+}
+
+// Usage snapshots every bucket, sorted by user. Nil-safe (returns nil).
+func (l *Limiter) Usage() []LimiterUsage {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LimiterUsage, 0, len(l.buckets))
+	for user, b := range l.buckets {
+		out = append(out, LimiterUsage{
+			User: user, Allowed: b.allowed, Throttled: b.throttled, Tokens: b.tokens,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].User < out[j].User })
+	return out
+}
