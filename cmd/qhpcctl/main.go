@@ -233,6 +233,8 @@ func main() {
 		storeCommand(ctx, client, args[1:])
 	case "tenants":
 		tenantsCommand(ctx, client, args[1:])
+	case "federation":
+		federationCommand(ctx, client, args[1:])
 	default:
 		usage()
 	}
@@ -434,6 +436,41 @@ func tenantsCommand(ctx context.Context, client *mqss.Client, args []string) {
 		fmt.Printf("%-20s %6d %9d %9d %6d %9d %6d %9d %9d\n",
 			row.User, row.Queued, row.Submitted, row.Completed, row.Failed,
 			row.Cancelled, row.Shed, row.Allowed, row.Throttled)
+	}
+}
+
+// federationCommand shows the sharded-fleet membership: `federation
+// status` reads GET /api/v2/federation/status — which peers this node
+// knows, who is alive, and each member's job-ID range base
+// (docs/FEDERATION.md).
+func federationCommand(ctx context.Context, client *mqss.Client, args []string) {
+	sub := "status"
+	if len(args) > 0 {
+		sub = args[0]
+	}
+	if sub != "status" {
+		log.Fatalf("unknown federation subcommand %q (want: status)", sub)
+	}
+	st, err := client.FederationStatus(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("federation: %d nodes, %d alive (answering node: %s)\n", st.Nodes, st.Alive, st.NodeID)
+	fmt.Printf("%-12s %-28s %10s %6s %s\n", "NODE", "URL", "ID-BASE", "ALIVE", "LAST-SEEN")
+	for _, p := range st.Peers {
+		alive := "no"
+		if p.Alive {
+			alive = "yes"
+		}
+		seen := "never"
+		switch {
+		case p.Self:
+			seen = "(self)"
+		case p.LastSeen >= 0:
+			// last_seen_ms is already relative: ms since last contact.
+			seen = fmt.Sprintf("%.1fs ago", float64(p.LastSeen)/1000)
+		}
+		fmt.Printf("%-12s %-28s %10d %6s %s\n", p.ID, p.URL, p.IDBase, alive, seen)
 	}
 }
 
@@ -886,6 +923,8 @@ commands:
                                        recovered (docs/DURABILITY.md)
   tenants [status]                     show the multi-tenant admission plane: configured
                                        rate limit and queue bounds plus per-tenant usage
-                                       (queue depth, completions, sheds, throttles)`)
+                                       (queue depth, completions, sheds, throttles)
+  federation [status]                  show the sharded-fleet membership: peers, liveness,
+                                       and each member's job-ID range (docs/FEDERATION.md)`)
 	os.Exit(2)
 }

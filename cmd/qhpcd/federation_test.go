@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The -snapshot refusal in fleet mode must tell the operator what to run
+// instead, not just say no: it names -data-dir, the flag that actually
+// persists a fleet.
+func TestSnapshotFleetRefusalIsActionable(t *testing.T) {
+	if !strings.Contains(snapshotFleetRefusal, "-data-dir") {
+		t.Fatalf("refusal does not point at -data-dir: %q", snapshotFleetRefusal)
+	}
+	if !strings.Contains(snapshotFleetRefusal, "-snapshot") ||
+		!strings.Contains(snapshotFleetRefusal, "single-device") {
+		t.Fatalf("refusal lost its context: %q", snapshotFleetRefusal)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers(" node-b = http://h2:8080/ , node-c=http://h3:8080 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers["node-b"] != "http://h2:8080" || peers["node-c"] != "http://h3:8080" {
+		t.Fatalf("parsePeers = %v", peers)
+	}
+	if got, err := parsePeers(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty flag: %v, %v", got, err)
+	}
+	for _, bad := range []string{"node-b", "=http://h2", "node-b=", "a=u,a=v"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+	if s := peerSummary(peers); s != "node-b=http://h2:8080 node-c=http://h3:8080" {
+		t.Fatalf("peerSummary = %q", s)
+	}
+}

@@ -10,6 +10,14 @@
 //	      [-snapshot /var/lib/qhpcd/qrm.json]
 //	      [-data-dir /var/lib/qhpcd/store] [-wal-sync group] [-wal-compact-every 1m]
 //	      [-tenant-rate 0] [-tenant-burst 0] [-tenant-queue 0] [-queue-high-water 0]
+//	      [-node-id node-a] [-self-url http://host1:8080] [-peers node-b=http://host2:8080]
+//	      [-fed-heartbeat 1s] [-fed-dead-after 3s]
+//
+// The -node-id/-peers flags federate this daemon with other qhpcd nodes
+// (docs/FEDERATION.md): submissions are placed by rendezvous hash on
+// (tenant, idempotency-key) and any member transparently proxies reads,
+// cancels, and watch streams to the job's owner, so clients can talk to
+// whichever node they like.
 //
 // The -tenant-* flags turn on the multi-tenant admission plane (default off):
 // a per-user token bucket on v2 submits (refusals are 429 with Retry-After
@@ -47,6 +55,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/facility"
+	"repro/internal/federation"
 	"repro/internal/fleet"
 	"repro/internal/mqss"
 	"repro/internal/tenant"
@@ -86,6 +95,16 @@ func main() {
 		"max queued jobs per tenant per device; overflow is shed as retryable failures (0 = unbounded)")
 	queueHighWater := flag.Int("queue-high-water", 0,
 		"per-device queue depth past which the lowest-priority queued jobs are shed (0 = unbounded)")
+	nodeID := flag.String("node-id", "",
+		"federation member name; joins the peers named by -peers into one sharded fleet (empty = standalone)")
+	selfURL := flag.String("self-url", "",
+		"this node's base URL as its peers reach it (e.g. http://host1:8080); used with -node-id")
+	peersFlag := flag.String("peers", "",
+		"comma-separated id=url list of the OTHER federation members (e.g. node-b=http://host2:8080,node-c=http://host3:8080)")
+	fedHeartbeat := flag.Duration("fed-heartbeat", time.Second,
+		"federation heartbeat interval")
+	fedDeadAfter := flag.Duration("fed-dead-after", 0,
+		"declare a silent peer dead after this long (default 3x -fed-heartbeat)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -147,6 +166,9 @@ func main() {
 	// drain runs after the listener stops accepting: finish or park the
 	// backend's remaining work so no accepted job is silently dropped.
 	var drain func()
+	// fleetSched escapes the fleet branch so the federation bootstrap can
+	// stamp its ID base and node identity.
+	var fleetSched *fleet.Scheduler
 	if *devices > 1 {
 		policy, err := fleet.ParsePolicy(*policyFlag)
 		if err != nil {
@@ -160,9 +182,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "qhpcd: -engine-stats-every applies to single-device mode only; use GET /api/v1/fleet for per-device counters\n")
 		}
 		if *snapshotPath != "" {
-			// Fleet jobs span devices (migrations, parking); a per-manager
-			// snapshot would silently capture one shard. Refuse loudly.
-			log.Fatalf("qhpcd: -snapshot applies to single-device mode only")
+			log.Fatalf("qhpcd: %s", snapshotFleetRefusal)
 		}
 		f, err := center.BuildFleet(core.FleetConfig{
 			Devices: *devices, WorkersPerDevice: w,
@@ -188,6 +208,7 @@ func main() {
 				rs.Terminal+rs.Requeued+rs.Expired, rs.Terminal, rs.Requeued, rs.Expired, *dataDir)
 		}
 		drain = f.Stop
+		fleetSched = f
 		mqssServer = center.FleetRESTHandler(f)
 		fmt.Fprintf(os.Stderr, "qhpcd: fleet of %d devices (%s routing, %d workers each): %v\n",
 			*devices, policy, w, f.Devices())
@@ -277,6 +298,39 @@ func main() {
 			}(*walCompactEvery)
 		}
 	}
+	// Federation: join the peer set AFTER the store restore so recovered
+	// jobs are already queryable when peers start proxying, and before the
+	// listener opens so the /api/v2/federation routes exist from the first
+	// request. The ID base keeps every member minting from its own range,
+	// which is what lets any node map a job ID to its owner.
+	var fed *federation.Node
+	if *nodeID != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			log.Fatalf("qhpcd: %v", err)
+		}
+		fed, err = federation.New(federation.Config{
+			NodeID: *nodeID, SelfURL: *selfURL, Peers: peers,
+			HeartbeatEvery: *fedHeartbeat, DeadAfter: *fedDeadAfter,
+		})
+		if err != nil {
+			log.Fatalf("qhpcd: federation: %v", err)
+		}
+		if fleetSched != nil {
+			fleetSched.SetIDBase(fed.SelfBase())
+			fleetSched.SetNodeID(*nodeID)
+		} else {
+			center.QRM.SetIDBase(fed.SelfBase())
+			center.QRM.SetNodeID(*nodeID)
+		}
+		mqssServer.AttachFederation(fed)
+		fed.Start()
+		fmt.Fprintf(os.Stderr, "qhpcd: federation member %q (%d nodes, id range base %d): peers %s\n",
+			*nodeID, len(peers)+1, fed.SelfBase(), peerSummary(peers))
+		fmt.Fprintf(os.Stderr, "qhpcd: federation endpoints: GET /api/v2/federation/status, GET /api/v2/federation/owner?id=, POST /api/v2/federation/heartbeat; `qhpcctl federation status` for the membership table\n")
+	} else if *peersFlag != "" {
+		log.Fatalf("qhpcd: -peers requires -node-id (this node needs a name its peers agree on)")
+	}
 	fmt.Fprintf(os.Stderr, "qhpcd: serving MQSS REST API on %s\n", *addr)
 	fmt.Fprintf(os.Stderr, "qhpcd: endpoints: POST /api/v1/jobs, POST /api/v1/jobs/batch[?stream=1], GET /api/v1/jobs, GET /api/v1/device, GET /api/v1/telemetry/, GET /api/v1/metrics, GET /healthz\n")
 	fmt.Fprintf(os.Stderr, "qhpcd: v2 endpoints: POST /api/v2/jobs[?wait=], GET /api/v2/jobs[?user=&state=&cursor=], GET /api/v2/jobs/{id}[?wait=], GET /api/v2/jobs/{id}/events, GET /api/v2/jobs/{id}/trace, DELETE /api/v2/jobs/{id}\n")
@@ -298,6 +352,9 @@ func main() {
 		}
 	case <-ctx.Done():
 		fmt.Fprintf(os.Stderr, "qhpcd: signal received; draining (watch streams, handlers, pipeline)\n")
+		if fed != nil {
+			fed.Close() // stop heartbeating before peers see half-closed state
+		}
 		mqssServer.Close() // release long-lived event streams first
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,162 @@
+package federation
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func mkNode(t *testing.T, self string, urls map[string]string, hb, dead time.Duration) *Node {
+	t.Helper()
+	peers := make(map[string]string)
+	for id, u := range urls {
+		if id != self {
+			peers[id] = u
+		}
+	}
+	n, err := New(Config{
+		NodeID:         self,
+		SelfURL:        urls[self],
+		Peers:          peers,
+		HeartbeatEvery: hb,
+		DeadAfter:      dead,
+	})
+	if err != nil {
+		t.Fatalf("New(%s): %v", self, err)
+	}
+	return n
+}
+
+func TestPlacementAgreesAcrossMembers(t *testing.T) {
+	urls := map[string]string{"a": "http://a", "b": "http://b", "c": "http://c"}
+	var nodes []*Node
+	for id := range urls {
+		nodes = append(nodes, mkNode(t, id, urls, time.Second, 3*time.Second))
+	}
+	owners := map[string]int{}
+	for i := 0; i < 200; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i%7)
+		key := fmt.Sprintf("key-%d", i)
+		want := nodes[0].PlaceJob(tenant, key)
+		for _, n := range nodes[1:] {
+			if got := n.PlaceJob(tenant, key); got != want {
+				t.Fatalf("placement disagrees for (%s,%s): %s vs %s (node %s)", tenant, key, want, got, n.Self())
+			}
+		}
+		owners[want]++
+	}
+	if len(owners) != 3 {
+		t.Fatalf("rendezvous hash parked everything on %d/3 nodes: %v", len(owners), owners)
+	}
+	// Same key twice must land on the same owner (idempotent replay).
+	if a, b := nodes[1].PlaceJob("t", "idem-1"), nodes[2].PlaceJob("t", "idem-1"); a != b {
+		t.Fatalf("same key placed differently: %s vs %s", a, b)
+	}
+	// Keyless placement spreads rather than pinning one owner.
+	spread := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		spread[nodes[0].PlaceJob("t", "")] = true
+	}
+	if len(spread) < 2 {
+		t.Fatalf("keyless placement never spread: %v", spread)
+	}
+}
+
+func TestIDSpacePartition(t *testing.T) {
+	urls := map[string]string{"a": "http://a", "b": "http://b", "c": "http://c"}
+	n := mkNode(t, "b", urls, time.Second, 3*time.Second)
+	if got := n.SelfBase(); got != IDStride {
+		t.Fatalf("node b base = %d, want %d", got, IDStride)
+	}
+	cases := []struct {
+		id   int
+		want string
+	}{
+		{1, "a"},
+		{IDStride, "a"},
+		{IDStride + 1, "b"},
+		{2 * IDStride, "b"},
+		{2*IDStride + 1, "c"},
+		{3 * IDStride, "c"},
+		{3*IDStride + 1, ""},
+		{0, ""},
+		{-5, ""},
+	}
+	for _, c := range cases {
+		if got := n.OwnerOfJobID(c.id); got != c.want {
+			t.Fatalf("OwnerOfJobID(%d) = %q, want %q", c.id, got, c.want)
+		}
+	}
+	info, ok := n.Owner(IDStride + 7)
+	if !ok || info.Node != "b" || !info.Self {
+		t.Fatalf("Owner(IDStride+7) = %+v, %v", info, ok)
+	}
+	if _, ok := n.Owner(99 * IDStride); ok {
+		t.Fatalf("Owner far out of range should not resolve")
+	}
+}
+
+func TestHeartbeatLivenessAndDeath(t *testing.T) {
+	// Peer "b" is a real HTTP server wired to a federation handler.
+	var b *Node
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.HandleHeartbeat(w, r)
+	}))
+	defer hs.Close()
+
+	urls := map[string]string{"a": "http://unused", "b": hs.URL}
+	a := mkNode(t, "a", urls, 20*time.Millisecond, 120*time.Millisecond)
+	b = mkNode(t, "b", urls, 20*time.Millisecond, 120*time.Millisecond)
+	defer a.Close()
+
+	if !a.Alive("b") {
+		t.Fatalf("peer should be presumed alive before the loop starts")
+	}
+	a.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Metrics().HeartbeatsSent == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !a.Alive("b") {
+		t.Fatalf("peer b should be alive while its server answers")
+	}
+	// The exchange must mark the sender alive on the receiving side too.
+	if !b.Alive("a") {
+		t.Fatalf("receiver should have marked sender a alive")
+	}
+
+	hs.Close()
+	for a.Alive("b") && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if a.Alive("b") {
+		t.Fatalf("peer b should be declared dead after DeadAfter of silence")
+	}
+	st := a.Status()
+	if st.Alive != 1 || st.Nodes != 2 {
+		t.Fatalf("status after death = %+v", st)
+	}
+	if m := a.Metrics(); m.HeartbeatsFailed == 0 {
+		t.Fatalf("expected failed heartbeats after server close, got %+v", m)
+	}
+
+	// A received heartbeat revives the peer without a successful send.
+	a.MarkSeen("b")
+	if !a.Alive("b") {
+		t.Fatalf("MarkSeen should revive peer b")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatalf("empty NodeID should fail")
+	}
+	if _, err := New(Config{NodeID: "a", Peers: map[string]string{"a": "http://a"}}); err == nil {
+		t.Fatalf("self in peers should fail")
+	}
+	if _, err := New(Config{NodeID: "a", Peers: map[string]string{"": "http://x"}}); err == nil {
+		t.Fatalf("empty peer id should fail")
+	}
+}

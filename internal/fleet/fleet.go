@@ -92,6 +92,11 @@ type Job struct {
 	SubmitUnixMs int64 `json:"-"`
 	// Recovered marks a job restored from the durable store after a restart.
 	Recovered bool `json:"recovered,omitempty"`
+	// Node is the federation ownership stamp: the node that minted this
+	// job's ID and whose durable store is authoritative for it. Empty on
+	// standalone deployments and in pre-federation WAL records — replay
+	// treats the missing field as "".
+	Node string `json:"node,omitempty"`
 
 	policy Policy
 	done   chan struct{}
@@ -155,6 +160,7 @@ type Scheduler struct {
 
 	nextID    int
 	nextBatch int
+	nodeID    string // federation ownership stamp for new jobs ("" standalone)
 	jobs      map[int]*Job
 	jobOrder  []int
 	parked    map[int]*Job
@@ -321,6 +327,33 @@ func (s *Scheduler) Policy() Policy {
 	return s.policy
 }
 
+// SetIDBase raises the ID counter so every future fleet job ID is > base.
+// Federated deployments partition the global ID space between nodes this
+// way; like Restore, the call only ever raises the counter, so composing
+// the two in either order is safe.
+func (s *Scheduler) SetIDBase(base int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if base > s.nextID {
+		s.nextID = base
+	}
+}
+
+// SetNodeID stamps every future job record with the owning federation
+// node. Empty (the default) means standalone.
+func (s *Scheduler) SetNodeID(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodeID = id
+}
+
+// NodeID returns the federation ownership stamp set by SetNodeID.
+func (s *Scheduler) NodeID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodeID
+}
+
 // SetAdmission applies queue-depth bounds fleet-wide: the config is stored
 // for devices added later and pushed to every registered device manager,
 // where shedding is actually enforced (each device bounds its own queue).
@@ -398,7 +431,7 @@ func (s *Scheduler) Submit(req qrm.Request, opts SubmitOptions) (int, error) {
 	j := &Job{
 		ID: s.nextID, Status: JobPending, Request: req,
 		Pinned: opts.Device, policy: policy, done: make(chan struct{}),
-		SubmitUnixMs: time.Now().UnixMilli(),
+		SubmitUnixMs: time.Now().UnixMilli(), Node: s.nodeID,
 	}
 	j.tr = trace.New("job",
 		trace.Int("job_id", j.ID), trace.Str("user", req.User))

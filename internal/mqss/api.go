@@ -75,6 +75,13 @@ type APIError struct {
 	Message   string `json:"message"`
 	Retryable bool   `json:"retryable"`
 
+	// Quota transparency on rate_limited refusals: the tenant's remaining
+	// token balance and the whole seconds until one token accrues (the
+	// same value as the Retry-After header, but machine-readable in the
+	// body). Absent on every other error code.
+	TokensLeft    *float64 `json:"tokens_left,omitempty"`
+	RetryAfterSec int      `json:"retry_after,omitempty"`
+
 	// RetryAfter is the server's Retry-After hint on 429 responses —
 	// client-side decoration, not part of the wire envelope.
 	RetryAfter time.Duration `json:"-"`
@@ -122,6 +129,12 @@ type Job struct {
 	// Recovered marks a job restored from the durable store after a
 	// restart; absent on jobs submitted to the current process.
 	Recovered bool `json:"recovered,omitempty"`
+
+	// Node is the federation member that owns this job (minted its ID,
+	// holds its durable record). Absent on standalone deployments, and
+	// identical no matter which node served the response — proxied reads
+	// pass the owner's record through unchanged.
+	Node string `json:"node,omitempty"`
 
 	// Error is the structured envelope for failed jobs.
 	Error *APIError `json:"error,omitempty"`
@@ -326,6 +339,7 @@ func v2FromQRM(j *qrm.Job, device string, withRequest bool) *Job {
 		SubmitTime:    j.SubmitTime,
 		EndTime:       j.EndTime,
 		Recovered:     j.Recovered,
+		Node:          j.Node,
 	}
 	if j.Status == qrm.StatusFailed || j.Status == qrm.StatusInterrupted {
 		out.Error = jobErrorEnvelope(j.Status, j.Error)
@@ -353,6 +367,7 @@ func v2FromFleet(j *fleet.Job, devRec *qrm.Job, withRequest bool) *Job {
 		Score:      j.Score,
 		Pinned:     j.Pinned,
 		Recovered:  j.Recovered,
+		Node:       j.Node,
 	}
 	rec := j.Result
 	if rec == nil && devRec != nil {

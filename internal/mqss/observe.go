@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/federation"
 	"repro/internal/qrm"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/trace"
@@ -146,6 +147,9 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		promStore(pw, s.store.Stats())
 	}
+	if s.fed != nil {
+		promFed(pw, s.fed.Self(), s.fed.Metrics())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = pw.WriteTo(w)
@@ -171,6 +175,21 @@ func promStore(pw *telemetry.PromWriter, st durable.Stats) {
 	pw.Counter("qhpc_wal_recovered_jobs_total", "Jobs recovered at startup by disposition (outcome: terminal, requeued, expired).", rl("terminal"), float64(st.Restored.Terminal))
 	pw.Counter("qhpc_wal_recovered_jobs_total", "", rl("requeued"), float64(st.Restored.Requeued))
 	pw.Counter("qhpc_wal_recovered_jobs_total", "", rl("expired"), float64(st.Restored.Expired))
+}
+
+// promFed renders the federation plane (only on servers that joined a
+// federation via AttachFederation); node labels every family with this
+// member's ID.
+func promFed(pw *telemetry.PromWriter, node string, m federation.Metrics) {
+	l := telemetry.Labels{{"node", node}}
+	pw.Gauge("qhpc_fed_peers_alive", "Federation members currently considered alive (self included).", l, float64(m.PeersAlive))
+	pw.Gauge("qhpc_fed_peers_dead", "Federation members currently considered dead by heartbeat.", l, float64(m.PeersDead))
+	pw.Counter("qhpc_fed_heartbeats_sent_total", "Heartbeats sent to peers.", l, float64(m.HeartbeatsSent))
+	pw.Counter("qhpc_fed_heartbeats_failed_total", "Heartbeats that failed to reach a peer.", l, float64(m.HeartbeatsFailed))
+	pw.Counter("qhpc_fed_forwarded_submits_total", "Submissions forwarded to their hash-owner node.", l, float64(m.ForwardedSubmits))
+	pw.Counter("qhpc_fed_proxied_reads_total", "Unary job requests (GET/DELETE/trace) proxied to the owner node.", l, float64(m.ProxiedReads))
+	pw.Counter("qhpc_fed_proxied_streams_total", "Watch streams proxied to the owner node.", l, float64(m.ProxiedStreams))
+	pw.Counter("qhpc_fed_proxy_errors_total", "Proxy attempts refused or failed (dead owner, network error, directory inconsistency).", l, float64(m.ProxyErrors))
 }
 
 func boolGauge(b bool) float64 {

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/durable"
+	"repro/internal/federation"
 	"repro/internal/fleet"
 	"repro/internal/qdmi"
 	"repro/internal/qrm"
@@ -60,6 +61,12 @@ type Server struct {
 	// in-memory only); it backs /api/v2/admin/store, the qhpc_wal_* metric
 	// families, and idempotency-key journaling.
 	store *durable.Store
+	// fed is the federation membership attached via AttachFederation
+	// (nil = standalone). fedClient carries proxied requests to owner
+	// nodes; it has no global timeout because watch streams are
+	// long-lived (per-request cancellation rides the inbound context).
+	fed       *federation.Node
+	fedClient *http.Client
 	// AutoRun executes jobs synchronously on submission whenever the QRM's
 	// dispatch pipeline is not running, which keeps the remote path
 	// self-contained in tests and examples. With the pipeline started

@@ -1,6 +1,7 @@
 package mqss
 
 import (
+	"math"
 	"net/http"
 	"sort"
 
@@ -34,11 +35,17 @@ type LimiterStatus struct {
 }
 
 // TenantStatus is one tenant's merged view: dispatch-queue accounting
-// plus the API edge's throttle counters.
+// plus the API edge's throttle counters and remaining quota.
 type TenantStatus struct {
 	tenant.Usage
 	Allowed   uint64 `json:"allowed,omitempty"`
 	Throttled uint64 `json:"throttled,omitempty"`
+	// TokensLeft is the tenant's current token balance (rounded to 3
+	// decimals); RetryAfterSec is the whole seconds until one token
+	// accrues, 0 when a submission would be admitted right now. Both
+	// only appear when a limiter is configured.
+	TokensLeft    *float64 `json:"tokens_left,omitempty"`
+	RetryAfterSec int      `json:"retry_after,omitempty"`
 }
 
 // tenantsStatus assembles the admin snapshot from whichever backend this
@@ -74,6 +81,14 @@ func (s *Server) tenantsStatus() TenantsStatus {
 				rows[lu.User] = r
 			}
 			r.Allowed, r.Throttled = lu.Allowed, lu.Throttled
+			// Surface remaining quota per tenant: Remaining refreshes the
+			// bucket, so the row reflects accrual since the last submission
+			// rather than the balance frozen at refusal time.
+			tokens := math.Round(s.limiter.Remaining(lu.User)*1000) / 1000
+			r.TokensLeft = &tokens
+			if ra := s.limiter.RetryAfter(lu.User); ra > 0 {
+				r.RetryAfterSec = retryAfterSeconds(ra)
+			}
 		}
 	}
 	users := make([]string, 0, len(rows))

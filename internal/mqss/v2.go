@@ -10,16 +10,20 @@ package mqss
 // {code, message, retryable}.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/federation"
 	"repro/internal/fleet"
 	"repro/internal/qrm"
+	"repro/internal/telemetry/trace"
 )
 
 const pathV2Jobs = "/api/v2/jobs"
@@ -162,13 +166,43 @@ func (s *Server) v2Submit(w http.ResponseWriter, r *http.Request) {
 			"device/policy routing requires a fleet server", false)
 		return
 	}
+	// Federation: place the job by rendezvous hash on (tenant,
+	// idempotency-key) and forward it to its owner. Placement runs before
+	// the rate limiter — admission is the owner's call, so a tenant's
+	// token bucket is drawn exactly once per submission no matter which
+	// node it entered through. Requests that already hopped once
+	// (HeaderForwardedFrom set) are owned here by definition; fedProxy
+	// rejects a second hop as a membership misconfiguration.
+	if s.fed != nil && r.Header.Get(federation.HeaderForwardedFrom) == "" {
+		if owner := s.fed.PlaceJob(req.User, r.Header.Get("Idempotency-Key")); owner != s.fed.Self() {
+			s.fed.NoteForwardedSubmit()
+			body, merr := json.Marshal(req)
+			if merr != nil {
+				writeV2Error(w, http.StatusInternalServerError, CodeInternal, merr.Error(), false)
+				return
+			}
+			s.fedProxy(w, r, owner, bytes.NewReader(body), false)
+			return
+		}
+	}
 	if ok, retryAfter := s.limiter.Allow(req.User); !ok {
 		// Admission is a contract, not a crash: the refusal names the wait
-		// until one token accrues, and the envelope is retryable so clients
-		// back off and resubmit instead of surfacing an error.
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
-		writeV2Error(w, http.StatusTooManyRequests, CodeRateLimited,
-			fmt.Sprintf("tenant %q over submission rate limit", req.User), true)
+		// until one token accrues and the tenant's remaining balance, and
+		// the envelope is retryable so clients back off and resubmit
+		// instead of surfacing an error.
+		secs := retryAfterSeconds(retryAfter)
+		// Rounded to 3 decimals: sub-millitoken accrual between the refusal
+		// and this read is noise, and the golden contract fixture pins the
+		// rounded value.
+		tokens := math.Round(s.limiter.Remaining(req.User)*1000) / 1000
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, &APIError{
+			Code:          CodeRateLimited,
+			Message:       fmt.Sprintf("tenant %q over submission rate limit", req.User),
+			Retryable:     true,
+			TokensLeft:    &tokens,
+			RetryAfterSec: secs,
+		})
 		return
 	}
 	var opts fleet.SubmitOptions
@@ -199,6 +233,14 @@ func (s *Server) v2Submit(w http.ResponseWriter, r *http.Request) {
 		// span carries the id the client saw in X-Request-ID. Replays keep
 		// the original submission's id.
 		s.jobTrace(id).Root().SetAttr("request_id", rid)
+	}
+	if from := r.Header.Get(federation.HeaderForwardedFrom); from != "" && !replayed {
+		// The submission hopped nodes: record the cross-node leg on the
+		// owner's trace so `qhpcctl trace` shows where the job entered
+		// the federation.
+		leg := s.jobTrace(id).Root().StartChild("fed-forward",
+			trace.Str("from_node", from), trace.Str("to_node", s.fed.Self()))
+		leg.End()
 	}
 	if wait > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), wait)
@@ -335,6 +377,19 @@ func (s *Server) handleV2JobByID(w http.ResponseWriter, r *http.Request) {
 	id, err := ParseJobID(idStr)
 	if err != nil {
 		writeV2Error(w, http.StatusBadRequest, CodeInvalidRequest, err.Error(), false)
+		return
+	}
+	// Federation: the job ID names its owner. Requests for jobs another
+	// member owns — reads, cancels, watch streams, traces — are relayed
+	// there transparently; IDs outside every member's range fall through
+	// to the local (404) path.
+	if owner, proxied := s.fedJobOwner(id); proxied {
+		if sub == "events" {
+			s.fed.NoteProxiedStream()
+		} else {
+			s.fed.NoteProxiedRead()
+		}
+		s.fedProxy(w, r, owner, nil, sub == "events")
 		return
 	}
 	switch sub {

@@ -90,6 +90,11 @@ type Job struct {
 	// restart; the v2 API surfaces it so clients can tell a replayed job
 	// from a fresh one.
 	Recovered bool `json:"recovered,omitempty"`
+	// Node is the federation ownership stamp: the node that minted this
+	// job's ID and whose durable store is authoritative for it. Empty on
+	// standalone deployments and in WAL records written before
+	// federation existed — replay treats the missing field as "".
+	Node string `json:"node,omitempty"`
 
 	// done is closed when the job reaches a terminal status; WaitJob and
 	// the streaming batch endpoints block on it. Copies made for callers
@@ -176,6 +181,7 @@ type Manager struct {
 	dev       *qdmi.Device
 	nextID    int
 	nextBatch int
+	nodeID    string // federation ownership stamp for new jobs ("" standalone)
 	queue     fairQueue
 	jobs      map[int]*Job // all jobs ever, by ID
 	order     []int        // submission order for pagination
@@ -423,6 +429,26 @@ func (m *Manager) SetTime(t float64) {
 	m.now = t
 }
 
+// SetIDBase raises the ID counter so every future job ID is > base.
+// Federated deployments partition the global ID space between nodes
+// this way; the call composes with Restore, which also only ever raises
+// the counter, so replaying an old WAL can never re-mint an ID.
+func (m *Manager) SetIDBase(base int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if base > m.nextID {
+		m.nextID = base
+	}
+}
+
+// SetNodeID stamps every future job record with the owning federation
+// node. Empty (the default) means standalone.
+func (m *Manager) SetNodeID(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodeID = id
+}
+
 // Submit enqueues one job and returns its ID. The job gets its own trace
 // (retained at terminal in the manager's ring); layers that already carry
 // a trace — the fleet scheduler — use SubmitObserved instead.
@@ -461,6 +487,7 @@ func (m *Manager) submit(req Request, parent *trace.Span) (int, error) {
 	j := &Job{
 		ID: m.nextID, Status: StatusQueued, Request: req, SubmitTime: m.now,
 		done: make(chan struct{}), submitWall: now, SubmitUnixMs: now.UnixMilli(),
+		Node: m.nodeID,
 	}
 	if parent != nil {
 		j.tr, j.span = parent.Trace(), parent

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/durable"
+	"repro/internal/federation"
 	"repro/internal/fleet"
 	"repro/internal/mqss"
 	"repro/internal/qdmi"
@@ -40,6 +41,11 @@ type Env struct {
 	// rebuilt stack.
 	Store *durable.Store
 
+	// Peers are the extra federation members, present after
+	// EnableFederation; the main stack is member "node-0".
+	Peers []*FedPeer
+
+	fed     *federation.Node
 	srv     *mqss.Server
 	hs      *httptest.Server
 	dataDir string
@@ -264,6 +270,7 @@ func (e *Env) close() {
 		close(e.injectDone)
 	}
 	e.bg.Wait()
+	e.closePeers()
 	e.srv.Close()
 	e.hs.Close()
 	e.Fleet.Stop()

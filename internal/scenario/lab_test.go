@@ -150,6 +150,47 @@ func TestOverloadStormSmoke(t *testing.T) {
 	}
 }
 
+// TestPeerDeathReshardSmoke runs the federated kill -9 scenario (reduced
+// load, single run) in the regular suite: heartbeat death detection, the
+// retryable-refusal window, WAL-recovered re-admission, and the
+// no-loss/no-double-execution invariants must hold on every `go test`.
+func TestPeerDeathReshardSmoke(t *testing.T) {
+	r := &Runner{Runs: 1, Logf: t.Logf}
+	res, err := r.RunSpec(smokeSpec(t, "peer-death-reshard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zero-lost", "watch-terminal", "error-rate", "scenario-check"} {
+		g := res.Gate(name)
+		if g == nil {
+			t.Fatalf("gate %q missing", name)
+		}
+		if !g.Pass {
+			t.Errorf("gate %s tripped: %s", g.Name, g.Detail)
+		}
+	}
+}
+
+// TestCrossNodeWatchSmoke runs the proxied-watch scenario (reduced load,
+// single run) in the regular suite: watch streams attached through
+// non-owner members must deliver every terminal event while churned.
+func TestCrossNodeWatchSmoke(t *testing.T) {
+	r := &Runner{Runs: 1, Logf: t.Logf}
+	res, err := r.RunSpec(smokeSpec(t, "cross-node-watch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zero-lost", "watch-terminal", "error-rate", "scenario-check"} {
+		g := res.Gate(name)
+		if g == nil {
+			t.Fatalf("gate %q missing", name)
+		}
+		if !g.Pass {
+			t.Errorf("gate %s tripped: %s", g.Name, g.Detail)
+		}
+	}
+}
+
 // TestScenarioNegativeControl proves the lab can see an unhandled
 // incident: the device-death fault is injected but the React hook (mark
 // failed, trigger failover) is withheld. The poisoned device stays in the
@@ -203,6 +244,7 @@ func TestRegistry(t *testing.T) {
 		"device-death-midbatch", "calib-drift-midjob", "slow-straggler",
 		"watch-churn", "deadline-storm", "maintenance-drain",
 		"node-crash-recovery", "tenant-hog", "overload-storm",
+		"peer-death-reshard", "cross-node-watch",
 	} {
 		if _, ok := Lookup(want); !ok {
 			t.Errorf("built-in scenario %q missing", want)

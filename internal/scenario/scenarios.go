@@ -27,6 +27,8 @@ func init() {
 	Register(nodeCrashRecovery())
 	Register(tenantHog())
 	Register(overloadStorm())
+	Register(peerDeathReshard())
+	Register(crossNodeWatch())
 }
 
 // conserveTenants asserts per-tenant job conservation on the live stack:
@@ -330,6 +332,122 @@ func overloadStorm() Spec {
 			},
 		},
 		SLO: SLO{P95Ms: map[Phase]float64{Inject: 1500}},
+	}
+}
+
+// peerDeathReshard federates the stack into three full nodes, then kill -9s
+// one peer mid-batch: the main node's failure detector must declare it dead
+// on heartbeats alone, reads of its jobs must refuse with retryable 503s
+// (never re-place — that would risk double execution), and the WAL-recovered
+// reboot must re-admit every acked job under its original ID. The inject
+// p95 bound absorbs the detection window plus the restart.
+func peerDeathReshard() Spec {
+	return Spec{
+		Name:        "peer-death-reshard",
+		Description: "kill -9 of one federation peer mid-batch; heartbeat death detection, retryable refusals, and WAL-recovered re-admission with no job lost or double-executed",
+		Seed:        110,
+		Fleet:       FleetProfile{Devices: 2},
+		Hooks: Hooks{
+			Setup: func(e *Env) {
+				if err := e.EnableFederation(2); err != nil {
+					panic(err)
+				}
+			},
+			Fault: func(e *Env) {
+				if err := e.CrashPeer(0); err != nil {
+					panic(err)
+				}
+			},
+			Check: func(e *Env) error {
+				if err := fedConserve(e); err != nil {
+					return err
+				}
+				m := e.Federation().Metrics()
+				if m.ForwardedSubmits == 0 {
+					return errors.New("no submission ever crossed nodes: the load was not sharded")
+				}
+				if m.HeartbeatsFailed == 0 {
+					return errors.New("the dead peer never failed a heartbeat: the kill did not land")
+				}
+				p := e.Peers[0]
+				if rs := p.LastRestore; rs.Terminal+rs.Requeued+rs.Expired == 0 {
+					return fmt.Errorf("%s's WAL replay recovered nothing: the crash window held no acked jobs", p.Name)
+				}
+				return nil
+			},
+		},
+		SLO: SLO{P95Ms: map[Phase]float64{Inject: 4000}},
+	}
+}
+
+// crossNodeWatch federates the stack into three nodes and churns watch
+// streams through every member against jobs they do not own, while the
+// measured watches ride node-0 proxies to the owners. Every member must
+// pass streams through transparently: the measured load's watch-terminal
+// and latency gates hold with proxying on the path.
+func crossNodeWatch() Spec {
+	return Spec{
+		Name:        "cross-node-watch",
+		Description: "watch streams attach through non-owner federation members under churn; proxied streams must still deliver every terminal event",
+		Seed:        111,
+		Fleet:       FleetProfile{Devices: 2},
+		Hooks: Hooks{
+			Setup: func(e *Env) {
+				if err := e.EnableFederation(2); err != nil {
+					panic(err)
+				}
+			},
+			Fault: func(e *Env) {
+				// Short-lived watchers through each PEER node: the jobs they
+				// watch were submitted through node-0, so most attach via a
+				// cross-node proxy stream and abandon it mid-flight.
+				for _, p := range e.Peers {
+					p := p
+					e.Go(func() {
+						for {
+							select {
+							case <-e.InjectDone():
+								return
+							default:
+							}
+							id := e.RecentJobID()
+							if id == "" {
+								time.Sleep(time.Millisecond)
+								continue
+							}
+							h, err := p.Client.Handle(id)
+							if err != nil {
+								continue
+							}
+							ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+							h.Watch(ctx, nil) // abandoned mid-stream on timeout
+							cancel()
+						}
+					})
+				}
+			},
+			Check: func(e *Env) error {
+				if err := fedConserve(e); err != nil {
+					return err
+				}
+				streams := e.Federation().Metrics().ProxiedStreams
+				for _, p := range e.Peers {
+					streams += p.fed.Metrics().ProxiedStreams
+				}
+				if streams == 0 {
+					return errors.New("no watch stream ever crossed nodes")
+				}
+				if e.Federation().Metrics().ForwardedSubmits == 0 {
+					return errors.New("no submission ever crossed nodes: the load was not sharded")
+				}
+				return nil
+			},
+		},
+		// Warmup throughput here crosses three full node stacks over
+		// loopback HTTP, which is noisier run to run than the in-process
+		// suites; the watch-terminal and zero-lost gates carry the
+		// correctness load, so the variance backstop gets headroom.
+		SLO: SLO{MaxSpreadPct: 120},
 	}
 }
 

@@ -163,6 +163,42 @@ func (l *Limiter) Allow(user string) (ok bool, retryAfter time.Duration) {
 	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
 }
 
+// Remaining reports user's current token balance without spending any,
+// refreshing the bucket first so the answer reflects accrual since the
+// last Allow. Unknown users hold a full burst; nil limiters report 0.
+func (l *Limiter) Remaining(user string) float64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, found := l.buckets[user]
+	if !found {
+		return l.burst
+	}
+	tokens := b.tokens
+	if el := l.now().Sub(b.last).Seconds(); el > 0 {
+		tokens += el * l.rate
+		if tokens > l.burst {
+			tokens = l.burst
+		}
+	}
+	return tokens
+}
+
+// RetryAfter reports how long until user accrues one whole token (zero
+// when a token is already available). Nil-safe.
+func (l *Limiter) RetryAfter(user string) time.Duration {
+	if l == nil {
+		return 0
+	}
+	tokens := l.Remaining(user)
+	if tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - tokens) / l.rate * float64(time.Second))
+}
+
 // LimiterUsage is one user's view of the token bucket, for the admin
 // endpoint and /metrics.
 type LimiterUsage struct {
