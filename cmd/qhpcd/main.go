@@ -318,9 +318,11 @@ func main() {
 		}
 		if fleetSched != nil {
 			fleetSched.SetIDBase(fed.SelfBase())
+			fleetSched.SetIDLimit(fed.SelfLimit())
 			fleetSched.SetNodeID(*nodeID)
 		} else {
 			center.QRM.SetIDBase(fed.SelfBase())
+			center.QRM.SetIDLimit(fed.SelfLimit())
 			center.QRM.SetNodeID(*nodeID)
 		}
 		mqssServer.AttachFederation(fed)

@@ -104,9 +104,10 @@ type Node struct {
 	base  map[string]int // node ID -> first job ID minus one
 	httpc *http.Client
 
-	mu       sync.Mutex
-	lastSeen map[string]time.Time // peer ID -> last successful contact
-	started  bool
+	mu        sync.Mutex
+	lastSeen  map[string]time.Time // peer ID -> last successful contact
+	started   bool
+	startedAt time.Time // when the heartbeat loop began
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -174,6 +175,12 @@ func (n *Node) Members() []string { return append([]string(nil), n.ids...) }
 // SelfBase returns the job-ID base for this node: local schedulers must
 // mint IDs strictly greater than it.
 func (n *Node) SelfBase() int { return n.base[n.cfg.NodeID] }
+
+// SelfLimit returns the last job ID this node may mint (inclusive). An
+// ID past it falls into the next sorted member's block and OwnerOfJobID
+// would silently misroute it, so local schedulers must refuse at the
+// boundary rather than spill over (see the SetIDLimit wiring in qhpcd).
+func (n *Node) SelfLimit() int { return n.base[n.cfg.NodeID] + IDStride }
 
 // BaseOf returns the job-ID base for any member.
 func (n *Node) BaseOf(id string) (int, bool) {
@@ -257,7 +264,9 @@ func (n *Node) Alive(id string) bool {
 	if !ok {
 		// Never reached since the loop started: give it one full
 		// DeadAfter window from loop start before declaring death.
-		return false
+		// (Start pre-seeds lastSeen for every configured peer, so today
+		// this only triggers if that seeding is ever refactored away.)
+		return time.Since(n.startedAt) <= n.cfg.DeadAfter
 	}
 	return time.Since(last) <= n.cfg.DeadAfter
 }
@@ -286,6 +295,7 @@ func (n *Node) Start() {
 	}
 	n.started = true
 	now := time.Now()
+	n.startedAt = now
 	for id := range n.cfg.Peers {
 		// Presume peers alive at start; death requires DeadAfter of
 		// silence, not a slow first round-trip.
@@ -356,7 +366,7 @@ func (n *Node) beatOne(id, url string) {
 // Status snapshots the membership table.
 func (n *Node) Status() Status {
 	n.mu.Lock()
-	started := n.started
+	started, startedAt := n.started, n.startedAt
 	seen := make(map[string]time.Time, len(n.lastSeen))
 	for id, t := range n.lastSeen {
 		seen[id] = t
@@ -375,7 +385,9 @@ func (n *Node) Status() Status {
 			case !started:
 				p.Alive, p.LastSeen = true, -1
 			case !ok:
-				p.Alive, p.LastSeen = false, -1
+				// Same grace window as Alive(): unreachable while Start
+				// pre-seeds lastSeen, kept consistent in case it stops.
+				p.Alive, p.LastSeen = now.Sub(startedAt) <= n.cfg.DeadAfter, -1
 			default:
 				p.Alive = now.Sub(last) <= n.cfg.DeadAfter
 				p.LastSeen = now.Sub(last).Milliseconds()

@@ -159,6 +159,7 @@ type Scheduler struct {
 	rr      int
 
 	nextID    int
+	idLimit   int // last mintable ID, inclusive (0 = unbounded; federation block end)
 	nextBatch int
 	nodeID    string // federation ownership stamp for new jobs ("" standalone)
 	jobs      map[int]*Job
@@ -339,6 +340,17 @@ func (s *Scheduler) SetIDBase(base int) {
 	}
 }
 
+// SetIDLimit caps the ID counter: submissions are refused once every ID
+// up to limit (inclusive) has been minted. Federated deployments set it
+// to the end of this node's ID block — spilling past it would land IDs
+// in the next member's block and silently misroute owner lookups, so
+// exhaustion is a hard refusal, not a wrap. Zero means unbounded.
+func (s *Scheduler) SetIDLimit(limit int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idLimit = limit
+}
+
 // SetNodeID stamps every future job record with the owning federation
 // node. Empty (the default) means standalone.
 func (s *Scheduler) SetNodeID(id string) {
@@ -423,6 +435,10 @@ func (s *Scheduler) Submit(req qrm.Request, opts SubmitOptions) (int, error) {
 		policy = opts.Policy
 	}
 	s.mu.Lock()
+	if s.idLimit > 0 && s.nextID >= s.idLimit {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("fleet: job-ID space exhausted: this node's federation ID block ends at %d; minting past it would misroute owner lookups", s.idLimit)
+	}
 	if err := s.admitLocked(req, opts); err != nil {
 		s.mu.Unlock()
 		return 0, err

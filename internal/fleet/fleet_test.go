@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -562,5 +563,31 @@ func TestStopFailsOutstandingWork(t *testing.T) {
 	}
 	if _, err := s.Submit(req(2, 5), SubmitOptions{}); err == nil {
 		t.Fatal("submit after Stop should fail")
+	}
+}
+
+// TestSetIDLimitRefusesAtBlockEnd pins the federation ID-stride
+// spillover guard at the fleet layer: once every ID up to the limit has
+// been minted, submission is refused instead of silently minting into
+// the next member's block (which would misroute owner lookups).
+func TestSetIDLimitRefusesAtBlockEnd(t *testing.T) {
+	s := New(PolicyBestFidelity, nil)
+	defer s.Stop()
+	if err := s.AddDevice("a", mkdev(t, "a", 2, 2, 1, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.SetIDBase(40)
+	s.SetIDLimit(42) // block (40, 42]: exactly two mintable IDs
+	for want := 41; want <= 42; want++ {
+		id, err := s.Submit(req(2, 1), SubmitOptions{})
+		if err != nil {
+			t.Fatalf("submit inside the block: %v", err)
+		}
+		if id != want {
+			t.Fatalf("minted id %d, want %d", id, want)
+		}
+	}
+	if _, err := s.Submit(req(2, 1), SubmitOptions{}); err == nil || !strings.Contains(err.Error(), "job-ID space exhausted") {
+		t.Fatalf("submit past the block end: err = %v, want job-ID space exhausted", err)
 	}
 }

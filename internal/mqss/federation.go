@@ -15,11 +15,20 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/federation"
 )
 
 const pathV2Federation = "/api/v2/federation"
+
+// fedUnaryTimeout bounds unary proxied calls (reads, cancels, forwarded
+// submits) so a wedged owner that accepts TCP but never answers cannot
+// hold the proxying handler open forever. It must exceed maxWait: a
+// proxied ?wait= long-poll is still a unary exchange. Watch streams are
+// exempt — they are legitimately unbounded and rely on the inbound
+// request context instead.
+const fedUnaryTimeout = maxWait + 10*time.Second
 
 // fedProxyHeaders are the request headers a proxied call carries to the
 // owner node verbatim.
@@ -143,7 +152,13 @@ func (s *Server) fedProxy(w http.ResponseWriter, r *http.Request, owner string, 
 	if r.URL.RawQuery != "" {
 		url += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, body)
+	ctx := r.Context()
+	if !stream {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, fedUnaryTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, url, body)
 	if err != nil {
 		writeV2Error(w, http.StatusInternalServerError, CodeInternal, err.Error(), false)
 		return

@@ -61,6 +61,7 @@ func fedStack(t *testing.T, n int, hb, dead time.Duration) []*fedMember {
 		}
 		m.fed = fed
 		m.server.fleet.SetIDBase(fed.SelfBase())
+		m.server.fleet.SetIDLimit(fed.SelfLimit())
 		m.server.fleet.SetNodeID(m.name)
 		m.server.AttachFederation(fed)
 		t.Cleanup(fed.Close)
@@ -335,4 +336,29 @@ func mustParseJobID(t *testing.T, s string) int {
 		t.Fatal(err)
 	}
 	return id
+}
+
+// TestStandaloneIgnoresForwardedHeader pins the nil-federation guard in
+// v2Submit: a server that is not a federation member must serve a
+// submission carrying X-QHPC-Forwarded-From (a stray or misdirected
+// proxy header) normally instead of panicking in the fed-forward trace
+// leg — the panic would land after the job was already accepted, so the
+// client would lose the job ID for a committed side effect.
+func TestStandaloneIgnoresForwardedHeader(t *testing.T) {
+	f := newTestFleet(t, map[string]*qdmi.Device{
+		"dev-solo": twinDev(t, "dev-solo", 4, 5, 99),
+	}, 2)
+	server := NewFleetServer(f)
+	hs := httptest.NewServer(server)
+	t.Cleanup(func() { server.Close(); hs.Close() })
+
+	req := SubmitRequest{Circuit: circuit.GHZ(3), Shots: 5, User: "solo"}
+	resp := postV2(t, hs, "/api/v2/jobs?wait=10s", req, map[string]string{
+		federation.HeaderForwardedFrom: "node-ghost",
+	})
+	job := decodeV2Job(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || job.State != StateDone {
+		t.Fatalf("standalone submit with forwarded header = %d, state %s", resp.StatusCode, job.State)
+	}
 }

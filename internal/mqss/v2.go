@@ -234,7 +234,7 @@ func (s *Server) v2Submit(w http.ResponseWriter, r *http.Request) {
 		// the original submission's id.
 		s.jobTrace(id).Root().SetAttr("request_id", rid)
 	}
-	if from := r.Header.Get(federation.HeaderForwardedFrom); from != "" && !replayed {
+	if from := r.Header.Get(federation.HeaderForwardedFrom); s.fed != nil && from != "" && !replayed {
 		// The submission hopped nodes: record the cross-node leg on the
 		// owner's trace so `qhpcctl trace` shows where the job entered
 		// the federation.

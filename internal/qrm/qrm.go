@@ -180,6 +180,7 @@ type Manager struct {
 
 	dev       *qdmi.Device
 	nextID    int
+	idLimit   int // last mintable ID, inclusive (0 = unbounded; federation block end)
 	nextBatch int
 	nodeID    string // federation ownership stamp for new jobs ("" standalone)
 	queue     fairQueue
@@ -441,6 +442,17 @@ func (m *Manager) SetIDBase(base int) {
 	}
 }
 
+// SetIDLimit caps the ID counter: submissions are refused once every ID
+// up to limit (inclusive) has been minted. Federated deployments set it
+// to the end of this node's ID block — spilling past it would land IDs
+// in the next member's block and silently misroute owner lookups, so
+// exhaustion is a hard refusal, not a wrap. Zero means unbounded.
+func (m *Manager) SetIDLimit(limit int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.idLimit = limit
+}
+
 // SetNodeID stamps every future job record with the owning federation
 // node. Empty (the default) means standalone.
 func (m *Manager) SetNodeID(id string) {
@@ -481,6 +493,10 @@ func (m *Manager) submit(req Request, parent *trace.Span) (int, error) {
 	if !m.online {
 		m.mu.Unlock()
 		return 0, fmt.Errorf("qrm: QPU offline (maintenance or outage)")
+	}
+	if m.idLimit > 0 && m.nextID >= m.idLimit {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("qrm: job-ID space exhausted: this node's federation ID block ends at %d; minting past it would misroute owner lookups", m.idLimit)
 	}
 	m.nextID++
 	now := time.Now()

@@ -86,6 +86,7 @@ func (e *Env) EnableFederation(extra int) error {
 			return nil, cfg, err
 		}
 		f.SetIDBase(fed.SelfBase())
+		f.SetIDLimit(fed.SelfLimit())
 		f.SetNodeID(self)
 		srv.AttachFederation(fed)
 		return fed, cfg, nil
@@ -228,6 +229,7 @@ func (e *Env) CrashPeer(idx int) error {
 		return err
 	}
 	p.Fleet.SetIDBase(p.fed.SelfBase())
+	p.Fleet.SetIDLimit(p.fed.SelfLimit())
 	p.Fleet.SetNodeID(p.Name)
 	p.srv.AttachFederation(p.fed)
 
